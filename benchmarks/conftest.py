@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure) or claim (EVAL-*
+in DESIGN.md).  Helpers here print the series a figure implies so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the experiment
+tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def print_series(title: str, columns: dict) -> None:
+    """Print an aligned table of equal-length columns."""
+    names = list(columns)
+    rows = list(zip(*(columns[name] for name in names)))
+    widths = [max(len(str(name)), *(len(str(row[i])) for row in rows))
+              if rows else len(str(name))
+              for i, name in enumerate(names)]
+    print(f"\n--- {title} ---")
+    print("  ".join(str(name).ljust(width)
+                    for name, width in zip(names, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(width)
+                        for cell, width in zip(row, widths)))

@@ -1,0 +1,73 @@
+"""EVAL-E bench: hybrid (analytic) evaluation vs simulation.
+
+The authors' companion work [15] motivates combining simulation with
+mathematical modeling.  This ablation measures what the closed-form path
+buys: evaluation speed versus fidelity loss under contention.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.estimator import PerformanceEstimator
+from repro.estimator.analytic import AnalyticEvaluator
+from repro.machine.params import SystemParameters
+from repro.samples import build_kernel6_loopnest_model, build_sample_model
+
+
+def test_eval_e_analytic_evaluation(benchmark):
+    evaluator = AnalyticEvaluator(build_sample_model(),
+                                  SystemParameters(processes=4, nodes=4))
+    result = benchmark(evaluator.evaluate)
+    assert result.makespan > 0
+
+
+def test_eval_e_simulated_evaluation(benchmark):
+    estimator = PerformanceEstimator(
+        SystemParameters(processes=4, nodes=4))
+    prepared = estimator.prepare(build_sample_model(), "codegen")
+    result = benchmark(estimator.run_prepared, prepared)
+    assert result.total_time > 0
+
+
+def test_eval_e_speed_fidelity_series(benchmark):
+    """Analytic vs simulated across workloads: speed and agreement."""
+    def sweep():
+        columns = {"model": [], "analytic_ms": [], "simulated_ms": [],
+                   "analytic_s": [], "simulated_s": [], "agreement": []}
+        cases = [
+            ("sample x4 (no contention)", build_sample_model(),
+             SystemParameters(processes=4, nodes=4)),
+            ("sample x4 (1 cpu, contended)", build_sample_model(),
+             SystemParameters(processes=4, nodes=1,
+                              processors_per_node=1)),
+            ("kernel6 nest n=60", build_kernel6_loopnest_model(n=60, m=2),
+             SystemParameters()),
+        ]
+        for name, model, params in cases:
+            analytic = AnalyticEvaluator(model, params)
+            start = time.perf_counter()
+            bound = analytic.evaluate()
+            analytic_s = time.perf_counter() - start
+            estimator = PerformanceEstimator(params)
+            prepared = estimator.prepare(model, "codegen")
+            start = time.perf_counter()
+            simulated = estimator.run_prepared(prepared)
+            simulated_s = time.perf_counter() - start
+            columns["model"].append(name)
+            columns["analytic_ms"].append(f"{analytic_s * 1e3:.2f}")
+            columns["simulated_ms"].append(f"{simulated_s * 1e3:.2f}")
+            columns["analytic_s"].append(f"{bound.makespan:.6f}")
+            columns["simulated_s"].append(f"{simulated.total_time:.6f}")
+            columns["agreement"].append(
+                f"{bound.makespan / simulated.total_time:.2f}")
+            # The analytic value never exceeds the simulated one.
+            assert bound.makespan <= simulated.total_time + 1e-9
+        return columns
+
+    columns = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("EVAL-E: analytic bound vs simulation", columns)
+    # Contention-free cases agree exactly; the contended one is a bound.
+    assert float(columns["agreement"][0]) == pytest.approx(1.0)
+    assert float(columns["agreement"][1]) < 1.0

@@ -1,0 +1,119 @@
+"""EVAL-B bench: estimator scalability over the SP space.
+
+Section 2.2 parameterizes the machine by nodes × processors × processes ×
+threads.  This bench measures (a) raw simulation-engine event throughput,
+(b) wall time of estimating an MPI workload as the process count grows,
+and (c) regenerates the strong-scaling speedup series of the Jacobi
+example — the curve a Performance Prophet user consults.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.estimator import PerformanceEstimator
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.sim.core import Hold, Simulation
+from repro.uml.builder import ModelBuilder
+
+
+def build_ring_model(rounds: int = 20):
+    builder = ModelBuilder("RingRounds")
+    builder.global_var("rounds", "int", str(rounds))
+    builder.cost_function("Fw", "0.001")
+    body = builder.diagram("Round")
+    work = body.action("Work", cost="Fw()")
+    send = body.send("S", dest="(pid + 1) % size", size="1024", tag=1)
+    recv = body.recv("R", source="(pid - 1 + size) % size", size="1024",
+                     tag=1)
+    body.sequence(work, send, recv)
+    main = builder.diagram("Main", main=True)
+    loop = main.loop("Rounds", diagram="Round", iterations="rounds")
+    main.sequence(loop)
+    return builder.build()
+
+
+def test_eval_b_engine_event_throughput(benchmark):
+    """Raw kernel throughput: hold-only processes."""
+    def run():
+        sim = Simulation()
+
+        def body():
+            for _ in range(1000):
+                yield Hold(1.0)
+
+        for i in range(20):
+            sim.spawn(f"p{i}", body())
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 20_000
+    benchmark.extra_info["events"] = events
+
+
+@pytest.mark.parametrize("processes", [4, 16])
+def test_eval_b_ring_estimation(benchmark, processes):
+    model = build_ring_model()
+    estimator = PerformanceEstimator(
+        SystemParameters(nodes=processes, processes=processes))
+    result = benchmark(estimator.estimate, model, "codegen", False)
+    benchmark.extra_info["sim_events"] = result.events_processed
+
+
+def test_eval_b_estimation_cost_series(benchmark):
+    """Estimator wall time and event counts across the SP sweep."""
+    model = build_ring_model()
+
+    def sweep():
+        columns = {"processes": [], "sim_events": [], "wall_ms": [],
+                   "predicted_s": []}
+        for processes in (2, 4, 8, 16, 32):
+            estimator = PerformanceEstimator(
+                SystemParameters(nodes=processes, processes=processes))
+            start = time.perf_counter()
+            result = estimator.estimate(model, check=False)
+            wall = time.perf_counter() - start
+            columns["processes"].append(processes)
+            columns["sim_events"].append(result.events_processed)
+            columns["wall_ms"].append(f"{wall * 1e3:.1f}")
+            columns["predicted_s"].append(f"{result.total_time:.4f}")
+        return columns
+
+    columns = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("EVAL-B: estimator cost across SP", columns)
+    # Events grow with processes; the estimator must stay subquadratic.
+    assert columns["sim_events"][-1] > columns["sim_events"][0]
+
+
+def test_eval_b_jacobi_speedup_series(benchmark):
+    """The Jacobi strong-scaling curve (the examples' headline figure)."""
+    import examples.jacobi_mpi as jacobi
+    from repro.prophet import PerformanceProphet
+
+    model = jacobi.build_jacobi_model().build()
+    prophet = PerformanceProphet(model)
+    network = NetworkConfig(latency=5.0e-6, bandwidth=1.0e9)
+    counts = [1, 2, 4, 8, 16, 32]
+
+    def sweep():
+        return [prophet.estimate(
+            SystemParameters(nodes=c, processes=c), network).total_time
+            for c in counts]
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speedups = [times[0] / t for t in times]
+    print_series("EVAL-B: Jacobi strong scaling", {
+        "processes": counts,
+        "time_s": [f"{t:.5f}" for t in times],
+        "speedup": [f"{s:.2f}" for s in speedups],
+        "efficiency": [f"{s / c:.1%}" for s, c in zip(speedups, counts)],
+    })
+    # Shape: near-linear at small counts, efficiency decaying with count.
+    assert speedups[1] == pytest.approx(2.0, rel=0.1)
+    efficiency = [s / c for s, c in zip(speedups, counts)]
+    assert all(e2 <= e1 + 1e-9 for e1, e2 in zip(efficiency,
+                                                 efficiency[1:]))
+    assert efficiency[-1] < 0.95

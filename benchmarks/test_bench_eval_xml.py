@@ -1,0 +1,57 @@
+"""EVAL-C bench: XML model interchange (Fig. 2's "Models (XML)").
+
+Teuta persists and exchanges models as XML; the bench measures write and
+read throughput against model size, confirming the format stays practical
+for the large models the paper targets.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.uml.random_models import RandomModelConfig, random_model
+from repro.xmlio.reader import model_from_xml
+from repro.xmlio.writer import model_to_xml
+
+
+def _model(actions: int):
+    return random_model(55, RandomModelConfig(
+        target_actions=actions, max_depth=3, p_decision=0.2,
+        p_activity=0.15))
+
+
+@pytest.mark.parametrize("actions", [20, 320])
+def test_eval_c_write(benchmark, actions):
+    model = _model(actions)
+    text = benchmark(model_to_xml, model)
+    benchmark.extra_info["bytes"] = len(text)
+
+
+@pytest.mark.parametrize("actions", [20, 320])
+def test_eval_c_read(benchmark, actions):
+    text = model_to_xml(_model(actions))
+    model = benchmark(model_from_xml, text)
+    assert model.statistics()["nodes"] > actions
+
+
+def test_eval_c_size_series(benchmark):
+    def sweep():
+        columns = {"elements": [], "xml_kb": [], "write_ms": [],
+                   "read_ms": []}
+        for actions in (10, 40, 160, 640):
+            model = _model(actions)
+            start = time.perf_counter()
+            text = model_to_xml(model)
+            write_ms = (time.perf_counter() - start) * 1e3
+            start = time.perf_counter()
+            model_from_xml(text)
+            read_ms = (time.perf_counter() - start) * 1e3
+            columns["elements"].append(actions)
+            columns["xml_kb"].append(f"{len(text) / 1024:.1f}")
+            columns["write_ms"].append(f"{write_ms:.2f}")
+            columns["read_ms"].append(f"{read_ms:.2f}")
+        return columns
+
+    columns = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("EVAL-C: XML interchange scaling", columns)

@@ -1,0 +1,71 @@
+"""FIG2 bench: the full Performance Prophet pipeline.
+
+Fig. 2's data flow — model XML in, checked, transformed (PMP), estimated
+(SP), trace (TF) out — as a single latency measurement, plus its stages
+individually, so the cost distribution across the architecture is
+visible.
+"""
+
+import pytest
+
+from repro.checker import ModelChecker
+from repro.estimator import PerformanceEstimator
+from repro.machine.params import SystemParameters
+from repro.samples import build_sample_model
+from repro.transform.cpp.emitter import transform_to_cpp
+from repro.transform.python.emitter import transform_to_python
+from repro.xmlio.reader import model_from_xml
+from repro.xmlio.writer import model_to_xml
+
+PARAMS = SystemParameters(nodes=2, processors_per_node=2, processes=4)
+
+
+@pytest.fixture(scope="module")
+def model_xml() -> str:
+    return model_to_xml(build_sample_model())
+
+
+def test_fig2_full_pipeline(benchmark, model_xml):
+    """XML → check → transform → simulate → TF, end to end."""
+    estimator = PerformanceEstimator(PARAMS)
+
+    def pipeline():
+        model = model_from_xml(model_xml)
+        ModelChecker().assert_valid(model)
+        transform_to_cpp(model)  # the paper's artifact
+        return estimator.estimate(model, check=False)
+
+    result = benchmark(pipeline)
+    assert result.total_time > 0
+    assert len(result.trace) > 0
+
+
+def test_fig2_stage_parse(benchmark, model_xml):
+    model = benchmark(model_from_xml, model_xml)
+    assert model.name == "SampleModel"
+
+
+def test_fig2_stage_check(benchmark):
+    model = build_sample_model()
+    checker = ModelChecker()
+    report = benchmark(checker.check, model)
+    assert report.ok
+
+
+def test_fig2_stage_transform_cpp(benchmark):
+    model = build_sample_model()
+    artifacts = benchmark(transform_to_cpp, model)
+    assert "ActionPlus" in artifacts.source
+
+
+def test_fig2_stage_transform_python(benchmark):
+    model = build_sample_model()
+    artifacts = benchmark(transform_to_python, model)
+    assert "pmp_main" in artifacts.source
+
+
+def test_fig2_stage_estimate(benchmark):
+    model = build_sample_model()
+    estimator = PerformanceEstimator(PARAMS)
+    result = benchmark(estimator.estimate, model, "codegen", False)
+    assert result.total_time > 0

@@ -1,0 +1,83 @@
+"""FIG3 bench: Livermore kernel 6 — from code to predicted performance.
+
+Regenerates the Fig. 3 experiment: the collapsed one-action model's
+prediction versus actual kernel measurements across N (shape: quadratic
+in N, linear in M), and the evaluation-cost contrast between the detailed
+loop-nest model (Fig. 3(b)) and the collapsed model (Fig. 3(c)) — the
+paper's stated reason for modeling at coarse granularity.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.estimator import PerformanceEstimator, estimate
+from repro.kernels import calibrate_kernel, measure_kernel
+from repro.machine.params import SystemParameters
+from repro.samples import build_kernel6_loopnest_model, build_kernel6_model
+
+M = 3
+
+
+@pytest.fixture(scope="module")
+def c6() -> float:
+    calibration = calibrate_kernel("k6", [(80, M), (140, M)], repeats=2)
+    return 2.0 * calibration.cost_per_op  # per multiply-add pair
+
+
+def test_fig3_prediction_shape_across_n(benchmark, c6):
+    """Predicted vs measured kernel-6 time over N (the Fig. 3 series)."""
+    def sweep():
+        columns = {"N": [], "predicted_s": [], "measured_s": []}
+        for n in (60, 100, 140, 180):
+            predicted = estimate(build_kernel6_model(n=n, m=M, c6=c6),
+                                 SystemParameters()).total_time
+            measured = measure_kernel("k6", n, M, repeats=2)
+            columns["N"].append(n)
+            columns["predicted_s"].append(f"{predicted:.6f}")
+            columns["measured_s"].append(f"{measured:.6f}")
+        return columns
+
+    columns = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("Fig. 3: kernel 6 predicted vs measured", columns)
+    predictions = [float(x) for x in columns["predicted_s"]]
+    # Quadratic shape: tripling N must grow time ~9x (within slack).
+    assert predictions[-1] / predictions[0] == pytest.approx(
+        (180 * 179) / (60 * 59), rel=0.01)
+
+
+def test_fig3_collapsed_model_evaluation(benchmark, c6):
+    """Evaluating the Fig. 3(c) one-action model."""
+    model = build_kernel6_model(n=200, m=M, c6=c6)
+    estimator = PerformanceEstimator(SystemParameters())
+    result = benchmark(estimator.estimate, model, "codegen", False)
+    assert result.total_time > 0
+
+
+def test_fig3_loopnest_model_evaluation(benchmark, c6):
+    """Evaluating the detailed Fig. 3(b) loop-nest model (much slower)."""
+    model = build_kernel6_loopnest_model(n=200, m=M, c6=c6)
+    estimator = PerformanceEstimator(SystemParameters())
+    result = benchmark(estimator.estimate, model, "codegen", False)
+    assert result.total_time > 0
+
+
+def test_fig3_granularity_event_counts(benchmark, c6):
+    """The detail gap in simulator events (why Fig. 3 collapses loops)."""
+    n = 100
+
+    def run_both():
+        return (estimate(build_kernel6_model(n=n, m=M, c6=c6),
+                         SystemParameters()),
+                estimate(build_kernel6_loopnest_model(n=n, m=M, c6=c6),
+                         SystemParameters()))
+
+    collapsed, detailed = benchmark.pedantic(run_both, rounds=1,
+                                             iterations=1)
+    print_series("Fig. 3: model granularity vs evaluation cost", {
+        "model": ["collapsed (Fig. 3c)", "loop nest (Fig. 3b)"],
+        "sim_events": [collapsed.events_processed,
+                       detailed.events_processed],
+        "predicted_s": [f"{collapsed.total_time:.6f}",
+                        f"{detailed.total_time:.6f}"],
+    })
+    assert detailed.events_processed > 100 * collapsed.events_processed

@@ -1,0 +1,73 @@
+"""FIG5 bench: the transformation algorithm's scaling with model size.
+
+Fig. 5 gives the algorithm; this bench characterizes it: transformation
+time versus number of modeling elements, for both backends.  The series
+demonstrates the near-linear scaling the single-pass design implies.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.transform.cpp.emitter import transform_to_cpp
+from repro.transform.python.emitter import transform_to_python
+from repro.uml.random_models import RandomModelConfig, random_model
+
+SIZES = [10, 40, 160, 640]
+
+
+def _model_of_size(actions: int):
+    return random_model(99, RandomModelConfig(
+        target_actions=actions, max_depth=3,
+        p_decision=0.2, p_loop=0.1, p_activity=0.15))
+
+
+@pytest.mark.parametrize("actions", [20, 320])
+def test_fig5_cpp_transform(benchmark, actions):
+    model = _model_of_size(actions)
+    artifacts = benchmark(transform_to_cpp, model)
+    assert artifacts.source
+    benchmark.extra_info["nodes"] = model.statistics()["nodes"]
+
+
+@pytest.mark.parametrize("actions", [20, 320])
+def test_fig5_python_transform(benchmark, actions):
+    model = _model_of_size(actions)
+    artifacts = benchmark(transform_to_python, model)
+    assert artifacts.source
+    benchmark.extra_info["nodes"] = model.statistics()["nodes"]
+
+
+def test_fig5_scaling_series(benchmark):
+    """Transform-time series over model size (printed table)."""
+    def sweep():
+        columns = {"elements": [], "nodes": [], "cpp_ms": [],
+                   "python_ms": [], "cpp_lines": []}
+        for actions in SIZES:
+            model = _model_of_size(actions)
+            start = time.perf_counter()
+            cpp = transform_to_cpp(model)
+            cpp_ms = (time.perf_counter() - start) * 1e3
+            start = time.perf_counter()
+            transform_to_python(model)
+            python_ms = (time.perf_counter() - start) * 1e3
+            columns["elements"].append(actions)
+            columns["nodes"].append(model.statistics()["nodes"])
+            columns["cpp_ms"].append(f"{cpp_ms:.2f}")
+            columns["python_ms"].append(f"{python_ms:.2f}")
+            columns["cpp_lines"].append(len(cpp.source.splitlines()))
+        return columns
+
+    columns = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("Fig. 5: transformation scaling", columns)
+    # Near-linear: 64x more elements must not cost more than ~256x time.
+    ratio = float(columns["cpp_ms"][-1]) / max(float(columns["cpp_ms"][0]),
+                                               1e-6)
+    assert ratio < (SIZES[-1] / SIZES[0]) * 8
+
+
+def test_fig5_transformation_deterministic(benchmark):
+    model = _model_of_size(80)
+    source = benchmark(lambda: transform_to_cpp(model).source)
+    assert source == transform_to_cpp(model).source

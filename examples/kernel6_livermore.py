@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Fig. 3 end to end: Livermore kernel 6 → performance model → prediction.
+
+The paper's methodology for going "from the program code to the UML based
+performance model": profile the kernel, collapse the loop nest to a single
+``<<action+>>`` with a fitted cost function ``T_K6 = F_K6(...)``, then let
+the estimator predict unseen problem sizes.  This script
+
+1. calibrates ``C6`` by measuring the real (numpy) kernel 6 on this host;
+2. builds the Fig. 3(c) one-action model with the fitted cost function;
+3. predicts runtimes across a sweep of N and compares them with fresh
+   measurements — the *shape* (quadratic growth in N) is what the model
+   must capture.
+"""
+
+import time
+
+from repro import PerformanceProphet, SystemParameters
+from repro.kernels import calibrate_kernel, measure_kernel
+from repro.samples import build_kernel6_model
+from repro.viz.csvout import series_to_csv
+
+M = 4
+CALIBRATION_SIZES = [(80, M), (120, M), (160, M)]
+SWEEP_N = [60, 100, 140, 180, 220]
+
+print("=== 1. calibrate C6 on this host ===")
+calibration = calibrate_kernel("k6", CALIBRATION_SIZES, repeats=3)
+# The kernel's counted operations are multiply-add pairs (2 flops each);
+# the model's FK6 = C6 * M * N(N-1)/2 counts pairs, so C6 = 2 * cost/op.
+c6 = 2.0 * calibration.cost_per_op
+print(f"fitted cost per multiply-add pair: C6 = {c6:.3e} s")
+for size, observed in zip(calibration.sizes, calibration.times):
+    predicted = calibration.predicted(*size)
+    print(f"  N={size[0]:>4} M={size[1]}: measured {observed:.6f} s, "
+          f"fit {predicted:.6f} s")
+
+print("\n=== 2. the Fig. 3(c) model and its generated C++ ===")
+model = build_kernel6_model(n=SWEEP_N[0], m=M, c6=c6)
+prophet = PerformanceProphet(model)
+prophet.check(strict=True)
+print(prophet.to_cpp().source)
+
+print("=== 3. predict vs measure across N ===")
+rows = {"N": [], "predicted_s": [], "measured_s": [], "ratio": []}
+for n in SWEEP_N:
+    prophet_n = PerformanceProphet(build_kernel6_model(n=n, m=M, c6=c6))
+    predicted = prophet_n.estimate(SystemParameters()).total_time
+    measured = measure_kernel("k6", n, M, repeats=3)
+    rows["N"].append(n)
+    rows["predicted_s"].append(round(predicted, 6))
+    rows["measured_s"].append(round(measured, 6))
+    rows["ratio"].append(round(predicted / measured, 2))
+    print(f"  N={n:>4}: predicted {predicted:.6f} s, "
+          f"measured {measured:.6f} s, ratio {predicted / measured:.2f}")
+
+print("\ncsv:")
+print(series_to_csv(rows))
+
+# Shape check: prediction grows ~quadratically, like the measurement.
+growth_predicted = rows["predicted_s"][-1] / rows["predicted_s"][0]
+growth_measured = rows["measured_s"][-1] / max(rows["measured_s"][0], 1e-9)
+print(f"growth N={SWEEP_N[0]}→{SWEEP_N[-1]}: predicted "
+      f"{growth_predicted:.1f}x, measured {growth_measured:.1f}x "
+      f"(ideal {(SWEEP_N[-1] / SWEEP_N[0]) ** 2:.1f}x)")

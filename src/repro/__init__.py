@@ -1,0 +1,35 @@
+"""Performance Prophet reproduction.
+
+A reproduction of *Automatic Performance Model Transformation from UML to
+C++* (Pllana, Benkner, Xhafa, Barolli — ICPP Workshops 2008): UML-based
+performance models of parallel/distributed programs, a model checker, the
+automatic transformation of models to a machine-efficient representation
+(C++ text and executable Python), and a CSIM-style simulation estimator
+with machine models, traces, and visualization.
+
+Entry points:
+
+* :class:`repro.prophet.PerformanceProphet` — the tool facade;
+* :class:`repro.uml.builder.ModelBuilder` — build models in code;
+* :func:`repro.estimator.estimate` — one-shot evaluation;
+* :mod:`repro.samples` — the paper's sample and kernel-6 models.
+"""
+
+from repro.errors import ProphetError
+from repro.prophet import PerformanceProphet
+from repro.estimator.manager import estimate
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.uml.builder import ModelBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PerformanceProphet",
+    "ModelBuilder",
+    "SystemParameters",
+    "NetworkConfig",
+    "estimate",
+    "ProphetError",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Program-code generation from UML models (the paper's future work).
+
+Section 5: "In future we plan to extend our approach to enable the
+automatic generation of the program code based on the UML model."  This
+package implements that extension: it emits a runnable program *skeleton*
+whose control flow, communication calls, and parallel structure mirror
+the performance model; the modeled code blocks become TODO hooks.
+"""
+
+from repro.appgen.skeleton import SkeletonArtifacts, generate_skeleton
+from repro.appgen.localcomm import LocalComm
+
+__all__ = ["generate_skeleton", "SkeletonArtifacts", "LocalComm"]

@@ -1,0 +1,69 @@
+"""A degenerate single-process communicator for generated skeletons.
+
+Generated skeletons call an mpi4py-like interface (``comm.rank``,
+``comm.size``, ``send``/``recv``/``bcast``/``barrier``/...).  With
+mpi4py unavailable (this environment is offline), :class:`LocalComm`
+lets a skeleton run as one process: self-sends buffer, collectives are
+identities.  Swapping in ``mpi4py.MPI.COMM_WORLD`` (wrapped to this
+interface) runs the same skeleton in parallel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ProphetError
+
+
+class LocalComm:
+    """Single-process stand-in for an MPI communicator."""
+
+    rank = 0
+    size = 1
+
+    def __init__(self) -> None:
+        self._queues: dict[tuple[int, int], deque] = {}
+
+    # -- point-to-point (self-messages only) ------------------------------
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        if dest != 0:
+            raise ProphetError(
+                f"LocalComm has a single rank; cannot send to {dest}")
+        self._queues.setdefault((0, tag), deque()).append(obj)
+
+    def recv(self, source: int = 0, tag: int = 0):
+        if source not in (0, -1):
+            raise ProphetError(
+                f"LocalComm has a single rank; cannot receive from "
+                f"{source}")
+        keys = [(0, tag)] if tag != -1 else [
+            key for key in self._queues if self._queues[key]]
+        for key in keys:
+            queue = self._queues.get(key)
+            if queue:
+                return queue.popleft()
+        raise ProphetError("LocalComm receive with no matching message "
+                           "(single process cannot block)")
+
+    # -- collectives (identities for one process) --------------------------
+
+    def barrier(self) -> None:
+        return None
+
+    def bcast(self, obj, root: int = 0):
+        return obj
+
+    def scatter(self, objs, root: int = 0):
+        if objs is None:
+            raise ProphetError("scatter needs a sequence at the root")
+        return objs[0]
+
+    def gather(self, obj, root: int = 0):
+        return [obj]
+
+    def reduce(self, obj, op=sum, root: int = 0):
+        return obj
+
+    def allreduce(self, obj, op=sum):
+        return obj

@@ -1,0 +1,287 @@
+"""Skeleton emitter: UML performance model → runnable program skeleton.
+
+The emitted module defines ``run(comm)`` taking an mpi4py-like
+communicator.  Mapping:
+
+* globals → locals of ``run`` (rank-private state, as in SPMD programs);
+* code fragments → inlined statements (they are real code);
+* ``<<action+>>`` → a TODO hook function per element, called in place;
+* communication elements → ``comm`` calls;
+* loops/branches/nested activities → Python control flow;
+* ``<<parallel+>>`` → a sequential for over the thread range with a TODO
+  note (threading is left to the implementer);
+* cost functions → emitted as reference comments (they model time, not
+  behaviour).
+"""
+
+from __future__ import annotations
+
+import types
+from dataclasses import dataclass
+
+from repro.errors import TransformError, UnsupportedElementError
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.pygen import _render_with_filter, emit_stmt
+from repro.transform.algorithm import ModelIR, build_ir
+from repro.transform.flowgraph import (
+    BranchRegion,
+    CycleRegion,
+    ForkRegion,
+    LeafRegion,
+    Region,
+    SequenceRegion,
+)
+from repro.uml.activities import (
+    ActionNode,
+    ActivityInvocationNode,
+    ActivityNode,
+    LoopNode,
+    ParallelRegionNode,
+)
+from repro.uml.model import Model
+from repro.uml.perf_profile import (
+    ALLREDUCE_PLUS,
+    BARRIER_PLUS,
+    BCAST_PLUS,
+    GATHER_PLUS,
+    RECV_PLUS,
+    REDUCE_PLUS,
+    SCATTER_PLUS,
+    SEND_PLUS,
+    performance_stereotype,
+)
+from repro.util.ids import mangle_identifier
+from repro.util.textwriter import CodeWriter
+
+
+@dataclass
+class SkeletonArtifacts:
+    source: str
+    model_name: str
+
+    def compile(self) -> types.ModuleType:
+        module = types.ModuleType(
+            f"skeleton_{mangle_identifier(self.model_name)}")
+        exec(compile(self.source, f"<skeleton:{self.model_name}>",
+                     "exec"), module.__dict__)
+        return module
+
+
+def generate_skeleton(model_or_ir: Model | ModelIR) -> SkeletonArtifacts:
+    ir = model_or_ir if isinstance(model_or_ir, ModelIR) \
+        else build_ir(model_or_ir)
+    return _SkeletonEmitter(ir).emit()
+
+
+class _SkeletonEmitter:
+    def __init__(self, ir: ModelIR) -> None:
+        self.ir = ir
+        self.w = CodeWriter()
+        self._loop_counter = 0
+        self._inline_stack: list[str] = []
+        # In the skeleton everything lives in run()'s scope: globals,
+        # locals, and the rank intrinsics are all bare names.
+        self._bare: set[str] = {"rank", "size", "pid", "uid", "tid",
+                                "nnodes", "nthreads"}
+        self._bare.update(v.name for v in ir.model.variables)
+
+    def _expr(self, source: str) -> str:
+        return _render_with_filter(parse_expression(source), 0, "",
+                                   self._bare)
+
+    def emit(self) -> SkeletonArtifacts:
+        model = self.ir.model
+        w = self.w
+        w.writeln(f"# Program skeleton generated from performance model "
+                  f"{model.name!r}.")
+        w.writeln("# Fill in the TODO hooks; pass an mpi4py-like "
+                  "communicator to run().")
+        w.writeln("from repro.lang.evaluator import c_div, c_mod")
+        w.writeln("from repro.lang.builtins import BUILTINS as _bi")
+        w.blank()
+        self._emit_hooks()
+        with w.block("def run(comm):", None):
+            w.writeln('"""SPMD entry point: every rank executes this."""')
+            w.writeln("rank = comm.rank")
+            w.writeln("size = comm.size")
+            w.writeln("pid = rank  # the model's process id")
+            w.writeln("uid = 0")
+            w.writeln("tid = 0")
+            self._emit_variables()
+            w.blank()
+            w.writeln(f"# {model.main_diagram_name} activity")
+            self._emit_region(self.ir.regions[model.main_diagram_name])
+            w.writeln("return locals()")
+        return SkeletonArtifacts(source=w.text(), model_name=model.name)
+
+    def _emit_hooks(self) -> None:
+        """One TODO hook per <<action+>> element."""
+        w = self.w
+        emitted = set()
+        for declaration in self.ir.declarations:
+            if declaration.class_name not in ("ActionPlus",
+                                              "CriticalSection"):
+                continue
+            hook = f"compute_{declaration.instance}"
+            if hook in emitted:
+                continue
+            emitted.add(hook)
+            node = declaration.node
+            cost = getattr(node, "cost", None)
+            with w.block(f"def {hook}(state):", None):
+                w.writeln(f'"""TODO: implement the code block modeled by '
+                          f'element {declaration.display_name!r}')
+                if cost:
+                    w.writeln(f"(modeled execution time: {cost})")
+                w.writeln('"""')
+            w.blank()
+
+    def _emit_variables(self) -> None:
+        w = self.w
+        from repro.lang.types import default_value
+        if self.ir.model.variables:
+            w.writeln("# model variables (rank-private)")
+        for variable in self.ir.model.variables:
+            if variable.init is not None:
+                w.writeln(f"{variable.name} = {self._expr(variable.init)}")
+            else:
+                w.writeln(
+                    f"{variable.name} = {default_value(variable.type)!r}")
+
+    # -- flow ------------------------------------------------------------
+
+    def _emit_region(self, region: Region) -> None:
+        if isinstance(region, SequenceRegion):
+            if not region.items:
+                self.w.writeln("pass")
+                return
+            for item in region.items:
+                self._emit_region(item)
+        elif isinstance(region, LeafRegion):
+            self._emit_leaf(region.node)
+        elif isinstance(region, BranchRegion):
+            first_guard, first_arm = region.arms[0]
+            self.w.writeln(f"if {self._expr(first_guard)}:")
+            self.w.indent()
+            self._emit_region(first_arm)
+            self.w.dedent()
+            for guard, arm in region.arms[1:]:
+                self.w.writeln(f"elif {self._expr(guard)}:")
+                self.w.indent()
+                self._emit_region(arm)
+                self.w.dedent()
+            if region.else_arm is not None:
+                self.w.writeln("else:")
+                self.w.indent()
+                self._emit_region(region.else_arm)
+                self.w.dedent()
+        elif isinstance(region, CycleRegion):
+            self.w.writeln("while True:")
+            self.w.indent()
+            self._emit_region(region.pre)
+            if region.break_condition is not None:
+                condition = self._expr(region.break_condition)
+            else:
+                condition = f"not ({self._expr(region.negated_stay_guard)})"
+            self.w.writeln(f"if {condition}:")
+            self.w.indent()
+            self.w.writeln("break")
+            self.w.dedent()
+            self._emit_region(region.post)
+            self.w.dedent()
+        elif isinstance(region, ForkRegion):
+            self.w.writeln(f"# TODO: the model forks "
+                           f"{len(region.arms)} concurrent arms here; "
+                           "they run sequentially in this skeleton")
+            for arm in region.arms:
+                self._emit_region(arm)
+        else:  # pragma: no cover - defensive
+            raise TransformError(
+                f"unknown region type {type(region).__name__}")
+
+    def _emit_leaf(self, node: ActivityNode) -> None:
+        w = self.w
+        if isinstance(node, ActivityInvocationNode):
+            self._inline(node.behavior, f"# activity {node.name}")
+            return
+        if isinstance(node, LoopNode):
+            self._loop_counter += 1
+            index = f"_i{self._loop_counter}"
+            w.writeln(f"for {index} in range(int("
+                      f"{self._expr(node.iterations)})):")
+            w.indent()
+            self._inline(node.behavior, None)
+            w.dedent()
+            return
+        if isinstance(node, ParallelRegionNode):
+            threads = self._expr(node.num_threads)
+            w.writeln(f"# TODO: parallel region {node.name!r} over "
+                      f"{threads} threads (sequential here)")
+            w.writeln(f"for tid in range(max(1, int({threads}))):")
+            w.indent()
+            self._inline(node.behavior, None)
+            w.dedent()
+            w.writeln("tid = 0")
+            return
+        if isinstance(node, ActionNode):
+            self._emit_action(node)
+            return
+        raise UnsupportedElementError(
+            f"skeleton has no mapping for {type(node).__name__}")
+
+    def _inline(self, behavior: str, comment: str | None) -> None:
+        if behavior in self._inline_stack:
+            raise TransformError(
+                f"recursive diagram invocation of {behavior!r}")
+        if comment:
+            self.w.writeln(comment)
+        self._inline_stack.append(behavior)
+        try:
+            self._emit_region(self.ir.regions[behavior])
+        finally:
+            self._inline_stack.pop()
+
+    def _emit_action(self, node: ActionNode) -> None:
+        w = self.w
+        stereotype = performance_stereotype(node)
+        if node.code is not None:
+            w.writeln(f"# code associated with {node.name}")
+            locals_ = set(self._bare)
+            for stmt in parse_program(node.code):
+                emit_stmt(w, stmt, name_prefix="", declared_locals=locals_)
+        if stereotype is None:
+            return
+
+        def tag(name: str, default: str = "0") -> str:
+            raw = node.tag_value(stereotype, name)
+            return self._expr(raw if isinstance(raw, str) else default)
+
+        if stereotype == SEND_PLUS:
+            w.writeln(f"comm.send(None, dest=int({tag('dest')}), "
+                      f"tag={node.tag_value(stereotype, 'tag', 0)})"
+                      f"  # {node.name}")
+        elif stereotype == RECV_PLUS:
+            w.writeln(f"comm.recv(source=int({tag('source')}), "
+                      f"tag={node.tag_value(stereotype, 'tag', 0)})"
+                      f"  # {node.name}")
+        elif stereotype == BARRIER_PLUS:
+            w.writeln(f"comm.barrier()  # {node.name}")
+        elif stereotype == BCAST_PLUS:
+            w.writeln(f"comm.bcast(None, root=int({tag('root')}))"
+                      f"  # {node.name}")
+        elif stereotype == SCATTER_PLUS:
+            w.writeln(f"comm.scatter([None] * size, "
+                      f"root=int({tag('root')}))  # {node.name}")
+        elif stereotype == GATHER_PLUS:
+            w.writeln(f"comm.gather(None, root=int({tag('root')}))"
+                      f"  # {node.name}")
+        elif stereotype == REDUCE_PLUS:
+            w.writeln(f"comm.reduce(0, root=int({tag('root')}))"
+                      f"  # {node.name}")
+        elif stereotype == ALLREDUCE_PLUS:
+            w.writeln(f"comm.allreduce(0)  # {node.name}")
+        else:
+            instance = self.ir.instance_names.get(node.id)
+            if instance is None:
+                return
+            w.writeln(f"compute_{instance}(locals())  # {node.name}")

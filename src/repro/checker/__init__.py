@@ -1,0 +1,22 @@
+"""The Model Checker (Fig. 2's "Model Checker" component of Teuta).
+
+"The Model Checker is used to verify whether the model conforms to the UML
+specification."  Beyond UML well-formedness, the checker validates
+everything the transformation and the estimator will rely on: guards parse
+and type-check, cost invocations resolve to defined functions with matching
+arity, behavior references resolve acyclically, diagrams are structured
+single-entry regions.
+
+Rules are configured by an MCF document (:mod:`repro.xmlio.mcf`): each rule
+can be disabled or have its severity overridden.
+"""
+
+from repro.checker.diagnostics import CheckReport, Diagnostic, Severity
+from repro.checker.checker import ModelChecker, check_model
+from repro.checker.rules import ALL_RULES, Rule, rule_ids
+
+__all__ = [
+    "CheckReport", "Diagnostic", "Severity",
+    "ModelChecker", "check_model",
+    "Rule", "ALL_RULES", "rule_ids",
+]

@@ -1,0 +1,65 @@
+"""The ModelChecker engine: runs configured rules over a model."""
+
+from __future__ import annotations
+
+from repro.checker.diagnostics import CheckReport, Severity
+from repro.checker.rules import (
+    ALL_RULES,
+    CheckContext,
+    Rule,
+    _load_rule_modules,
+)
+from repro.errors import CheckError
+from repro.uml.model import Model
+from repro.xmlio.mcf import CheckingConfig
+
+
+class ModelChecker:
+    """Runs the registered rules, honoring an MCF configuration.
+
+    ``config`` (a parsed MCF) may disable rules or override severities;
+    without one, every rule runs at its default severity.
+    """
+
+    def __init__(self, config: CheckingConfig | None = None) -> None:
+        _load_rule_modules()
+        self.config = config or CheckingConfig()
+        self._rules: list[Rule] = []
+        for rule_id in sorted(ALL_RULES):
+            setting = self.config.setting(rule_id)
+            if not setting.enabled:
+                continue
+            severity = (Severity.from_name(setting.severity)
+                        if setting.severity is not None else None)
+            self._rules.append(ALL_RULES[rule_id](severity))
+
+    @property
+    def active_rules(self) -> list[str]:
+        return [rule.rule_id for rule in self._rules]
+
+    def check(self, model: Model) -> CheckReport:
+        """Run all active rules; never raises on findings."""
+        report = CheckReport(model_name=model.name)
+        ctx = CheckContext(model=model, params=dict(self.config.params))
+        for rule in self._rules:
+            report.extend(rule.check(ctx))
+            report.rules_run += 1
+        return report
+
+    def assert_valid(self, model: Model) -> CheckReport:
+        """Run :meth:`check` and raise :class:`CheckError` on any error."""
+        report = self.check(model)
+        if not report.ok:
+            errors = report.errors()
+            raise CheckError(
+                f"model {model.name!r} failed validation with "
+                f"{len(errors)} error(s):\n" +
+                "\n".join(d.render() for d in errors),
+                diagnostics=errors)
+        return report
+
+
+def check_model(model: Model,
+                config: CheckingConfig | None = None) -> CheckReport:
+    """One-shot convenience wrapper."""
+    return ModelChecker(config).check(model)

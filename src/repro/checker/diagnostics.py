@@ -1,0 +1,86 @@
+"""Diagnostics produced by model checking."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        for member in cls:
+            if member.value == name:
+                return member
+        raise ValueError(f"unknown severity {name!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: which rule fired, where, and why."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    element_id: int | None = None
+    diagram: str | None = None
+
+    def render(self) -> str:
+        location = ""
+        if self.diagram is not None:
+            location += f" [diagram {self.diagram}"
+            if self.element_id is not None:
+                location += f", element {self.element_id}"
+            location += "]"
+        elif self.element_id is not None:
+            location += f" [element {self.element_id}]"
+        return f"{self.severity.value}: {self.rule_id}: {self.message}{location}"
+
+
+@dataclass
+class CheckReport:
+    """All diagnostics from one checker run."""
+
+    model_name: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    rules_run: int = 0
+
+    def extend(self, found: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(found)
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when the model has no error-severity findings."""
+        return not self.errors()
+
+    def by_rule(self, rule_id: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    def render(self) -> str:
+        lines = [f"model check: {self.model_name} — "
+                 f"{len(self.errors())} error(s), "
+                 f"{len(self.warnings())} warning(s), "
+                 f"{len(self.infos())} info(s) "
+                 f"({self.rules_run} rules run)"]
+        lines.extend(d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

@@ -1,0 +1,270 @@
+"""Semantic rules: expressions, cost functions, variables, tags.
+
+These run the mini-language parser/static checker over every piece of
+C-like text attached to the model, so transformation and simulation never
+meet malformed or unresolvable source.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.checker.diagnostics import Diagnostic, Severity
+from repro.checker.rules import CheckContext, Rule, register
+from repro.errors import LangError
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.typecheck import (
+    Signature,
+    TypeChecker,
+    called_functions,
+    free_names,
+)
+from repro.lang.types import Type
+from repro.uml.activities import ActionNode, DecisionNode
+from repro.uml.perf_profile import (
+    COMMUNICATION_STEREOTYPES,
+    performance_stereotype,
+)
+
+
+def _checker_for(ctx: CheckContext) -> TypeChecker:
+    signatures = {name: Signature.of(function.definition)
+                  for name, function in ctx.model.cost_functions.items()}
+    return TypeChecker(variables=ctx.global_types(), functions=signatures)
+
+
+def _known_names(ctx: CheckContext) -> set[str]:
+    return set(ctx.global_types())
+
+
+@register
+class VariableInitializersRule(Rule):
+    rule_id = "variable-initializers"
+    description = ("Variable initializers parse, reference only previously "
+                   "declared variables, and match the declared type.")
+
+    def check(self, ctx: CheckContext) -> Iterator[Diagnostic]:
+        checker = _checker_for(ctx)
+        declared_so_far: set[str] = set()
+        for variable in ctx.model.variables:
+            if variable.init is not None:
+                try:
+                    expr = parse_expression(variable.init)
+                except LangError as exc:
+                    yield self.diag(
+                        f"initializer of {variable.name!r}: {exc}")
+                    declared_so_far.add(variable.name)
+                    continue
+                for name in free_names(expr):
+                    if name not in declared_so_far:
+                        yield self.diag(
+                            f"initializer of {variable.name!r} references "
+                            f"{name!r}, which is not declared before it")
+                try:
+                    checker.check_expr(expr)
+                except LangError as exc:
+                    yield self.diag(
+                        f"initializer of {variable.name!r}: {exc}")
+            declared_so_far.add(variable.name)
+
+
+@register
+class CostFunctionBodiesRule(Rule):
+    rule_id = "cost-function-bodies"
+    description = ("Cost-function bodies type-check against globals and "
+                   "their parameters; calls resolve.")
+
+    def check(self, ctx: CheckContext) -> Iterator[Diagnostic]:
+        checker = _checker_for(ctx)
+        for function in ctx.model.cost_functions.values():
+            try:
+                checker.check_function(function.definition)
+            except LangError as exc:
+                yield self.diag(
+                    f"cost function {function.name!r}: {exc}")
+
+
+@register
+class CostReferencesRule(Rule):
+    rule_id = "cost-references"
+    description = ("Element cost annotations parse, resolve, and "
+                   "type-check to a numeric value.")
+
+    def check(self, ctx: CheckContext) -> Iterator[Diagnostic]:
+        checker = _checker_for(ctx)
+        for diagram in ctx.model.diagrams:
+            for node in diagram.nodes:
+                cost = getattr(node, "cost", None)
+                if cost is None:
+                    continue
+                where = dict(element_id=node.id, diagram=diagram.name)
+                try:
+                    expr = parse_expression(cost)
+                except LangError as exc:
+                    yield self.diag(
+                        f"cost of {node.name!r}: {exc}", **where)
+                    continue
+                try:
+                    result = checker.check_expr(expr)
+                except LangError as exc:
+                    yield self.diag(f"cost of {node.name!r}: {exc}", **where)
+                    continue
+                if not result.is_numeric:
+                    yield self.diag(
+                        f"cost of {node.name!r} has type {result}, expected "
+                        "a numeric value", **where)
+
+
+@register
+class MissingCostRule(Rule):
+    rule_id = "missing-cost"
+    default_severity = Severity.WARNING
+    description = ("<<action+>> elements carry a cost function or a "
+                   "constant time tag.")
+
+    def check(self, ctx: CheckContext) -> Iterator[Diagnostic]:
+        for diagram in ctx.model.diagrams:
+            for node in diagram.nodes:
+                if not isinstance(node, ActionNode):
+                    continue
+                stereotype = performance_stereotype(node)
+                if stereotype != "action+":
+                    continue
+                has_time = node.tag_value("action+", "time") is not None
+                if node.cost is None and not has_time:
+                    yield self.diag(
+                        f"action {node.name!r} has neither a cost function "
+                        "nor a time tag; it will execute in zero time",
+                        element_id=node.id, diagram=diagram.name)
+
+
+@register
+class CodeFragmentsRule(Rule):
+    rule_id = "code-fragments"
+    description = ("Associated code fragments parse and reference only "
+                   "declared variables/functions.")
+
+    def check(self, ctx: CheckContext) -> Iterator[Diagnostic]:
+        checker = _checker_for(ctx)
+        known = _known_names(ctx)
+        for diagram in ctx.model.diagrams:
+            for node in diagram.nodes:
+                code = getattr(node, "code", None)
+                if code is None:
+                    continue
+                where = dict(element_id=node.id, diagram=diagram.name)
+                try:
+                    program = parse_program(code)
+                except LangError as exc:
+                    yield self.diag(
+                        f"code fragment of {node.name!r}: {exc}", **where)
+                    continue
+                for name in sorted(free_names(program.body) - known):
+                    yield self.diag(
+                        f"code fragment of {node.name!r} references "
+                        f"undeclared variable {name!r}", **where)
+                for called in sorted(called_functions(program.body)):
+                    if called not in ctx.model.cost_functions:
+                        from repro.lang.builtins import is_builtin
+                        if not is_builtin(called):
+                            yield self.diag(
+                                f"code fragment of {node.name!r} calls "
+                                f"undefined function {called!r}", **where)
+
+
+@register
+class GuardExpressionsRule(Rule):
+    rule_id = "guard-expressions"
+    description = ("Guards parse, reference declared names, and evaluate "
+                   "to a condition (non-string).")
+
+    def check(self, ctx: CheckContext) -> Iterator[Diagnostic]:
+        checker = _checker_for(ctx)
+        for diagram in ctx.model.diagrams:
+            for node in diagram.nodes:
+                if not isinstance(node, DecisionNode):
+                    continue
+                for edge in node.outgoing:
+                    if edge.guard in (None, "else"):
+                        continue
+                    where = dict(element_id=edge.id, diagram=diagram.name)
+                    try:
+                        expr = parse_expression(edge.guard)
+                    except LangError as exc:
+                        yield self.diag(
+                            f"guard [{edge.guard}] on branch of "
+                            f"{node.name!r}: {exc}", **where)
+                        continue
+                    try:
+                        result = checker.check_expr(expr)
+                    except LangError as exc:
+                        yield self.diag(
+                            f"guard [{edge.guard}] on branch of "
+                            f"{node.name!r}: {exc}", **where)
+                        continue
+                    if result is Type.STRING:
+                        yield self.diag(
+                            f"guard [{edge.guard}] has type string",
+                            **where)
+
+
+@register
+class TagExpressionsRule(Rule):
+    rule_id = "tag-expressions"
+    description = ("Expression-valued stereotype tags (dest/source/size/"
+                   "root/iterations/numthreads) parse and resolve.")
+
+    EXPRESSION_TAGS = ("dest", "source", "size", "root", "iterations",
+                       "numthreads")
+
+    def check(self, ctx: CheckContext) -> Iterator[Diagnostic]:
+        checker = _checker_for(ctx)
+        for diagram in ctx.model.diagrams:
+            for node in diagram.nodes:
+                for application in node.applied:
+                    for tag_name, value in application.items():
+                        if tag_name not in self.EXPRESSION_TAGS:
+                            continue
+                        if not isinstance(value, str):
+                            continue
+                        where = dict(element_id=node.id,
+                                     diagram=diagram.name)
+                        label = (f"tag {tag_name} of "
+                                 f"<<{application.stereotype.name}>> on "
+                                 f"{node.name!r}")
+                        try:
+                            expr = parse_expression(value)
+                        except LangError as exc:
+                            yield self.diag(f"{label}: {exc}", **where)
+                            continue
+                        try:
+                            result = checker.check_expr(expr)
+                        except LangError as exc:
+                            yield self.diag(f"{label}: {exc}", **where)
+                            continue
+                        if not result.is_numeric:
+                            yield self.diag(
+                                f"{label} has type {result}, expected "
+                                "numeric", **where)
+
+
+@register
+class CommunicationConsistencyRule(Rule):
+    rule_id = "communication-consistency"
+    default_severity = Severity.WARNING
+    description = ("Models containing sends also contain receives "
+                   "(and vice versa).")
+
+    def check(self, ctx: CheckContext) -> Iterator[Diagnostic]:
+        stereotypes = {performance_stereotype(node)
+                       for node in ctx.model.all_nodes()}
+        has_send = "send+" in stereotypes
+        has_recv = "recv+" in stereotypes
+        if has_send and not has_recv:
+            yield self.diag(
+                "model contains <<send+>> but no <<recv+>>; sends will "
+                "never be matched")
+        if has_recv and not has_send:
+            yield self.diag(
+                "model contains <<recv+>> but no <<send+>>; receives will "
+                "block forever")

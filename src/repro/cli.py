@@ -1,0 +1,191 @@
+"""Command-line interface: ``prophet <command>``.
+
+Commands mirror the Fig. 2 tool flow:
+
+* ``prophet sample -o model.xml`` — write the paper's sample model;
+* ``prophet check model.xml [--mcf rules.xml]`` — run the Model Checker;
+* ``prophet transform model.xml --to cpp|python|skeleton [-o out]`` —
+  the Fig. 5 transformation;
+* ``prophet simulate model.xml --processes 4 ... [--trace tf.csv]`` —
+  the Performance Estimator (prints the report, writes the TF);
+* ``prophet info model.xml`` — model statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ProphetError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prophet",
+        description="Performance Prophet (reproduction): UML performance "
+                    "models, automatic transformation to C++/Python, and "
+                    "simulation-based prediction.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sample = commands.add_parser(
+        "sample", help="write the paper's Fig. 7 sample model as XML")
+    sample.add_argument("-o", "--output", default="sample_model.xml")
+    sample.add_argument("--kind", choices=("sample", "kernel6"),
+                        default="sample")
+
+    check = commands.add_parser("check", help="run the Model Checker")
+    check.add_argument("model")
+    check.add_argument("--mcf", help="model checking file (XML)")
+
+    transform = commands.add_parser(
+        "transform", help="transform the model (Fig. 5 algorithm)")
+    transform.add_argument("model")
+    transform.add_argument("--to", choices=("cpp", "python", "skeleton"),
+                           default="cpp")
+    transform.add_argument("-o", "--output",
+                           help="output file (default: stdout)")
+    transform.add_argument("--header", action="store_true",
+                           help="also print/write the C++ runtime header")
+    transform.add_argument("--numbered", action="store_true",
+                           help="number output lines (as in Fig. 8)")
+
+    simulate = commands.add_parser(
+        "simulate", help="evaluate the model with the Performance "
+                         "Estimator")
+    simulate.add_argument("model")
+    simulate.add_argument("--nodes", type=int, default=1)
+    simulate.add_argument("--ppn", type=int, default=1,
+                          help="processors per node")
+    simulate.add_argument("--processes", type=int, default=1)
+    simulate.add_argument("--threads", type=int, default=1,
+                          help="threads per process")
+    simulate.add_argument("--placement", choices=("block", "cyclic"),
+                          default="block")
+    simulate.add_argument("--latency", type=float, default=1.0e-6)
+    simulate.add_argument("--bandwidth", type=float, default=1.0e9)
+    simulate.add_argument("--mode",
+                          choices=("codegen", "interp", "analytic"),
+                          default="codegen")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--trace", help="write the TF to this path")
+    simulate.add_argument("--trace-format", choices=("csv", "jsonl"),
+                          default="csv")
+    simulate.add_argument("--no-gantt", action="store_true")
+
+    info = commands.add_parser("info", help="print model statistics")
+    info.add_argument("model")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ProphetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "sample":
+        return _cmd_sample(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "transform":
+        return _cmd_transform(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "info":
+        return _cmd_info(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _load(path: str):
+    from repro.prophet import PerformanceProphet
+    return PerformanceProphet.open(path)
+
+
+def _cmd_sample(args) -> int:
+    from repro.samples import build_kernel6_model, build_sample_model
+    from repro.xmlio.writer import write_model
+    model = (build_sample_model() if args.kind == "sample"
+             else build_kernel6_model())
+    path = write_model(model, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.prophet import PerformanceProphet
+    prophet = PerformanceProphet.open(args.model, mcf_path=args.mcf)
+    report = prophet.check()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_transform(args) -> int:
+    prophet = _load(args.model)
+    if args.to == "cpp":
+        artifacts = prophet.to_cpp()
+        text = (artifacts.numbered_source() + "\n" if args.numbered
+                else artifacts.source)
+        extra = artifacts.header if args.header else None
+    elif args.to == "python":
+        artifacts = prophet.to_python()
+        text, extra = artifacts.source, None
+    else:
+        artifacts = prophet.to_skeleton()
+        text, extra = artifacts.source, None
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+        if extra is not None:
+            header_path = Path(args.output).with_name("prophet_runtime.h")
+            header_path.write_text(extra, encoding="utf-8")
+            print(f"wrote {header_path}")
+    else:
+        print(text, end="")
+        if extra is not None:
+            print(extra, end="")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.machine.network import NetworkConfig
+    from repro.machine.params import SystemParameters
+    prophet = _load(args.model)
+    params = SystemParameters(
+        nodes=args.nodes, processors_per_node=args.ppn,
+        processes=args.processes, threads_per_process=args.threads,
+        placement=args.placement)
+    network = NetworkConfig(latency=args.latency,
+                            bandwidth=args.bandwidth)
+    if args.mode == "analytic":
+        print(prophet.estimate_analytic(params, network).summary())
+        return 0
+    result = prophet.estimate(params, network, mode=args.mode,
+                              seed=args.seed)
+    print(prophet.report(result, with_gantt=not args.no_gantt))
+    if args.trace:
+        result.write_trace_file(args.trace, args.trace_format)
+        print(f"\nwrote trace to {args.trace}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    prophet = _load(args.model)
+    stats = prophet.model.statistics()
+    print(f"model: {prophet.model.name}")
+    for key, value in stats.items():
+        print(f"  {key}: {value}")
+    print(f"  main diagram: {prophet.model.main_diagram_name}")
+    for diagram in prophet.model.diagrams:
+        print(f"  diagram {diagram.name!r}: {len(diagram)} nodes, "
+              f"{len(diagram.edges)} edges")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

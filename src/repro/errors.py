@@ -1,0 +1,137 @@
+"""Exception hierarchy for the Performance Prophet reproduction.
+
+Every error raised by the library derives from :class:`ProphetError`, so
+callers can catch one base class at tool boundaries (the CLI does exactly
+that).  Sub-hierarchies mirror the subsystems: the mini-language, the UML
+metamodel, XML persistence, model checking, transformation, and simulation.
+"""
+
+from __future__ import annotations
+
+
+class ProphetError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Mini-language (repro.lang)
+# ---------------------------------------------------------------------------
+
+class LangError(ProphetError):
+    """Base class for errors in the C-like mini-language."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class LexError(LangError):
+    """Invalid character or malformed token in language source."""
+
+
+class ParseError(LangError):
+    """Source text does not conform to the mini-language grammar."""
+
+
+class TypeCheckError(LangError):
+    """Static type error in an expression or statement."""
+
+
+class EvalError(LangError):
+    """Runtime error while evaluating mini-language code."""
+
+
+class NameResolutionError(LangError):
+    """Reference to an undeclared variable or function."""
+
+
+# ---------------------------------------------------------------------------
+# UML metamodel (repro.uml)
+# ---------------------------------------------------------------------------
+
+class ModelError(ProphetError):
+    """Base class for structural errors in UML models."""
+
+
+class StereotypeError(ModelError):
+    """Illegal stereotype definition or application."""
+
+
+class TagError(StereotypeError):
+    """Tagged value violates its tag definition (unknown tag, bad type)."""
+
+
+class DiagramError(ModelError):
+    """Illegal diagram construction (duplicate ids, bad edges, ...)."""
+
+
+class BuilderError(ModelError):
+    """Misuse of the fluent model builder."""
+
+
+# ---------------------------------------------------------------------------
+# XML persistence (repro.xmlio)
+# ---------------------------------------------------------------------------
+
+class XmlError(ProphetError):
+    """Base class for XML serialization errors."""
+
+
+class XmlFormatError(XmlError):
+    """Input XML is not a valid model/MCF/CF document."""
+
+
+# ---------------------------------------------------------------------------
+# Model checking (repro.checker)
+# ---------------------------------------------------------------------------
+
+class CheckError(ProphetError):
+    """Raised when a model fails validation and the caller demanded success."""
+
+    def __init__(self, message: str, diagnostics=None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
+# ---------------------------------------------------------------------------
+# Transformation (repro.transform)
+# ---------------------------------------------------------------------------
+
+class TransformError(ProphetError):
+    """Base class for model-to-code transformation errors."""
+
+
+class UnstructuredFlowError(TransformError):
+    """The activity graph cannot be expressed as structured code."""
+
+
+class UnsupportedElementError(TransformError):
+    """The transformation met a modeling element it has no mapping for."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation (repro.sim) and estimation (repro.estimator)
+# ---------------------------------------------------------------------------
+
+class SimulationError(ProphetError):
+    """Base class for simulation-kernel errors."""
+
+
+class DeadlockError(SimulationError):
+    """The event calendar drained while processes were still blocked."""
+
+    def __init__(self, message: str, blocked=None) -> None:
+        super().__init__(message)
+        self.blocked = list(blocked or [])
+
+
+class EstimatorError(ProphetError):
+    """Errors raised while configuring or running the Performance Estimator."""
+
+
+class TraceError(ProphetError):
+    """Malformed trace file or inconsistent trace content."""

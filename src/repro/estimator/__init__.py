@@ -1,0 +1,20 @@
+"""The Performance Estimator (Fig. 2, right half).
+
+Takes the PMP (transformed model) and SP (system parameters), builds the
+machine model, integrates program and machine, evaluates by simulation,
+and produces the trace file (TF) that feeds performance visualization.
+"""
+
+from repro.estimator.trace import TraceRecord, TraceRecorder, read_trace, write_trace
+from repro.estimator.manager import (
+    EstimationResult,
+    PerformanceEstimator,
+    estimate,
+)
+from repro.estimator.analysis import TraceAnalysis
+
+__all__ = [
+    "TraceRecord", "TraceRecorder", "read_trace", "write_trace",
+    "PerformanceEstimator", "EstimationResult", "estimate",
+    "TraceAnalysis",
+]

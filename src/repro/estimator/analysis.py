@@ -1,0 +1,125 @@
+"""Trace analysis: the numbers visualization and reports are built from.
+
+Consumes only :class:`~repro.estimator.trace.TraceRecord` lists (the TF),
+exactly as Teuta's performance-visualization components do.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.estimator.trace import TraceRecord
+from repro.sim.stats import Table
+
+
+@dataclass
+class ElementStats:
+    element: str
+    kind: str
+    count: int
+    total_time: float
+    mean_time: float
+    min_time: float
+    max_time: float
+
+
+class TraceAnalysis:
+    def __init__(self, records: list[TraceRecord]) -> None:
+        self.records = list(records)
+        self.work_records = [r for r in self.records
+                             if r.kind not in ("process",)]
+
+    # -- global ------------------------------------------------------------
+
+    def makespan(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(record.end for record in self.records)
+
+    def total_busy_time(self) -> float:
+        """Sum of all action/critical interval durations (work time)."""
+        return sum(record.duration for record in self.work_records
+                   if record.kind in ("action", "critical"))
+
+    def communication_time(self) -> float:
+        """Sum of communication interval durations (includes wait time)."""
+        kinds = ("send", "recv", "barrier", "bcast", "scatter",
+                 "gather", "reduce", "allreduce")
+        return sum(record.duration for record in self.work_records
+                   if record.kind in kinds)
+
+    # -- groupings ------------------------------------------------------------
+
+    def by_element(self) -> list[ElementStats]:
+        """Per-element inclusive statistics, ordered by total time desc."""
+        tables: dict[tuple[str, str], Table] = {}
+        for record in self.work_records:
+            key = (record.element, record.kind)
+            table = tables.get(key)
+            if table is None:
+                table = Table(record.element)
+                tables[key] = table
+            table.record(record.duration)
+        out = [
+            ElementStats(
+                element=element, kind=kind, count=table.count,
+                total_time=table.total, mean_time=table.mean(),
+                min_time=table.minimum, max_time=table.maximum,
+            )
+            for (element, kind), table in tables.items()
+        ]
+        out.sort(key=lambda s: (-s.total_time, s.element))
+        return out
+
+    def by_process(self) -> dict[int, float]:
+        """pid → busy (work-interval) time."""
+        busy: dict[int, float] = defaultdict(float)
+        for record in self.work_records:
+            if record.kind in ("action", "critical"):
+                busy[record.pid] += record.duration
+        return dict(busy)
+
+    def process_spans(self) -> dict[int, tuple[float, float]]:
+        """pid → (first start, last end) over all its records."""
+        spans: dict[int, tuple[float, float]] = {}
+        for record in self.records:
+            if record.pid < 0:
+                continue
+            start, end = spans.get(record.pid, (record.start, record.end))
+            spans[record.pid] = (min(start, record.start),
+                                 max(end, record.end))
+        return spans
+
+    def intervals_for(self, pid: int,
+                      tid: int | None = None) -> list[TraceRecord]:
+        return [record for record in self.work_records
+                if record.pid == pid
+                and (tid is None or record.tid == tid)]
+
+    def kind_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = defaultdict(int)
+        for record in self.work_records:
+            histogram[record.kind] += 1
+        return dict(histogram)
+
+    # -- comparison ------------------------------------------------------------
+
+    def equivalent_to(self, other: "TraceAnalysis",
+                      tolerance: float = 1e-9) -> bool:
+        """Observational equality of two traces (element/timing-wise),
+        ignoring uids (strand numbering is backend-specific)."""
+        mine = sorted((r.kind, r.element, r.pid, r.tid,
+                       round(r.start, 9), round(r.end, 9))
+                      for r in self.work_records)
+        theirs = sorted((r.kind, r.element, r.pid, r.tid,
+                         round(r.start, 9), round(r.end, 9))
+                        for r in other.work_records)
+        if len(mine) != len(theirs):
+            return False
+        for a, b in zip(mine, theirs):
+            if a[:4] != b[:4]:
+                return False
+            if abs(a[4] - b[4]) > tolerance or abs(a[5] - b[5]) > tolerance:
+                return False
+        return True

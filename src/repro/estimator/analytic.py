@@ -1,0 +1,287 @@
+"""Analytic model evaluation — the "hybrid" fast path.
+
+The authors' companion paper (Pllana et al., CISIS 2008, cited as [15])
+combines simulation with mathematical modeling.  This module is that
+extension: it evaluates a model *without* simulation by walking the
+region tree once per process and composing closed-form times:
+
+* actions/criticals: their cost expression;
+* branches/drawn loops: resolved deterministically by evaluating guards
+  and code fragments (the same semantics the backends use);
+* ``<<loop+>>`` nodes: body time × iterations (with a fast path when the
+  body cannot mutate state);
+* ``<<parallel+>>`` regions: the standard makespan lower bound
+  ``max(longest thread, total work / processors)``;
+* fork/join: max over arms;
+* communication: Hockney service demands (latency + bytes/bandwidth,
+  tree factors for collectives) without blocking semantics.
+
+The result is a *bound*: exact for contention-free compute models (tested
+against simulation), optimistic when queueing, lock contention, or
+rendezvous blocking matter.  Its value is speed — no event calendar — for
+interactive what-if sweeps; the simulator remains the reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import EstimatorError, TransformError
+from repro.lang.ast import Expr, Program
+from repro.lang.evaluator import Environment, Evaluator
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.types import Type
+from repro.machine.network import Network, NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.sim.core import Simulation
+from repro.transform.algorithm import build_ir, cost_argument
+from repro.transform.flowgraph import (
+    BranchRegion,
+    CycleRegion,
+    ForkRegion,
+    LeafRegion,
+    Region,
+    SequenceRegion,
+)
+from repro.uml.activities import (
+    ActionNode,
+    ActivityInvocationNode,
+    LoopNode,
+    ParallelRegionNode,
+)
+from repro.lang.ast import Assign, VarDecl, walk_stmts
+from repro.uml.model import Model
+from repro.uml.perf_profile import (
+    ALLREDUCE_PLUS,
+    BARRIER_PLUS,
+    BCAST_PLUS,
+    GATHER_PLUS,
+    RECV_PLUS,
+    REDUCE_PLUS,
+    SCATTER_PLUS,
+    SEND_PLUS,
+    performance_stereotype,
+)
+
+
+@dataclass
+class AnalyticResult:
+    model_name: str
+    params: SystemParameters
+    per_process: list[float]
+    makespan: float
+
+    def summary(self) -> str:
+        lines = [f"model:     {self.model_name} (analytic bound)",
+                 f"machine:   {self.params.describe()}",
+                 f"makespan:  {self.makespan:.6g} s"]
+        for pid, value in enumerate(self.per_process):
+            lines.append(f"  rank {pid}: {value:.6g} s")
+        return "\n".join(lines)
+
+
+class AnalyticEvaluator:
+    """Evaluates a model analytically under given system parameters."""
+
+    def __init__(self, model: Model,
+                 params: SystemParameters | None = None,
+                 network: NetworkConfig | None = None) -> None:
+        self.model = model
+        self.params = params or SystemParameters()
+        # A throwaway Simulation anchors the Network helper (no events).
+        self._network = Network(Simulation(), network or NetworkConfig())
+        self.ir = build_ir(model)
+        self.functions = model.function_defs()
+        self._expr_cache: dict[str, Expr] = {}
+        self._program_cache: dict[str, Program] = {}
+
+    # -- caches --------------------------------------------------------------
+
+    def _expr(self, source: str) -> Expr:
+        cached = self._expr_cache.get(source)
+        if cached is None:
+            cached = parse_expression(source)
+            self._expr_cache[source] = cached
+        return cached
+
+    def _program(self, source: str) -> Program:
+        cached = self._program_cache.get(source)
+        if cached is None:
+            cached = parse_program(source)
+            self._program_cache[source] = cached
+        return cached
+
+    # -- entry ---------------------------------------------------------------
+
+    def evaluate(self) -> AnalyticResult:
+        per_process = [self._process_time(pid)
+                       for pid in range(self.params.processes)]
+        return AnalyticResult(
+            model_name=self.model.name,
+            params=self.params,
+            per_process=per_process,
+            makespan=max(per_process) if per_process else 0.0,
+        )
+
+    def _process_time(self, pid: int) -> float:
+        evaluator = Evaluator(self.functions)
+        env = Environment()
+        for variable in self.model.global_variables():
+            value = (evaluator.eval_expr(self._expr(variable.init), env)
+                     if variable.init is not None else None)
+            env.declare(variable.name, variable.type, value)
+        for variable in self.model.local_variables():
+            value = (evaluator.eval_expr(self._expr(variable.init), env)
+                     if variable.init is not None else None)
+            env.declare(variable.name, variable.type, value)
+        # Intrinsics at process scope so cost-function bodies see them
+        # (same visibility as the interp/codegen backends).
+        env.declare("uid", Type.INT, pid)
+        env.declare("pid", Type.INT, pid)
+        env.declare("tid", Type.INT, 0)
+        env.declare("size", Type.INT, self.params.processes)
+        env.declare("nnodes", Type.INT, self.params.nodes)
+        env.declare("nthreads", Type.INT,
+                    self.params.threads_per_process)
+        main = self.ir.regions[self.model.main_diagram_name]
+        return self._region_time(main, evaluator, env.child())
+
+    # -- region times -------------------------------------------------------
+
+    def _region_time(self, region: Region, evaluator: Evaluator,
+                     env: Environment) -> float:
+        if isinstance(region, SequenceRegion):
+            return sum(self._region_time(item, evaluator, env)
+                       for item in region.items)
+        if isinstance(region, LeafRegion):
+            return self._leaf_time(region.node, evaluator, env)
+        if isinstance(region, BranchRegion):
+            for guard, arm in region.arms:
+                if evaluator.eval_guard(self._expr(guard), env):
+                    return self._region_time(arm, evaluator, env.child())
+            if region.else_arm is not None:
+                return self._region_time(region.else_arm, evaluator,
+                                         env.child())
+            return 0.0
+        if isinstance(region, CycleRegion):
+            total = 0.0
+            while True:
+                total += self._region_time(region.pre, evaluator, env)
+                if region.break_condition is not None:
+                    done = evaluator.eval_guard(
+                        self._expr(region.break_condition), env)
+                else:
+                    done = not evaluator.eval_guard(
+                        self._expr(region.negated_stay_guard), env)
+                if done:
+                    return total
+                total += self._region_time(region.post, evaluator, env)
+        if isinstance(region, ForkRegion):
+            return max((self._region_time(arm, evaluator, env.child())
+                        for arm in region.arms), default=0.0)
+        raise TransformError(
+            f"analytic evaluator: unknown region "
+            f"{type(region).__name__}")
+
+    def _leaf_time(self, node, evaluator: Evaluator,
+                   env: Environment) -> float:
+        if isinstance(node, ActivityInvocationNode):
+            return self._region_time(self.ir.regions[node.behavior],
+                                     evaluator, env)
+        if isinstance(node, LoopNode):
+            iterations = int(evaluator.eval_expr(
+                self._expr(node.iterations), env))
+            if iterations <= 0:
+                return 0.0
+            body = self.ir.regions[node.behavior]
+            if self._is_state_free(body):
+                return iterations * self._region_time(body, evaluator, env)
+            return sum(self._region_time(body, evaluator, env)
+                       for _ in range(iterations))
+        if isinstance(node, ParallelRegionNode):
+            declared = int(evaluator.eval_expr(
+                self._expr(node.num_threads), env))
+            threads = declared if declared > 0 \
+                else self.params.threads_per_process
+            body = self.ir.regions[node.behavior]
+            times = []
+            for tid in range(threads):
+                thread_env = env.child()
+                thread_env.declare("tid", Type.INT, tid)
+                times.append(self._region_time(body, evaluator,
+                                               thread_env))
+            processors = self.params.processors_per_node
+            # Makespan lower bound on `processors` identical machines.
+            return max(max(times), sum(times) / processors)
+        if isinstance(node, ActionNode):
+            return self._action_time(node, evaluator, env)
+        raise EstimatorError(
+            f"analytic evaluator cannot time {type(node).__name__}")
+
+    def _action_time(self, node: ActionNode, evaluator: Evaluator,
+                     env: Environment) -> float:
+        stereotype = performance_stereotype(node)
+        if stereotype is None:
+            return 0.0
+        if node.code is not None:
+            evaluator.run_program(self._program(node.code), env)
+
+        def tag(name: str, default: str = "0") -> float:
+            raw = node.tag_value(stereotype, name)
+            source = raw if isinstance(raw, str) else default
+            return float(evaluator.eval_expr(self._expr(source), env))
+
+        intra = self.params.nodes == 1
+        network = self._network
+        processes = self.params.processes
+        if stereotype in (SEND_PLUS, RECV_PLUS):
+            return network.transfer_time(tag("size"), intra)
+        if stereotype == BARRIER_PLUS:
+            return network.tree_depth(processes) * \
+                network.transfer_time(0.0, intra)
+        if stereotype in (BCAST_PLUS, REDUCE_PLUS):
+            return network.tree_depth(processes) * \
+                network.transfer_time(tag("size"), intra)
+        if stereotype == ALLREDUCE_PLUS:
+            return 2.0 * network.tree_depth(processes) * \
+                network.transfer_time(tag("size"), intra)
+        if stereotype in (SCATTER_PLUS, GATHER_PLUS):
+            return max(processes - 1, 0) * \
+                network.transfer_time(tag("size"), intra)
+        cost = cost_argument(node)
+        if cost is None:
+            return 0.0
+        value = float(evaluator.eval_expr(self._expr(cost), env))
+        if value < 0 or math.isnan(value):
+            raise EstimatorError(
+                f"cost of {node.name!r} evaluated to {value}")
+        return value
+
+    def _is_state_free(self, region: Region,
+                       _seen: frozenset[str] = frozenset()) -> bool:
+        """True if no element reachable from ``region`` can mutate model
+        state (no code fragments with assignments), so all iterations of
+        a loop over it cost the same."""
+        for leaf in region.leaves():
+            node = leaf.node
+            code = getattr(node, "code", None)
+            if code is not None:
+                program = self._program(code)
+                for stmt in walk_stmts(program.body):
+                    if isinstance(stmt, (Assign, VarDecl)):
+                        return False
+            behavior = getattr(node, "behavior", None)
+            if behavior is not None and behavior not in _seen:
+                if not self._is_state_free(self.ir.regions[behavior],
+                                           _seen | {behavior}):
+                    return False
+        return True
+
+
+def evaluate_analytically(model: Model,
+                          params: SystemParameters | None = None,
+                          network: NetworkConfig | None = None
+                          ) -> AnalyticResult:
+    """One-shot analytic (hybrid) evaluation."""
+    return AnalyticEvaluator(model, params, network).evaluate()

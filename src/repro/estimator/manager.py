@@ -1,0 +1,194 @@
+"""The Simulation Manager: runs a performance model on a machine model.
+
+This is the Performance Estimator's orchestration (Fig. 2): take the PMP
+(the transformed model), build the machine from the SP, spawn one
+simulated process per rank executing the model body, run the simulation,
+and assemble the result (predicted time + trace file + machine
+statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import EstimatorError
+from repro.machine.cluster import Cluster
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.sim.core import Simulation
+from repro.sim.random import RandomStreams
+from repro.estimator.trace import TraceRecord, TraceRecorder, write_trace
+from repro.uml.model import Model
+from repro.workload.context import (
+    ExecContext,
+    ProcessState,
+    RuntimeState,
+    VarStore,
+)
+from repro.workload.mpi import Communicator
+
+
+@dataclass
+class EstimationResult:
+    """What one estimator run produces."""
+
+    model_name: str
+    params: SystemParameters
+    total_time: float
+    trace: list[TraceRecord]
+    process_finish_times: list[float]
+    node_utilization: list[float]
+    events_processed: int
+    mode: str
+
+    def write_trace_file(self, path: str | Path,
+                         fmt: str = "csv") -> Path:
+        """Write the TF for visualization (Fig. 2's Teuta ← TF arrow)."""
+        return write_trace(self.trace, path, fmt)
+
+    @property
+    def makespan(self) -> float:
+        return self.total_time
+
+    def summary(self) -> str:
+        lines = [
+            f"model:      {self.model_name}",
+            f"machine:    {self.params.describe()}",
+            f"mode:       {self.mode}",
+            f"predicted:  {self.total_time:.6g} s",
+            f"trace:      {len(self.trace)} record(s)",
+            f"sim events: {self.events_processed}",
+        ]
+        for index, utilization in enumerate(self.node_utilization):
+            lines.append(f"node {index} utilization: {utilization:.1%}")
+        return "\n".join(lines)
+
+
+@dataclass
+class PreparedModel:
+    """An evaluable representation, ready to run many times.
+
+    The paper's workflow is transform once, evaluate often (parameter
+    sweeps over SP); preparing separates the one-time transformation/
+    compilation cost from each evaluation.
+    """
+
+    model_name: str
+    mode: str
+    entry: object        # callable(ctx) -> generator
+    init_globals: object  # callable(store, c_div, c_mod, builtins)
+
+
+class PerformanceEstimator:
+    """Evaluates performance models by simulation.
+
+    ``mode`` selects the evaluable representation:
+
+    * ``"codegen"`` (default) — transform to Python and execute the
+      generated module (the paper's machine-efficient path);
+    * ``"interp"`` — interpret the UML model tree directly (the
+      human-usable-but-slow path the paper argues against).
+    """
+
+    def __init__(self, params: SystemParameters | None = None,
+                 network: NetworkConfig | None = None,
+                 seed: int = 0) -> None:
+        self.params = params or SystemParameters()
+        self.network = network or NetworkConfig()
+        self.seed = seed
+
+    def estimate(self, model: Model, mode: str = "codegen",
+                 check: bool = True) -> EstimationResult:
+        if check:
+            from repro.checker import ModelChecker
+            ModelChecker().assert_valid(model)
+        return self.run_prepared(self.prepare(model, mode))
+
+    def prepare(self, model: Model,
+                mode: str = "codegen") -> PreparedModel:
+        """One-time transformation of ``model`` into an evaluable form."""
+        if mode == "codegen":
+            entry, init_globals = self._prepare_codegen(model)
+        elif mode == "interp":
+            entry, init_globals = self._prepare_interp(model)
+        else:
+            raise EstimatorError(
+                f"unknown evaluation mode {mode!r} "
+                "(expected 'codegen' or 'interp')")
+        return PreparedModel(model.name, mode, entry, init_globals)
+
+    def run_prepared(self, prepared: PreparedModel) -> EstimationResult:
+        """Evaluate a prepared model (repeatable, no transform cost)."""
+        return self._run(prepared.model_name, prepared.entry,
+                         prepared.init_globals, prepared.mode)
+
+    # -- representation preparation -------------------------------------------
+
+    @staticmethod
+    def _prepare_codegen(model: Model):
+        from repro.transform.python.emitter import transform_to_python
+        artifacts = transform_to_python(model)
+        module = artifacts.compile()
+        return (getattr(module, artifacts.entry_point),
+                module.init_globals)
+
+    @staticmethod
+    def _prepare_interp(model: Model):
+        from repro.transform.interp import ModelInterpreter
+        interpreter = ModelInterpreter(model)
+        return interpreter.main, interpreter.init_globals
+
+    # -- the run itself -----------------------------------------------------------
+
+    def _run(self, model_name: str, entry, init_globals,
+             mode: str) -> EstimationResult:
+        sim = Simulation()
+        cluster = Cluster(sim, self.params, self.network)
+        comm = Communicator(sim, cluster)
+        trace = TraceRecorder()
+        runtime = RuntimeState(sim=sim, cluster=cluster, comm=comm,
+                               trace=trace, model_name=model_name)
+        runtime.random = RandomStreams(self.seed)  # available to elements
+
+        contexts = []
+        for pid in range(self.params.processes):
+            store = VarStore()
+            init_globals(store, ExecContext.c_div, ExecContext.c_mod,
+                         ExecContext.builtins)
+            process_state = ProcessState(pid=pid, v=store)
+            ctx = ExecContext(runtime, process_state, tid=0)
+            contexts.append(ctx)
+            sim.spawn(f"rank{pid}", entry(ctx))
+
+        total = sim.run()
+
+        finish_times = []
+        for process in sim.all_processes:
+            if process.name.startswith("rank"):
+                finish_times.append(process.finished_at or total)
+        for pid, (ctx, finished) in enumerate(zip(contexts, finish_times)):
+            trace.record("process", -1, f"rank{pid}", ctx.uid, pid, 0,
+                         0.0, finished)
+
+        return EstimationResult(
+            model_name=model_name,
+            params=self.params,
+            total_time=total,
+            trace=trace.sorted(),
+            process_finish_times=finish_times,
+            node_utilization=cluster.utilization_by_node(),
+            events_processed=sim.events_processed,
+            mode=mode,
+        )
+
+
+def estimate(model: Model,
+             params: SystemParameters | None = None,
+             network: NetworkConfig | None = None,
+             mode: str = "codegen",
+             seed: int = 0,
+             check: bool = True) -> EstimationResult:
+    """One-shot convenience wrapper around :class:`PerformanceEstimator`."""
+    return PerformanceEstimator(params, network, seed).estimate(
+        model, mode=mode, check=check)

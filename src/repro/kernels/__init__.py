@@ -1,0 +1,35 @@
+"""Livermore Fortran Kernels and cost-function calibration.
+
+The paper derives kernel 6's performance model from its code (Fig. 3):
+profile the kernel, collapse it to one ``<<action+>>``, attach a fitted
+cost function ``T_K6 = F_K6(...)``.  This package supplies the kernels
+(numpy and pure-Python reference implementations, with analytic operation
+counts) and the calibration harness that measures them on the host and
+fits the per-operation constants the cost functions need.
+"""
+
+from repro.kernels.livermore import (
+    KERNELS,
+    Kernel,
+    kernel1,
+    kernel3,
+    kernel5,
+    kernel6,
+    kernel7,
+    kernel11,
+    kernel12,
+)
+from repro.kernels.calibrate import (
+    CalibrationResult,
+    calibrate_kernel,
+    fit_linear_cost,
+    measure_kernel,
+)
+
+__all__ = [
+    "KERNELS", "Kernel",
+    "kernel1", "kernel3", "kernel5", "kernel6", "kernel7", "kernel11",
+    "kernel12",
+    "measure_kernel", "fit_linear_cost", "calibrate_kernel",
+    "CalibrationResult",
+]

@@ -1,0 +1,105 @@
+"""Cost-function calibration: from measurements to model constants.
+
+The Fig. 3 pipeline needs the constant in ``T_K6 = C6 * M * N(N-1)/2``.
+We measure the kernel at several sizes on the host, then least-squares
+fit the per-operation constant ``C`` in ``t = C * flops`` (through the
+origin — zero work takes zero time).  The result plugs straight into a
+model's cost function via :meth:`CalibrationResult.cost_function_source`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ProphetError
+from repro.kernels.livermore import KERNELS, Kernel
+
+
+def measure_kernel(kernel: Kernel | str, *sizes: int,
+                   repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of one kernel invocation."""
+    if isinstance(kernel, str):
+        kernel = KERNELS[kernel]
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        kernel.run(*sizes)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def fit_linear_cost(flops: list[float], times: list[float]) -> float:
+    """Least-squares fit of C in t = C * flops (through the origin)."""
+    if len(flops) != len(times) or not flops:
+        raise ProphetError("flops and times must align and be non-empty")
+    flops_array = np.asarray(flops, dtype=float)
+    times_array = np.asarray(times, dtype=float)
+    denominator = float(flops_array @ flops_array)
+    if denominator <= 0:
+        raise ProphetError("cannot fit a cost constant to zero work")
+    return float(flops_array @ times_array) / denominator
+
+
+@dataclass
+class CalibrationResult:
+    kernel_name: str
+    cost_per_op: float          # seconds per counted operation
+    sizes: list[tuple[int, ...]]
+    times: list[float]
+    flops: list[float]
+    relative_errors: list[float] = field(default_factory=list)
+
+    def predicted(self, *sizes: int) -> float:
+        kernel = KERNELS[self.kernel_name]
+        return self.cost_per_op * kernel.flops(*sizes)
+
+    def cost_function_source(self, *size_names: str) -> str:
+        """Mini-language source of the fitted cost function.
+
+        For kernel 6 with size names ("N", "M"):
+        ``C * (2 * M * (N * (N - 1) / 2))`` with C inlined.
+        """
+        kernel = KERNELS[self.kernel_name]
+        if len(size_names) != len(kernel.size_args):
+            raise ProphetError(
+                f"kernel {self.kernel_name} takes sizes "
+                f"{kernel.size_args}, got {size_names}")
+        formula = _FLOP_FORMULAS[self.kernel_name]
+        substituted = formula
+        for placeholder, name in zip(kernel.size_args, size_names):
+            substituted = substituted.replace(f"<{placeholder}>", name)
+        return f"{self.cost_per_op!r} * ({substituted})"
+
+
+#: Mini-language spellings of each kernel's operation count.
+_FLOP_FORMULAS = {
+    "k1": "5 * <n>",
+    "k3": "2 * <n>",
+    "k5": "2 * (<n> - 1)",
+    "k6": "2 * <m> * (<n> * (<n> - 1) / 2)",
+    "k7": "16 * <n>",
+    "k11": "<n> - 1",
+    "k12": "<n>",
+}
+
+
+def calibrate_kernel(name: str, sizes: list[tuple[int, ...]],
+                     repeats: int = 3) -> CalibrationResult:
+    """Measure ``name`` at each size tuple and fit its cost constant."""
+    kernel = KERNELS[name]
+    times: list[float] = []
+    flops: list[float] = []
+    for size in sizes:
+        times.append(measure_kernel(kernel, *size, repeats=repeats))
+        flops.append(float(kernel.flops(*size)))
+    constant = fit_linear_cost(flops, times)
+    result = CalibrationResult(name, constant, list(sizes), times, flops)
+    for work, observed in zip(flops, times):
+        predicted = constant * work
+        if observed > 0:
+            result.relative_errors.append(
+                abs(predicted - observed) / observed)
+    return result

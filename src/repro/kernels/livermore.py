@@ -1,0 +1,209 @@
+"""A representative subset of the Livermore Fortran Kernels (McMahon 1986).
+
+Each kernel has a numpy implementation (used for timing), a pure-Python
+reference (used to verify the numpy one in tests), and an analytic
+operation count (the workload term of its cost function).  Kernel 6 — the
+paper's example — is the general linear recurrence::
+
+    DO L = 1, M
+      DO i = 2, N
+        DO k = 1, i-1
+          W(i) = W(i) + B(i,k) * W(i-k)
+
+whose inner work is ``M * N*(N-1)/2`` multiply-add pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+def _rng(seed: int = 12345) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------------------
+# Kernel implementations
+# ---------------------------------------------------------------------------
+
+def kernel1(n: int, seed: int = 12345) -> np.ndarray:
+    """K1 — hydro fragment: x[k] = q + y[k] * (r*z[k+10] + t*z[k+11])."""
+    rng = _rng(seed)
+    q, r, t = 0.5, 0.2, 0.1
+    y = rng.random(n)
+    z = rng.random(n + 11)
+    return q + y * (r * z[10:10 + n] + t * z[11:11 + n])
+
+
+def kernel1_reference(n: int, seed: int = 12345) -> np.ndarray:
+    rng = _rng(seed)
+    q, r, t = 0.5, 0.2, 0.1
+    y = rng.random(n)
+    z = rng.random(n + 11)
+    x = np.empty(n)
+    for k in range(n):
+        x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11])
+    return x
+
+
+def kernel3(n: int, seed: int = 12345) -> float:
+    """K3 — inner product: q = sum z[k] * x[k]."""
+    rng = _rng(seed)
+    z = rng.random(n)
+    x = rng.random(n)
+    return float(z @ x)
+
+
+def kernel3_reference(n: int, seed: int = 12345) -> float:
+    rng = _rng(seed)
+    z = rng.random(n)
+    x = rng.random(n)
+    q = 0.0
+    for k in range(n):
+        q += z[k] * x[k]
+    return q
+
+
+def kernel5(n: int, seed: int = 12345) -> np.ndarray:
+    """K5 — tri-diagonal elimination: x[i] = z[i] * (y[i] - x[i-1]).
+
+    A true loop-carried recurrence; numpy cannot vectorize it directly,
+    so this *is* the reference algorithm (the paper's point about
+    sequential dependences).
+    """
+    rng = _rng(seed)
+    z = rng.random(n)
+    y = rng.random(n)
+    x = np.zeros(n)
+    for i in range(1, n):
+        x[i] = z[i] * (y[i] - x[i - 1])
+    return x
+
+
+def kernel6(n: int, m: int, seed: int = 12345) -> np.ndarray:
+    """K6 — general linear recurrence (the paper's Fig. 3 kernel).
+
+    The k-loop is a dot product of row i's leading coefficients with the
+    already-computed W values in reverse order.
+    """
+    rng = _rng(seed)
+    b = rng.random((n + 1, n + 1)) * 0.01
+    w = rng.random(n + 1)
+    for _ in range(m):
+        for i in range(2, n + 1):
+            # sum_{k=1}^{i-1} B(i,k) * W(i-k)
+            w[i] = w[i] + b[i, 1:i] @ w[i - 1:0:-1]
+    return w
+
+
+def kernel6_reference(n: int, m: int, seed: int = 12345) -> np.ndarray:
+    rng = _rng(seed)
+    b = rng.random((n + 1, n + 1)) * 0.01
+    w = rng.random(n + 1)
+    for _ in range(m):
+        for i in range(2, n + 1):
+            acc = 0.0
+            for k in range(1, i):
+                acc += b[i, k] * w[i - k]
+            w[i] = w[i] + acc
+    return w
+
+
+def kernel7(n: int, seed: int = 12345) -> np.ndarray:
+    """K7 — equation of state fragment (long arithmetic expression)."""
+    rng = _rng(seed)
+    q, r, t = 0.5, 0.2, 0.1
+    u = rng.random(n + 6)
+    z = rng.random(n)
+    y = rng.random(n)
+    un = u[:n]
+    return (un + r * (z + r * y)
+            + t * (u[3:3 + n] + r * (u[2:2 + n] + r * u[1:1 + n])
+                   + t * (u[6:6 + n] + q * (u[5:5 + n] + q * u[4:4 + n]))))
+
+
+def kernel7_reference(n: int, seed: int = 12345) -> np.ndarray:
+    rng = _rng(seed)
+    q, r, t = 0.5, 0.2, 0.1
+    u = rng.random(n + 6)
+    z = rng.random(n)
+    y = rng.random(n)
+    x = np.empty(n)
+    for k in range(n):
+        x[k] = (u[k] + r * (z[k] + r * y[k])
+                + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+                       + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4]))))
+    return x
+
+
+def kernel11(n: int, seed: int = 12345) -> np.ndarray:
+    """K11 — first sum (prefix sum): x[k] = x[k-1] + y[k]."""
+    rng = _rng(seed)
+    y = rng.random(n)
+    return np.cumsum(y)
+
+
+def kernel11_reference(n: int, seed: int = 12345) -> np.ndarray:
+    rng = _rng(seed)
+    y = rng.random(n)
+    x = np.empty(n)
+    x[0] = y[0]
+    for k in range(1, n):
+        x[k] = x[k - 1] + y[k]
+    return x
+
+
+def kernel12(n: int, seed: int = 12345) -> np.ndarray:
+    """K12 — first difference: x[k] = y[k+1] - y[k]."""
+    rng = _rng(seed)
+    y = rng.random(n + 1)
+    return np.diff(y)
+
+
+def kernel12_reference(n: int, seed: int = 12345) -> np.ndarray:
+    rng = _rng(seed)
+    y = rng.random(n + 1)
+    x = np.empty(n)
+    for k in range(n):
+        x[k] = y[k + 1] - y[k]
+    return x
+
+
+# ---------------------------------------------------------------------------
+# Registry with operation counts
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Kernel:
+    """One kernel: implementations plus its analytic operation count."""
+
+    name: str
+    description: str
+    run: Callable
+    reference: Callable
+    #: flops as a function of the size arguments the kernel takes.
+    flops: Callable
+    #: argument names, e.g. ("n",) or ("n", "m")
+    size_args: tuple[str, ...]
+
+
+KERNELS: dict[str, Kernel] = {
+    "k1": Kernel("k1", "hydro fragment", kernel1, kernel1_reference,
+                 lambda n: 5 * n, ("n",)),
+    "k3": Kernel("k3", "inner product", kernel3, kernel3_reference,
+                 lambda n: 2 * n, ("n",)),
+    "k5": Kernel("k5", "tri-diagonal elimination", kernel5, kernel5,
+                 lambda n: 2 * (n - 1), ("n",)),
+    "k6": Kernel("k6", "general linear recurrence (paper's Fig. 3)",
+                 kernel6, kernel6_reference,
+                 lambda n, m: 2 * m * (n * (n - 1) // 2), ("n", "m")),
+    "k7": Kernel("k7", "equation of state fragment", kernel7,
+                 kernel7_reference, lambda n: 16 * n, ("n",)),
+    "k11": Kernel("k11", "first sum", kernel11, kernel11_reference,
+                  lambda n: n - 1, ("n",)),
+    "k12": Kernel("k12", "first difference", kernel12, kernel12_reference,
+                  lambda n: n, ("n",)),
+}

@@ -1,0 +1,66 @@
+"""A small C-like language for performance-model annotations.
+
+The paper attaches three kinds of C-like text to UML models:
+
+* **cost functions** — ``double FA1() { return 0.5 * P; }`` (Fig. 8 lines
+  31-54), modeling the execution time of a code block;
+* **guards** on decision branches — ``GV == 1`` (Fig. 7(a));
+* **code fragments** associated with elements — ``GV = 1; P = 4;``
+  (Fig. 7(b), Fig. 8 lines 72-75).
+
+This package implements that language once so a single source string drives
+both the generated C++ *text* and the executable simulation: a lexer
+(:mod:`~repro.lang.lexer`), recursive-descent parser
+(:mod:`~repro.lang.parser`), static checker (:mod:`~repro.lang.typecheck`),
+tree-walking evaluator (:mod:`~repro.lang.evaluator`), and C++/Python
+emitters (:mod:`~repro.lang.cppgen`, :mod:`~repro.lang.pygen`).
+"""
+
+from repro.lang.ast import (
+    Assign,
+    Binary,
+    BoolLit,
+    Call,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FunctionDef,
+    If,
+    IntLit,
+    Name,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    Ternary,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.lang.cppgen import expr_to_cpp, function_to_cpp, stmts_to_cpp
+from repro.lang.evaluator import Environment, Evaluator, c_div, c_mod
+from repro.lang.lexer import tokenize
+from repro.lang.parser import (
+    parse_expression,
+    parse_function,
+    parse_function_body,
+    parse_program,
+)
+from repro.lang.pygen import expr_to_py, stmts_to_py
+from repro.lang.typecheck import TypeChecker, free_names
+from repro.lang.types import Type
+
+__all__ = [
+    "Assign", "Binary", "BoolLit", "Call", "Expr", "ExprStmt", "FloatLit",
+    "For", "FunctionDef", "If", "IntLit", "Name", "Param", "Program",
+    "Return", "Stmt", "StringLit", "Ternary", "Unary", "VarDecl", "While",
+    "Type", "tokenize",
+    "parse_expression", "parse_program", "parse_function",
+    "parse_function_body",
+    "Evaluator", "Environment", "c_div", "c_mod",
+    "TypeChecker", "free_names",
+    "expr_to_cpp", "stmts_to_cpp", "function_to_cpp",
+    "expr_to_py", "stmts_to_py",
+]

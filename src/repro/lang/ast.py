@@ -1,0 +1,249 @@
+"""AST node definitions for the mini-language.
+
+Nodes compare structurally (dataclass equality) with source positions
+excluded from comparison, so the property test ``parse(print(ast)) == ast``
+holds regardless of formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.types import Type
+
+
+@dataclass(frozen=True)
+class _Node:
+    """Base for all AST nodes; carries a source line for diagnostics."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Expr(_Node):
+    pass
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class FloatLit(Expr):
+    value: float
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    value: str
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-', '!', '+'
+    operand: Expr
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # '||' '&&' '==' '!=' '<' '<=' '>' '>=' '+' '-' '*' '/' '%'
+    left: Expr
+    right: Expr
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    func: str
+    args: tuple[Expr, ...]
+    line: int = field(default=0, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Stmt(_Node):
+    pass
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    type: Type
+    name: str
+    init: Expr | None = None
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``name op= value`` where ``op`` is '', '+', '-', '*' or '/'."""
+
+    name: str
+    op: str
+    value: Expr
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: tuple[Stmt, ...]
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """C-style ``for (init; cond; step) body``.
+
+    ``init`` is a VarDecl or Assign (or None); ``step`` an Assign (or None);
+    ``cond`` an expression (or None for an infinite loop).
+    """
+
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: tuple[Stmt, ...]
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Expr | None = None
+    line: int = field(default=0, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Programs and functions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Program(_Node):
+    """A statement list — a parsed code fragment."""
+
+    body: tuple[Stmt, ...]
+
+    def __iter__(self):
+        return iter(self.body)
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+
+@dataclass(frozen=True)
+class Param(_Node):
+    type: Type
+    name: str
+
+
+@dataclass(frozen=True)
+class FunctionDef(_Node):
+    """A cost function: ``double FA1() { return 0.5 * P; }``."""
+
+    name: str
+    params: tuple[Param, ...]
+    return_type: Type
+    body: tuple[Stmt, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def signature(self) -> str:
+        params = ", ".join(f"{p.type} {p.name}" for p in self.params)
+        return f"{self.return_type} {self.name}({params})"
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    if isinstance(expr, Unary):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, Ternary):
+        yield from walk_expr(expr.cond)
+        yield from walk_expr(expr.then)
+        yield from walk_expr(expr.other)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+
+
+def walk_stmts(stmts):
+    """Yield every statement in ``stmts`` recursively, pre-order."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                yield from walk_stmts((stmt.init,))
+            if stmt.step is not None:
+                yield from walk_stmts((stmt.step,))
+            yield from walk_stmts(stmt.body)
+
+
+def stmt_expressions(stmt: Stmt):
+    """Yield the immediate expressions referenced by one statement."""
+    if isinstance(stmt, VarDecl) and stmt.init is not None:
+        yield stmt.init
+    elif isinstance(stmt, Assign):
+        yield stmt.value
+    elif isinstance(stmt, ExprStmt):
+        yield stmt.expr
+    elif isinstance(stmt, If):
+        yield stmt.cond
+    elif isinstance(stmt, While):
+        yield stmt.cond
+    elif isinstance(stmt, For):
+        if stmt.cond is not None:
+            yield stmt.cond
+    elif isinstance(stmt, Return) and stmt.value is not None:
+        yield stmt.value

@@ -1,0 +1,72 @@
+"""Built-in functions available to cost functions and code fragments.
+
+Cost functions in the paper may be "composed using other functions that are
+defined in the performance model"; on top of that, a standard set of math
+builtins is always in scope (the C math functions the generated C++ would
+get from ``<cmath>``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import EvalError
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """A built-in function: a name, an arity, a Python callable, and the
+    C++ spelling the code generator should use."""
+
+    name: str
+    arity: int
+    fn: Callable
+    cpp_name: str
+
+    def __call__(self, *args):
+        if len(args) != self.arity:
+            raise EvalError(
+                f"builtin {self.name}() takes {self.arity} argument(s), "
+                f"got {len(args)}")
+        try:
+            return self.fn(*args)
+        except (ValueError, OverflowError, ZeroDivisionError) as exc:
+            raise EvalError(f"builtin {self.name}(): {exc}") from exc
+
+
+def _log2(x):
+    return math.log2(x)
+
+
+BUILTINS: dict[str, Builtin] = {
+    b.name: b
+    for b in [
+        Builtin("sqrt", 1, math.sqrt, "std::sqrt"),
+        Builtin("log", 1, math.log, "std::log"),
+        Builtin("log2", 1, _log2, "std::log2"),
+        Builtin("log10", 1, math.log10, "std::log10"),
+        Builtin("exp", 1, math.exp, "std::exp"),
+        Builtin("pow", 2, math.pow, "std::pow"),
+        Builtin("floor", 1, math.floor, "std::floor"),
+        Builtin("ceil", 1, math.ceil, "std::ceil"),
+        Builtin("fabs", 1, abs, "std::fabs"),
+        Builtin("abs", 1, abs, "std::abs"),
+        Builtin("sin", 1, math.sin, "std::sin"),
+        Builtin("cos", 1, math.cos, "std::cos"),
+        Builtin("tan", 1, math.tan, "std::tan"),
+        Builtin("min", 2, min, "std::min"),
+        Builtin("max", 2, max, "std::max"),
+        Builtin("fmod", 2, math.fmod, "std::fmod"),
+    ]
+}
+
+
+def is_builtin(name: str) -> bool:
+    return name in BUILTINS
+
+
+def cpp_name_for(name: str) -> str:
+    """C++ spelling for a builtin (raises KeyError for unknown names)."""
+    return BUILTINS[name].cpp_name

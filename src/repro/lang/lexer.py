@@ -1,0 +1,182 @@
+"""Hand-written lexer for the mini-language.
+
+Supports ``//`` line comments and ``/* */`` block comments (the generated
+C++ in the paper is commented; users may paste commented fragments back).
+Numbers follow C syntax: an integer literal is a digit run; a float literal
+has a decimal point and/or an exponent (``1.5``, ``.5``, ``1e-3``, ``2.``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR = {
+    "||": TokenKind.OR,
+    "&&": TokenKind.AND,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "+=": TokenKind.PLUS_ASSIGN,
+    "-=": TokenKind.MINUS_ASSIGN,
+    "*=": TokenKind.STAR_ASSIGN,
+    "/=": TokenKind.SLASH_ASSIGN,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    "?": TokenKind.QUESTION,
+    ":": TokenKind.COLON,
+    "=": TokenKind.ASSIGN,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "!": TokenKind.NOT,
+}
+
+
+class _Cursor:
+    """Tracks position in the source with line/column accounting."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert ``source`` into a token list ending with an EOF token."""
+    cursor = _Cursor(source)
+    tokens: list[Token] = []
+    while True:
+        _skip_trivia(cursor)
+        if cursor.at_end():
+            tokens.append(Token(TokenKind.EOF, "", cursor.line, cursor.column))
+            return tokens
+        line, column = cursor.line, cursor.column
+        ch = cursor.peek()
+        if ch.isdigit() or (ch == "." and cursor.peek(1).isdigit()):
+            tokens.append(_lex_number(cursor, line, column))
+        elif ch.isalpha() or ch == "_":
+            tokens.append(_lex_word(cursor, line, column))
+        elif ch == '"':
+            tokens.append(_lex_string(cursor, line, column))
+        else:
+            pair = ch + cursor.peek(1)
+            if pair in _TWO_CHAR:
+                cursor.advance()
+                cursor.advance()
+                tokens.append(Token(_TWO_CHAR[pair], pair, line, column))
+            elif ch in _ONE_CHAR:
+                cursor.advance()
+                tokens.append(Token(_ONE_CHAR[ch], ch, line, column))
+            else:
+                raise LexError(f"unexpected character {ch!r}", line, column)
+
+
+def _skip_trivia(cursor: _Cursor) -> None:
+    """Skip whitespace and comments."""
+    while not cursor.at_end():
+        ch = cursor.peek()
+        if ch in " \t\r\n":
+            cursor.advance()
+        elif ch == "/" and cursor.peek(1) == "/":
+            while not cursor.at_end() and cursor.peek() != "\n":
+                cursor.advance()
+        elif ch == "/" and cursor.peek(1) == "*":
+            line, column = cursor.line, cursor.column
+            cursor.advance()
+            cursor.advance()
+            while not (cursor.peek() == "*" and cursor.peek(1) == "/"):
+                if cursor.at_end():
+                    raise LexError("unterminated block comment", line, column)
+                cursor.advance()
+            cursor.advance()
+            cursor.advance()
+        else:
+            return
+
+
+def _lex_number(cursor: _Cursor, line: int, column: int) -> Token:
+    text = []
+    is_float = False
+    while cursor.peek().isdigit():
+        text.append(cursor.advance())
+    if cursor.peek() == ".":
+        # A '.' not followed by a digit is still a float ("2." in C).
+        is_float = True
+        text.append(cursor.advance())
+        while cursor.peek().isdigit():
+            text.append(cursor.advance())
+    if cursor.peek() in "eE":
+        follow = cursor.peek(1)
+        follow2 = cursor.peek(2)
+        if follow.isdigit() or (follow in "+-" and follow2.isdigit()):
+            is_float = True
+            text.append(cursor.advance())  # e
+            if cursor.peek() in "+-":
+                text.append(cursor.advance())
+            while cursor.peek().isdigit():
+                text.append(cursor.advance())
+    literal = "".join(text)
+    if not literal or literal == ".":
+        raise LexError("malformed numeric literal", line, column)
+    kind = TokenKind.FLOAT if is_float else TokenKind.INT
+    return Token(kind, literal, line, column)
+
+
+def _lex_word(cursor: _Cursor, line: int, column: int) -> Token:
+    text = []
+    while cursor.peek().isalnum() or cursor.peek() == "_":
+        text.append(cursor.advance())
+    word = "".join(text)
+    kind = KEYWORDS.get(word, TokenKind.IDENT)
+    return Token(kind, word, line, column)
+
+
+def _lex_string(cursor: _Cursor, line: int, column: int) -> Token:
+    cursor.advance()  # opening quote
+    text = []
+    while True:
+        if cursor.at_end() or cursor.peek() == "\n":
+            raise LexError("unterminated string literal", line, column)
+        ch = cursor.advance()
+        if ch == '"':
+            break
+        if ch == "\\":
+            escape = cursor.advance() if not cursor.at_end() else ""
+            mapped = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape)
+            if mapped is None:
+                raise LexError(f"bad escape \\{escape}", line, column)
+            text.append(mapped)
+        else:
+            text.append(ch)
+    return Token(TokenKind.STRING, "".join(text), line, column)

@@ -1,0 +1,106 @@
+"""Token definitions for the mini-language lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    # literals / names
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    IDENT = "IDENT"
+    # keywords
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_TRUE = "true"
+    KW_FALSE = "false"
+    KW_INT = "int"
+    KW_DOUBLE = "double"
+    KW_BOOL = "bool"
+    KW_STRING = "string"
+    KW_VOID = "void"
+    # punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMI = ";"
+    QUESTION = "?"
+    COLON = ":"
+    # operators
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    OR = "||"
+    AND = "&&"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    NOT = "!"
+    # end of input
+    EOF = "EOF"
+
+
+#: Reserved words mapped to their keyword token kinds.
+KEYWORDS: dict[str, TokenKind] = {
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "for": TokenKind.KW_FOR,
+    "return": TokenKind.KW_RETURN,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+    "int": TokenKind.KW_INT,
+    "double": TokenKind.KW_DOUBLE,
+    "bool": TokenKind.KW_BOOL,
+    "string": TokenKind.KW_STRING,
+    "void": TokenKind.KW_VOID,
+}
+
+#: Type-name keywords (used by the parser to spot declarations).
+TYPE_KEYWORDS = frozenset({
+    TokenKind.KW_INT,
+    TokenKind.KW_DOUBLE,
+    TokenKind.KW_BOOL,
+    TokenKind.KW_STRING,
+    TokenKind.KW_VOID,
+})
+
+#: Assignment operator tokens mapped to their bare operator ("" for plain =).
+ASSIGN_OPS: dict[TokenKind, str] = {
+    TokenKind.ASSIGN: "=",
+    TokenKind.PLUS_ASSIGN: "+=",
+    TokenKind.MINUS_ASSIGN: "-=",
+    TokenKind.STAR_ASSIGN: "*=",
+    TokenKind.SLASH_ASSIGN: "/=",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

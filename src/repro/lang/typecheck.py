@@ -1,0 +1,346 @@
+"""Static checks over mini-language ASTs.
+
+The model checker (S6) runs these before transformation so a model with a
+misspelled variable in a guard fails at check time, not mid-simulation.
+The checker is deliberately permissive where C is: numeric types mix
+freely; conditions accept any numeric/bool expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import TypeCheckError
+from repro.lang.ast import (
+    Assign,
+    Binary,
+    BoolLit,
+    Call,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FunctionDef,
+    If,
+    IntLit,
+    Name,
+    Return,
+    Stmt,
+    StringLit,
+    Ternary,
+    Unary,
+    VarDecl,
+    While,
+    walk_expr,
+    walk_stmts,
+    stmt_expressions,
+)
+from repro.lang.builtins import BUILTINS
+from repro.lang.types import Type, promote
+
+_COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+_ARITH_OPS = frozenset({"+", "-", "*", "/", "%"})
+_LOGICAL_OPS = frozenset({"&&", "||"})
+
+
+@dataclass
+class Signature:
+    """The externally visible type of a callable."""
+
+    name: str
+    param_types: tuple[Type, ...]
+    return_type: Type
+
+    @classmethod
+    def of(cls, function: FunctionDef) -> "Signature":
+        return cls(function.name,
+                   tuple(p.type for p in function.params),
+                   function.return_type)
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        self._names: dict[str, Type] = {}
+        self.parent = parent
+
+    def declare(self, name: str, type_: Type, line: int = 0) -> None:
+        if name in self._names:
+            raise TypeCheckError(f"redeclaration of {name!r}", line or None)
+        self._names[name] = type_
+
+    def lookup(self, name: str) -> Type | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope._names:
+                return scope._names[name]
+            scope = scope.parent
+        return None
+
+
+class TypeChecker:
+    """Checks expressions/statements given variable and function signatures.
+
+    ``variables`` seeds the global scope; ``functions`` maps names to
+    :class:`Signature` (builtins are implicit).
+    """
+
+    def __init__(self,
+                 variables: Mapping[str, Type] | None = None,
+                 functions: Mapping[str, Signature] | None = None) -> None:
+        self._globals = _Scope()
+        for name, type_ in (variables or {}).items():
+            self._globals.declare(name, type_)
+        self.functions = dict(functions or {})
+
+    # -- expressions ----------------------------------------------------
+
+    def check_expr(self, expr: Expr, scope: _Scope | None = None) -> Type:
+        scope = scope or self._globals
+        if isinstance(expr, IntLit):
+            return Type.INT
+        if isinstance(expr, FloatLit):
+            return Type.DOUBLE
+        if isinstance(expr, BoolLit):
+            return Type.BOOL
+        if isinstance(expr, StringLit):
+            return Type.STRING
+        if isinstance(expr, Name):
+            found = scope.lookup(expr.ident)
+            if found is None:
+                raise TypeCheckError(f"undeclared variable {expr.ident!r}",
+                                     expr.line or None)
+            return found
+        if isinstance(expr, Unary):
+            inner = self.check_expr(expr.operand, scope)
+            if expr.op == "!":
+                if inner is Type.STRING:
+                    raise TypeCheckError("'!' applied to string", expr.line or None)
+                return Type.BOOL
+            if not inner.is_numeric and inner is not Type.BOOL:
+                raise TypeCheckError(f"unary {expr.op!r} applied to {inner}",
+                                     expr.line or None)
+            return Type.INT if inner is Type.BOOL else inner
+        if isinstance(expr, Binary):
+            return self._check_binary(expr, scope)
+        if isinstance(expr, Ternary):
+            cond = self.check_expr(expr.cond, scope)
+            if cond is Type.STRING:
+                raise TypeCheckError("condition cannot be a string",
+                                     expr.line or None)
+            then = self.check_expr(expr.then, scope)
+            other = self.check_expr(expr.other, scope)
+            if then == other:
+                return then
+            if then.is_numeric and other.is_numeric:
+                return promote(then, other)
+            raise TypeCheckError(
+                f"conditional branches have incompatible types {then}/{other}",
+                expr.line or None)
+        if isinstance(expr, Call):
+            return self._check_call(expr, scope)
+        raise TypeCheckError(f"unknown expression node {type(expr).__name__}")
+
+    def _check_binary(self, expr: Binary, scope: _Scope) -> Type:
+        left = self.check_expr(expr.left, scope)
+        right = self.check_expr(expr.right, scope)
+        op = expr.op
+        if op in _LOGICAL_OPS:
+            for side in (left, right):
+                if side is Type.STRING:
+                    raise TypeCheckError(f"{op!r} applied to string",
+                                         expr.line or None)
+            return Type.BOOL
+        if op in _COMPARISON_OPS:
+            if (left is Type.STRING) != (right is Type.STRING):
+                raise TypeCheckError(
+                    f"comparison {op!r} between {left} and {right}",
+                    expr.line or None)
+            return Type.BOOL
+        if op in _ARITH_OPS:
+            if op == "+" and left is Type.STRING and right is Type.STRING:
+                return Type.STRING
+            if left is Type.STRING or right is Type.STRING:
+                raise TypeCheckError(f"arithmetic {op!r} on string operand",
+                                     expr.line or None)
+            numeric_left = Type.INT if left is Type.BOOL else left
+            numeric_right = Type.INT if right is Type.BOOL else right
+            if op == "%":
+                if numeric_left is not Type.INT or numeric_right is not Type.INT:
+                    raise TypeCheckError("'%' requires integer operands",
+                                         expr.line or None)
+                return Type.INT
+            return promote(numeric_left, numeric_right)
+        raise TypeCheckError(f"unknown operator {op!r}", expr.line or None)
+
+    def _check_call(self, expr: Call, scope: _Scope) -> Type:
+        signature = self.functions.get(expr.func)
+        if signature is not None:
+            if len(expr.args) != len(signature.param_types):
+                raise TypeCheckError(
+                    f"{expr.func}() expects {len(signature.param_types)} "
+                    f"argument(s), got {len(expr.args)}", expr.line or None)
+            for i, (arg, want) in enumerate(
+                    zip(expr.args, signature.param_types)):
+                have = self.check_expr(arg, scope)
+                if have == want:
+                    continue
+                if have.is_numeric and want.is_numeric:
+                    continue
+                if have is Type.BOOL and want.is_numeric:
+                    continue
+                raise TypeCheckError(
+                    f"argument {i + 1} of {expr.func}(): expected {want}, "
+                    f"got {have}", expr.line or None)
+            return signature.return_type
+        builtin = BUILTINS.get(expr.func)
+        if builtin is not None:
+            if len(expr.args) != builtin.arity:
+                raise TypeCheckError(
+                    f"builtin {expr.func}() expects {builtin.arity} "
+                    f"argument(s), got {len(expr.args)}", expr.line or None)
+            for arg in expr.args:
+                have = self.check_expr(arg, scope)
+                if not have.is_numeric and have is not Type.BOOL:
+                    raise TypeCheckError(
+                        f"builtin {expr.func}() requires numeric arguments",
+                        expr.line or None)
+            return Type.DOUBLE
+        raise TypeCheckError(f"call to undefined function {expr.func!r}",
+                             expr.line or None)
+
+    # -- statements -------------------------------------------------------
+
+    def check_stmts(self, stmts: Iterable[Stmt],
+                    scope: _Scope | None = None,
+                    return_type: Type | None = None) -> None:
+        scope = scope or self._globals
+        for stmt in stmts:
+            self.check_stmt(stmt, scope, return_type)
+
+    def check_stmt(self, stmt: Stmt, scope: _Scope,
+                   return_type: Type | None) -> None:
+        if isinstance(stmt, VarDecl):
+            if stmt.init is not None:
+                have = self.check_expr(stmt.init, scope)
+                self._check_assignable(have, stmt.type, stmt.name, stmt.line)
+            scope.declare(stmt.name, stmt.type, stmt.line)
+        elif isinstance(stmt, Assign):
+            declared = scope.lookup(stmt.name)
+            if declared is None:
+                raise TypeCheckError(
+                    f"assignment to undeclared variable {stmt.name!r}",
+                    stmt.line or None)
+            have = self.check_expr(stmt.value, scope)
+            if stmt.op and declared is Type.STRING and stmt.op != "+":
+                raise TypeCheckError(
+                    f"compound {stmt.op}= on string variable {stmt.name!r}",
+                    stmt.line or None)
+            self._check_assignable(have, declared, stmt.name, stmt.line)
+        elif isinstance(stmt, ExprStmt):
+            self.check_expr(stmt.expr, scope)
+        elif isinstance(stmt, If):
+            cond = self.check_expr(stmt.cond, scope)
+            if cond is Type.STRING:
+                raise TypeCheckError("if-condition cannot be a string",
+                                     stmt.line or None)
+            self.check_stmts(stmt.then_body, _Scope(scope), return_type)
+            self.check_stmts(stmt.else_body, _Scope(scope), return_type)
+        elif isinstance(stmt, While):
+            cond = self.check_expr(stmt.cond, scope)
+            if cond is Type.STRING:
+                raise TypeCheckError("while-condition cannot be a string",
+                                     stmt.line or None)
+            self.check_stmts(stmt.body, _Scope(scope), return_type)
+        elif isinstance(stmt, For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self.check_stmt(stmt.init, inner, return_type)
+            if stmt.cond is not None:
+                cond = self.check_expr(stmt.cond, inner)
+                if cond is Type.STRING:
+                    raise TypeCheckError("for-condition cannot be a string",
+                                         stmt.line or None)
+            if stmt.step is not None:
+                self.check_stmt(stmt.step, inner, return_type)
+            self.check_stmts(stmt.body, _Scope(inner), return_type)
+        elif isinstance(stmt, Return):
+            if return_type is None:
+                raise TypeCheckError("'return' outside a cost function",
+                                     stmt.line or None)
+            if stmt.value is None:
+                if return_type is not Type.VOID:
+                    raise TypeCheckError(
+                        f"return without value in {return_type} function",
+                        stmt.line or None)
+            else:
+                have = self.check_expr(stmt.value, scope)
+                if return_type is Type.VOID:
+                    raise TypeCheckError("void function returns a value",
+                                         stmt.line or None)
+                self._check_assignable(have, return_type, "<return>", stmt.line)
+        else:
+            raise TypeCheckError(f"unknown statement node {type(stmt).__name__}")
+
+    def check_function(self, function: FunctionDef) -> None:
+        """Check a cost function body under its parameter scope."""
+        scope = _Scope(self._globals)
+        for param in function.params:
+            scope.declare(param.name, param.type)
+        self.check_stmts(function.body, scope, function.return_type)
+
+    @staticmethod
+    def _check_assignable(have: Type, want: Type, name: str,
+                          line: int = 0) -> None:
+        if have == want:
+            return
+        if have.is_numeric and want.is_numeric:
+            return
+        if have is Type.BOOL and want.is_numeric:
+            return
+        if have.is_numeric and want is Type.BOOL:
+            return
+        raise TypeCheckError(f"cannot assign {have} to {want} {name!r}",
+                             line or None)
+
+
+def free_names(expr_or_stmts) -> set[str]:
+    """Names referenced (read) by an expression or statement sequence,
+    excluding names bound by local declarations within the sequence."""
+    bound: set[str] = set()
+    free: set[str] = set()
+
+    def scan_expr(expr: Expr) -> None:
+        for node in walk_expr(expr):
+            if isinstance(node, Name) and node.ident not in bound:
+                free.add(node.ident)
+
+    if isinstance(expr_or_stmts, Expr):
+        scan_expr(expr_or_stmts)
+        return free
+    for stmt in walk_stmts(expr_or_stmts):
+        if isinstance(stmt, VarDecl):
+            bound.add(stmt.name)
+        for expr in stmt_expressions(stmt):
+            scan_expr(expr)
+        if isinstance(stmt, Assign) and stmt.name not in bound:
+            free.add(stmt.name)
+    return free
+
+
+def called_functions(expr_or_stmts) -> set[str]:
+    """Function names invoked anywhere in an expression or statement list."""
+    calls: set[str] = set()
+
+    def scan_expr(expr: Expr) -> None:
+        for node in walk_expr(expr):
+            if isinstance(node, Call):
+                calls.add(node.func)
+
+    if isinstance(expr_or_stmts, Expr):
+        scan_expr(expr_or_stmts)
+        return calls
+    for stmt in walk_stmts(expr_or_stmts):
+        for expr in stmt_expressions(stmt):
+            scan_expr(expr)
+    return calls

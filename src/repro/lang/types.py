@@ -1,0 +1,84 @@
+"""The mini-language type system.
+
+Four value types (``int``, ``double``, ``bool``, ``string``) plus ``void``
+for cost functions that return nothing.  Numeric promotion follows C:
+``int`` combined with ``double`` yields ``double``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Type(enum.Enum):
+    INT = "int"
+    DOUBLE = "double"
+    BOOL = "bool"
+    STRING = "string"
+    VOID = "void"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (Type.INT, Type.DOUBLE)
+
+    @classmethod
+    def from_name(cls, name: str) -> "Type":
+        for member in cls:
+            if member.value == name:
+                return member
+        raise ValueError(f"unknown type name {name!r}")
+
+
+def promote(left: Type, right: Type) -> Type:
+    """C-style binary numeric promotion; raises on non-numeric operands."""
+    if not (left.is_numeric and right.is_numeric):
+        raise ValueError(f"cannot promote {left} and {right}")
+    if Type.DOUBLE in (left, right):
+        return Type.DOUBLE
+    return Type.INT
+
+
+def type_of_value(value) -> Type:
+    """Type of a Python runtime value under the mini-language's view."""
+    # bool must be tested before int: Python bool is an int subclass.
+    if isinstance(value, bool):
+        return Type.BOOL
+    if isinstance(value, int):
+        return Type.INT
+    if isinstance(value, float):
+        return Type.DOUBLE
+    if isinstance(value, str):
+        return Type.STRING
+    raise ValueError(f"value {value!r} has no mini-language type")
+
+
+def default_value(type_: Type):
+    """The zero-initialized value of a declared-but-uninitialized variable."""
+    return {
+        Type.INT: 0,
+        Type.DOUBLE: 0.0,
+        Type.BOOL: False,
+        Type.STRING: "",
+        Type.VOID: None,
+    }[type_]
+
+
+def coerce(value, target: Type):
+    """Convert ``value`` to ``target`` following C conversion rules.
+
+    Raises :class:`ValueError` for conversions C would reject implicitly
+    (anything to/from string except string-to-string).
+    """
+    have = type_of_value(value)
+    if have == target:
+        return value
+    if target == Type.DOUBLE and have in (Type.INT, Type.BOOL):
+        return float(value)
+    if target == Type.INT and have in (Type.DOUBLE, Type.BOOL):
+        return int(value)  # C truncates toward zero, as does int()
+    if target == Type.BOOL and have in (Type.INT, Type.DOUBLE):
+        return value != 0
+    raise ValueError(f"cannot convert {have} to {target}")

@@ -1,0 +1,19 @@
+"""The machine model the Performance Estimator builds from SP.
+
+"The Performance Estimator generates automatically the machine model
+based on the specified architectural parameters" (Section 2.2).  The
+system parameters (SP) are the number of computational nodes, processors
+per node, processes, and threads; the network follows the Hockney model
+(latency + bytes/bandwidth) with a cheaper intra-node path.
+"""
+
+from repro.machine.params import SystemParameters
+from repro.machine.network import Network, NetworkConfig
+from repro.machine.node import ComputeNode
+from repro.machine.placement import place_processes
+from repro.machine.cluster import Cluster
+
+__all__ = [
+    "SystemParameters", "Network", "NetworkConfig", "ComputeNode",
+    "place_processes", "Cluster",
+]

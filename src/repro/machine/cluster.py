@@ -1,0 +1,53 @@
+"""The integrated machine model: nodes + network + placement.
+
+"The program model is integrated with the machine model to create the
+model of the whole computer system" — the Cluster is the machine half:
+it owns the nodes and network, and answers where each process runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimatorError
+from repro.machine.network import Network, NetworkConfig
+from repro.machine.node import ComputeNode
+from repro.machine.params import SystemParameters
+from repro.machine.placement import place_processes
+from repro.sim.core import Simulation
+from repro.sim.facility import Facility
+
+
+class Cluster:
+    def __init__(self, sim: Simulation, params: SystemParameters,
+                 network_config: NetworkConfig | None = None) -> None:
+        self.sim = sim
+        self.params = params
+        self.nodes = [ComputeNode(sim, i, params.processors_per_node)
+                      for i in range(params.nodes)]
+        self.network = Network(sim, network_config)
+        self._placement = place_processes(params.processes, params.nodes,
+                                          params.placement)
+
+    def node_of(self, pid: int) -> ComputeNode:
+        try:
+            return self.nodes[self._placement[pid]]
+        except IndexError:
+            raise EstimatorError(
+                f"pid {pid} out of range (0..{self.params.processes - 1})"
+            ) from None
+
+    def cpu_of(self, pid: int) -> Facility:
+        return self.node_of(pid).cpu
+
+    def same_node(self, pid_a: int, pid_b: int) -> bool:
+        return self._placement[pid_a] == self._placement[pid_b]
+
+    @property
+    def placement(self) -> list[int]:
+        return list(self._placement)
+
+    def utilization_by_node(self) -> list[float]:
+        return [node.utilization() for node in self.nodes]
+
+    def describe(self) -> str:
+        return (f"cluster: {self.params.describe()}; placement "
+                f"{self._placement}")

@@ -1,0 +1,85 @@
+"""The interconnect model (Hockney): t(m) = L + m/B.
+
+Inter-node messages pay full latency and bandwidth; intra-node messages
+(same node, shared memory) use a configurable cheaper path.  Optional
+contention routes every transfer through a shared-link facility so
+concurrent messages queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EstimatorError
+from repro.sim.core import Simulation
+from repro.sim.facility import Facility
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    latency: float = 1.0e-6          # seconds
+    bandwidth: float = 1.0e9         # bytes/second
+    intra_node_latency_factor: float = 0.1
+    intra_node_bandwidth_factor: float = 10.0
+    eager_threshold: float = 65536.0  # bytes; above: rendezvous send
+    contention: bool = False
+    links: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise EstimatorError("network latency must be >= 0")
+        if self.bandwidth <= 0:
+            raise EstimatorError("network bandwidth must be > 0")
+        if self.links < 1:
+            raise EstimatorError("network links must be >= 1")
+        for name in ("intra_node_latency_factor",
+                     "intra_node_bandwidth_factor"):
+            if getattr(self, name) <= 0:
+                raise EstimatorError(f"{name} must be > 0")
+
+
+class Network:
+    def __init__(self, sim: Simulation,
+                 config: NetworkConfig | None = None) -> None:
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.link: Facility | None = (
+            Facility(sim, "network.link", servers=self.config.links)
+            if self.config.contention else None)
+        self.bytes_moved = 0.0
+        self.messages = 0
+
+    def transfer_time(self, nbytes: float, intra_node: bool) -> float:
+        """Hockney time for one message of ``nbytes``."""
+        if nbytes < 0:
+            raise EstimatorError(f"negative message size {nbytes}")
+        config = self.config
+        if intra_node:
+            latency = config.latency * config.intra_node_latency_factor
+            bandwidth = config.bandwidth * config.intra_node_bandwidth_factor
+        else:
+            latency = config.latency
+            bandwidth = config.bandwidth
+        return latency + nbytes / bandwidth
+
+    def transfer(self, nbytes: float, intra_node: bool):
+        """Generator: occupy the wire for one message's transfer time."""
+        duration = self.transfer_time(nbytes, intra_node)
+        self.bytes_moved += nbytes
+        self.messages += 1
+        if self.link is not None and not intra_node:
+            yield from self.link.use(duration)
+        else:
+            from repro.sim.core import hold
+            yield from hold(duration)
+
+    def tree_depth(self, participants: int) -> int:
+        """Binomial-tree depth for collective algorithms."""
+        if participants < 1:
+            raise EstimatorError("collective needs >= 1 participant")
+        depth = 0
+        span = 1
+        while span < participants:
+            span *= 2
+            depth += 1
+        return depth

@@ -1,0 +1,26 @@
+"""Compute nodes: processor pools with utilization accounting."""
+
+from __future__ import annotations
+
+from repro.sim.core import Simulation
+from repro.sim.facility import Facility
+
+
+class ComputeNode:
+    """One node: ``processors`` identical CPUs modeled as a pooled
+    facility (threads contend when active threads exceed processors)."""
+
+    def __init__(self, sim: Simulation, index: int, processors: int) -> None:
+        self.sim = sim
+        self.index = index
+        self.processors = processors
+        self.cpu = Facility(sim, f"node{index}.cpu", servers=processors)
+
+    def utilization(self) -> float:
+        return self.cpu.utilization()
+
+    def busy_time(self) -> float:
+        return self.cpu.busy_time()
+
+    def __repr__(self) -> str:
+        return f"<ComputeNode {self.index} cpus={self.processors}>"

@@ -1,0 +1,54 @@
+"""System Parameters (the SP element of Fig. 2).
+
+"The parameters of system include the number of computational nodes, the
+number of processors per node, the number of processes, and the number of
+threads."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EstimatorError
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    nodes: int = 1
+    processors_per_node: int = 1
+    processes: int = 1
+    threads_per_process: int = 1
+    placement: str = "block"  # or "cyclic"
+
+    def __post_init__(self) -> None:
+        for name in ("nodes", "processors_per_node", "processes",
+                     "threads_per_process"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise EstimatorError(
+                    f"system parameter {name} must be a positive integer, "
+                    f"got {value!r}")
+        if self.placement not in ("block", "cyclic"):
+            raise EstimatorError(
+                f"unknown placement policy {self.placement!r} "
+                "(expected 'block' or 'cyclic')")
+
+    @property
+    def total_processors(self) -> int:
+        return self.nodes * self.processors_per_node
+
+    @classmethod
+    def from_config(cls, config) -> "SystemParameters":
+        """Build SP from a parsed CF (:class:`repro.xmlio.config.ToolConfig`)."""
+        return cls(
+            nodes=config.nodes,
+            processors_per_node=config.processors_per_node,
+            processes=config.processes,
+            threads_per_process=config.threads_per_process,
+        )
+
+    def describe(self) -> str:
+        return (f"{self.nodes} node(s) × {self.processors_per_node} "
+                f"processor(s), {self.processes} process(es) × "
+                f"{self.threads_per_process} thread(s), "
+                f"{self.placement} placement")

@@ -1,0 +1,27 @@
+"""Process-to-node placement policies."""
+
+from __future__ import annotations
+
+from repro.errors import EstimatorError
+
+
+def place_processes(processes: int, nodes: int,
+                    policy: str = "block") -> list[int]:
+    """Node index for each pid.
+
+    * ``block``: consecutive ranks fill a node before the next one
+      (MPI's default); remainders go to the leading nodes.
+    * ``cyclic``: round-robin across nodes.
+    """
+    if processes < 1 or nodes < 1:
+        raise EstimatorError("processes and nodes must be >= 1")
+    if policy == "cyclic":
+        return [pid % nodes for pid in range(processes)]
+    if policy == "block":
+        base, extra = divmod(processes, nodes)
+        placement: list[int] = []
+        for node in range(nodes):
+            count = base + (1 if node < extra else 0)
+            placement.extend([node] * count)
+        return placement
+    raise EstimatorError(f"unknown placement policy {policy!r}")

@@ -1,0 +1,133 @@
+"""The Performance Prophet facade: Teuta + Performance Estimator in one.
+
+This is the top-level API a downstream user starts from — the headless
+equivalent of the tool in Fig. 2.  Typical flow (the paper's use case)::
+
+    from repro.prophet import PerformanceProphet
+    from repro.samples import build_sample_model
+    from repro.machine.params import SystemParameters
+
+    prophet = PerformanceProphet(build_sample_model())
+    prophet.check()                       # Model Checker
+    cpp = prophet.to_cpp()                # UML → C++ (Fig. 5/8)
+    result = prophet.estimate(SystemParameters(processes=4))
+    print(prophet.report(result))         # TF → visualization
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.checker.checker import ModelChecker
+from repro.checker.diagnostics import CheckReport
+from repro.errors import ProphetError
+from repro.estimator.manager import (
+    EstimationResult,
+    PerformanceEstimator,
+)
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.transform.algorithm import ModelIR, build_ir
+from repro.transform.cpp.emitter import CppArtifacts, transform_to_cpp
+from repro.transform.python.emitter import PyArtifacts, transform_to_python
+from repro.appgen.skeleton import SkeletonArtifacts, generate_skeleton
+from repro.uml.model import Model
+from repro.viz.report import run_report
+from repro.xmlio.mcf import CheckingConfig, read_mcf
+from repro.xmlio.reader import read_model
+from repro.xmlio.writer import write_model
+
+
+class PerformanceProphet:
+    """One model, all tool operations."""
+
+    def __init__(self, model: Model,
+                 checking_config: CheckingConfig | None = None) -> None:
+        self.model = model
+        self.checking_config = checking_config
+        self._ir: ModelIR | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str | Path,
+             mcf_path: str | Path | None = None) -> "PerformanceProphet":
+        """Load a model (and optionally an MCF) from XML files."""
+        config = read_mcf(mcf_path) if mcf_path is not None else None
+        return cls(read_model(path), checking_config=config)
+
+    def save(self, path: str | Path) -> Path:
+        return write_model(self.model, path)
+
+    # -- Teuta-side operations ----------------------------------------------
+
+    def check(self, strict: bool = False) -> CheckReport:
+        """Run the Model Checker; with ``strict`` raise on errors."""
+        checker = ModelChecker(self.checking_config)
+        if strict:
+            return checker.assert_valid(self.model)
+        return checker.check(self.model)
+
+    @property
+    def ir(self) -> ModelIR:
+        if self._ir is None:
+            self._ir = build_ir(self.model)
+        return self._ir
+
+    def to_cpp(self) -> CppArtifacts:
+        """The Fig. 5 transformation to the C++ representation (PMP)."""
+        return transform_to_cpp(self.ir)
+
+    def to_python(self) -> PyArtifacts:
+        """The executable Python representation (this repro's PMP)."""
+        return transform_to_python(self.ir)
+
+    def to_skeleton(self) -> SkeletonArtifacts:
+        """Program-code generation (the paper's future-work extension)."""
+        return generate_skeleton(self.ir)
+
+    # -- Performance Estimator ------------------------------------------------
+
+    def estimate(self, params: SystemParameters | None = None,
+                 network: NetworkConfig | None = None,
+                 mode: str = "codegen", seed: int = 0,
+                 check: bool = True) -> EstimationResult:
+        estimator = PerformanceEstimator(params, network, seed)
+        return estimator.estimate(self.model, mode=mode, check=check)
+
+    def estimate_analytic(self, params: SystemParameters | None = None,
+                          network: NetworkConfig | None = None):
+        """Hybrid (closed-form) evaluation — fast bound, no simulation.
+
+        See :mod:`repro.estimator.analytic` for the semantics and the
+        approximations involved.
+        """
+        from repro.estimator.analytic import evaluate_analytically
+        return evaluate_analytically(self.model, params, network)
+
+    def sweep_processes(self, process_counts: list[int],
+                        nodes_per_count: int | None = None,
+                        processors_per_node: int = 1,
+                        network: NetworkConfig | None = None,
+                        mode: str = "codegen") -> list[EstimationResult]:
+        """Strong-scaling sweep: estimate at each process count.
+
+        By default every process gets its own node (no contention);
+        pass ``nodes_per_count`` to fix the node count instead.
+        """
+        if not process_counts:
+            raise ProphetError("sweep needs at least one process count")
+        results = []
+        for count in process_counts:
+            params = SystemParameters(
+                nodes=nodes_per_count or count,
+                processors_per_node=processors_per_node,
+                processes=count)
+            results.append(self.estimate(params, network, mode=mode))
+        return results
+
+    # -- reporting ---------------------------------------------------------------
+
+    @staticmethod
+    def report(result: EstimationResult, with_gantt: bool = True) -> str:
+        return run_report(result, with_gantt=with_gantt)

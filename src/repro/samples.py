@@ -1,0 +1,139 @@
+"""Canonical models from the paper, built with the public builder API.
+
+* :func:`build_sample_model` — the Section 4 sample model (Fig. 7/8):
+  actions ``A1``, ``A2``, ``A4``, nested activity ``SA`` containing
+  ``SA1``/``SA2``, globals ``GV`` and ``P``, a decision on ``GV``, a code
+  fragment on ``A1``, and cost functions ``FA1..FSA2``.
+* :func:`build_kernel6_model` — the Fig. 3 model of Livermore kernel 6:
+  one ``<<action+>>`` with cost function ``FK6``.
+* :func:`build_kernel6_loopnest_model` — the *detailed* Fig. 3(b) loop-nest
+  representation, used to contrast rough vs detailed modeling.
+
+Tests, benchmarks and examples all share these factories.
+"""
+
+from __future__ import annotations
+
+from repro.uml.builder import ModelBuilder
+from repro.uml.model import Model
+
+# Cost-function bodies of the sample model.  The paper states "these cost
+# functions are not derived from a real-world program" and shows various
+# forms: constants, parameterized by the global P, and parameterized by the
+# process id (FSA2 takes pid).  These reproduce those forms.
+SAMPLE_COST_FUNCTIONS: dict[str, tuple[str, str]] = {
+    # name: (params, body)
+    "FA1": ("", "0.5 * P"),
+    "FA2": ("", "1.5"),
+    "FA4": ("", "0.25 * P + 0.1"),
+    "FSA1": ("", "0.75"),
+    "FSA2": ("int pid", "0.001 * pid + 0.05"),
+}
+
+
+def build_sample_model() -> Model:
+    """The Fig. 7 sample model of a hypothetical program.
+
+    Main diagram::
+
+        initial -> A1 -> <decision on GV> --[GV == 1]--> SA --+-> A4 -> final
+                                          --[else]------> A2 -+
+
+    where ``SA`` is an ``<<activity+>>`` whose content (diagram ``SA``) is
+    ``initial -> SA1 -> SA2 -> final``.  ``A1`` carries the associated code
+    fragment ``GV = 1; P = 4;`` of Fig. 7(b).
+    """
+    builder = ModelBuilder("SampleModel")
+    builder.global_var("GV", "int")
+    builder.global_var("P", "int")
+    for name, (params, body) in SAMPLE_COST_FUNCTIONS.items():
+        builder.cost_function(name, body, params)
+
+    # Content of activity SA (the undocked diagram of Fig. 7(a)).
+    sa = builder.diagram("SA")
+    sa1 = sa.action("SA1", cost="FSA1()")
+    sa2 = sa.action("SA2", cost="FSA2(pid)")
+    sa.sequence(sa1, sa2)
+
+    main = builder.diagram("Main", main=True)
+    initial = main.initial()
+    a1 = main.action("A1", cost="FA1()", code="GV = 1; P = 4;")
+    decision = main.decision("d1")
+    activity_sa = main.activity("SA", diagram="SA")
+    a2 = main.action("A2", cost="FA2()")
+    merge = main.merge("m1")
+    a4 = main.action("A4", cost="FA4()")
+    final = main.final()
+
+    main.flow(initial, a1)
+    main.flow(a1, decision)
+    main.flow(decision, activity_sa, guard="GV == 1")
+    main.flow(decision, a2, guard="else")
+    main.flow(activity_sa, merge)
+    main.flow(a2, merge)
+    main.flow(merge, a4)
+    main.flow(a4, final)
+    return builder.build()
+
+
+#: Expected element names of the sample model, as the paper lists them.
+SAMPLE_PERF_ELEMENT_NAMES = ("SA1", "SA2", "A1", "SA", "A2", "A4")
+SAMPLE_ACTION_NAMES = ("A1", "A2", "A4", "SA1", "SA2")
+
+
+def build_kernel6_model(n: int = 100, m: int = 10,
+                        c6: float = 2.0e-9) -> Model:
+    """Fig. 3(c): kernel 6 collapsed to one ``<<action+>>``.
+
+    The cost function ``FK6`` models ``T_K6``: the kernel's triple loop
+    executes ``M * sum_{i=2..N} (i-1) = M * N*(N-1)/2`` multiply-add pairs;
+    with per-iteration cost ``C6`` (calibrated on the host by
+    :mod:`repro.kernels.calibrate`) the time is ``C6 * M * N*(N-1)/2``.
+    """
+    builder = ModelBuilder("Kernel6Model")
+    builder.global_var("N", "int", str(n))
+    builder.global_var("M", "int", str(m))
+    builder.global_var("C6", "double", repr(c6))
+    builder.cost_function("FK6", "C6 * M * (N * (N - 1) / 2)")
+    main = builder.diagram("Main", main=True)
+    kernel6 = main.action("Kernel6", cost="FK6()")
+    main.sequence(kernel6)
+    return builder.build()
+
+
+def build_kernel6_loopnest_model(n: int = 100, m: int = 10,
+                                 c6: float = 2.0e-9) -> Model:
+    """Fig. 3(b): the detailed loop-nest representation of kernel 6.
+
+    Nested ``<<loop+>>`` nodes mirror the ``DO L / DO i / DO k`` nest; the
+    innermost body is a single statement ``W(i) += B(i,k) * W(i-k)`` with
+    constant cost ``C6``.  The paper argues this detail is unnecessary for
+    rough estimation — the EXPERIMENTS bench quantifies the evaluation-cost
+    gap between this model and the collapsed one.
+    """
+    builder = ModelBuilder("Kernel6LoopNest")
+    builder.global_var("N", "int", str(n))
+    builder.global_var("M", "int", str(m))
+    builder.global_var("C6", "double", repr(c6))
+    builder.cost_function("FBody", "C6")
+
+    body = builder.diagram("InnerBody")
+    statement = body.action("UpdateW", cost="FBody()")
+    body.sequence(statement)
+
+    # Average trip count of the k loop is (N-1)/2 for i in [2, N]; the
+    # detailed model keeps the loop nest but uses the mean inner trip count
+    # (integer expressions — the simulator re-evaluates them per process).
+    inner = builder.diagram("InnerLoop")
+    k_loop = inner.loop("KLoop", diagram="InnerBody",
+                        iterations="(N - 1) / 2")
+    inner.sequence(k_loop)
+
+    middle = builder.diagram("MiddleLoop")
+    i_loop = middle.loop("ILoop", diagram="InnerLoop", iterations="N - 1")
+    middle.sequence(i_loop)
+
+    main = builder.diagram("Main", main=True)
+    l_loop = main.loop("LLoop", diagram="MiddleLoop", iterations="M")
+    main.sequence(l_loop)
+    return builder.build()

@@ -1,0 +1,224 @@
+"""Simulation kernel: event calendar, processes, events.
+
+Processes are Python generators.  They yield exactly two primitive
+commands back to the kernel:
+
+* ``Hold(delay)`` — advance this process's local time by ``delay``
+  simulated seconds (CSIM's ``hold``);
+* ``Wait(event)`` — block until the event fires.
+
+Everything richer (facility queueing, mailboxes, barriers) is built from
+these two by ``yield from`` composition, so the kernel stays tiny and
+auditable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Generator, Iterable
+
+from repro.errors import DeadlockError, SimulationError
+
+
+@dataclass(frozen=True)
+class Hold:
+    """Advance simulated time for the yielding process."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"cannot hold for negative time "
+                                  f"({self.delay})")
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block the yielding process until ``event`` fires."""
+
+    event: "Event"
+
+
+class Event:
+    """A one-shot latch: processes wait; ``fire`` releases them all.
+
+    Once fired, later waits pass through immediately.  ``reset`` re-arms.
+    """
+
+    __slots__ = ("sim", "name", "_fired", "_waiters", "payload")
+
+    def __init__(self, sim: "Simulation", name: str = "event") -> None:
+        self.sim = sim
+        self.name = name
+        self._fired = False
+        self._waiters: list[SimProcess] = []
+        self.payload = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def fire(self, payload=None) -> None:
+        if self._fired:
+            return
+        self._fired = True
+        self.payload = payload
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim._schedule(0.0, process)
+
+    def reset(self) -> None:
+        if self._waiters:
+            raise SimulationError(
+                f"cannot reset event {self.name!r} with waiting processes")
+        self._fired = False
+        self.payload = None
+
+    def _add_waiter(self, process: "SimProcess") -> None:
+        self._waiters.append(process)
+
+    def wait(self):
+        """Generator helper: ``yield from event.wait()``."""
+        if not self._fired:
+            yield Wait(self)
+        return self.payload
+
+
+class SimProcess:
+    """A running simulation process wrapping a generator."""
+
+    __slots__ = ("sim", "name", "seq", "_generator", "done",
+                 "completion", "started_at", "finished_at", "blocked_on")
+
+    def __init__(self, sim: "Simulation", name: str, seq: int,
+                 generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process {name!r} body must be a generator "
+                f"(got {type(generator).__name__}); did you forget a yield?")
+        self.sim = sim
+        self.name = name
+        self.seq = seq
+        self._generator = generator
+        self.done = False
+        self.completion = Event(sim, f"{name}.done")
+        self.started_at = sim.now
+        self.finished_at: float | None = None
+        self.blocked_on: str | None = None
+
+    def _advance(self) -> None:
+        """Resume the generator and act on the yielded command."""
+        self.blocked_on = None
+        try:
+            command = self._generator.send(None)
+        except StopIteration:
+            self._finish()
+            return
+        if isinstance(command, Hold):
+            self.sim._schedule(command.delay, self)
+            self.blocked_on = f"hold({command.delay:g})"
+        elif isinstance(command, Wait):
+            if command.event.fired:
+                self.sim._schedule(0.0, self)
+            else:
+                command.event._add_waiter(self)
+                self.blocked_on = f"wait({command.event.name})"
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {command!r}; expected "
+                "Hold or Wait (use 'yield from' for sub-operations)")
+
+    def _finish(self) -> None:
+        self.done = True
+        self.finished_at = self.sim.now
+        self.sim._active -= 1
+        self.completion.fire()
+
+    def join(self):
+        """Generator helper: wait for this process to finish."""
+        return self.completion.wait()
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else (self.blocked_on or "ready")
+        return f"<SimProcess {self.name!r} {state}>"
+
+
+class Simulation:
+    """The event calendar and scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, SimProcess]] = []
+        self._counter = itertools.count()
+        self._active = 0
+        self._processes: list[SimProcess] = []
+        self.events_processed = 0
+
+    # -- construction -------------------------------------------------------
+
+    def spawn(self, name: str, generator: Generator) -> SimProcess:
+        """Create a process and schedule its first step at the current time."""
+        process = SimProcess(self, name, next(self._counter), generator)
+        self._processes.append(process)
+        self._active += 1
+        self._schedule(0.0, process)
+        return process
+
+    def event(self, name: str = "event") -> Event:
+        return Event(self, name)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, delay: float, process: SimProcess) -> None:
+        heapq.heappush(self._heap,
+                       (self.now + delay, next(self._counter), process))
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, until: float | None = None,
+            max_events: int = 50_000_000) -> float:
+        """Run until all processes finish (or ``until`` simulated seconds).
+
+        Raises :class:`DeadlockError` if the calendar drains while
+        processes are still blocked on events.
+        """
+        while self._heap:
+            time, _, process = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            self.now = time
+            if process.done:
+                continue
+            self.events_processed += 1
+            if self.events_processed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; "
+                    "runaway model?")
+            process._advance()
+        if self._active > 0:
+            blocked = [p for p in self._processes if not p.done]
+            raise DeadlockError(
+                f"deadlock at t={self.now:g}: {len(blocked)} process(es) "
+                "blocked: " +
+                ", ".join(f"{p.name} [{p.blocked_on}]" for p in blocked[:10]),
+                blocked=blocked)
+        return self.now
+
+    @property
+    def active_processes(self) -> int:
+        return self._active
+
+    @property
+    def all_processes(self) -> Iterable[SimProcess]:
+        return tuple(self._processes)
+
+
+def hold(delay: float):
+    """Generator helper: ``yield from hold(dt)`` (CSIM's ``hold``)."""
+    if delay > 0:
+        yield Hold(delay)
+    elif delay < 0:
+        raise SimulationError(f"cannot hold for negative time ({delay})")

@@ -1,0 +1,70 @@
+"""Mailboxes: blocking message queues with filtered receive.
+
+CSIM mailboxes deliver untyped messages FIFO; MPI receive additionally
+matches on (source, tag).  :meth:`Mailbox.receive` takes an optional
+predicate — the first queued message satisfying it is delivered, or the
+receiver blocks until a matching send arrives.  Unmatched messages stay
+queued (MPI's unexpected-message queue).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.sim.core import Event, Simulation, Wait
+from repro.sim.stats import Table
+
+
+class Mailbox:
+    def __init__(self, sim: Simulation, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._messages: list[Any] = []
+        self._receivers: list[tuple[Callable[[Any], bool] | None, Event]] = []
+        self.delivered = 0
+        self.wait_times = Table(f"{name}.wait")
+
+    def send(self, message) -> None:
+        """Deposit a message; wakes the first matching blocked receiver.
+
+        Sending never blocks (CSIM semantics); synchronous rendezvous is
+        built on top with a reply event (see the MPI workload elements).
+        """
+        for index, (predicate, event) in enumerate(self._receivers):
+            if predicate is None or predicate(message):
+                del self._receivers[index]
+                self.delivered += 1
+                event.fire(message)
+                return
+        self._messages.append(message)
+
+    def receive(self, match: Callable[[Any], bool] | None = None
+                ) -> Generator:
+        """Receive the first message satisfying ``match`` (or any message).
+
+        ``msg = yield from mailbox.receive(...)``.
+        """
+        for index, message in enumerate(self._messages):
+            if match is None or match(message):
+                del self._messages[index]
+                self.delivered += 1
+                self.wait_times.record(0.0)
+                return message
+        event = Event(self.sim, f"{self.name}.recv")
+        self._receivers.append((match, event))
+        arrived_at = self.sim.now
+        yield Wait(event)
+        self.wait_times.record(self.sim.now - arrived_at)
+        return event.payload
+
+    def peek_count(self) -> int:
+        """Messages currently queued (unmatched)."""
+        return len(self._messages)
+
+    @property
+    def waiting_receivers(self) -> int:
+        return len(self._receivers)
+
+    def __repr__(self) -> str:
+        return (f"<Mailbox {self.name!r} {len(self._messages)} queued, "
+                f"{len(self._receivers)} waiting>")

@@ -1,0 +1,102 @@
+"""CSIM-style statistics collectors.
+
+* :class:`Table` — sample statistics (count, mean, variance via Welford,
+  min, max), CSIM's ``table``;
+* :class:`TimeWeighted` — a piecewise-constant signal integrated over
+  simulated time (queue lengths, busy-server counts), CSIM's ``qtable``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Table:
+    """Streaming sample statistics (numerically stable)."""
+
+    def __init__(self, name: str = "table") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    def stddev(self) -> float:
+        return math.sqrt(self.variance())
+
+    def merge(self, other: "Table") -> "Table":
+        """Combine two tables (parallel Welford merge)."""
+        merged = Table(f"{self.name}+{other.name}")
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        delta = other.mean() - self.mean()
+        merged._mean = (self.count * self.mean()
+                        + other.count * other.mean()) / merged.count
+        merged._m2 = (self._m2 + other._m2
+                      + delta * delta * self.count * other.count
+                      / merged.count)
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        merged.total = self.total + other.total
+        return merged
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return f"<Table {self.name!r} empty>"
+        return (f"<Table {self.name!r} n={self.count} mean={self.mean():g} "
+                f"min={self.minimum:g} max={self.maximum:g}>")
+
+
+class TimeWeighted:
+    """Integrates a piecewise-constant value over simulation time."""
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._value = 0.0
+        self._last_change = sim.now
+        self._integral = 0.0
+        self.maximum = 0.0
+
+    def record(self, value: float) -> None:
+        """The signal takes ``value`` from the current sim time onward."""
+        now = self._sim.now
+        self._integral += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    def integral(self) -> float:
+        """∫ value dt from 0 to now."""
+        return self._integral + self._value * (self._sim.now
+                                               - self._last_change)
+
+    def mean(self) -> float:
+        """Time-weighted mean since t=0."""
+        if self._sim.now <= 0:
+            return 0.0
+        return self.integral() / self._sim.now

@@ -1,0 +1,81 @@
+"""Storages: counting resources (CSIM's ``storage``).
+
+A storage holds ``capacity`` units; processes allocate and deallocate
+arbitrary amounts, blocking FCFS when not enough units are free.  Used for
+memory-capacity models and bounded buffers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Simulation, Wait
+from repro.sim.stats import TimeWeighted
+
+
+class Storage:
+    def __init__(self, sim: Simulation, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise SimulationError(
+                f"storage {name!r} needs positive capacity, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: deque[tuple[float, Event]] = deque()
+        self._in_use = TimeWeighted(sim)
+
+    def allocate(self, amount: float) -> Generator:
+        """Allocate ``amount`` units, blocking until available (FCFS)."""
+        if amount <= 0:
+            raise SimulationError(
+                f"allocation from {self.name!r} must be positive, "
+                f"got {amount}")
+        if amount > self.capacity:
+            raise SimulationError(
+                f"allocation of {amount} exceeds capacity "
+                f"{self.capacity} of storage {self.name!r}")
+        # FCFS: if anyone is already waiting, queue behind them even if
+        # this request would fit (prevents starvation of large requests).
+        if self._waiters or amount > self._available:
+            event = Event(self.sim, f"{self.name}.alloc")
+            self._waiters.append((amount, event))
+            yield Wait(event)
+            # Woken exactly when our amount was reserved by deallocate().
+            return
+        self._available -= amount
+        self._in_use.record(self.capacity - self._available)
+
+    def deallocate(self, amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError(
+                f"deallocation to {self.name!r} must be positive")
+        if self._available + amount > self.capacity + 1e-9:
+            raise SimulationError(
+                f"deallocating {amount} would exceed capacity of "
+                f"storage {self.name!r}")
+        self._available += amount
+        self._in_use.record(self.capacity - self._available)
+        # Serve waiters FCFS while their requests fit.
+        while self._waiters and self._waiters[0][0] <= self._available:
+            amount_needed, event = self._waiters.popleft()
+            self._available -= amount_needed
+            self._in_use.record(self.capacity - self._available)
+            event.fire()
+
+    @property
+    def available(self) -> float:
+        return self._available
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def mean_in_use(self) -> float:
+        return self._in_use.mean()
+
+    def __repr__(self) -> str:
+        return (f"<Storage {self.name!r} {self._available:g}/"
+                f"{self.capacity:g} free>")

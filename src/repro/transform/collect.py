@@ -1,0 +1,24 @@
+"""Lines 1-8 of the Fig. 5 algorithm: collect performance modeling elements.
+
+"FORALL(is diagram of uml_mod_rep) DO FORALL(is element of diagram) DO
+IF(element is performance modeling element) add element to perf_elements"
+
+Implemented with the Fig. 6 traversal framework: a
+:class:`~repro.traverse.handlers.CollectingHandler` with the profile's
+performance-element predicate, driven by the default Traverser/Navigator.
+"""
+
+from __future__ import annotations
+
+from repro.traverse.handlers import CollectingHandler
+from repro.traverse.traverser import Traverser
+from repro.uml.activities import ActivityNode
+from repro.uml.model import Model
+from repro.uml.perf_profile import is_performance_element
+
+
+def collect_performance_elements(model: Model) -> list[ActivityNode]:
+    """Performance-relevant elements in deterministic traversal order."""
+    handler = CollectingHandler(is_performance_element)
+    Traverser(handler).traverse(model)
+    return list(handler.collected)

@@ -1,0 +1,6 @@
+"""C++ backend: renders the IR as the paper's PMP C++ text (Fig. 8)."""
+
+from repro.transform.cpp.emitter import CppArtifacts, transform_to_cpp
+from repro.transform.cpp.runtime_header import RUNTIME_HEADER
+
+__all__ = ["transform_to_cpp", "CppArtifacts", "RUNTIME_HEADER"]

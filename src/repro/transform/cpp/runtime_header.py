@@ -1,0 +1,145 @@
+'''The C++ runtime header the generated PMP compiles against.
+
+In the paper the generated C++ is linked with the Performance Estimator's
+workload/machine elements on top of the CSIM simulation engine.  CSIM is a
+commercial library we cannot ship; this header is the faithful interface
+the generated code targets — class shapes mirror
+:mod:`repro.workload.elements`, which implements the same semantics in
+Python and *is* executed.  (See DESIGN.md, substitution table.)
+'''
+
+RUNTIME_HEADER = r"""// prophet_runtime.h — runtime interface for generated performance models.
+//
+// The Performance Estimator provides the implementation of these classes
+// (Workload Elements over the CSIM simulation engine); the generated
+// model (PMP) only constructs and executes them.
+#ifndef PROPHET_RUNTIME_H
+#define PROPHET_RUNTIME_H
+
+#include <string>
+
+namespace prophet {
+
+// Simulation context made available to the model by the estimator.
+// uid/pid/tid identify the executing user/process/thread; `size` is the
+// number of processes, nnodes the node count, nthreads threads/process.
+extern thread_local int uid;
+extern thread_local int pid;
+extern thread_local int tid;
+extern int size;
+extern int nnodes;
+extern int nthreads;
+
+// A single-entry single-exit code region (<<action+>>).  execute() holds
+// the executing thread's processor for `cost` simulated seconds.
+class ActionPlus {
+ public:
+  ActionPlus(const std::string& name, int element_id);
+  void execute(int uid, int pid, int tid, double cost);
+};
+
+// A code region guarded by a named lock (<<critical+>>).
+class CriticalSection {
+ public:
+  CriticalSection(const std::string& name, int element_id);
+  void execute(int uid, int pid, int tid, double cost,
+               const std::string& lock);
+};
+
+// Message passing elements (<<send+>>, <<recv+>>, collectives).  Sends
+// are buffered-eager below the rendezvous threshold, synchronous above;
+// collectives use tree algorithms over the machine model's network.
+class MpiSend {
+ public:
+  MpiSend(const std::string& name, int element_id);
+  void execute(int uid, int pid, int tid, int dest, double bytes, int tag);
+};
+
+class MpiRecv {
+ public:
+  MpiRecv(const std::string& name, int element_id);
+  void execute(int uid, int pid, int tid, int source, double bytes, int tag);
+};
+
+class MpiBarrier {
+ public:
+  MpiBarrier(const std::string& name, int element_id);
+  void execute(int uid, int pid, int tid);
+};
+
+class MpiBcast {
+ public:
+  MpiBcast(const std::string& name, int element_id);
+  void execute(int uid, int pid, int tid, int root, double bytes);
+};
+
+class MpiScatter {
+ public:
+  MpiScatter(const std::string& name, int element_id);
+  void execute(int uid, int pid, int tid, int root, double bytes);
+};
+
+class MpiGather {
+ public:
+  MpiGather(const std::string& name, int element_id);
+  void execute(int uid, int pid, int tid, int root, double bytes);
+};
+
+class MpiReduce {
+ public:
+  MpiReduce(const std::string& name, int element_id);
+  void execute(int uid, int pid, int tid, int root, double bytes,
+               const std::string& op);
+};
+
+class MpiAllreduce {
+ public:
+  MpiAllreduce(const std::string& name, int element_id);
+  void execute(int uid, int pid, int tid, double bytes,
+               const std::string& op);
+};
+
+// OpenMP-style parallel region (<<parallel+>>): the PROPHET_PARALLEL
+// macro forks `num_threads` simulated threads over the region body and
+// joins them at the closing brace (implicit barrier).
+class ParallelRegion {
+ public:
+  ParallelRegion(const std::string& name, int element_id);
+};
+
+#define PROPHET_PARALLEL(region, num_threads) \
+  for (prophet::detail::ParGuard _pg(region, num_threads); _pg.next();)
+
+// Fork/join concurrent sections within one process.
+#define PROPHET_SECTIONS \
+  for (prophet::detail::SectionsGuard _sg; _sg.next();)
+#define PROPHET_SECTION \
+  if (prophet::detail::SectionGuard _s = _sg.section())
+
+// Model registration: the estimator looks the entry point up by name.
+#define PROPHET_REGISTER_MODEL(name, entry) \
+  static prophet::detail::ModelRegistrar _reg_##name(#name, entry)
+
+namespace detail {
+class ParGuard {
+ public:
+  ParGuard(ParallelRegion& region, int num_threads);
+  bool next();
+};
+class SectionsGuard {
+ public:
+  bool next();
+  struct SectionGuard { explicit operator bool() const; };
+  SectionGuard section();
+};
+using SectionGuard = SectionsGuard::SectionGuard;
+class ModelRegistrar {
+ public:
+  ModelRegistrar(const char* name, void (*entry)(int, int, int));
+};
+}  // namespace detail
+
+}  // namespace prophet
+
+#endif  // PROPHET_RUNTIME_H
+"""

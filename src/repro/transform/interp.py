@@ -1,0 +1,293 @@
+"""Direct interpretation of the UML model — the codegen baseline.
+
+The paper's core claim is that the UML representation "is not adequate
+for an efficient model evaluation", which is why Performance Prophet
+transforms it to C++.  This module is the counterfactual: it evaluates
+the model by walking the region tree and evaluating every annotation with
+the mini-language tree evaluator on each execution.  Expression ASTs are
+parsed once and cached (being maximally unfair to the baseline would
+overstate the paper's point); the remaining gap — tree dispatch and
+environment lookups versus generated straight-line Python — is what the
+EVAL-A benchmark measures.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimatorError, TransformError
+from repro.lang.ast import Expr, Program
+from repro.lang.evaluator import Environment, Evaluator
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.types import Type
+from repro.transform.algorithm import (
+    ModelIR,
+    RUNTIME_CLASSES,
+    build_ir,
+    cost_argument,
+)
+from repro.transform.flowgraph import (
+    BranchRegion,
+    CycleRegion,
+    ForkRegion,
+    LeafRegion,
+    Region,
+    SequenceRegion,
+)
+from repro.uml.activities import (
+    ActionNode,
+    ActivityInvocationNode,
+    ActivityNode,
+    LoopNode,
+    ParallelRegionNode,
+)
+from repro.uml.model import Model
+from repro.uml.perf_profile import (
+    ALLREDUCE_PLUS,
+    BARRIER_PLUS,
+    BCAST_PLUS,
+    CRITICAL_PLUS,
+    GATHER_PLUS,
+    RECV_PLUS,
+    REDUCE_PLUS,
+    SCATTER_PLUS,
+    SEND_PLUS,
+    performance_stereotype,
+)
+
+_INTRINSICS = ("uid", "pid", "tid", "size", "nnodes", "nthreads")
+
+
+class ModelInterpreter:
+    """Interprets a model against the same runtime as generated code."""
+
+    def __init__(self, model: Model) -> None:
+        self.model = model
+        self.ir: ModelIR = build_ir(model)
+        self.functions = model.function_defs()
+        self._expr_cache: dict[str, Expr] = {}
+        self._program_cache: dict[str, Program] = {}
+
+    # -- caches -----------------------------------------------------------
+
+    def _expr(self, source: str) -> Expr:
+        expr = self._expr_cache.get(source)
+        if expr is None:
+            expr = parse_expression(source)
+            self._expr_cache[source] = expr
+        return expr
+
+    def _program(self, source: str) -> Program:
+        program = self._program_cache.get(source)
+        if program is None:
+            program = parse_program(source)
+            self._program_cache[source] = program
+        return program
+
+    # -- entry points used by the estimator ---------------------------------
+
+    def init_globals(self, store, c_div, c_mod, builtins) -> None:
+        """Populate a process store exactly as generated init_globals."""
+        evaluator = Evaluator(self.functions)
+        env = Environment()
+        for variable in self.model.global_variables():
+            value = (evaluator.eval_expr(self._expr(variable.init), env)
+                     if variable.init is not None else None)
+            env.declare(variable.name, variable.type, value)
+            setattr(store, variable.name, env.lookup(variable.name))
+
+    def main(self, ctx):
+        """The interpreted equivalent of generated ``pmp_main(ctx)``."""
+        yield from ()
+        evaluator = Evaluator(self.functions)
+        env = self._process_environment(ctx)
+        elements = {
+            declaration.node.id: ctx.new(declaration.class_name,
+                                         declaration.display_name,
+                                         declaration.node.id)
+            for declaration in self.ir.declarations
+        }
+        strand_env = self._strand_environment(env, ctx)
+        main_region = self.ir.regions[self.model.main_diagram_name]
+        yield from self._run_region(main_region, ctx, evaluator,
+                                    strand_env, elements)
+
+    # -- environments ----------------------------------------------------------
+
+    def _process_environment(self, ctx) -> Environment:
+        env = Environment()
+        for variable in self.model.global_variables():
+            env.declare(variable.name, variable.type,
+                        getattr(ctx.v, variable.name))
+        evaluator = Evaluator(self.functions)
+        for variable in self.model.local_variables():
+            value = (evaluator.eval_expr(self._expr(variable.init), env)
+                     if variable.init is not None else None)
+            env.declare(variable.name, variable.type, value)
+        # Intrinsics at process scope: cost-function *bodies* see these
+        # (the generated C++ declares them as thread_local globals, and
+        # generated Python closes over pmp_main's bindings, where the
+        # main strand has tid 0).  Thread strands shadow uid/tid in their
+        # own child scopes for region-level expressions.
+        for name, value in (("uid", ctx.uid), ("pid", ctx.pid),
+                            ("tid", 0), ("size", ctx.size),
+                            ("nnodes", ctx.nnodes),
+                            ("nthreads", ctx.nthreads)):
+            env.declare(name, Type.INT, value)
+        return env
+
+    @staticmethod
+    def _strand_environment(process_env: Environment, ctx) -> Environment:
+        env = process_env.child()
+        env.declare("uid", Type.INT, ctx.uid)
+        env.declare("pid", Type.INT, ctx.pid)
+        env.declare("tid", Type.INT, ctx.tid)
+        env.declare("size", Type.INT, ctx.size)
+        env.declare("nnodes", Type.INT, ctx.nnodes)
+        env.declare("nthreads", Type.INT, ctx.nthreads)
+        return env
+
+    # -- region interpretation ----------------------------------------------------
+
+    def _run_region(self, region: Region, ctx, evaluator: Evaluator,
+                    env: Environment, elements: dict):
+        if isinstance(region, SequenceRegion):
+            for item in region.items:
+                yield from self._run_region(item, ctx, evaluator, env,
+                                            elements)
+        elif isinstance(region, LeafRegion):
+            yield from self._run_leaf(region.node, ctx, evaluator, env,
+                                      elements)
+        elif isinstance(region, BranchRegion):
+            for guard, arm in region.arms:
+                if evaluator.eval_guard(self._expr(guard), env):
+                    yield from self._run_region(arm, ctx, evaluator,
+                                                env.child(), elements)
+                    return
+            if region.else_arm is not None:
+                yield from self._run_region(region.else_arm, ctx,
+                                            evaluator, env.child(),
+                                            elements)
+        elif isinstance(region, CycleRegion):
+            while True:
+                yield from self._run_region(region.pre, ctx, evaluator,
+                                            env, elements)
+                if region.break_condition is not None:
+                    should_break = evaluator.eval_guard(
+                        self._expr(region.break_condition), env)
+                else:
+                    should_break = not evaluator.eval_guard(
+                        self._expr(region.negated_stay_guard), env)
+                if should_break:
+                    break
+                yield from self._run_region(region.post, ctx, evaluator,
+                                            env, elements)
+        elif isinstance(region, ForkRegion):
+            arms = [self._arm_body(arm, evaluator, env, elements)
+                    for arm in region.arms]
+            yield from ctx.fork_join(region.fork.name, region.fork.id,
+                                     arms)
+        else:  # pragma: no cover - defensive
+            raise TransformError(
+                f"unknown region type {type(region).__name__}")
+
+    def _arm_body(self, region: Region, evaluator: Evaluator,
+                  env: Environment, elements: dict):
+        def body(ctx, uid, pid, tid):
+            yield from ()
+            strand_env = self._strand_environment(env, ctx)
+            yield from self._run_region(region, ctx, evaluator,
+                                        strand_env, elements)
+        return body
+
+    def _run_leaf(self, node: ActivityNode, ctx, evaluator: Evaluator,
+                  env: Environment, elements: dict):
+        if isinstance(node, ActivityInvocationNode):
+            yield from self._run_region(self.ir.regions[node.behavior],
+                                        ctx, evaluator, env, elements)
+            return
+        if isinstance(node, LoopNode):
+            iterations = int(evaluator.eval_expr(
+                self._expr(node.iterations), env))
+            body_region = self.ir.regions[node.behavior]
+            for _ in range(iterations):
+                yield from self._run_region(body_region, ctx, evaluator,
+                                            env, elements)
+            return
+        if isinstance(node, ParallelRegionNode):
+            num_threads = int(evaluator.eval_expr(
+                self._expr(node.num_threads), env))
+            body_region = self.ir.regions[node.behavior]
+
+            def body(tctx, uid, pid, tid):
+                yield from ()
+                strand_env = self._strand_environment(env, tctx)
+                yield from self._run_region(body_region, tctx, evaluator,
+                                            strand_env, elements)
+
+            yield from ctx.parallel_region(node.name, node.id,
+                                           num_threads, body)
+            return
+        if isinstance(node, ActionNode):
+            yield from self._run_action(node, ctx, evaluator, env,
+                                        elements)
+            return
+        raise EstimatorError(
+            f"interpreter cannot execute node class "
+            f"{type(node).__name__} ({node.name!r})")
+
+    def _run_action(self, node: ActionNode, ctx, evaluator: Evaluator,
+                    env: Environment, elements: dict):
+        stereotype = performance_stereotype(node)
+        if stereotype is None:
+            return
+        if node.code is not None:
+            evaluator.run_program(self._program(node.code), env)
+        element = elements[node.id]
+        uid, pid, tid = ctx.uid, ctx.pid, ctx.tid
+
+        def tag_value(tag: str, default: str = "0"):
+            raw = node.tag_value(stereotype, tag)
+            source = raw if isinstance(raw, str) else default
+            return evaluator.eval_expr(self._expr(source), env)
+
+        if stereotype == SEND_PLUS:
+            tag = node.tag_value(stereotype, "tag", 0)
+            yield from element.execute(uid, pid, tid, tag_value("dest"),
+                                       tag_value("size"), tag)
+        elif stereotype == RECV_PLUS:
+            tag = node.tag_value(stereotype, "tag", 0)
+            yield from element.execute(uid, pid, tid, tag_value("source"),
+                                       tag_value("size"), tag)
+        elif stereotype == BARRIER_PLUS:
+            yield from element.execute(uid, pid, tid)
+        elif stereotype in (BCAST_PLUS, SCATTER_PLUS, GATHER_PLUS):
+            yield from element.execute(uid, pid, tid, tag_value("root"),
+                                       tag_value("size"))
+        elif stereotype == REDUCE_PLUS:
+            op = node.tag_value(stereotype, "op", "sum")
+            yield from element.execute(uid, pid, tid, tag_value("root"),
+                                       tag_value("size"), op)
+        elif stereotype == ALLREDUCE_PLUS:
+            op = node.tag_value(stereotype, "op", "sum")
+            yield from element.execute(uid, pid, tid, tag_value("size"),
+                                       op)
+        elif stereotype == CRITICAL_PLUS:
+            lock = node.tag_value(CRITICAL_PLUS, "lock", "default")
+            cost = self._cost_of(node, evaluator, env)
+            yield from element.execute(uid, pid, tid, cost, lock)
+        else:  # action+
+            cost = self._cost_of(node, evaluator, env)
+            yield from element.execute(uid, pid, tid, cost)
+        # Write any global mutations done by the code fragment back to
+        # the shared store so codegen/interp stay observationally equal.
+        self._sync_store(ctx, env)
+
+    def _cost_of(self, node: ActionNode, evaluator: Evaluator,
+                 env: Environment) -> float:
+        cost = cost_argument(node)
+        if cost is None:
+            return 0.0
+        return float(evaluator.eval_expr(self._expr(cost), env))
+
+    def _sync_store(self, ctx, env: Environment) -> None:
+        for variable in self.model.global_variables():
+            setattr(ctx.v, variable.name, env.lookup(variable.name))

@@ -1,0 +1,5 @@
+"""Python backend: renders the IR as an executable simulation module."""
+
+from repro.transform.python.emitter import PyArtifacts, transform_to_python
+
+__all__ = ["transform_to_python", "PyArtifacts"]

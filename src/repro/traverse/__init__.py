@@ -1,0 +1,31 @@
+"""The Model Traverser (Fig. 6 of the paper).
+
+Three entities cooperate: the *Traverser* drives, the *Navigator* walks the
+model tree and serves the current element, the *ContentHandler* visits each
+element and generates output.  "Each implementation of one of these
+components can be combined with any implementation of the other two" —
+they interact only through the interfaces in
+:mod:`~repro.traverse.interfaces`.
+
+Per the paper, extending Performance Prophet with a new model
+representation "involves only a specific implementation of the
+ContentHandler interface": the C++ and Python emitters in
+:mod:`repro.transform` are exactly such handlers.
+"""
+
+from repro.traverse.interfaces import ContentHandler, Navigator, TraversalEvent
+from repro.traverse.navigator import DepthFirstNavigator
+from repro.traverse.traverser import Traverser
+from repro.traverse.handlers import (
+    CollectingHandler,
+    CountingHandler,
+    MultiHandler,
+    RecordingHandler,
+)
+
+__all__ = [
+    "ContentHandler", "Navigator", "TraversalEvent",
+    "DepthFirstNavigator", "Traverser",
+    "RecordingHandler", "CountingHandler", "MultiHandler",
+    "CollectingHandler",
+]

@@ -1,0 +1,93 @@
+"""Stock ContentHandler implementations."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from repro.traverse.interfaces import ContentHandler
+from repro.uml.element import Element
+
+
+class RecordingHandler(ContentHandler):
+    """Records every callback — the reference implementation for tests."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, int | None]] = []
+
+    def begin(self, root: Element) -> None:
+        self.events.append(("begin", root.id))
+
+    def enter_scope(self, element: Element) -> None:
+        self.events.append(("enter", element.id))
+
+    def visit_element(self, element: Element) -> None:
+        self.events.append(("visit", element.id))
+
+    def leave_scope(self, element: Element) -> None:
+        self.events.append(("leave", element.id))
+
+    def end(self, root: Element) -> None:
+        self.events.append(("end", root.id))
+
+
+class CountingHandler(ContentHandler):
+    """Counts visited elements by class name — cheap model statistics."""
+
+    def __init__(self) -> None:
+        self.counts: Counter[str] = Counter()
+
+    def visit_element(self, element: Element) -> None:
+        self.counts[type(element).__name__] += 1
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class MultiHandler(ContentHandler):
+    """Fans every callback out to several handlers in order.
+
+    Lets one traversal feed several representations at once (e.g. C++ and
+    XML in a single pass), matching the paper's "generation of various
+    model representations".
+    """
+
+    def __init__(self, *handlers: ContentHandler) -> None:
+        self.handlers = list(handlers)
+
+    def begin(self, root: Element) -> None:
+        for handler in self.handlers:
+            handler.begin(root)
+
+    def enter_scope(self, element: Element) -> None:
+        for handler in self.handlers:
+            handler.enter_scope(element)
+
+    def visit_element(self, element: Element) -> None:
+        for handler in self.handlers:
+            handler.visit_element(element)
+
+    def leave_scope(self, element: Element) -> None:
+        for handler in self.handlers:
+            handler.leave_scope(element)
+
+    def end(self, root: Element) -> None:
+        for handler in self.handlers:
+            handler.end(root)
+
+
+class CollectingHandler(ContentHandler):
+    """Collects elements matching a predicate, in traversal order.
+
+    Lines 1-8 of the Fig. 5 algorithm — "identify and select performance
+    modeling elements" — are this handler with the
+    :func:`~repro.uml.perf_profile.is_performance_element` predicate.
+    """
+
+    def __init__(self, predicate: Callable[[Element], bool]) -> None:
+        self.predicate = predicate
+        self.collected: list[Element] = []
+
+    def visit_element(self, element: Element) -> None:
+        if self.predicate(element):
+            self.collected.append(element)

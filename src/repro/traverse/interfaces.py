@@ -1,0 +1,66 @@
+"""Interfaces of the traversal triad (Fig. 6).
+
+The communication protocol per element:
+
+1. ``Traverser`` → ``Navigator``: ``navigation_command()``
+2. ``Traverser`` ← ``Navigator``: ``ce := get_current_element()``
+3. ``Traverser`` → ``ContentHandler``: ``visit_element(ce)``
+
+Scope boundaries (entering/leaving a diagram or the model itself) reach the
+handler through ``enter_scope``/``leave_scope`` so code generators can
+emit nesting.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+
+from repro.uml.element import Element
+
+
+class TraversalEvent(enum.Enum):
+    """What the navigator's current position denotes."""
+
+    ENTER = "enter"    # entering a container (model, diagram)
+    VISIT = "visit"    # visiting a leaf element (node, edge)
+    LEAVE = "leave"    # leaving a container
+
+
+class Navigator(ABC):
+    """Walks the model tree, one position at a time."""
+
+    @abstractmethod
+    def navigation_command(self) -> bool:
+        """Advance to the next position; False when traversal is done."""
+
+    @abstractmethod
+    def get_current_element(self) -> Element | None:
+        """The element at the current position (None before the start)."""
+
+    @abstractmethod
+    def current_event(self) -> TraversalEvent:
+        """Whether the position is an enter/visit/leave."""
+
+
+class ContentHandler(ABC):
+    """Visits elements and produces some representation.
+
+    All methods default to no-ops so concrete handlers override only what
+    they need (the paper's default-implementation remark).
+    """
+
+    def begin(self, root: Element) -> None:
+        """Called once before traversal starts."""
+
+    def enter_scope(self, element: Element) -> None:
+        """Called when the navigator enters a container element."""
+
+    def visit_element(self, element: Element) -> None:
+        """Called for each leaf element."""
+
+    def leave_scope(self, element: Element) -> None:
+        """Called when the navigator leaves a container element."""
+
+    def end(self, root: Element) -> None:
+        """Called once after traversal finishes."""

@@ -1,0 +1,65 @@
+"""Default Navigator: deterministic depth-first walk of the model tree.
+
+Order: the model (enter) → each diagram in insertion order (enter, nodes
+in insertion order, then edges in insertion order, leave) → model (leave).
+Deterministic order is what makes generated code reproducible byte-for-byte
+(tested by the transformation determinism property).
+"""
+
+from __future__ import annotations
+
+from repro.uml.diagram import ActivityDiagram
+from repro.uml.element import Element
+from repro.uml.model import Model
+from repro.traverse.interfaces import Navigator, TraversalEvent
+
+
+class DepthFirstNavigator(Navigator):
+    """Walks a model (or a single diagram) depth-first."""
+
+    def __init__(self, root: Element) -> None:
+        self._positions = list(self._linearize(root))
+        self._index = -1
+
+    @staticmethod
+    def _linearize(root: Element):
+        if isinstance(root, Model):
+            yield (TraversalEvent.ENTER, root)
+            for diagram in root.diagrams:
+                yield from DepthFirstNavigator._diagram_positions(diagram)
+            yield (TraversalEvent.LEAVE, root)
+        elif isinstance(root, ActivityDiagram):
+            yield from DepthFirstNavigator._diagram_positions(root)
+        else:
+            yield (TraversalEvent.VISIT, root)
+
+    @staticmethod
+    def _diagram_positions(diagram: ActivityDiagram):
+        yield (TraversalEvent.ENTER, diagram)
+        for node in diagram.nodes:
+            yield (TraversalEvent.VISIT, node)
+        for edge in diagram.edges:
+            yield (TraversalEvent.VISIT, edge)
+        yield (TraversalEvent.LEAVE, diagram)
+
+    # -- Navigator interface ------------------------------------------------
+
+    def navigation_command(self) -> bool:
+        if self._index + 1 >= len(self._positions):
+            return False
+        self._index += 1
+        return True
+
+    def get_current_element(self) -> Element | None:
+        if self._index < 0:
+            return None
+        return self._positions[self._index][1]
+
+    def current_event(self) -> TraversalEvent:
+        if self._index < 0:
+            raise RuntimeError("navigator has not been advanced yet")
+        return self._positions[self._index][0]
+
+    def __len__(self) -> int:
+        """Total number of positions this navigator will serve."""
+        return len(self._positions)

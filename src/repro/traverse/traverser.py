@@ -1,0 +1,55 @@
+"""Default Traverser: drives the Fig. 6 protocol."""
+
+from __future__ import annotations
+
+from repro.traverse.interfaces import ContentHandler, Navigator, TraversalEvent
+from repro.traverse.navigator import DepthFirstNavigator
+from repro.uml.element import Element
+
+
+class Traverser:
+    """Drives a Navigator and dispatches to a ContentHandler.
+
+    The interaction per position is exactly the communication diagram of
+    Fig. 6: ``navigation_command()``, then ``get_current_element()``, then
+    the handler visit.  An optional ``protocol_log`` records that sequence
+    (used by the FIG6 reproduction test).
+    """
+
+    def __init__(self, handler: ContentHandler,
+                 record_protocol: bool = False) -> None:
+        self.handler = handler
+        self.protocol_log: list[tuple[str, int | None]] = []
+        self._record = record_protocol
+
+    def traverse(self, root: Element,
+                 navigator: Navigator | None = None) -> ContentHandler:
+        """Walk ``root`` (a Model, diagram, or element) with the handler."""
+        navigator = navigator or DepthFirstNavigator(root)
+        self.handler.begin(root)
+        while True:
+            advanced = navigator.navigation_command()
+            if self._record:
+                self.protocol_log.append(("navigationCommand", None))
+            if not advanced:
+                break
+            current = navigator.get_current_element()
+            if self._record:
+                self.protocol_log.append(
+                    ("getCurrentElement",
+                     current.id if current is not None else None))
+            event = navigator.current_event()
+            if event is TraversalEvent.ENTER:
+                self.handler.enter_scope(current)
+                if self._record:
+                    self.protocol_log.append(("enterScope", current.id))
+            elif event is TraversalEvent.LEAVE:
+                self.handler.leave_scope(current)
+                if self._record:
+                    self.protocol_log.append(("leaveScope", current.id))
+            else:
+                self.handler.visit_element(current)
+                if self._record:
+                    self.protocol_log.append(("visitElement", current.id))
+        self.handler.end(root)
+        return self.handler

@@ -1,0 +1,51 @@
+"""UML metamodel subset and performance-modeling profile.
+
+Implements the parts of UML 2.0 the paper relies on: activity diagrams
+(nodes, control flow, guards), the extension mechanism (stereotypes with
+tagged values, Fig. 1), a model root holding diagrams, variables and cost
+functions, plus the ``action+``/``activity+`` performance profile and the
+message-passing/shared-memory building blocks of the authors' earlier UML
+extension papers [17, 18].
+"""
+
+from repro.uml.element import Element, NamedElement
+from repro.uml.stereotype import (
+    Stereotype,
+    StereotypeApplication,
+    TagDefinition,
+)
+from repro.uml.profile import Profile
+from repro.uml.activities import (
+    ActionNode,
+    ActivityFinalNode,
+    ActivityInvocationNode,
+    ActivityNode,
+    ControlFlow,
+    DecisionNode,
+    ForkNode,
+    InitialNode,
+    JoinNode,
+    LoopNode,
+    MergeNode,
+    ParallelRegionNode,
+)
+from repro.uml.diagram import ActivityDiagram
+from repro.uml.model import CostFunction, Model, VariableDeclaration
+from repro.uml.perf_profile import (
+    PERF_PROFILE,
+    PERF_STEREOTYPE_NAMES,
+    is_performance_element,
+)
+from repro.uml.builder import DiagramBuilder, ModelBuilder
+
+__all__ = [
+    "Element", "NamedElement",
+    "Stereotype", "StereotypeApplication", "TagDefinition", "Profile",
+    "ActivityNode", "ActionNode", "ActivityInvocationNode",
+    "InitialNode", "ActivityFinalNode", "DecisionNode", "MergeNode",
+    "ForkNode", "JoinNode", "LoopNode", "ParallelRegionNode", "ControlFlow",
+    "ActivityDiagram",
+    "Model", "VariableDeclaration", "CostFunction",
+    "PERF_PROFILE", "PERF_STEREOTYPE_NAMES", "is_performance_element",
+    "ModelBuilder", "DiagramBuilder",
+]

@@ -1,0 +1,215 @@
+"""Activity-diagram node and edge classes.
+
+The paper models scientific programs with UML activity diagrams (Section 3):
+action nodes annotated with cost functions, decision/merge for branching
+(mapped to C++ ``if/else-if``), fork/join for parallelism, and nested
+activities whose content is a further activity diagram (the ``SA`` activity
+of Fig. 7).  Loop and parallel-region structured nodes carry the loop/
+OpenMP building blocks of the authors' UML extension [17, 18].
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import DiagramError
+from repro.uml.element import NamedElement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.uml.diagram import ActivityDiagram
+
+
+class ActivityNode(NamedElement):
+    """Base class for all nodes of an activity diagram."""
+
+    metaclass = "ActivityNode"
+
+    def __init__(self, element_id: int, name: str) -> None:
+        super().__init__(element_id, name)
+        self.incoming: list["ControlFlow"] = []
+        self.outgoing: list["ControlFlow"] = []
+
+    @property
+    def diagram(self) -> "ActivityDiagram | None":
+        owner = self.owner
+        from repro.uml.diagram import ActivityDiagram
+        return owner if isinstance(owner, ActivityDiagram) else None
+
+    def successors(self) -> list["ActivityNode"]:
+        return [edge.target for edge in self.outgoing]
+
+    def predecessors(self) -> list["ActivityNode"]:
+        return [edge.source for edge in self.incoming]
+
+
+class InitialNode(ActivityNode):
+    """The unique entry point of a diagram."""
+
+    metaclass = "InitialNode"
+
+    def __init__(self, element_id: int, name: str = "initial") -> None:
+        super().__init__(element_id, name)
+
+
+class ActivityFinalNode(ActivityNode):
+    """Terminates the activity."""
+
+    metaclass = "ActivityFinalNode"
+
+    def __init__(self, element_id: int, name: str = "final") -> None:
+        super().__init__(element_id, name)
+
+
+class ActionNode(ActivityNode):
+    """A UML Action — "the fundamental unit of behavior specification".
+
+    Performance models stereotype actions as ``<<action+>>`` (sequential
+    code blocks) or as communication elements (``<<send+>>`` etc.).  The
+    node optionally carries:
+
+    * ``cost`` — the source of the cost-function *invocation* expression
+      associated with the element (``FA1()`` in Fig. 8 line 76, or a bare
+      expression like ``0.5 * P``);
+    * ``code`` — an associated code fragment spliced into the generated
+      C++ before the element executes (Fig. 7(b) / Fig. 8 lines 72-75).
+    """
+
+    metaclass = "Action"
+
+    def __init__(self, element_id: int, name: str,
+                 cost: str | None = None,
+                 code: str | None = None) -> None:
+        super().__init__(element_id, name)
+        self.cost = cost
+        self.code = code
+
+
+class ActivityInvocationNode(ActivityNode):
+    """An ``<<activity+>>`` element: a node whose content is described by
+    another activity diagram (the undocked diagram ``SA`` in Fig. 7(a)).
+
+    ``behavior`` names the diagram that defines the content.
+    """
+
+    metaclass = "StructuredActivityNode"
+
+    def __init__(self, element_id: int, name: str, behavior: str) -> None:
+        super().__init__(element_id, name)
+        if not behavior:
+            raise DiagramError(
+                f"activity node {name!r} must reference a behavior diagram")
+        self.behavior = behavior
+
+
+class DecisionNode(ActivityNode):
+    """A branch point; outgoing edges carry guards, at most one ``else``."""
+
+    metaclass = "DecisionNode"
+
+    def __init__(self, element_id: int, name: str = "decision") -> None:
+        super().__init__(element_id, name)
+
+    def guarded_edges(self) -> list["ControlFlow"]:
+        """Outgoing edges with explicit guards, in model order."""
+        return [e for e in self.outgoing if e.guard not in (None, "else")]
+
+    def else_edge(self) -> "ControlFlow | None":
+        for edge in self.outgoing:
+            if edge.guard == "else":
+                return edge
+        return None
+
+
+class MergeNode(ActivityNode):
+    """Joins alternative flows opened by a decision."""
+
+    metaclass = "MergeNode"
+
+    def __init__(self, element_id: int, name: str = "merge") -> None:
+        super().__init__(element_id, name)
+
+
+class ForkNode(ActivityNode):
+    """Splits one flow into concurrent flows (thread-level parallelism)."""
+
+    metaclass = "ForkNode"
+
+    def __init__(self, element_id: int, name: str = "fork") -> None:
+        super().__init__(element_id, name)
+
+
+class JoinNode(ActivityNode):
+    """Synchronizes concurrent flows opened by a fork."""
+
+    metaclass = "JoinNode"
+
+    def __init__(self, element_id: int, name: str = "join") -> None:
+        super().__init__(element_id, name)
+
+
+class LoopNode(ActivityNode):
+    """A ``<<loop+>>`` structured node: repeats a body diagram.
+
+    ``iterations`` is a mini-language expression over model variables
+    (e.g. the ``M`` of Livermore kernel 6's outer loop); ``behavior``
+    names the body diagram.
+    """
+
+    metaclass = "StructuredActivityNode"
+
+    def __init__(self, element_id: int, name: str, behavior: str,
+                 iterations: str) -> None:
+        super().__init__(element_id, name)
+        if not behavior:
+            raise DiagramError(
+                f"loop node {name!r} must reference a body diagram")
+        self.behavior = behavior
+        self.iterations = iterations
+
+
+class ParallelRegionNode(ActivityNode):
+    """A ``<<parallel+>>`` structured node: an OpenMP-style parallel region.
+
+    ``num_threads`` is an expression; ``behavior`` names the diagram each
+    thread executes.  The region has an implicit barrier at its end.
+    """
+
+    metaclass = "StructuredActivityNode"
+
+    def __init__(self, element_id: int, name: str, behavior: str,
+                 num_threads: str) -> None:
+        super().__init__(element_id, name)
+        if not behavior:
+            raise DiagramError(
+                f"parallel region {name!r} must reference a body diagram")
+        self.behavior = behavior
+        self.num_threads = num_threads
+
+
+class ControlFlow(NamedElement):
+    """A directed edge between two activity nodes, optionally guarded.
+
+    Guards are mini-language boolean expressions (``GV == 1``) or the
+    literal ``"else"`` (UML's ``[else]`` guard) on decision outputs.
+    """
+
+    metaclass = "ControlFlow"
+
+    def __init__(self, element_id: int, source: ActivityNode,
+                 target: ActivityNode, guard: str | None = None,
+                 name: str = "") -> None:
+        super().__init__(element_id, name)
+        if source is target:
+            raise DiagramError(
+                f"self-loop on node {source.name!r} is not allowed; model "
+                "iteration with a loop node or a decision/merge cycle")
+        self.source = source
+        self.target = target
+        self.guard = guard
+        source.outgoing.append(self)
+        target.incoming.append(self)
+
+    def __repr__(self) -> str:
+        guard = f" [{self.guard}]" if self.guard else ""
+        return (f"<ControlFlow id={self.id} {self.source.name!r} -> "
+                f"{self.target.name!r}{guard}>")

@@ -1,0 +1,309 @@
+"""Fluent model builder — the headless replacement for Teuta's GUI.
+
+The paper's user draws performance models in Teuta's drawing space; this
+builder produces the identical model tree programmatically.  Example,
+building the core of the paper's Fig. 7 sample model::
+
+    b = ModelBuilder("Sample")
+    b.global_var("GV", "int")
+    b.global_var("P", "int")
+    b.cost_function("FA1", "0.5 * P")
+    main = b.diagram("Main", main=True)
+    a1 = main.action("A1", cost="FA1()", code="GV = 1; P = 4;")
+    main.sequence(a1)        # initial -> A1 -> final
+    model = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.errors import BuilderError
+from repro.lang.types import Type
+from repro.uml.activities import (
+    ActionNode,
+    ActivityFinalNode,
+    ActivityInvocationNode,
+    ActivityNode,
+    ControlFlow,
+    DecisionNode,
+    ForkNode,
+    InitialNode,
+    JoinNode,
+    LoopNode,
+    MergeNode,
+    ParallelRegionNode,
+)
+from repro.uml.diagram import ActivityDiagram
+from repro.uml.model import CostFunction, Model, VariableDeclaration
+from repro.uml.perf_profile import (
+    ACTION_PLUS,
+    ACTIVITY_PLUS,
+    ALLREDUCE_PLUS,
+    BARRIER_PLUS,
+    BCAST_PLUS,
+    CRITICAL_PLUS,
+    GATHER_PLUS,
+    LOOP_PLUS,
+    PARALLEL_PLUS,
+    PERF_PROFILE,
+    RECV_PLUS,
+    REDUCE_PLUS,
+    SCATTER_PLUS,
+    SEND_PLUS,
+)
+from repro.uml.profile import Profile
+from repro.util.ids import IdGenerator
+
+
+class ModelBuilder:
+    """Builds a :class:`~repro.uml.model.Model` incrementally."""
+
+    def __init__(self, name: str, profile: Profile = PERF_PROFILE) -> None:
+        self._ids = IdGenerator(start=1)
+        self.profile = profile
+        self.model = Model(self._ids.next_id(), name)
+        self._diagram_builders: dict[str, DiagramBuilder] = {}
+
+    # -- variables ---------------------------------------------------------
+
+    def global_var(self, name: str, type_name: str,
+                   init: str | None = None) -> VariableDeclaration:
+        """Declare a model global (Fig. 7's GV and P)."""
+        declaration = VariableDeclaration(
+            name, Type.from_name(type_name), init, scope="global")
+        return self.model.add_variable(declaration)
+
+    def local_var(self, name: str, type_name: str,
+                  init: str | None = None) -> VariableDeclaration:
+        """Declare a local of the generated program (Fig. 5 lines 20-23)."""
+        declaration = VariableDeclaration(
+            name, Type.from_name(type_name), init, scope="local")
+        return self.model.add_variable(declaration)
+
+    # -- cost functions ------------------------------------------------------
+
+    def cost_function(self, name: str, body: str,
+                      params: str = "") -> CostFunction:
+        """Define a cost function from loose source (Fig. 7(c) dialog)."""
+        return self.model.add_cost_function(CostFunction(name, body, params))
+
+    # -- diagrams ----------------------------------------------------------
+
+    def diagram(self, name: str, main: bool = False) -> "DiagramBuilder":
+        """Open (or reopen) a diagram builder for diagram ``name``."""
+        if name in self._diagram_builders:
+            if main:
+                self.model.main_diagram_name = name
+            return self._diagram_builders[name]
+        diagram = ActivityDiagram(self._ids.next_id(), name)
+        self.model.add_diagram(diagram, main=main)
+        builder = DiagramBuilder(self, diagram)
+        self._diagram_builders[name] = builder
+        return builder
+
+    def build(self) -> Model:
+        """Finish building; verifies dangling diagram references."""
+        for node in self.model.all_nodes():
+            behavior = getattr(node, "behavior", None)
+            if behavior is not None and not self.model.has_diagram(behavior):
+                raise BuilderError(
+                    f"node {node.name!r} references diagram {behavior!r} "
+                    "which was never built")
+        return self.model
+
+    def next_id(self) -> int:
+        return self._ids.next_id()
+
+
+class DiagramBuilder:
+    """Adds nodes and flows to one activity diagram."""
+
+    def __init__(self, parent: ModelBuilder, diagram: ActivityDiagram) -> None:
+        self._parent = parent
+        self.diagram = diagram
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _add(self, node: ActivityNode) -> ActivityNode:
+        return self.diagram.add_node(node)
+
+    def _apply(self, node: ActivityNode, stereotype: str,
+               **tags) -> ActivityNode:
+        values = {"id": node.id}
+        values.update({k: v for k, v in tags.items() if v is not None})
+        self._parent.profile.apply(node, stereotype, **values)
+        return node
+
+    def _nid(self) -> int:
+        return self._parent.next_id()
+
+    # -- control nodes ----------------------------------------------------
+
+    def initial(self, name: str = "initial") -> InitialNode:
+        return self._add(InitialNode(self._nid(), name))
+
+    def final(self, name: str = "final") -> ActivityFinalNode:
+        return self._add(ActivityFinalNode(self._nid(), name))
+
+    def decision(self, name: str = "decision") -> DecisionNode:
+        return self._add(DecisionNode(self._nid(), name))
+
+    def merge(self, name: str = "merge") -> MergeNode:
+        return self._add(MergeNode(self._nid(), name))
+
+    def fork(self, name: str = "fork") -> ForkNode:
+        return self._add(ForkNode(self._nid(), name))
+
+    def join(self, name: str = "join") -> JoinNode:
+        return self._add(JoinNode(self._nid(), name))
+
+    # -- performance elements -----------------------------------------------
+
+    def action(self, name: str, cost: str | None = None,
+               code: str | None = None, time: float | None = None,
+               type: str | None = None) -> ActionNode:
+        """An ``<<action+>>`` element modeling a sequential code block.
+
+        ``cost`` is the cost expression/invocation (``FA1()``; ``0.5 * P``);
+        ``time`` alternatively gives a constant time (the Fig. 1(b) tag);
+        ``code`` is an associated code fragment.
+        """
+        node = ActionNode(self._nid(), name, cost=cost, code=code)
+        self._add(node)
+        self._apply(node, ACTION_PLUS, time=time, type=type,
+                    costfunction=cost)
+        return node
+
+    def activity(self, name: str, diagram: str,
+                 type: str | None = None) -> ActivityInvocationNode:
+        """An ``<<activity+>>`` element whose content is ``diagram``."""
+        node = ActivityInvocationNode(self._nid(), name, behavior=diagram)
+        self._add(node)
+        self._apply(node, ACTIVITY_PLUS, diagram=diagram, type=type)
+        return node
+
+    def loop(self, name: str, diagram: str, iterations: str) -> LoopNode:
+        """A ``<<loop+>>`` node repeating ``diagram`` ``iterations`` times."""
+        node = LoopNode(self._nid(), name, behavior=diagram,
+                        iterations=iterations)
+        self._add(node)
+        self._apply(node, LOOP_PLUS, diagram=diagram, iterations=iterations)
+        return node
+
+    def parallel(self, name: str, diagram: str,
+                 num_threads: str = "0") -> ParallelRegionNode:
+        """A ``<<parallel+>>`` OpenMP-style region executing ``diagram``
+        on ``num_threads`` threads (0 = all threads of the process)."""
+        node = ParallelRegionNode(self._nid(), name, behavior=diagram,
+                                  num_threads=num_threads)
+        self._add(node)
+        self._apply(node, PARALLEL_PLUS, diagram=diagram,
+                    numthreads=num_threads)
+        return node
+
+    def critical(self, name: str, lock: str = "default",
+                 cost: str | None = None,
+                 time: float | None = None) -> ActionNode:
+        """A ``<<critical+>>`` section guarded by ``lock``."""
+        node = ActionNode(self._nid(), name, cost=cost)
+        self._add(node)
+        self._apply(node, CRITICAL_PLUS, lock=lock, time=time,
+                    costfunction=cost)
+        return node
+
+    # -- message passing ------------------------------------------------------
+
+    def send(self, name: str, dest: str, size: str = "0",
+             tag: int = 0) -> ActionNode:
+        node = ActionNode(self._nid(), name)
+        self._add(node)
+        self._apply(node, SEND_PLUS, dest=dest, size=size, tag=tag)
+        return node
+
+    def recv(self, name: str, source: str, size: str = "0",
+             tag: int = 0) -> ActionNode:
+        node = ActionNode(self._nid(), name)
+        self._add(node)
+        self._apply(node, RECV_PLUS, source=source, size=size, tag=tag)
+        return node
+
+    def barrier(self, name: str = "barrier") -> ActionNode:
+        node = ActionNode(self._nid(), name)
+        self._add(node)
+        self._apply(node, BARRIER_PLUS)
+        return node
+
+    def bcast(self, name: str, root: str = "0",
+              size: str = "0") -> ActionNode:
+        node = ActionNode(self._nid(), name)
+        self._add(node)
+        self._apply(node, BCAST_PLUS, root=root, size=size)
+        return node
+
+    def scatter(self, name: str, root: str = "0",
+                size: str = "0") -> ActionNode:
+        node = ActionNode(self._nid(), name)
+        self._add(node)
+        self._apply(node, SCATTER_PLUS, root=root, size=size)
+        return node
+
+    def gather(self, name: str, root: str = "0",
+               size: str = "0") -> ActionNode:
+        node = ActionNode(self._nid(), name)
+        self._add(node)
+        self._apply(node, GATHER_PLUS, root=root, size=size)
+        return node
+
+    def reduce(self, name: str, root: str = "0", size: str = "0",
+               op: str = "sum") -> ActionNode:
+        node = ActionNode(self._nid(), name)
+        self._add(node)
+        self._apply(node, REDUCE_PLUS, root=root, size=size, op=op)
+        return node
+
+    def allreduce(self, name: str, size: str = "0",
+                  op: str = "sum") -> ActionNode:
+        node = ActionNode(self._nid(), name)
+        self._add(node)
+        self._apply(node, ALLREDUCE_PLUS, size=size, op=op)
+        return node
+
+    # -- flows -------------------------------------------------------------
+
+    def flow(self, source: ActivityNode, target: ActivityNode,
+             guard: str | None = None) -> ControlFlow:
+        """Add a control flow; ``guard`` is a mini-language expression or
+        the literal ``"else"`` (only meaningful out of decisions)."""
+        edge = ControlFlow(self._nid(), source, target, guard)
+        return self.diagram.add_edge(edge)
+
+    def chain(self, *nodes: ActivityNode) -> list[ControlFlow]:
+        """Connect ``nodes`` sequentially with unguarded flows."""
+        if len(nodes) < 2:
+            raise BuilderError("chain() needs at least two nodes")
+        return [self.flow(a, b) for a, b in zip(nodes, nodes[1:])]
+
+    def sequence(self, *nodes: ActivityNode) -> None:
+        """Wire ``initial -> nodes... -> final``, creating the initial and
+        final nodes if the diagram does not have them yet."""
+        initials = self.diagram.initial_nodes()
+        initial = initials[0] if initials else self.initial()
+        finals = self.diagram.final_nodes()
+        final = finals[0] if finals else self.final()
+        previous: ActivityNode = initial
+        for node in nodes:
+            self.flow(previous, node)
+            previous = node
+        self.flow(previous, final)
+
+    def branch(self, decision: DecisionNode, merge: MergeNode,
+               *arms: tuple[str | None, list[ActivityNode]]) -> None:
+        """Wire decision arms: each arm is (guard, [nodes...]); an empty
+        node list wires decision -> merge directly."""
+        for guard, nodes in arms:
+            if not nodes:
+                self.flow(decision, merge, guard)
+                continue
+            self.flow(decision, nodes[0], guard)
+            for a, b in zip(nodes, nodes[1:]):
+                self.flow(a, b)
+            self.flow(nodes[-1], merge)

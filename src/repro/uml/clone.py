@@ -1,0 +1,21 @@
+"""Deep model cloning.
+
+Design-space exploration mutates models ("what if A1 set GV = 2?"); a
+clone isolates such edits from the original.  The clone is produced by an
+XML round-trip — the persistence layer already captures exactly the state
+a clone must carry, and the round-trip is property-tested, so cloning
+inherits that guarantee instead of duplicating a field-by-field copy.
+"""
+
+from __future__ import annotations
+
+from repro.uml.model import Model
+from repro.uml.perf_profile import PERF_PROFILE
+from repro.uml.profile import Profile
+
+
+def clone_model(model: Model, profile: Profile = PERF_PROFILE) -> Model:
+    """A deep, independent copy of ``model`` (same ids, same structure)."""
+    from repro.xmlio.reader import model_from_xml
+    from repro.xmlio.writer import model_to_xml
+    return model_from_xml(model_to_xml(model), profile)

@@ -1,0 +1,109 @@
+"""Base metamodel classes.
+
+UML defines every construct as a specialization of *Element*; the paper's
+model traverser walks "a tree data structure, which contains the model with
+its diagrams and modeling elements" (Fig. 5 caption).  :class:`Element`
+provides identity, ownership (the tree), and stereotype application;
+:class:`NamedElement` adds the name used by code generation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import TagError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.uml.stereotype import Stereotype, StereotypeApplication
+
+
+class Element:
+    """Root of the metamodel: identity, ownership, applied stereotypes."""
+
+    #: UML metaclass name used for stereotype extension checks.
+    metaclass: str = "Element"
+
+    def __init__(self, element_id: int) -> None:
+        self.id = int(element_id)
+        self.owner: Element | None = None
+        self.applied: list["StereotypeApplication"] = []
+
+    # -- ownership tree ----------------------------------------------------
+
+    def owned_elements(self) -> Iterator["Element"]:
+        """Children in the ownership tree; subclasses override."""
+        return iter(())
+
+    def iter_tree(self) -> Iterator["Element"]:
+        """This element and all transitively owned elements, pre-order."""
+        yield self
+        for child in self.owned_elements():
+            yield from child.iter_tree()
+
+    def _adopt(self, child: "Element") -> None:
+        child.owner = self
+
+    # -- stereotypes ---------------------------------------------------------
+
+    def apply_stereotype(self, application: "StereotypeApplication") -> None:
+        """Attach a stereotype application, enforcing the extension rule:
+        a stereotype extends one metaclass and applies only to instances
+        of it (or of its sub-metaclasses)."""
+        stereotype = application.stereotype
+        if not stereotype.extends(self.metaclass_chain()):
+            raise TagError(
+                f"stereotype <<{stereotype.name}>> extends metaclass "
+                f"{stereotype.metaclass!r} and cannot apply to {self!r}")
+        if any(a.stereotype.name == stereotype.name for a in self.applied):
+            raise TagError(
+                f"stereotype <<{stereotype.name}>> already applied to {self!r}")
+        self.applied.append(application)
+
+    def stereotype_application(self, name: str) -> "StereotypeApplication | None":
+        """The application of stereotype ``name``, or None."""
+        for application in self.applied:
+            if application.stereotype.name == name:
+                return application
+        return None
+
+    def has_stereotype(self, name: str) -> bool:
+        return self.stereotype_application(name) is not None
+
+    @property
+    def stereotype_names(self) -> list[str]:
+        return [a.stereotype.name for a in self.applied]
+
+    def tag_value(self, stereotype_name: str, tag: str, default=None):
+        """Convenience lookup of one tagged value."""
+        application = self.stereotype_application(stereotype_name)
+        if application is None:
+            return default
+        return application.get(tag, default)
+
+    # -- metaclass ---------------------------------------------------------
+
+    @classmethod
+    def metaclass_chain(cls) -> tuple[str, ...]:
+        """Metaclass names from most specific to ``Element``."""
+        chain = []
+        for klass in cls.__mro__:
+            name = klass.__dict__.get("metaclass")
+            if name is not None and (not chain or chain[-1] != name):
+                chain.append(name)
+        return tuple(chain)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} id={self.id}>"
+
+
+class NamedElement(Element):
+    """An element with a (possibly non-unique) name."""
+
+    metaclass = "NamedElement"
+
+    def __init__(self, element_id: int, name: str) -> None:
+        super().__init__(element_id)
+        self.name = str(name)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} id={self.id} name={self.name!r}>"

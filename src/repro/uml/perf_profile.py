@@ -1,0 +1,153 @@
+"""The performance-modeling UML profile.
+
+The paper defines ``<<action+>>`` (Fig. 1: tags ``id``, ``type``, ``time``)
+and ``<<activity+>>``, and refers to its UML extension for message-passing
+and shared-memory programming [17, 18] for the remaining building blocks.
+This module instantiates the whole profile.  "The set of tag definitions is
+not limited to those shown … but can be arbitrarily extended to meet the
+modeling objective" — tags here cover what the transformation and the
+Performance Estimator consume.
+
+Expression-valued tags (message sizes, ranks, trip counts) are typed STRING
+and hold mini-language source evaluated per-process at simulation time.
+"""
+
+from __future__ import annotations
+
+from repro.lang.types import Type
+from repro.uml.element import Element
+from repro.uml.profile import Profile
+from repro.uml.stereotype import Stereotype, TagDefinition
+
+ACTION_PLUS = "action+"
+ACTIVITY_PLUS = "activity+"
+SEND_PLUS = "send+"
+RECV_PLUS = "recv+"
+BARRIER_PLUS = "barrier+"
+BCAST_PLUS = "bcast+"
+SCATTER_PLUS = "scatter+"
+GATHER_PLUS = "gather+"
+REDUCE_PLUS = "reduce+"
+ALLREDUCE_PLUS = "allreduce+"
+LOOP_PLUS = "loop+"
+PARALLEL_PLUS = "parallel+"
+CRITICAL_PLUS = "critical+"
+
+#: Stereotype names that mark an element as performance-relevant — the
+#: test in lines 4-5 of the Fig. 5 algorithm.
+PERF_STEREOTYPE_NAMES = frozenset({
+    ACTION_PLUS, ACTIVITY_PLUS,
+    SEND_PLUS, RECV_PLUS,
+    BARRIER_PLUS, BCAST_PLUS, SCATTER_PLUS, GATHER_PLUS,
+    REDUCE_PLUS, ALLREDUCE_PLUS,
+    LOOP_PLUS, PARALLEL_PLUS, CRITICAL_PLUS,
+})
+
+#: Communication stereotypes (all map to message-passing runtime calls).
+COMMUNICATION_STEREOTYPES = frozenset({
+    SEND_PLUS, RECV_PLUS, BARRIER_PLUS, BCAST_PLUS, SCATTER_PLUS,
+    GATHER_PLUS, REDUCE_PLUS, ALLREDUCE_PLUS,
+})
+
+
+def _id_type_time() -> list[TagDefinition]:
+    """The Fig. 1 tag list shared by the core stereotypes."""
+    return [
+        TagDefinition("id", Type.INT),
+        TagDefinition("type", Type.STRING, default="SEQ"),
+        TagDefinition("time", Type.DOUBLE),
+    ]
+
+
+def build_performance_profile() -> Profile:
+    """Construct a fresh instance of the performance profile."""
+    profile = Profile("PerformanceProfile")
+
+    profile.add(Stereotype(ACTION_PLUS, "Action", _id_type_time() + [
+        TagDefinition("costfunction", Type.STRING),
+    ]))
+    profile.add(Stereotype(ACTIVITY_PLUS, "StructuredActivityNode",
+                           _id_type_time() + [
+        TagDefinition("diagram", Type.STRING),
+    ]))
+
+    # -- message passing (MPI-like) -------------------------------------
+    profile.add(Stereotype(SEND_PLUS, "Action", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("dest", Type.STRING, required=True),
+        TagDefinition("size", Type.STRING, default="0"),
+        TagDefinition("tag", Type.INT, default=0),
+    ]))
+    profile.add(Stereotype(RECV_PLUS, "Action", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("source", Type.STRING, required=True),
+        TagDefinition("size", Type.STRING, default="0"),
+        TagDefinition("tag", Type.INT, default=0),
+    ]))
+    profile.add(Stereotype(BARRIER_PLUS, "Action", [
+        TagDefinition("id", Type.INT),
+    ]))
+    profile.add(Stereotype(BCAST_PLUS, "Action", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("root", Type.STRING, default="0"),
+        TagDefinition("size", Type.STRING, default="0"),
+    ]))
+    profile.add(Stereotype(SCATTER_PLUS, "Action", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("root", Type.STRING, default="0"),
+        TagDefinition("size", Type.STRING, default="0"),
+    ]))
+    profile.add(Stereotype(GATHER_PLUS, "Action", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("root", Type.STRING, default="0"),
+        TagDefinition("size", Type.STRING, default="0"),
+    ]))
+    profile.add(Stereotype(REDUCE_PLUS, "Action", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("root", Type.STRING, default="0"),
+        TagDefinition("size", Type.STRING, default="0"),
+        TagDefinition("op", Type.STRING, default="sum"),
+    ]))
+    profile.add(Stereotype(ALLREDUCE_PLUS, "Action", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("size", Type.STRING, default="0"),
+        TagDefinition("op", Type.STRING, default="sum"),
+    ]))
+
+    # -- structured nodes --------------------------------------------------
+    profile.add(Stereotype(LOOP_PLUS, "StructuredActivityNode", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("iterations", Type.STRING, required=True),
+        TagDefinition("diagram", Type.STRING),
+    ]))
+    profile.add(Stereotype(PARALLEL_PLUS, "StructuredActivityNode", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("numthreads", Type.STRING, default="0"),
+        TagDefinition("diagram", Type.STRING),
+    ]))
+    profile.add(Stereotype(CRITICAL_PLUS, "Action", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("lock", Type.STRING, default="default"),
+        TagDefinition("time", Type.DOUBLE),
+        TagDefinition("costfunction", Type.STRING),
+    ]))
+    return profile
+
+
+#: The shared profile instance used throughout the library.
+PERF_PROFILE = build_performance_profile()
+
+
+def is_performance_element(element: Element) -> bool:
+    """Lines 4-5 of the Fig. 5 algorithm: an element is performance-
+    relevant iff it carries one of the profile's stereotypes."""
+    return any(name in PERF_STEREOTYPE_NAMES
+               for name in element.stereotype_names)
+
+
+def performance_stereotype(element: Element) -> str | None:
+    """The performance stereotype name applied to ``element``, if any."""
+    for name in element.stereotype_names:
+        if name in PERF_STEREOTYPE_NAMES:
+            return name
+    return None

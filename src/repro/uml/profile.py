@@ -1,0 +1,55 @@
+"""Profiles: named collections of stereotype definitions.
+
+The paper's extension of UML for performance modeling [17, 18] forms a
+profile; :mod:`repro.uml.perf_profile` instantiates it.  This module only
+provides the registry machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import StereotypeError
+from repro.uml.stereotype import Stereotype, StereotypeApplication
+
+
+class Profile:
+    """A registry of stereotypes, addressable by name."""
+
+    def __init__(self, name: str,
+                 stereotypes: Iterable[Stereotype] = ()) -> None:
+        self.name = name
+        self._stereotypes: dict[str, Stereotype] = {}
+        for stereotype in stereotypes:
+            self.add(stereotype)
+
+    def add(self, stereotype: Stereotype) -> Stereotype:
+        if stereotype.name in self._stereotypes:
+            raise StereotypeError(
+                f"profile {self.name!r} already defines "
+                f"<<{stereotype.name}>>")
+        self._stereotypes[stereotype.name] = stereotype
+        return stereotype
+
+    def get(self, name: str) -> Stereotype:
+        try:
+            return self._stereotypes[name]
+        except KeyError:
+            raise StereotypeError(
+                f"profile {self.name!r} has no stereotype <<{name}>>"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stereotypes
+
+    def __iter__(self) -> Iterator[Stereotype]:
+        return iter(self._stereotypes.values())
+
+    def names(self) -> list[str]:
+        return list(self._stereotypes)
+
+    def apply(self, element, name: str, **tag_values) -> StereotypeApplication:
+        """Create an application of stereotype ``name`` and attach it."""
+        application = StereotypeApplication(self.get(name), tag_values)
+        element.apply_stereotype(application)
+        return application

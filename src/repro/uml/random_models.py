@@ -1,0 +1,239 @@
+"""Random structured performance models.
+
+Property tests and the transformation-scaling bench (FIG5 in DESIGN.md)
+need arbitrarily large models that are *valid by construction*: every
+diagram is a single-entry single-exit structured region, guards reference
+declared globals, cost invocations reference defined cost functions.
+
+The generator builds models from a structural grammar::
+
+    block    := item*
+    item     := action | decision(arm+) | loop(block) | activity(block)
+              | fork(branch, branch) | send/recv pair-free collective
+
+matching what a Teuta user can draw with the paper's building blocks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.uml.activities import ActivityNode
+from repro.uml.builder import DiagramBuilder, ModelBuilder
+from repro.uml.model import Model
+
+
+@dataclass
+class RandomModelConfig:
+    """Knobs for the generator; defaults give mid-sized models (~40 nodes)."""
+
+    target_actions: int = 20
+    max_depth: int = 3
+    n_globals: int = 3
+    n_cost_functions: int = 4
+    p_decision: float = 0.2
+    p_loop: float = 0.12
+    p_activity: float = 0.15
+    p_fork: float = 0.0           # off by default; enables fork/join arms
+    p_collective: float = 0.0     # off by default; enables barrier/bcast
+    max_arm_length: int = 3
+
+    def __post_init__(self) -> None:
+        if self.target_actions < 1:
+            raise ValueError("target_actions must be >= 1")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, config: RandomModelConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.builder = ModelBuilder(f"Random{rng.randrange(10**6)}")
+        self.actions_made = 0
+        self.diagram_count = 0
+
+    # -- model-level pieces -------------------------------------------------
+
+    def declare_globals(self) -> None:
+        for i in range(self.config.n_globals):
+            if i % 2 == 0:
+                self.builder.global_var(f"G{i}", "int",
+                                        str(self.rng.randrange(0, 5)))
+            else:
+                self.builder.global_var(
+                    f"G{i}", "double",
+                    f"{self.rng.uniform(0.1, 2.0):.3f}")
+
+    def declare_cost_functions(self) -> None:
+        for i in range(self.config.n_cost_functions):
+            kind = self.rng.randrange(3)
+            if kind == 0:
+                body = f"{self.rng.uniform(0.001, 0.1):.4f}"
+                self.builder.cost_function(f"F{i}", body)
+            elif kind == 1:
+                body = f"{self.rng.uniform(0.001, 0.01):.4f} * G0 + " \
+                       f"{self.rng.uniform(0.001, 0.01):.4f}"
+                self.builder.cost_function(f"F{i}", body)
+            else:
+                body = (f"{self.rng.uniform(0.0001, 0.001):.5f} * pid + "
+                        f"{self.rng.uniform(0.001, 0.01):.4f}")
+                self.builder.cost_function(f"F{i}", body, params="int pid")
+
+    def cost_invocation(self) -> str:
+        index = self.rng.randrange(self.config.n_cost_functions)
+        function = self.builder.model.cost_functions[f"F{index}"]
+        if function.arity == 1:
+            return f"F{index}(pid)"
+        return f"F{index}()"
+
+    def guard(self) -> str:
+        variable = f"G{self.rng.randrange(self.config.n_globals)}"
+        threshold = self.rng.randrange(0, 4)
+        op = self.rng.choice(["==", "!=", "<", ">", "<=", ">="])
+        return f"{variable} {op} {threshold}"
+
+    # -- structure ---------------------------------------------------------
+
+    def fresh_diagram(self, depth: int, main: bool = False) -> str:
+        self.diagram_count += 1
+        name = "Main" if main else f"D{self.diagram_count}"
+        diagram = self.builder.diagram(name, main=main)
+        nodes = self.block(diagram, depth,
+                           self.rng.randrange(1, self.config.max_arm_length + 2))
+        if main:
+            # Keep extending the top-level sequence until the action budget
+            # is spent, so target_actions actually controls model size.
+            while self.actions_made < self.config.target_actions:
+                nodes.append(self.item(diagram, depth))
+        _wire_sequence(diagram, nodes)
+        return name
+
+    def block(self, diagram: DiagramBuilder, depth: int,
+              length: int) -> list[ActivityNode]:
+        nodes: list[ActivityNode] = []
+        for _ in range(length):
+            nodes.append(self.item(diagram, depth))
+        return nodes
+
+    def item(self, diagram: DiagramBuilder, depth: int) -> ActivityNode:
+        roll = self.rng.random()
+        config = self.config
+        budget_left = self.actions_made < config.target_actions
+        if depth > 0 and budget_left:
+            if roll < config.p_decision:
+                return self.make_decision(diagram, depth)
+            roll -= config.p_decision
+            if roll < config.p_loop:
+                return self.make_loop(diagram, depth)
+            roll -= config.p_loop
+            if roll < config.p_activity:
+                return self.make_activity(diagram, depth)
+            roll -= config.p_activity
+            if roll < config.p_fork:
+                return self.make_fork(diagram, depth)
+            roll -= config.p_fork
+            if roll < config.p_collective:
+                return self.make_collective(diagram)
+        return self.make_action(diagram)
+
+    def make_action(self, diagram: DiagramBuilder) -> ActivityNode:
+        self.actions_made += 1
+        return diagram.action(f"A{self.actions_made}",
+                              cost=self.cost_invocation())
+
+    def make_decision(self, diagram: DiagramBuilder,
+                      depth: int) -> ActivityNode:
+        decision = diagram.decision(f"dec{self.builder.next_id()}")
+        merge = diagram.merge(f"mrg{self.builder.next_id()}")
+        n_arms = self.rng.randrange(1, 3)
+        for _ in range(n_arms):
+            arm_items = self.block(
+                diagram, depth - 1,
+                self.rng.randrange(1, self.config.max_arm_length + 1))
+            _wire_arm(diagram, decision, arm_items, merge, self.guard())
+        else_items = self.block(
+            diagram, depth - 1,
+            self.rng.randrange(0, self.config.max_arm_length + 1))
+        _wire_arm(diagram, decision, else_items, merge, "else")
+        # Callers treat the (decision ... merge) pair as one sequence item.
+        return _Region(decision, merge)  # type: ignore[return-value]
+
+    def make_loop(self, diagram: DiagramBuilder, depth: int) -> ActivityNode:
+        body = self.fresh_diagram(depth - 1)
+        iterations = str(self.rng.randrange(1, 5))
+        return diagram.loop(f"loop{self.builder.next_id()}", body, iterations)
+
+    def make_activity(self, diagram: DiagramBuilder,
+                      depth: int) -> ActivityNode:
+        body = self.fresh_diagram(depth - 1)
+        return diagram.activity(f"act{self.builder.next_id()}", body)
+
+    def make_fork(self, diagram: DiagramBuilder, depth: int) -> ActivityNode:
+        fork = diagram.fork(f"fork{self.builder.next_id()}")
+        join = diagram.join(f"join{self.builder.next_id()}")
+        for _ in range(2):
+            arm = self.block(
+                diagram, depth - 1,
+                max(1, self.rng.randrange(1, self.config.max_arm_length)))
+            _wire_arm(diagram, fork, arm, join)
+        return _Region(fork, join)  # type: ignore[return-value]
+
+    def make_collective(self, diagram: DiagramBuilder) -> ActivityNode:
+        kind = self.rng.choice(["barrier", "bcast", "allreduce"])
+        name = f"{kind}{self.builder.next_id()}"
+        if kind == "barrier":
+            return diagram.barrier(name)
+        if kind == "bcast":
+            return diagram.bcast(name, root="0", size="1024")
+        return diagram.allreduce(name, size="8")
+
+
+@dataclass
+class _Region:
+    """An entry/exit pair standing in for a single node in sequences."""
+
+    entry: ActivityNode
+    exit: ActivityNode
+
+
+def _wire_arm(diagram: DiagramBuilder, source, items, sink,
+              guard: str | None = None) -> None:
+    """Wire ``source -> items... -> sink`` honoring _Region pairs; an empty
+    item list wires source directly to sink."""
+    previous = source
+    first_guard = guard
+    for item in items:
+        entry = item.entry if isinstance(item, _Region) else item
+        diagram.flow(previous, entry, first_guard)
+        first_guard = None
+        previous = item.exit if isinstance(item, _Region) else item
+    diagram.flow(previous, sink, first_guard)
+
+
+def _wire_sequence(diagram: DiagramBuilder, items) -> None:
+    """Like :meth:`DiagramBuilder.sequence` but aware of _Region
+    entry/exit pairs (decision...merge, fork...join)."""
+    initials = diagram.diagram.initial_nodes()
+    initial = initials[0] if initials else diagram.initial()
+    finals = diagram.diagram.final_nodes()
+    final = finals[0] if finals else diagram.final()
+    previous = initial
+    for item in items:
+        entry = item.entry if isinstance(item, _Region) else item
+        diagram.flow(previous, entry)
+        previous = item.exit if isinstance(item, _Region) else item
+    diagram.flow(previous, final)
+
+
+def random_model(seed: int,
+                 config: RandomModelConfig | None = None) -> Model:
+    """Generate a random structured model; equal seeds ⇒ equal models."""
+    config = config or RandomModelConfig()
+    rng = random.Random(seed)
+    generator = _Generator(rng, config)
+    generator.declare_globals()
+    generator.declare_cost_functions()
+    generator.fresh_diagram(config.max_depth, main=True)
+    return generator.builder.build()

@@ -1,0 +1,145 @@
+"""Stereotypes and tagged values — the UML extension mechanism of Fig. 1.
+
+A :class:`Stereotype` is "a subclass of an existing UML metaclass, with the
+associated tagged values and constraints".  The paper's example defines
+``<<action+>>`` on metaclass *Action* with tags ``id : Integer``,
+``type : String`` and ``time : Double``; :class:`TagDefinition` captures one
+such tag, and :class:`StereotypeApplication` an element's usage with
+concrete tagged values (Fig. 1(b):
+``<<action+>> {id = 1, type = SAMPLE, time = 10}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import StereotypeError, TagError
+from repro.lang.types import Type, type_of_value
+
+
+@dataclass(frozen=True)
+class TagDefinition:
+    """One tag definition (metaattribute) of a stereotype.
+
+    ``type`` uses the mini-language type system; UML's *Integer*, *String*,
+    *Double* and *Boolean* map to INT, STRING, DOUBLE and BOOL.  Tags whose
+    values are expressions over model variables (message sizes, loop trip
+    counts, ...) are typed STRING here and parsed at transformation time.
+    """
+
+    name: str
+    type: Type
+    required: bool = False
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if self.type is Type.VOID:
+            raise StereotypeError(f"tag {self.name!r} cannot have type void")
+        if self.default is not None:
+            try:
+                checked = self.check(self.default)
+            except TagError as exc:
+                raise StereotypeError(
+                    f"tag {self.name!r}: default value does not match "
+                    f"declared type: {exc}") from exc
+            object.__setattr__(self, "default", checked)
+
+    def check(self, value):
+        """Validate/coerce a concrete value against this definition."""
+        have = type_of_value(value)
+        if have == self.type:
+            return value
+        if self.type is Type.DOUBLE and have is Type.INT:
+            return float(value)
+        raise TagError(
+            f"tag {self.name!r} expects {self.type}, got {have} ({value!r})")
+
+
+class Stereotype:
+    """A stereotype definition: a name, a base metaclass, tag definitions.
+
+    Stereotypes render in guillemets: ``<<action+>>``.
+    """
+
+    def __init__(self, name: str, metaclass: str,
+                 tags: Iterable[TagDefinition] = ()) -> None:
+        if not name:
+            raise StereotypeError("stereotype name must be non-empty")
+        self.name = name
+        self.metaclass = metaclass
+        self.tags: dict[str, TagDefinition] = {}
+        for tag in tags:
+            if tag.name in self.tags:
+                raise StereotypeError(
+                    f"duplicate tag definition {tag.name!r} "
+                    f"in <<{name}>>")
+            self.tags[tag.name] = tag
+
+    def extends(self, metaclass_chain: tuple[str, ...]) -> bool:
+        """True if this stereotype may be applied to an element whose
+        metaclass inheritance chain is ``metaclass_chain``."""
+        return self.metaclass in metaclass_chain
+
+    def tag(self, name: str) -> TagDefinition:
+        try:
+            return self.tags[name]
+        except KeyError:
+            raise TagError(
+                f"stereotype <<{self.name}>> has no tag {name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"<<{self.name}>> on {self.metaclass}"
+
+
+class StereotypeApplication:
+    """A stereotype applied to an element, with concrete tagged values."""
+
+    def __init__(self, stereotype: Stereotype,
+                 values: Mapping[str, Any] | None = None) -> None:
+        self.stereotype = stereotype
+        self._values: dict[str, Any] = {}
+        for name, value in (values or {}).items():
+            self.set(name, value)
+        self._check_required()
+
+    def _check_required(self) -> None:
+        for tag in self.stereotype.tags.values():
+            if tag.required and tag.name not in self._values \
+                    and tag.default is None:
+                raise TagError(
+                    f"stereotype <<{self.stereotype.name}>> requires "
+                    f"tag {tag.name!r}")
+
+    def set(self, name: str, value) -> None:
+        definition = self.stereotype.tag(name)
+        self._values[name] = definition.check(value)
+
+    def get(self, name: str, default=None):
+        definition = self.stereotype.tags.get(name)
+        if definition is None:
+            raise TagError(
+                f"stereotype <<{self.stereotype.name}>> has no tag {name!r}")
+        if name in self._values:
+            return self._values[name]
+        if definition.default is not None:
+            return definition.default
+        return default
+
+    def is_set(self, name: str) -> bool:
+        return name in self._values
+
+    def items(self):
+        """Explicitly set (tag, value) pairs, in insertion order."""
+        return self._values.items()
+
+    def render(self) -> str:
+        """Human-readable form, e.g.
+        ``<<action+>> {id = 1, type = SAMPLE, time = 10}`` (Fig. 1(b))."""
+        if not self._values:
+            return f"<<{self.stereotype.name}>>"
+        pairs = ", ".join(f"{k} = {v}" for k, v in self._values.items())
+        return f"<<{self.stereotype.name}>> {{{pairs}}}"
+
+    def __repr__(self) -> str:
+        return self.render()

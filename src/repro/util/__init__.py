@@ -1,0 +1,11 @@
+"""Shared utilities: id generation, code writer, and small helpers."""
+
+from repro.util.ids import IdGenerator, is_valid_identifier, mangle_identifier
+from repro.util.textwriter import CodeWriter
+
+__all__ = [
+    "IdGenerator",
+    "CodeWriter",
+    "is_valid_identifier",
+    "mangle_identifier",
+]

@@ -1,0 +1,19 @@
+"""Performance visualization (Teuta's Animator/Charts, headless).
+
+Teuta visualizes the trace file with charts and an animator; this package
+renders the same information as terminal text and CSV: Gantt timelines
+per process/thread, utilization bars, per-element profile tables, and
+speedup/efficiency series for parameter sweeps.
+"""
+
+from repro.viz.animator import Animator, Frame
+from repro.viz.ascii import gantt, utilization_bars
+from repro.viz.report import element_profile, run_report, speedup_table
+from repro.viz.csvout import series_to_csv, write_series_csv
+
+__all__ = [
+    "Animator", "Frame",
+    "gantt", "utilization_bars",
+    "run_report", "element_profile", "speedup_table",
+    "series_to_csv", "write_series_csv",
+]

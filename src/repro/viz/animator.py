@@ -1,0 +1,92 @@
+"""The Animator: step-through playback of a trace (Teuta's Animator).
+
+Teuta animates model execution over the trace file; this headless
+equivalent renders textual frames — at each sampled instant, what every
+process/thread is doing — so a user can replay a simulated run in the
+terminal or capture frames for documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.estimator.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One playback instant: time plus per-lane activity labels."""
+
+    time: float
+    activities: dict[tuple[int, int], str]  # (pid, tid) → element label
+
+    def render(self) -> str:
+        lines = [f"t = {self.time:.6g} s"]
+        for (pid, tid), label in sorted(self.activities.items()):
+            lines.append(f"  p{pid}.t{tid}: {label}")
+        return "\n".join(lines)
+
+
+class Animator:
+    """Samples a trace into frames for playback."""
+
+    #: Record kinds shown as activities (communication shown with arrows).
+    _LABELS = {
+        "action": "{element}",
+        "critical": "{element} [lock]",
+        "send": "{element} >>",
+        "recv": "{element} <<",
+        "barrier": "{element} |barrier|",
+        "bcast": "{element} |bcast|",
+        "scatter": "{element} |scatter|",
+        "gather": "{element} |gather|",
+        "reduce": "{element} |reduce|",
+        "allreduce": "{element} |allreduce|",
+    }
+
+    def __init__(self, records: list[TraceRecord]) -> None:
+        self.records = [r for r in records if r.kind in self._LABELS]
+        self.lanes = sorted({(r.pid, r.tid) for r in self.records})
+        self.horizon = max((r.end for r in self.records), default=0.0)
+
+    def frame_at(self, time: float) -> Frame:
+        """The activity of every lane at instant ``time``.
+
+        Zero-length records are visible exactly at their instant; for
+        overlapping intervals (concurrent strands of one thread context)
+        the most recently started wins.
+        """
+        if time < 0:
+            raise TraceError(f"cannot sample a frame at t={time}")
+        activities: dict[tuple[int, int], str] = {
+            lane: "(idle)" for lane in self.lanes}
+        best_start: dict[tuple[int, int], float] = {}
+        for record in self.records:
+            covers = (record.start <= time < record.end
+                      or (record.start == record.end == time))
+            if not covers:
+                continue
+            lane = (record.pid, record.tid)
+            if lane not in activities:
+                continue
+            if record.start >= best_start.get(lane, -1.0):
+                best_start[lane] = record.start
+                activities[lane] = self._LABELS[record.kind].format(
+                    element=record.element)
+        return Frame(time, activities)
+
+    def frames(self, count: int = 10) -> list[Frame]:
+        """``count`` evenly spaced frames over the run."""
+        if count < 1:
+            raise TraceError("animator needs at least one frame")
+        if self.horizon <= 0:
+            return [self.frame_at(0.0)]
+        step = self.horizon / count
+        # Sample mid-interval so short activities are not missed at the
+        # exact boundaries.
+        return [self.frame_at(step * (i + 0.5)) for i in range(count)]
+
+    def play(self, count: int = 10) -> str:
+        """All frames rendered as one text block."""
+        return "\n\n".join(frame.render() for frame in self.frames(count))

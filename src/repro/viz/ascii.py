@@ -1,0 +1,75 @@
+"""ASCII charts over trace records."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.estimator.trace import TraceRecord
+
+#: Kind → the character its intervals are drawn with in the Gantt chart.
+_KIND_CHARS = {
+    "action": "#",
+    "critical": "X",
+    "send": ">",
+    "recv": "<",
+    "barrier": "|",
+    "bcast": "B",
+    "scatter": "S",
+    "gather": "G",
+    "reduce": "R",
+    "allreduce": "A",
+    "parallel": "=",
+    "fork": "=",
+}
+
+
+def gantt(records: list[TraceRecord], width: int = 72,
+          by_thread: bool = False) -> str:
+    """Timeline per process (or per process/thread lane).
+
+    Each lane shows the rank's intervals scaled to ``width`` columns;
+    overlapping intervals within a lane keep the later character.
+    """
+    work = [r for r in records if r.kind in _KIND_CHARS]
+    if not work:
+        return "(empty trace)"
+    horizon = max(record.end for record in work)
+    if horizon <= 0:
+        return "(zero-length trace)"
+    lanes: dict[tuple, list[TraceRecord]] = defaultdict(list)
+    for record in work:
+        key = (record.pid, record.tid) if by_thread else (record.pid,)
+        lanes[key].append(record)
+
+    def column(time: float) -> int:
+        return min(width - 1, int(time / horizon * width))
+
+    lines = [f"time: 0 .. {horizon:.6g} s  "
+             f"({'process/thread' if by_thread else 'process'} lanes)"]
+    for key in sorted(lanes):
+        row = [" "] * width
+        for record in sorted(lanes[key], key=lambda r: r.start):
+            first, last = column(record.start), column(max(record.start,
+                                                           record.end - 1e-12))
+            char = _KIND_CHARS.get(record.kind, "?")
+            for i in range(first, last + 1):
+                row[i] = char
+        label = (f"p{key[0]}.t{key[1]}" if by_thread else f"p{key[0]}")
+        lines.append(f"{label:>8} |{''.join(row)}|")
+    legend = "  ".join(f"{char}={kind}" for kind, char in
+                       sorted(_KIND_CHARS.items(), key=lambda kv: kv[0])
+                       if any(r.kind == kind for r in work))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def utilization_bars(utilizations: list[float], width: int = 40,
+                     label: str = "node") -> str:
+    """Horizontal bars, one per node."""
+    lines = []
+    for index, utilization in enumerate(utilizations):
+        clamped = max(0.0, min(1.0, utilization))
+        filled = int(round(clamped * width))
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(f"{label} {index:>3} [{bar}] {clamped:6.1%}")
+    return "\n".join(lines) if lines else "(no nodes)"

@@ -1,0 +1,32 @@
+"""CSV export for benchmark/report series."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def series_to_csv(columns: Mapping[str, Sequence]) -> str:
+    """Render named, equal-length columns as CSV text."""
+    names = list(columns)
+    if not names:
+        return ""
+    lengths = {len(columns[name]) for name in names}
+    if len(lengths) != 1:
+        raise ValueError(f"columns have unequal lengths: "
+                         f"{ {n: len(columns[n]) for n in names} }")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(names)
+    for row in zip(*(columns[name] for name in names)):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_series_csv(columns: Mapping[str, Sequence],
+                     path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(series_to_csv(columns), encoding="utf-8")
+    return path

@@ -1,0 +1,70 @@
+"""Textual reports over estimation results and sweeps."""
+
+from __future__ import annotations
+
+from repro.estimator.analysis import TraceAnalysis
+from repro.estimator.manager import EstimationResult
+from repro.viz.ascii import gantt, utilization_bars
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def element_profile(analysis: TraceAnalysis, top: int = 20) -> str:
+    """Per-element inclusive-time profile table."""
+    rows = []
+    for stats in analysis.by_element()[:top]:
+        rows.append([
+            stats.element, stats.kind, str(stats.count),
+            f"{stats.total_time:.6g}", f"{stats.mean_time:.6g}",
+            f"{stats.min_time:.6g}", f"{stats.max_time:.6g}",
+        ])
+    return _format_table(
+        ["element", "kind", "count", "total[s]", "mean[s]", "min[s]",
+         "max[s]"], rows)
+
+
+def run_report(result: EstimationResult, with_gantt: bool = True) -> str:
+    """The full post-run report: summary, profile, utilization, Gantt."""
+    analysis = TraceAnalysis(result.trace)
+    parts = [
+        result.summary(),
+        "",
+        "element profile:",
+        element_profile(analysis),
+        "",
+        "node utilization:",
+        utilization_bars(result.node_utilization),
+    ]
+    if with_gantt:
+        parts.extend(["", "timeline:", gantt(result.trace)])
+    return "\n".join(parts)
+
+
+def speedup_table(process_counts: list[int], times: list[float]) -> str:
+    """Speedup/efficiency series for a strong-scaling sweep.
+
+    The baseline is the first entry (usually 1 process).
+    """
+    if len(process_counts) != len(times) or not times:
+        raise ValueError("process_counts and times must align and be "
+                         "non-empty")
+    base = times[0]
+    rows = []
+    for count, time in zip(process_counts, times):
+        speedup = base / time if time > 0 else float("inf")
+        efficiency = speedup / (count / process_counts[0])
+        rows.append([str(count), f"{time:.6g}", f"{speedup:.3f}",
+                     f"{efficiency:.1%}"])
+    return _format_table(["procs", "time[s]", "speedup", "efficiency"],
+                         rows)

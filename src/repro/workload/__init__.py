@@ -1,0 +1,20 @@
+"""Workload Elements (Fig. 2): the runtime the generated model executes on.
+
+This package is the Python implementation of the classes declared in the
+generated C++'s ``prophet_runtime.h``: execution contexts carrying the
+``(uid, pid, tid)`` of the paper's ``execute()`` signature, the
+``ActionPlus`` element family, MPI-style message passing, and OpenMP-style
+parallel regions — all expressed as simulation generators over
+:mod:`repro.sim`.
+"""
+
+from repro.workload.context import ExecContext, ProcessState, RuntimeState, VarStore
+from repro.workload.elements import ActionPlus, CriticalSection, ModelElement
+from repro.workload.mpi import Communicator
+from repro.workload.registry import ELEMENT_CLASSES
+
+__all__ = [
+    "ExecContext", "RuntimeState", "ProcessState", "VarStore",
+    "ModelElement", "ActionPlus", "CriticalSection",
+    "Communicator", "ELEMENT_CLASSES",
+]

@@ -1,0 +1,86 @@
+"""Computation elements: ``ActionPlus`` and ``CriticalSection``.
+
+"The execution of a performance modeling element models the performance
+behavior of a code block during the program execution" — ``execute()``
+occupies the executing thread's processor for the element's cost and
+records a trace interval.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimatorError
+from repro.workload.context import ExecContext
+
+
+class ModelElement:
+    """Base class: identity plus trace plumbing."""
+
+    kind = "element"
+
+    def __init__(self, ctx: ExecContext, name: str, element_id: int) -> None:
+        self.ctx = ctx
+        self.name = name
+        self.element_id = int(element_id)
+        self.executions = 0
+
+    def _trace(self, uid: int, pid: int, tid: int, start: float,
+               end: float, kind: str | None = None) -> None:
+        self.ctx.runtime.trace.record(
+            kind or self.kind, self.element_id, self.name,
+            uid, pid, tid, start, end)
+        self.executions += 1
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"id={self.element_id}>")
+
+
+class ActionPlus(ModelElement):
+    """A sequential code block (``<<action+>>``).
+
+    ``execute(uid, pid, tid, cost)`` — the paper's exact signature — holds
+    one processor of the executing process's node for ``cost`` simulated
+    seconds (queueing if all processors are busy) and records the interval.
+    """
+
+    kind = "action"
+
+    def execute(self, uid: int, pid: int, tid: int, cost: float):
+        cost = float(cost)
+        if cost < 0:
+            raise EstimatorError(
+                f"negative cost {cost} for element {self.name!r}")
+        start = self.ctx.sim.now
+        yield from self.ctx.cpu.use(cost)
+        self._trace(uid, pid, tid, start, self.ctx.sim.now)
+
+
+class CriticalSection(ModelElement):
+    """A code block under a named process-level lock (``<<critical+>>``).
+
+    Threads of the same process serialize on the lock; the cost is spent
+    on the processor while the lock is held.
+    """
+
+    kind = "critical"
+
+    def __init__(self, ctx: ExecContext, name: str,
+                 element_id: int) -> None:
+        super().__init__(ctx, name, element_id)
+        self.lock_name = "default"
+
+    def execute(self, uid: int, pid: int, tid: int, cost: float,
+                lock: str | None = None):
+        cost = float(cost)
+        if cost < 0:
+            raise EstimatorError(
+                f"negative cost {cost} for element {self.name!r}")
+        lock_facility = self.ctx.process.lock(
+            self.ctx.sim, lock or self.lock_name)
+        start = self.ctx.sim.now
+        yield from lock_facility.request()
+        try:
+            yield from self.ctx.cpu.use(cost)
+        finally:
+            lock_facility.release()
+        self._trace(uid, pid, tid, start, self.ctx.sim.now)

@@ -1,0 +1,321 @@
+"""Message-passing workload elements (MPI-like semantics over the sim).
+
+Point-to-point: eager sends below the network's rendezvous threshold
+(sender pays only its software overhead; a wire process delivers the
+message after the Hockney transfer time), synchronous rendezvous above it
+(sender blocks until the receiver has pulled the data).  Receives match on
+``(source, tag)`` with -1 as the *any* wildcard, over the per-process
+unexpected-message queue (:class:`repro.sim.mailbox.Mailbox`).
+
+Collectives use event-synchronized binomial-tree cost models (the standard
+Hockney-based formulas): participants of the *n*-th invocation of a given
+collective element match each other; completion times follow the tree
+depth ``ceil(log2 P)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EstimatorError
+from repro.machine.cluster import Cluster
+from repro.sim.core import Event, Simulation, hold
+from repro.sim.mailbox import Mailbox
+from repro.workload.context import ExecContext
+from repro.workload.elements import ModelElement
+
+ANY = -1  # wildcard source/tag
+
+
+@dataclass
+class _Message:
+    source: int
+    dest: int
+    tag: int
+    nbytes: float
+    sync: Event | None = None  # rendezvous completion (None for eager)
+
+
+@dataclass
+class _Collective:
+    """Per-invocation rendezvous state for one collective instance."""
+
+    expected: int
+    all_arrived: Event
+    root_arrived: Event
+    arrivals: int = 0
+    values: dict[int, float] = field(default_factory=dict)
+
+    def arrive(self, pid: int) -> None:
+        if pid in self.values:
+            raise EstimatorError(
+                f"process {pid} joined the same collective instance twice "
+                "(mismatched collective sequence?)")
+        self.values[pid] = 0.0
+        self.arrivals += 1
+        if self.arrivals == self.expected:
+            self.all_arrived.fire()
+
+
+class Communicator:
+    """COMM_WORLD over the cluster's processes."""
+
+    def __init__(self, sim: Simulation, cluster: Cluster) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.size = cluster.params.processes
+        self.mailboxes = [Mailbox(sim, f"p{pid}.inbox")
+                          for pid in range(self.size)]
+        self._instance_counters: dict[tuple, int] = {}
+        self._collectives: dict[tuple, _Collective] = {}
+        self.p2p_messages = 0
+
+    # -- point-to-point ---------------------------------------------------------
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not (0 <= rank < self.size):
+            raise EstimatorError(
+                f"{what} rank {rank} out of range 0..{self.size - 1}")
+
+    def send(self, ctx: ExecContext, dest: int, nbytes: float, tag: int):
+        """Blocking send from ``ctx.pid`` to ``dest``."""
+        source = ctx.pid
+        self._check_rank(dest, "send destination")
+        if nbytes < 0:
+            raise EstimatorError(f"negative message size {nbytes}")
+        network = self.cluster.network
+        intra = self.cluster.same_node(source, dest)
+        self.p2p_messages += 1
+        if nbytes <= network.config.eager_threshold:
+            # Eager: wire process delivers after the transfer time; the
+            # sender pays only its software overhead (one latency).
+            message = _Message(source, dest, tag, nbytes)
+            transfer = network.transfer_time(nbytes, intra)
+
+            def wire():
+                yield from network.transfer(nbytes, intra)
+                self.mailboxes[dest].send(message)
+
+            self.sim.spawn(f"wire.{source}->{dest}", wire())
+            yield from hold(network.transfer_time(0.0, intra))
+        else:
+            # Rendezvous: envelope travels one latency; the sender then
+            # blocks until the receiver has pulled the payload.
+            sync = Event(self.sim, f"rndv.{source}->{dest}")
+            message = _Message(source, dest, tag, nbytes, sync=sync)
+            envelope_delay = network.transfer_time(0.0, intra)
+
+            def envelope():
+                yield from hold(envelope_delay)
+                self.mailboxes[dest].send(message)
+
+            self.sim.spawn(f"rts.{source}->{dest}", envelope())
+            yield from sync.wait()
+
+    def recv(self, ctx: ExecContext, source: int, nbytes: float, tag: int):
+        """Blocking receive at ``ctx.pid``; -1 matches any source/tag."""
+        if source != ANY:
+            self._check_rank(source, "receive source")
+
+        def matches(message: _Message) -> bool:
+            return ((source == ANY or message.source == source)
+                    and (tag == ANY or message.tag == tag))
+
+        message = yield from self.mailboxes[ctx.pid].receive(matches)
+        if message.sync is not None:
+            # Rendezvous: pull the payload now, then release the sender.
+            intra = self.cluster.same_node(message.source, ctx.pid)
+            yield from self.cluster.network.transfer(message.nbytes, intra)
+            message.sync.fire()
+        return message
+
+    # -- collectives -----------------------------------------------------------
+
+    def _instance(self, kind: str, element_id: int,
+                  pid: int) -> _Collective:
+        counter_key = (kind, element_id, pid)
+        instance_no = self._instance_counters.get(counter_key, 0)
+        self._instance_counters[counter_key] = instance_no + 1
+        state_key = (kind, element_id, instance_no)
+        state = self._collectives.get(state_key)
+        if state is None:
+            state = _Collective(
+                expected=self.size,
+                all_arrived=Event(self.sim, f"{kind}#{element_id}.all"),
+                root_arrived=Event(self.sim, f"{kind}#{element_id}.root"),
+            )
+            self._collectives[state_key] = state
+        return state
+
+    def _tree_time(self, nbytes: float) -> float:
+        network = self.cluster.network
+        intra = self.cluster.params.nodes == 1
+        per_hop = network.transfer_time(nbytes, intra)
+        return network.tree_depth(self.size) * per_hop
+
+    def _hop_time(self, nbytes: float) -> float:
+        intra = self.cluster.params.nodes == 1
+        return self.cluster.network.transfer_time(nbytes, intra)
+
+    def barrier(self, ctx: ExecContext, element_id: int):
+        """Dissemination barrier: all leave tree-depth latencies after the
+        last arrival."""
+        state = self._instance("barrier", element_id, ctx.pid)
+        state.arrive(ctx.pid)
+        yield from state.all_arrived.wait()
+        yield from hold(self._tree_time(0.0))
+
+    def bcast(self, ctx: ExecContext, element_id: int, root: int,
+              nbytes: float):
+        """Binomial-tree broadcast: done max(t_me, t_root) + depth hops."""
+        self._check_rank(root, "bcast root")
+        state = self._instance("bcast", element_id, ctx.pid)
+        state.arrive(ctx.pid)
+        if ctx.pid == root:
+            state.root_arrived.fire()
+        else:
+            yield from state.root_arrived.wait()
+        yield from hold(self._tree_time(nbytes))
+
+    def reduce(self, ctx: ExecContext, element_id: int, root: int,
+               nbytes: float, op: str = "sum"):
+        """Binomial-tree reduction: the root completes tree-depth hops
+        after the last contribution; leaves complete after one hop."""
+        self._check_rank(root, "reduce root")
+        state = self._instance("reduce", element_id, ctx.pid)
+        state.arrive(ctx.pid)
+        if ctx.pid == root:
+            yield from state.all_arrived.wait()
+            yield from hold(self._tree_time(nbytes))
+        else:
+            yield from hold(self._hop_time(nbytes))
+
+    def allreduce(self, ctx: ExecContext, element_id: int, nbytes: float,
+                  op: str = "sum"):
+        """Reduce-then-broadcast: everyone synchronizes on the last
+        arrival, then pays two tree traversals."""
+        state = self._instance("allreduce", element_id, ctx.pid)
+        state.arrive(ctx.pid)
+        yield from state.all_arrived.wait()
+        yield from hold(2.0 * self._tree_time(nbytes))
+
+    def scatter(self, ctx: ExecContext, element_id: int, root: int,
+                nbytes: float):
+        """Linear scatter: the root serializes P-1 sends; receiver i gets
+        its block after i sends (rank order after the root arrives)."""
+        self._check_rank(root, "scatter root")
+        state = self._instance("scatter", element_id, ctx.pid)
+        state.arrive(ctx.pid)
+        per_child = self._hop_time(nbytes)
+        if ctx.pid == root:
+            state.root_arrived.fire()
+            yield from hold(per_child * max(self.size - 1, 0))
+        else:
+            yield from state.root_arrived.wait()
+            order = ctx.pid if ctx.pid > root else ctx.pid + 1
+            yield from hold(per_child * order)
+
+    def gather(self, ctx: ExecContext, element_id: int, root: int,
+               nbytes: float):
+        """Linear gather: the root drains P-1 receives after the last
+        contribution; leaves complete after their one send."""
+        self._check_rank(root, "gather root")
+        state = self._instance("gather", element_id, ctx.pid)
+        state.arrive(ctx.pid)
+        per_child = self._hop_time(nbytes)
+        if ctx.pid == root:
+            yield from state.all_arrived.wait()
+            yield from hold(per_child * max(self.size - 1, 0))
+        else:
+            yield from hold(per_child)
+
+
+# ---------------------------------------------------------------------------
+# Runtime element classes used by generated code
+# ---------------------------------------------------------------------------
+
+class _CommElement(ModelElement):
+    @property
+    def comm(self) -> Communicator:
+        return self.ctx.runtime.comm
+
+
+class MpiSend(_CommElement):
+    kind = "send"
+
+    def execute(self, uid: int, pid: int, tid: int, dest, nbytes, tag=0):
+        start = self.ctx.sim.now
+        yield from self.comm.send(self.ctx, int(dest), float(nbytes),
+                                  int(tag))
+        self._trace(uid, pid, tid, start, self.ctx.sim.now)
+
+
+class MpiRecv(_CommElement):
+    kind = "recv"
+
+    def execute(self, uid: int, pid: int, tid: int, source, nbytes, tag=0):
+        start = self.ctx.sim.now
+        yield from self.comm.recv(self.ctx, int(source), float(nbytes),
+                                  int(tag))
+        self._trace(uid, pid, tid, start, self.ctx.sim.now)
+
+
+class MpiBarrier(_CommElement):
+    kind = "barrier"
+
+    def execute(self, uid: int, pid: int, tid: int):
+        start = self.ctx.sim.now
+        yield from self.comm.barrier(self.ctx, self.element_id)
+        self._trace(uid, pid, tid, start, self.ctx.sim.now)
+
+
+class MpiBcast(_CommElement):
+    kind = "bcast"
+
+    def execute(self, uid: int, pid: int, tid: int, root, nbytes):
+        start = self.ctx.sim.now
+        yield from self.comm.bcast(self.ctx, self.element_id, int(root),
+                                   float(nbytes))
+        self._trace(uid, pid, tid, start, self.ctx.sim.now)
+
+
+class MpiScatter(_CommElement):
+    kind = "scatter"
+
+    def execute(self, uid: int, pid: int, tid: int, root, nbytes):
+        start = self.ctx.sim.now
+        yield from self.comm.scatter(self.ctx, self.element_id, int(root),
+                                     float(nbytes))
+        self._trace(uid, pid, tid, start, self.ctx.sim.now)
+
+
+class MpiGather(_CommElement):
+    kind = "gather"
+
+    def execute(self, uid: int, pid: int, tid: int, root, nbytes):
+        start = self.ctx.sim.now
+        yield from self.comm.gather(self.ctx, self.element_id, int(root),
+                                    float(nbytes))
+        self._trace(uid, pid, tid, start, self.ctx.sim.now)
+
+
+class MpiReduce(_CommElement):
+    kind = "reduce"
+
+    def execute(self, uid: int, pid: int, tid: int, root, nbytes,
+                op: str = "sum"):
+        start = self.ctx.sim.now
+        yield from self.comm.reduce(self.ctx, self.element_id, int(root),
+                                    float(nbytes), op)
+        self._trace(uid, pid, tid, start, self.ctx.sim.now)
+
+
+class MpiAllreduce(_CommElement):
+    kind = "allreduce"
+
+    def execute(self, uid: int, pid: int, tid: int, nbytes,
+                op: str = "sum"):
+        start = self.ctx.sim.now
+        yield from self.comm.allreduce(self.ctx, self.element_id,
+                                       float(nbytes), op)
+        self._trace(uid, pid, tid, start, self.ctx.sim.now)

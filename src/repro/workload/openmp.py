@@ -1,0 +1,51 @@
+"""Shared-memory workload constructs: parallel regions and fork/join.
+
+``<<parallel+>>`` maps to an OpenMP-style region: the encountering strand
+forks ``num_threads`` simulated threads (default: the machine model's
+threads-per-process), each running the region body with its own ``tid``;
+an implicit barrier joins them.  UML fork/join nodes run their arms as
+concurrent strands of the same thread context.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimatorError
+from repro.workload.context import ExecContext
+
+
+def parallel_region(ctx: ExecContext, name: str, element_id: int,
+                    num_threads: int, body):
+    """Fork-execute-join; records one trace interval for the region."""
+    count = int(num_threads) if num_threads and num_threads > 0 \
+        else ctx.nthreads
+    if count < 1:
+        raise EstimatorError(
+            f"parallel region {name!r}: thread count must be >= 1, "
+            f"got {count}")
+    start = ctx.sim.now
+    strands = [
+        ctx.spawn_strand(f"{name}.p{ctx.pid}.t{thread_index}",
+                         thread_index, body)
+        for thread_index in range(count)
+    ]
+    for strand in strands:
+        yield from strand.join()
+    ctx.runtime.trace.record("parallel", element_id, name, ctx.uid,
+                             ctx.pid, ctx.tid, start, ctx.sim.now)
+
+
+def fork_join(ctx: ExecContext, name: str, element_id: int, arms):
+    """Run UML fork arms concurrently; join waits for all."""
+    arms = list(arms)
+    if not arms:
+        raise EstimatorError(f"fork {name!r} has no arms")
+    start = ctx.sim.now
+    strands = [
+        ctx.spawn_strand(f"{name}.p{ctx.pid}.arm{arm_index}",
+                         ctx.tid, arm)
+        for arm_index, arm in enumerate(arms)
+    ]
+    for strand in strands:
+        yield from strand.join()
+    ctx.runtime.trace.record("fork", element_id, name, ctx.uid,
+                             ctx.pid, ctx.tid, start, ctx.sim.now)

@@ -1,0 +1,22 @@
+"""XML persistence for models and tool files.
+
+Teuta stores models as XML ("Models (XML)" in Fig. 2) and is configured by
+two further XML files: MCF (Model Checking File) and CF (Configuration
+File).  This package implements all three dialects:
+
+* :mod:`~repro.xmlio.writer` / :mod:`~repro.xmlio.reader` — the model
+  dialect (round-trip safe, property-tested);
+* :mod:`~repro.xmlio.mcf` — model-checking rule configuration;
+* :mod:`~repro.xmlio.config` — tool/machine configuration.
+"""
+
+from repro.xmlio.reader import model_from_xml, read_model
+from repro.xmlio.writer import model_to_xml, write_model
+from repro.xmlio.mcf import CheckingConfig, RuleSetting, read_mcf, write_mcf
+from repro.xmlio.config import ToolConfig, read_config, write_config
+
+__all__ = [
+    "model_to_xml", "write_model", "model_from_xml", "read_model",
+    "CheckingConfig", "RuleSetting", "read_mcf", "write_mcf",
+    "ToolConfig", "read_config", "write_config",
+]

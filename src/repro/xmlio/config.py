@@ -1,0 +1,119 @@
+"""CF — Teuta's Configuration File (Fig. 2).
+
+"The XML files that are used for the configuration of Teuta are indicated
+with the element CF."  Our CF carries tool options plus default system
+parameters (SP) and machine characteristics the Performance Estimator uses
+when none are given programmatically.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import XmlFormatError
+
+
+@dataclass
+class ToolConfig:
+    """Parsed CF content."""
+
+    options: dict[str, str] = field(default_factory=dict)
+    # default system parameters (SP of Fig. 2)
+    nodes: int = 1
+    processors_per_node: int = 1
+    processes: int = 1
+    threads_per_process: int = 1
+    # network characteristics (Hockney model)
+    latency: float = 1.0e-6
+    bandwidth: float = 1.0e9
+
+    def option(self, name: str, default: str | None = None) -> str | None:
+        return self.options.get(name, default)
+
+
+def read_config(source: str | Path) -> ToolConfig:
+    """Parse a CF document from a path or an XML string."""
+    text = source if isinstance(source, str) and source.lstrip().startswith("<") \
+        else Path(source).read_text(encoding="utf-8")
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlFormatError(f"CF is not well-formed XML: {exc}") from exc
+    if root.tag != "configuration":
+        raise XmlFormatError(
+            f"expected root element <configuration>, found <{root.tag}>")
+    config = ToolConfig()
+    for option_el in root.findall("./option"):
+        name, value = option_el.get("name"), option_el.get("value")
+        if name is None or value is None:
+            raise XmlFormatError("<option> needs 'name' and 'value'")
+        config.options[name] = value
+    machine_el = root.find("./machine")
+    if machine_el is not None:
+        config.nodes = _int_attr(machine_el, "nodes", config.nodes)
+        config.processors_per_node = _int_attr(
+            machine_el, "processorsPerNode", config.processors_per_node)
+        config.processes = _int_attr(machine_el, "processes", config.processes)
+        config.threads_per_process = _int_attr(
+            machine_el, "threads", config.threads_per_process)
+    network_el = root.find("./network")
+    if network_el is not None:
+        config.latency = _float_attr(network_el, "latency", config.latency)
+        config.bandwidth = _float_attr(network_el, "bandwidth",
+                                       config.bandwidth)
+    return config
+
+
+def write_config(config: ToolConfig, path: str | Path | None = None) -> str:
+    root = ET.Element("configuration")
+    for name, value in config.options.items():
+        ET.SubElement(root, "option", {"name": name, "value": value})
+    ET.SubElement(root, "machine", {
+        "nodes": str(config.nodes),
+        "processorsPerNode": str(config.processors_per_node),
+        "processes": str(config.processes),
+        "threads": str(config.threads_per_process),
+    })
+    ET.SubElement(root, "network", {
+        "latency": repr(config.latency),
+        "bandwidth": repr(config.bandwidth),
+    })
+    ET.indent(root, space="  ")
+    text = ET.tostring(root, encoding="unicode", xml_declaration=True) + "\n"
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def _int_attr(element: ET.Element, name: str, default: int) -> int:
+    raw = element.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise XmlFormatError(
+            f"<{element.tag}> attribute {name!r} must be an integer, "
+            f"got {raw!r}") from None
+    if value < 1:
+        raise XmlFormatError(
+            f"<{element.tag}> attribute {name!r} must be >= 1, got {value}")
+    return value
+
+
+def _float_attr(element: ET.Element, name: str, default: float) -> float:
+    raw = element.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise XmlFormatError(
+            f"<{element.tag}> attribute {name!r} must be a number, "
+            f"got {raw!r}") from None
+    if value <= 0:
+        raise XmlFormatError(
+            f"<{element.tag}> attribute {name!r} must be positive")
+    return value

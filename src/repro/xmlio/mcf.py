@@ -1,0 +1,111 @@
+"""MCF — the Model Checking File (Fig. 2).
+
+"Element MCF indicates the XML file, which is used for the model
+checking."  An MCF selects which checker rules run, overrides their
+severity, and sets rule parameters.  :class:`CheckingConfig` is the parsed
+form the :class:`~repro.checker.checker.ModelChecker` consumes.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import XmlFormatError
+
+VALID_SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass
+class RuleSetting:
+    """Per-rule switches from the MCF."""
+
+    rule_id: str
+    enabled: bool = True
+    severity: str | None = None  # None: keep the rule's default severity
+
+    def __post_init__(self) -> None:
+        if self.severity is not None and self.severity not in VALID_SEVERITIES:
+            raise XmlFormatError(
+                f"rule {self.rule_id!r}: invalid severity "
+                f"{self.severity!r} (expected one of {VALID_SEVERITIES})")
+
+
+@dataclass
+class CheckingConfig:
+    """A parsed MCF: rule settings plus free-form parameters."""
+
+    name: str = "default"
+    rules: dict[str, RuleSetting] = field(default_factory=dict)
+    params: dict[str, str] = field(default_factory=dict)
+
+    def setting(self, rule_id: str) -> RuleSetting:
+        """Setting for ``rule_id`` (a default-enabled one if unmentioned)."""
+        return self.rules.get(rule_id, RuleSetting(rule_id))
+
+    def is_enabled(self, rule_id: str) -> bool:
+        return self.setting(rule_id).enabled
+
+    def int_param(self, name: str, default: int) -> int:
+        raw = self.params.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise XmlFormatError(
+                f"MCF parameter {name!r} must be an integer, got {raw!r}"
+            ) from None
+
+
+def read_mcf(source: str | Path) -> CheckingConfig:
+    """Parse an MCF document from a path or an XML string."""
+    text = source if isinstance(source, str) and source.lstrip().startswith("<") \
+        else Path(source).read_text(encoding="utf-8")
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlFormatError(f"MCF is not well-formed XML: {exc}") from exc
+    if root.tag != "mcf":
+        raise XmlFormatError(f"expected root element <mcf>, found <{root.tag}>")
+    config = CheckingConfig(name=root.get("name", "default"))
+    for rule_el in root.findall("./rule"):
+        rule_id = rule_el.get("id")
+        if not rule_id:
+            raise XmlFormatError("<rule> is missing the 'id' attribute")
+        if rule_id in config.rules:
+            raise XmlFormatError(f"duplicate <rule id={rule_id!r}> in MCF")
+        enabled_raw = rule_el.get("enabled", "true")
+        if enabled_raw not in ("true", "false"):
+            raise XmlFormatError(
+                f"rule {rule_id!r}: enabled must be true/false, "
+                f"got {enabled_raw!r}")
+        config.rules[rule_id] = RuleSetting(
+            rule_id, enabled=enabled_raw == "true",
+            severity=rule_el.get("severity"))
+    for param_el in root.findall("./param"):
+        name = param_el.get("name")
+        value = param_el.get("value")
+        if name is None or value is None:
+            raise XmlFormatError("<param> needs 'name' and 'value'")
+        config.params[name] = value
+    return config
+
+
+def write_mcf(config: CheckingConfig, path: str | Path | None = None) -> str:
+    """Serialize a :class:`CheckingConfig`; optionally write to ``path``."""
+    root = ET.Element("mcf", {"name": config.name})
+    for setting in config.rules.values():
+        attrs = {"id": setting.rule_id,
+                 "enabled": "true" if setting.enabled else "false"}
+        if setting.severity is not None:
+            attrs["severity"] = setting.severity
+        ET.SubElement(root, "rule", attrs)
+    for name, value in config.params.items():
+        ET.SubElement(root, "param", {"name": name, "value": value})
+    ET.indent(root, space="  ")
+    text = ET.tostring(root, encoding="unicode", xml_declaration=True) + "\n"
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

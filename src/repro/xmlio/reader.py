@@ -1,0 +1,233 @@
+"""XML → Model deserialization (inverse of :mod:`repro.xmlio.writer`).
+
+The reader validates as it goes: unknown node kinds, dangling edge
+endpoints, malformed ids, unknown stereotypes (against the supplied
+profile) and type-mismatched tagged values all raise
+:class:`~repro.errors.XmlFormatError` with element context.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.errors import ProphetError, XmlFormatError
+from repro.lang.types import Type
+from repro.uml.activities import (
+    ActionNode,
+    ActivityFinalNode,
+    ActivityInvocationNode,
+    ActivityNode,
+    ControlFlow,
+    DecisionNode,
+    ForkNode,
+    InitialNode,
+    JoinNode,
+    LoopNode,
+    MergeNode,
+    ParallelRegionNode,
+)
+from repro.uml.diagram import ActivityDiagram
+from repro.uml.model import CostFunction, Model, VariableDeclaration
+from repro.uml.perf_profile import PERF_PROFILE
+from repro.uml.profile import Profile
+from repro.uml.stereotype import StereotypeApplication
+
+
+def model_from_xml(text: str, profile: Profile = PERF_PROFILE) -> Model:
+    """Parse a model document produced by :func:`model_to_xml`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlFormatError(f"not well-formed XML: {exc}") from exc
+    if root.tag != "model":
+        raise XmlFormatError(
+            f"expected root element <model>, found <{root.tag}>")
+    model = Model(_int_attr(root, "id"), _req_attr(root, "name"))
+
+    for variable_el in root.findall("./variables/variable"):
+        model.add_variable(_read_variable(variable_el))
+    for function_el in root.findall("./costFunctions/costFunction"):
+        model.add_cost_function(_read_cost_function(function_el))
+    for diagram_el in root.findall("./diagram"):
+        model.add_diagram(_read_diagram(diagram_el, profile))
+
+    main = root.get("main")
+    if main is not None:
+        if not model.has_diagram(main):
+            raise XmlFormatError(
+                f"main diagram {main!r} is not defined in the document")
+        model.main_diagram_name = main
+    return model
+
+
+def read_model(path: str | Path, profile: Profile = PERF_PROFILE) -> Model:
+    """Read a model XML file from disk."""
+    return model_from_xml(Path(path).read_text(encoding="utf-8"), profile)
+
+
+# ---------------------------------------------------------------------------
+# pieces
+# ---------------------------------------------------------------------------
+
+def _req_attr(element: ET.Element, name: str) -> str:
+    value = element.get(name)
+    if value is None:
+        raise XmlFormatError(
+            f"<{element.tag}> is missing required attribute {name!r}")
+    return value
+
+
+def _int_attr(element: ET.Element, name: str) -> int:
+    raw = _req_attr(element, name)
+    try:
+        return int(raw)
+    except ValueError:
+        raise XmlFormatError(
+            f"<{element.tag}> attribute {name!r} must be an integer, "
+            f"got {raw!r}") from None
+
+
+def _read_variable(element: ET.Element) -> VariableDeclaration:
+    type_name = _req_attr(element, "type")
+    try:
+        var_type = Type.from_name(type_name)
+    except ValueError as exc:
+        raise XmlFormatError(str(exc)) from exc
+    try:
+        return VariableDeclaration(
+            _req_attr(element, "name"),
+            var_type,
+            element.get("init"),
+            element.get("scope", "global"),
+        )
+    except ProphetError as exc:
+        raise XmlFormatError(f"bad <variable>: {exc}") from exc
+
+
+def _read_cost_function(element: ET.Element) -> CostFunction:
+    body = element.text or ""
+    returns = element.get("returns", "double")
+    try:
+        return_type = Type.from_name(returns)
+    except ValueError as exc:
+        raise XmlFormatError(str(exc)) from exc
+    try:
+        return CostFunction(
+            _req_attr(element, "name"),
+            body.strip(),
+            element.get("params", ""),
+            return_type,
+        )
+    except ProphetError as exc:
+        raise XmlFormatError(f"bad <costFunction>: {exc}") from exc
+
+
+def _read_diagram(element: ET.Element, profile: Profile) -> ActivityDiagram:
+    diagram = ActivityDiagram(_int_attr(element, "id"),
+                              _req_attr(element, "name"))
+    nodes_by_id: dict[int, ActivityNode] = {}
+    for node_el in element.findall("./node"):
+        node = _read_node(node_el, profile)
+        diagram.add_node(node)
+        nodes_by_id[node.id] = node
+    for edge_el in element.findall("./edge"):
+        source_id = _int_attr(edge_el, "source")
+        target_id = _int_attr(edge_el, "target")
+        for endpoint in (source_id, target_id):
+            if endpoint not in nodes_by_id:
+                raise XmlFormatError(
+                    f"edge {edge_el.get('id')} references unknown node "
+                    f"{endpoint} in diagram {diagram.name!r}")
+        edge = ControlFlow(
+            _int_attr(edge_el, "id"),
+            nodes_by_id[source_id],
+            nodes_by_id[target_id],
+            edge_el.get("guard"),
+            edge_el.get("name", ""),
+        )
+        diagram.add_edge(edge)
+    return diagram
+
+
+def _read_node(element: ET.Element, profile: Profile) -> ActivityNode:
+    kind = _req_attr(element, "kind")
+    node_id = _int_attr(element, "id")
+    name = _req_attr(element, "name")
+    if kind == "initial":
+        node: ActivityNode = InitialNode(node_id, name)
+    elif kind == "final":
+        node = ActivityFinalNode(node_id, name)
+    elif kind == "decision":
+        node = DecisionNode(node_id, name)
+    elif kind == "merge":
+        node = MergeNode(node_id, name)
+    elif kind == "fork":
+        node = ForkNode(node_id, name)
+    elif kind == "join":
+        node = JoinNode(node_id, name)
+    elif kind == "action":
+        cost_el = element.find("cost")
+        code_el = element.find("code")
+        node = ActionNode(
+            node_id, name,
+            cost=cost_el.text if cost_el is not None else None,
+            code=code_el.text if code_el is not None else None,
+        )
+    elif kind == "activity":
+        node = ActivityInvocationNode(node_id, name,
+                                      _req_attr(element, "behavior"))
+    elif kind == "loop":
+        node = LoopNode(node_id, name, _req_attr(element, "behavior"),
+                        _req_attr(element, "iterations"))
+    elif kind == "parallel":
+        node = ParallelRegionNode(node_id, name,
+                                  _req_attr(element, "behavior"),
+                                  element.get("numthreads", "0"))
+    else:
+        raise XmlFormatError(f"unknown node kind {kind!r}")
+
+    for stereotype_el in element.findall("./stereotype"):
+        _apply_stereotype(node, stereotype_el, profile)
+    return node
+
+
+def _apply_stereotype(node: ActivityNode, element: ET.Element,
+                      profile: Profile) -> None:
+    stereotype_name = _req_attr(element, "name")
+    try:
+        stereotype = profile.get(stereotype_name)
+    except ProphetError as exc:
+        raise XmlFormatError(str(exc)) from exc
+    values = {}
+    for tag_el in element.findall("./tag"):
+        tag_name = _req_attr(tag_el, "name")
+        values[tag_name] = _parse_tag_value(tag_el)
+    try:
+        node.apply_stereotype(StereotypeApplication(stereotype, values))
+    except ProphetError as exc:
+        raise XmlFormatError(
+            f"cannot apply <<{stereotype_name}>> to node "
+            f"{node.name!r}: {exc}") from exc
+
+
+def _parse_tag_value(element: ET.Element):
+    raw = _req_attr(element, "value")
+    type_name = element.get("type", "string")
+    try:
+        tag_type = Type.from_name(type_name)
+    except ValueError as exc:
+        raise XmlFormatError(str(exc)) from exc
+    try:
+        if tag_type is Type.INT:
+            return int(raw)
+        if tag_type is Type.DOUBLE:
+            return float(raw)
+        if tag_type is Type.BOOL:
+            if raw not in ("true", "false"):
+                raise ValueError(f"bad bool literal {raw!r}")
+            return raw == "true"
+        return raw
+    except ValueError as exc:
+        raise XmlFormatError(
+            f"tag {element.get('name')!r}: {exc}") from exc

@@ -1,0 +1,156 @@
+"""Model → XML serialization.
+
+The dialect is deliberately simple and diff-friendly (one element per
+node/edge, tagged values as child elements) — the shape a Teuta "save"
+produces.  :func:`model_to_xml` returns the document text;
+:func:`write_model` writes it to a path.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.errors import XmlError
+from repro.lang.types import Type, type_of_value
+from repro.uml.activities import (
+    ActionNode,
+    ActivityFinalNode,
+    ActivityInvocationNode,
+    ActivityNode,
+    ControlFlow,
+    DecisionNode,
+    ForkNode,
+    InitialNode,
+    JoinNode,
+    LoopNode,
+    MergeNode,
+    ParallelRegionNode,
+)
+from repro.uml.diagram import ActivityDiagram
+from repro.uml.model import Model
+
+#: Node class → the ``kind`` attribute in XML (and back, see reader).
+NODE_KINDS: dict[type, str] = {
+    InitialNode: "initial",
+    ActivityFinalNode: "final",
+    ActionNode: "action",
+    ActivityInvocationNode: "activity",
+    DecisionNode: "decision",
+    MergeNode: "merge",
+    ForkNode: "fork",
+    JoinNode: "join",
+    LoopNode: "loop",
+    ParallelRegionNode: "parallel",
+}
+
+FORMAT_VERSION = "1.0"
+
+
+def model_to_xml(model: Model) -> str:
+    """Serialize ``model`` to an XML document string."""
+    root = ET.Element("model", {
+        "name": model.name,
+        "id": str(model.id),
+        "version": FORMAT_VERSION,
+    })
+    if model.main_diagram_name is not None:
+        root.set("main", model.main_diagram_name)
+
+    variables = ET.SubElement(root, "variables")
+    for declaration in model.variables:
+        attrs = {
+            "name": declaration.name,
+            "type": declaration.type.value,
+            "scope": declaration.scope,
+        }
+        if declaration.init is not None:
+            attrs["init"] = declaration.init
+        ET.SubElement(variables, "variable", attrs)
+
+    functions = ET.SubElement(root, "costFunctions")
+    for function in model.cost_functions.values():
+        element = ET.SubElement(functions, "costFunction", {
+            "name": function.name,
+            "params": function.params_source,
+            "returns": function.definition.return_type.value,
+        })
+        element.text = function.body_source
+
+    for diagram in model.diagrams:
+        root.append(_diagram_to_element(diagram))
+
+    ET.indent(root, space="  ")
+    return ET.tostring(root, encoding="unicode", xml_declaration=True) + "\n"
+
+
+def _diagram_to_element(diagram: ActivityDiagram) -> ET.Element:
+    element = ET.Element("diagram", {
+        "name": diagram.name,
+        "id": str(diagram.id),
+    })
+    for node in diagram.nodes:
+        element.append(_node_to_element(node))
+    for edge in diagram.edges:
+        element.append(_edge_to_element(edge))
+    return element
+
+
+def _node_to_element(node: ActivityNode) -> ET.Element:
+    kind = NODE_KINDS.get(type(node))
+    if kind is None:
+        raise XmlError(f"cannot serialize node class {type(node).__name__}")
+    element = ET.Element("node", {
+        "id": str(node.id),
+        "kind": kind,
+        "name": node.name,
+    })
+    if isinstance(node, (ActivityInvocationNode, LoopNode,
+                         ParallelRegionNode)):
+        element.set("behavior", node.behavior)
+    if isinstance(node, LoopNode):
+        element.set("iterations", node.iterations)
+    if isinstance(node, ParallelRegionNode):
+        element.set("numthreads", node.num_threads)
+    if isinstance(node, ActionNode):
+        if node.cost is not None:
+            ET.SubElement(element, "cost").text = node.cost
+        if node.code is not None:
+            ET.SubElement(element, "code").text = node.code
+    for application in node.applied:
+        stereotype_el = ET.SubElement(element, "stereotype", {
+            "name": application.stereotype.name,
+        })
+        for tag_name, value in application.items():
+            ET.SubElement(stereotype_el, "tag", {
+                "name": tag_name,
+                "type": type_of_value(value).value,
+                "value": _render_tag_value(value),
+            })
+    return element
+
+
+def _render_tag_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _edge_to_element(edge: ControlFlow) -> ET.Element:
+    attrs = {
+        "id": str(edge.id),
+        "source": str(edge.source.id),
+        "target": str(edge.target.id),
+    }
+    if edge.guard is not None:
+        attrs["guard"] = edge.guard
+    if edge.name:
+        attrs["name"] = edge.name
+    return ET.Element("edge", attrs)
+
+
+def write_model(model: Model, path: str | Path) -> Path:
+    """Serialize ``model`` and write it to ``path``."""
+    path = Path(path)
+    path.write_text(model_to_xml(model), encoding="utf-8")
+    return path

@@ -1,0 +1,96 @@
+"""Tests for diagnostics, severities, and report plumbing."""
+
+import pytest
+
+from repro.checker.diagnostics import CheckReport, Diagnostic, Severity
+
+
+class TestSeverity:
+    def test_from_name(self):
+        assert Severity.from_name("error") is Severity.ERROR
+        assert Severity.from_name("warning") is Severity.WARNING
+        assert Severity.from_name("info") is Severity.INFO
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            Severity.from_name("fatal")
+
+    def test_str(self):
+        assert str(Severity.ERROR) == "error"
+
+
+class TestDiagnostic:
+    def test_render_with_full_location(self):
+        diagnostic = Diagnostic("unique-ids", Severity.ERROR, "boom",
+                                element_id=7, diagram="Main")
+        text = diagnostic.render()
+        assert "error: unique-ids: boom" in text
+        assert "diagram Main" in text
+        assert "element 7" in text
+
+    def test_render_element_only(self):
+        diagnostic = Diagnostic("r", Severity.INFO, "note", element_id=3)
+        assert "[element 3]" in diagnostic.render()
+
+    def test_render_bare(self):
+        diagnostic = Diagnostic("r", Severity.WARNING, "hm")
+        assert diagnostic.render() == "warning: r: hm"
+
+
+class TestCheckReport:
+    def make_report(self):
+        report = CheckReport("M")
+        report.extend([
+            Diagnostic("a", Severity.ERROR, "e1"),
+            Diagnostic("b", Severity.WARNING, "w1"),
+            Diagnostic("b", Severity.WARNING, "w2"),
+            Diagnostic("c", Severity.INFO, "i1"),
+        ])
+        report.rules_run = 3
+        return report
+
+    def test_partitions(self):
+        report = self.make_report()
+        assert len(report.errors()) == 1
+        assert len(report.warnings()) == 2
+        assert len(report.infos()) == 1
+        assert len(report) == 4
+
+    def test_ok_only_without_errors(self):
+        report = self.make_report()
+        assert not report.ok
+        clean = CheckReport("M")
+        clean.extend([Diagnostic("b", Severity.WARNING, "w")])
+        assert clean.ok  # warnings do not fail a model
+
+    def test_by_rule(self):
+        report = self.make_report()
+        assert len(report.by_rule("b")) == 2
+        assert report.by_rule("zzz") == []
+
+    def test_render_header(self):
+        text = self.make_report().render()
+        assert "1 error(s), 2 warning(s), 1 info(s)" in text
+        assert "(3 rules run)" in text
+
+
+class TestRuleRegistry:
+    def test_rule_ids_unique_and_sorted(self):
+        from repro.checker.rules import rule_ids
+        ids = rule_ids()
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 22
+
+    def test_every_rule_has_description(self):
+        from repro.checker.rules import ALL_RULES, _load_rule_modules
+        _load_rule_modules()
+        for rule_id, rule_class in ALL_RULES.items():
+            assert rule_class.description, rule_id
+            assert rule_class.rule_id == rule_id
+
+    def test_checker_runs_all_enabled(self):
+        from repro.checker import ModelChecker
+        from repro.checker.rules import rule_ids
+        checker = ModelChecker()
+        assert checker.active_rules == rule_ids()

@@ -1,0 +1,257 @@
+"""Tests for the semantic (expression-level) checker rules."""
+
+import pytest
+
+from repro.checker import check_model
+from repro.uml.builder import ModelBuilder
+
+
+def rule_hits(model, rule_id):
+    return check_model(model).by_rule(rule_id)
+
+
+def linear_model(**kwargs):
+    """A minimal valid model factory accepting tweaks via kwargs."""
+    builder = ModelBuilder("M")
+    builder.global_var("GV", "int")
+    builder.global_var("P", "int", "4")
+    builder.cost_function("F", "0.5 * P")
+    diagram = builder.diagram("Main", main=True)
+    action = diagram.action("A", cost=kwargs.get("cost", "F()"),
+                            code=kwargs.get("code"))
+    diagram.sequence(action)
+    return builder.model
+
+
+class TestVariableInitializers:
+    def test_forward_reference_rejected(self):
+        builder = ModelBuilder("M")
+        builder.global_var("A", "int", "B + 1")  # B declared after A
+        builder.global_var("B", "int", "1")
+        builder.cost_function("F", "0.1")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("X", cost="F()"))
+        hits = rule_hits(builder.model, "variable-initializers")
+        assert any("not declared before" in d.message for d in hits)
+
+    def test_backward_reference_allowed(self):
+        builder = ModelBuilder("M")
+        builder.global_var("A", "int", "2")
+        builder.global_var("B", "int", "A * 2")
+        builder.cost_function("F", "0.1")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("X", cost="F()"))
+        assert not rule_hits(builder.model, "variable-initializers")
+
+    def test_type_mismatch_detected(self):
+        builder = ModelBuilder("M")
+        builder.global_var("S", "string", '"x"')
+        builder.global_var("N", "int", "S * 2")
+        builder.cost_function("F", "0.1")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("X", cost="F()"))
+        assert rule_hits(builder.model, "variable-initializers")
+
+
+class TestCostFunctions:
+    def test_body_referencing_unknown_variable(self):
+        builder = ModelBuilder("M")
+        builder.cost_function("F", "0.5 * GHOST")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("A", cost="F()"))
+        hits = rule_hits(builder.model, "cost-function-bodies")
+        assert any("GHOST" in d.message for d in hits)
+
+    def test_body_calling_unknown_function(self):
+        builder = ModelBuilder("M")
+        builder.cost_function("F", "G() + 1.0")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("A", cost="F()"))
+        assert rule_hits(builder.model, "cost-function-bodies")
+
+    def test_composed_functions_ok(self):
+        builder = ModelBuilder("M")
+        builder.cost_function("G", "1.0")
+        builder.cost_function("F", "G() * 2.0")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("A", cost="F()"))
+        assert not rule_hits(builder.model, "cost-function-bodies")
+
+    def test_intrinsics_visible_in_bodies(self):
+        builder = ModelBuilder("M")
+        builder.cost_function("F", "0.001 * pid + 0.0001 * size")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("A", cost="F()"))
+        assert not rule_hits(builder.model, "cost-function-bodies")
+
+
+class TestCostReferences:
+    def test_unknown_cost_function_invocation(self):
+        model = linear_model(cost="MISSING()")
+        hits = rule_hits(model, "cost-references")
+        assert any("MISSING" in d.message for d in hits)
+
+    def test_wrong_arity_invocation(self):
+        builder = ModelBuilder("M")
+        builder.cost_function("F", "0.001 * pid", params="int pid")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("A", cost="F()"))  # needs 1 arg
+        assert rule_hits(builder.model, "cost-references")
+
+    def test_malformed_cost_expression(self):
+        model = linear_model(cost="0.5 *")
+        assert rule_hits(model, "cost-references")
+
+    def test_string_valued_cost_rejected(self):
+        builder = ModelBuilder("M")
+        builder.global_var("name", "string", '"x"')
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("A", cost="name"))
+        hits = rule_hits(builder.model, "cost-references")
+        assert any("numeric" in d.message for d in hits)
+
+    def test_bare_expression_cost_ok(self):
+        model = linear_model(cost="0.5 * P")
+        assert not rule_hits(model, "cost-references")
+
+
+class TestMissingCost:
+    def test_action_without_cost_or_time_warns(self):
+        builder = ModelBuilder("M")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("A"))
+        hits = rule_hits(builder.model, "missing-cost")
+        assert hits and hits[0].severity.value == "warning"
+
+    def test_action_with_time_tag_ok(self):
+        builder = ModelBuilder("M")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("A", time=1.5))
+        assert not rule_hits(builder.model, "missing-cost")
+
+
+class TestCodeFragments:
+    def test_paper_fragment_ok(self):
+        model = linear_model(code="GV = 1; P = 4;")
+        assert not rule_hits(model, "code-fragments")
+
+    def test_fragment_with_unknown_variable(self):
+        model = linear_model(code="GHOST = 1;")
+        hits = rule_hits(model, "code-fragments")
+        assert any("GHOST" in d.message for d in hits)
+
+    def test_fragment_with_syntax_error(self):
+        model = linear_model(code="GV = ;")
+        assert rule_hits(model, "code-fragments")
+
+    def test_fragment_calling_cost_function_ok(self):
+        builder = ModelBuilder("M")
+        builder.global_var("X", "double")
+        builder.cost_function("F", "1.0")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("A", cost="F()", code="X = F();"))
+        assert not rule_hits(builder.model, "code-fragments")
+
+    def test_fragment_with_local_declaration_ok(self):
+        model = linear_model(code="int t = 3; GV = t;")
+        assert not rule_hits(model, "code-fragments")
+
+
+class TestGuards:
+    def make_decision_model(self, guard):
+        builder = ModelBuilder("M")
+        builder.global_var("GV", "int")
+        builder.cost_function("F", "0.1")
+        diagram = builder.diagram("Main", main=True)
+        initial = diagram.initial()
+        decision = diagram.decision()
+        merge = diagram.merge()
+        a, b = diagram.action("A", cost="F()"), diagram.action("B", cost="F()")
+        final = diagram.final()
+        diagram.flow(initial, decision)
+        diagram.flow(decision, a, guard=guard)
+        diagram.flow(decision, b, guard="else")
+        diagram.flow(a, merge)
+        diagram.flow(b, merge)
+        diagram.flow(merge, final)
+        return builder.model
+
+    def test_paper_guard_ok(self):
+        assert not rule_hits(self.make_decision_model("GV == 1"),
+                             "guard-expressions")
+
+    def test_malformed_guard(self):
+        assert rule_hits(self.make_decision_model("GV =="),
+                         "guard-expressions")
+
+    def test_guard_with_unknown_name(self):
+        hits = rule_hits(self.make_decision_model("GHOST == 1"),
+                         "guard-expressions")
+        assert any("GHOST" in d.message for d in hits)
+
+    def test_guard_may_use_intrinsics(self):
+        assert not rule_hits(self.make_decision_model("pid == 0"),
+                             "guard-expressions")
+
+
+class TestTagExpressions:
+    def test_send_dest_expression_checked(self):
+        builder = ModelBuilder("M")
+        builder.cost_function("F", "0.1")
+        diagram = builder.diagram("Main", main=True)
+        send = diagram.send("S", dest="(pid + 1) % size", size="1024")
+        recv = diagram.recv("R", source="(pid - 1 + size) % size",
+                            size="1024")
+        diagram.sequence(send, recv)
+        assert not rule_hits(builder.model, "tag-expressions")
+
+    def test_malformed_dest_detected(self):
+        builder = ModelBuilder("M")
+        diagram = builder.diagram("Main", main=True)
+        send = diagram.send("S", dest="pid +")
+        recv = diagram.recv("R", source="0")
+        diagram.sequence(send, recv)
+        assert rule_hits(builder.model, "tag-expressions")
+
+    def test_unknown_name_in_size_detected(self):
+        builder = ModelBuilder("M")
+        diagram = builder.diagram("Main", main=True)
+        send = diagram.send("S", dest="0", size="NBYTES")
+        recv = diagram.recv("R", source="0")
+        diagram.sequence(send, recv)
+        hits = rule_hits(builder.model, "tag-expressions")
+        assert any("NBYTES" in d.message for d in hits)
+
+    def test_loop_iterations_checked(self):
+        builder = ModelBuilder("M")
+        builder.cost_function("F", "0.1")
+        body = builder.diagram("Body")
+        body.sequence(body.action("A", cost="F()"))
+        diagram = builder.diagram("Main", main=True)
+        loop = diagram.loop("L", diagram="Body", iterations="UNDECLARED * 2")
+        diagram.sequence(loop)
+        assert rule_hits(builder.model, "tag-expressions")
+
+
+class TestCommunicationConsistency:
+    def test_send_without_recv_warns(self):
+        builder = ModelBuilder("M")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.send("S", dest="0"))
+        hits = rule_hits(builder.model, "communication-consistency")
+        assert any("no <<recv+>>" in d.message for d in hits)
+
+    def test_recv_without_send_warns(self):
+        builder = ModelBuilder("M")
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.recv("R", source="0"))
+        hits = rule_hits(builder.model, "communication-consistency")
+        assert any("no <<send+>>" in d.message for d in hits)
+
+    def test_balanced_communication_clean(self):
+        builder = ModelBuilder("M")
+        diagram = builder.diagram("Main", main=True)
+        send = diagram.send("S", dest="1")
+        recv = diagram.recv("R", source="0")
+        diagram.sequence(send, recv)
+        assert not rule_hits(builder.model, "communication-consistency")

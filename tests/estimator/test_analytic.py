@@ -1,0 +1,160 @@
+"""Tests for the analytic (hybrid) evaluator against the simulator."""
+
+import pytest
+
+from repro.estimator import estimate
+from repro.estimator.analytic import AnalyticEvaluator, evaluate_analytically
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.samples import (
+    build_kernel6_loopnest_model,
+    build_kernel6_model,
+    build_sample_model,
+)
+from repro.uml.builder import ModelBuilder
+
+
+class TestExactAgreement:
+    """For contention-free compute models, analytic == simulated."""
+
+    def test_sample_model_per_process(self):
+        params = SystemParameters(nodes=4, processors_per_node=1,
+                                  processes=4)
+        analytic = evaluate_analytically(build_sample_model(), params)
+        simulated = estimate(build_sample_model(), params)
+        for pid in range(4):
+            assert analytic.per_process[pid] == pytest.approx(
+                simulated.process_finish_times[pid])
+        assert analytic.makespan == pytest.approx(simulated.total_time)
+
+    def test_kernel6_collapsed(self):
+        model = build_kernel6_model(n=80, m=5, c6=1e-8)
+        analytic = evaluate_analytically(model)
+        simulated = estimate(model, SystemParameters())
+        assert analytic.makespan == pytest.approx(simulated.total_time)
+
+    def test_kernel6_loopnest(self):
+        model = build_kernel6_loopnest_model(n=31, m=2, c6=1e-7)
+        analytic = evaluate_analytically(model)
+        simulated = estimate(model, SystemParameters())
+        assert analytic.makespan == pytest.approx(simulated.total_time)
+
+    def test_drawn_loop_with_state(self):
+        builder = ModelBuilder("Looped")
+        builder.global_var("I", "int", "0")
+        builder.cost_function("F", "0.25")
+        diagram = builder.diagram("Main", main=True)
+        initial, final = diagram.initial(), diagram.final()
+        merge = diagram.merge("head")
+        decision = diagram.decision("test")
+        body = diagram.action("Step", cost="F()", code="I = I + 1;")
+        diagram.flow(initial, merge)
+        diagram.flow(merge, decision)
+        diagram.flow(decision, body, guard="I < 4")
+        diagram.flow(decision, final, guard="else")
+        diagram.flow(body, merge)
+        model = builder.build()
+        analytic = evaluate_analytically(model)
+        simulated = estimate(model, SystemParameters())
+        assert analytic.makespan == pytest.approx(1.0)  # 4 × 0.25
+        assert analytic.makespan == pytest.approx(simulated.total_time)
+
+    def test_parallel_region_no_contention(self):
+        builder = ModelBuilder("Par")
+        builder.cost_function("F", "2.0")
+        body = builder.diagram("Body")
+        body.sequence(body.action("W", cost="F()"))
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.parallel("PR", diagram="Body",
+                                    num_threads="4"))
+        model = builder.build()
+        params = SystemParameters(processors_per_node=4,
+                                  threads_per_process=4)
+        analytic = evaluate_analytically(model, params)
+        simulated = estimate(model, params)
+        assert analytic.makespan == pytest.approx(2.0)
+        assert analytic.makespan == pytest.approx(simulated.total_time)
+
+    def test_parallel_region_contention_bound(self):
+        # 4 threads × 2.0 s on 2 processors: bound = max(2, 8/2) = 4.
+        builder = ModelBuilder("Par")
+        builder.cost_function("F", "2.0")
+        body = builder.diagram("Body")
+        body.sequence(body.action("W", cost="F()"))
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.parallel("PR", diagram="Body",
+                                    num_threads="4"))
+        model = builder.build()
+        params = SystemParameters(processors_per_node=2,
+                                  threads_per_process=4)
+        analytic = evaluate_analytically(model, params)
+        simulated = estimate(model, params)
+        assert analytic.makespan == pytest.approx(4.0)
+        assert analytic.makespan == pytest.approx(simulated.total_time)
+
+
+class TestBoundProperty:
+    def test_analytic_lower_bounds_contended_simulation(self):
+        # 4 processes sharing one processor: simulation serializes, the
+        # analytic bound treats ranks independently.
+        params = SystemParameters(nodes=1, processors_per_node=1,
+                                  processes=4)
+        analytic = evaluate_analytically(build_sample_model(), params)
+        simulated = estimate(build_sample_model(), params)
+        assert analytic.makespan <= simulated.total_time + 1e-12
+
+    def test_jacobi_within_factor_of_simulation(self):
+        import examples.jacobi_mpi as jacobi
+        model = jacobi.build_jacobi_model().build()
+        params = SystemParameters(nodes=8, processes=8)
+        network = NetworkConfig(latency=5e-6, bandwidth=1e9)
+        analytic = evaluate_analytically(model, params, network)
+        simulated = estimate(model, params, network=network)
+        assert analytic.makespan > 0
+        ratio = simulated.total_time / analytic.makespan
+        assert 0.5 < ratio < 2.0
+
+
+class TestStateFreeFastPath:
+    def test_state_free_loop_detected(self):
+        model = build_kernel6_loopnest_model()
+        evaluator = AnalyticEvaluator(model)
+        body = evaluator.ir.regions["MiddleLoop"]
+        assert evaluator._is_state_free(body)
+
+    def test_mutating_body_detected(self):
+        builder = ModelBuilder("M")
+        builder.global_var("X", "int", "0")
+        builder.cost_function("F", "0.1")
+        body = builder.diagram("Body")
+        body.sequence(body.action("A", cost="F()", code="X = X + 1;"))
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.loop("L", diagram="Body", iterations="3"))
+        evaluator = AnalyticEvaluator(builder.build())
+        assert not evaluator._is_state_free(evaluator.ir.regions["Body"])
+
+    def test_nested_mutation_detected_through_behavior(self):
+        builder = ModelBuilder("M")
+        builder.global_var("X", "int", "0")
+        builder.cost_function("F", "0.1")
+        inner = builder.diagram("Inner")
+        inner.sequence(inner.action("A", cost="F()", code="X = X + 1;"))
+        outer = builder.diagram("Outer")
+        outer.sequence(outer.activity("Call", diagram="Inner"))
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.loop("L", diagram="Outer", iterations="2"))
+        evaluator = AnalyticEvaluator(builder.build())
+        assert not evaluator._is_state_free(evaluator.ir.regions["Outer"])
+        # And the total must reflect the mutations (exactness check).
+        simulated = estimate(builder.build(), SystemParameters())
+        assert evaluator.evaluate().makespan == pytest.approx(
+            simulated.total_time)
+
+
+class TestResultShape:
+    def test_summary(self):
+        result = evaluate_analytically(build_sample_model(),
+                                       SystemParameters(processes=2))
+        text = result.summary()
+        assert "analytic bound" in text
+        assert "rank 0" in text

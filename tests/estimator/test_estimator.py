@@ -1,0 +1,200 @@
+"""Tests for the Performance Estimator: runs, results, trace files."""
+
+import pytest
+
+from repro.errors import CheckError, EstimatorError
+from repro.estimator import PerformanceEstimator, estimate
+from repro.estimator.analysis import TraceAnalysis
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.samples import (
+    build_kernel6_loopnest_model,
+    build_kernel6_model,
+    build_sample_model,
+)
+from repro.uml.builder import ModelBuilder
+
+
+class TestBasicRuns:
+    def test_kernel6_collapsed_prediction(self):
+        # T = C6 * M * N(N-1)/2 with the model's defaults.
+        model = build_kernel6_model(n=100, m=10, c6=2.0e-9)
+        result = estimate(model, SystemParameters())
+        expected = 2.0e-9 * 10 * (100 * 99 // 2)
+        assert result.total_time == pytest.approx(expected)
+
+    def test_kernel6_loopnest_matches_collapsed_shape(self):
+        # The detailed loop nest predicts C6 * M * (N-1) * (N-1)/2 —
+        # the mean-trip-count approximation of the same kernel.
+        n, m, c6 = 41, 5, 1.0e-6
+        detailed = estimate(build_kernel6_loopnest_model(n=n, m=m, c6=c6),
+                            SystemParameters())
+        expected = c6 * m * (n - 1) * ((n - 1) // 2)
+        assert detailed.total_time == pytest.approx(expected)
+
+    def test_loopnest_costs_more_sim_events_than_collapsed(self):
+        # The paper's Fig. 3 point: detailed models are needlessly
+        # expensive to evaluate for rough estimation.
+        n, m = 61, 4
+        collapsed = estimate(build_kernel6_model(n=n, m=m),
+                             SystemParameters())
+        detailed = estimate(build_kernel6_loopnest_model(n=n, m=m),
+                            SystemParameters())
+        assert detailed.events_processed > 50 * collapsed.events_processed
+
+    def test_invalid_model_rejected_by_default(self):
+        from repro.uml.model import Model
+        from repro.uml.diagram import ActivityDiagram
+        model = Model(1, "bad")
+        model.add_diagram(ActivityDiagram(2, "Main"))
+        with pytest.raises(CheckError):
+            estimate(model, SystemParameters())
+
+    def test_check_can_be_skipped_for_trusted_models(self):
+        result = estimate(build_sample_model(), SystemParameters(),
+                          check=False)
+        assert result.total_time > 0
+
+    def test_result_summary(self):
+        result = estimate(build_sample_model(), SystemParameters())
+        text = result.summary()
+        assert "SampleModel" in text
+        assert "predicted:" in text
+        assert "utilization" in text
+
+
+class TestSeedsAndDeterminism:
+    def test_same_seed_same_result(self):
+        params = SystemParameters(nodes=2, processors_per_node=2,
+                                  processes=4)
+        a = estimate(build_sample_model(), params, seed=7)
+        b = estimate(build_sample_model(), params, seed=7)
+        assert a.total_time == b.total_time
+        assert a.trace == b.trace
+
+    def test_estimator_reuse(self):
+        estimator = PerformanceEstimator(SystemParameters(processes=2))
+        first = estimator.estimate(build_sample_model())
+        second = estimator.estimate(build_sample_model())
+        assert first.total_time == second.total_time
+
+
+class TestMpiModels:
+    def build_ring_model(self, message_bytes="1024"):
+        """Each rank sends to the right neighbor and receives from the
+        left — a classic ring shift."""
+        builder = ModelBuilder("Ring")
+        builder.cost_function("Fw", "0.01")
+        diagram = builder.diagram("Main", main=True)
+        work = diagram.action("Work", cost="Fw()")
+        send = diagram.send("Shift", dest="(pid + 1) % size",
+                            size=message_bytes, tag=5)
+        recv = diagram.recv("Take", source="(pid - 1 + size) % size",
+                            size=message_bytes, tag=5)
+        diagram.sequence(work, send, recv)
+        return builder.build()
+
+    def test_ring_completes_all_ranks(self):
+        params = SystemParameters(nodes=4, processors_per_node=1,
+                                  processes=4)
+        result = estimate(self.build_ring_model(), params)
+        analysis = TraceAnalysis(result.trace)
+        histogram = analysis.kind_histogram()
+        assert histogram["send"] == 4
+        assert histogram["recv"] == 4
+
+    def test_ring_time_includes_network(self):
+        network = NetworkConfig(latency=1e-3, bandwidth=1e6)
+        params = SystemParameters(nodes=4, processors_per_node=1,
+                                  processes=4)
+        result = estimate(self.build_ring_model(), params, network=network)
+        # work (0.01) + eager delivery (1ms + 1024/1e6 ≈ 2.024ms)
+        assert result.total_time == pytest.approx(0.01 + 1e-3 + 1024e-6,
+                                                  rel=1e-6)
+
+    def test_barrier_model_synchronizes_ranks(self):
+        builder = ModelBuilder("Sync")
+        builder.cost_function("F", "0.5 * (pid + 1)", params="int pid")
+        diagram = builder.diagram("Main", main=True)
+        work = diagram.action("Work", cost="F(pid)")
+        barrier = diagram.barrier("B")
+        diagram.sequence(work, barrier)
+        params = SystemParameters(nodes=4, processors_per_node=1,
+                                  processes=4)
+        result = estimate(builder.build(), params)
+        # Slowest rank works 2.0 s; everyone leaves the barrier together.
+        finish = result.process_finish_times
+        assert max(finish) == pytest.approx(min(finish))
+        assert max(finish) >= 2.0
+
+
+class TestHybridModels:
+    def test_parallel_region_speedup(self):
+        builder = ModelBuilder("Hybrid")
+        builder.cost_function("F", "4.0")
+        body = builder.diagram("Body")
+        body.sequence(body.action("W", cost="F()"))
+        main = builder.diagram("Main", main=True)
+        region = main.parallel("PR", diagram="Body", num_threads="0")
+        main.sequence(region)
+        model = builder.build()
+
+        contended = estimate(model, SystemParameters(
+            processors_per_node=1, threads_per_process=4))
+        parallel = estimate(model, SystemParameters(
+            processors_per_node=4, threads_per_process=4))
+        # 4 threads x 4 s: 16 s on 1 cpu, 4 s on 4 cpus.
+        assert contended.total_time == pytest.approx(16.0)
+        assert parallel.total_time == pytest.approx(4.0)
+
+
+class TestBackendEquivalenceProperty:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_models_interp_equals_codegen(self, seed):
+        from repro.uml.random_models import RandomModelConfig, random_model
+        model = random_model(seed, RandomModelConfig(
+            target_actions=15, p_decision=0.3, p_loop=0.2,
+            p_activity=0.2))
+        params = SystemParameters(nodes=2, processors_per_node=2,
+                                  processes=3)
+        codegen = estimate(model, params, mode="codegen")
+        interp = estimate(model, params, mode="interp")
+        assert codegen.total_time == pytest.approx(interp.total_time)
+        assert TraceAnalysis(codegen.trace).equivalent_to(
+            TraceAnalysis(interp.trace))
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_random_models_with_forks(self, seed):
+        from repro.uml.random_models import RandomModelConfig, random_model
+        model = random_model(seed, RandomModelConfig(
+            target_actions=12, p_fork=0.3, p_decision=0.2))
+        params = SystemParameters(processors_per_node=2, processes=2)
+        codegen = estimate(model, params, mode="codegen")
+        interp = estimate(model, params, mode="interp")
+        assert codegen.total_time == pytest.approx(interp.total_time)
+
+    def test_drawn_loop_backend_equivalence(self):
+        # A cyclically drawn while-loop (merge/decision/back edge) must
+        # execute identically through the generated code and the
+        # interpreter, iterating exactly until the guard fails.
+        builder = ModelBuilder("DrawnLoop")
+        builder.global_var("I", "int", "0")
+        builder.cost_function("F", "0.5")
+        diagram = builder.diagram("Main", main=True)
+        initial, final = diagram.initial(), diagram.final()
+        merge = diagram.merge("head")
+        decision = diagram.decision("test")
+        body = diagram.action("Step", cost="F()", code="I = I + 2;")
+        diagram.flow(initial, merge)
+        diagram.flow(merge, decision)
+        diagram.flow(decision, body, guard="I < 7")
+        diagram.flow(decision, final, guard="else")
+        diagram.flow(body, merge)
+        model = builder.build()
+        codegen = estimate(model, SystemParameters())
+        interp = estimate(model, SystemParameters(), mode="interp")
+        # I: 0,2,4,6 → 4 iterations × 0.5 s.
+        assert codegen.total_time == pytest.approx(2.0)
+        assert interp.total_time == pytest.approx(2.0)
+        assert TraceAnalysis(codegen.trace).equivalent_to(
+            TraceAnalysis(interp.trace))

@@ -1,0 +1,141 @@
+"""Tests for trace records, file formats, and analysis edge cases."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.estimator.analysis import TraceAnalysis
+from repro.estimator.trace import (
+    TraceRecord,
+    TraceRecorder,
+    read_trace,
+    write_trace,
+)
+
+
+def record(kind="action", element="A", pid=0, tid=0, start=0.0, end=1.0,
+           element_id=1, uid=0):
+    return TraceRecord(kind, element_id, element, uid, pid, tid, start,
+                       end)
+
+
+class TestTraceRecord:
+    def test_duration(self):
+        assert record(start=1.0, end=3.5).duration == 2.5
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(TraceError):
+            record(start=2.0, end=1.0)
+
+    def test_zero_length_allowed(self):
+        assert record(start=1.0, end=1.0).duration == 0.0
+
+
+class TestRecorder:
+    def test_collect_and_sort(self):
+        recorder = TraceRecorder()
+        recorder.record("action", 1, "B", 0, 1, 0, 2.0, 3.0)
+        recorder.record("action", 2, "A", 0, 0, 0, 1.0, 2.0)
+        assert len(recorder) == 2
+        ordered = recorder.sorted()
+        assert [r.element for r in ordered] == ["A", "B"]
+
+
+class TestFileFormats:
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            write_trace([record()], tmp_path / "t.bin", fmt="parquet")
+
+    def test_empty_file_reads_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert read_trace(path) == []
+
+    def test_malformed_csv_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("kind,element_id\naction,notanint\n")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_malformed_jsonl_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "action"\n')
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        records = [record(), record(element="B", start=1.0, end=2.0)]
+        path = write_trace(records, tmp_path / "t.jsonl", fmt="jsonl")
+        assert read_trace(path) == records
+
+
+class TestAnalysis:
+    def test_empty_trace(self):
+        analysis = TraceAnalysis([])
+        assert analysis.makespan() == 0.0
+        assert analysis.total_busy_time() == 0.0
+        assert analysis.by_element() == []
+        assert analysis.by_process() == {}
+
+    def test_process_records_excluded_from_work(self):
+        records = [
+            record(kind="process", element="rank0", end=10.0),
+            record(kind="action", end=2.0),
+        ]
+        analysis = TraceAnalysis(records)
+        assert analysis.total_busy_time() == 2.0
+        assert analysis.makespan() == 10.0
+
+    def test_communication_time(self):
+        records = [
+            record(kind="send", end=0.5),
+            record(kind="recv", start=0.5, end=2.0),
+            record(kind="action", end=1.0),
+        ]
+        assert TraceAnalysis(records).communication_time() == 2.0
+
+    def test_by_element_ordering(self):
+        records = [
+            record(element="small", end=0.1),
+            record(element="big", end=5.0),
+            record(element="big", start=5.0, end=10.0),
+        ]
+        stats = TraceAnalysis(records).by_element()
+        assert stats[0].element == "big"
+        assert stats[0].count == 2
+        assert stats[0].total_time == pytest.approx(10.0)
+
+    def test_process_spans(self):
+        records = [
+            record(pid=0, start=1.0, end=2.0),
+            record(pid=0, start=3.0, end=5.0),
+            record(pid=1, start=0.0, end=1.0),
+        ]
+        spans = TraceAnalysis(records).process_spans()
+        assert spans[0] == (1.0, 5.0)
+        assert spans[1] == (0.0, 1.0)
+
+    def test_intervals_for_thread_filter(self):
+        records = [
+            record(tid=0), record(tid=1, start=1.0, end=2.0),
+        ]
+        analysis = TraceAnalysis(records)
+        assert len(analysis.intervals_for(0)) == 2
+        assert len(analysis.intervals_for(0, tid=1)) == 1
+
+    def test_kind_histogram(self):
+        records = [record(kind="action"), record(kind="action"),
+                   record(kind="send")]
+        assert TraceAnalysis(records).kind_histogram() == \
+            {"action": 2, "send": 1}
+
+    def test_equivalent_to_detects_differences(self):
+        base = [record(element="A", end=1.0)]
+        same = [record(element="A", end=1.0, uid=99)]  # uid ignored
+        different_time = [record(element="A", end=1.5)]
+        different_element = [record(element="B", end=1.0)]
+        shorter = []
+        analysis = TraceAnalysis(base)
+        assert analysis.equivalent_to(TraceAnalysis(same))
+        assert not analysis.equivalent_to(TraceAnalysis(different_time))
+        assert not analysis.equivalent_to(TraceAnalysis(different_element))
+        assert not analysis.equivalent_to(TraceAnalysis(shorter))

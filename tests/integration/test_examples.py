@@ -1,0 +1,52 @@
+"""Smoke tests: the shipped examples run and print what they promise."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "generated C++" in out
+        assert "analytic check passed" in out
+
+    def test_sample_model(self):
+        out = run_example("sample_model.py")
+        assert "Fig. 8" in out
+        assert "ActionPlus a1(" in out
+        assert "branch effect on predicted time" in out
+
+    def test_jacobi(self):
+        out = run_example("jacobi_mpi.py")
+        assert "speedup" in out
+        assert "efficiency" in out
+
+    def test_hybrid_openmp(self):
+        out = run_example("hybrid_openmp.py")
+        assert "PROPHET_PARALLEL" in out
+        assert "speedup" in out
+
+    def test_codegen_skeleton(self):
+        out = run_example("codegen_skeleton.py")
+        assert "def run(comm):" in out
+        assert "GV = 1" in out
+
+    @pytest.mark.slow
+    def test_kernel6_livermore(self):
+        out = run_example("kernel6_livermore.py", timeout=600)
+        assert "fitted cost per multiply-add pair" in out
+        assert "predicted" in out

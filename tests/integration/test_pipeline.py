@@ -1,0 +1,162 @@
+"""FIG2 reproduction: the full Performance Prophet pipeline.
+
+Fig. 2's data flow: model (XML) → Model Checker (MCF) → Model Traverser →
+PMP (C++) → Performance Estimator (SP) → TF → visualization.  These
+integration tests run the complete loop through the facade and the CLI.
+"""
+
+import pytest
+
+from repro.machine.params import SystemParameters
+from repro.prophet import PerformanceProphet
+from repro.samples import build_sample_model
+from repro.uml.random_models import RandomModelConfig, random_model
+
+
+class TestFacadePipeline:
+    def test_full_loop_from_xml(self, tmp_path):
+        # 1. Teuta saves the model as XML.
+        model_path = tmp_path / "model.xml"
+        PerformanceProphet(build_sample_model()).save(model_path)
+        # 2. Reopen, check, transform, estimate, visualize.
+        prophet = PerformanceProphet.open(model_path)
+        report = prophet.check(strict=True)
+        assert report.ok
+        cpp = prophet.to_cpp()
+        assert "ActionPlus" in cpp.source
+        python = prophet.to_python()
+        assert "def pmp_main(ctx):" in python.source
+        result = prophet.estimate(SystemParameters(processes=2, nodes=2))
+        assert result.total_time > 0
+        # 3. The TF feeds visualization.
+        trace_path = tmp_path / "run.tf.csv"
+        result.write_trace_file(trace_path)
+        assert trace_path.exists()
+        text = prophet.report(result)
+        assert "timeline:" in text
+
+    def test_mcf_configures_checker(self, tmp_path):
+        from repro.xmlio.mcf import write_mcf, CheckingConfig, RuleSetting
+        mcf_path = tmp_path / "rules.xml"
+        config = CheckingConfig()
+        config.rules["missing-cost"] = RuleSetting("missing-cost",
+                                                   enabled=False)
+        write_mcf(config, mcf_path)
+        model_path = tmp_path / "model.xml"
+        PerformanceProphet(build_sample_model()).save(model_path)
+        prophet = PerformanceProphet.open(model_path, mcf_path=mcf_path)
+        assert not prophet.check().by_rule("missing-cost")
+
+    def test_sweep(self):
+        prophet = PerformanceProphet(build_sample_model())
+        results = prophet.sweep_processes([1, 2, 4])
+        assert len(results) == 3
+        assert all(r.total_time > 0 for r in results)
+
+    def test_sweep_empty_rejected(self):
+        from repro.errors import ProphetError
+        with pytest.raises(ProphetError):
+            PerformanceProphet(build_sample_model()).sweep_processes([])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_models_survive_whole_pipeline(self, seed, tmp_path):
+        model = random_model(seed, RandomModelConfig(
+            target_actions=12, p_decision=0.25, p_loop=0.15,
+            p_activity=0.15))
+        path = tmp_path / "random.xml"
+        PerformanceProphet(model).save(path)
+        prophet = PerformanceProphet.open(path)
+        prophet.check(strict=True)
+        assert prophet.to_cpp().source
+        result = prophet.estimate(SystemParameters(processes=2,
+                                                   nodes=2))
+        assert result.total_time >= 0
+
+
+class TestCliPipeline:
+    def test_sample_check_transform_simulate(self, tmp_path, capsys):
+        from repro.cli import main
+        model_path = str(tmp_path / "m.xml")
+        assert main(["sample", "-o", model_path]) == 0
+        assert main(["check", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+        cpp_path = str(tmp_path / "m.cpp")
+        assert main(["transform", model_path, "--to", "cpp",
+                     "-o", cpp_path, "--header"]) == 0
+        cpp_text = (tmp_path / "m.cpp").read_text()
+        assert "ActionPlus" in cpp_text
+        assert (tmp_path / "prophet_runtime.h").exists()
+
+        trace_path = str(tmp_path / "run.csv")
+        assert main(["simulate", model_path, "--processes", "2",
+                     "--nodes", "2", "--trace", trace_path,
+                     "--no-gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted:" in out
+        assert (tmp_path / "run.csv").exists()
+
+    def test_transform_python_to_stdout(self, tmp_path, capsys):
+        from repro.cli import main
+        model_path = str(tmp_path / "m.xml")
+        main(["sample", "-o", model_path])
+        capsys.readouterr()
+        assert main(["transform", model_path, "--to", "python"]) == 0
+        assert "def pmp_main(ctx):" in capsys.readouterr().out
+
+    def test_transform_numbered_fig8_style(self, tmp_path, capsys):
+        from repro.cli import main
+        model_path = str(tmp_path / "m.xml")
+        main(["sample", "-o", model_path])
+        capsys.readouterr()
+        assert main(["transform", model_path, "--numbered"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("  1: ")
+
+    def test_transform_skeleton(self, tmp_path, capsys):
+        from repro.cli import main
+        model_path = str(tmp_path / "m.xml")
+        main(["sample", "-o", model_path])
+        capsys.readouterr()
+        assert main(["transform", model_path, "--to", "skeleton"]) == 0
+        assert "def run(comm):" in capsys.readouterr().out
+
+    def test_kernel6_sample(self, tmp_path, capsys):
+        from repro.cli import main
+        model_path = str(tmp_path / "k6.xml")
+        assert main(["sample", "--kind", "kernel6", "-o", model_path]) == 0
+        assert main(["info", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "Kernel6Model" in out
+
+    def test_check_failure_exit_code(self, tmp_path):
+        from repro.cli import main
+        from repro.uml.model import Model
+        from repro.uml.diagram import ActivityDiagram
+        from repro.xmlio.writer import write_model
+        bad = Model(1, "bad")
+        bad.add_diagram(ActivityDiagram(2, "Main"))
+        path = str(tmp_path / "bad.xml")
+        write_model(bad, path)
+        assert main(["check", path]) == 1
+
+    def test_interp_mode_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+        model_path = str(tmp_path / "m.xml")
+        main(["sample", "-o", model_path])
+        capsys.readouterr()
+        assert main(["simulate", model_path, "--mode", "interp",
+                     "--no-gantt"]) == 0
+        assert "mode:       interp" in capsys.readouterr().out
+
+    def test_analytic_mode_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+        model_path = str(tmp_path / "m.xml")
+        main(["sample", "-o", model_path])
+        capsys.readouterr()
+        assert main(["simulate", model_path, "--mode", "analytic",
+                     "--processes", "2", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic bound" in out
+        assert "rank 1" in out

@@ -1,0 +1,125 @@
+"""Tests for the Livermore kernels and cost calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProphetError
+from repro.kernels.calibrate import (
+    calibrate_kernel,
+    fit_linear_cost,
+    measure_kernel,
+)
+from repro.kernels.livermore import KERNELS
+
+
+class TestKernelCorrectness:
+    """Numpy implementations must match the pure-Python references."""
+
+    @pytest.mark.parametrize("name", ["k1", "k3", "k7", "k11", "k12"])
+    def test_vector_kernels_match_reference(self, name):
+        kernel = KERNELS[name]
+        fast = kernel.run(200)
+        slow = kernel.reference(200)
+        assert np.allclose(fast, slow)
+
+    def test_kernel6_matches_reference(self):
+        kernel = KERNELS["k6"]
+        assert np.allclose(kernel.run(30, 3), kernel.reference(30, 3))
+
+    def test_kernel6_deterministic(self):
+        kernel = KERNELS["k6"]
+        assert np.allclose(kernel.run(25, 2), kernel.run(25, 2))
+
+    def test_kernel5_recurrence_property(self):
+        # x[i] depends on x[i-1]: changing early values must propagate.
+        kernel = KERNELS["k5"]
+        x = kernel.run(50)
+        assert x.shape == (50,)
+        assert x[0] == 0.0
+
+    def test_kernel11_is_prefix_sum(self):
+        kernel = KERNELS["k11"]
+        x = kernel.run(100)
+        assert np.all(np.diff(x) >= 0)  # positive inputs ⇒ non-decreasing
+
+    def test_kernel12_inverts_kernel11_shape(self):
+        kernel = KERNELS["k12"]
+        assert kernel.run(64).shape == (64,)
+
+
+class TestFlopCounts:
+    def test_kernel6_flops_formula(self):
+        # 2 * M * N(N-1)/2 multiply-adds.
+        assert KERNELS["k6"].flops(10, 2) == 2 * 2 * (10 * 9 // 2)
+
+    def test_flops_monotone_in_size(self):
+        for name, kernel in KERNELS.items():
+            if len(kernel.size_args) == 1:
+                assert kernel.flops(2000) > kernel.flops(100), name
+
+    def test_size_args_metadata(self):
+        assert KERNELS["k6"].size_args == ("n", "m")
+        assert KERNELS["k3"].size_args == ("n",)
+
+
+class TestCalibration:
+    def test_fit_exact_linear_data(self):
+        flops = [100.0, 200.0, 400.0]
+        times = [1e-6 * f for f in flops]
+        assert fit_linear_cost(flops, times) == pytest.approx(1e-6)
+
+    def test_fit_validation(self):
+        with pytest.raises(ProphetError):
+            fit_linear_cost([], [])
+        with pytest.raises(ProphetError):
+            fit_linear_cost([1.0], [1.0, 2.0])
+        with pytest.raises(ProphetError):
+            fit_linear_cost([0.0], [1.0])
+
+    def test_measure_returns_positive_time(self):
+        assert measure_kernel("k3", 10_000, repeats=1) > 0
+
+    def test_calibrate_kernel3(self):
+        result = calibrate_kernel(
+            "k3", [(50_000,), (100_000,), (200_000,)], repeats=2)
+        assert result.cost_per_op > 0
+        # Prediction at a measured size should be in the right ballpark.
+        predicted = result.predicted(100_000)
+        measured = result.times[1]
+        assert predicted == pytest.approx(measured, rel=1.0)
+
+    def test_cost_function_source_round_trips(self):
+        from repro.lang.evaluator import Environment, Evaluator
+        from repro.lang.parser import parse_expression
+        from repro.lang.types import Type
+        result = calibrate_kernel("k6", [(40, 2), (60, 2)], repeats=1)
+        source = result.cost_function_source("N", "M")
+        env = Environment()
+        env.declare("N", Type.INT, 40)
+        env.declare("M", Type.INT, 2)
+        value = Evaluator().eval_expr(parse_expression(source), env)
+        assert value == pytest.approx(result.predicted(40, 2))
+
+    def test_cost_function_source_wrong_arity(self):
+        result = calibrate_kernel("k6", [(30, 2)], repeats=1)
+        with pytest.raises(ProphetError):
+            result.cost_function_source("N")
+
+
+class TestEndToEndFig3:
+    def test_kernel6_model_from_calibration(self):
+        """The full Fig. 3 pipeline: measure → fit → model → predict."""
+        from repro.estimator import estimate
+        from repro.machine.params import SystemParameters
+        from repro.samples import build_kernel6_model
+
+        calibration = calibrate_kernel("k6", [(60, 2), (90, 2)], repeats=1)
+        n, m = 120, 3
+        model = build_kernel6_model(
+            n=n, m=m, c6=calibration.cost_per_op * 2)  # 2 flops/iteration
+        result = estimate(model, SystemParameters())
+        predicted = result.total_time
+        measured = measure_kernel("k6", n, m, repeats=2)
+        # Shape check, not absolute accuracy: same order of magnitude.
+        assert predicted > 0
+        assert 0.02 < predicted / measured < 50

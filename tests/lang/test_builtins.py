@@ -1,0 +1,67 @@
+"""Direct tests for the mini-language builtin function table."""
+
+import math
+
+import pytest
+
+from repro.errors import EvalError
+from repro.lang.builtins import BUILTINS, cpp_name_for, is_builtin
+
+
+class TestRegistry:
+    def test_core_math_present(self):
+        for name in ("sqrt", "log", "log2", "exp", "pow", "floor",
+                     "ceil", "min", "max", "fabs", "sin", "cos",
+                     "fmod"):
+            assert is_builtin(name), name
+
+    def test_unknown_not_builtin(self):
+        assert not is_builtin("FA1")
+        assert not is_builtin("")
+
+    def test_cpp_names_are_std_qualified(self):
+        assert cpp_name_for("sqrt") == "std::sqrt"
+        assert cpp_name_for("min") == "std::min"
+        with pytest.raises(KeyError):
+            cpp_name_for("nosuch")
+
+    def test_names_match_keys(self):
+        for name, builtin in BUILTINS.items():
+            assert builtin.name == name
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("name,args,expected", [
+        ("sqrt", (9.0,), 3.0),
+        ("log", (math.e,), 1.0),
+        ("log2", (8.0,), 3.0),
+        ("log10", (1000.0,), 3.0),
+        ("exp", (0.0,), 1.0),
+        ("pow", (2.0, 8.0), 256.0),
+        ("floor", (2.7,), 2),
+        ("ceil", (2.1,), 3),
+        ("fabs", (-4.0,), 4.0),
+        ("abs", (-4,), 4),
+        ("min", (3, 7), 3),
+        ("max", (3, 7), 7),
+        ("fmod", (7.5, 2.0), 1.5),
+    ])
+    def test_values(self, name, args, expected):
+        assert BUILTINS[name](*args) == pytest.approx(expected)
+
+    def test_trig(self):
+        assert BUILTINS["sin"](0.0) == 0.0
+        assert BUILTINS["cos"](0.0) == 1.0
+        assert BUILTINS["tan"](0.0) == 0.0
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(EvalError, match="argument"):
+            BUILTINS["sqrt"](1.0, 2.0)
+        with pytest.raises(EvalError):
+            BUILTINS["pow"](2.0)
+
+    def test_domain_errors_wrapped(self):
+        with pytest.raises(EvalError):
+            BUILTINS["sqrt"](-1.0)
+        with pytest.raises(EvalError):
+            BUILTINS["log"](0.0)

@@ -1,0 +1,366 @@
+"""Unit tests for the mini-language evaluator."""
+
+import pytest
+
+from repro.errors import EvalError, NameResolutionError
+from repro.lang.evaluator import Environment, Evaluator, c_div, c_mod
+from repro.lang.parser import (
+    parse_expression,
+    parse_function,
+    parse_program,
+)
+from repro.lang.types import Type
+
+
+@pytest.fixture
+def env():
+    environment = Environment()
+    environment.declare("GV", Type.INT, 1)
+    environment.declare("P", Type.INT, 4)
+    environment.declare("alpha", Type.DOUBLE, 0.5)
+    return environment
+
+
+@pytest.fixture
+def evaluator():
+    return Evaluator()
+
+
+def ev(evaluator, env, source):
+    return evaluator.eval_expr(parse_expression(source), env)
+
+
+class TestCSemantics:
+    def test_c_div_truncates_toward_zero(self):
+        assert c_div(7, 2) == 3
+        assert c_div(-7, 2) == -3
+        assert c_div(7, -2) == -3
+        assert c_div(-7, -2) == 3
+
+    def test_python_floor_division_differs(self):
+        # Sanity check that the helper is actually needed.
+        assert -7 // 2 == -4
+        assert c_div(-7, 2) == -3
+
+    def test_c_div_floats(self):
+        assert c_div(7.0, 2) == 3.5
+
+    def test_c_div_by_zero_raises(self):
+        with pytest.raises(EvalError):
+            c_div(1, 0)
+
+    def test_c_mod_sign_follows_dividend(self):
+        assert c_mod(7, 3) == 1
+        assert c_mod(-7, 3) == -1
+        assert c_mod(7, -3) == 1
+        assert c_mod(-7, -3) == -1
+
+    def test_c_mod_identity(self):
+        for a in range(-20, 21):
+            for b in (-7, -3, -1, 1, 3, 7):
+                assert c_div(a, b) * b + c_mod(a, b) == a
+
+    def test_c_mod_by_zero_raises(self):
+        with pytest.raises(EvalError):
+            c_mod(5, 0)
+
+
+class TestExpressions:
+    def test_arithmetic(self, evaluator, env):
+        assert ev(evaluator, env, "2 + 3 * 4") == 14
+
+    def test_guard_from_paper(self, evaluator, env):
+        assert ev(evaluator, env, "GV == 1") is True
+
+    def test_cost_expression_from_paper(self, evaluator, env):
+        assert ev(evaluator, env, "0.5 * P") == 2.0
+
+    def test_integer_division(self, evaluator, env):
+        assert ev(evaluator, env, "7 / 2") == 3
+        assert ev(evaluator, env, "-7 / 2") == -3
+
+    def test_float_division(self, evaluator, env):
+        assert ev(evaluator, env, "7.0 / 2") == 3.5
+
+    def test_modulo(self, evaluator, env):
+        assert ev(evaluator, env, "-7 % 2") == -1
+
+    def test_comparison_chain_via_logical(self, evaluator, env):
+        assert ev(evaluator, env, "0 < P && P <= 4") is True
+
+    def test_short_circuit_and(self, evaluator, env):
+        # Division by zero on the right must not be evaluated.
+        assert ev(evaluator, env, "false && 1 / 0 > 0") is False
+
+    def test_short_circuit_or(self, evaluator, env):
+        assert ev(evaluator, env, "true || 1 / 0 > 0") is True
+
+    def test_ternary(self, evaluator, env):
+        assert ev(evaluator, env, "GV == 1 ? 10 : 20") == 10
+        assert ev(evaluator, env, "GV == 2 ? 10 : 20") == 20
+
+    def test_unary(self, evaluator, env):
+        assert ev(evaluator, env, "-P") == -4
+        assert ev(evaluator, env, "!(GV == 1)") is False
+
+    def test_string_concatenation(self, evaluator, env):
+        assert ev(evaluator, env, '"a" + "b"') == "ab"
+
+    def test_string_plus_number_raises(self, evaluator, env):
+        with pytest.raises(EvalError):
+            ev(evaluator, env, '"a" + 1')
+
+    def test_undeclared_variable_raises(self, evaluator, env):
+        with pytest.raises(NameResolutionError):
+            ev(evaluator, env, "missing + 1")
+
+    def test_undefined_function_raises(self, evaluator, env):
+        with pytest.raises(NameResolutionError):
+            ev(evaluator, env, "nosuch(1)")
+
+    def test_builtins(self, evaluator, env):
+        assert ev(evaluator, env, "sqrt(16.0)") == 4.0
+        assert ev(evaluator, env, "max(2, 9)") == 9
+        assert ev(evaluator, env, "pow(2.0, 10.0)") == 1024.0
+
+    def test_builtin_arity_checked(self, evaluator, env):
+        with pytest.raises(EvalError):
+            ev(evaluator, env, "sqrt(1.0, 2.0)")
+
+    def test_builtin_domain_error_wrapped(self, evaluator, env):
+        with pytest.raises(EvalError):
+            ev(evaluator, env, "sqrt(-1.0)")
+
+
+class TestEnvironment:
+    def test_declare_default_values(self):
+        env = Environment()
+        env.declare("i", Type.INT)
+        env.declare("d", Type.DOUBLE)
+        env.declare("b", Type.BOOL)
+        env.declare("s", Type.STRING)
+        assert env.lookup("i") == 0
+        assert env.lookup("d") == 0.0
+        assert env.lookup("b") is False
+        assert env.lookup("s") == ""
+
+    def test_declare_coerces_initializer(self):
+        env = Environment()
+        env.declare("x", Type.DOUBLE, 3)
+        assert env.lookup("x") == 3.0
+        assert isinstance(env.lookup("x"), float)
+
+    def test_int_declaration_truncates(self):
+        env = Environment()
+        env.declare("n", Type.INT, 3.9)
+        assert env.lookup("n") == 3
+
+    def test_redeclaration_in_same_scope_raises(self):
+        env = Environment()
+        env.declare("x", Type.INT)
+        with pytest.raises(EvalError):
+            env.declare("x", Type.INT)
+
+    def test_shadowing_in_child_scope(self):
+        env = Environment()
+        env.declare("x", Type.INT, 1)
+        child = env.child()
+        child.declare("x", Type.INT, 2)
+        assert child.lookup("x") == 2
+        assert env.lookup("x") == 1
+
+    def test_assignment_writes_through_to_binding_scope(self):
+        env = Environment()
+        env.declare("x", Type.INT, 1)
+        child = env.child()
+        child.assign("x", 5)
+        assert env.lookup("x") == 5
+
+    def test_assignment_coerces_to_declared_type(self):
+        env = Environment()
+        env.declare("n", Type.INT, 0)
+        env.assign("n", 2.7)
+        assert env.lookup("n") == 2
+
+    def test_assign_undeclared_raises(self):
+        env = Environment()
+        with pytest.raises(NameResolutionError):
+            env.assign("ghost", 1)
+
+    def test_flat_dict_shadows_correctly(self):
+        env = Environment()
+        env.declare("x", Type.INT, 1)
+        env.declare("y", Type.INT, 10)
+        child = env.child()
+        child.declare("x", Type.INT, 2)
+        merged = child.flat_dict()
+        assert merged == {"x": 2, "y": 10}
+
+
+class TestStatements:
+    def test_paper_code_fragment(self, evaluator):
+        env = Environment()
+        env.declare("GV", Type.INT, 0)
+        env.declare("P", Type.INT, 0)
+        evaluator.run_program(parse_program("GV = 1; P = 4;"), env)
+        assert env.lookup("GV") == 1
+        assert env.lookup("P") == 4
+
+    def test_if_else_branches(self, evaluator):
+        env = Environment()
+        env.declare("x", Type.INT, 5)
+        env.declare("sign", Type.INT, 0)
+        evaluator.run_program(parse_program(
+            "if (x > 0) { sign = 1; } else { sign = -1; }"), env)
+        assert env.lookup("sign") == 1
+
+    def test_while_loop(self, evaluator):
+        env = Environment()
+        env.declare("i", Type.INT, 0)
+        env.declare("total", Type.INT, 0)
+        evaluator.run_program(parse_program(
+            "while (i < 5) { total += i; i += 1; }"), env)
+        assert env.lookup("total") == 10
+
+    def test_for_loop(self, evaluator):
+        env = Environment()
+        env.declare("total", Type.INT, 0)
+        evaluator.run_program(parse_program(
+            "for (int i = 1; i <= 4; i += 1) { total += i; }"), env)
+        assert env.lookup("total") == 10
+
+    def test_for_loop_variable_scoped(self, evaluator):
+        env = Environment()
+        env.declare("total", Type.INT, 0)
+        evaluator.run_program(parse_program(
+            "for (int i = 0; i < 3; i += 1) { total += 1; }"), env)
+        assert not env.is_declared("i")
+
+    def test_local_declaration_scoping(self, evaluator):
+        env = Environment()
+        env.declare("x", Type.INT, 0)
+        evaluator.run_program(parse_program(
+            "if (true) { int y = 7; x = y; }"), env)
+        assert env.lookup("x") == 7
+        assert not env.is_declared("y")
+
+    def test_compound_assignments(self, evaluator):
+        env = Environment()
+        env.declare("x", Type.INT, 10)
+        evaluator.run_program(parse_program(
+            "x += 5; x -= 3; x *= 2; x /= 4;"), env)
+        assert env.lookup("x") == 6
+
+    def test_compound_divide_uses_c_semantics(self, evaluator):
+        env = Environment()
+        env.declare("x", Type.INT, -7)
+        evaluator.run_program(parse_program("x /= 2;"), env)
+        assert env.lookup("x") == -3
+
+    def test_return_outside_function_raises(self, evaluator):
+        env = Environment()
+        with pytest.raises(EvalError):
+            evaluator.run_program(parse_program("return 1;"), env)
+
+
+class TestFunctions:
+    def test_paper_fa1(self):
+        # double FA1() { return 0.5 * P; } with global P = 4.
+        env = Environment()
+        env.declare("P", Type.INT, 4)
+        fa1 = parse_function("double FA1() { return 0.5 * P; }")
+        evaluator = Evaluator({"FA1": fa1})
+        assert evaluator.eval_expr(parse_expression("FA1()"), env) == 2.0
+
+    def test_paper_fsa2_parameterized(self):
+        env = Environment()
+        fsa2 = parse_function(
+            "double FSA2(int pid) { return 0.001 * pid + 0.05; }")
+        evaluator = Evaluator({"FSA2": fsa2})
+        result = evaluator.eval_expr(parse_expression("FSA2(3)"), env)
+        assert result == pytest.approx(0.053)
+
+    def test_function_composition(self):
+        # "a cost function may be composed using other functions"
+        env = Environment()
+        f = parse_function("double F(double x) { return x * 2.0; }")
+        g = parse_function("double G(double x) { return F(x) + 1.0; }")
+        evaluator = Evaluator({"F": f, "G": g})
+        assert evaluator.eval_expr(parse_expression("G(10.0)"), env) == 21.0
+
+    def test_parameters_do_not_leak(self):
+        env = Environment()
+        f = parse_function("double F(int pid) { return pid * 1.0; }")
+        evaluator = Evaluator({"F": f})
+        evaluator.eval_expr(parse_expression("F(3)"), env)
+        assert not env.is_declared("pid")
+
+    def test_function_sees_globals_not_call_site_locals(self):
+        env = Environment()
+        env.declare("g", Type.INT, 100)
+        f = parse_function("double F() { return g * 1.0; }")
+        evaluator = Evaluator({"F": f})
+        local = env.child()
+        local.declare("g", Type.INT, 999)  # shadows at call site
+        # C visibility: the function body sees the file-scope global.
+        assert evaluator.eval_expr(parse_expression("F()"), local) == 100.0
+
+    def test_wrong_arity_raises(self):
+        env = Environment()
+        f = parse_function("double F(int x) { return 1.0; }")
+        evaluator = Evaluator({"F": f})
+        with pytest.raises(EvalError):
+            evaluator.eval_expr(parse_expression("F(1, 2)"), env)
+
+    def test_missing_return_raises(self):
+        env = Environment()
+        f = parse_function("double F() { int x = 1; }")
+        evaluator = Evaluator({"F": f})
+        with pytest.raises(EvalError):
+            evaluator.eval_expr(parse_expression("F()"), env)
+
+    def test_void_function_returns_none(self):
+        env = Environment()
+        env.declare("x", Type.INT, 0)
+        f = parse_function("void F() { x = 1; }")
+        evaluator = Evaluator({"F": f})
+        assert evaluator.eval_expr(parse_expression("F()"), env) is None
+        assert env.lookup("x") == 1
+
+    def test_runaway_recursion_capped(self):
+        env = Environment()
+        f = parse_function("double F(int n) { return F(n + 1); }")
+        evaluator = Evaluator({"F": f})
+        with pytest.raises(EvalError):
+            evaluator.eval_expr(parse_expression("F(0)"), env)
+
+    def test_recursion_within_limit_works(self):
+        env = Environment()
+        fact = parse_function(
+            "double fact(int n) { if (n <= 1) { return 1.0; } "
+            "return n * fact(n - 1); }")
+        evaluator = Evaluator({"fact": fact})
+        assert evaluator.eval_expr(parse_expression("fact(5)"), env) == 120.0
+
+
+class TestStepBudget:
+    def test_infinite_loop_hits_budget(self):
+        env = Environment()
+        env.declare("x", Type.INT, 0)
+        evaluator = Evaluator(step_budget=10_000)
+        with pytest.raises(EvalError, match="budget"):
+            evaluator.run_program(parse_program("while (true) { x += 1; }"), env)
+
+    def test_budget_resets(self):
+        env = Environment()
+        env.declare("x", Type.INT, 0)
+        evaluator = Evaluator(step_budget=1000)
+        program = parse_program("for (int i = 0; i < 50; i += 1) { x += 1; }")
+        evaluator.run_program(program, env)
+        used = evaluator.steps_used
+        assert used > 0
+        evaluator.reset_budget()
+        assert evaluator.steps_used == 0
+        env2 = Environment()
+        env2.declare("x", Type.INT, 0)
+        evaluator.run_program(program, env2)

@@ -1,0 +1,165 @@
+"""Unit tests for the mini-language lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only_yields_only_eof(self):
+        assert kinds(" \t\n  \r\n") == [TokenKind.EOF]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].text == "42"
+
+    def test_float_with_decimal_point(self):
+        assert kinds("0.5")[:-1] == [TokenKind.FLOAT]
+
+    def test_float_with_trailing_point(self):
+        assert kinds("2.")[:-1] == [TokenKind.FLOAT]
+
+    def test_float_with_leading_point(self):
+        assert kinds(".5")[:-1] == [TokenKind.FLOAT]
+
+    def test_float_with_exponent(self):
+        tokens = tokenize("1e-3 2E+4 3e5")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.FLOAT] * 3
+
+    def test_integer_followed_by_identifier_e(self):
+        # "2e" without digits is INT then IDENT, not a malformed float.
+        assert kinds("2e")[:-1] == [TokenKind.INT, TokenKind.IDENT]
+
+    def test_identifier(self):
+        tokens = tokenize("GV _x x9")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.IDENT] * 3
+        assert texts("GV _x x9") == ["GV", "_x", "x9"]
+
+    def test_keywords_are_not_identifiers(self):
+        assert kinds("if")[:-1] == [TokenKind.KW_IF]
+        assert kinds("while")[:-1] == [TokenKind.KW_WHILE]
+        assert kinds("return")[:-1] == [TokenKind.KW_RETURN]
+        assert kinds("double")[:-1] == [TokenKind.KW_DOUBLE]
+        assert kinds("true false")[:-1] == [TokenKind.KW_TRUE, TokenKind.KW_FALSE]
+
+    def test_keyword_prefix_is_identifier(self):
+        assert kinds("iffy")[:-1] == [TokenKind.IDENT]
+        assert kinds("whiled")[:-1] == [TokenKind.IDENT]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("source,kind", [
+        ("||", TokenKind.OR), ("&&", TokenKind.AND),
+        ("==", TokenKind.EQ), ("!=", TokenKind.NE),
+        ("<=", TokenKind.LE), (">=", TokenKind.GE),
+        ("+=", TokenKind.PLUS_ASSIGN), ("-=", TokenKind.MINUS_ASSIGN),
+        ("*=", TokenKind.STAR_ASSIGN), ("/=", TokenKind.SLASH_ASSIGN),
+    ])
+    def test_two_char_operators(self, source, kind):
+        assert kinds(source)[:-1] == [kind]
+
+    @pytest.mark.parametrize("source,kind", [
+        ("<", TokenKind.LT), (">", TokenKind.GT), ("=", TokenKind.ASSIGN),
+        ("+", TokenKind.PLUS), ("-", TokenKind.MINUS),
+        ("*", TokenKind.STAR), ("/", TokenKind.SLASH),
+        ("%", TokenKind.PERCENT), ("!", TokenKind.NOT),
+    ])
+    def test_one_char_operators(self, source, kind):
+        assert kinds(source)[:-1] == [kind]
+
+    def test_equality_vs_assignment(self):
+        assert kinds("a == b")[:-1] == [
+            TokenKind.IDENT, TokenKind.EQ, TokenKind.IDENT]
+        assert kinds("a = b")[:-1] == [
+            TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.IDENT]
+
+    def test_guard_expression_from_paper(self):
+        # The Fig. 7 decision guard.
+        assert kinds("GV == 1")[:-1] == [
+            TokenKind.IDENT, TokenKind.EQ, TokenKind.INT]
+
+
+class TestCommentsAndStrings:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\n b")[:-1] == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x * y */ b")[:-1] == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment_spanning_lines(self):
+        assert kinds("a /* 1\n2\n3 */ b")[:-1] == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello"')
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "hello"
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\nb\tc\"d\\e"')
+        assert tokens[0].text == 'a\nb\tc"d\\e'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"unclosed')
+
+    def test_string_with_newline_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"line\nbreak"')
+
+    def test_bad_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as exc_info:
+            tokenize("x\n  @")
+        assert exc_info.value.line == 2
+        assert exc_info.value.column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestRealisticInputs:
+    def test_code_fragment_from_fig7b(self):
+        # The code fragment associated with element A1.
+        tokens = tokenize("GV = 1; P = 4;")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.INT, TokenKind.SEMI,
+            TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.INT, TokenKind.SEMI,
+        ]
+
+    def test_cost_function_source(self):
+        source = "double FA1() { return 0.5 * P; }"
+        token_kinds = kinds(source)[:-1]
+        assert token_kinds[0] is TokenKind.KW_DOUBLE
+        assert TokenKind.KW_RETURN in token_kinds
+        assert TokenKind.FLOAT in token_kinds

@@ -1,0 +1,148 @@
+"""Property-based tests for the mini-language (hypothesis).
+
+The central invariant: the C++ emitter is a faithful pretty-printer, so
+``parse(emit(ast)) == ast`` for every expression AST, and evaluation of an
+expression equals evaluation of its emit/reparse round-trip.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.ast import (
+    Binary,
+    BoolLit,
+    Call,
+    FloatLit,
+    IntLit,
+    Name,
+    Ternary,
+    Unary,
+)
+from repro.lang.cppgen import expr_to_cpp
+from repro.lang.evaluator import Environment, Evaluator, c_div, c_mod
+from repro.lang.parser import parse_expression
+from repro.lang.pygen import expr_to_py
+from repro.lang.types import Type
+
+# -- strategies -------------------------------------------------------------
+
+_NAMES = ("GV", "P", "x", "y", "pid")
+_ARITH_OPS = ("+", "-", "*", "/", "%")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_LOGIC_OPS = ("&&", "||")
+
+
+def _leaf():
+    return st.one_of(
+        st.integers(min_value=0, max_value=1000).map(IntLit),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False).map(FloatLit),
+        st.booleans().map(BoolLit),
+        st.sampled_from(_NAMES).map(Name),
+    )
+
+
+def _extend(children):
+    return st.one_of(
+        st.tuples(st.sampled_from(_ARITH_OPS + _CMP_OPS + _LOGIC_OPS),
+                  children, children)
+        .map(lambda t: Binary(t[0], t[1], t[2])),
+        st.tuples(st.sampled_from(("-", "!", "+")), children)
+        .map(lambda t: Unary(t[0], t[1])),
+        st.tuples(children, children, children)
+        .map(lambda t: Ternary(t[0], t[1], t[2])),
+        st.tuples(st.sampled_from(("sqrt", "max", "min", "pow")), children,
+                  children)
+        .map(lambda t: Call(t[0], (t[1], t[2])[: (2 if t[0] in ("max", "min", "pow") else 1)])),
+    )
+
+
+expressions = st.recursive(_leaf(), _extend, max_leaves=25)
+
+
+def _fresh_env():
+    env = Environment()
+    env.declare("GV", Type.INT, 1)
+    env.declare("P", Type.INT, 4)
+    env.declare("x", Type.DOUBLE, 2.5)
+    env.declare("y", Type.DOUBLE, -1.5)
+    env.declare("pid", Type.INT, 3)
+    return env
+
+
+# -- properties --------------------------------------------------------------
+
+@given(expressions)
+@settings(max_examples=300, deadline=None)
+def test_cpp_roundtrip_preserves_ast(expr):
+    text = expr_to_cpp(expr, use_std_names=False)
+    assert parse_expression(text) == expr
+
+
+@given(expressions)
+@settings(max_examples=300, deadline=None)
+def test_cpp_roundtrip_twice_is_stable(expr):
+    once = expr_to_cpp(expr, use_std_names=False)
+    twice = expr_to_cpp(parse_expression(once), use_std_names=False)
+    assert once == twice
+
+
+@given(expressions)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_preserves_evaluation(expr):
+    evaluator = Evaluator()
+    try:
+        expected = evaluator.eval_expr(expr, _fresh_env())
+    except Exception:
+        return  # runtime errors (div by zero, type errors) are out of scope
+    text = expr_to_cpp(expr, use_std_names=False)
+    reparsed = parse_expression(text)
+    actual = Evaluator().eval_expr(reparsed, _fresh_env())
+    if isinstance(expected, float) and math.isnan(expected):
+        assert isinstance(actual, float) and math.isnan(actual)
+    else:
+        assert actual == expected
+
+
+@given(expressions)
+@settings(max_examples=200, deadline=None)
+def test_python_emission_matches_evaluator(expr):
+    evaluator = Evaluator()
+    try:
+        expected = evaluator.eval_expr(expr, _fresh_env())
+    except Exception:
+        return
+    from repro.lang.builtins import BUILTINS
+    source = expr_to_py(expr)
+    namespace = {
+        "c_div": c_div, "c_mod": c_mod, "_bi": BUILTINS,
+        "GV": 1, "P": 4, "x": 2.5, "y": -1.5, "pid": 3,
+    }
+    try:
+        actual = eval(source, namespace)
+    except Exception:
+        # The evaluator succeeded, so Python emission must too.
+        raise AssertionError(f"python emission failed for {source!r}")
+    if isinstance(expected, bool):
+        assert bool(actual) == expected
+    elif isinstance(expected, float):
+        if math.isnan(expected):
+            assert math.isnan(actual)
+        else:
+            assert actual == expected or abs(actual - expected) < 1e-9
+    else:
+        assert actual == expected
+
+
+@given(st.integers(min_value=-10**6, max_value=10**6),
+       st.integers(min_value=-10**6, max_value=10**6))
+def test_c_division_identity(a, b):
+    if b == 0:
+        return
+    q, r = c_div(a, b), c_mod(a, b)
+    assert q * b + r == a
+    assert abs(r) < abs(b)
+    # Sign of remainder follows dividend (or is zero).
+    assert r == 0 or (r > 0) == (a > 0)

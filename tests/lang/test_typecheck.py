@@ -1,0 +1,208 @@
+"""Unit tests for the mini-language static checker."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang.parser import parse_expression, parse_function, parse_program
+from repro.lang.typecheck import (
+    Signature,
+    TypeChecker,
+    called_functions,
+    free_names,
+)
+from repro.lang.types import Type
+
+
+@pytest.fixture
+def checker():
+    return TypeChecker(
+        variables={"GV": Type.INT, "P": Type.INT, "alpha": Type.DOUBLE,
+                   "name": Type.STRING, "flag": Type.BOOL},
+        functions={
+            "FA1": Signature("FA1", (), Type.DOUBLE),
+            "FSA2": Signature("FSA2", (Type.INT,), Type.DOUBLE),
+        },
+    )
+
+
+class TestExpressionTypes:
+    def test_literals(self, checker):
+        assert checker.check_expr(parse_expression("1")) is Type.INT
+        assert checker.check_expr(parse_expression("1.5")) is Type.DOUBLE
+        assert checker.check_expr(parse_expression("true")) is Type.BOOL
+        assert checker.check_expr(parse_expression('"s"')) is Type.STRING
+
+    def test_variable_lookup(self, checker):
+        assert checker.check_expr(parse_expression("GV")) is Type.INT
+        assert checker.check_expr(parse_expression("alpha")) is Type.DOUBLE
+
+    def test_undeclared_variable(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression("ghost"))
+
+    def test_numeric_promotion(self, checker):
+        assert checker.check_expr(parse_expression("GV + P")) is Type.INT
+        assert checker.check_expr(parse_expression("GV + alpha")) is Type.DOUBLE
+        assert checker.check_expr(parse_expression("0.5 * P")) is Type.DOUBLE
+
+    def test_comparison_yields_bool(self, checker):
+        assert checker.check_expr(parse_expression("GV == 1")) is Type.BOOL
+        assert checker.check_expr(parse_expression("alpha < 2")) is Type.BOOL
+
+    def test_logical_ops_yield_bool(self, checker):
+        assert checker.check_expr(
+            parse_expression("GV == 1 && P > 0")) is Type.BOOL
+
+    def test_modulo_requires_ints(self, checker):
+        assert checker.check_expr(parse_expression("GV % P")) is Type.INT
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression("alpha % 2"))
+
+    def test_string_concat_allowed(self, checker):
+        assert checker.check_expr(parse_expression('name + "x"')) is Type.STRING
+
+    def test_string_arithmetic_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression("name * 2"))
+
+    def test_string_number_comparison_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression("name == 1"))
+
+    def test_string_string_comparison_allowed(self, checker):
+        assert checker.check_expr(
+            parse_expression('name == "x"')) is Type.BOOL
+
+    def test_not_on_string_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression("!name"))
+
+    def test_ternary_merges_numeric_branches(self, checker):
+        assert checker.check_expr(
+            parse_expression("flag ? 1 : 2.5")) is Type.DOUBLE
+
+    def test_ternary_incompatible_branches_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression('flag ? 1 : "s"'))
+
+
+class TestCalls:
+    def test_known_function(self, checker):
+        assert checker.check_expr(parse_expression("FA1()")) is Type.DOUBLE
+
+    def test_parameterized_function(self, checker):
+        assert checker.check_expr(parse_expression("FSA2(3)")) is Type.DOUBLE
+
+    def test_numeric_argument_coercion_allowed(self, checker):
+        assert checker.check_expr(parse_expression("FSA2(3.5)")) is Type.DOUBLE
+
+    def test_string_argument_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression('FSA2("x")'))
+
+    def test_wrong_arity_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression("FSA2()"))
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression("FA1(1)"))
+
+    def test_unknown_function_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression("nosuch()"))
+
+    def test_builtin_ok(self, checker):
+        assert checker.check_expr(parse_expression("sqrt(2.0)")) is Type.DOUBLE
+
+    def test_builtin_arity_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression("sqrt()"))
+
+    def test_builtin_string_arg_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_expr(parse_expression("sqrt(name)"))
+
+
+class TestStatements:
+    def test_paper_fragment_checks(self, checker):
+        checker.check_stmts(parse_program("GV = 1; P = 4;"))
+
+    def test_assign_undeclared_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_stmts(parse_program("ghost = 1;"))
+
+    def test_assign_string_to_int_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_stmts(parse_program('GV = "s";'))
+
+    def test_local_declaration_then_use(self, checker):
+        checker.check_stmts(parse_program("int x = 1; x += GV;"))
+
+    def test_string_condition_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_stmts(parse_program("if (name) { GV = 1; }"))
+
+    def test_branch_scopes_isolated(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_stmts(parse_program(
+                "if (flag) { int y = 1; } y = 2;"))
+
+    def test_for_scope_isolated(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_stmts(parse_program(
+                "for (int i = 0; i < 3; i += 1) { GV += i; } GV = i;"))
+
+    def test_return_outside_function_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_stmts(parse_program("return 1;"))
+
+    def test_compound_assign_on_string_limited(self, checker):
+        checker.check_stmts(parse_program('name += "x";'))
+        with pytest.raises(TypeCheckError):
+            checker.check_stmts(parse_program("name -= 1;"))
+
+
+class TestFunctionChecks:
+    def test_paper_cost_function(self, checker):
+        checker.check_function(parse_function(
+            "double FA1() { return 0.5 * P; }"))
+
+    def test_parameter_visible_in_body(self, checker):
+        checker.check_function(parse_function(
+            "double F(int pid) { return pid * 0.001; }"))
+
+    def test_missing_return_value_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_function(parse_function(
+                "double F() { return; }"))
+
+    def test_void_returning_value_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_function(parse_function(
+                "void F() { return 1; }"))
+
+    def test_string_return_from_double_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check_function(parse_function(
+                'double F() { return "x"; }'))
+
+
+class TestAnalysisHelpers:
+    def test_free_names_of_expression(self):
+        names = free_names(parse_expression("GV == 1 && P > f(Q)"))
+        assert names == {"GV", "P", "Q"}
+
+    def test_free_names_of_fragment(self):
+        names = free_names(parse_program("GV = 1; P = GV + Q;"))
+        assert names == {"GV", "P", "Q"}
+
+    def test_free_names_excludes_locals(self):
+        names = free_names(parse_program("int t = A; t += B;"))
+        assert names == {"A", "B"}
+
+    def test_called_functions_in_expression(self):
+        calls = called_functions(parse_expression("FA1() + FSA2(pid)"))
+        assert calls == {"FA1", "FSA2"}
+
+    def test_called_functions_in_fragment(self):
+        calls = called_functions(parse_program("x = f(1); if (g()) { y = 2; }"))
+        assert calls == {"f", "g"}

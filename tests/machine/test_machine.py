@@ -1,0 +1,168 @@
+"""Tests for system parameters, placement, network, and cluster."""
+
+import pytest
+
+from repro.errors import EstimatorError
+from repro.machine.cluster import Cluster
+from repro.machine.network import Network, NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.machine.placement import place_processes
+from repro.sim.core import Simulation
+
+
+class TestSystemParameters:
+    def test_defaults(self):
+        params = SystemParameters()
+        assert params.total_processors == 1
+        assert "1 node(s)" in params.describe()
+
+    def test_validation(self):
+        with pytest.raises(EstimatorError):
+            SystemParameters(nodes=0)
+        with pytest.raises(EstimatorError):
+            SystemParameters(processes=-1)
+        with pytest.raises(EstimatorError):
+            SystemParameters(placement="random")
+
+    def test_from_config(self):
+        from repro.xmlio.config import read_config
+        config = read_config(
+            '<configuration><machine nodes="2" processorsPerNode="4" '
+            'processes="8" threads="2"/></configuration>')
+        params = SystemParameters.from_config(config)
+        assert params.nodes == 2
+        assert params.total_processors == 8
+        assert params.threads_per_process == 2
+
+
+class TestPlacement:
+    def test_block_even(self):
+        assert place_processes(4, 2, "block") == [0, 0, 1, 1]
+
+    def test_block_remainder_to_leading_nodes(self):
+        assert place_processes(5, 2, "block") == [0, 0, 0, 1, 1]
+
+    def test_block_fewer_processes_than_nodes(self):
+        assert place_processes(2, 4, "block") == [0, 1]
+
+    def test_cyclic(self):
+        assert place_processes(5, 2, "cyclic") == [0, 1, 0, 1, 0]
+
+    def test_single_node(self):
+        assert place_processes(3, 1, "block") == [0, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(EstimatorError):
+            place_processes(0, 1)
+        with pytest.raises(EstimatorError):
+            place_processes(1, 1, "scatter")
+
+
+class TestNetwork:
+    def test_hockney_formula(self):
+        sim = Simulation()
+        network = Network(sim, NetworkConfig(latency=1e-6, bandwidth=1e9))
+        assert network.transfer_time(0, intra_node=False) == \
+            pytest.approx(1e-6)
+        assert network.transfer_time(1e6, intra_node=False) == \
+            pytest.approx(1e-6 + 1e-3)
+
+    def test_intra_node_cheaper(self):
+        sim = Simulation()
+        network = Network(sim, NetworkConfig(latency=1e-6, bandwidth=1e9))
+        inter = network.transfer_time(1e6, intra_node=False)
+        intra = network.transfer_time(1e6, intra_node=True)
+        assert intra < inter
+
+    def test_negative_size_rejected(self):
+        sim = Simulation()
+        network = Network(sim)
+        with pytest.raises(EstimatorError):
+            network.transfer_time(-1, intra_node=False)
+
+    def test_tree_depth(self):
+        sim = Simulation()
+        network = Network(sim)
+        assert network.tree_depth(1) == 0
+        assert network.tree_depth(2) == 1
+        assert network.tree_depth(4) == 2
+        assert network.tree_depth(5) == 3
+        assert network.tree_depth(8) == 3
+
+    def test_config_validation(self):
+        with pytest.raises(EstimatorError):
+            NetworkConfig(latency=-1)
+        with pytest.raises(EstimatorError):
+            NetworkConfig(bandwidth=0)
+        with pytest.raises(EstimatorError):
+            NetworkConfig(links=0)
+
+    def test_contention_serializes_transfers(self):
+        sim = Simulation()
+        network = Network(sim, NetworkConfig(
+            latency=0.0, bandwidth=1.0, contention=True, links=1))
+
+        def mover():
+            yield from network.transfer(5.0, intra_node=False)
+
+        sim.spawn("m1", mover())
+        sim.spawn("m2", mover())
+        # Two 5-second transfers over one link: 10 s total.
+        assert sim.run() == pytest.approx(10.0)
+
+    def test_no_contention_overlaps_transfers(self):
+        sim = Simulation()
+        network = Network(sim, NetworkConfig(
+            latency=0.0, bandwidth=1.0, contention=False))
+
+        def mover():
+            yield from network.transfer(5.0, intra_node=False)
+
+        sim.spawn("m1", mover())
+        sim.spawn("m2", mover())
+        assert sim.run() == pytest.approx(5.0)
+
+    def test_byte_accounting(self):
+        sim = Simulation()
+        network = Network(sim)
+
+        def mover():
+            yield from network.transfer(100.0, intra_node=False)
+
+        sim.spawn("m", mover())
+        sim.run()
+        assert network.bytes_moved == 100.0
+        assert network.messages == 1
+
+
+class TestCluster:
+    def test_topology_queries(self):
+        sim = Simulation()
+        params = SystemParameters(nodes=2, processors_per_node=2,
+                                  processes=4)
+        cluster = Cluster(sim, params)
+        assert cluster.placement == [0, 0, 1, 1]
+        assert cluster.node_of(0).index == 0
+        assert cluster.node_of(3).index == 1
+        assert cluster.same_node(0, 1)
+        assert not cluster.same_node(1, 2)
+        assert cluster.cpu_of(2) is cluster.nodes[1].cpu
+
+    def test_pid_out_of_range(self):
+        sim = Simulation()
+        cluster = Cluster(sim, SystemParameters(processes=2))
+        with pytest.raises(EstimatorError):
+            cluster.node_of(5)
+
+    def test_utilization_by_node(self):
+        sim = Simulation()
+        cluster = Cluster(sim, SystemParameters(nodes=2, processes=2))
+
+        def work(pid):
+            yield from cluster.cpu_of(pid).use(2.0)
+
+        sim.spawn("p0", work(0))
+        sim.run()
+        utilization = cluster.utilization_by_node()
+        assert utilization[0] == pytest.approx(1.0)
+        assert utilization[1] == pytest.approx(0.0)

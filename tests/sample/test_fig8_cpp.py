@@ -1,0 +1,151 @@
+"""FIG8 reproduction: the generated C++ of the Section 4 sample model.
+
+The paper's Fig. 8 shows (a) globals and cost functions and (b) element
+declarations and execution flow.  These tests pin the generated text to a
+golden file and assert every structural property the paper describes by
+line number:
+
+* globals section before cost functions before the program (Fig. 5 order);
+* declarations of exactly {A1, A2, A4, SA1, SA2} (Fig. 8 lines 64-68);
+* the code fragment of A1 spliced before ``a1.execute`` (lines 72-76);
+* the branch mapped to ``if/else`` on GV (lines 77-87);
+* activity SA nested as a block inside the main activity (lines 79-82).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.samples import build_sample_model
+from repro.transform.cpp.emitter import transform_to_cpp
+
+GOLDEN = Path(__file__).parent / "golden_fig8.cpp"
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return transform_to_cpp(build_sample_model())
+
+
+@pytest.fixture(scope="module")
+def source(artifacts):
+    return artifacts.source
+
+
+@pytest.fixture(scope="module")
+def lines(source):
+    return source.splitlines()
+
+
+class TestGolden:
+    def test_matches_golden_file(self, source):
+        assert source == GOLDEN.read_text()
+
+    def test_transformation_deterministic(self, source):
+        again = transform_to_cpp(build_sample_model()).source
+        assert again == source
+
+
+class TestFig8aGlobalsAndCostFunctions:
+    def test_globals_declared(self, source):
+        # Fig. 8(a) lines 24-25: declarations of GV and P.
+        assert "int GV;" in source
+        assert "int P;" in source
+
+    def test_globals_before_cost_functions(self, lines):
+        globals_at = lines.index("int GV;")
+        functions_at = lines.index("double FA1() {")
+        assert globals_at < functions_at
+
+    def test_one_cost_function_per_element(self, source):
+        # Fig. 8(a) lines 31-54: FA1, FA2, FA4, FSA1, FSA2.
+        for name in ("FA1", "FA2", "FA4", "FSA1"):
+            assert f"double {name}() {{" in source
+        assert "double FSA2(int pid) {" in source
+
+    def test_fsa2_takes_pid_parameter(self, source):
+        # "the cost function FSA2 takes pid as a parameter"
+        assert "double FSA2(int pid) {" in source
+        assert "return 0.001 * pid + 0.05;" in source
+
+    def test_fa1_parameterized_by_global(self, source):
+        assert "return 0.5 * P;" in source
+
+
+class TestFig8bProgram:
+    def test_declarations_of_exactly_the_five_elements(self, lines):
+        # Fig. 8(b) lines 64-68.
+        declarations = [line.strip() for line in lines
+                        if line.strip().startswith("ActionPlus ")]
+        assert declarations == [
+            'ActionPlus sA1("SA1", 3);',
+            'ActionPlus sA2("SA2", 4);',
+            'ActionPlus a1("A1", 12);',
+            'ActionPlus a2("A2", 15);',
+            'ActionPlus a4("A4", 17);',
+        ]
+
+    def test_code_fragment_before_a1_execute(self, lines):
+        # Fig. 8(b): lines 72-75 are A1's associated code, line 76 executes.
+        fragment_at = lines.index("        GV = 1;")
+        assert lines[fragment_at + 1].strip() == "P = 4;"
+        execute_at = next(i for i, line in enumerate(lines)
+                          if "a1.execute(uid, pid, tid, FA1());" in line)
+        assert fragment_at < execute_at
+
+    def test_execute_signature_matches_paper(self, source):
+        # "A1.execute(uid, pid, tid, FA1());"
+        assert "a1.execute(uid, pid, tid, FA1());" in source
+        assert "a2.execute(uid, pid, tid, FA2());" in source
+        assert "a4.execute(uid, pid, tid, FA4());" in source
+        assert "sA1.execute(uid, pid, tid, FSA1());" in source
+        assert "sA2.execute(uid, pid, tid, FSA2(pid));" in source
+
+    def test_branch_mapped_to_if_else(self, source):
+        # Fig. 8(b) lines 77-87: the branch on GV.
+        assert "if (GV == 1) {" in source
+        assert "} else {" in source
+
+    def test_activity_sa_nested_inside_if(self, lines):
+        # Fig. 8(b) lines 79-82: SA's code nested in the main activity.
+        if_at = lines.index("        if (GV == 1) {")
+        comment_at = lines.index("            // Activity SA")
+        sa1_at = next(i for i, line in enumerate(lines)
+                      if "sA1.execute" in line)
+        else_at = next(i for i, line in enumerate(lines)
+                       if line.strip() == "} else {")
+        assert if_at < comment_at < sa1_at < else_at
+
+    def test_sa_executes_in_order(self, lines):
+        sa1_at = next(i for i, l in enumerate(lines) if "sA1.execute" in l)
+        sa2_at = next(i for i, l in enumerate(lines) if "sA2.execute" in l)
+        assert sa1_at < sa2_at
+
+    def test_a4_after_branch(self, lines):
+        else_close = max(i for i, line in enumerate(lines)
+                         if line.strip() == "}")
+        a4_at = next(i for i, l in enumerate(lines) if "a4.execute" in l)
+        branch_close = next(i for i, line in enumerate(lines)
+                            if i > a4_at - 10 and line.strip() == "}")
+        assert a4_at > next(i for i, l in enumerate(lines)
+                            if l.strip() == "} else {")
+
+    def test_entry_point_signature(self, source, artifacts):
+        assert f"void {artifacts.entry_point}(int uid, int pid, int tid) {{" \
+            in source
+
+    def test_section_order_follows_fig5(self, lines):
+        """The Fig. 5 algorithm order: globals, cost functions, program
+        (locals, declarations, flow)."""
+        order = [
+            lines.index("// Globals"),
+            lines.index("// Cost functions"),
+            lines.index("// Program"),
+            lines.index("    // Declare performance modeling elements"),
+            lines.index("    // Main activity"),
+        ]
+        assert order == sorted(order)
+
+    def test_header_artifact_present(self, artifacts):
+        assert "class ActionPlus" in artifacts.header
+        assert "#ifndef PROPHET_RUNTIME_H" in artifacts.header

@@ -1,0 +1,114 @@
+"""Execution semantics of the sample model: both GV branches, both
+backends (generated Python vs direct interpretation), analytic check.
+
+The sample model's behaviour per process (1 process, 1 cpu):
+
+* A1's code fragment sets GV=1, P=4, so FA1() = 0.5*4 = 2.0;
+* GV == 1 → activity SA runs: SA1 (0.75) then SA2 (0.001*pid + 0.05);
+* A4 costs 0.25*4 + 0.1 = 1.1;
+* total for pid 0: 2.0 + 0.75 + 0.05 + 1.1 = 3.9.
+"""
+
+import pytest
+
+from repro.estimator import estimate
+from repro.estimator.analysis import TraceAnalysis
+from repro.machine.params import SystemParameters
+from repro.samples import build_sample_model
+
+
+def expected_time(pid: int) -> float:
+    return 2.0 + 0.75 + (0.001 * pid + 0.05) + 1.1
+
+
+class TestSingleProcess:
+    def test_predicted_time_matches_analytic(self):
+        result = estimate(build_sample_model(), SystemParameters())
+        assert result.total_time == pytest.approx(expected_time(0))
+
+    def test_sa_branch_taken(self):
+        result = estimate(build_sample_model(), SystemParameters())
+        elements = [r.element for r in result.trace if r.kind == "action"]
+        assert elements == ["A1", "SA1", "SA2", "A4"]
+        assert "A2" not in elements
+
+    def test_element_order_and_times(self):
+        result = estimate(build_sample_model(), SystemParameters())
+        actions = {r.element: r for r in result.trace
+                   if r.kind == "action"}
+        assert actions["A1"].start == 0.0
+        assert actions["A1"].end == pytest.approx(2.0)
+        assert actions["SA1"].start == pytest.approx(2.0)
+        assert actions["SA1"].end == pytest.approx(2.75)
+        assert actions["SA2"].end == pytest.approx(2.8)
+        assert actions["A4"].end == pytest.approx(3.9)
+
+
+class TestElseBranch:
+    def test_gv_not_1_runs_a2(self):
+        # Flip the fragment so GV stays 0 → the else branch (A2) runs.
+        model = build_sample_model()
+        a1 = model.main_diagram.node_by_name("A1")
+        a1.code = "GV = 2; P = 4;"
+        result = estimate(model, SystemParameters())
+        elements = [r.element for r in result.trace if r.kind == "action"]
+        assert elements == ["A1", "A2", "A4"]
+        # A1(2.0) + A2(1.5) + A4(1.1)
+        assert result.total_time == pytest.approx(2.0 + 1.5 + 1.1)
+
+
+class TestMultiProcess:
+    def test_per_process_times_differ_via_pid(self):
+        # FSA2(pid) rises with pid; with enough processors there is no
+        # contention and rank finish times follow the cost model exactly.
+        params = SystemParameters(nodes=4, processors_per_node=1,
+                                  processes=4)
+        result = estimate(build_sample_model(), params)
+        for pid, finish in enumerate(result.process_finish_times):
+            assert finish == pytest.approx(expected_time(pid))
+
+    def test_contention_serializes(self):
+        # 4 processes on 1 processor: makespan ≈ sum of all demands.
+        params = SystemParameters(nodes=1, processors_per_node=1,
+                                  processes=4)
+        result = estimate(build_sample_model(), params)
+        total_work = sum(expected_time(pid) for pid in range(4))
+        assert result.total_time == pytest.approx(total_work)
+        assert result.node_utilization[0] == pytest.approx(1.0)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("processes", [1, 3])
+    def test_interp_equals_codegen(self, processes):
+        params = SystemParameters(nodes=2, processors_per_node=2,
+                                  processes=processes)
+        codegen = estimate(build_sample_model(), params, mode="codegen")
+        interp = estimate(build_sample_model(), params, mode="interp")
+        assert codegen.total_time == pytest.approx(interp.total_time)
+        assert TraceAnalysis(codegen.trace).equivalent_to(
+            TraceAnalysis(interp.trace))
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import EstimatorError
+        with pytest.raises(EstimatorError):
+            estimate(build_sample_model(), SystemParameters(),
+                     mode="quantum")
+
+
+class TestTraceFile:
+    def test_tf_roundtrip(self, tmp_path):
+        from repro.estimator.trace import read_trace
+        result = estimate(build_sample_model(), SystemParameters())
+        for fmt in ("csv", "jsonl"):
+            path = result.write_trace_file(tmp_path / f"t.{fmt}", fmt)
+            loaded = read_trace(path)
+            assert loaded == result.trace
+
+    def test_analysis_on_sample(self):
+        result = estimate(build_sample_model(), SystemParameters())
+        analysis = TraceAnalysis(result.trace)
+        assert analysis.makespan() == pytest.approx(3.9)
+        assert analysis.total_busy_time() == pytest.approx(3.9)
+        stats = {s.element: s for s in analysis.by_element()}
+        assert stats["A1"].count == 1
+        assert stats["A1"].total_time == pytest.approx(2.0)

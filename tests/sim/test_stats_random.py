@@ -1,0 +1,140 @@
+"""Tests for statistics collectors and random streams."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.core import Hold, Simulation
+from repro.sim.random import RandomStreams
+from repro.sim.stats import Table, TimeWeighted
+
+
+class TestTable:
+    def test_empty(self):
+        table = Table()
+        assert table.count == 0
+        assert table.mean() == 0.0
+        assert table.variance() == 0.0
+
+    def test_single_value(self):
+        table = Table()
+        table.record(5.0)
+        assert table.mean() == 5.0
+        assert table.minimum == table.maximum == 5.0
+        assert table.variance() == 0.0
+
+    def test_known_statistics(self):
+        table = Table()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in values:
+            table.record(value)
+        assert table.mean() == pytest.approx(5.0)
+        assert table.variance() == pytest.approx(np.var(values, ddof=1))
+        assert table.total == pytest.approx(sum(values))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy(self, values):
+        table = Table()
+        for value in values:
+            table.record(value)
+        assert table.mean() == pytest.approx(np.mean(values), abs=1e-6,
+                                             rel=1e-9)
+        assert table.variance() == pytest.approx(
+            np.var(values, ddof=1), abs=1e-6, rel=1e-6)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=50),
+           st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_concatenation(self, left, right):
+        table_left, table_right, table_all = Table(), Table(), Table()
+        for value in left:
+            table_left.record(value)
+            table_all.record(value)
+        for value in right:
+            table_right.record(value)
+            table_all.record(value)
+        merged = table_left.merge(table_right)
+        assert merged.count == table_all.count
+        assert merged.mean() == pytest.approx(table_all.mean(), abs=1e-9)
+        assert merged.variance() == pytest.approx(table_all.variance(),
+                                                  abs=1e-6, rel=1e-6)
+
+
+class TestTimeWeighted:
+    def test_integral_piecewise(self):
+        sim = Simulation()
+        signal = TimeWeighted(sim)
+
+        def body():
+            signal.record(2.0)       # value 2 on [0, 3)
+            yield Hold(3.0)
+            signal.record(5.0)       # value 5 on [3, 4)
+            yield Hold(1.0)
+            signal.record(0.0)
+
+        sim.spawn("p", body())
+        sim.run()
+        assert signal.integral() == pytest.approx(2 * 3 + 5 * 1)
+        assert signal.mean() == pytest.approx(11.0 / 4.0)
+        assert signal.maximum == 5.0
+
+    def test_mean_before_time_advances(self):
+        sim = Simulation()
+        signal = TimeWeighted(sim)
+        signal.record(7.0)
+        assert signal.mean() == 0.0
+        assert signal.current == 7.0
+
+
+class TestRandomStreams:
+    def test_determinism(self):
+        a = RandomStreams(seed=42)
+        b = RandomStreams(seed=42)
+        assert a.exponential("x", 1.0) == b.exponential("x", 1.0)
+        assert a.uniform("y", 0, 1) == b.uniform("y", 0, 1)
+
+    def test_streams_independent_of_creation_order(self):
+        a = RandomStreams(seed=1)
+        b = RandomStreams(seed=1)
+        _ = a.exponential("first", 1.0)
+        value_a = a.exponential("second", 1.0)
+        value_b = b.exponential("second", 1.0)  # no draw from "first"
+        assert value_a == value_b
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1)
+        b = RandomStreams(seed=2)
+        assert a.exponential("x", 1.0) != b.exponential("x", 1.0)
+
+    def test_exponential_mean(self):
+        streams = RandomStreams(seed=7)
+        draws = [streams.exponential("m", 4.0) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(4.0, rel=0.05)
+
+    def test_hyperexponential_moments(self):
+        streams = RandomStreams(seed=7)
+        mean, cv2 = 2.0, 4.0
+        draws = np.array([streams.hyperexponential("h", mean, cv2)
+                          for _ in range(60_000)])
+        assert draws.mean() == pytest.approx(mean, rel=0.05)
+        observed_cv2 = draws.var() / draws.mean() ** 2
+        assert observed_cv2 == pytest.approx(cv2, rel=0.15)
+
+    def test_validation(self):
+        streams = RandomStreams()
+        with pytest.raises(SimulationError):
+            streams.exponential("x", 0.0)
+        with pytest.raises(SimulationError):
+            streams.uniform("x", 2.0, 1.0)
+        with pytest.raises(SimulationError):
+            streams.normal("x", 0.0, -1.0)
+        with pytest.raises(SimulationError):
+            streams.hyperexponential("x", 1.0, 0.5)

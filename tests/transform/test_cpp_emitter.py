@@ -1,0 +1,160 @@
+"""Shape tests for the C++ backend beyond the Fig. 8 golden file:
+drawn loops, forks, parallel regions, communication, and locals."""
+
+import pytest
+
+from repro.transform.cpp.emitter import transform_to_cpp
+from repro.uml.builder import ModelBuilder
+
+
+def cpp_of(builder: ModelBuilder) -> str:
+    return transform_to_cpp(builder.build()).source
+
+
+class TestDrawnLoops:
+    def test_while_loop_shape(self):
+        builder = ModelBuilder("Loop")
+        builder.global_var("I", "int", "0")
+        builder.cost_function("F", "0.1")
+        diagram = builder.diagram("Main", main=True)
+        initial, final = diagram.initial(), diagram.final()
+        merge = diagram.merge("head")
+        decision = diagram.decision("test")
+        body = diagram.action("Step", cost="F()", code="I = I + 1;")
+        diagram.flow(initial, merge)
+        diagram.flow(merge, decision)
+        diagram.flow(decision, body, guard="I < 5")
+        diagram.flow(decision, final, guard="else")
+        diagram.flow(body, merge)
+        source = cpp_of(builder)
+        assert "while (true) {" in source
+        assert "if (!(I < 5)) break;" in source
+        assert "step.execute(uid, pid, tid, F());" in source
+
+    def test_guarded_exit_shape(self):
+        builder = ModelBuilder("Loop")
+        builder.global_var("I", "int", "0")
+        builder.cost_function("F", "0.1")
+        diagram = builder.diagram("Main", main=True)
+        initial, final = diagram.initial(), diagram.final()
+        merge = diagram.merge("head")
+        decision = diagram.decision("test")
+        body = diagram.action("Step", cost="F()", code="I = I + 1;")
+        diagram.flow(initial, merge)
+        diagram.flow(merge, decision)
+        diagram.flow(decision, final, guard="I >= 5")
+        diagram.flow(decision, body, guard="else")
+        diagram.flow(body, merge)
+        source = cpp_of(builder)
+        assert "if (I >= 5) break;" in source
+
+
+class TestLoopAndParallelNodes:
+    def test_loop_node_for_statement(self):
+        builder = ModelBuilder("M")
+        builder.global_var("N", "int", "8")
+        builder.cost_function("F", "0.1")
+        body = builder.diagram("Body")
+        body.sequence(body.action("W", cost="F()"))
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.loop("L", diagram="Body", iterations="N * 2"))
+        source = cpp_of(builder)
+        assert "for (int i1_ = 0; i1_ < (N * 2); ++i1_) {" in source
+
+    def test_nested_loops_get_distinct_indices(self):
+        from repro.samples import build_kernel6_loopnest_model
+        source = transform_to_cpp(build_kernel6_loopnest_model()).source
+        assert "i1_" in source
+        assert "i2_" in source
+        assert "i3_" in source
+
+    def test_parallel_region_macro(self):
+        builder = ModelBuilder("M")
+        builder.cost_function("F", "0.1")
+        body = builder.diagram("Body")
+        body.sequence(body.action("W", cost="F()"))
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.parallel("PR", diagram="Body",
+                                    num_threads="4"))
+        source = cpp_of(builder)
+        assert 'ParallelRegion pR("PR"' in source
+        assert "PROPHET_PARALLEL(pR, 4) {" in source
+
+
+class TestForkJoin:
+    def test_sections_macros(self):
+        builder = ModelBuilder("M")
+        builder.cost_function("F", "0.1")
+        main = builder.diagram("Main", main=True)
+        fork, join = main.fork("fk"), main.join("jn")
+        a, b = main.action("A", cost="F()"), main.action("B", cost="F()")
+        initial, final = main.initial(), main.final()
+        main.flow(initial, fork)
+        main.flow(fork, a)
+        main.flow(fork, b)
+        main.flow(a, join)
+        main.flow(b, join)
+        main.flow(join, final)
+        source = cpp_of(builder)
+        assert "PROPHET_SECTIONS {" in source
+        assert source.count("PROPHET_SECTION {") == 2
+        assert "// Fork fk / join jn" in source
+
+
+class TestCommunication:
+    def test_p2p_and_collective_calls(self):
+        builder = ModelBuilder("M")
+        main = builder.diagram("Main", main=True)
+        send = main.send("S", dest="(pid + 1) % size", size="1024", tag=7)
+        recv = main.recv("R", source="-1", size="1024", tag=-1)
+        barrier = main.barrier("B")
+        bcast = main.bcast("BC", root="0", size="8 * size")
+        reduce_ = main.reduce("RD", root="0", size="8", op="max")
+        allreduce = main.allreduce("AR", size="8")
+        main.sequence(send, recv, barrier, bcast, reduce_, allreduce)
+        source = cpp_of(builder)
+        assert 'MpiSend s("S"' in source
+        assert ("s.execute(uid, pid, tid, (pid + 1) % size, 1024, 7);"
+                in source)
+        assert "r.execute(uid, pid, tid, -1, 1024, -1);" in source
+        assert "b.execute(uid, pid, tid);" in source
+        assert "bC.execute(uid, pid, tid, 0, 8 * size);" in source
+        assert 'rD.execute(uid, pid, tid, 0, 8, "max");' in source
+        assert 'aR.execute(uid, pid, tid, 8, "sum");' in source
+
+    def test_critical_lock_literal(self):
+        builder = ModelBuilder("M")
+        builder.cost_function("F", "0.2")
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.critical("CS", lock="acc", cost="F()"))
+        source = cpp_of(builder)
+        assert 'CriticalSection cS("CS"' in source
+        assert 'cS.execute(uid, pid, tid, F(), "acc");' in source
+
+
+class TestLocalsAndTypes:
+    def test_locals_section_emitted(self):
+        builder = ModelBuilder("M")
+        builder.local_var("t", "double", "0.0")
+        builder.local_var("s", "string")
+        builder.cost_function("F", "0.1")
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.action("A", cost="F()"))
+        source = cpp_of(builder)
+        assert "// Locals" in source
+        assert "double t = 0.0;" in source
+        assert "std::string s;" in source
+
+    def test_time_tag_constant_cost(self):
+        builder = ModelBuilder("M")
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.action("A", time=2.5))
+        source = cpp_of(builder)
+        assert "a.execute(uid, pid, tid, 2.5);" in source
+
+    def test_costless_action_zero(self):
+        builder = ModelBuilder("M")
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.action("A"))
+        source = cpp_of(builder)
+        assert "a.execute(uid, pid, tid, 0.0);" in source

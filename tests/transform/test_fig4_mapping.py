@@ -1,0 +1,46 @@
+"""FIG4 reproduction: the UML → C++ mapping of a single element.
+
+Fig. 4 maps the action ``Kernel6`` (an ``<<action+>>`` instance) to the
+class ``ActionPlus``: a declaration ``ActionPlus kernel6(...);`` and an
+execution ``kernel6.execute(..., FK6(...));`` — the element name is
+mapped to the (first-letter-lowered) instance name.
+"""
+
+from repro.samples import build_kernel6_model
+from repro.transform.cpp.emitter import transform_to_cpp
+
+
+class TestFig4:
+    def test_declaration_line(self):
+        artifacts = transform_to_cpp(build_kernel6_model())
+        assert 'ActionPlus kernel6("Kernel6"' in artifacts.source
+
+    def test_execute_line(self):
+        artifacts = transform_to_cpp(build_kernel6_model())
+        assert "kernel6.execute(uid, pid, tid, FK6());" in artifacts.source
+
+    def test_cost_function_definition_present(self):
+        artifacts = transform_to_cpp(build_kernel6_model())
+        assert "double FK6() {" in artifacts.source
+        assert "return C6 * M * (N * (N - 1) / 2);" in artifacts.source
+
+    def test_globals_present(self):
+        artifacts = transform_to_cpp(build_kernel6_model(n=100, m=10))
+        assert "int N = 100;" in artifacts.source
+        assert "int M = 10;" in artifacts.source
+
+    def test_name_mapping_lowers_first_letter_only(self):
+        # Kernel6 → kernel6 (not kernel_6 or KERNEL6).
+        artifacts = transform_to_cpp(build_kernel6_model())
+        assert "kernel6" in artifacts.source
+        assert "Kernel6" in artifacts.source  # kept as display name
+
+    def test_registration_macro(self):
+        artifacts = transform_to_cpp(build_kernel6_model())
+        assert ("PROPHET_REGISTER_MODEL(Kernel6Model, pmp_kernel6Model);"
+                in artifacts.source)
+
+    def test_numbered_rendering(self):
+        artifacts = transform_to_cpp(build_kernel6_model())
+        numbered = artifacts.numbered_source()
+        assert numbered.splitlines()[0].startswith("  1: ")

@@ -1,0 +1,304 @@
+"""Tests for structured control-flow reconstruction."""
+
+import pytest
+
+from repro.errors import UnstructuredFlowError
+from repro.samples import build_sample_model
+from repro.transform.flowgraph import (
+    BranchRegion,
+    CycleRegion,
+    ForkRegion,
+    LeafRegion,
+    SequenceRegion,
+    parse_diagram,
+)
+from repro.uml.builder import ModelBuilder
+
+
+def names(region):
+    return [leaf.node.name for leaf in region.leaves()]
+
+
+def simple_builder():
+    builder = ModelBuilder("M")
+    builder.global_var("GV", "int")
+    builder.cost_function("F", "0.1")
+    return builder
+
+
+class TestSequences:
+    def test_linear_sequence(self):
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        a = diagram.action("A", cost="F()")
+        b = diagram.action("B", cost="F()")
+        c = diagram.action("C", cost="F()")
+        diagram.sequence(a, b, c)
+        region = parse_diagram(diagram.diagram)
+        assert isinstance(region, SequenceRegion)
+        assert names(region) == ["A", "B", "C"]
+        assert all(isinstance(item, LeafRegion) for item in region.items)
+
+    def test_empty_diagram_between_initial_and_final(self):
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        initial = diagram.initial()
+        final = diagram.final()
+        diagram.flow(initial, final)
+        region = parse_diagram(diagram.diagram)
+        assert region.items == []
+
+    def test_initial_with_two_edges_rejected(self):
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        initial = diagram.initial()
+        a = diagram.action("A")
+        b = diagram.action("B")
+        final = diagram.final()
+        diagram.flow(initial, a)
+        diagram.flow(initial, b)
+        diagram.flow(a, final)
+        diagram.flow(b, final)
+        with pytest.raises(UnstructuredFlowError):
+            parse_diagram(diagram.diagram)
+
+
+class TestBranches:
+    def test_paper_sample_branch(self):
+        model = build_sample_model()
+        region = parse_diagram(model.main_diagram)
+        assert len(region.items) == 3  # A1, branch, A4
+        branch = region.items[1]
+        assert isinstance(branch, BranchRegion)
+        assert branch.arms[0][0] == "GV == 1"
+        assert names(branch.arms[0][1]) == ["SA"]
+        assert names(branch.else_arm) == ["A2"]
+        assert branch.merge is not None
+
+    def test_multiway_branch(self):
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        decision = diagram.decision()
+        merge = diagram.merge()
+        a, b, c = (diagram.action(n, cost="F()") for n in "ABC")
+        diagram.branch(decision, merge,
+                       ("GV == 1", [a]),
+                       ("GV == 2", [b]),
+                       ("else", [c]))
+        initial, final = diagram.initial(), diagram.final()
+        diagram.flow(initial, decision)
+        diagram.flow(merge, final)
+        region = parse_diagram(diagram.diagram)
+        branch = region.items[0]
+        assert isinstance(branch, BranchRegion)
+        assert [guard for guard, _ in branch.arms] == ["GV == 1", "GV == 2"]
+        assert names(branch.else_arm) == ["C"]
+
+    def test_empty_arm_to_merge(self):
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        decision = diagram.decision()
+        merge = diagram.merge()
+        a = diagram.action("A", cost="F()")
+        diagram.branch(decision, merge, ("GV == 1", [a]), ("else", []))
+        initial, final = diagram.initial(), diagram.final()
+        diagram.flow(initial, decision)
+        diagram.flow(merge, final)
+        region = parse_diagram(diagram.diagram)
+        branch = region.items[0]
+        assert names(branch.else_arm) == []
+
+    def test_nested_branches(self):
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        outer_decision = diagram.decision("outer")
+        outer_merge = diagram.merge("outer_m")
+        inner_decision = diagram.decision("inner")
+        inner_merge = diagram.merge("inner_m")
+        a, b, c = (diagram.action(n, cost="F()") for n in "ABC")
+        diagram.branch(inner_decision, inner_merge,
+                       ("GV == 2", [a]), ("else", [b]))
+        initial, final = diagram.initial(), diagram.final()
+        diagram.flow(initial, outer_decision)
+        diagram.flow(outer_decision, inner_decision, guard="GV == 1")
+        diagram.flow(inner_merge, outer_merge)
+        diagram.flow(outer_decision, c, guard="else")
+        diagram.flow(c, outer_merge)
+        diagram.flow(outer_merge, final)
+        region = parse_diagram(diagram.diagram)
+        outer = region.items[0]
+        assert isinstance(outer, BranchRegion)
+        inner = outer.arms[0][1].items[0]
+        assert isinstance(inner, BranchRegion)
+        assert names(inner.arms[0][1]) == ["A"]
+
+    def test_branch_arms_ending_at_final(self):
+        # decision arms that each run straight to the final node.
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        initial, final = diagram.initial(), diagram.final()
+        decision = diagram.decision()
+        a = diagram.action("A", cost="F()")
+        b = diagram.action("B", cost="F()")
+        diagram.flow(initial, decision)
+        diagram.flow(decision, a, guard="GV == 1")
+        diagram.flow(decision, b, guard="else")
+        diagram.flow(a, final)
+        diagram.flow(b, final)
+        region = parse_diagram(diagram.diagram)
+        branch = region.items[0]
+        assert isinstance(branch, BranchRegion)
+        assert names(branch.arms[0][1]) == ["A"]
+        assert names(branch.else_arm) == ["B"]
+
+
+class TestForkJoin:
+    def test_two_arm_fork(self):
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        fork, join = diagram.fork(), diagram.join()
+        a = diagram.action("A", cost="F()")
+        b = diagram.action("B", cost="F()")
+        initial, final = diagram.initial(), diagram.final()
+        diagram.flow(initial, fork)
+        diagram.flow(fork, a)
+        diagram.flow(fork, b)
+        diagram.flow(a, join)
+        diagram.flow(b, join)
+        diagram.flow(join, final)
+        region = parse_diagram(diagram.diagram)
+        fork_region = region.items[0]
+        assert isinstance(fork_region, ForkRegion)
+        assert sorted(names(arm) for arm in fork_region.arms) == \
+            [["A"], ["B"]]
+
+    def test_fork_without_join_rejected(self):
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        fork = diagram.fork()
+        a = diagram.action("A")
+        b = diagram.action("B")
+        initial, final = diagram.initial(), diagram.final()
+        diagram.flow(initial, fork)
+        diagram.flow(fork, a)
+        diagram.flow(fork, b)
+        diagram.flow(a, final)
+        diagram.flow(b, final)
+        with pytest.raises(UnstructuredFlowError):
+            parse_diagram(diagram.diagram)
+
+
+class TestDrawnLoops:
+    def make_while_loop(self):
+        """initial → merge → decision --[GV < 3]--> body → (back to merge)
+        and decision --[else]--> final."""
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        initial, final = diagram.initial(), diagram.final()
+        merge = diagram.merge("loop_head")
+        decision = diagram.decision("loop_test")
+        body = diagram.action("Body", cost="F()", code="GV = GV + 1;")
+        diagram.flow(initial, merge)
+        diagram.flow(merge, decision)
+        diagram.flow(decision, body, guard="GV < 3")
+        diagram.flow(decision, final, guard="else")
+        diagram.flow(body, merge)  # back edge
+        return builder, diagram
+
+    def test_while_loop_parses(self):
+        _, diagram = self.make_while_loop()
+        region = parse_diagram(diagram.diagram)
+        assert len(region.items) == 1
+        loop = region.items[0]
+        assert isinstance(loop, CycleRegion)
+        # while-shape: empty pre, break on !(GV < 3), body in post.
+        assert names(loop.pre) == []
+        assert loop.break_condition is None
+        assert loop.negated_stay_guard == "GV < 3"
+        assert names(loop.post) == ["Body"]
+
+    def test_do_while_loop_parses(self):
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        initial, final = diagram.initial(), diagram.final()
+        merge = diagram.merge("head")
+        body = diagram.action("Body", cost="F()", code="GV = GV + 1;")
+        decision = diagram.decision("test")
+        diagram.flow(initial, merge)
+        diagram.flow(merge, body)
+        diagram.flow(body, decision)
+        diagram.flow(decision, merge, guard="GV < 5")  # back edge
+        diagram.flow(decision, final, guard="else")
+        region = parse_diagram(diagram.diagram)
+        loop = region.items[0]
+        assert isinstance(loop, CycleRegion)
+        assert names(loop.pre) == ["Body"]
+        assert loop.negated_stay_guard == "GV < 5"
+
+    def test_loop_followed_by_action(self):
+        builder, diagram = self.make_while_loop()
+        # splice an action between decision-else and final
+        # (rebuild: easier to construct fresh)
+        builder2 = simple_builder()
+        diagram2 = builder2.diagram("Main", main=True)
+        initial, final = diagram2.initial(), diagram2.final()
+        merge = diagram2.merge("head")
+        decision = diagram2.decision("test")
+        body = diagram2.action("Body", cost="F()", code="GV = GV + 1;")
+        after = diagram2.action("After", cost="F()")
+        diagram2.flow(initial, merge)
+        diagram2.flow(merge, decision)
+        diagram2.flow(decision, body, guard="GV < 3")
+        diagram2.flow(decision, after, guard="else")
+        diagram2.flow(body, merge)
+        diagram2.flow(after, final)
+        region = parse_diagram(diagram2.diagram)
+        assert isinstance(region.items[0], CycleRegion)
+        assert isinstance(region.items[1], LeafRegion)
+        assert region.items[1].node.name == "After"
+
+    def test_guarded_exit_edge(self):
+        # exit carries the guard; stay edge is else.
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        initial, final = diagram.initial(), diagram.final()
+        merge = diagram.merge("head")
+        decision = diagram.decision("test")
+        body = diagram.action("Body", cost="F()", code="GV = GV + 1;")
+        diagram.flow(initial, merge)
+        diagram.flow(merge, decision)
+        diagram.flow(decision, final, guard="GV >= 3")  # exit guarded
+        diagram.flow(decision, body, guard="else")
+        diagram.flow(body, merge)
+        region = parse_diagram(diagram.diagram)
+        loop = region.items[0]
+        assert loop.break_condition == "GV >= 3"
+
+    def test_two_back_edges_rejected(self):
+        builder = simple_builder()
+        diagram = builder.diagram("Main", main=True)
+        initial, final = diagram.initial(), diagram.final()
+        merge = diagram.merge("head")
+        d1 = diagram.decision("d1")
+        d2 = diagram.decision("d2")
+        a = diagram.action("A", cost="F()")
+        diagram.flow(initial, merge)
+        diagram.flow(merge, d1)
+        diagram.flow(d1, merge, guard="GV == 7")   # back edge 1 (continue)
+        diagram.flow(d1, a, guard="else")
+        diagram.flow(a, d2)
+        diagram.flow(d2, merge, guard="GV < 3")    # back edge 2
+        diagram.flow(d2, final, guard="else")
+        with pytest.raises(UnstructuredFlowError):
+            parse_diagram(diagram.diagram)
+
+
+class TestStructuredNodesAsLeaves:
+    def test_kernel6_loopnest(self):
+        from repro.samples import build_kernel6_loopnest_model
+        model = build_kernel6_loopnest_model()
+        region = parse_diagram(model.main_diagram)
+        assert len(region.items) == 1
+        leaf = region.items[0]
+        assert isinstance(leaf, LeafRegion)
+        assert leaf.node.name == "LLoop"

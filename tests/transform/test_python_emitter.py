@@ -1,0 +1,178 @@
+"""Tests for the generated-Python backend's source shape.
+
+Execution semantics are covered by the estimator/backend-equivalence
+tests; these pin the *shape* of the emitted module: self-contained
+init_globals, cost functions reading the process store, yield-from call
+sites, helper functions for parallel regions and forks.
+"""
+
+import ast
+
+import pytest
+
+from repro.samples import (
+    build_kernel6_loopnest_model,
+    build_kernel6_model,
+    build_sample_model,
+)
+from repro.transform.python.emitter import transform_to_python
+from repro.uml.builder import ModelBuilder
+
+
+@pytest.fixture(scope="module")
+def sample_source():
+    return transform_to_python(build_sample_model()).source
+
+
+class TestModuleShape:
+    def test_valid_python(self, sample_source):
+        ast.parse(sample_source)
+
+    def test_metadata_constants(self, sample_source):
+        assert "MODEL_NAME = 'SampleModel'" in sample_source
+        assert "ENTRY_POINT = 'pmp_main'" in sample_source
+
+    def test_entry_is_generator(self, sample_source):
+        module = ast.parse(sample_source)
+        entry = next(n for n in module.body
+                     if isinstance(n, ast.FunctionDef)
+                     and n.name == "pmp_main")
+        has_yield = any(isinstance(n, (ast.Yield, ast.YieldFrom))
+                        for n in ast.walk(entry))
+        assert has_yield
+
+    def test_init_globals_defaults_and_initializers(self):
+        builder = ModelBuilder("G")
+        builder.global_var("A", "int")            # default 0
+        builder.global_var("B", "double", "2.5")  # initializer
+        builder.global_var("C", "int", "B + 1")   # depends on B
+        builder.cost_function("F", "0.1")
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.action("X", cost="F()"))
+        source = transform_to_python(builder.build()).source
+        assert "v.A = 0" in source
+        assert "v.B = 2.5" in source
+        assert "v.C = v.B + 1" in source
+
+    def test_init_globals_executable(self):
+        artifacts = transform_to_python(build_kernel6_model(n=10, m=2))
+        module = artifacts.compile()
+
+        class Store:
+            pass
+
+        from repro.lang.evaluator import c_div, c_mod
+        from repro.lang.builtins import BUILTINS
+        store = Store()
+        module.init_globals(store, c_div, c_mod, BUILTINS)
+        assert store.N == 10
+        assert store.M == 2
+
+    def test_compile_produces_fresh_modules(self):
+        artifacts = transform_to_python(build_sample_model())
+        first = artifacts.compile()
+        second = artifacts.compile()
+        assert first is not second
+        assert first.pmp_main is not second.pmp_main
+
+
+class TestCostFunctions:
+    def test_globals_read_through_store(self, sample_source):
+        assert "def FA1():" in sample_source
+        assert "return 0.5 * v.P" in sample_source
+
+    def test_parameters_stay_bare(self, sample_source):
+        assert "def FSA2(pid):" in sample_source
+        assert "return 0.001 * pid + 0.05" in sample_source
+
+    def test_param_shadowing_global_stays_bare(self):
+        builder = ModelBuilder("Shadow")
+        builder.global_var("x", "double", "9.0")
+        builder.cost_function("F", "x * 2.0", params="double x")
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.action("A", cost="F(1.5)"))
+        source = transform_to_python(builder.build()).source
+        assert "def F(x):" in source
+        assert "return x * 2.0" in source  # param, not v.x
+
+
+class TestCallSites:
+    def test_execute_uses_yield_from(self, sample_source):
+        assert "yield from a1.execute(uid, pid, tid, FA1())" \
+            in sample_source
+        assert "yield from sA2.execute(uid, pid, tid, FSA2(pid))" \
+            in sample_source
+
+    def test_guard_reads_store(self, sample_source):
+        assert "if v.GV == 1:" in sample_source
+
+    def test_code_fragment_writes_store(self, sample_source):
+        assert "v.GV = 1" in sample_source
+        assert "v.P = 4" in sample_source
+
+    def test_loop_nodes_become_ranges(self):
+        source = transform_to_python(build_kernel6_loopnest_model()).source
+        assert "for _i1 in range(int(v.M)):" in source
+        assert "for _i2 in range(int(v.N - 1)):" in source
+        assert "for _i3 in range(int(c_div(v.N - 1, 2))):" in source
+
+    def test_parallel_region_helper(self):
+        builder = ModelBuilder("Par")
+        builder.cost_function("F", "1.0")
+        body = builder.diagram("Body")
+        body.sequence(body.action("W", cost="F()"))
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.parallel("PR", diagram="Body",
+                                    num_threads="4"))
+        source = transform_to_python(builder.build()).source
+        assert "def _par1_body(ctx, uid, pid, tid):" in source
+        assert "yield from ctx.parallel_region('PR'," in source
+
+    def test_fork_helpers(self):
+        builder = ModelBuilder("Forked")
+        builder.cost_function("F", "1.0")
+        main = builder.diagram("Main", main=True)
+        fork, join = main.fork(), main.join()
+        a, b = main.action("A", cost="F()"), main.action("B", cost="F()")
+        initial, final = main.initial(), main.final()
+        main.flow(initial, fork)
+        main.flow(fork, a)
+        main.flow(fork, b)
+        main.flow(a, join)
+        main.flow(b, join)
+        main.flow(join, final)
+        source = transform_to_python(builder.build()).source
+        assert "def _fork1_arm(ctx, uid, pid, tid):" in source
+        assert "def _fork2_arm(ctx, uid, pid, tid):" in source
+        assert "yield from ctx.fork_join('fork'," in source
+
+    def test_communication_call_shapes(self):
+        builder = ModelBuilder("Comm")
+        main = builder.diagram("Main", main=True)
+        send = main.send("S", dest="(pid + 1) % size", size="1024", tag=7)
+        recv = main.recv("R", source="-1", size="1024", tag=-1)
+        reduce_ = main.reduce("Rd", root="0", size="8", op="max")
+        main.sequence(send, recv, reduce_)
+        source = transform_to_python(builder.build()).source
+        assert ("yield from s.execute(uid, pid, tid, "
+                "c_mod(pid + 1, size), 1024, 7)") in source
+        assert "yield from r.execute(uid, pid, tid, -1, 1024, -1)" \
+            in source
+        assert "yield from rd.execute(uid, pid, tid, 0, 8, 'max')" \
+            in source
+
+    def test_critical_lock_argument(self):
+        builder = ModelBuilder("Crit")
+        builder.cost_function("F", "0.5")
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.critical("CS", lock="mylock", cost="F()"))
+        source = transform_to_python(builder.build()).source
+        assert "yield from cS.execute(uid, pid, tid, F(), 'mylock')" \
+            in source
+
+
+class TestDeterminism:
+    def test_identical_output(self):
+        first = transform_to_python(build_sample_model()).source
+        second = transform_to_python(build_sample_model()).source
+        assert first == second

@@ -1,0 +1,157 @@
+"""FIG6 reproduction: the Traverser/Navigator/ContentHandler protocol.
+
+The paper's communication diagram (Fig. 6) prescribes, per element:
+1: navigationCommand()  2: ce := getCurrentElement()  3: visitElement(ce).
+"""
+
+import pytest
+
+from repro.samples import build_sample_model
+from repro.traverse import (
+    CollectingHandler,
+    CountingHandler,
+    DepthFirstNavigator,
+    MultiHandler,
+    RecordingHandler,
+    TraversalEvent,
+    Traverser,
+)
+from repro.uml.perf_profile import is_performance_element
+
+
+@pytest.fixture
+def model():
+    return build_sample_model()
+
+
+class TestFig6Protocol:
+    def test_per_element_call_sequence(self, model):
+        traverser = Traverser(RecordingHandler(), record_protocol=True)
+        traverser.traverse(model)
+        log = traverser.protocol_log
+        # The log is chunks of (navigationCommand, getCurrentElement, action)
+        # followed by a final unanswered navigationCommand.
+        assert log[0][0] == "navigationCommand"
+        body, final = log[:-1], log[-1]
+        assert final == ("navigationCommand", None)
+        assert len(body) % 3 == 0
+        for i in range(0, len(body), 3):
+            command, fetch, action = body[i:i + 3]
+            assert command[0] == "navigationCommand"
+            assert fetch[0] == "getCurrentElement"
+            assert action[0] in ("visitElement", "enterScope", "leaveScope")
+            # The element the handler sees is the one the navigator served.
+            assert action[1] == fetch[1]
+
+    def test_every_element_visited_once(self, model):
+        handler = RecordingHandler()
+        Traverser(handler).traverse(model)
+        visited = [eid for kind, eid in handler.events if kind == "visit"]
+        assert len(visited) == len(set(visited))
+        expected = set()
+        for diagram in model.diagrams:
+            expected |= {n.id for n in diagram.nodes}
+            expected |= {e.id for e in diagram.edges}
+        assert set(visited) == expected
+
+    def test_scope_nesting_balanced(self, model):
+        handler = RecordingHandler()
+        Traverser(handler).traverse(model)
+        depth = 0
+        for kind, _ in handler.events:
+            if kind == "enter":
+                depth += 1
+            elif kind == "leave":
+                depth -= 1
+            assert depth >= 0
+        assert depth == 0
+
+    def test_begin_end_bracket_everything(self, model):
+        handler = RecordingHandler()
+        Traverser(handler).traverse(model)
+        assert handler.events[0] == ("begin", model.id)
+        assert handler.events[-1] == ("end", model.id)
+
+    def test_diagram_scopes_in_insertion_order(self, model):
+        handler = RecordingHandler()
+        Traverser(handler).traverse(model)
+        enters = [eid for kind, eid in handler.events if kind == "enter"]
+        # model, then each diagram in insertion order (SA first: it was
+        # built before Main in the sample factory).
+        diagram_ids = [d.id for d in model.diagrams]
+        assert enters == [model.id] + diagram_ids
+
+
+class TestNavigator:
+    def test_exhaustion(self, model):
+        navigator = DepthFirstNavigator(model)
+        count = 0
+        while navigator.navigation_command():
+            count += 1
+        assert count == len(navigator)
+        assert not navigator.navigation_command()  # stays exhausted
+
+    def test_current_element_before_start(self, model):
+        navigator = DepthFirstNavigator(model)
+        assert navigator.get_current_element() is None
+        with pytest.raises(RuntimeError):
+            navigator.current_event()
+
+    def test_single_diagram_traversal(self, model):
+        navigator = DepthFirstNavigator(model.main_diagram)
+        events = []
+        while navigator.navigation_command():
+            events.append(navigator.current_event())
+        assert events[0] is TraversalEvent.ENTER
+        assert events[-1] is TraversalEvent.LEAVE
+        assert events.count(TraversalEvent.ENTER) == 1
+
+    def test_single_element_traversal(self, model):
+        action = model.main_diagram.node_by_name("A1")
+        navigator = DepthFirstNavigator(action)
+        assert navigator.navigation_command()
+        assert navigator.get_current_element() is action
+        assert navigator.current_event() is TraversalEvent.VISIT
+        assert not navigator.navigation_command()
+
+    def test_determinism(self, model):
+        def ids(nav):
+            out = []
+            while nav.navigation_command():
+                out.append(nav.get_current_element().id)
+            return out
+        assert ids(DepthFirstNavigator(model)) == \
+            ids(DepthFirstNavigator(model))
+
+
+class TestHandlers:
+    def test_counting_handler(self, model):
+        handler = CountingHandler()
+        Traverser(handler).traverse(model)
+        assert handler.counts["ActionNode"] == 5  # A1 A2 A4 SA1 SA2
+        assert handler.counts["DecisionNode"] == 1
+        assert handler.counts["ControlFlow"] == 11
+        assert handler.total() == 23  # 12 nodes + 11 edges
+
+    def test_collecting_handler_fig5_lines_1_to_8(self, model):
+        # "Identify and select performance modeling elements."
+        handler = CollectingHandler(is_performance_element)
+        Traverser(handler).traverse(model)
+        names = [element.name for element in handler.collected]
+        # SA diagram first (SA1, SA2), then Main (A1, SA, A2, A4).
+        assert names == ["SA1", "SA2", "A1", "SA", "A2", "A4"]
+
+    def test_multi_handler_feeds_all(self, model):
+        counting = CountingHandler()
+        recording = RecordingHandler()
+        Traverser(MultiHandler(counting, recording)).traverse(model)
+        visits = sum(1 for kind, _ in recording.events if kind == "visit")
+        assert visits == counting.total()
+
+    def test_any_handler_combination_with_any_navigator(self, model):
+        # The paper stresses component independence: a handler must work
+        # regardless of which navigator produced the positions.
+        handler = CountingHandler()
+        Traverser(handler).traverse(
+            model.main_diagram, DepthFirstNavigator(model.main_diagram))
+        assert handler.counts["ActionNode"] == 3  # A1, A2, A4 only

@@ -1,0 +1,199 @@
+"""Tests for activity nodes, edges, and diagram structure."""
+
+import pytest
+
+from repro.errors import DiagramError
+from repro.uml.activities import (
+    ActionNode,
+    ActivityFinalNode,
+    ActivityInvocationNode,
+    ControlFlow,
+    DecisionNode,
+    ForkNode,
+    InitialNode,
+    JoinNode,
+    LoopNode,
+    MergeNode,
+    ParallelRegionNode,
+)
+from repro.uml.diagram import ActivityDiagram
+
+
+def make_diagram():
+    return ActivityDiagram(100, "Main")
+
+
+class TestNodes:
+    def test_action_node_carries_cost_and_code(self):
+        action = ActionNode(1, "A1", cost="FA1()", code="GV = 1; P = 4;")
+        assert action.cost == "FA1()"
+        assert action.code == "GV = 1; P = 4;"
+
+    def test_action_metaclass_chain(self):
+        chain = ActionNode.metaclass_chain()
+        assert chain[0] == "Action"
+        assert "ActivityNode" in chain
+        assert chain[-1] == "Element"
+
+    def test_activity_invocation_requires_behavior(self):
+        node = ActivityInvocationNode(1, "SA", behavior="SA")
+        assert node.behavior == "SA"
+        with pytest.raises(DiagramError):
+            ActivityInvocationNode(2, "bad", behavior="")
+
+    def test_loop_node(self):
+        loop = LoopNode(1, "L", behavior="Body", iterations="M")
+        assert loop.iterations == "M"
+        with pytest.raises(DiagramError):
+            LoopNode(2, "bad", behavior="", iterations="1")
+
+    def test_parallel_region_node(self):
+        region = ParallelRegionNode(1, "PR", behavior="Body", num_threads="4")
+        assert region.num_threads == "4"
+
+    def test_default_names(self):
+        assert InitialNode(1).name == "initial"
+        assert ActivityFinalNode(2).name == "final"
+        assert DecisionNode(3).name == "decision"
+        assert MergeNode(4).name == "merge"
+        assert ForkNode(5).name == "fork"
+        assert JoinNode(6).name == "join"
+
+
+class TestControlFlow:
+    def test_edge_registers_with_endpoints(self):
+        a = ActionNode(1, "a")
+        b = ActionNode(2, "b")
+        edge = ControlFlow(3, a, b)
+        assert a.outgoing == [edge]
+        assert b.incoming == [edge]
+        assert a.successors() == [b]
+        assert b.predecessors() == [a]
+
+    def test_guard_stored(self):
+        a, b = ActionNode(1, "a"), ActionNode(2, "b")
+        edge = ControlFlow(3, a, b, guard="GV == 1")
+        assert edge.guard == "GV == 1"
+
+    def test_self_loop_rejected(self):
+        a = ActionNode(1, "a")
+        with pytest.raises(DiagramError):
+            ControlFlow(2, a, a)
+
+    def test_decision_guard_helpers(self):
+        decision = DecisionNode(1)
+        t1, t2, t3 = (ActionNode(i, f"t{i}") for i in (2, 3, 4))
+        e1 = ControlFlow(5, decision, t1, guard="GV == 1")
+        e2 = ControlFlow(6, decision, t2, guard="GV == 2")
+        e3 = ControlFlow(7, decision, t3, guard="else")
+        assert decision.guarded_edges() == [e1, e2]
+        assert decision.else_edge() is e3
+
+    def test_else_edge_absent(self):
+        decision = DecisionNode(1)
+        target = ActionNode(2, "t")
+        ControlFlow(3, decision, target, guard="x > 0")
+        assert decision.else_edge() is None
+
+
+class TestDiagram:
+    def test_add_and_lookup_nodes(self):
+        diagram = make_diagram()
+        action = diagram.add_node(ActionNode(1, "A1"))
+        assert diagram.node_by_id(1) is action
+        assert diagram.node_by_name("A1") is action
+        assert len(diagram) == 1
+
+    def test_node_ownership(self):
+        diagram = make_diagram()
+        action = diagram.add_node(ActionNode(1, "A1"))
+        assert action.owner is diagram
+        assert action.diagram is diagram
+
+    def test_duplicate_node_id_rejected(self):
+        diagram = make_diagram()
+        diagram.add_node(ActionNode(1, "A1"))
+        with pytest.raises(DiagramError):
+            diagram.add_node(ActionNode(1, "A2"))
+
+    def test_unknown_node_lookup_raises(self):
+        diagram = make_diagram()
+        with pytest.raises(DiagramError):
+            diagram.node_by_id(9)
+        with pytest.raises(DiagramError):
+            diagram.node_by_name("ghost")
+
+    def test_ambiguous_name_lookup_raises(self):
+        diagram = make_diagram()
+        diagram.add_node(ActionNode(1, "X"))
+        diagram.add_node(ActionNode(2, "X"))
+        with pytest.raises(DiagramError):
+            diagram.node_by_name("X")
+
+    def test_edge_endpoints_must_be_members(self):
+        diagram = make_diagram()
+        a = diagram.add_node(ActionNode(1, "a"))
+        stray = ActionNode(2, "stray")
+        with pytest.raises(DiagramError):
+            diagram.add_edge(ControlFlow(3, a, stray))
+
+    def test_initial_and_final_queries(self):
+        diagram = make_diagram()
+        initial = diagram.add_node(InitialNode(1))
+        final = diagram.add_node(ActivityFinalNode(2))
+        assert diagram.initial_nodes() == [initial]
+        assert diagram.final_nodes() == [final]
+        assert diagram.initial_node() is initial
+
+    def test_initial_node_uniqueness_enforced(self):
+        diagram = make_diagram()
+        with pytest.raises(DiagramError):
+            diagram.initial_node()  # zero initials
+        diagram.add_node(InitialNode(1))
+        diagram.add_node(InitialNode(2, "second"))
+        with pytest.raises(DiagramError):
+            diagram.initial_node()  # two initials
+
+    def test_networkx_export(self):
+        diagram = make_diagram()
+        a = diagram.add_node(ActionNode(1, "a"))
+        b = diagram.add_node(ActionNode(2, "b"))
+        edge = diagram.add_edge(ControlFlow(3, a, b))
+        graph = diagram.to_networkx()
+        assert set(graph.nodes) == {1, 2}
+        assert graph.has_edge(1, 2)
+        assert graph.nodes[1]["element"] is a
+        assert graph[1][2][3]["element"] is edge
+
+    def test_multi_edges_between_same_nodes(self):
+        # A decision with two guarded branches to the same merge.
+        diagram = make_diagram()
+        decision = diagram.add_node(DecisionNode(1))
+        merge = diagram.add_node(MergeNode(2))
+        diagram.add_edge(ControlFlow(3, decision, merge, guard="x == 1"))
+        diagram.add_edge(ControlFlow(4, decision, merge, guard="else"))
+        graph = diagram.to_networkx()
+        assert graph.number_of_edges(1, 2) == 2
+
+    def test_reachability(self):
+        diagram = make_diagram()
+        initial = diagram.add_node(InitialNode(1))
+        a = diagram.add_node(ActionNode(2, "a"))
+        orphan = diagram.add_node(ActionNode(3, "orphan"))
+        diagram.add_edge(ControlFlow(4, initial, a))
+        reachable = diagram.reachable_from_initial()
+        assert reachable == {1, 2}
+        assert orphan.id not in reachable
+
+    def test_reachability_without_initial_is_empty(self):
+        diagram = make_diagram()
+        diagram.add_node(ActionNode(1, "a"))
+        assert diagram.reachable_from_initial() == set()
+
+    def test_iter_tree_covers_nodes_and_edges(self):
+        diagram = make_diagram()
+        a = diagram.add_node(ActionNode(1, "a"))
+        b = diagram.add_node(ActionNode(2, "b"))
+        edge = diagram.add_edge(ControlFlow(3, a, b))
+        tree = list(diagram.iter_tree())
+        assert diagram in tree and a in tree and b in tree and edge in tree

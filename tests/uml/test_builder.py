@@ -1,0 +1,186 @@
+"""Tests for the fluent model builder (headless Teuta)."""
+
+import pytest
+
+from repro.errors import BuilderError, StereotypeError
+from repro.lang.types import Type
+from repro.uml.builder import ModelBuilder
+from repro.uml.perf_profile import is_performance_element
+
+
+@pytest.fixture
+def builder():
+    b = ModelBuilder("Test")
+    b.global_var("GV", "int")
+    b.global_var("P", "int", "4")
+    b.cost_function("F0", "0.5")
+    return b
+
+
+class TestVariablesAndFunctions:
+    def test_global_var(self, builder):
+        variable = builder.model.variable("P")
+        assert variable.type is Type.INT
+        assert variable.init == "4"
+        assert variable.scope == "global"
+
+    def test_local_var(self, builder):
+        builder.local_var("t", "double", "0.0")
+        assert builder.model.variable("t").scope == "local"
+
+    def test_cost_function(self, builder):
+        assert builder.model.cost_function("F0").arity == 0
+
+    def test_unknown_type_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder.global_var("x", "float")
+
+
+class TestNodes:
+    def test_action_gets_stereotype_and_tags(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        action = diagram.action("A1", cost="F0()", code="GV = 1;", time=2.5)
+        assert action.has_stereotype("action+")
+        assert action.tag_value("action+", "id") == action.id
+        assert action.tag_value("action+", "time") == 2.5
+        assert action.tag_value("action+", "costfunction") == "F0()"
+        assert is_performance_element(action)
+
+    def test_plain_control_nodes_not_performance_elements(self, builder):
+        diagram = builder.diagram("Main")
+        assert not is_performance_element(diagram.initial())
+        assert not is_performance_element(diagram.decision())
+        assert not is_performance_element(diagram.merge())
+        assert not is_performance_element(diagram.final())
+
+    def test_activity_node(self, builder):
+        builder.diagram("Sub")
+        diagram = builder.diagram("Main", main=True)
+        activity = diagram.activity("SA", diagram="Sub")
+        assert activity.behavior == "Sub"
+        assert activity.tag_value("activity+", "diagram") == "Sub"
+
+    def test_loop_node(self, builder):
+        builder.diagram("Body")
+        diagram = builder.diagram("Main", main=True)
+        loop = diagram.loop("L", diagram="Body", iterations="P * 2")
+        assert loop.iterations == "P * 2"
+        assert loop.tag_value("loop+", "iterations") == "P * 2"
+
+    def test_parallel_node(self, builder):
+        builder.diagram("Body")
+        diagram = builder.diagram("Main", main=True)
+        region = diagram.parallel("PR", diagram="Body", num_threads="4")
+        assert region.tag_value("parallel+", "numthreads") == "4"
+
+    def test_critical_node(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        critical = diagram.critical("CS", lock="mylock", time=0.1)
+        assert critical.tag_value("critical+", "lock") == "mylock"
+
+    def test_communication_nodes(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        send = diagram.send("S", dest="(pid + 1) % size", size="1024", tag=7)
+        recv = diagram.recv("R", source="pid - 1", size="1024", tag=7)
+        barrier = diagram.barrier()
+        bcast = diagram.bcast("B", root="0", size="8")
+        reduce_ = diagram.reduce("Rd", op="max")
+        allreduce = diagram.allreduce("Ar", size="8")
+        scatter = diagram.scatter("Sc")
+        gather = diagram.gather("G")
+        assert send.tag_value("send+", "dest") == "(pid + 1) % size"
+        assert send.tag_value("send+", "tag") == 7
+        assert recv.tag_value("recv+", "source") == "pid - 1"
+        assert barrier.has_stereotype("barrier+")
+        assert bcast.tag_value("bcast+", "size") == "8"
+        assert reduce_.tag_value("reduce+", "op") == "max"
+        assert allreduce.has_stereotype("allreduce+")
+        assert scatter.has_stereotype("scatter+")
+        assert gather.has_stereotype("gather+")
+        for node in (send, recv, barrier, bcast, reduce_, allreduce):
+            assert is_performance_element(node)
+
+
+class TestWiring:
+    def test_flow_and_chain(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        a = diagram.action("A", cost="F0()")
+        b = diagram.action("B", cost="F0()")
+        c = diagram.action("C", cost="F0()")
+        diagram.chain(a, b, c)
+        assert a.successors() == [b]
+        assert b.successors() == [c]
+
+    def test_chain_needs_two_nodes(self, builder):
+        diagram = builder.diagram("Main")
+        a = diagram.action("A")
+        with pytest.raises(BuilderError):
+            diagram.chain(a)
+
+    def test_sequence_creates_initial_and_final(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        a = diagram.action("A", cost="F0()")
+        diagram.sequence(a)
+        d = diagram.diagram
+        assert len(d.initial_nodes()) == 1
+        assert len(d.final_nodes()) == 1
+        assert d.initial_node().successors() == [a]
+
+    def test_sequence_reuses_existing_initial(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        initial = diagram.initial()
+        a = diagram.action("A")
+        diagram.sequence(a)
+        assert len(diagram.diagram.initial_nodes()) == 1
+        assert initial.successors() == [a]
+
+    def test_branch_wiring(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        decision = diagram.decision()
+        merge = diagram.merge()
+        a = diagram.action("A")
+        b = diagram.action("B")
+        diagram.branch(decision, merge,
+                       ("GV == 1", [a]),
+                       ("else", [b]))
+        assert set(n.name for n in decision.successors()) == {"A", "B"}
+        assert a.successors() == [merge]
+        guards = sorted(e.guard for e in decision.outgoing)
+        assert guards == ["GV == 1", "else"]
+
+    def test_branch_empty_arm_direct_to_merge(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        decision = diagram.decision()
+        merge = diagram.merge()
+        a = diagram.action("A")
+        diagram.branch(decision, merge, ("GV == 1", [a]), ("else", []))
+        assert merge in decision.successors()
+
+
+class TestBuild:
+    def test_build_returns_model(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        diagram.sequence(diagram.action("A", cost="F0()"))
+        model = builder.build()
+        assert model.name == "Test"
+        assert model.main_diagram_name == "Main"
+
+    def test_dangling_behavior_reference_rejected(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        activity = diagram.activity("SA", diagram="Ghost")
+        diagram.sequence(activity)
+        with pytest.raises(BuilderError):
+            builder.build()
+
+    def test_ids_unique_across_model(self, builder):
+        diagram = builder.diagram("Main", main=True)
+        nodes = [diagram.action(f"A{i}") for i in range(10)]
+        diagram.sequence(*nodes)
+        model = builder.build()
+        ids = [e.id for e in model.iter_tree()]
+        assert len(ids) == len(set(ids))
+
+    def test_reopening_diagram_returns_same_builder(self, builder):
+        first = builder.diagram("Main", main=True)
+        second = builder.diagram("Main")
+        assert first is second

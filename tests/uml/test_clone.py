@@ -1,0 +1,70 @@
+"""Tests for deep model cloning."""
+
+import pytest
+
+from repro.samples import build_sample_model
+from repro.uml.clone import clone_model
+from repro.uml.random_models import RandomModelConfig, random_model
+
+
+class TestClone:
+    def test_clone_is_structurally_equal(self):
+        original = build_sample_model()
+        clone = clone_model(original)
+        assert clone.statistics() == original.statistics()
+        assert clone.name == original.name
+        assert [n.name for n in clone.all_nodes()] == \
+            [n.name for n in original.all_nodes()]
+
+    def test_clone_is_independent(self):
+        original = build_sample_model()
+        clone = clone_model(original)
+        clone.main_diagram.node_by_name("A1").code = "GV = 2; P = 4;"
+        assert original.main_diagram.node_by_name("A1").code == \
+            "GV = 1; P = 4;"
+
+    def test_clone_transforms_identically(self):
+        from repro.transform.cpp.emitter import transform_to_cpp
+        original = build_sample_model()
+        clone = clone_model(original)
+        assert transform_to_cpp(clone).source == \
+            transform_to_cpp(original).source
+
+    def test_clone_estimates_identically(self):
+        from repro.estimator import estimate
+        from repro.machine.params import SystemParameters
+        original = build_sample_model()
+        clone = clone_model(original)
+        params = SystemParameters(processes=2, nodes=2)
+        assert estimate(clone, params).total_time == \
+            estimate(original, params).total_time
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_models_clone(self, seed):
+        model = random_model(seed, RandomModelConfig(
+            target_actions=15, p_decision=0.25, p_loop=0.15,
+            p_activity=0.15))
+        clone = clone_model(model)
+        assert clone.statistics() == model.statistics()
+
+
+class TestTransformStability:
+    """model → XML → model → C++ equals model → C++ (pipeline property)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cpp_stable_across_persistence(self, seed):
+        from repro.transform.cpp.emitter import transform_to_cpp
+        model = random_model(seed, RandomModelConfig(
+            target_actions=20, p_decision=0.25, p_loop=0.15,
+            p_activity=0.2, p_fork=0.1))
+        direct = transform_to_cpp(model).source
+        roundtripped = transform_to_cpp(clone_model(model)).source
+        assert direct == roundtripped
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_python_stable_across_persistence(self, seed):
+        from repro.transform.python.emitter import transform_to_python
+        model = random_model(seed, RandomModelConfig(target_actions=15))
+        direct = transform_to_python(model).source
+        roundtripped = transform_to_python(clone_model(model)).source
+        assert direct == roundtripped

@@ -1,0 +1,160 @@
+"""Tests for the model root: diagrams, variables, cost functions."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lang.ast import Return
+from repro.lang.types import Type
+from repro.uml.diagram import ActivityDiagram
+from repro.uml.model import CostFunction, Model, VariableDeclaration
+
+
+class TestVariableDeclaration:
+    def test_global_by_default(self):
+        declaration = VariableDeclaration("GV", Type.INT)
+        assert declaration.scope == "global"
+        assert declaration.init is None
+
+    def test_initializer_parsed(self):
+        declaration = VariableDeclaration("P", Type.INT, "2 + 2")
+        expr = declaration.init_expr()
+        assert expr is not None
+
+    def test_malformed_initializer_rejected_eagerly(self):
+        with pytest.raises(Exception):
+            VariableDeclaration("P", Type.INT, "2 +")
+
+    def test_bad_scope_rejected(self):
+        with pytest.raises(ModelError):
+            VariableDeclaration("x", Type.INT, scope="file")
+
+    def test_void_rejected(self):
+        with pytest.raises(ModelError):
+            VariableDeclaration("x", Type.VOID)
+
+
+class TestCostFunction:
+    def test_expression_body(self):
+        function = CostFunction("FA1", "0.5 * P")
+        assert function.arity == 0
+        assert isinstance(function.definition.body[0], Return)
+
+    def test_parameterized(self):
+        function = CostFunction("FSA2", "0.001 * pid + 0.05",
+                                params="int pid")
+        assert function.arity == 1
+        assert function.definition.params[0].name == "pid"
+        assert function.definition.params[0].type is Type.INT
+
+    def test_multi_param(self):
+        function = CostFunction("F", "n * alpha",
+                                params="int n, double alpha")
+        assert function.arity == 2
+
+    def test_statement_body(self):
+        function = CostFunction(
+            "F", "double t = 0.0; t += 1.0; return t;")
+        assert len(function.definition.body) == 3
+
+    def test_malformed_params_rejected(self):
+        with pytest.raises(ModelError):
+            CostFunction("F", "1.0", params="int")
+        with pytest.raises(ModelError):
+            CostFunction("F", "1.0", params="float x")
+        with pytest.raises(ModelError):
+            CostFunction("F", "1.0", params="void x")
+
+
+class TestModel:
+    def test_first_diagram_becomes_main(self):
+        model = Model(1, "M")
+        first = ActivityDiagram(2, "First")
+        model.add_diagram(first)
+        assert model.main_diagram is first
+
+    def test_main_flag_overrides(self):
+        model = Model(1, "M")
+        model.add_diagram(ActivityDiagram(2, "First"))
+        second = ActivityDiagram(3, "Second")
+        model.add_diagram(second, main=True)
+        assert model.main_diagram is second
+
+    def test_duplicate_diagram_name_rejected(self):
+        model = Model(1, "M")
+        model.add_diagram(ActivityDiagram(2, "D"))
+        with pytest.raises(ModelError):
+            model.add_diagram(ActivityDiagram(3, "D"))
+
+    def test_diagram_lookup(self):
+        model = Model(1, "M")
+        diagram = model.add_diagram(ActivityDiagram(2, "D"))
+        assert model.diagram("D") is diagram
+        assert model.has_diagram("D")
+        assert not model.has_diagram("X")
+        with pytest.raises(ModelError):
+            model.diagram("X")
+
+    def test_no_diagrams_main_raises(self):
+        with pytest.raises(ModelError):
+            _ = Model(1, "M").main_diagram
+
+    def test_variable_scoping_partition(self):
+        model = Model(1, "M")
+        model.add_variable(VariableDeclaration("GV", Type.INT))
+        model.add_variable(VariableDeclaration("tmp", Type.DOUBLE,
+                                               scope="local"))
+        assert [v.name for v in model.global_variables()] == ["GV"]
+        assert [v.name for v in model.local_variables()] == ["tmp"]
+
+    def test_duplicate_variable_rejected(self):
+        model = Model(1, "M")
+        model.add_variable(VariableDeclaration("x", Type.INT))
+        with pytest.raises(ModelError):
+            model.add_variable(VariableDeclaration("x", Type.DOUBLE))
+
+    def test_variable_lookup(self):
+        model = Model(1, "M")
+        declaration = model.add_variable(VariableDeclaration("x", Type.INT))
+        assert model.variable("x") is declaration
+        with pytest.raises(ModelError):
+            model.variable("y")
+
+    def test_cost_function_registry(self):
+        model = Model(1, "M")
+        function = model.add_cost_function(CostFunction("FA1", "0.5"))
+        assert model.cost_function("FA1") is function
+        with pytest.raises(ModelError):
+            model.add_cost_function(CostFunction("FA1", "1.0"))
+        with pytest.raises(ModelError):
+            model.cost_function("missing")
+
+    def test_function_defs_parsed(self):
+        model = Model(1, "M")
+        model.add_cost_function(CostFunction("FA1", "0.5"))
+        model.add_cost_function(CostFunction("FSA2", "0.001 * pid",
+                                             params="int pid"))
+        defs = model.function_defs()
+        assert set(defs) == {"FA1", "FSA2"}
+        assert defs["FSA2"].arity == 1
+
+    def test_element_by_id_searches_tree(self):
+        from repro.uml.activities import ActionNode
+        model = Model(1, "M")
+        diagram = model.add_diagram(ActivityDiagram(2, "D"))
+        action = diagram.add_node(ActionNode(3, "A"))
+        assert model.element_by_id(3) is action
+        with pytest.raises(ModelError):
+            model.element_by_id(99)
+
+    def test_max_element_id(self):
+        from repro.uml.activities import ActionNode
+        model = Model(1, "M")
+        diagram = model.add_diagram(ActivityDiagram(2, "D"))
+        diagram.add_node(ActionNode(17, "A"))
+        assert model.max_element_id() == 17
+
+    def test_statistics(self):
+        model = Model(1, "M")
+        stats = model.statistics()
+        assert stats == {"diagrams": 0, "nodes": 0, "edges": 0,
+                         "variables": 0, "cost_functions": 0}

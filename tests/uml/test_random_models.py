@@ -1,0 +1,113 @@
+"""Tests for the random structured-model generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uml.activities import ActionNode, DecisionNode
+from repro.uml.perf_profile import is_performance_element
+from repro.uml.random_models import RandomModelConfig, random_model
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self):
+        a = random_model(7)
+        b = random_model(7)
+        assert a.statistics() == b.statistics()
+        assert [n.name for n in a.all_nodes()] == \
+            [n.name for n in b.all_nodes()]
+
+    def test_different_seeds_differ_somewhere(self):
+        stats = {tuple(sorted(random_model(seed).statistics().items()))
+                 for seed in range(12)}
+        assert len(stats) > 1
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_diagram_single_entry_single_exit(self, seed):
+        model = random_model(seed, RandomModelConfig(
+            target_actions=15, max_depth=3,
+            p_decision=0.3, p_loop=0.2, p_activity=0.2))
+        for diagram in model.diagrams:
+            assert len(diagram.initial_nodes()) == 1, diagram.name
+            assert len(diagram.final_nodes()) == 1, diagram.name
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_nodes_reachable(self, seed):
+        model = random_model(seed, RandomModelConfig(
+            target_actions=15, p_decision=0.3, p_loop=0.2, p_activity=0.2))
+        for diagram in model.diagrams:
+            reachable = diagram.reachable_from_initial()
+            all_ids = {n.id for n in diagram.nodes}
+            assert reachable == all_ids, diagram.name
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_decisions_have_else_edges(self, seed):
+        model = random_model(seed, RandomModelConfig(
+            target_actions=20, p_decision=0.45))
+        for node in model.all_nodes():
+            if isinstance(node, DecisionNode):
+                assert node.else_edge() is not None
+                assert len(node.outgoing) >= 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_actions_reference_defined_cost_functions(self, seed):
+        model = random_model(seed)
+        from repro.lang.typecheck import called_functions
+        from repro.lang.parser import parse_expression
+        for node in model.all_nodes():
+            if isinstance(node, ActionNode) and node.cost:
+                for called in called_functions(parse_expression(node.cost)):
+                    assert called in model.cost_functions
+
+    def test_behavior_references_resolve(self):
+        model = random_model(3, RandomModelConfig(
+            target_actions=25, p_activity=0.4, p_loop=0.3))
+        for node in model.all_nodes():
+            behavior = getattr(node, "behavior", None)
+            if behavior is not None:
+                assert model.has_diagram(behavior)
+
+    def test_fork_join_generation(self):
+        model = random_model(5, RandomModelConfig(
+            target_actions=25, p_fork=0.5, p_decision=0.0,
+            p_loop=0.0, p_activity=0.0))
+        from repro.uml.activities import ForkNode, JoinNode
+        forks = [n for n in model.all_nodes() if isinstance(n, ForkNode)]
+        joins = [n for n in model.all_nodes() if isinstance(n, JoinNode)]
+        assert len(forks) == len(joins)
+
+    def test_collective_generation(self):
+        model = random_model(9, RandomModelConfig(
+            target_actions=30, p_collective=0.5, p_decision=0.0,
+            p_loop=0.0, p_activity=0.0))
+        stereotypes = {s for n in model.all_nodes()
+                       for s in n.stereotype_names}
+        assert stereotypes & {"barrier+", "bcast+", "allreduce+"}
+
+
+class TestConfig:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RandomModelConfig(target_actions=0)
+        with pytest.raises(ValueError):
+            RandomModelConfig(max_depth=0)
+
+    def test_scales_with_target(self):
+        small = random_model(1, RandomModelConfig(target_actions=5))
+        large = random_model(1, RandomModelConfig(target_actions=60,
+                                                  max_depth=4))
+        assert large.statistics()["nodes"] > small.statistics()["nodes"]
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_any_seed_builds_a_valid_model(seed):
+    model = random_model(seed)
+    assert model.statistics()["nodes"] >= 3
+    perf = [n for n in model.all_nodes() if is_performance_element(n)]
+    assert perf
+    for diagram in model.diagrams:
+        assert diagram.reachable_from_initial() == \
+            {n.id for n in diagram.nodes}

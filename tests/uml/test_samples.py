@@ -1,0 +1,131 @@
+"""Tests for the canonical paper models (Fig. 7 sample, Fig. 3 kernel 6)."""
+
+import pytest
+
+from repro.samples import (
+    SAMPLE_ACTION_NAMES,
+    build_kernel6_loopnest_model,
+    build_kernel6_model,
+    build_sample_model,
+)
+from repro.uml.activities import (
+    ActionNode,
+    ActivityInvocationNode,
+    DecisionNode,
+    LoopNode,
+    MergeNode,
+)
+from repro.uml.perf_profile import is_performance_element
+
+
+class TestSampleModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_sample_model()
+
+    def test_global_variables(self, model):
+        assert [v.name for v in model.global_variables()] == ["GV", "P"]
+
+    def test_cost_functions_present(self, model):
+        # Fig. 8 lines 31-54 define one cost function per element.
+        assert set(model.cost_functions) == {
+            "FA1", "FA2", "FA4", "FSA1", "FSA2"}
+
+    def test_fsa2_takes_pid(self, model):
+        assert model.cost_function("FSA2").arity == 1
+
+    def test_main_diagram_structure(self, model):
+        main = model.main_diagram
+        a1 = main.node_by_name("A1")
+        decision = main.node_by_name("d1")
+        assert isinstance(a1, ActionNode)
+        assert isinstance(decision, DecisionNode)
+        assert decision in a1.successors()
+
+    def test_decision_arms(self, model):
+        main = model.main_diagram
+        decision = main.node_by_name("d1")
+        by_guard = {e.guard: e.target.name for e in decision.outgoing}
+        assert by_guard == {"GV == 1": "SA", "else": "A2"}
+
+    def test_branches_meet_at_merge_then_a4(self, model):
+        main = model.main_diagram
+        merge = main.node_by_name("m1")
+        assert isinstance(merge, MergeNode)
+        assert {n.name for n in merge.predecessors()} == {"SA", "A2"}
+        assert [n.name for n in merge.successors()] == ["A4"]
+
+    def test_sa_is_activity_invocation(self, model):
+        sa = model.main_diagram.node_by_name("SA")
+        assert isinstance(sa, ActivityInvocationNode)
+        assert sa.behavior == "SA"
+        assert model.has_diagram("SA")
+
+    def test_sa_content(self, model):
+        sa = model.diagram("SA")
+        sa1 = sa.node_by_name("SA1")
+        sa2 = sa.node_by_name("SA2")
+        assert sa2 in sa1.successors()
+        assert sa2.cost == "FSA2(pid)"
+
+    def test_a1_code_fragment(self, model):
+        # Fig. 7(b): code associated with A1 assigns the globals.
+        a1 = model.main_diagram.node_by_name("A1")
+        assert a1.code == "GV = 1; P = 4;"
+
+    def test_all_five_actions_are_performance_elements(self, model):
+        names = set()
+        for node in model.all_nodes():
+            if isinstance(node, ActionNode) and is_performance_element(node):
+                names.add(node.name)
+        assert names == set(SAMPLE_ACTION_NAMES)
+
+    def test_deterministic_construction(self):
+        a = build_sample_model()
+        b = build_sample_model()
+        assert a.statistics() == b.statistics()
+        assert [n.name for n in a.main_diagram.nodes] == \
+            [n.name for n in b.main_diagram.nodes]
+
+
+class TestKernel6Models:
+    def test_collapsed_model_single_action(self):
+        model = build_kernel6_model(n=50, m=3)
+        main = model.main_diagram
+        kernel = main.node_by_name("Kernel6")
+        assert isinstance(kernel, ActionNode)
+        assert kernel.cost == "FK6()"
+        assert model.variable("N").init == "50"
+        assert model.variable("M").init == "3"
+
+    def test_fk6_closed_form(self):
+        # FK6 = C6 * M * N(N-1)/2 evaluated with the model's evaluator.
+        from repro.lang.evaluator import Environment, Evaluator
+        from repro.lang.types import Type
+        model = build_kernel6_model(n=10, m=2, c6=1.0)
+        env = Environment()
+        env.declare("N", Type.INT, 10)
+        env.declare("M", Type.INT, 2)
+        env.declare("C6", Type.DOUBLE, 1.0)
+        evaluator = Evaluator(model.function_defs())
+        from repro.lang.parser import parse_expression
+        value = evaluator.eval_expr(parse_expression("FK6()"), env)
+        assert value == 2 * (10 * 9 // 2)
+
+    def test_loopnest_model_nesting(self):
+        model = build_kernel6_loopnest_model()
+        assert model.has_diagram("Main")
+        assert model.has_diagram("MiddleLoop")
+        assert model.has_diagram("InnerLoop")
+        assert model.has_diagram("InnerBody")
+        l_loop = model.main_diagram.node_by_name("LLoop")
+        assert isinstance(l_loop, LoopNode)
+        assert l_loop.iterations == "M"
+        assert l_loop.behavior == "MiddleLoop"
+
+    def test_loopnest_iteration_expressions(self):
+        model = build_kernel6_loopnest_model()
+        i_loop = model.diagram("MiddleLoop").node_by_name("ILoop")
+        k_loop = model.diagram("InnerLoop").node_by_name("KLoop")
+        assert i_loop.iterations == "N - 1"
+        assert k_loop.iterations == "(N - 1) / 2"

@@ -1,0 +1,190 @@
+"""Tests for the stereotype machinery — reproduces the paper's Fig. 1.
+
+Fig. 1(a) defines ``<<action+>>`` on metaclass Action with tag definitions
+``id : Integer``, ``type : String``, ``time : Double``; Fig. 1(b) applies it
+as ``SampleAction  <<action+>> {id = 1, type = SAMPLE, time = 10}``.
+"""
+
+import pytest
+
+from repro.errors import StereotypeError, TagError
+from repro.lang.types import Type
+from repro.uml.activities import ActionNode, DecisionNode
+from repro.uml.profile import Profile
+from repro.uml.stereotype import (
+    Stereotype,
+    StereotypeApplication,
+    TagDefinition,
+)
+
+
+def make_action_plus():
+    """The Fig. 1(a) stereotype definition."""
+    return Stereotype("action+", "Action", [
+        TagDefinition("id", Type.INT),
+        TagDefinition("type", Type.STRING),
+        TagDefinition("time", Type.DOUBLE),
+    ])
+
+
+class TestFig1Definition:
+    def test_stereotype_name_and_metaclass(self):
+        stereotype = make_action_plus()
+        assert stereotype.name == "action+"
+        assert stereotype.metaclass == "Action"
+
+    def test_tag_definitions_present(self):
+        stereotype = make_action_plus()
+        assert set(stereotype.tags) == {"id", "type", "time"}
+        assert stereotype.tag("id").type is Type.INT
+        assert stereotype.tag("type").type is Type.STRING
+        assert stereotype.tag("time").type is Type.DOUBLE
+
+    def test_repr_uses_guillemet_convention(self):
+        assert "<<action+>>" in repr(make_action_plus())
+
+    def test_unknown_tag_lookup_raises(self):
+        with pytest.raises(TagError):
+            make_action_plus().tag("nope")
+
+    def test_duplicate_tag_definition_rejected(self):
+        with pytest.raises(StereotypeError):
+            Stereotype("s", "Action", [
+                TagDefinition("id", Type.INT),
+                TagDefinition("id", Type.INT),
+            ])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(StereotypeError):
+            Stereotype("", "Action")
+
+    def test_void_tag_type_rejected(self):
+        with pytest.raises(StereotypeError):
+            TagDefinition("bad", Type.VOID)
+
+    def test_bad_default_rejected(self):
+        with pytest.raises(StereotypeError):
+            TagDefinition("t", Type.INT, default="not an int")
+
+
+class TestFig1Usage:
+    def test_application_with_tagged_values(self):
+        # Fig. 1(b): {id = 1, type = SAMPLE, time = 10}
+        application = StereotypeApplication(make_action_plus(), {
+            "id": 1, "type": "SAMPLE", "time": 10,
+        })
+        assert application.get("id") == 1
+        assert application.get("type") == "SAMPLE"
+        assert application.get("time") == 10.0
+
+    def test_int_to_double_widening(self):
+        # Fig. 1(b) writes time = 10 though the tag type is Double.
+        application = StereotypeApplication(make_action_plus(), {"time": 10})
+        assert application.get("time") == 10.0
+        assert isinstance(application.get("time"), float)
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TagError):
+            StereotypeApplication(make_action_plus(), {"id": "one"})
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(TagError):
+            StereotypeApplication(make_action_plus(), {"speed": 1})
+
+    def test_render_matches_figure_notation(self):
+        application = StereotypeApplication(make_action_plus(), {
+            "id": 1, "type": "SAMPLE", "time": 10,
+        })
+        assert application.render() == \
+            "<<action+>> {id = 1, type = SAMPLE, time = 10.0}"
+
+    def test_render_without_values(self):
+        application = StereotypeApplication(make_action_plus())
+        assert application.render() == "<<action+>>"
+
+    def test_unset_optional_tag_returns_default_argument(self):
+        application = StereotypeApplication(make_action_plus())
+        assert application.get("time") is None
+        assert application.get("time", 0.0) == 0.0
+
+    def test_tag_definition_default_used(self):
+        stereotype = Stereotype("s", "Action",
+                                [TagDefinition("type", Type.STRING,
+                                               default="SEQ")])
+        application = StereotypeApplication(stereotype)
+        assert application.get("type") == "SEQ"
+        assert not application.is_set("type")
+
+    def test_required_tag_enforced(self):
+        stereotype = Stereotype("s", "Action",
+                                [TagDefinition("dest", Type.STRING,
+                                               required=True)])
+        with pytest.raises(TagError):
+            StereotypeApplication(stereotype)
+        application = StereotypeApplication(stereotype, {"dest": "pid + 1"})
+        assert application.get("dest") == "pid + 1"
+
+    def test_required_tag_with_default_not_enforced(self):
+        stereotype = Stereotype("s", "Action",
+                                [TagDefinition("op", Type.STRING,
+                                               required=True, default="sum")])
+        application = StereotypeApplication(stereotype)
+        assert application.get("op") == "sum"
+
+
+class TestApplicationToElements:
+    def test_applies_to_matching_metaclass(self):
+        action = ActionNode(1, "Kernel6")
+        action.apply_stereotype(
+            StereotypeApplication(make_action_plus(), {"id": 1}))
+        assert action.has_stereotype("action+")
+        assert action.tag_value("action+", "id") == 1
+
+    def test_rejected_on_wrong_metaclass(self):
+        decision = DecisionNode(1)
+        with pytest.raises(TagError):
+            decision.apply_stereotype(
+                StereotypeApplication(make_action_plus()))
+
+    def test_double_application_rejected(self):
+        action = ActionNode(1, "A")
+        action.apply_stereotype(StereotypeApplication(make_action_plus()))
+        with pytest.raises(TagError):
+            action.apply_stereotype(StereotypeApplication(make_action_plus()))
+
+    def test_stereotype_names_listed(self):
+        action = ActionNode(1, "A")
+        action.apply_stereotype(StereotypeApplication(make_action_plus()))
+        assert action.stereotype_names == ["action+"]
+
+    def test_tag_value_defaults_when_unapplied(self):
+        action = ActionNode(1, "A")
+        assert action.tag_value("action+", "id", default=-1) == -1
+
+
+class TestProfile:
+    def test_register_and_get(self):
+        profile = Profile("p", [make_action_plus()])
+        assert "action+" in profile
+        assert profile.get("action+").metaclass == "Action"
+
+    def test_duplicate_registration_rejected(self):
+        profile = Profile("p", [make_action_plus()])
+        with pytest.raises(StereotypeError):
+            profile.add(make_action_plus())
+
+    def test_unknown_stereotype_raises(self):
+        with pytest.raises(StereotypeError):
+            Profile("p").get("ghost")
+
+    def test_apply_helper(self):
+        profile = Profile("p", [make_action_plus()])
+        action = ActionNode(7, "A")
+        application = profile.apply(action, "action+", id=7, time=1.5)
+        assert application.get("time") == 1.5
+        assert action.has_stereotype("action+")
+
+    def test_iteration_and_names(self):
+        profile = Profile("p", [make_action_plus()])
+        assert profile.names() == ["action+"]
+        assert [s.name for s in profile] == ["action+"]

@@ -1,0 +1,89 @@
+"""Tests for the trace Animator."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.estimator.trace import TraceRecord
+from repro.viz.animator import Animator
+
+
+def record(kind="action", element="A", pid=0, tid=0, start=0.0, end=1.0):
+    return TraceRecord(kind, 1, element, 0, pid, tid, start, end)
+
+
+class TestFrameSampling:
+    def test_active_interval_shown(self):
+        animator = Animator([record(start=0.0, end=2.0)])
+        frame = animator.frame_at(1.0)
+        assert frame.activities[(0, 0)] == "A"
+
+    def test_idle_outside_interval(self):
+        animator = Animator([record(start=1.0, end=2.0)])
+        assert animator.frame_at(0.5).activities[(0, 0)] == "(idle)"
+        assert animator.frame_at(2.5).activities[(0, 0)] == "(idle)"
+
+    def test_end_exclusive(self):
+        animator = Animator([record(start=0.0, end=1.0),
+                             record(element="B", start=1.0, end=2.0)])
+        assert animator.frame_at(1.0).activities[(0, 0)] == "B"
+
+    def test_latest_started_wins_on_overlap(self):
+        animator = Animator([
+            record(element="outer", start=0.0, end=10.0),
+            record(element="inner", start=2.0, end=4.0),
+        ])
+        assert animator.frame_at(3.0).activities[(0, 0)] == "inner"
+        assert animator.frame_at(6.0).activities[(0, 0)] == "outer"
+
+    def test_lanes_per_process_and_thread(self):
+        animator = Animator([
+            record(pid=0, tid=0), record(pid=0, tid=1),
+            record(pid=1, tid=0),
+        ])
+        frame = animator.frame_at(0.5)
+        assert set(frame.activities) == {(0, 0), (0, 1), (1, 0)}
+
+    def test_communication_labels(self):
+        animator = Animator([
+            record(kind="send", element="S"),
+            record(kind="barrier", element="B", pid=1),
+        ])
+        frame = animator.frame_at(0.5)
+        assert frame.activities[(0, 0)] == "S >>"
+        assert frame.activities[(1, 0)] == "B |barrier|"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceError):
+            Animator([record()]).frame_at(-1.0)
+
+
+class TestPlayback:
+    def test_frame_count(self):
+        animator = Animator([record(end=10.0)])
+        assert len(animator.frames(5)) == 5
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(TraceError):
+            Animator([record()]).frames(0)
+
+    def test_empty_trace_single_frame(self):
+        animator = Animator([])
+        frames = animator.frames(5)
+        assert len(frames) == 1
+        assert frames[0].activities == {}
+
+    def test_play_renders_all_frames(self):
+        animator = Animator([record(end=4.0)])
+        text = animator.play(4)
+        assert text.count("t = ") == 4
+        assert "p0.t0: A" in text
+
+    def test_real_estimation_playback(self):
+        from repro.estimator import estimate
+        from repro.machine.params import SystemParameters
+        from repro.samples import build_sample_model
+        result = estimate(build_sample_model(),
+                          SystemParameters(processes=2, nodes=2))
+        text = Animator(result.trace).play(6)
+        assert "A1" in text
+        assert "p1.t0" in text

@@ -1,0 +1,127 @@
+"""Tests for ASCII visualization, reports, and CSV export."""
+
+import pytest
+
+from repro.estimator import estimate
+from repro.estimator.analysis import TraceAnalysis
+from repro.estimator.trace import TraceRecord
+from repro.machine.params import SystemParameters
+from repro.samples import build_sample_model
+from repro.viz.ascii import gantt, utilization_bars
+from repro.viz.csvout import series_to_csv, write_series_csv
+from repro.viz.report import element_profile, run_report, speedup_table
+
+
+@pytest.fixture(scope="module")
+def result():
+    return estimate(build_sample_model(),
+                    SystemParameters(nodes=2, processes=2))
+
+
+class TestGantt:
+    def test_empty_trace(self):
+        assert gantt([]) == "(empty trace)"
+
+    def test_lanes_per_process(self, result):
+        chart = gantt(result.trace)
+        assert "p0 |" in chart
+        assert "p1 |" in chart
+        assert "legend:" in chart
+        assert "#=action" in chart
+
+    def test_lane_content_scales(self):
+        records = [
+            TraceRecord("action", 1, "A", 0, 0, 0, 0.0, 5.0),
+            TraceRecord("action", 2, "B", 0, 0, 0, 5.0, 10.0),
+        ]
+        chart = gantt(records, width=10)
+        lane = next(line for line in chart.splitlines() if "p0" in line)
+        bar = lane.split("|")[1]
+        assert bar == "#" * 10
+
+    def test_by_thread_lanes(self):
+        records = [
+            TraceRecord("action", 1, "A", 0, 0, 0, 0.0, 1.0),
+            TraceRecord("action", 2, "B", 1, 0, 1, 0.0, 1.0),
+        ]
+        chart = gantt(records, by_thread=True)
+        assert "p0.t0" in chart
+        assert "p0.t1" in chart
+
+    def test_kind_characters(self):
+        records = [
+            TraceRecord("send", 1, "S", 0, 0, 0, 0.0, 1.0),
+            TraceRecord("recv", 2, "R", 0, 1, 0, 0.0, 1.0),
+        ]
+        chart = gantt(records, width=4)
+        assert ">" in chart
+        assert "<" in chart
+
+
+class TestUtilizationBars:
+    def test_full_and_empty(self):
+        text = utilization_bars([1.0, 0.0], width=10)
+        lines = text.splitlines()
+        assert "██████████" in lines[0]
+        assert "100.0%" in lines[0]
+        assert "··········" in lines[1]
+
+    def test_clamping(self):
+        text = utilization_bars([1.7, -0.2], width=4)
+        assert "100.0%" in text.splitlines()[0]
+        assert "0.0%" in text.splitlines()[1]
+
+    def test_no_nodes(self):
+        assert utilization_bars([]) == "(no nodes)"
+
+
+class TestReports:
+    def test_element_profile_table(self, result):
+        table = element_profile(TraceAnalysis(result.trace))
+        assert "element" in table.splitlines()[0]
+        assert "A1" in table
+        assert "action" in table
+
+    def test_run_report_sections(self, result):
+        report = run_report(result)
+        assert "predicted:" in report
+        assert "element profile:" in report
+        assert "node utilization:" in report
+        assert "timeline:" in report
+
+    def test_run_report_without_gantt(self, result):
+        report = run_report(result, with_gantt=False)
+        assert "timeline:" not in report
+
+    def test_speedup_table(self):
+        table = speedup_table([1, 2, 4], [8.0, 4.0, 2.0])
+        lines = table.splitlines()
+        assert "speedup" in lines[0]
+        assert "2.000" in table  # 2-process speedup
+        assert "4.000" in table
+        assert "100.0%" in table  # perfect efficiency
+
+    def test_speedup_table_validation(self):
+        with pytest.raises(ValueError):
+            speedup_table([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            speedup_table([], [])
+
+
+class TestCsvExport:
+    def test_series_to_csv(self):
+        text = series_to_csv({"n": [1, 2], "time": [0.5, 0.25]})
+        lines = text.strip().splitlines()
+        assert lines[0] == "n,time"
+        assert lines[1] == "1,0.5"
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv({"a": [1], "b": [1, 2]})
+
+    def test_empty(self):
+        assert series_to_csv({}) == ""
+
+    def test_write_to_file(self, tmp_path):
+        path = write_series_csv({"x": [1]}, tmp_path / "series.csv")
+        assert path.read_text().startswith("x")

@@ -1,0 +1,248 @@
+"""Tests for computation elements, parallel regions, and fork/join."""
+
+import pytest
+
+from repro.errors import EstimatorError
+from repro.machine.cluster import Cluster
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.sim.core import Simulation
+from repro.estimator.trace import TraceRecorder
+from repro.workload.context import (
+    ExecContext,
+    ProcessState,
+    RuntimeState,
+    VarStore,
+)
+from repro.workload.mpi import Communicator
+
+
+def make_ctx(processes=1, nodes=1, ppn=1, threads=1):
+    sim = Simulation()
+    params = SystemParameters(nodes=nodes, processors_per_node=ppn,
+                              processes=processes,
+                              threads_per_process=threads)
+    cluster = Cluster(sim, params, NetworkConfig())
+    runtime = RuntimeState(sim=sim, cluster=cluster,
+                           comm=Communicator(sim, cluster),
+                           trace=TraceRecorder())
+    contexts = [ExecContext(runtime, ProcessState(pid, VarStore()), tid=0)
+                for pid in range(processes)]
+    return sim, runtime, contexts
+
+
+class TestActionPlus:
+    def test_execute_holds_cpu_for_cost(self):
+        sim, runtime, (ctx,) = make_ctx()
+        action = ctx.new("ActionPlus", "A1", 4)
+
+        def body():
+            yield from action.execute(ctx.uid, ctx.pid, ctx.tid, 2.5)
+
+        sim.spawn("p", body())
+        assert sim.run() == pytest.approx(2.5)
+        assert action.executions == 1
+
+    def test_trace_record_written(self):
+        sim, runtime, (ctx,) = make_ctx()
+        action = ctx.new("ActionPlus", "A1", 4)
+
+        def body():
+            yield from action.execute(ctx.uid, ctx.pid, ctx.tid, 1.0)
+
+        sim.spawn("p", body())
+        sim.run()
+        records = runtime.trace.records
+        assert len(records) == 1
+        record = records[0]
+        assert (record.kind, record.element, record.element_id) == \
+            ("action", "A1", 4)
+        assert (record.start, record.end) == (0.0, 1.0)
+
+    def test_negative_cost_rejected(self):
+        sim, runtime, (ctx,) = make_ctx()
+        action = ctx.new("ActionPlus", "A1", 4)
+
+        def body():
+            yield from action.execute(0, 0, 0, -1.0)
+
+        sim.spawn("p", body())
+        with pytest.raises(EstimatorError):
+            sim.run()
+
+    def test_zero_cost_takes_zero_time(self):
+        sim, runtime, (ctx,) = make_ctx()
+        action = ctx.new("ActionPlus", "A1", 4)
+
+        def body():
+            yield from action.execute(0, 0, 0, 0.0)
+
+        sim.spawn("p", body())
+        assert sim.run() == 0.0
+
+    def test_unknown_class_rejected(self):
+        _, _, (ctx,) = make_ctx()
+        with pytest.raises(EstimatorError):
+            ctx.new("WarpDrive", "X", 1)
+
+
+class TestParallelRegion:
+    def test_threads_run_concurrently_with_enough_cpus(self):
+        sim, runtime, (ctx,) = make_ctx(ppn=4, threads=4)
+        action = ctx.new("ActionPlus", "W", 7)
+
+        def body(tctx, uid, pid, tid):
+            yield from action.execute(uid, pid, tid, 3.0)
+
+        def main():
+            yield from ctx.parallel_region("PR", 9, 4, body)
+
+        sim.spawn("main", main())
+        assert sim.run() == pytest.approx(3.0)  # perfect overlap
+        assert action.executions == 4
+
+    def test_threads_contend_on_few_cpus(self):
+        sim, runtime, (ctx,) = make_ctx(ppn=2, threads=4)
+        action = ctx.new("ActionPlus", "W", 7)
+
+        def body(tctx, uid, pid, tid):
+            yield from action.execute(uid, pid, tid, 3.0)
+
+        def main():
+            yield from ctx.parallel_region("PR", 9, 4, body)
+
+        sim.spawn("main", main())
+        # 4 threads x 3 s on 2 cpus = 6 s.
+        assert sim.run() == pytest.approx(6.0)
+
+    def test_zero_threads_uses_machine_default(self):
+        sim, runtime, (ctx,) = make_ctx(ppn=3, threads=3)
+        counter = {"n": 0}
+
+        def body(tctx, uid, pid, tid):
+            yield from ()
+            counter["n"] += 1
+
+        def main():
+            yield from ctx.parallel_region("PR", 9, 0, body)
+
+        sim.spawn("main", main())
+        sim.run()
+        assert counter["n"] == 3
+
+    def test_distinct_tids(self):
+        sim, runtime, (ctx,) = make_ctx(ppn=2, threads=2)
+        tids = []
+
+        def body(tctx, uid, pid, tid):
+            yield from ()
+            tids.append(tid)
+
+        def main():
+            yield from ctx.parallel_region("PR", 9, 2, body)
+
+        sim.spawn("main", main())
+        sim.run()
+        assert sorted(tids) == [0, 1]
+
+    def test_region_trace_spans_all_threads(self):
+        sim, runtime, (ctx,) = make_ctx(ppn=1, threads=2)
+        action = ctx.new("ActionPlus", "W", 7)
+
+        def body(tctx, uid, pid, tid):
+            yield from action.execute(uid, pid, tid, 1.0)
+
+        def main():
+            yield from ctx.parallel_region("PR", 9, 2, body)
+
+        sim.spawn("main", main())
+        sim.run()
+        region_records = [r for r in runtime.trace.records
+                          if r.kind == "parallel"]
+        assert len(region_records) == 1
+        assert region_records[0].duration == pytest.approx(2.0)
+
+    def test_threads_share_process_store(self):
+        sim, runtime, (ctx,) = make_ctx(ppn=2, threads=2)
+        ctx.v.counter = 0
+
+        def body(tctx, uid, pid, tid):
+            yield from ()
+            tctx.v.counter += 1
+
+        def main():
+            yield from ctx.parallel_region("PR", 9, 2, body)
+
+        sim.spawn("main", main())
+        sim.run()
+        assert ctx.v.counter == 2
+
+
+class TestCriticalSection:
+    def test_lock_serializes_threads(self):
+        sim, runtime, (ctx,) = make_ctx(ppn=4, threads=4)
+        critical = ctx.new("CriticalSection", "CS", 8)
+
+        def body(tctx, uid, pid, tid):
+            yield from critical.execute(uid, pid, tid, 1.0, "L")
+
+        def main():
+            yield from ctx.parallel_region("PR", 9, 4, body)
+
+        sim.spawn("main", main())
+        # 4 threads through a 1-second critical section: serialized.
+        assert sim.run() == pytest.approx(4.0)
+
+    def test_different_locks_do_not_serialize(self):
+        sim, runtime, (ctx,) = make_ctx(ppn=2, threads=2)
+        critical = ctx.new("CriticalSection", "CS", 8)
+
+        def body(tctx, uid, pid, tid):
+            yield from critical.execute(uid, pid, tid, 1.0, f"L{tid}")
+
+        def main():
+            yield from ctx.parallel_region("PR", 9, 2, body)
+
+        sim.spawn("main", main())
+        assert sim.run() == pytest.approx(1.0)
+
+
+class TestForkJoin:
+    def test_arms_run_concurrently(self):
+        sim, runtime, (ctx,) = make_ctx(ppn=2)
+        action = ctx.new("ActionPlus", "W", 7)
+
+        def arm_a(tctx, uid, pid, tid):
+            yield from action.execute(uid, pid, tid, 2.0)
+
+        def arm_b(tctx, uid, pid, tid):
+            yield from action.execute(uid, pid, tid, 3.0)
+
+        def main():
+            yield from ctx.fork_join("fork", 11, [arm_a, arm_b])
+
+        sim.spawn("main", main())
+        assert sim.run() == pytest.approx(3.0)  # max of the arms
+
+    def test_empty_fork_rejected(self):
+        sim, runtime, (ctx,) = make_ctx()
+
+        def main():
+            yield from ctx.fork_join("fork", 11, [])
+
+        sim.spawn("main", main())
+        with pytest.raises(EstimatorError):
+            sim.run()
+
+    def test_fork_trace_record(self):
+        sim, runtime, (ctx,) = make_ctx(ppn=2)
+
+        def arm(tctx, uid, pid, tid):
+            yield from ()
+
+        def main():
+            yield from ctx.fork_join("fork", 11, [arm, arm])
+
+        sim.spawn("main", main())
+        sim.run()
+        assert any(r.kind == "fork" for r in runtime.trace.records)

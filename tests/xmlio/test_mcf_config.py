@@ -1,0 +1,131 @@
+"""Tests for the MCF and CF dialects."""
+
+import pytest
+
+from repro.errors import XmlFormatError
+from repro.xmlio.config import ToolConfig, read_config, write_config
+from repro.xmlio.mcf import CheckingConfig, RuleSetting, read_mcf, write_mcf
+
+
+class TestMcf:
+    def test_parse_rules_and_params(self):
+        config = read_mcf("""
+            <mcf name="strict">
+              <rule id="unique-ids" severity="error"/>
+              <rule id="unreachable-nodes" enabled="false"/>
+              <param name="max-nodes" value="500"/>
+            </mcf>
+        """)
+        assert config.name == "strict"
+        assert config.setting("unique-ids").severity == "error"
+        assert not config.is_enabled("unreachable-nodes")
+        assert config.int_param("max-nodes", 0) == 500
+
+    def test_unmentioned_rule_defaults_enabled(self):
+        config = read_mcf("<mcf/>")
+        assert config.is_enabled("anything")
+        assert config.setting("anything").severity is None
+
+    def test_int_param_default(self):
+        assert read_mcf("<mcf/>").int_param("missing", 42) == 42
+
+    def test_bad_int_param(self):
+        config = read_mcf('<mcf><param name="n" value="abc"/></mcf>')
+        with pytest.raises(XmlFormatError):
+            config.int_param("n", 0)
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(XmlFormatError, match="duplicate"):
+            read_mcf('<mcf><rule id="x"/><rule id="x"/></mcf>')
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(XmlFormatError, match="severity"):
+            read_mcf('<mcf><rule id="x" severity="fatal"/></mcf>')
+
+    def test_invalid_enabled_rejected(self):
+        with pytest.raises(XmlFormatError, match="enabled"):
+            read_mcf('<mcf><rule id="x" enabled="yes"/></mcf>')
+
+    def test_missing_rule_id_rejected(self):
+        with pytest.raises(XmlFormatError, match="id"):
+            read_mcf("<mcf><rule/></mcf>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XmlFormatError):
+            read_mcf("<rules/>")
+
+    def test_roundtrip(self, tmp_path):
+        config = CheckingConfig(name="mine")
+        config.rules["a"] = RuleSetting("a", enabled=False)
+        config.rules["b"] = RuleSetting("b", severity="warning")
+        config.params["max-nodes"] = "99"
+        path = tmp_path / "check.mcf.xml"
+        write_mcf(config, path)
+        loaded = read_mcf(path)
+        assert loaded.name == "mine"
+        assert not loaded.is_enabled("a")
+        assert loaded.setting("b").severity == "warning"
+        assert loaded.int_param("max-nodes", 0) == 99
+
+    def test_rule_setting_validates_severity(self):
+        with pytest.raises(XmlFormatError):
+            RuleSetting("x", severity="catastrophic")
+
+
+class TestConfigFile:
+    def test_defaults(self):
+        config = read_config("<configuration/>")
+        assert config.nodes == 1
+        assert config.processes == 1
+        assert config.latency == pytest.approx(1.0e-6)
+
+    def test_machine_and_network(self):
+        config = read_config("""
+            <configuration>
+              <option name="trace.format" value="csv"/>
+              <machine nodes="4" processorsPerNode="2" processes="8"
+                       threads="2"/>
+              <network latency="5e-6" bandwidth="1e8"/>
+            </configuration>
+        """)
+        assert config.option("trace.format") == "csv"
+        assert (config.nodes, config.processors_per_node,
+                config.processes, config.threads_per_process) == (4, 2, 8, 2)
+        assert config.latency == pytest.approx(5e-6)
+        assert config.bandwidth == pytest.approx(1e8)
+
+    def test_option_default(self):
+        config = read_config("<configuration/>")
+        assert config.option("missing", "fallback") == "fallback"
+        assert config.option("missing") is None
+
+    def test_bad_machine_value(self):
+        with pytest.raises(XmlFormatError):
+            read_config('<configuration><machine nodes="zero"/></configuration>')
+        with pytest.raises(XmlFormatError, match=">= 1"):
+            read_config('<configuration><machine nodes="0"/></configuration>')
+
+    def test_bad_network_value(self):
+        with pytest.raises(XmlFormatError, match="positive"):
+            read_config(
+                '<configuration><network latency="-1"/></configuration>')
+
+    def test_wrong_root(self):
+        with pytest.raises(XmlFormatError):
+            read_config("<config/>")
+
+    def test_roundtrip(self, tmp_path):
+        config = ToolConfig(nodes=3, processors_per_node=4, processes=12,
+                            threads_per_process=2, latency=2e-6,
+                            bandwidth=5e8)
+        config.options["trace.format"] = "jsonl"
+        path = tmp_path / "teuta.cf.xml"
+        write_config(config, path)
+        loaded = read_config(path)
+        assert loaded.nodes == 3
+        assert loaded.processors_per_node == 4
+        assert loaded.processes == 12
+        assert loaded.threads_per_process == 2
+        assert loaded.latency == pytest.approx(2e-6)
+        assert loaded.bandwidth == pytest.approx(5e8)
+        assert loaded.option("trace.format") == "jsonl"

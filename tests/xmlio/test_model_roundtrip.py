@@ -1,0 +1,176 @@
+"""Tests for model XML serialization: write, read, and round-trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XmlFormatError
+from repro.samples import build_kernel6_loopnest_model, build_sample_model
+from repro.uml.model import Model
+from repro.uml.random_models import RandomModelConfig, random_model
+from repro.xmlio.reader import model_from_xml, read_model
+from repro.xmlio.writer import model_to_xml, write_model
+
+
+def assert_models_equivalent(a: Model, b: Model) -> None:
+    """Deep structural equality over everything the writer persists."""
+    assert a.name == b.name
+    assert a.id == b.id
+    assert a.main_diagram_name == b.main_diagram_name
+    assert a.statistics() == b.statistics()
+    # variables
+    assert [(v.name, v.type, v.init, v.scope) for v in a.variables] == \
+        [(v.name, v.type, v.init, v.scope) for v in b.variables]
+    # cost functions (compare parsed definitions: whitespace-insensitive)
+    assert set(a.cost_functions) == set(b.cost_functions)
+    for name in a.cost_functions:
+        assert a.cost_functions[name].definition == \
+            b.cost_functions[name].definition
+    # diagrams
+    for diagram_a in a.diagrams:
+        diagram_b = b.diagram(diagram_a.name)
+        assert diagram_a.id == diagram_b.id
+        nodes_a = {n.id: n for n in diagram_a.nodes}
+        nodes_b = {n.id: n for n in diagram_b.nodes}
+        assert set(nodes_a) == set(nodes_b)
+        for node_id, node_a in nodes_a.items():
+            node_b = nodes_b[node_id]
+            assert type(node_a) is type(node_b)
+            assert node_a.name == node_b.name
+            assert getattr(node_a, "cost", None) == getattr(node_b, "cost", None)
+            assert getattr(node_a, "code", None) == getattr(node_b, "code", None)
+            assert getattr(node_a, "behavior", None) == \
+                getattr(node_b, "behavior", None)
+            assert node_a.stereotype_names == node_b.stereotype_names
+            for application in node_a.applied:
+                twin = node_b.stereotype_application(
+                    application.stereotype.name)
+                assert dict(application.items()) == dict(twin.items())
+        edges_a = {e.id: e for e in diagram_a.edges}
+        edges_b = {e.id: e for e in diagram_b.edges}
+        assert set(edges_a) == set(edges_b)
+        for edge_id, edge_a in edges_a.items():
+            edge_b = edges_b[edge_id]
+            assert edge_a.source.id == edge_b.source.id
+            assert edge_a.target.id == edge_b.target.id
+            assert edge_a.guard == edge_b.guard
+
+
+class TestRoundTrip:
+    def test_sample_model(self):
+        model = build_sample_model()
+        assert_models_equivalent(model, model_from_xml(model_to_xml(model)))
+
+    def test_kernel6_loopnest_model(self):
+        model = build_kernel6_loopnest_model()
+        assert_models_equivalent(model, model_from_xml(model_to_xml(model)))
+
+    def test_file_roundtrip(self, tmp_path):
+        model = build_sample_model()
+        path = write_model(model, tmp_path / "sample.xml")
+        assert_models_equivalent(model, read_model(path))
+
+    def test_double_roundtrip_is_fixed_point(self):
+        model = build_sample_model()
+        once = model_to_xml(model)
+        twice = model_to_xml(model_from_xml(once))
+        assert once == twice
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_models(self, seed):
+        model = random_model(seed, RandomModelConfig(
+            target_actions=25, p_decision=0.3, p_loop=0.2, p_activity=0.2,
+            p_fork=0.1, p_collective=0.1))
+        assert_models_equivalent(model, model_from_xml(model_to_xml(model)))
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_property(seed):
+    model = random_model(seed)
+    assert_models_equivalent(model, model_from_xml(model_to_xml(model)))
+
+
+class TestDocumentShape:
+    def test_header_attributes(self):
+        text = model_to_xml(build_sample_model())
+        assert '<model name="SampleModel"' in text
+        assert 'main="Main"' in text
+        assert 'version="1.0"' in text
+
+    def test_variables_serialized(self):
+        text = model_to_xml(build_sample_model())
+        assert '<variable name="GV" type="int" scope="global"' in text
+
+    def test_cost_function_body_is_text_content(self):
+        text = model_to_xml(build_sample_model())
+        assert ">0.5 * P</costFunction>" in text
+
+    def test_guard_attribute(self):
+        text = model_to_xml(build_sample_model())
+        assert 'guard="GV == 1"' in text
+        assert 'guard="else"' in text
+
+
+class TestReaderErrors:
+    def test_not_xml(self):
+        with pytest.raises(XmlFormatError):
+            model_from_xml("this is not xml")
+
+    def test_wrong_root(self):
+        with pytest.raises(XmlFormatError, match="model"):
+            model_from_xml("<diagram/>")
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(XmlFormatError, match="name"):
+            model_from_xml('<model id="1"/>')
+
+    def test_bad_id(self):
+        with pytest.raises(XmlFormatError, match="integer"):
+            model_from_xml('<model id="one" name="m"/>')
+
+    def test_unknown_node_kind(self):
+        with pytest.raises(XmlFormatError, match="kind"):
+            model_from_xml(
+                '<model id="1" name="m"><diagram id="2" name="d">'
+                '<node id="3" kind="teapot" name="x"/></diagram></model>')
+
+    def test_dangling_edge_endpoint(self):
+        with pytest.raises(XmlFormatError, match="unknown node"):
+            model_from_xml(
+                '<model id="1" name="m"><diagram id="2" name="d">'
+                '<node id="3" kind="action" name="a"/>'
+                '<edge id="4" source="3" target="99"/></diagram></model>')
+
+    def test_unknown_stereotype(self):
+        with pytest.raises(XmlFormatError, match="stereotype"):
+            model_from_xml(
+                '<model id="1" name="m"><diagram id="2" name="d">'
+                '<node id="3" kind="action" name="a">'
+                '<stereotype name="nope+"/></node></diagram></model>')
+
+    def test_tag_type_mismatch(self):
+        with pytest.raises(XmlFormatError):
+            model_from_xml(
+                '<model id="1" name="m"><diagram id="2" name="d">'
+                '<node id="3" kind="action" name="a">'
+                '<stereotype name="action+">'
+                '<tag name="id" type="int" value="xyz"/>'
+                '</stereotype></node></diagram></model>')
+
+    def test_unknown_main_diagram(self):
+        with pytest.raises(XmlFormatError, match="main"):
+            model_from_xml('<model id="1" name="m" main="ghost"/>')
+
+    def test_unknown_variable_type(self):
+        with pytest.raises(XmlFormatError):
+            model_from_xml(
+                '<model id="1" name="m"><variables>'
+                '<variable name="x" type="float"/></variables></model>')
+
+    def test_malformed_cost_function_body(self):
+        with pytest.raises(XmlFormatError):
+            model_from_xml(
+                '<model id="1" name="m"><costFunctions>'
+                '<costFunction name="F" params="">0.5 *</costFunction>'
+                '</costFunctions></model>')
