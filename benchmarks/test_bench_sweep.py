@@ -1,0 +1,77 @@
+"""SWEEP bench: cold vs cached batch evaluation — the caching win.
+
+The sweep engine's pitch is "transform and simulate once, answer
+what-if questions from disk afterwards".  This bench runs the same
+18-point grid (3 process counts × 2 problem sizes × 3 backends) both
+ways:
+
+* ``cold`` — a fresh content-addressed cache every round: every point
+  is simulated and written;
+* ``cached`` — a pre-populated cache: every point is served from disk
+  (asserted at 100% hit rate each round).
+
+The cached path must beat the cold path by a wide margin — that gap is
+what makes interactive exploration of large grids viable.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.samples import build_kernel6_model
+from repro.sweep import ResultCache, make_spec, run_sweep
+
+
+def sweep_spec():
+    return make_spec(build_kernel6_model(),
+                     processes=[1, 2, 4],
+                     backends=["analytic", "interp", "codegen"],
+                     overrides={"N": [100, 200]})
+
+
+@pytest.fixture
+def grid_points():
+    spec = sweep_spec()
+    assert spec.point_count == 18  # the >= 16-point acceptance grid
+    return spec.point_count
+
+
+def test_sweep_cold(benchmark, grid_points):
+    """Every round evaluates the full grid into a fresh cache."""
+    workdir = Path(tempfile.mkdtemp(prefix="bench-sweep-cold-"))
+    counter = {"n": 0}
+
+    def cold():
+        counter["n"] += 1
+        cache = ResultCache(workdir / str(counter["n"]))
+        result = run_sweep(sweep_spec(), cache=cache)
+        assert result.cached_count == 0
+        return result
+
+    try:
+        result = benchmark(cold)
+        benchmark.extra_info["points"] = grid_points
+        assert len(result.succeeded()) == grid_points
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def test_sweep_cached(benchmark, grid_points):
+    """Every round is served entirely from the pre-populated cache."""
+    workdir = Path(tempfile.mkdtemp(prefix="bench-sweep-warm-"))
+    cache = ResultCache(workdir)
+    run_sweep(sweep_spec(), cache=cache)  # populate once
+
+    def cached():
+        result = run_sweep(sweep_spec(), cache=cache)
+        assert result.cache_hit_rate == 1.0
+        return result
+
+    try:
+        result = benchmark(cached)
+        benchmark.extra_info["points"] = grid_points
+        assert len(result.succeeded()) == grid_points
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

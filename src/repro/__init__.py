@@ -12,7 +12,8 @@ Entry points:
 * :class:`repro.prophet.PerformanceProphet` — the tool facade;
 * :class:`repro.uml.builder.ModelBuilder` — build models in code;
 * :func:`repro.estimator.estimate` — one-shot evaluation;
-* :mod:`repro.samples` — the paper's sample and kernel-6 models.
+* :mod:`repro.samples` — the paper's sample and kernel-6 models;
+* :mod:`repro.sweep` — batch what-if experiments with result caching.
 """
 
 from repro.errors import ProphetError
@@ -20,9 +21,10 @@ from repro.prophet import PerformanceProphet
 from repro.estimator.manager import estimate
 from repro.machine.network import NetworkConfig
 from repro.machine.params import SystemParameters
+from repro.sweep import ResultCache, SweepSpec, make_spec, run_sweep
 from repro.uml.builder import ModelBuilder
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PerformanceProphet",
@@ -30,6 +32,7 @@ __all__ = [
     "SystemParameters",
     "NetworkConfig",
     "estimate",
+    "SweepSpec", "make_spec", "run_sweep", "ResultCache",
     "ProphetError",
     "__version__",
 ]

@@ -73,6 +73,50 @@ def build_parser() -> argparse.ArgumentParser:
                           default="csv")
     simulate.add_argument("--no-gantt", action="store_true")
 
+    sweep = commands.add_parser(
+        "sweep", help="batch-evaluate a parameter grid (with result "
+                      "caching)")
+    sweep.add_argument("model", nargs="?",
+                       help="model XML file (or use --kind)")
+    sweep.add_argument("--kind",
+                       choices=("sample", "kernel6", "kernel6-loopnest"),
+                       help="sweep a built-in model instead of a file")
+    sweep.add_argument("--processes", default="1",
+                       help="comma-separated process counts, e.g. 1,2,4,8")
+    sweep.add_argument("--backends", default="codegen",
+                       help="comma-separated backends: analytic, codegen, "
+                            "interp")
+    sweep.add_argument("--seeds", default="0",
+                       help="comma-separated simulator seeds")
+    sweep.add_argument("--param", action="append", default=[],
+                       metavar="NAME=V1,V2,...",
+                       help="sweep a model global variable over values "
+                            "(repeatable; axes are crossed)")
+    sweep.add_argument("--nodes", type=int,
+                       help="fixed node count (default: one node per "
+                            "process)")
+    sweep.add_argument("--ppn", type=int, default=1,
+                       help="processors per node")
+    sweep.add_argument("--threads", type=int, default=1,
+                       help="threads per process")
+    sweep.add_argument("--placement", choices=("block", "cyclic"),
+                       default="block")
+    sweep.add_argument("--latency", type=float, default=1.0e-6)
+    sweep.add_argument("--bandwidth", type=float, default=1.0e9)
+    sweep.add_argument("--cache-dir",
+                       help="content-addressed result cache directory "
+                            "(created if missing; repeated sweeps are "
+                            "served from it)")
+    sweep.add_argument("--jobs", type=int, default=0,
+                       help="run on a process pool with this many workers "
+                            "(0 = serial)")
+    sweep.add_argument("--csv", help="write the result table to this CSV "
+                                     "file")
+    sweep.add_argument("--no-table", action="store_true",
+                       help="suppress the ASCII result table")
+    sweep.add_argument("--speedup", action="store_true",
+                       help="also print per-series speedup tables")
+
     info = commands.add_parser("info", help="print model statistics")
     info.add_argument("model")
     return parser
@@ -86,6 +130,10 @@ def main(argv: list[str] | None = None) -> int:
     except ProphetError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except OSError as exc:
+        # e.g. a model/MCF/output path that cannot be read or written
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -97,6 +145,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_transform(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "info":
         return _cmd_info(args)
     raise AssertionError(f"unhandled command {args.command!r}")
@@ -172,6 +222,86 @@ def _cmd_simulate(args) -> int:
         result.write_trace_file(args.trace, args.trace_format)
         print(f"\nwrote trace to {args.trace}")
     return 0
+
+
+def _parse_int_list(text: str, what: str) -> list[int]:
+    try:
+        return [int(piece) for piece in text.split(",") if piece.strip()]
+    except ValueError:
+        raise ProphetError(
+            f"--{what} expects comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _parse_param_axes(specs: list[str]) -> dict[str, list[str]]:
+    axes: dict[str, list[str]] = {}
+    for spec in specs:
+        name, eq, values = spec.partition("=")
+        name = name.strip()
+        if not eq or not name:
+            raise ProphetError(
+                f"--param expects NAME=V1,V2,..., got {spec!r}")
+        axes[name] = [v.strip() for v in values.split(",") if v.strip()]
+        if not axes[name]:
+            raise ProphetError(f"--param {name} has no values")
+    return axes
+
+
+def _sweep_model(args):
+    if args.model and args.kind:
+        raise ProphetError("give either a model file or --kind, not both")
+    if args.model:
+        from repro.xmlio.reader import read_model
+        return args.model, read_model(args.model)
+    if args.kind:
+        from repro.samples import (
+            build_kernel6_loopnest_model,
+            build_kernel6_model,
+            build_sample_model,
+        )
+        builders = {"sample": build_sample_model,
+                    "kernel6": build_kernel6_model,
+                    "kernel6-loopnest": build_kernel6_loopnest_model}
+        model = builders[args.kind]()
+        return model.name, model
+    raise ProphetError("sweep needs a model XML file or --kind")
+
+
+def _cmd_sweep(args) -> int:
+    from repro.machine.network import NetworkConfig
+    from repro.sweep import ResultCache, SweepSpec, run_sweep
+
+    label, model = _sweep_model(args)
+    spec = SweepSpec(
+        models=[(label, model)],
+        processes=_parse_int_list(args.processes, "processes"),
+        backends=[b.strip() for b in args.backends.split(",") if b.strip()],
+        seeds=_parse_int_list(args.seeds, "seeds"),
+        overrides=_parse_param_axes(args.param),
+        nodes=args.nodes,
+        processors_per_node=args.ppn,
+        threads_per_process=args.threads,
+        placement=args.placement,
+        network=NetworkConfig(latency=args.latency,
+                              bandwidth=args.bandwidth),
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    executor = "process" if args.jobs > 0 else "serial"
+    result = run_sweep(spec, cache=cache, executor=executor,
+                       max_workers=args.jobs or None, progress=print)
+    if not args.no_table:
+        print(result.table())
+        print()
+    if args.speedup:
+        tables = result.speedup_tables()
+        if tables:
+            print(tables)
+            print()
+    print(result.summary())
+    if args.csv:
+        path = result.write_csv(args.csv)
+        print(f"wrote {path}")
+    return 0 if not result.failed() else 1
 
 
 def _cmd_info(args) -> int:

@@ -12,9 +12,15 @@ from repro.estimator.manager import (
     estimate,
 )
 from repro.estimator.analysis import TraceAnalysis
+from repro.estimator.backends import (
+    BACKENDS,
+    SIMULATED_BACKENDS,
+    evaluate_point,
+)
 
 __all__ = [
     "TraceRecord", "TraceRecorder", "read_trace", "write_trace",
     "PerformanceEstimator", "EstimationResult", "estimate",
     "TraceAnalysis",
+    "BACKENDS", "SIMULATED_BACKENDS", "evaluate_point",
 ]

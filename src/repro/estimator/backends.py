@@ -1,0 +1,114 @@
+"""Uniform evaluation backends — one call, any representation.
+
+The paper's workflow answers "what if" questions by evaluating the same
+model under many system parameters and representations.  The estimator
+exposes three evaluable representations with different call shapes
+(:meth:`PerformanceEstimator.estimate` for the simulated paths,
+:func:`repro.estimator.analytic.evaluate_analytically` for the hybrid
+closed form).  This module normalizes them behind one function,
+:func:`evaluate_point`, returning a plain-dict payload the sweep engine
+can cache, compare, and export.
+
+Backends:
+
+* ``"codegen"`` — simulate the generated-Python representation (the
+  paper's machine-efficient path);
+* ``"interp"`` — simulate by direct UML-tree interpretation (the slow
+  baseline);
+* ``"analytic"`` — the closed-form hybrid bound (no event calendar).
+
+A module-level prepared-model memo keyed by the model's structural hash
+amortizes the transform cost when one process evaluates the same model
+at many parameter points (exactly the sweep access pattern).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimatorError
+from repro.estimator.manager import PerformanceEstimator, PreparedModel
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.uml.hashing import model_structural_hash
+from repro.uml.model import Model
+
+#: Names accepted by :func:`evaluate_point`, in canonical order.
+BACKENDS: tuple[str, ...] = ("analytic", "codegen", "interp")
+
+#: Simulated backends — those that run the event calendar.
+SIMULATED_BACKENDS: tuple[str, ...] = ("codegen", "interp")
+
+#: (model structural hash, backend) → PreparedModel; process-local.
+_PREPARED: dict[tuple[str, str], PreparedModel] = {}
+
+#: Soft bound on the prepared-model memo (models are small; this only
+#: guards against unbounded growth in very long-lived processes).
+_PREPARED_LIMIT = 64
+
+
+def validate_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise EstimatorError(
+            f"unknown evaluation backend {backend!r} "
+            f"(expected one of {', '.join(BACKENDS)})")
+    return backend
+
+
+def clear_prepared_cache() -> None:
+    """Drop the process-local prepared-model memo (tests use this)."""
+    _PREPARED.clear()
+
+
+def _prepared(model: Model, backend: str,
+              model_hash: str | None = None) -> PreparedModel:
+    key = (model_hash or model_structural_hash(model), backend)
+    prepared = _PREPARED.get(key)
+    if prepared is None:
+        if len(_PREPARED) >= _PREPARED_LIMIT:
+            _PREPARED.clear()
+        prepared = PerformanceEstimator().prepare(model, mode=backend)
+        _PREPARED[key] = prepared
+    return prepared
+
+
+def evaluate_point(model: Model, backend: str,
+                   params: SystemParameters | None = None,
+                   network: NetworkConfig | None = None,
+                   seed: int = 0,
+                   check: bool = True,
+                   model_hash: str | None = None) -> dict:
+    """Evaluate one (model, machine, backend, seed) point.
+
+    Returns a deterministic, JSON-serializable payload::
+
+        {"predicted_time": float,   # makespan in seconds
+         "events": int,             # simulation events (0 for analytic)
+         "trace_records": int,      # trace length (0 for analytic)
+         "backend": str}
+
+    Determinism matters: the sweep engine asserts that serial and
+    parallel executions of the same grid produce byte-identical tables,
+    and caches payloads by content key.  Pass ``model_hash`` when the
+    caller already computed the structural hash (avoids re-hashing).
+    """
+    validate_backend(backend)
+    if check:
+        from repro.checker import ModelChecker
+        ModelChecker().assert_valid(model)
+    if backend == "analytic":
+        from repro.estimator.analytic import evaluate_analytically
+        result = evaluate_analytically(model, params, network)
+        return {
+            "predicted_time": result.makespan,
+            "events": 0,
+            "trace_records": 0,
+            "backend": backend,
+        }
+    estimator = PerformanceEstimator(params, network, seed)
+    prepared = _prepared(model, backend, model_hash)
+    result = estimator.run_prepared(prepared)
+    return {
+        "predicted_time": result.total_time,
+        "events": result.events_processed,
+        "trace_records": len(result.trace),
+        "backend": backend,
+    }

@@ -8,9 +8,10 @@ concurrent messages queue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.errors import EstimatorError
+from repro.util.hashing import stable_hash
 from repro.sim.core import Simulation
 from repro.sim.facility import Facility
 
@@ -36,6 +37,14 @@ class NetworkConfig:
                      "intra_node_bandwidth_factor"):
             if getattr(self, name) <= 0:
                 raise EstimatorError(f"{name} must be > 0")
+
+    def fingerprint(self) -> dict:
+        """JSON-serializable canonical form (sweep cache key component)."""
+        return asdict(self)
+
+    def structural_hash(self) -> str:
+        """Stable SHA-256 content hash of this network configuration."""
+        return stable_hash(self.fingerprint())
 
 
 class Network:

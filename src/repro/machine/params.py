@@ -7,9 +7,10 @@ threads."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.errors import EstimatorError
+from repro.util.hashing import stable_hash
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,18 @@ class SystemParameters:
             processes=config.processes,
             threads_per_process=config.threads_per_process,
         )
+
+    def fingerprint(self) -> dict:
+        """JSON-serializable canonical form (sweep cache key component)."""
+        return asdict(self)
+
+    def structural_hash(self) -> str:
+        """Stable SHA-256 content hash of these parameters.
+
+        Identical parameter values hash identically across process
+        restarts; any field change produces a different hash.
+        """
+        return stable_hash(self.fingerprint())
 
     def describe(self) -> str:
         return (f"{self.nodes} node(s) × {self.processors_per_node} "

@@ -1,0 +1,62 @@
+"""Experiment sweep engine: batch evaluation with result caching.
+
+The paper's tool exists to answer "what if" questions — vary the process
+count, the problem size, the machine, and compare predicted times.  This
+package makes such experiments first-class:
+
+* :mod:`repro.sweep.spec` — declare a sweep as a parameter grid
+  (:class:`SweepSpec`) over models, variable overrides, process counts,
+  evaluation backends, and seeds;
+* :mod:`repro.sweep.grid` — expand the grid into deterministic
+  :class:`SweepJob` points;
+* :mod:`repro.sweep.runner` — execute jobs serially or on a process
+  pool, capturing per-job errors;
+* :mod:`repro.sweep.cache` — memoize results on disk, content-addressed
+  by (model structure, machine parameters, backend, seed);
+* :mod:`repro.sweep.results` — typed result tables: CSV, ASCII, and
+  speedup series.
+
+Quickstart::
+
+    from repro.samples import build_kernel6_model
+    from repro.sweep import ResultCache, make_spec, run_sweep
+
+    spec = make_spec(build_kernel6_model(),
+                     processes=[1, 2, 4, 8],
+                     backends=["analytic", "codegen"],
+                     overrides={"N": [100, 200]})
+    result = run_sweep(spec, cache=ResultCache(".prophet-cache"))
+    print(result.table())
+    print(result.speedup_tables())
+
+Or from the command line: ``prophet sweep --kind kernel6 --processes
+1,2,4,8 --backends analytic,codegen --param N=100,200``.
+"""
+
+from repro.sweep.cache import CacheStats, ResultCache
+from repro.sweep.grid import apply_overrides, expand
+from repro.sweep.results import JobResult, SweepResult
+from repro.sweep.runner import (
+    ProcessPoolExecutor,
+    SerialExecutor,
+    execute_job,
+    run_jobs,
+    run_sweep,
+)
+from repro.sweep.spec import (
+    BACKENDS,
+    SweepJob,
+    SweepSpec,
+    SweepSpecError,
+    make_spec,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CacheStats", "ResultCache",
+    "SweepJob", "SweepSpec", "SweepSpecError", "make_spec",
+    "apply_overrides", "expand",
+    "JobResult", "SweepResult",
+    "SerialExecutor", "ProcessPoolExecutor",
+    "execute_job", "run_jobs", "run_sweep",
+]

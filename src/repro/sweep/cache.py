@@ -1,0 +1,130 @@
+"""Content-addressed on-disk result cache.
+
+Layout: one JSON file per result under ``root/<k[:2]>/<k>.json`` where
+``k`` is the job's cache key (:meth:`repro.sweep.spec.SweepJob.cache_key`
+— a SHA-256 over model structure, machine fingerprints, backend, and
+seed).  The two-character fan-out keeps directories small for large
+sweeps; writes are atomic (temp file + rename) so a sweep interrupted
+mid-write never leaves a truncated entry that later reads as a result.
+
+Only *successful* payloads are cached: a failing point re-runs on the
+next sweep, so fixing the model heals the sweep without manual cache
+invalidation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: File-format marker inside each entry; bump on layout changes.
+ENTRY_FORMAT = 1
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    invalid: int = 0  # unreadable/corrupt entries treated as misses
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (f"{self.hits} hit(s), {self.misses} miss(es) "
+                f"({self.hit_rate:.0%} hit rate), {self.puts} write(s)")
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of sweep payloads."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str,
+            require: tuple[str, ...] = ()) -> dict | None:
+        """The payload stored under ``key``, or None (counted as a miss).
+
+        ``require`` names payload keys that must be present; an entry
+        missing any of them (hand-edited, or written by an older
+        payload schema) is treated as corrupt — a miss, not a crash.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            return None
+        payload = entry.get("payload") if isinstance(entry, dict) else None
+        if not isinstance(entry, dict) \
+                or entry.get("format") != ENTRY_FORMAT \
+                or not isinstance(payload, dict) \
+                or any(name not in payload for name in require):
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict,
+            meta: dict | None = None) -> Path:
+        """Atomically store ``payload`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"format": ENTRY_FORMAT, "key": key, "payload": payload}
+        if meta:
+            entry["meta"] = meta
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(entry, stream, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self.root.glob("??/*.json")):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+__all__ = ["CacheStats", "ResultCache", "ENTRY_FORMAT"]

@@ -1,0 +1,114 @@
+"""Grid expansion: a :class:`SweepSpec` becomes a deterministic job list.
+
+Axis nesting order (outermost → innermost): model, override combination
+(cartesian product in declaration order), process count, backend, seed.
+The order is part of the engine's contract — job indexes identify points
+across runs, executors, and cache generations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from repro.lang.parser import parse_expression
+from repro.sweep.spec import SweepJob, SweepSpec, SweepSpecError
+from repro.uml.clone import clone_model
+from repro.uml.hashing import model_structural_hash
+from repro.uml.model import Model
+
+
+def override_source(value: object) -> str:
+    """Render an override value as a mini-language initializer."""
+    if isinstance(value, bool):
+        raise SweepSpecError(
+            f"boolean override values are not supported (got {value!r})")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        source = value.strip()
+        if not source:
+            raise SweepSpecError("override value must not be empty")
+        return source
+    raise SweepSpecError(
+        f"override values must be int, float, or expression source, "
+        f"got {type(value).__name__}")
+
+
+def apply_overrides(model: Model,
+                    overrides: Sequence[tuple[str, str]]) -> Model:
+    """A clone of ``model`` with global-variable initializers replaced.
+
+    Each ``(name, source)`` pair re-initializes the declared variable
+    ``name``; the variable must exist (a typo should fail the whole
+    sweep loudly, not silently sweep nothing).
+    """
+    if not overrides:
+        return model
+    variant = clone_model(model)
+    for name, source in overrides:
+        declaration = variant.variable(name)  # raises on unknown name
+        parse_expression(source)              # fail fast on bad source
+        declaration.init = source
+    return variant
+
+
+def _override_combinations(
+        overrides: Mapping[str, Sequence[object]]
+) -> Iterable[tuple[tuple[str, str], ...]]:
+    names = list(overrides)
+    if not names:
+        yield ()
+        return
+    value_axes = [[override_source(v) for v in overrides[name]]
+                  for name in names]
+    for combo in itertools.product(*value_axes):
+        yield tuple(zip(names, combo))
+
+
+def expand(spec: SweepSpec) -> list[SweepJob]:
+    """All jobs of ``spec``, in deterministic grid order.
+
+    Model variants are materialized (cloned, overridden, serialized,
+    hashed) once per combination and shared across the machine/backend/
+    seed axes, so expansion cost scales with variants, not points.
+    """
+    from repro.xmlio.writer import model_to_xml
+
+    spec.validate()
+    jobs: list[SweepJob] = []
+    index = 0
+    for label, model in spec.models:
+        for overrides in _override_combinations(spec.overrides):
+            try:
+                variant = apply_overrides(model, overrides)
+            except SweepSpecError:
+                raise
+            except Exception as exc:
+                raise SweepSpecError(
+                    f"cannot apply overrides {dict(overrides)!r} to model "
+                    f"{label!r}: {exc}") from exc
+            xml = model_to_xml(variant)
+            model_hash = model_structural_hash(variant)
+            for process_count in spec.processes:
+                params = spec.system_parameters(process_count)
+                for backend in spec.backends:
+                    for seed in spec.seeds:
+                        jobs.append(SweepJob(
+                            index=index,
+                            model_label=label,
+                            model_xml=xml,
+                            model_hash=model_hash,
+                            overrides=overrides,
+                            params=params,
+                            network=spec.network,
+                            backend=backend,
+                            seed=seed,
+                        ))
+                        index += 1
+    return jobs
+
+
+__all__ = ["apply_overrides", "expand", "override_source"]

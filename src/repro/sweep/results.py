@@ -1,0 +1,157 @@
+"""Typed sweep results: per-job outcomes and aggregate tables.
+
+A :class:`SweepResult` is the artifact a sweep produces — the table the
+paper's experiment sections are built from.  It renders to CSV (via
+:mod:`repro.viz.csvout`), to an ASCII table, and to per-series speedup
+tables (via :mod:`repro.viz.report`).
+
+Determinism contract: every exported row is a pure function of the job
+definition and its payload — *not* of wall-clock time, executor choice,
+or cache state — so serial and parallel sweeps of the same grid, cached
+or cold, export byte-identical CSV and tables.  Cache effectiveness is
+reported separately (:attr:`SweepResult.cache_stats`, ``summary()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.sweep.cache import CacheStats
+from repro.sweep.spec import SweepJob
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one sweep point."""
+
+    job: SweepJob
+    status: str                      # "ok" | "error"
+    predicted_time: float | None     # makespan [s]; None on error
+    events: int                      # simulation events (0 for analytic)
+    trace_records: int               # trace length (0 for analytic)
+    cached: bool                     # served from the result cache
+    error: str | None = None         # "ExcType: message" on failure
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def overrides_text(self) -> str:
+        return ";".join(f"{name}={value}"
+                        for name, value in self.job.overrides)
+
+    def row(self) -> dict:
+        """One deterministic export row (no wall-clock, no cache state)."""
+        return {
+            "model": self.job.model_label,
+            "overrides": self.overrides_text(),
+            "processes": self.job.params.processes,
+            "nodes": self.job.params.nodes,
+            "backend": self.job.backend,
+            "seed": self.job.seed,
+            "status": self.status,
+            "predicted_time": ("" if self.predicted_time is None
+                               else f"{self.predicted_time:.9g}"),
+            "events": self.events,
+            "trace_records": self.trace_records,
+            "error": self.error or "",
+        }
+
+
+#: Column order of every export (CSV and ASCII alike).
+COLUMNS = ("model", "overrides", "processes", "nodes", "backend", "seed",
+           "status", "predicted_time", "events", "trace_records", "error")
+
+
+@dataclass
+class SweepResult:
+    """All job outcomes of one sweep, in grid order."""
+
+    results: list[JobResult]
+    cache_stats: CacheStats | None = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[JobResult]:
+        return iter(self.results)
+
+    # -- selections ---------------------------------------------------------
+
+    def succeeded(self) -> list[JobResult]:
+        return [r for r in self.results if r.ok]
+
+    def failed(self) -> list[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached_count / len(self.results) if self.results else 0.0
+
+    # -- tabular exports ------------------------------------------------------
+
+    def columns(self) -> dict[str, list]:
+        rows = [result.row() for result in self.results]
+        return {name: [row[name] for row in rows] for name in COLUMNS}
+
+    def to_csv(self) -> str:
+        from repro.viz.csvout import series_to_csv
+        return series_to_csv(self.columns())
+
+    def write_csv(self, path: str | Path) -> Path:
+        from repro.viz.csvout import write_series_csv
+        return write_series_csv(self.columns(), path)
+
+    def table(self) -> str:
+        from repro.viz.report import format_table
+        rows = [[str(result.row()[name]) for name in COLUMNS]
+                for result in self.results]
+        return format_table(list(COLUMNS), rows)
+
+    def speedup_tables(self) -> str:
+        """One strong-scaling speedup table per (model, overrides,
+        backend, seed) series that spans more than one process count."""
+        from repro.viz.report import speedup_table
+        series: dict[tuple, list[JobResult]] = {}
+        for result in self.succeeded():
+            key = (result.job.model_label, result.overrides_text(),
+                   result.job.backend, result.job.seed)
+            series.setdefault(key, []).append(result)
+        parts = []
+        for key in sorted(series):
+            group = sorted(series[key], key=lambda r: r.job.params.processes)
+            if len(group) < 2:
+                continue
+            label, overrides, backend, seed = key
+            title = f"{label} · {backend}"
+            if overrides:
+                title += f" · {overrides}"
+            if seed:
+                title += f" · seed={seed}"
+            parts.append(title)
+            parts.append(speedup_table(
+                [r.job.params.processes for r in group],
+                [r.predicted_time for r in group]))
+            parts.append("")
+        return "\n".join(parts).rstrip()
+
+    def summary(self) -> str:
+        lines = [f"sweep: {len(self.results)} point(s), "
+                 f"{len(self.succeeded())} ok, {len(self.failed())} "
+                 f"failed, {self.cached_count} served from cache "
+                 f"({self.cache_hit_rate:.0%})"]
+        if self.cache_stats is not None:
+            lines.append(f"cache: {self.cache_stats.describe()}")
+        for result in self.failed():
+            lines.append(f"  FAILED {result.job.describe()}: "
+                         f"{result.error}")
+        return "\n".join(lines)
+
+
+__all__ = ["COLUMNS", "JobResult", "SweepResult"]

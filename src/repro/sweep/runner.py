@@ -1,0 +1,205 @@
+"""Sweep execution: cache lookup, pluggable executors, error capture.
+
+:func:`run_sweep` is the engine's entry point::
+
+    from repro.sweep import ResultCache, make_spec, run_sweep
+
+    spec = make_spec(model, processes=[1, 2, 4, 8],
+                     backends=["analytic", "codegen"])
+    result = run_sweep(spec, cache=ResultCache(".prophet-cache"),
+                       executor="process")
+
+Execution contract:
+
+* jobs run in deterministic grid order (or are served from the cache);
+  results always come back in that order, so serial and process-pool
+  sweeps are byte-identical;
+* one failing point never kills the sweep — the exception is captured
+  as that job's result and every other point still runs;
+* successful payloads are written to the content-addressed cache, so a
+  repeated sweep is served from disk instead of re-simulated.
+
+Workers keep a process-local memo of parsed-and-checked models keyed by
+structural hash: a pool worker that receives many jobs of the same
+variant parses and validates the XML once, and the prepared-model memo
+in :mod:`repro.estimator.backends` likewise amortizes the transform.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ProphetError
+from repro.estimator.backends import evaluate_point
+from repro.sweep.cache import ResultCache
+from repro.sweep.grid import expand
+from repro.sweep.results import JobResult, SweepResult
+from repro.sweep.spec import SweepJob, SweepSpec
+from repro.uml.model import Model
+
+#: Payload keys every cached/executed result must carry; cache entries
+#: missing any of them are treated as corrupt and re-run.
+PAYLOAD_KEYS = ("predicted_time", "events", "trace_records")
+
+#: Worker-local memo: model structural hash → parsed, checker-validated
+#: Model.  Lives per process (each pool worker builds its own).
+_WORKER_MODELS: dict[str, Model] = {}
+_WORKER_MODELS_LIMIT = 32
+
+
+def _job_model(job: SweepJob) -> Model:
+    model = _WORKER_MODELS.get(job.model_hash)
+    if model is None:
+        from repro.checker import ModelChecker
+        from repro.xmlio.reader import model_from_xml
+        model = model_from_xml(job.model_xml)
+        ModelChecker().assert_valid(model)
+        if len(_WORKER_MODELS) >= _WORKER_MODELS_LIMIT:
+            _WORKER_MODELS.clear()
+        _WORKER_MODELS[job.model_hash] = model
+    return model
+
+
+def execute_job(job: SweepJob) -> dict:
+    """Evaluate one point; never raises.
+
+    Returns ``{"status": "ok", ...payload}`` or ``{"status": "error",
+    "error": "ExcType: message"}``.  Module-level (not a closure) so the
+    process-pool executor can pickle it.
+    """
+    try:
+        model = _job_model(job)
+        payload = evaluate_point(
+            model, job.backend, job.params, job.network, job.seed,
+            check=False, model_hash=job.model_hash)
+        return {"status": "ok", **payload}
+    except Exception as exc:  # noqa: BLE001 — per-job capture by design
+        return {"status": "error",
+                "error": f"{type(exc).__name__}: {exc}"}
+
+
+class SerialExecutor:
+    """Run jobs one after another in this process (the default)."""
+
+    name = "serial"
+
+    def run(self, jobs: Sequence[SweepJob]) -> list[dict]:
+        return [execute_job(job) for job in jobs]
+
+
+class ProcessPoolExecutor:
+    """Run jobs on a ``concurrent.futures`` process pool.
+
+    ``map`` preserves submission order, so results line up with jobs
+    regardless of completion order.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+
+    def run(self, jobs: Sequence[SweepJob]) -> list[dict]:
+        if not jobs:
+            return []
+        if len(jobs) == 1:  # a pool for one job is pure overhead
+            return [execute_job(jobs[0])]
+        workers = self.max_workers or os.cpu_count() or 1
+        chunksize = max(1, len(jobs) // (4 * workers))
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers) as pool:
+            return list(pool.map(execute_job, jobs, chunksize=chunksize))
+
+
+def make_executor(executor: str | object,
+                  max_workers: int | None = None):
+    """Resolve an executor name (or pass an object with ``.run`` through)."""
+    if isinstance(executor, str):
+        if executor == "serial":
+            return SerialExecutor()
+        if executor == "process":
+            return ProcessPoolExecutor(max_workers)
+        raise ProphetError(
+            f"unknown sweep executor {executor!r} "
+            "(expected 'serial' or 'process')")
+    if not hasattr(executor, "run"):
+        raise ProphetError(
+            f"sweep executor must have a run(jobs) method, got "
+            f"{type(executor).__name__}")
+    return executor
+
+
+def run_jobs(jobs: Sequence[SweepJob],
+             cache: ResultCache | None = None,
+             executor: str | object = "serial",
+             max_workers: int | None = None,
+             progress: Callable[[str], None] | None = None
+             ) -> SweepResult:
+    """Execute pre-expanded jobs: cache lookup → run misses → assemble."""
+    jobs = sorted(jobs, key=lambda job: job.index)
+    runner = make_executor(executor, max_workers)
+
+    keys = [job.cache_key() for job in jobs]
+    served: dict[int, dict] = {}
+    if cache is not None:
+        for job, key in zip(jobs, keys):
+            payload = cache.get(key, require=PAYLOAD_KEYS)
+            if payload is not None:
+                served[job.index] = payload
+
+    pending = [job for job in jobs if job.index not in served]
+    if progress is not None and jobs:
+        progress(f"sweep: {len(jobs)} point(s), {len(served)} cached, "
+                 f"{len(pending)} to run on {getattr(runner, 'name', '?')} "
+                 f"executor")
+    outcomes = dict(zip((job.index for job in pending),
+                        runner.run(pending)))
+
+    results: list[JobResult] = []
+    for job, key in zip(jobs, keys):
+        cached = job.index in served
+        outcome = served[job.index] if cached else outcomes[job.index]
+        status = outcome.get("status", "error") if not cached else "ok"
+        if cached or status == "ok":
+            if not cached and cache is not None:
+                cache.put(key, _payload_of(outcome),
+                          meta={"point": job.describe()})
+            payload = outcome if cached else _payload_of(outcome)
+            results.append(JobResult(
+                job=job, status="ok",
+                predicted_time=payload["predicted_time"],
+                events=int(payload["events"]),
+                trace_records=int(payload["trace_records"]),
+                cached=cached))
+        else:
+            results.append(JobResult(
+                job=job, status="error", predicted_time=None,
+                events=0, trace_records=0, cached=False,
+                error=outcome.get("error", "unknown error")))
+    return SweepResult(results,
+                       cache_stats=cache.stats if cache else None)
+
+
+def _payload_of(outcome: dict) -> dict:
+    return {name: value for name, value in outcome.items()
+            if name != "status"}
+
+
+def run_sweep(spec: SweepSpec | Iterable[SweepJob],
+              cache: ResultCache | None = None,
+              executor: str | object = "serial",
+              max_workers: int | None = None,
+              progress: Callable[[str], None] | None = None
+              ) -> SweepResult:
+    """Expand ``spec`` (if needed) and execute the grid."""
+    jobs = expand(spec) if isinstance(spec, SweepSpec) else list(spec)
+    return run_jobs(jobs, cache=cache, executor=executor,
+                    max_workers=max_workers, progress=progress)
+
+
+__all__ = [
+    "ProcessPoolExecutor", "SerialExecutor", "execute_job",
+    "make_executor", "run_jobs", "run_sweep",
+]

@@ -37,6 +37,7 @@ from repro.uml.perf_profile import (
     is_performance_element,
 )
 from repro.uml.builder import DiagramBuilder, ModelBuilder
+from repro.uml.hashing import model_fingerprint, model_structural_hash
 
 __all__ = [
     "Element", "NamedElement",
@@ -48,4 +49,5 @@ __all__ = [
     "Model", "VariableDeclaration", "CostFunction",
     "PERF_PROFILE", "PERF_STEREOTYPE_NAMES", "is_performance_element",
     "ModelBuilder", "DiagramBuilder",
+    "model_fingerprint", "model_structural_hash",
 ]

@@ -1,0 +1,102 @@
+"""Structural fingerprint and content hash of a performance model.
+
+The sweep engine (:mod:`repro.sweep`) memoizes evaluation results on
+disk, keyed by *what was evaluated*: the model's structure, the machine
+parameters, the backend, and the seed.  This module produces the model
+part of that key — a canonical, JSON-serializable fingerprint of
+everything that influences evaluation, hashed with SHA-256.
+
+Two properties matter (and are unit-tested):
+
+* **stability** — the hash of a model is identical across interpreter
+  sessions and across an XML round-trip (element *ids* are deliberately
+  excluded; nodes are referenced by their position in the diagram);
+* **sensitivity** — any semantic edit (a cost expression, a guard, a
+  tagged value, a variable initializer, flow order) changes the hash.
+
+Node and edge order follow insertion order, which the XML reader/writer
+preserve and which is semantically meaningful (decision guards are
+evaluated "in model order").
+"""
+
+from __future__ import annotations
+
+from repro.uml.activities import (
+    ActionNode,
+    ActivityInvocationNode,
+    ActivityNode,
+    ControlFlow,
+    LoopNode,
+    ParallelRegionNode,
+)
+from repro.uml.diagram import ActivityDiagram
+from repro.uml.model import Model
+from repro.util.hashing import stable_hash
+
+#: Bump when the fingerprint schema changes so stale cache entries miss.
+FINGERPRINT_VERSION = 1
+
+
+def _stereotype_fingerprint(node: ActivityNode) -> list:
+    out = []
+    for application in sorted(node.applied,
+                              key=lambda a: a.stereotype.name):
+        values = sorted((name, value)
+                        for name, value in application.items())
+        out.append([application.stereotype.name, values])
+    return out
+
+
+def _node_fingerprint(node: ActivityNode) -> list:
+    entry: list = [type(node).__name__, node.name]
+    if isinstance(node, ActionNode):
+        entry.append([node.cost, node.code])
+    elif isinstance(node, ActivityInvocationNode):
+        entry.append([node.behavior])
+    elif isinstance(node, LoopNode):
+        entry.append([node.behavior, node.iterations])
+    elif isinstance(node, ParallelRegionNode):
+        entry.append([node.behavior, node.num_threads])
+    else:
+        entry.append([])
+    entry.append(_stereotype_fingerprint(node))
+    return entry
+
+
+def _diagram_fingerprint(diagram: ActivityDiagram) -> dict:
+    nodes = list(diagram.nodes)
+    index = {id(node): position for position, node in enumerate(nodes)}
+
+    def edge_entry(edge: ControlFlow) -> list:
+        return [index[id(edge.source)], index[id(edge.target)], edge.guard]
+
+    return {
+        "name": diagram.name,
+        "nodes": [_node_fingerprint(node) for node in nodes],
+        "edges": [edge_entry(edge) for edge in diagram.edges],
+    }
+
+
+def model_fingerprint(model: Model) -> dict:
+    """A canonical, JSON-serializable digest of ``model``'s structure."""
+    return {
+        "version": FINGERPRINT_VERSION,
+        "name": model.name,
+        "main": model.main_diagram_name,
+        "variables": [[v.name, v.type.value, v.init, v.scope]
+                      for v in model.variables],
+        "cost_functions": sorted(
+            [name, cf.params_source, cf.body_source]
+            for name, cf in model.cost_functions.items()),
+        "diagrams": [_diagram_fingerprint(d) for d in model.diagrams],
+    }
+
+
+def model_structural_hash(model: Model) -> str:
+    """SHA-256 hex digest of :func:`model_fingerprint`.
+
+    Stable across process restarts and XML round-trips; changes on any
+    semantic model edit.  This is the model component of the sweep
+    cache key.
+    """
+    return stable_hash(model_fingerprint(model))

@@ -1,0 +1,34 @@
+"""Stable content hashing shared by the model/machine fingerprints.
+
+The sweep cache (:mod:`repro.sweep.cache`) keys results by content, so
+every participating fingerprint must be *stable across process restarts*
+— which rules out Python's randomized ``hash()`` — and must change
+whenever the fingerprinted object changes.  The canonical form is JSON
+with sorted keys and no whitespace, hashed with SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON text for a tree of plain Python values.
+
+    Keys are sorted and floats use ``repr`` semantics (via ``json``), so
+    equal trees always produce identical text regardless of dict
+    insertion order or interpreter session.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def sha256_hex(text: str) -> str:
+    """SHA-256 hex digest of ``text`` (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def stable_hash(obj) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``obj``."""
+    return sha256_hex(canonical_json(obj))

@@ -8,12 +8,17 @@ speedup/efficiency series for parameter sweeps.
 
 from repro.viz.animator import Animator, Frame
 from repro.viz.ascii import gantt, utilization_bars
-from repro.viz.report import element_profile, run_report, speedup_table
+from repro.viz.report import (
+    element_profile,
+    format_table,
+    run_report,
+    speedup_table,
+)
 from repro.viz.csvout import series_to_csv, write_series_csv
 
 __all__ = [
     "Animator", "Frame",
     "gantt", "utilization_bars",
-    "run_report", "element_profile", "speedup_table",
+    "run_report", "element_profile", "speedup_table", "format_table",
     "series_to_csv", "write_series_csv",
 ]

@@ -7,7 +7,8 @@ from repro.estimator.manager import EstimationResult
 from repro.viz.ascii import gantt, utilization_bars
 
 
-def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Left-aligned ASCII table with a dashed header rule."""
     widths = [len(h) for h in headers]
     for row in rows:
         for index, cell in enumerate(row):
@@ -29,7 +30,7 @@ def element_profile(analysis: TraceAnalysis, top: int = 20) -> str:
             f"{stats.total_time:.6g}", f"{stats.mean_time:.6g}",
             f"{stats.min_time:.6g}", f"{stats.max_time:.6g}",
         ])
-    return _format_table(
+    return format_table(
         ["element", "kind", "count", "total[s]", "mean[s]", "min[s]",
          "max[s]"], rows)
 
@@ -66,5 +67,5 @@ def speedup_table(process_counts: list[int], times: list[float]) -> str:
         efficiency = speedup / (count / process_counts[0])
         rows.append([str(count), f"{time:.6g}", f"{speedup:.3f}",
                      f"{efficiency:.1%}"])
-    return _format_table(["procs", "time[s]", "speedup", "efficiency"],
+    return format_table(["procs", "time[s]", "speedup", "efficiency"],
                          rows)

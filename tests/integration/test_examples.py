@@ -45,6 +45,12 @@ class TestExamples:
         assert "def run(comm):" in out
         assert "GV = 1" in out
 
+    def test_sweep_speedup(self):
+        out = run_example("sweep_speedup.py")
+        assert "sweeping 30 grid points" in out
+        assert "speedup" in out
+        assert "30 ok" in out
+
     @pytest.mark.slow
     def test_kernel6_livermore(self):
         out = run_example("kernel6_livermore.py", timeout=600)

@@ -1,0 +1,97 @@
+"""Content-addressed result cache: round-trips, corruption, stats."""
+
+import json
+
+from repro.sweep import ResultCache
+
+KEY = "ab" + "0" * 62
+PAYLOAD = {"predicted_time": 1.5, "events": 42, "trace_records": 7,
+           "backend": "codegen"}
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+
+    def test_get_missing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(KEY) is None
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put(KEY, PAYLOAD)
+        assert ResultCache(tmp_path).get(KEY) == PAYLOAD
+
+    def test_fanout_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, PAYLOAD)
+        assert path == tmp_path / "ab" / f"{KEY}.json"
+        assert path.is_file()
+
+    def test_contains_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert KEY not in cache
+        assert len(cache) == 0
+        cache.put(KEY, PAYLOAD)
+        cache.put("cd" + "1" * 62, PAYLOAD)
+        assert KEY in cache
+        assert len(cache) == 2
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.get(KEY) is None
+
+    def test_overwrite(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        cache.put(KEY, {"predicted_time": 9.0})
+        assert cache.get(KEY) == {"predicted_time": 9.0}
+
+    def test_no_temp_file_litter(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        assert not list(tmp_path.rglob(".tmp-*"))
+
+
+class TestCorruption:
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, PAYLOAD)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert cache.stats.invalid == 1
+
+    def test_wrong_format_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, PAYLOAD)
+        path.write_text(json.dumps({"format": 999, "payload": {}}),
+                        encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert cache.stats.invalid == 1
+
+
+class TestStats:
+    def test_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get(KEY)
+        cache.put(KEY, PAYLOAD)
+        cache.get(KEY)
+        cache.get(KEY)
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == 2 / 3
+
+    def test_empty_hit_rate(self, tmp_path):
+        assert ResultCache(tmp_path).stats.hit_rate == 0.0
+
+    def test_describe(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        cache.get(KEY)
+        assert "1 hit(s)" in cache.stats.describe()

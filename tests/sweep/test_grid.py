@@ -1,0 +1,159 @@
+"""Grid expansion: determinism, ordering, overrides, validation."""
+
+import pytest
+
+from repro.samples import build_kernel6_model, build_sample_model
+from repro.sweep import SweepSpec, SweepSpecError, expand, make_spec
+from repro.sweep.grid import apply_overrides, override_source
+from repro.uml import model_structural_hash
+
+
+def kernel_spec(**kwargs):
+    return make_spec(build_kernel6_model(), **kwargs)
+
+
+class TestExpansion:
+    def test_point_count_matches_expansion(self):
+        spec = kernel_spec(processes=[1, 2, 4],
+                           backends=["analytic", "codegen"],
+                           seeds=[0, 1],
+                           overrides={"N": [100, 200]})
+        jobs = expand(spec)
+        assert len(jobs) == spec.point_count == 3 * 2 * 2 * 2
+
+    def test_indexes_are_sequential(self):
+        jobs = expand(kernel_spec(processes=[1, 2],
+                                  backends=["analytic", "interp"]))
+        assert [job.index for job in jobs] == list(range(4))
+
+    def test_expansion_is_deterministic(self):
+        spec = kernel_spec(processes=[1, 2],
+                           backends=["analytic", "codegen"],
+                           overrides={"N": [100, 200], "M": [5, 10]})
+        first = expand(spec)
+        second = expand(spec)
+        assert [j.cache_key() for j in first] == \
+            [j.cache_key() for j in second]
+
+    def test_axis_nesting_order(self):
+        jobs = expand(kernel_spec(processes=[1, 2],
+                                  backends=["analytic", "codegen"]))
+        shape = [(j.params.processes, j.backend) for j in jobs]
+        assert shape == [(1, "analytic"), (1, "codegen"),
+                         (2, "analytic"), (2, "codegen")]
+
+    def test_empty_models_empty_grid(self):
+        assert expand(SweepSpec(models=[])) == []
+
+    def test_empty_axis_empty_grid(self):
+        assert expand(kernel_spec(processes=[])) == []
+
+    def test_single_point(self):
+        jobs = expand(kernel_spec())
+        assert len(jobs) == 1
+        job = jobs[0]
+        assert job.backend == "codegen"
+        assert job.params.processes == 1
+        assert job.model_hash == \
+            model_structural_hash(build_kernel6_model())
+
+    def test_default_machine_one_node_per_process(self):
+        jobs = expand(kernel_spec(processes=[4]))
+        assert jobs[0].params.nodes == 4
+
+    def test_fixed_nodes(self):
+        jobs = expand(kernel_spec(processes=[4], nodes=2))
+        assert jobs[0].params.nodes == 2
+
+
+class TestOverrides:
+    def test_override_changes_variant_not_original(self):
+        model = build_kernel6_model(n=100)
+        variant = apply_overrides(model, (("N", "200"),))
+        assert variant is not model
+        assert variant.variable("N").init == "200"
+        assert model.variable("N").init == "100"
+
+    def test_override_changes_hash(self):
+        model = build_kernel6_model(n=100)
+        variant = apply_overrides(model, (("N", "200"),))
+        assert model_structural_hash(variant) != \
+            model_structural_hash(model)
+        assert model_structural_hash(variant) == \
+            model_structural_hash(build_kernel6_model(n=200))
+
+    def test_no_overrides_returns_same_object(self):
+        model = build_kernel6_model()
+        assert apply_overrides(model, ()) is model
+
+    def test_unknown_variable_fails_expansion(self):
+        with pytest.raises(SweepSpecError, match="NoSuchVar"):
+            expand(kernel_spec(overrides={"NoSuchVar": [1]}))
+
+    def test_malformed_value_fails_expansion(self):
+        with pytest.raises(SweepSpecError):
+            expand(kernel_spec(overrides={"N": ["***"]}))
+
+    def test_override_source_forms(self):
+        assert override_source(100) == "100"
+        assert override_source(2.5) == "2.5"
+        assert override_source("N * 2") == "N * 2"
+        with pytest.raises(SweepSpecError):
+            override_source(True)
+        with pytest.raises(SweepSpecError):
+            override_source("")
+
+    def test_generator_axes_are_materialized_not_consumed(self):
+        spec = kernel_spec(
+            processes=(n for n in [1, 2]),
+            backends=(b for b in ["analytic"]),
+            seeds=(s for s in [0]),
+            overrides={"N": (v for v in [100, 200])})
+        assert len(expand(spec)) == 4
+
+    def test_jobs_of_one_variant_share_xml(self):
+        jobs = expand(kernel_spec(processes=[1, 2, 4]))
+        assert len({job.model_xml for job in jobs}) == 1
+
+
+class TestValidation:
+    def test_unknown_backend(self):
+        with pytest.raises(SweepSpecError, match="backend"):
+            expand(kernel_spec(backends=["fortran"]))
+
+    def test_bad_process_count(self):
+        with pytest.raises(SweepSpecError, match="positive"):
+            expand(kernel_spec(processes=[0]))
+
+    def test_bad_seed(self):
+        with pytest.raises(SweepSpecError, match="seed"):
+            expand(kernel_spec(seeds=["zero"]))
+
+    def test_empty_override_axis(self):
+        with pytest.raises(SweepSpecError, match="no values"):
+            expand(kernel_spec(overrides={"N": []}))
+
+    def test_non_model(self):
+        with pytest.raises(SweepSpecError, match="not a Model"):
+            expand(SweepSpec(models=[("x", object())]))
+
+
+class TestCacheKeys:
+    def test_key_ignores_label(self):
+        model = build_kernel6_model()
+        [a] = expand(SweepSpec(models=[("one", model)]))
+        [b] = expand(SweepSpec(models=[("two", model)]))
+        assert a.cache_key() == b.cache_key()
+
+    def test_key_varies_with_each_axis(self):
+        spec = kernel_spec(processes=[1, 2],
+                           backends=["analytic", "codegen"],
+                           seeds=[0, 1],
+                           overrides={"N": [100, 200]})
+        keys = [job.cache_key() for job in expand(spec)]
+        assert len(set(keys)) == len(keys)
+
+    def test_key_differs_for_different_models(self):
+        [a] = expand(make_spec(build_kernel6_model()))
+        [b] = expand(make_spec(build_sample_model()))
+        assert a.cache_key() != b.cache_key()

@@ -1,0 +1,140 @@
+"""Structural-hash contract: stability and sensitivity.
+
+The sweep cache stakes correctness on these properties — a hash that
+drifts across sessions would defeat caching, and a hash blind to a model
+edit would serve stale predictions.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.samples import build_kernel6_model, build_sample_model
+from repro.uml import model_fingerprint, model_structural_hash
+from repro.uml.clone import clone_model
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _hash_in_fresh_process(expression: str) -> str:
+    """Evaluate a hash expression in a brand-new interpreter."""
+    script = (
+        "from repro.samples import build_sample_model\n"
+        "from repro.uml import model_structural_hash\n"
+        "from repro.machine.params import SystemParameters\n"
+        "from repro.machine.network import NetworkConfig\n"
+        f"print({expression})\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = "random"  # prove independence from hash()
+    out = subprocess.run([sys.executable, "-c", script], env=env,
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+class TestModelHashStability:
+    def test_deterministic_within_process(self):
+        assert model_structural_hash(build_sample_model()) == \
+            model_structural_hash(build_sample_model())
+
+    def test_stable_across_process_restart(self):
+        here = model_structural_hash(build_sample_model())
+        fresh = _hash_in_fresh_process(
+            "model_structural_hash(build_sample_model())")
+        assert here == fresh
+
+    def test_stable_across_xml_roundtrip(self):
+        model = build_sample_model()
+        assert model_structural_hash(model) == \
+            model_structural_hash(clone_model(model))
+
+    def test_independent_of_element_ids(self):
+        model = build_sample_model()
+        base = model_structural_hash(model)
+        for element in model.iter_tree():
+            element.id += 1000
+        assert model_structural_hash(model) == base
+
+    def test_distinct_models_distinct_hashes(self):
+        assert model_structural_hash(build_sample_model()) != \
+            model_structural_hash(build_kernel6_model())
+
+
+class TestModelHashSensitivity:
+    """Any semantic edit must change the hash."""
+
+    @pytest.fixture
+    def base(self):
+        return model_structural_hash(build_sample_model())
+
+    def test_variable_init_edit(self, base):
+        model = build_sample_model()
+        model.variable("GV").init = "2"
+        assert model_structural_hash(model) != base
+
+    def test_cost_function_body_edit(self, base):
+        model = build_sample_model()
+        model.cost_functions["FA2"].body_source = "2.5"
+        assert model_structural_hash(model) != base
+
+    def test_node_name_edit(self, base):
+        model = build_sample_model()
+        node = next(n for n in model.all_nodes() if n.name == "A2")
+        node.name = "A2x"
+        assert model_structural_hash(model) != base
+
+    def test_action_cost_edit(self, base):
+        model = build_sample_model()
+        node = next(n for n in model.all_nodes() if n.name == "A2")
+        node.cost = "FA4()"
+        assert model_structural_hash(model) != base
+
+    def test_code_fragment_edit(self, base):
+        model = build_sample_model()
+        node = next(n for n in model.all_nodes() if n.name == "A1")
+        node.code = "GV = 2; P = 4;"
+        assert model_structural_hash(model) != base
+
+    def test_guard_edit(self, base):
+        model = build_sample_model()
+        edge = next(e for e in model.main_diagram.edges
+                    if e.guard == "GV == 1")
+        edge.guard = "GV == 2"
+        assert model_structural_hash(model) != base
+
+    def test_added_node(self, base):
+        from repro.uml.activities import ActionNode
+        model = build_sample_model()
+        model.main_diagram.add_node(
+            ActionNode(model.max_element_id() + 1, "Extra"))
+        assert model_structural_hash(model) != base
+
+    def test_kernel_size_matters(self):
+        assert model_structural_hash(build_kernel6_model(n=100)) != \
+            model_structural_hash(build_kernel6_model(n=200))
+
+
+class TestMachineHashes:
+    def test_system_parameters_stable_across_restart(self):
+        here = SystemParameters(processes=4, nodes=4).structural_hash()
+        fresh = _hash_in_fresh_process(
+            "SystemParameters(processes=4, nodes=4).structural_hash()")
+        assert here == fresh
+
+    def test_system_parameters_sensitivity(self):
+        base = SystemParameters()
+        assert base.structural_hash() != \
+            SystemParameters(processes=2).structural_hash()
+        assert base.structural_hash() != \
+            SystemParameters(placement="cyclic").structural_hash()
+
+    def test_network_config_hash(self):
+        assert NetworkConfig().structural_hash() == \
+            NetworkConfig().structural_hash()
+        assert NetworkConfig().structural_hash() != \
+            NetworkConfig(latency=2e-6).structural_hash()
