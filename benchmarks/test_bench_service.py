@@ -1,0 +1,82 @@
+"""SERVICE bench: cold vs warm batched throughput.
+
+The evaluation service's pitch over raw sweeps is *shared* reuse: the
+registry parses each model once, the batcher coalesces duplicate
+requests, and the content-addressed cache serves repeat points across
+batches (and across clients).  This bench submits the same 30-request
+mixed-backend batch both ways:
+
+* ``cold`` — a fresh service (fresh registry + cache) every round:
+  every unique point is simulated;
+* ``warm`` — a long-lived service with a populated cache: every point
+  is served from disk (asserted at 100% hit rate per round).
+
+The warm path must beat the cold path by a wide margin — that gap is
+the service's reason to exist as a long-lived process.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.service import EvaluationRequest, EvaluationService
+
+
+def batch_requests(ref):
+    """30 requests: 3 backends × 2 process counts × 2 seeds (= 12
+    unique jobs) + 18 duplicates the batcher must coalesce."""
+    unique = [
+        EvaluationRequest(model_ref=ref, backend=backend,
+                          params={"processes": p}, seed=seed)
+        for backend in ("analytic", "codegen", "interp")
+        for p in (1, 2)
+        for seed in (0, 1)]
+    return unique + unique[:12] + unique[:6]
+
+
+@pytest.fixture
+def workdir():
+    path = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def test_service_cold(benchmark, workdir):
+    """Every round boots a fresh service and evaluates the full batch."""
+    counter = {"n": 0}
+
+    def cold():
+        counter["n"] += 1
+        root = workdir / str(counter["n"])
+        service = EvaluationService(root / "registry",
+                                    cache=root / "cache")
+        ref = service.ingest_sample("sample").ref
+        response = service.submit(batch_requests(ref))
+        assert response.stats["cache_hits"] == 0
+        return response
+
+    response = benchmark(cold)
+    benchmark.extra_info["requests"] = len(response.results)
+    benchmark.extra_info["unique_jobs"] = response.stats["unique_jobs"]
+    assert response.ok()
+
+
+def test_service_warm(benchmark, workdir):
+    """Every round is served by a long-lived service from its cache."""
+    service = EvaluationService(workdir / "registry",
+                                cache=workdir / "cache")
+    ref = service.ingest_sample("sample").ref
+    service.submit(batch_requests(ref))  # populate once
+
+    def warm():
+        response = service.submit(batch_requests(ref))
+        assert response.stats["cache_hits"] == \
+            response.stats["unique_jobs"]
+        return response
+
+    response = benchmark(warm)
+    benchmark.extra_info["requests"] = len(response.results)
+    benchmark.extra_info["coalesced"] = response.stats["coalesced"]
+    assert response.ok()

@@ -8,6 +8,9 @@ Commands mirror the Fig. 2 tool flow:
   the Fig. 5 transformation;
 * ``prophet simulate model.xml --processes 4 ... [--trace tf.csv]`` —
   the Performance Estimator (prints the report, writes the TF);
+* ``prophet sweep ...`` — batch-evaluate a parameter grid with caching;
+* ``prophet serve --registry DIR`` / ``prophet submit ...`` — the
+  long-lived batched evaluation service and its client;
 * ``prophet info model.xml`` — model statistics.
 """
 
@@ -117,6 +120,68 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--speedup", action="store_true",
                        help="also print per-series speedup tables")
 
+    serve = commands.add_parser(
+        "serve", help="run the batched evaluation service (JSON over "
+                      "HTTP)")
+    serve.add_argument("--registry", required=True,
+                       help="model registry directory (created if "
+                            "missing)")
+    serve.add_argument("--cache-dir",
+                       help="shared content-addressed result cache "
+                            "directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350)
+    serve.add_argument("--jobs", type=int, default=0,
+                       help="evaluate batches on a process pool with "
+                            "this many workers (0 = serial)")
+    serve.add_argument("--preload", default="",
+                       help="comma-separated built-in models to ingest "
+                            "at startup: sample, kernel6, "
+                            "kernel6-loopnest")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+
+    submit = commands.add_parser(
+        "submit", help="submit an evaluation batch to a running "
+                       "service")
+    submit.add_argument("--url", default="http://127.0.0.1:8350",
+                        help="service base URL")
+    submit.add_argument("--ingest", metavar="MODEL_XML",
+                        help="ingest this model file first and evaluate "
+                             "it")
+    submit.add_argument("--sample",
+                        choices=("sample", "kernel6", "kernel6-loopnest"),
+                        help="ingest a built-in model and evaluate it")
+    submit.add_argument("--label", help="label for the ingested model")
+    submit.add_argument("--ref",
+                        help="evaluate an already-registered model "
+                             "(hash, hash prefix, or label)")
+    submit.add_argument("--backends", default="codegen",
+                        help="comma-separated backends: analytic, "
+                             "codegen, interp")
+    submit.add_argument("--processes", default="1",
+                        help="comma-separated process counts")
+    submit.add_argument("--seeds", default="0",
+                        help="comma-separated simulator seeds")
+    submit.add_argument("--nodes", type=int,
+                        help="fixed node count (default: one node per "
+                             "process)")
+    submit.add_argument("--ppn", type=int, default=1,
+                        help="processors per node")
+    submit.add_argument("--threads", type=int, default=1,
+                        help="threads per process")
+    submit.add_argument("--placement", choices=("block", "cyclic"),
+                        default="block")
+    submit.add_argument("--latency", type=float,
+                        help="network latency override [s]")
+    submit.add_argument("--bandwidth", type=float,
+                        help="network bandwidth override [B/s]")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait for the batch (cold "
+                             "simulations can be slow)")
+    submit.add_argument("--json", action="store_true",
+                        help="print the raw JSON response")
+
     info = commands.add_parser("info", help="print model statistics")
     info.add_argument("model")
     return parser
@@ -147,6 +212,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_simulate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "info":
         return _cmd_info(args)
     raise AssertionError(f"unhandled command {args.command!r}")
@@ -302,6 +371,113 @@ def _cmd_sweep(args) -> int:
         path = result.write_csv(args.csv)
         print(f"wrote {path}")
     return 0 if not result.failed() else 1
+
+
+def build_service_server(args):
+    """The (server, service) pair ``prophet serve`` runs.
+
+    Split from :func:`_cmd_serve` so tests (and embedders) can bind an
+    ephemeral port and drive the server on a thread instead of blocking
+    on ``serve_forever``.
+    """
+    from repro.service import EvaluationService, make_server
+    service = EvaluationService(
+        args.registry, cache=args.cache_dir,
+        executor="process" if args.jobs > 0 else "serial",
+        max_workers=args.jobs or None)
+    from repro.uml.hashing import short_ref
+    for kind in (k.strip() for k in args.preload.split(",") if k.strip()):
+        record = service.ingest_sample(kind)
+        print(f"preloaded {kind} as {short_ref(record.ref)}")
+    server = make_server(service, args.host, args.port)
+    if args.verbose:
+        server.RequestHandlerClass.quiet = False
+    return server, service
+
+
+def _cmd_serve(args) -> int:
+    server, service = build_service_server(args)
+    host, port = server.server_address[:2]
+    print(f"serving {len(service.registry)} model(s) on "
+          f"http://{host}:{port} "
+          f"(registry: {args.registry}, cache: "
+          f"{args.cache_dir or 'none'}, executor: {service.executor})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def _submit_requests(args, ref: str) -> list[dict]:
+    """The cross-product of the submit axes as request payloads."""
+    network = {}
+    if args.latency is not None:
+        network["latency"] = args.latency
+    if args.bandwidth is not None:
+        network["bandwidth"] = args.bandwidth
+    requests = []
+    for backend in (b.strip() for b in args.backends.split(",")
+                    if b.strip()):
+        for processes in _parse_int_list(args.processes, "processes"):
+            for seed in _parse_int_list(args.seeds, "seeds"):
+                params = {"processes": processes,
+                          "processors_per_node": args.ppn,
+                          "threads_per_process": args.threads,
+                          "placement": args.placement}
+                if args.nodes is not None:
+                    params["nodes"] = args.nodes
+                requests.append({"model_ref": ref, "backend": backend,
+                                 "params": params, "network": network,
+                                 "seed": seed})
+    return requests
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+    if sum(bool(x) for x in (args.ingest, args.sample, args.ref)) != 1:
+        raise ProphetError(
+            "give exactly one of --ingest, --sample, or --ref")
+    client = ServiceClient(args.url, timeout=args.timeout)
+    if args.ingest:
+        xml = Path(args.ingest).read_text(encoding="utf-8")
+        record = client.ingest_xml(xml, args.label)
+        ref = record["ref"]
+        print(f"ingested {record['name']} as {record['short_ref']}")
+    elif args.sample:
+        record = client.ingest_sample(args.sample, args.label)
+        ref = record["ref"]
+        print(f"ingested {record['name']} as {record['short_ref']}")
+    else:
+        ref = args.ref
+
+    response = client.evaluate(_submit_requests(args, ref))
+    if args.json:
+        print(json.dumps(response, indent=1, sort_keys=True))
+    results, stats = response["results"], response["stats"]
+    failed = [r for r in results if r.get("status") != "ok"]
+    if not args.json:
+        for result in results:
+            if result.get("status") == "ok":
+                flags = "".join((
+                    "C" if result.get("cached") else "",
+                    "=" if result.get("coalesced") else ""))
+                print(f"  {result['backend']:<9} "
+                      f"p={result['processes']:<3} "
+                      f"seed={result['seed']:<3} "
+                      f"t={result['predicted_time']:.9g} s "
+                      f"events={result['events']} {flags}")
+            else:
+                print(f"  FAILED: {result.get('error')}")
+        print(f"{stats['requests']} request(s): "
+              f"{stats['unique_jobs']} unique job(s), "
+              f"{stats['coalesced']} coalesced, "
+              f"{stats['cache_hits']} cache hit(s)")
+    return 1 if failed else 0
 
 
 def _cmd_info(args) -> int:

@@ -30,6 +30,7 @@ from repro.machine.network import NetworkConfig
 from repro.machine.params import SystemParameters
 from repro.uml.hashing import model_structural_hash
 from repro.uml.model import Model
+from repro.util.lru import LRUMap
 
 #: Names accepted by :func:`evaluate_point`, in canonical order.
 BACKENDS: tuple[str, ...] = ("analytic", "codegen", "interp")
@@ -37,12 +38,14 @@ BACKENDS: tuple[str, ...] = ("analytic", "codegen", "interp")
 #: Simulated backends — those that run the event calendar.
 SIMULATED_BACKENDS: tuple[str, ...] = ("codegen", "interp")
 
-#: (model structural hash, backend) → PreparedModel; process-local.
-_PREPARED: dict[tuple[str, str], PreparedModel] = {}
-
-#: Soft bound on the prepared-model memo (models are small; this only
-#: guards against unbounded growth in very long-lived processes).
+#: Bound on the prepared-model memo (models are small; this only guards
+#: against unbounded growth in very long-lived processes).
 _PREPARED_LIMIT = 64
+
+#: (model structural hash, backend) → PreparedModel; process-local.
+#: LRU-evicting: a long-lived service rotating through more models than
+#: the limit loses only the coldest entry, never the whole working set.
+_PREPARED: LRUMap[tuple[str, str], PreparedModel] = LRUMap(_PREPARED_LIMIT)
 
 
 def validate_backend(backend: str) -> str:
@@ -58,15 +61,18 @@ def clear_prepared_cache() -> None:
     _PREPARED.clear()
 
 
+def prepared_cache_stats() -> dict:
+    """Counters of the prepared-model memo (service /stats payload)."""
+    return _PREPARED.stats()
+
+
 def _prepared(model: Model, backend: str,
               model_hash: str | None = None) -> PreparedModel:
     key = (model_hash or model_structural_hash(model), backend)
     prepared = _PREPARED.get(key)
     if prepared is None:
-        if len(_PREPARED) >= _PREPARED_LIMIT:
-            _PREPARED.clear()
         prepared = PerformanceEstimator().prepare(model, mode=backend)
-        _PREPARED[key] = prepared
+        _PREPARED.put(key, prepared)
     return prepared
 
 

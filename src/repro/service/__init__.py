@@ -1,0 +1,63 @@
+"""The evaluation service: registry, batching, and a JSON-over-HTTP API.
+
+This package turns the one-shot translator into infrastructure — the
+ROADMAP's scale axis.  Instead of one CLI invocation per question, a
+long-lived process holds
+
+* :mod:`repro.service.registry` — a content-addressed persistent store
+  of parsed models (ingest XML once, evaluate forever);
+* :mod:`repro.service.request` — validated evaluation requests
+  ``{model_ref, backend, params, network, seed}``;
+* :mod:`repro.service.batcher` — duplicate coalescing and
+  (model, backend) grouping, amortizing model preparation;
+* :mod:`repro.service.service` — :class:`EvaluationService`, dispatching
+  planned batches through the sweep executors with the shared
+  content-addressed result cache;
+* :mod:`repro.service.httpd` / :mod:`repro.service.client` — the HTTP
+  front end (stdlib only) and its client, used by ``prophet serve`` and
+  ``prophet submit``.
+
+Quickstart (in-process)::
+
+    from repro.service import EvaluationRequest, EvaluationService
+
+    service = EvaluationService("registry-dir", cache="cache-dir")
+    record = service.ingest_sample("kernel6")
+    batch = service.submit([
+        EvaluationRequest(model_ref=record.ref, backend=backend,
+                          params={"processes": p})
+        for backend in ("analytic", "codegen")
+        for p in (1, 2, 4, 8)])
+    for result in batch.results:
+        print(result["backend"], result["predicted_time"])
+
+Or over HTTP: ``prophet serve --registry registry-dir`` in one shell,
+``prophet submit --url http://127.0.0.1:8350 --sample kernel6
+--backends analytic,codegen --processes 1,2,4,8`` in another.
+"""
+
+from repro.service.batcher import BatchPlan, plan_batch
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.httpd import make_server
+from repro.service.registry import (
+    ModelRecord,
+    ModelRegistry,
+    RegistryError,
+)
+from repro.service.request import (
+    EvaluationRequest,
+    RequestError,
+    request_from_payload,
+    requests_from_payload,
+)
+from repro.service.service import BatchResponse, EvaluationService
+
+__all__ = [
+    "BatchPlan", "BatchResponse",
+    "EvaluationRequest", "EvaluationService",
+    "ModelRecord", "ModelRegistry",
+    "RegistryError", "RequestError",
+    "ServiceClient", "ServiceClientError",
+    "make_server", "plan_batch",
+    "request_from_payload", "requests_from_payload",
+]

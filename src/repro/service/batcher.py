@@ -1,0 +1,113 @@
+"""Request batching: coalesce duplicates, group for amortization.
+
+The service's throughput lever is not parallelism alone — it is *not
+doing the work*.  Three layers of reuse, applied in order:
+
+1. **Coalescing** — identical requests (same model structure, machine,
+   backend, seed) inside one batch collapse to a single job; every
+   duplicate shares the one result.
+2. **Grouping** — unique jobs are ordered so all points of the same
+   ``(model, backend)`` pair run consecutively; the prepared-model memo
+   in :mod:`repro.estimator.backends` then transforms each model once
+   per backend instead of thrashing between representations.
+3. **Caching** — jobs are keyed exactly like sweep jobs, so the service
+   shares its content-addressed result cache with every past batch and
+   every ``prophet sweep`` run against the same cache directory.
+
+Planning is total per request: a request that cannot be planned
+(unknown model reference, invalid machine shape) becomes a per-request
+error, and the rest of the batch still runs — mirroring the sweep
+runner's per-job error capture.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ProphetError
+from repro.service.registry import ModelRegistry
+from repro.service.request import EvaluationRequest
+from repro.sweep.spec import SweepJob, make_job
+
+
+@dataclass
+class BatchPlan:
+    """The executable shape of one batch of requests.
+
+    ``assignment[i]`` is the index (into ``jobs``) of the job that
+    serves request ``i``, or ``None`` when planning failed for it (the
+    message is in ``errors[i]``).
+    """
+
+    jobs: list[SweepJob] = field(default_factory=list)
+    assignment: list[int | None] = field(default_factory=list)
+    errors: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def request_count(self) -> int:
+        return len(self.assignment)
+
+    @property
+    def coalesced_count(self) -> int:
+        """Requests served by a job another request already created."""
+        planned = sum(1 for target in self.assignment if target is not None)
+        return planned - len(self.jobs)
+
+
+def plan_batch(requests: Sequence[EvaluationRequest],
+               registry: ModelRegistry) -> BatchPlan:
+    """Resolve, deduplicate, and order a batch into a :class:`BatchPlan`."""
+    plan = BatchPlan()
+    # Provisional jobs in arrival order; keyed for coalescing by the
+    # same content address the result cache uses.
+    drafts: list[SweepJob] = []
+    by_key: dict[str, int] = {}          # cache key → draft position
+    draft_of_request: list[int | None] = []
+    # Per-plan memos: a batch of N requests against one model must cost
+    # one reference resolution and one XML read, not N of each.
+    resolved: dict[str, str] = {}        # model_ref → structural hash
+    xml_of: dict[str, str] = {}          # structural hash → stored XML
+    for position, request in enumerate(requests):
+        try:
+            model_hash = resolved.get(request.model_ref)
+            if model_hash is None:
+                model_hash = registry.resolve(request.model_ref)
+                resolved[request.model_ref] = model_hash
+            if model_hash not in xml_of:
+                xml_of[model_hash] = registry.xml(model_hash)
+            job = make_job(
+                index=len(drafts),
+                model_xml=xml_of[model_hash],
+                model_hash=model_hash,
+                backend=request.backend,
+                params=request.system_parameters(),
+                network=request.network_config(),
+                seed=request.seed,
+                label=request.model_ref)
+        except ProphetError as exc:
+            plan.errors[position] = f"{type(exc).__name__}: {exc}"
+            draft_of_request.append(None)
+            continue
+        key = job.cache_key()
+        if key not in by_key:
+            by_key[key] = len(drafts)
+            drafts.append(job)
+        draft_of_request.append(by_key[key])
+
+    # Group by (model, backend) — stable, so arrival order breaks ties
+    # deterministically — and renumber into final execution order.
+    order = sorted(range(len(drafts)),
+                   key=lambda i: (drafts[i].model_hash,
+                                  drafts[i].backend, i))
+    final_index = {draft_position: rank
+                   for rank, draft_position in enumerate(order)}
+    plan.jobs = [dataclasses.replace(drafts[i], index=rank)
+                 for rank, i in enumerate(order)]
+    plan.assignment = [None if draft is None else final_index[draft]
+                       for draft in draft_of_request]
+    return plan
+
+
+__all__ = ["BatchPlan", "plan_batch"]

@@ -1,0 +1,93 @@
+"""A thin JSON client for the evaluation service (stdlib ``urllib``).
+
+``prophet submit`` and the tests drive the HTTP API through this class;
+it exists so wire concerns (encoding, error mapping) live in one place
+and every caller gets identical behaviour.  Server-reported errors
+(status ≥ 400 with an ``error`` payload) raise :class:`ServiceClientError`
+with the server's message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Sequence
+
+from repro.errors import ProphetError
+from repro.service.request import EvaluationRequest
+
+
+class ServiceClientError(ProphetError):
+    """The service refused a request or could not be reached."""
+
+
+class ServiceClient:
+    """Talks to one evaluation service at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._get("/health")
+
+    def stats(self) -> dict:
+        return self._get("/stats")
+
+    def list_models(self) -> list[dict]:
+        return self._get("/models")["models"]
+
+    def ingest_xml(self, xml: str, label: str | None = None) -> dict:
+        body: dict = {"xml": xml}
+        if label:
+            body["label"] = label
+        return self._post("/models", body)["model"]
+
+    def ingest_sample(self, kind: str, label: str | None = None) -> dict:
+        body: dict = {"sample": kind}
+        if label:
+            body["label"] = label
+        return self._post("/models", body)["model"]
+
+    def evaluate(self, requests: Sequence[EvaluationRequest | dict]
+                 ) -> dict:
+        """Submit a batch; returns ``{"results": [...], "stats": {...}}``."""
+        payload = [request.to_payload()
+                   if isinstance(request, EvaluationRequest) else request
+                   for request in requests]
+        return self._post("/evaluate", {"requests": payload})
+
+    # -- wire ----------------------------------------------------------------
+
+    def _get(self, path: str) -> dict:
+        return self._call(urllib.request.Request(self.base_url + path))
+
+    def _post(self, path: str, body: dict) -> dict:
+        data = json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=data,
+            headers={"Content-Type": "application/json"})
+        return self._call(request)
+
+    def _call(self, request: urllib.request.Request) -> dict:
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:  # noqa: BLE001 — non-JSON error body
+                message = f"HTTP {exc.code}"
+            raise ServiceClientError(
+                f"service error ({exc.code}): {message}") from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceClientError(
+                f"cannot reach service at {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}") from exc
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

@@ -1,0 +1,151 @@
+"""JSON-over-HTTP front end (stdlib ``http.server``, no dependencies).
+
+Endpoints::
+
+    GET  /health            liveness + model count
+    GET  /models            registry listing
+    POST /models            ingest {"xml": "..."} or {"sample": "kernel6"}
+                            (optional "label"); idempotent by content
+    POST /evaluate          {"requests": [{...}, ...]} → per-request
+                            results + batch stats (see repro.service)
+    GET  /stats             service-lifetime counters
+
+Every response body is JSON.  Client errors (malformed JSON, unknown
+fields, unknown refs) return 400 with ``{"error": ...}``; unknown paths
+return 404; evaluation *failures* are not HTTP errors — they come back
+as per-request ``{"status": "error"}`` entries in a 200 batch, exactly
+like the sweep engine captures per-job failures.
+
+The server is a ``ThreadingHTTPServer`` so a slow batch does not block
+health checks; the service itself serializes batch execution.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ProphetError
+from repro.service.request import requests_from_payload
+from repro.service.service import EvaluationService
+
+#: Largest accepted request body; a batch of thousands of requests fits
+#: comfortably, while an accidental model-XML-as-body upload of
+#: hundreds of MB is refused instead of buffered.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto an :class:`EvaluationService`."""
+
+    server_version = "ProphetService/1.0"
+    service: EvaluationService  # injected by make_server
+    quiet = True
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        try:
+            if self.path == "/health":
+                self._reply(200, {"status": "ok",
+                                  "models": len(self.service.registry)})
+            elif self.path == "/models":
+                self._reply(200, {"models": [
+                    record.to_payload()
+                    for record in self.service.registry.records()]})
+            elif self.path == "/stats":
+                self._reply(200, self.service.stats())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+        except ProphetError as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — the server must survive
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        if self.path == "/models":
+            self._handle(self._post_models)
+        elif self.path == "/evaluate":
+            self._handle(self._post_evaluate)
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    # -- handlers ------------------------------------------------------------
+
+    def _post_models(self, body: dict) -> None:
+        label = body.get("label")
+        if label is not None and not isinstance(label, str):
+            raise ProphetError(f"label must be a string, got {label!r}")
+        if "xml" in body:
+            record = self.service.ingest_xml(body["xml"], label)
+        elif "sample" in body:
+            record = self.service.ingest_sample(body["sample"], label)
+        else:
+            raise ProphetError(
+                "ingest body needs either 'xml' (a model document) or "
+                "'sample' (a built-in model kind)")
+        self._reply(200, {"model": record.to_payload()})
+
+    def _post_evaluate(self, body: dict) -> None:
+        requests = requests_from_payload(body.get("requests"))
+        response = self.service.submit(requests)
+        self._reply(200, response.to_payload())
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _handle(self, handler) -> None:
+        try:
+            body = self._read_json()
+            handler(body)
+        except ProphetError as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — the server must survive
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _read_json(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ProphetError("Content-Length is not an integer") from None
+        if length <= 0:
+            raise ProphetError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            raise ProphetError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProphetError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ProphetError("request body must be a JSON object")
+        return body
+
+    def _reply(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+
+def make_server(service: EvaluationService, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """A ready-to-run HTTP server bound to ``host:port`` (0 = ephemeral).
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()`` + ``server_close()`` to stop (tests run it on a
+    thread; ``prophet serve`` runs it in the foreground).
+    """
+    handler = type("BoundServiceRequestHandler", (ServiceRequestHandler,),
+                   {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+__all__ = ["MAX_BODY_BYTES", "ServiceRequestHandler", "make_server"]

@@ -1,0 +1,291 @@
+"""Content-addressed persistent model store.
+
+The registry is the service's "Models (XML)" box from Fig. 2 made
+multi-tenant: every ingested model is stored once, keyed by its
+structural hash (:func:`repro.uml.hashing.model_structural_hash`), so
+two clients uploading the same model share one entry — and every cached
+evaluation of it.
+
+Layout (mirrors the sweep result cache)::
+
+    root/
+      models/<h[:2]>/<h>.xml     # canonical XML, h = structural hash
+      labels.json                # label → hash (latest ingest wins)
+      names.json                 # hash → model name (listing index)
+
+Models are checker-validated at ingest, so everything the registry
+serves is known evaluable (evaluation workers still re-validate on
+their own memo misses — each pool worker is a fresh process).
+References accept a full hash, any unambiguous hash prefix (≥ 6 hex
+digits), or a label.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ProphetError
+from repro.uml.hashing import model_structural_hash, short_ref
+from repro.uml.model import Model
+from repro.util.lru import LRUMap
+
+#: Shortest hash prefix :meth:`ModelRegistry.resolve` accepts.
+MIN_REF_PREFIX = 6
+
+#: Parsed models kept hot per registry instance.
+_PARSED_LIMIT = 32
+
+
+class RegistryError(ProphetError):
+    """A registry reference or ingest that cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One registry entry, as listings and the HTTP API report it."""
+
+    ref: str          # full structural hash
+    name: str         # the model's own name
+    labels: tuple[str, ...]
+
+    def to_payload(self) -> dict:
+        return {"ref": self.ref, "short_ref": short_ref(self.ref),
+                "name": self.name, "labels": list(self.labels)}
+
+
+class ModelRegistry:
+    """Persistent, content-addressed store of parsed performance models."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._parsed: LRUMap[str, Model] = LRUMap(_PARSED_LIMIT)
+        # Guards the parsed-model memo and the labels.json
+        # read-modify-write against concurrent HTTP handler threads
+        # (model files themselves are content-addressed and atomic, so
+        # they need no lock).
+        self._lock = threading.Lock()
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def models_dir(self) -> Path:
+        return self.root / "models"
+
+    @property
+    def labels_path(self) -> Path:
+        return self.root / "labels.json"
+
+    @property
+    def names_path(self) -> Path:
+        return self.root / "names.json"
+
+    def path_for(self, ref: str) -> Path:
+        return self.models_dir / ref[:2] / f"{ref}.xml"
+
+    # -- ingest --------------------------------------------------------------
+
+    def ingest_model(self, model: Model,
+                     label: str | None = None) -> ModelRecord:
+        """Store ``model`` (validated, canonical XML); returns its record.
+
+        Idempotent: re-ingesting identical structure is a no-op apart
+        from label assignment.
+        """
+        from repro.checker import ModelChecker
+        from repro.xmlio.writer import model_to_xml
+        if label:
+            _check_label(label)  # reject before any persistent writes
+        ModelChecker().assert_valid(model)
+        ref = model_structural_hash(model)
+        path = self.path_for(ref)
+        if not path.is_file():
+            _atomic_write(path, model_to_xml(model))
+        with self._lock:
+            self._parsed.put(ref, model)
+            self._set_name(ref, model.name)
+            if label:
+                self._set_label(label, ref)
+        return self._record(ref, model.name)
+
+    def ingest_xml(self, text: str, label: str | None = None) -> ModelRecord:
+        """Parse, validate, and store a model XML document."""
+        from repro.xmlio.reader import model_from_xml
+        try:
+            model = model_from_xml(text)
+        except ProphetError as exc:
+            raise RegistryError(f"cannot ingest model XML: {exc}") from exc
+        return self.ingest_model(model, label)
+
+    def ingest_file(self, path: str | Path,
+                    label: str | None = None) -> ModelRecord:
+        """Ingest a model XML file from disk."""
+        return self.ingest_xml(Path(path).read_text(encoding="utf-8"),
+                               label)
+
+    def ingest_sample(self, kind: str,
+                      label: str | None = None) -> ModelRecord:
+        """Ingest one of the built-in paper models by kind name."""
+        from repro.samples import (
+            build_kernel6_loopnest_model,
+            build_kernel6_model,
+            build_sample_model,
+        )
+        builders = {"sample": build_sample_model,
+                    "kernel6": build_kernel6_model,
+                    "kernel6-loopnest": build_kernel6_loopnest_model}
+        if kind not in builders:
+            raise RegistryError(
+                f"unknown sample model {kind!r} "
+                f"(expected one of {', '.join(sorted(builders))})")
+        return self.ingest_model(builders[kind](), label or kind)
+
+    # -- lookup --------------------------------------------------------------
+
+    def resolve(self, ref: str) -> str:
+        """Full structural hash for a hash, hash prefix, or label."""
+        if not ref:
+            raise RegistryError("empty model reference")
+        labels = self._labels()
+        if ref in labels:
+            return labels[ref]
+        if _is_hex(ref):
+            if len(ref) == 64 and self.path_for(ref).is_file():
+                return ref
+            if MIN_REF_PREFIX <= len(ref) < 64:
+                matches = [h for h in self.refs() if h.startswith(ref)]
+                if len(matches) == 1:
+                    return matches[0]
+                if len(matches) > 1:
+                    raise RegistryError(
+                        f"ambiguous model reference {ref!r} "
+                        f"({len(matches)} matches)")
+        raise RegistryError(f"unknown model reference {ref!r}")
+
+    def get(self, ref: str) -> Model:
+        """The parsed model behind ``ref`` (memoized per instance)."""
+        full = self.resolve(ref)
+        with self._lock:
+            model = self._parsed.get(full)
+        if model is None:
+            from repro.xmlio.reader import model_from_xml
+            model = model_from_xml(self.xml(full))
+            with self._lock:
+                self._parsed.put(full, model)
+        return model
+
+    def xml(self, ref: str) -> str:
+        """The stored canonical XML behind ``ref``."""
+        full = self.resolve(ref)
+        return self.path_for(full).read_text(encoding="utf-8")
+
+    def refs(self) -> list[str]:
+        """Every stored model hash, sorted."""
+        if not self.models_dir.is_dir():
+            return []
+        return sorted(path.stem
+                      for path in self.models_dir.glob("??/*.xml"))
+
+    def records(self) -> list[ModelRecord]:
+        """Listing of every stored model (sorted by hash).
+
+        Names come from the ``names.json`` index written at ingest, so
+        a listing is O(models) file stats, not O(models) XML parses;
+        entries predating the index (or hand-copied in) fall back to a
+        parse once and are then indexed.
+        """
+        names = self._names()
+        labels = self._labels()
+        records = []
+        for ref in self.refs():
+            name = names.get(ref)
+            if name is None:
+                name = self.get(ref).name
+                with self._lock:
+                    self._set_name(ref, name)
+            records.append(self._record(ref, name, labels))
+        return records
+
+    def __len__(self) -> int:
+        return len(self.refs())
+
+    def __contains__(self, ref: str) -> bool:
+        try:
+            self.resolve(ref)
+        except RegistryError:
+            return False
+        return True
+
+    # -- internals -----------------------------------------------------------
+
+    def _record(self, ref: str, name: str,
+                labels: dict[str, str] | None = None) -> ModelRecord:
+        labels = self._labels() if labels is None else labels
+        matching = tuple(sorted(label for label, target
+                                in labels.items() if target == ref))
+        return ModelRecord(ref=ref, name=name, labels=matching)
+
+    def _labels(self) -> dict[str, str]:
+        return _read_json_map(self.labels_path)
+
+    def _names(self) -> dict[str, str]:
+        return _read_json_map(self.names_path)
+
+    def _set_label(self, label: str, ref: str) -> None:
+        """Caller holds ``self._lock`` (read-modify-write)."""
+        _check_label(label)
+        labels = self._labels()
+        labels[label] = ref
+        _atomic_write(self.labels_path,
+                      json.dumps(labels, sort_keys=True, indent=1))
+
+    def _set_name(self, ref: str, name: str) -> None:
+        """Caller holds ``self._lock`` (read-modify-write)."""
+        names = self._names()
+        if names.get(ref) != name:
+            names[ref] = name
+            _atomic_write(self.names_path,
+                          json.dumps(names, sort_keys=True, indent=1))
+
+
+def _is_hex(text: str) -> bool:
+    return bool(text) and all(c in "0123456789abcdef" for c in text)
+
+
+def _check_label(label: str) -> None:
+    if _is_hex(label) and len(label) >= MIN_REF_PREFIX:
+        raise RegistryError(
+            f"label {label!r} looks like a hash reference; "
+            "pick a non-hex label")
+
+
+def _read_json_map(path: Path) -> dict[str, str]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write via temp file + rename so a crash never leaves a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+__all__ = ["MIN_REF_PREFIX", "ModelRecord", "ModelRegistry",
+           "RegistryError"]

@@ -1,0 +1,139 @@
+"""Evaluation requests: the service's wire-level unit of work.
+
+A request names *what* to evaluate — a registered model, a backend, the
+machine (SystemParameters overrides), the interconnect (NetworkConfig
+overrides), and a simulator seed.  Requests arrive as plain JSON
+payloads over HTTP or from the CLI; :func:`request_from_payload`
+validates field names and types loudly, so a typo in a params key is a
+400, not a silently-default machine.
+
+The machine defaults follow the sweep engine's strong-scaling
+convention: when ``nodes`` is not given, every process gets its own
+node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ProphetError
+from repro.estimator.backends import validate_backend
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+
+
+class RequestError(ProphetError):
+    """A malformed evaluation request (unknown field, bad type…)."""
+
+
+#: Fields a request may override on :class:`SystemParameters`.
+PARAM_FIELDS = tuple(f.name for f in dataclasses.fields(SystemParameters))
+
+#: Fields a request may override on :class:`NetworkConfig`.
+NETWORK_FIELDS = tuple(f.name for f in dataclasses.fields(NetworkConfig))
+
+
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """One fully-described evaluation point, by model reference."""
+
+    model_ref: str
+    backend: str = "codegen"
+    params: Mapping[str, object] = field(default_factory=dict)
+    network: Mapping[str, object] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.model_ref, str) or not self.model_ref:
+            raise RequestError("request needs a non-empty model_ref")
+        try:
+            validate_backend(self.backend)
+        except ProphetError as exc:
+            raise RequestError(str(exc)) from None
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise RequestError(
+                f"request seed must be an integer, got {self.seed!r}")
+        _check_fields("params", self.params, PARAM_FIELDS)
+        _check_fields("network", self.network, NETWORK_FIELDS)
+        # Freeze the mappings so requests are safely shareable.
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "network", dict(self.network))
+
+    def system_parameters(self) -> SystemParameters:
+        """The SP of this point (one node per process by default)."""
+        values = dict(self.params)
+        if "nodes" not in values:
+            # Default nodes to the processes *value* untouched: if it is
+            # not a valid count, SystemParameters rejects it below and
+            # the error stays a per-request RequestError.
+            values["nodes"] = values.get("processes", 1)
+        try:
+            return SystemParameters(**values)
+        except (ProphetError, TypeError, ValueError) as exc:
+            raise RequestError(str(exc)) from None
+
+    def network_config(self) -> NetworkConfig:
+        try:
+            return NetworkConfig(**self.network)
+        except (ProphetError, TypeError, ValueError) as exc:
+            raise RequestError(str(exc)) from None
+
+    def to_payload(self) -> dict:
+        """The JSON form (inverse of :func:`request_from_payload`)."""
+        return {"model_ref": self.model_ref, "backend": self.backend,
+                "params": dict(self.params),
+                "network": dict(self.network), "seed": self.seed}
+
+
+def _check_fields(what: str, values: Mapping[str, object],
+                  allowed: tuple[str, ...]) -> None:
+    if not isinstance(values, Mapping):
+        raise RequestError(
+            f"request {what} must be an object of field overrides, "
+            f"got {type(values).__name__}")
+    for name in values:
+        if name not in allowed:
+            raise RequestError(
+                f"unknown {what} field {name!r} "
+                f"(expected one of {', '.join(allowed)})")
+
+
+def request_from_payload(payload: object) -> EvaluationRequest:
+    """Validate one JSON request object into an :class:`EvaluationRequest`."""
+    if not isinstance(payload, Mapping):
+        raise RequestError(
+            f"each request must be a JSON object, got "
+            f"{type(payload).__name__}")
+    known = {"model_ref", "backend", "params", "network", "seed"}
+    unknown = set(payload) - known
+    if unknown:
+        raise RequestError(
+            f"unknown request field(s) {', '.join(sorted(unknown))} "
+            f"(expected a subset of {', '.join(sorted(known))})")
+    if "model_ref" not in payload:
+        raise RequestError("request needs a model_ref")
+    return EvaluationRequest(
+        model_ref=payload["model_ref"],
+        backend=payload.get("backend", "codegen"),
+        params=payload.get("params", {}),
+        network=payload.get("network", {}),
+        seed=payload.get("seed", 0),
+    )
+
+
+def requests_from_payload(payload: object) -> list[EvaluationRequest]:
+    """Validate a JSON array of request objects (the batch body)."""
+    if not isinstance(payload, list):
+        raise RequestError(
+            f"requests must be a JSON array, got "
+            f"{type(payload).__name__}")
+    if not payload:
+        raise RequestError("requests array is empty")
+    return [request_from_payload(item) for item in payload]
+
+
+__all__ = ["EvaluationRequest", "NETWORK_FIELDS", "PARAM_FIELDS",
+           "RequestError", "request_from_payload",
+           "requests_from_payload"]

@@ -1,0 +1,168 @@
+"""The long-lived evaluation service: registry + batcher + sweep engine.
+
+:class:`EvaluationService` is the process-resident object the HTTP
+front end and the CLI both drive.  One instance owns
+
+* a :class:`~repro.service.registry.ModelRegistry` (persistent models),
+* an optional shared :class:`~repro.sweep.cache.ResultCache`
+  (persistent results, shared with ``prophet sweep``),
+* an executor choice (serial, or a process pool for wide batches).
+
+``submit`` is the whole API: a list of
+:class:`~repro.service.request.EvaluationRequest` in, one response per
+request out, in order.  Responses are deterministic functions of the
+request content (cache/coalescing metadata is reported alongside, never
+mixed into the payload), so a client can byte-compare results across
+submissions, executors, and service restarts.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.estimator.backends import prepared_cache_stats
+from repro.service.batcher import plan_batch
+from repro.service.registry import ModelRecord, ModelRegistry
+from repro.service.request import EvaluationRequest
+from repro.sweep.cache import CacheStats, ResultCache
+from repro.sweep.runner import run_jobs
+
+#: Keys of a successful per-request result payload (the deterministic
+#: part a client may byte-compare; metadata keys sit next to them).
+RESULT_PAYLOAD_KEYS = ("predicted_time", "events", "trace_records",
+                       "backend")
+
+
+@dataclass
+class BatchResponse:
+    """Everything one ``submit`` call produced."""
+
+    results: list[dict]              # one per request, in request order
+    stats: dict = field(default_factory=dict)
+
+    def ok(self) -> bool:
+        return all(r.get("status") == "ok" for r in self.results)
+
+    def to_payload(self) -> dict:
+        return {"results": self.results, "stats": self.stats}
+
+
+class EvaluationService:
+    """Serves batched model evaluations against a persistent registry."""
+
+    def __init__(self, registry: ModelRegistry | str | Path,
+                 cache: ResultCache | str | Path | None = None,
+                 executor: str = "serial",
+                 max_workers: int | None = None) -> None:
+        self.registry = (registry if isinstance(registry, ModelRegistry)
+                         else ModelRegistry(registry))
+        self.cache = (cache if isinstance(cache, (ResultCache, type(None)))
+                      else ResultCache(cache))
+        # "process" forks a pool per batch (the sweep runner's model):
+        # jobs are self-contained XML, so workers never touch registry
+        # locks, and small batches short-circuit the pool entirely.
+        self.executor = executor
+        self.max_workers = max_workers
+        self.batches_served = 0
+        self.requests_served = 0
+        self.coalesced_total = 0
+        # One batch at a time: the batcher/pool parallelize *inside* a
+        # batch; interleaving batches would only thrash the memos.
+        self._submit_lock = threading.Lock()
+
+    # -- ingest passthrough --------------------------------------------------
+
+    def ingest_xml(self, text: str, label: str | None = None) -> ModelRecord:
+        return self.registry.ingest_xml(text, label)
+
+    def ingest_sample(self, kind: str,
+                      label: str | None = None) -> ModelRecord:
+        return self.registry.ingest_sample(kind, label)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def submit(self, requests: Sequence[EvaluationRequest]
+               ) -> BatchResponse:
+        """Evaluate a batch; one response per request, in order."""
+        with self._submit_lock:
+            return self._submit_locked(list(requests))
+
+    def _submit_locked(self, requests: list[EvaluationRequest]
+                       ) -> BatchResponse:
+        plan = plan_batch(requests, self.registry)
+        before = (self.cache.stats.snapshot() if self.cache is not None
+                  else CacheStats())
+        sweep_result = run_jobs(plan.jobs, cache=self.cache,
+                                executor=self.executor,
+                                max_workers=self.max_workers)
+        outcomes = list(sweep_result)  # index order == job order
+
+        results: list[dict] = []
+        seen_jobs: set[int] = set()
+        for position, target in enumerate(plan.assignment):
+            if target is None:
+                results.append({"status": "error",
+                                "error": plan.errors[position]})
+                continue
+            outcome = outcomes[target]
+            coalesced = target in seen_jobs
+            seen_jobs.add(target)
+            if outcome.ok:
+                results.append({
+                    "status": "ok",
+                    "predicted_time": outcome.predicted_time,
+                    "events": outcome.events,
+                    "trace_records": outcome.trace_records,
+                    "backend": outcome.job.backend,
+                    "model": outcome.job.model_hash,
+                    "processes": outcome.job.params.processes,
+                    "seed": outcome.job.seed,
+                    "cached": outcome.cached,
+                    "coalesced": coalesced,
+                })
+            else:
+                results.append({"status": "error", "error": outcome.error,
+                                "model": outcome.job.model_hash,
+                                "backend": outcome.job.backend,
+                                "coalesced": coalesced})
+
+        delta = (self.cache.stats.since(before) if self.cache is not None
+                 else CacheStats())
+        self.batches_served += 1
+        self.requests_served += plan.request_count
+        self.coalesced_total += plan.coalesced_count
+        stats = {
+            "requests": plan.request_count,
+            "unique_jobs": len(plan.jobs),
+            "coalesced": plan.coalesced_count,
+            "plan_errors": len(plan.errors),
+            "cache_hits": delta.hits,
+            "cache_misses": delta.misses,
+            "executor": self.executor,
+        }
+        return BatchResponse(results=results, stats=stats)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service-lifetime counters (the HTTP ``/stats`` payload)."""
+        return {
+            "models": len(self.registry),
+            "batches_served": self.batches_served,
+            "requests_served": self.requests_served,
+            "coalesced_total": self.coalesced_total,
+            "cache": (self.cache.stats.snapshot().__dict__
+                      if self.cache is not None else None),
+            # Pool workers keep their own memos in their own processes;
+            # this process's counters would read as permanently cold
+            # there, so only the serial executor reports them.
+            "prepared_models": (prepared_cache_stats()
+                                if self.executor == "serial" else None),
+            "executor": self.executor,
+        }
+
+
+__all__ = ["BatchResponse", "EvaluationService", "RESULT_PAYLOAD_KEYS"]

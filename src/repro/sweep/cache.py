@@ -43,6 +43,23 @@ class CacheStats:
         return (f"{self.hits} hit(s), {self.misses} miss(es) "
                 f"({self.hit_rate:.0%} hit rate), {self.puts} write(s)")
 
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counters."""
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          puts=self.puts, invalid=self.invalid)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an earlier :meth:`snapshot`.
+
+        The evaluation service reports per-batch cache behaviour from a
+        cache whose lifetime spans many batches; the delta isolates one
+        batch's hits/misses from the running totals.
+        """
+        return CacheStats(hits=self.hits - earlier.hits,
+                          misses=self.misses - earlier.misses,
+                          puts=self.puts - earlier.puts,
+                          invalid=self.invalid - earlier.invalid)
+
 
 @dataclass
 class ResultCache:

@@ -38,15 +38,18 @@ from repro.sweep.grid import expand
 from repro.sweep.results import JobResult, SweepResult
 from repro.sweep.spec import SweepJob, SweepSpec
 from repro.uml.model import Model
+from repro.util.lru import LRUMap
 
 #: Payload keys every cached/executed result must carry; cache entries
 #: missing any of them are treated as corrupt and re-run.
 PAYLOAD_KEYS = ("predicted_time", "events", "trace_records")
 
 #: Worker-local memo: model structural hash → parsed, checker-validated
-#: Model.  Lives per process (each pool worker builds its own).
-_WORKER_MODELS: dict[str, Model] = {}
+#: Model.  Lives per process (each pool worker builds its own);
+#: LRU-evicting so a worker cycling through many variants keeps its
+#: recent ones instead of dropping everything at the limit.
 _WORKER_MODELS_LIMIT = 32
+_WORKER_MODELS: LRUMap[str, Model] = LRUMap(_WORKER_MODELS_LIMIT)
 
 
 def _job_model(job: SweepJob) -> Model:
@@ -56,9 +59,7 @@ def _job_model(job: SweepJob) -> Model:
         from repro.xmlio.reader import model_from_xml
         model = model_from_xml(job.model_xml)
         ModelChecker().assert_valid(model)
-        if len(_WORKER_MODELS) >= _WORKER_MODELS_LIMIT:
-            _WORKER_MODELS.clear()
-        _WORKER_MODELS[job.model_hash] = model
+        _WORKER_MODELS.put(job.model_hash, model)
     return model
 
 

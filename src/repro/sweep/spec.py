@@ -183,7 +183,25 @@ def make_spec(model: Model, label: str | None = None,
     return SweepSpec(models=[(label or model.name, model)], **kwargs)
 
 
+def make_job(index: int, model_xml: str, model_hash: str, backend: str,
+             params: SystemParameters, network: NetworkConfig,
+             seed: int = 0, label: str = "",
+             overrides: tuple[tuple[str, str], ...] = ()) -> SweepJob:
+    """One job outside any grid (the evaluation service's entry point).
+
+    Grid expansion (:func:`repro.sweep.grid.expand`) derives jobs from a
+    spec; the batch service instead receives fully-determined points one
+    request at a time and needs the same validated, cache-keyed job
+    shape without declaring a spec.
+    """
+    validate_backend(backend)
+    return SweepJob(index=index, model_label=label or model_hash[:12],
+                    model_xml=model_xml, model_hash=model_hash,
+                    overrides=overrides, params=params, network=network,
+                    backend=backend, seed=seed)
+
+
 __all__ = [
     "BACKENDS", "CACHE_SCHEMA_VERSION",
-    "SweepJob", "SweepSpec", "SweepSpecError", "make_spec",
+    "SweepJob", "SweepSpec", "SweepSpecError", "make_job", "make_spec",
 ]

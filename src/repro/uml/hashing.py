@@ -97,6 +97,16 @@ def model_structural_hash(model: Model) -> str:
 
     Stable across process restarts and XML round-trips; changes on any
     semantic model edit.  This is the model component of the sweep
-    cache key.
+    cache key — and the key under which the model registry
+    (:mod:`repro.service.registry`) stores models.
     """
     return stable_hash(model_fingerprint(model))
+
+
+#: Hex digits of a hash shown to humans (registry listings, CLI refs).
+SHORT_REF_LENGTH = 12
+
+
+def short_ref(digest: str) -> str:
+    """Abbreviate a structural hash for display (still prefix-resolvable)."""
+    return digest[:SHORT_REF_LENGTH]

@@ -1,0 +1,83 @@
+"""A small least-recently-used map for process-local memos.
+
+Long-lived service processes keep hot memos (prepared models, parsed
+models) that must stay bounded.  The seed implementation dropped the
+*entire* memo when it filled up — every entry, including the ones used
+one call ago — which thrashes a service that rotates through slightly
+more models than the limit.  :class:`LRUMap` instead evicts only the
+least-recently-used entry, so the working set survives.
+
+Access counts as use: ``get`` and ``put`` both move the entry to the
+most-recently-used position.  Not thread-safe by itself; callers that
+share a map across threads must serialize access (CPython dict ops are
+atomic enough for the simple get/put pattern the memos use, and the
+service serializes batch execution anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LRUMap(Generic[K, V]):
+    """A bounded mapping that evicts the least-recently-used entry."""
+
+    def __init__(self, capacity: int) -> None:
+        if not isinstance(capacity, int) or capacity < 1:
+            raise ValueError(
+                f"LRUMap capacity must be a positive integer, got "
+                f"{capacity!r}")
+        self.capacity = capacity
+        self._data: dict[K, V] = {}  # dicts preserve insertion order
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """The value under ``key`` (refreshing its recency), or default."""
+        try:
+            value = self._data.pop(key)
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data[key] = value  # re-insert at the MRU end
+        self.hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Store ``key`` at the most-recent position, evicting if full."""
+        self._data.pop(key, None)
+        while len(self._data) >= self.capacity:
+            oldest = next(iter(self._data))
+            del self._data[oldest]
+            self.evictions += 1
+        self._data[key] = value
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[K]:
+        """Keys, least- to most-recently used."""
+        return iter(self._data)
+
+    def keys(self) -> list[K]:
+        """Keys, least- to most-recently used (a snapshot list)."""
+        return list(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict:
+        """Counters as a plain dict (service /stats payload)."""
+        return {"size": len(self._data), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+__all__ = ["LRUMap"]

@@ -1,0 +1,114 @@
+"""Prepared-model memo: LRU eviction order, pinned at the backend level.
+
+The memo amortizes `PerformanceEstimator.prepare` across evaluations.
+Under the seed implementation it dropped *every* prepared model when it
+filled — so a service rotating through limit+1 models re-transformed
+all of them, every cycle.  These tests pin the replacement policy:
+only the least-recently-used entry is evicted.
+"""
+
+import pytest
+
+from repro.estimator import backends
+from repro.estimator.backends import clear_prepared_cache, evaluate_point
+from repro.uml.builder import ModelBuilder
+from repro.uml.hashing import model_structural_hash
+from repro.util.lru import LRUMap
+
+
+def tiny_model(tag: int):
+    builder = ModelBuilder(f"Tiny{tag}")
+    builder.cost_function("F", f"0.{tag + 1}")
+    main = builder.diagram("Main", main=True)
+    main.sequence(main.action("A", cost="F()"))
+    return builder.build()
+
+
+@pytest.fixture
+def small_memo(monkeypatch):
+    """A capacity-3 memo, isolated from the module-level one."""
+    memo = LRUMap(3)
+    monkeypatch.setattr(backends, "_PREPARED", memo)
+    return memo
+
+
+def prepare_count(monkeypatch):
+    """Patch PerformanceEstimator.prepare to count transformations."""
+    calls = []
+    original = backends.PerformanceEstimator.prepare
+
+    def counting(self, model, mode="codegen"):
+        calls.append(model.name)
+        return original(self, model, mode)
+
+    monkeypatch.setattr(backends.PerformanceEstimator, "prepare",
+                        counting)
+    return calls
+
+
+class TestEvictionOrder:
+    def test_oldest_model_is_evicted_first(self, small_memo, monkeypatch):
+        models = [tiny_model(i) for i in range(4)]
+        for model in models[:3]:
+            evaluate_point(model, "codegen", check=False)
+        keys_before = small_memo.keys()
+        assert len(small_memo) == 3
+
+        evaluate_point(models[3], "codegen", check=False)  # overflow
+        assert len(small_memo) == 3
+        evicted_key = keys_before[0]
+        assert evicted_key not in small_memo
+        assert (model_structural_hash(models[3]), "codegen") in small_memo
+
+    def test_recently_used_model_survives_overflow(self, small_memo,
+                                                   monkeypatch):
+        calls = prepare_count(monkeypatch)
+        models = [tiny_model(i) for i in range(4)]
+        for model in models[:3]:
+            evaluate_point(model, "codegen", check=False)
+        evaluate_point(models[0], "codegen", check=False)  # refresh Tiny0
+        evaluate_point(models[3], "codegen", check=False)  # evicts Tiny1
+
+        calls.clear()
+        evaluate_point(models[0], "codegen", check=False)  # still hot
+        assert calls == []
+        evaluate_point(models[1], "codegen", check=False)  # was evicted
+        assert calls == ["Tiny1"]
+
+    def test_no_wholesale_clear_on_overflow(self, small_memo, monkeypatch):
+        """The regression: overflow must re-prepare ONE model, not all."""
+        calls = prepare_count(monkeypatch)
+        models = [tiny_model(i) for i in range(4)]
+        for model in models:
+            evaluate_point(model, "codegen", check=False)
+        assert len(calls) == 4  # each prepared exactly once so far
+
+        calls.clear()
+        # Touch the three still-resident models: zero new preparations.
+        for model in models[1:]:
+            evaluate_point(model, "codegen", check=False)
+        assert calls == []
+
+    def test_backend_partitions_the_memo(self, small_memo):
+        model = tiny_model(0)
+        evaluate_point(model, "codegen", check=False)
+        evaluate_point(model, "interp", check=False)
+        model_hash = model_structural_hash(model)
+        assert (model_hash, "codegen") in small_memo
+        assert (model_hash, "interp") in small_memo
+
+
+class TestModuleLevelMemo:
+    def test_clear_prepared_cache_empties_the_module_memo(self):
+        model = tiny_model(9)
+        evaluate_point(model, "codegen", check=False)
+        key = (model_structural_hash(model), "codegen")
+        assert key in backends._PREPARED
+        clear_prepared_cache()
+        assert key not in backends._PREPARED
+
+    def test_stats_shape(self):
+        stats = backends.prepared_cache_stats()
+        assert set(stats) == {"size", "capacity", "hits", "misses",
+                              "evictions"}
+        assert stats["capacity"] == backends._PREPARED_LIMIT

@@ -1,0 +1,95 @@
+"""Batch planning: coalescing, grouping, per-request error capture."""
+
+import pytest
+
+from repro.service.batcher import plan_batch
+from repro.service.registry import ModelRegistry
+from repro.service.request import EvaluationRequest
+
+
+@pytest.fixture
+def registry(tmp_path):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.ingest_sample("kernel6")
+    registry.ingest_sample("sample")
+    return registry
+
+
+def req(ref="kernel6", backend="codegen", processes=1, seed=0):
+    return EvaluationRequest(model_ref=ref, backend=backend,
+                             params={"processes": processes}, seed=seed)
+
+
+class TestCoalescing:
+    def test_duplicates_collapse_to_one_job(self, registry):
+        plan = plan_batch([req(), req(), req()], registry)
+        assert len(plan.jobs) == 1
+        assert plan.assignment == [0, 0, 0]
+        assert plan.coalesced_count == 2
+
+    def test_label_and_hash_refs_coalesce(self, registry):
+        full = registry.resolve("kernel6")
+        plan = plan_batch([req("kernel6"), req(full), req(full[:12])],
+                          registry)
+        assert len(plan.jobs) == 1
+        assert plan.coalesced_count == 2
+
+    def test_distinct_points_stay_distinct(self, registry):
+        plan = plan_batch(
+            [req(processes=1), req(processes=2), req(seed=1),
+             req(backend="interp"), req("sample")], registry)
+        assert len(plan.jobs) == 5
+        assert plan.coalesced_count == 0
+
+
+class TestGrouping:
+    def test_jobs_grouped_by_model_then_backend(self, registry):
+        # Interleave two models and two backends on purpose.
+        requests = [
+            req("kernel6", "codegen", 1), req("sample", "interp", 1),
+            req("kernel6", "interp", 1), req("sample", "codegen", 1),
+            req("kernel6", "codegen", 2), req("sample", "interp", 2),
+        ]
+        plan = plan_batch(requests, registry)
+        groups = [(job.model_hash, job.backend) for job in plan.jobs]
+        assert groups == sorted(groups), \
+            "jobs of the same (model, backend) must be contiguous"
+
+    def test_indices_are_dense_and_ordered(self, registry):
+        plan = plan_batch([req(processes=p, backend=b)
+                           for p in (1, 2) for b in ("codegen", "interp")],
+                          registry)
+        assert [job.index for job in plan.jobs] == [0, 1, 2, 3]
+
+    def test_assignment_maps_back_to_request_content(self, registry):
+        requests = [req("sample", "interp"), req("kernel6", "codegen")]
+        plan = plan_batch(requests, registry)
+        for request, target in zip(requests, plan.assignment):
+            job = plan.jobs[target]
+            assert job.model_hash == registry.resolve(request.model_ref)
+            assert job.backend == request.backend
+
+
+class TestPlanningErrors:
+    def test_unknown_ref_is_per_request_error(self, registry):
+        plan = plan_batch([req(), req("missing-model")], registry)
+        assert plan.assignment == [0, None]
+        assert "unknown model" in plan.errors[1]
+        assert len(plan.jobs) == 1
+
+    def test_bad_machine_is_per_request_error(self, registry):
+        bad = EvaluationRequest(model_ref="kernel6",
+                                params={"processes": 2,
+                                        "nodes": 1,
+                                        "processors_per_node": 1,
+                                        "threads_per_process": 9})
+        plan = plan_batch([bad, req()], registry)
+        # Whether the machine shape is rejected at build or run time,
+        # the valid request must still plan.
+        assert plan.assignment[1] is not None
+
+    def test_all_failing_batch_has_no_jobs(self, registry):
+        plan = plan_batch([req("nope"), req("also-nope")], registry)
+        assert plan.jobs == []
+        assert plan.assignment == [None, None]
+        assert plan.coalesced_count == 0

@@ -1,0 +1,175 @@
+"""HTTP front end: endpoints, error mapping, client round trip."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    EvaluationRequest,
+    EvaluationService,
+    ServiceClient,
+    ServiceClientError,
+    make_server,
+)
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A live server on an ephemeral port + a client bound to it."""
+    service = EvaluationService(tmp_path / "registry",
+                                cache=tmp_path / "cache")
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}"), service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestEndpoints:
+    def test_health(self, served):
+        client, _ = served
+        assert client.health() == {"status": "ok", "models": 0}
+
+    def test_ingest_and_list(self, served):
+        client, _ = served
+        record = client.ingest_sample("kernel6", label="k6")
+        assert record["name"] == "Kernel6Model"
+        assert "k6" in record["labels"]
+        listed = client.list_models()
+        assert [m["ref"] for m in listed] == [record["ref"]]
+
+    def test_ingest_xml_document(self, served):
+        client, _ = served
+        from repro.samples import build_sample_model
+        from repro.xmlio.writer import model_to_xml
+        record = client.ingest_xml(model_to_xml(build_sample_model()))
+        assert record["name"] == "SampleModel"
+
+    def test_evaluate_round_trip(self, served):
+        client, _ = served
+        record = client.ingest_sample("kernel6")
+        requests = [EvaluationRequest(model_ref=record["ref"], backend=b,
+                                      params={"processes": p})
+                    for b in ("analytic", "codegen") for p in (1, 2)]
+        response = client.evaluate(requests)
+        assert len(response["results"]) == 4
+        assert all(r["status"] == "ok" for r in response["results"])
+        assert response["stats"]["unique_jobs"] == 4
+        # Resubmit: served from the shared cache.
+        again = client.evaluate(requests)
+        assert again["stats"]["cache_hits"] == 4
+
+    def test_stats_endpoint(self, served):
+        client, _ = served
+        record = client.ingest_sample("kernel6")
+        client.evaluate([{"model_ref": record["ref"]}])
+        stats = client.stats()
+        assert stats["batches_served"] == 1
+        assert stats["requests_served"] == 1
+        assert stats["models"] == 1
+
+
+class TestErrorMapping:
+    def test_unknown_path_is_404(self, served):
+        client, _ = served
+        with pytest.raises(ServiceClientError, match="404"):
+            client._get("/nope")
+
+    def test_malformed_json_is_400(self, served):
+        client, _ = served
+        request = urllib.request.Request(
+            client.base_url + "/evaluate", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(ServiceClientError, match="not JSON"):
+            client._call(request)
+
+    def test_bad_request_field_is_400(self, served):
+        client, _ = served
+        with pytest.raises(ServiceClientError, match="unknown request"):
+            client.evaluate([{"model_ref": "m", "turbo": True}])
+
+    def test_ingest_without_body_keys_is_400(self, served):
+        client, _ = served
+        with pytest.raises(ServiceClientError, match="ingest body"):
+            client._post("/models", {"label": "x"})
+
+    def test_unknown_model_ref_is_captured_not_http_error(self, served):
+        client, _ = served
+        response = client.evaluate([{"model_ref": "missing"}])
+        [result] = response["results"]
+        assert result["status"] == "error"
+        assert "unknown model" in result["error"]
+
+    def test_bad_param_value_fails_only_that_request(self, served):
+        """Regression: a non-integer process count must not 500 the
+        batch — the valid request alongside it still runs."""
+        client, _ = served
+        record = client.ingest_sample("kernel6")
+        response = client.evaluate([
+            {"model_ref": record["ref"],
+             "params": {"processes": "abc"}},
+            {"model_ref": record["ref"]},
+        ])
+        first, second = response["results"]
+        assert first["status"] == "error"
+        assert second["status"] == "ok"
+
+    def test_get_on_corrupt_registry_returns_json_error(self, served):
+        """Regression: GET /models over a registry containing a torn
+        model file must answer with a JSON error, not a dropped
+        connection."""
+        client, service = served
+        record = client.ingest_sample("kernel6")
+        service.registry.path_for(record["ref"]).write_text(
+            "<model", encoding="utf-8")
+        service.registry._parsed.clear()
+        # Also drop the name index so the listing's fallback path has
+        # to parse the torn file (the index otherwise masks it).
+        service.registry.names_path.unlink()
+        with pytest.raises(ServiceClientError, match="service error"):
+            client.list_models()
+        # The server survives and keeps answering.
+        assert client.health()["status"] == "ok"
+
+    def test_unreachable_server(self, tmp_path):
+        client = ServiceClient("http://127.0.0.1:1", timeout=0.5)
+        with pytest.raises(ServiceClientError, match="cannot reach"):
+            client.health()
+
+
+class TestWireDeterminism:
+    def test_payloads_identical_across_restart(self, tmp_path):
+        """Same registry + cache dirs ⇒ a restarted server serves the
+        same bytes (the JSON payload subset, not HTTP metadata)."""
+        def run_batch():
+            service = EvaluationService(tmp_path / "registry",
+                                        cache=tmp_path / "cache")
+            server = make_server(service, port=0)
+            thread = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            thread.start()
+            try:
+                client = ServiceClient(
+                    f"http://127.0.0.1:{server.server_address[1]}")
+                record = client.ingest_sample("sample")
+                response = client.evaluate(
+                    [{"model_ref": record["ref"], "backend": b,
+                      "params": {"processes": 2}} for b in
+                     ("analytic", "codegen", "interp")])
+                payload = [{k: r[k] for k in ("predicted_time", "events",
+                                              "trace_records", "backend")}
+                           for r in response["results"]]
+                return json.dumps(payload, sort_keys=True)
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+
+        assert run_batch() == run_batch()

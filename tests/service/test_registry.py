@@ -1,0 +1,115 @@
+"""Model registry: content addressing, references, persistence."""
+
+import pytest
+
+from repro.samples import build_kernel6_model, build_sample_model
+from repro.service.registry import ModelRegistry, RegistryError
+from repro.uml.hashing import model_structural_hash
+from repro.xmlio.writer import model_to_xml
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestIngest:
+    def test_ingest_model_returns_structural_hash(self, registry):
+        model = build_sample_model()
+        record = registry.ingest_model(model)
+        assert record.ref == model_structural_hash(model)
+        assert record.name == "SampleModel"
+
+    def test_ingest_is_idempotent_by_content(self, registry):
+        first = registry.ingest_model(build_sample_model())
+        second = registry.ingest_xml(model_to_xml(build_sample_model()))
+        assert first.ref == second.ref
+        assert len(registry) == 1
+
+    def test_ingest_file(self, registry, tmp_path):
+        path = tmp_path / "model.xml"
+        path.write_text(model_to_xml(build_kernel6_model()),
+                        encoding="utf-8")
+        record = registry.ingest_file(path, label="k6")
+        assert record.labels == ("k6",)
+
+    def test_ingest_samples(self, registry):
+        for kind in ("sample", "kernel6", "kernel6-loopnest"):
+            record = registry.ingest_sample(kind)
+            assert kind in record.labels
+        assert len(registry) == 3
+
+    def test_unknown_sample_kind(self, registry):
+        with pytest.raises(RegistryError, match="unknown sample"):
+            registry.ingest_sample("fib")
+
+    def test_malformed_xml_rejected(self, registry):
+        with pytest.raises(RegistryError, match="cannot ingest"):
+            registry.ingest_xml("<model")
+        assert len(registry) == 0
+
+    def test_invalid_model_rejected(self, registry):
+        # Well-formed XML, but no main diagram — the checker must veto
+        # it so the registry only ever serves evaluable models.
+        with pytest.raises(Exception):
+            registry.ingest_xml('<model name="Empty" id="1"/>')
+
+    def test_hexlike_label_rejected(self, registry):
+        with pytest.raises(RegistryError, match="label"):
+            registry.ingest_model(build_sample_model(), label="abcdef0123")
+
+    def test_rejected_label_leaves_no_trace(self, registry):
+        """A failed labeled ingest must not half-register the model."""
+        with pytest.raises(RegistryError, match="label"):
+            registry.ingest_model(build_sample_model(), label="abcdef0123")
+        assert len(registry) == 0
+        assert not registry.names_path.exists()
+
+
+class TestResolve:
+    def test_resolve_full_hash_prefix_and_label(self, registry):
+        record = registry.ingest_model(build_sample_model(), label="demo")
+        assert registry.resolve(record.ref) == record.ref
+        assert registry.resolve(record.ref[:12]) == record.ref
+        assert registry.resolve("demo") == record.ref
+
+    def test_get_parses_stored_model(self, registry):
+        record = registry.ingest_sample("kernel6")
+        model = registry.get(record.ref)
+        assert model.name == "Kernel6Model"
+        assert model_structural_hash(model) == record.ref
+
+    def test_unknown_reference(self, registry):
+        with pytest.raises(RegistryError, match="unknown model"):
+            registry.resolve("nosuch")
+
+    def test_short_prefix_rejected(self, registry):
+        record = registry.ingest_sample("kernel6")
+        with pytest.raises(RegistryError, match="unknown model"):
+            registry.resolve(record.ref[:4])  # below MIN_REF_PREFIX
+
+    def test_label_reassignment_latest_wins(self, registry):
+        registry.ingest_sample("kernel6", label="current")
+        second = registry.ingest_sample("sample", label="current")
+        assert registry.resolve("current") == second.ref
+
+
+class TestPersistence:
+    def test_registry_survives_restart(self, registry, tmp_path):
+        record = registry.ingest_model(build_sample_model(), label="demo")
+        reopened = ModelRegistry(registry.root)
+        assert reopened.resolve("demo") == record.ref
+        assert reopened.get(record.ref).name == "SampleModel"
+        assert [r.ref for r in reopened.records()] == [record.ref]
+
+    def test_stored_xml_round_trips_hash(self, registry):
+        record = registry.ingest_sample("kernel6-loopnest")
+        from repro.xmlio.reader import model_from_xml
+        assert model_structural_hash(
+            model_from_xml(registry.xml(record.ref))) == record.ref
+
+    def test_contains_and_len(self, registry):
+        assert "kernel6" not in registry
+        registry.ingest_sample("kernel6")
+        assert "kernel6" in registry
+        assert len(registry) == 1

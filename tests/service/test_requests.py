@@ -1,0 +1,103 @@
+"""Request validation: field checking, machine building, JSON forms."""
+
+import pytest
+
+from repro.machine.params import SystemParameters
+from repro.service.request import (
+    EvaluationRequest,
+    RequestError,
+    request_from_payload,
+    requests_from_payload,
+)
+
+
+class TestValidation:
+    def test_minimal_request(self):
+        request = EvaluationRequest(model_ref="kernel6")
+        assert request.backend == "codegen"
+        assert request.system_parameters() == SystemParameters()
+
+    def test_empty_model_ref(self):
+        with pytest.raises(RequestError, match="model_ref"):
+            EvaluationRequest(model_ref="")
+
+    def test_unknown_backend(self):
+        with pytest.raises(RequestError, match="backend"):
+            EvaluationRequest(model_ref="m", backend="quantum")
+
+    def test_unknown_params_field(self):
+        with pytest.raises(RequestError, match="unknown params field"):
+            EvaluationRequest(model_ref="m", params={"procs": 2})
+
+    def test_unknown_network_field(self):
+        with pytest.raises(RequestError, match="unknown network field"):
+            EvaluationRequest(model_ref="m", network={"lat": 1e-6})
+
+    def test_non_integer_seed(self):
+        with pytest.raises(RequestError, match="seed"):
+            EvaluationRequest(model_ref="m", seed="0")
+        with pytest.raises(RequestError, match="seed"):
+            EvaluationRequest(model_ref="m", seed=True)
+
+    def test_bad_machine_shape_fails_at_build(self):
+        request = EvaluationRequest(model_ref="m",
+                                    params={"processes": -1})
+        with pytest.raises(RequestError, match="positive integer"):
+            request.system_parameters()
+
+    def test_non_integer_processes_is_request_error(self):
+        # Regression: "abc" must become a RequestError (a per-request
+        # failure), never a bare ValueError that aborts a whole batch.
+        request = EvaluationRequest(model_ref="m",
+                                    params={"processes": "abc"})
+        with pytest.raises(RequestError):
+            request.system_parameters()
+
+    def test_non_numeric_network_value_is_request_error(self):
+        request = EvaluationRequest(model_ref="m",
+                                    network={"latency": "fast"})
+        with pytest.raises(RequestError):
+            request.network_config()
+
+
+class TestMachineDefaults:
+    def test_one_node_per_process_by_default(self):
+        request = EvaluationRequest(model_ref="m",
+                                    params={"processes": 4})
+        assert request.system_parameters() == SystemParameters(
+            nodes=4, processes=4)
+
+    def test_explicit_nodes_pin_the_machine(self):
+        request = EvaluationRequest(
+            model_ref="m", params={"processes": 4, "nodes": 2,
+                                   "processors_per_node": 2})
+        params = request.system_parameters()
+        assert (params.nodes, params.processes) == (2, 4)
+
+    def test_network_overrides(self):
+        request = EvaluationRequest(model_ref="m",
+                                    network={"latency": 5e-6})
+        assert request.network_config().latency == 5e-6
+        assert request.network_config().bandwidth == 1.0e9
+
+
+class TestPayloads:
+    def test_round_trip(self):
+        request = EvaluationRequest(model_ref="kernel6",
+                                    backend="analytic",
+                                    params={"processes": 2}, seed=7)
+        assert request_from_payload(request.to_payload()) == request
+
+    def test_unknown_request_field(self):
+        with pytest.raises(RequestError, match="unknown request field"):
+            request_from_payload({"model_ref": "m", "mode": "fast"})
+
+    def test_missing_model_ref(self):
+        with pytest.raises(RequestError, match="model_ref"):
+            request_from_payload({"backend": "codegen"})
+
+    def test_batch_must_be_nonempty_array(self):
+        with pytest.raises(RequestError, match="array"):
+            requests_from_payload({"model_ref": "m"})
+        with pytest.raises(RequestError, match="empty"):
+            requests_from_payload([])

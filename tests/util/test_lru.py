@@ -1,0 +1,110 @@
+"""LRUMap: the bounded memo under the prepared-model/worker caches."""
+
+import pytest
+
+from repro.util.lru import LRUMap
+
+
+class TestBasics:
+    def test_put_get(self):
+        lru = LRUMap(4)
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        assert "a" in lru
+        assert len(lru) == 1
+
+    def test_get_missing_returns_default(self):
+        lru = LRUMap(2)
+        assert lru.get("ghost") is None
+        assert lru.get("ghost", 42) == 42
+
+    def test_put_overwrites(self):
+        lru = LRUMap(2)
+        lru.put("a", 1)
+        lru.put("a", 2)
+        assert lru.get("a") == 2
+        assert len(lru) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LRUMap(0)
+        with pytest.raises(ValueError, match="capacity"):
+            LRUMap("many")
+
+    def test_clear(self):
+        lru = LRUMap(2)
+        lru.put("a", 1)
+        lru.clear()
+        assert len(lru) == 0
+        assert lru.get("a") is None
+
+
+class TestEvictionOrder:
+    """The seed behaviour (wholesale clear at the limit) is exactly what
+    these pin against: only the *least-recently-used* entry may go."""
+
+    def test_evicts_oldest_inserted(self):
+        lru = LRUMap(3)
+        for key in "abc":
+            lru.put(key, key.upper())
+        lru.put("d", "D")
+        assert lru.keys() == ["b", "c", "d"]
+        assert "a" not in lru
+
+    def test_get_refreshes_recency(self):
+        lru = LRUMap(3)
+        for key in "abc":
+            lru.put(key, key.upper())
+        lru.get("a")            # a is now most-recent; b is oldest
+        lru.put("d", "D")
+        assert "a" in lru
+        assert "b" not in lru
+        assert lru.keys() == ["c", "a", "d"]
+
+    def test_put_refreshes_recency(self):
+        lru = LRUMap(3)
+        for key in "abc":
+            lru.put(key, key.upper())
+        lru.put("a", "A2")      # rewrite refreshes too
+        lru.put("d", "D")
+        assert lru.keys() == ["c", "a", "d"]
+
+    def test_eviction_sequence_is_lru_not_fifo(self):
+        lru = LRUMap(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")
+        lru.put("c", 3)         # evicts b (LRU), not a (FIFO head)
+        lru.get("a")
+        lru.put("d", 4)         # evicts c
+        assert lru.keys() == ["a", "d"]
+        assert lru.evictions == 2
+
+    def test_hot_working_set_survives_cold_stream(self):
+        """The service access pattern: a few hot models touched every
+        batch, plus a stream of one-off cold models.  A clear()-at-limit
+        memo rebuilds the hot set after every few cold arrivals; LRU
+        must never rebuild a hot entry at all."""
+        lru = LRUMap(4)
+        hot = ["h0", "h1", "h2"]
+        builds = {"hot": 0, "cold": 0}
+        for round_number in range(10):
+            for key in hot:
+                if lru.get(key) is None:
+                    builds["hot"] += 1
+                    lru.put(key, object())
+            cold = f"cold{round_number}"   # seen exactly once
+            if lru.get(cold) is None:
+                builds["cold"] += 1
+                lru.put(cold, object())
+        assert builds["hot"] == 3   # built once each, never again
+        assert builds["cold"] == 10
+
+    def test_stats_counters(self):
+        lru = LRUMap(2)
+        lru.put("a", 1)
+        lru.get("a")
+        lru.get("b")
+        stats = lru.stats()
+        assert stats == {"size": 1, "capacity": 2, "hits": 1,
+                         "misses": 1, "evictions": 0}
