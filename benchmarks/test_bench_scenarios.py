@@ -1,0 +1,69 @@
+"""SCENARIOS bench: the workload suite across all three backends.
+
+The scenario library turns the repo from a one-model reproduction into
+a workload suite; this bench quantifies what that costs to evaluate.
+For every scenario (default knobs, 4 processes on 4 nodes) it times
+
+* ``analytic`` — the closed-form bound (the interactive what-if path),
+* ``interp``   — direct UML-tree interpretation (the slow baseline),
+* ``codegen``  — the transformed, machine-efficient representation,
+
+and prints the per-scenario predicted times with the analytic/simulated
+divergence, so a run doubles as a live check of each scenario's
+documented agreement band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.estimator.backends import evaluate_point
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.scenarios import all_scenarios, get_scenario
+
+PARAMS = SystemParameters(nodes=4, processes=4)
+NETWORK = NetworkConfig()
+
+SCENARIO_IDS = [spec.name for spec in all_scenarios()]
+
+
+def _evaluate(model, backend):
+    return evaluate_point(model, backend, PARAMS, NETWORK, seed=0,
+                          check=False)
+
+
+@pytest.mark.parametrize("name", SCENARIO_IDS)
+@pytest.mark.parametrize("backend", ["analytic", "interp", "codegen"])
+def test_scenario_backend(benchmark, name, backend):
+    """Time one (scenario, backend) evaluation at default knobs."""
+    spec = get_scenario(name)
+    model = spec.build_model()
+    payload = benchmark(_evaluate, model, backend)
+    benchmark.extra_info["predicted_time"] = payload["predicted_time"]
+    benchmark.extra_info["events"] = payload["events"]
+    assert payload["predicted_time"] > 0
+
+
+def test_scenario_agreement_table(capsys):
+    """Print the three-backend table for every scenario (with -s)."""
+    names, analytic, simulated, divergence, bands = [], [], [], [], []
+    for spec in all_scenarios():
+        model = spec.build_model()
+        bound = _evaluate(model, "analytic")["predicted_time"]
+        reference = _evaluate(model, "codegen")["predicted_time"]
+        interp = _evaluate(model, "interp")["predicted_time"]
+        assert interp == reference  # differential invariant
+        names.append(spec.name)
+        analytic.append(f"{bound:.6g}")
+        simulated.append(f"{reference:.6g}")
+        gap = abs(bound - reference) / reference if reference else 0.0
+        divergence.append(f"{gap:.2%}")
+        bands.append(f"{spec.analytic_rtol:g}")
+        assert bound == pytest.approx(reference, rel=spec.analytic_rtol)
+    with capsys.disabled():
+        print_series("scenario backend agreement (p=4, default knobs)",
+                     {"scenario": names, "analytic[s]": analytic,
+                      "simulated[s]": simulated, "divergence": divergence,
+                      "band": bands})

@@ -8,7 +8,9 @@ Commands mirror the Fig. 2 tool flow:
   the Fig. 5 transformation;
 * ``prophet simulate model.xml --processes 4 ... [--trace tf.csv]`` —
   the Performance Estimator (prints the report, writes the TF);
-* ``prophet sweep ...`` — batch-evaluate a parameter grid with caching;
+* ``prophet sweep ...`` — batch-evaluate a parameter grid with caching
+  (over a model file, a built-in ``--kind``, or a ``--scenario``);
+* ``prophet scenarios`` — list the scenario library and its knobs;
 * ``prophet serve --registry DIR`` / ``prophet submit ...`` — the
   long-lived batched evaluation service and its client;
 * ``prophet info model.xml`` — model statistics.
@@ -80,10 +82,18 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="batch-evaluate a parameter grid (with result "
                       "caching)")
     sweep.add_argument("model", nargs="?",
-                       help="model XML file (or use --kind)")
+                       help="model XML file (or use --kind/--scenario)")
     sweep.add_argument("--kind",
                        choices=("sample", "kernel6", "kernel6-loopnest"),
                        help="sweep a built-in model instead of a file")
+    sweep.add_argument("--scenario",
+                       help="sweep a scenario from the scenario library "
+                            "(see `prophet scenarios`)")
+    sweep.add_argument("--scenario-param", action="append", default=[],
+                       metavar="NAME=V1,V2,...",
+                       help="range a scenario knob over values "
+                            "(repeatable; axes are crossed; structural "
+                            "knobs rebuild the model per point)")
     sweep.add_argument("--processes", default="1",
                        help="comma-separated process counts, e.g. 1,2,4,8")
     sweep.add_argument("--backends", default="codegen",
@@ -120,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--speedup", action="store_true",
                        help="also print per-series speedup tables")
 
+    scenarios = commands.add_parser(
+        "scenarios", help="list the scenario library (parameterized "
+                          "MPI application models)")
+    scenarios.add_argument("--name", help="describe one scenario in "
+                                          "detail")
+
     serve = commands.add_parser(
         "serve", help="run the batched evaluation service (JSON over "
                       "HTTP)")
@@ -136,8 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "this many workers (0 = serial)")
     serve.add_argument("--preload", default="",
                        help="comma-separated built-in models to ingest "
-                            "at startup: sample, kernel6, "
-                            "kernel6-loopnest")
+                            "at startup: paper samples (sample, "
+                            "kernel6, kernel6-loopnest) and scenarios "
+                            "(see `prophet scenarios`)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
@@ -150,8 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ingest this model file first and evaluate "
                              "it")
     submit.add_argument("--sample",
-                        choices=("sample", "kernel6", "kernel6-loopnest"),
-                        help="ingest a built-in model and evaluate it")
+                        help="ingest a built-in model (paper sample or "
+                             "scenario name) and evaluate it")
     submit.add_argument("--label", help="label for the ingested model")
     submit.add_argument("--ref",
                         help="evaluate an already-registered model "
@@ -212,6 +229,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_simulate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "submit":
@@ -302,47 +321,51 @@ def _parse_int_list(text: str, what: str) -> list[int]:
         ) from None
 
 
-def _parse_param_axes(specs: list[str]) -> dict[str, list[str]]:
+def _parse_param_axes(specs: list[str],
+                      flag: str = "--param") -> dict[str, list[str]]:
     axes: dict[str, list[str]] = {}
     for spec in specs:
         name, eq, values = spec.partition("=")
         name = name.strip()
         if not eq or not name:
             raise ProphetError(
-                f"--param expects NAME=V1,V2,..., got {spec!r}")
+                f"{flag} expects NAME=V1,V2,..., got {spec!r}")
         axes[name] = [v.strip() for v in values.split(",") if v.strip()]
         if not axes[name]:
-            raise ProphetError(f"--param {name} has no values")
+            raise ProphetError(f"{flag} {name} has no values")
     return axes
 
 
-def _sweep_model(args):
-    if args.model and args.kind:
-        raise ProphetError("give either a model file or --kind, not both")
+def _sweep_models(args):
+    sources = sum(bool(x) for x in (args.model, args.kind,
+                                    args.scenario))
+    if sources > 1:
+        raise ProphetError(
+            "give exactly one of a model file, --kind, or --scenario")
+    if sources == 0:
+        raise ProphetError(
+            "sweep needs a model XML file, --kind, or --scenario")
+    if args.scenario:
+        return []
     if args.model:
         from repro.xmlio.reader import read_model
-        return args.model, read_model(args.model)
-    if args.kind:
-        from repro.samples import (
-            build_kernel6_loopnest_model,
-            build_kernel6_model,
-            build_sample_model,
-        )
-        builders = {"sample": build_sample_model,
-                    "kernel6": build_kernel6_model,
-                    "kernel6-loopnest": build_kernel6_loopnest_model}
-        model = builders[args.kind]()
-        return model.name, model
-    raise ProphetError("sweep needs a model XML file or --kind")
+        return [(args.model, read_model(args.model))]
+    from repro.service.registry import builtin_model_builders
+    model = builtin_model_builders()[args.kind]()
+    return [(model.name, model)]
 
 
 def _cmd_sweep(args) -> int:
     from repro.machine.network import NetworkConfig
     from repro.sweep import ResultCache, SweepSpec, run_sweep
 
-    label, model = _sweep_model(args)
+    if args.scenario_param and not args.scenario:
+        raise ProphetError("--scenario-param requires --scenario")
     spec = SweepSpec(
-        models=[(label, model)],
+        models=_sweep_models(args),
+        scenario=args.scenario,
+        scenario_params=_parse_param_axes(args.scenario_param,
+                                          flag="--scenario-param"),
         processes=_parse_int_list(args.processes, "processes"),
         backends=[b.strip() for b in args.backends.split(",") if b.strip()],
         seeds=_parse_int_list(args.seeds, "seeds"),
@@ -371,6 +394,32 @@ def _cmd_sweep(args) -> int:
         path = result.write_csv(args.csv)
         print(f"wrote {path}")
     return 0 if not result.failed() else 1
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenarios import all_scenarios, get_scenario
+
+    def describe(spec) -> None:
+        print(f"{spec.name}: {spec.description}")
+        for param in spec.params:
+            bounds = f">= {param.minimum:g}"
+            if param.maximum is not None:
+                bounds += f", <= {param.maximum:g}"
+            structural = " [structural]" if param.structural else ""
+            print(f"  {param.name:<12} {param.kind.__name__:<6} "
+                  f"default {param.default!r:<10} ({bounds})"
+                  f"{structural}  {param.doc}")
+        print(f"  analytic band: {spec.analytic_rtol:g} relative")
+
+    if args.name:
+        describe(get_scenario(args.name))
+        return 0
+    print("scenario library (sweep with `prophet sweep --scenario "
+          "<name> --scenario-param knob=v1,v2,...`):\n")
+    for spec in all_scenarios():
+        describe(spec)
+        print()
+    return 0
 
 
 def build_service_server(args):

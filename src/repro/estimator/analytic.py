@@ -12,9 +12,19 @@ region tree once per process and composing closed-form times:
   body cannot mutate state);
 * ``<<parallel+>>`` regions: the standard makespan lower bound
   ``max(longest thread, total work / processors)``;
-* fork/join: max over arms;
+* fork/join: the same makespan bound — arms run as concurrent strands
+  competing for the node's processors, so the evaluator tracks
+  *processor-seconds* (action/critical costs; communication waits hold
+  no processor) alongside elapsed time and bounds a fork by
+  ``max(longest arm, total arm work / processors)``;
 * communication: Hockney service demands (latency + bytes/bandwidth,
-  tree factors for collectives) without blocking semantics.
+  tree factors for collectives) without blocking semantics.  Sends
+  honor the eager/rendezvous protocol switch of
+  :data:`~repro.machine.network.NetworkConfig.eager_threshold`: an
+  eager sender pays only its software overhead (one zero-byte
+  latency, the payload travels asynchronously) while the receiver
+  pays the full transfer; a rendezvous exchange costs envelope plus
+  synchronous payload pull on both sides.
 
 The result is a *bound*: exact for contention-free compute models (tested
 against simulation), optimistic when queueing, lock contention, or
@@ -63,6 +73,29 @@ from repro.uml.perf_profile import (
     SEND_PLUS,
     performance_stereotype,
 )
+
+
+@dataclass(frozen=True)
+class _Cost:
+    """Elapsed time and processor-seconds of one region, per process.
+
+    ``work`` counts only intervals that hold a node processor (action
+    and critical costs); communication service demands elapse without
+    occupying a processor.  Fork/join and parallel regions use it for
+    the ``total work / processors`` half of the makespan bound.
+    """
+
+    time: float
+    work: float
+
+    def __add__(self, other: "_Cost") -> "_Cost":
+        return _Cost(self.time + other.time, self.work + other.work)
+
+    def scaled(self, factor: float) -> "_Cost":
+        return _Cost(self.time * factor, self.work * factor)
+
+
+_ZERO_COST = _Cost(0.0, 0.0)
 
 
 @dataclass
@@ -145,29 +178,31 @@ class AnalyticEvaluator:
         env.declare("nthreads", Type.INT,
                     self.params.threads_per_process)
         main = self.ir.regions[self.model.main_diagram_name]
-        return self._region_time(main, evaluator, env.child())
+        return self._region_cost(main, evaluator, env.child()).time
 
     # -- region times -------------------------------------------------------
 
-    def _region_time(self, region: Region, evaluator: Evaluator,
-                     env: Environment) -> float:
+    def _region_cost(self, region: Region, evaluator: Evaluator,
+                     env: Environment) -> _Cost:
         if isinstance(region, SequenceRegion):
-            return sum(self._region_time(item, evaluator, env)
-                       for item in region.items)
+            total = _ZERO_COST
+            for item in region.items:
+                total += self._region_cost(item, evaluator, env)
+            return total
         if isinstance(region, LeafRegion):
-            return self._leaf_time(region.node, evaluator, env)
+            return self._leaf_cost(region.node, evaluator, env)
         if isinstance(region, BranchRegion):
             for guard, arm in region.arms:
                 if evaluator.eval_guard(self._expr(guard), env):
-                    return self._region_time(arm, evaluator, env.child())
+                    return self._region_cost(arm, evaluator, env.child())
             if region.else_arm is not None:
-                return self._region_time(region.else_arm, evaluator,
+                return self._region_cost(region.else_arm, evaluator,
                                          env.child())
-            return 0.0
+            return _ZERO_COST
         if isinstance(region, CycleRegion):
-            total = 0.0
+            total = _ZERO_COST
             while True:
-                total += self._region_time(region.pre, evaluator, env)
+                total += self._region_cost(region.pre, evaluator, env)
                 if region.break_condition is not None:
                     done = evaluator.eval_guard(
                         self._expr(region.break_condition), env)
@@ -176,54 +211,69 @@ class AnalyticEvaluator:
                         self._expr(region.negated_stay_guard), env)
                 if done:
                     return total
-                total += self._region_time(region.post, evaluator, env)
+                total += self._region_cost(region.post, evaluator, env)
         if isinstance(region, ForkRegion):
-            return max((self._region_time(arm, evaluator, env.child())
-                        for arm in region.arms), default=0.0)
+            arms = [self._region_cost(arm, evaluator, env.child())
+                    for arm in region.arms]
+            if not arms:
+                return _ZERO_COST
+            work = sum(arm.work for arm in arms)
+            # Arms are concurrent strands sharing the node's processors:
+            # makespan bound max(longest arm, total work / processors).
+            time = max(max(arm.time for arm in arms),
+                       work / self.params.processors_per_node)
+            return _Cost(time, work)
         raise TransformError(
             f"analytic evaluator: unknown region "
             f"{type(region).__name__}")
 
-    def _leaf_time(self, node, evaluator: Evaluator,
-                   env: Environment) -> float:
+    def _leaf_cost(self, node, evaluator: Evaluator,
+                   env: Environment) -> _Cost:
         if isinstance(node, ActivityInvocationNode):
-            return self._region_time(self.ir.regions[node.behavior],
+            return self._region_cost(self.ir.regions[node.behavior],
                                      evaluator, env)
         if isinstance(node, LoopNode):
             iterations = int(evaluator.eval_expr(
                 self._expr(node.iterations), env))
             if iterations <= 0:
-                return 0.0
+                return _ZERO_COST
             body = self.ir.regions[node.behavior]
             if self._is_state_free(body):
-                return iterations * self._region_time(body, evaluator, env)
-            return sum(self._region_time(body, evaluator, env)
-                       for _ in range(iterations))
+                return self._region_cost(body, evaluator,
+                                         env).scaled(iterations)
+            total = _ZERO_COST
+            for _ in range(iterations):
+                total += self._region_cost(body, evaluator, env)
+            return total
         if isinstance(node, ParallelRegionNode):
             declared = int(evaluator.eval_expr(
                 self._expr(node.num_threads), env))
             threads = declared if declared > 0 \
                 else self.params.threads_per_process
             body = self.ir.regions[node.behavior]
-            times = []
+            costs = []
             for tid in range(threads):
                 thread_env = env.child()
                 thread_env.declare("tid", Type.INT, tid)
-                times.append(self._region_time(body, evaluator,
+                costs.append(self._region_cost(body, evaluator,
                                                thread_env))
             processors = self.params.processors_per_node
-            # Makespan lower bound on `processors` identical machines.
-            return max(max(times), sum(times) / processors)
+            work = sum(cost.work for cost in costs)
+            # Makespan lower bound on `processors` identical machines;
+            # like forks, only processor-seconds contend — threads
+            # waiting on communication overlap freely.
+            return _Cost(max(max(cost.time for cost in costs),
+                             work / processors), work)
         if isinstance(node, ActionNode):
-            return self._action_time(node, evaluator, env)
+            return self._action_cost(node, evaluator, env)
         raise EstimatorError(
             f"analytic evaluator cannot time {type(node).__name__}")
 
-    def _action_time(self, node: ActionNode, evaluator: Evaluator,
-                     env: Environment) -> float:
+    def _action_cost(self, node: ActionNode, evaluator: Evaluator,
+                     env: Environment) -> _Cost:
         stereotype = performance_stereotype(node)
         if stereotype is None:
-            return 0.0
+            return _ZERO_COST
         if node.code is not None:
             evaluator.run_program(self._program(node.code), env)
 
@@ -232,31 +282,46 @@ class AnalyticEvaluator:
             source = raw if isinstance(raw, str) else default
             return float(evaluator.eval_expr(self._expr(source), env))
 
+        def comm(time: float) -> _Cost:
+            return _Cost(time, 0.0)  # waits hold no processor
+
         intra = self.params.nodes == 1
         network = self._network
         processes = self.params.processes
         if stereotype in (SEND_PLUS, RECV_PLUS):
-            return network.transfer_time(tag("size"), intra)
+            # Protocol switch (mirrors repro.workload.mpi.Communicator).
+            # Eager: the sender pays only its software overhead (the
+            # payload travels on an asynchronous wire process) and the
+            # receiver sees the payload one full transfer after the
+            # send.  Rendezvous: the envelope travels one latency, then
+            # the receiver synchronously pulls the payload while the
+            # sender blocks — both sides pay envelope + transfer.
+            size = tag("size")
+            overhead = network.transfer_time(0.0, intra)
+            if size <= network.config.eager_threshold:
+                return comm(overhead if stereotype == SEND_PLUS
+                            else network.transfer_time(size, intra))
+            return comm(overhead + network.transfer_time(size, intra))
         if stereotype == BARRIER_PLUS:
-            return network.tree_depth(processes) * \
-                network.transfer_time(0.0, intra)
+            return comm(network.tree_depth(processes) *
+                        network.transfer_time(0.0, intra))
         if stereotype in (BCAST_PLUS, REDUCE_PLUS):
-            return network.tree_depth(processes) * \
-                network.transfer_time(tag("size"), intra)
+            return comm(network.tree_depth(processes) *
+                        network.transfer_time(tag("size"), intra))
         if stereotype == ALLREDUCE_PLUS:
-            return 2.0 * network.tree_depth(processes) * \
-                network.transfer_time(tag("size"), intra)
+            return comm(2.0 * network.tree_depth(processes) *
+                        network.transfer_time(tag("size"), intra))
         if stereotype in (SCATTER_PLUS, GATHER_PLUS):
-            return max(processes - 1, 0) * \
-                network.transfer_time(tag("size"), intra)
+            return comm(max(processes - 1, 0) *
+                        network.transfer_time(tag("size"), intra))
         cost = cost_argument(node)
         if cost is None:
-            return 0.0
+            return _ZERO_COST
         value = float(evaluator.eval_expr(self._expr(cost), env))
         if value < 0 or math.isnan(value):
             raise EstimatorError(
                 f"cost of {node.name!r} evaluated to {value}")
-        return value
+        return _Cost(value, value)
 
     def _is_state_free(self, region: Region,
                        _seen: frozenset[str] = frozenset()) -> bool:

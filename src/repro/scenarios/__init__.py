@@ -1,0 +1,48 @@
+"""Scenario library: parameterized MPI application model generators.
+
+Five classic message-passing skeletons, each a checker-valid model
+factory with documented scale knobs (see :mod:`repro.scenarios.base`):
+
+* ``pipeline(stages, msg_bytes, stage_cost)`` — linear processing chain;
+* ``master_worker(tasks, task_cost, task_bytes)`` — rank-0 task farm;
+* ``stencil2d(nx, ny, iters, halo_bytes, cell_cost)`` — halo exchange;
+* ``butterfly_allreduce(vector_bytes, rounds, flop_cost)`` — collective
+  compute/combine iterations;
+* ``fork_join(depth, fanout, split_cost, leaf_cost)`` — recursive
+  divide-and-conquer (structural knobs).
+
+Usage::
+
+    from repro.scenarios import build_scenario, scenario_names
+    model = build_scenario("stencil2d", nx=256, iters=8)
+
+The generators are wired end-to-end: ``ModelRegistry.ingest_sample``
+accepts scenario names, ``SweepSpec``/``prophet sweep --scenario`` range
+over scenario parameters, and ``prophet scenarios`` lists this registry.
+"""
+
+from repro.scenarios.base import (
+    ScenarioError,
+    ScenarioParam,
+    ScenarioSpec,
+    all_scenarios,
+    build_scenario,
+    builtin_builders,
+    get_scenario,
+    scenario_names,
+)
+
+# Importing the scenario modules registers their specs.
+from repro.scenarios.butterfly import build_butterfly_allreduce
+from repro.scenarios.fork_join import build_fork_join
+from repro.scenarios.master_worker import build_master_worker
+from repro.scenarios.pipeline import build_pipeline
+from repro.scenarios.stencil import build_stencil2d
+
+__all__ = [
+    "ScenarioError", "ScenarioParam", "ScenarioSpec",
+    "all_scenarios", "build_scenario", "builtin_builders",
+    "get_scenario", "scenario_names",
+    "build_butterfly_allreduce", "build_fork_join",
+    "build_master_worker", "build_pipeline", "build_stencil2d",
+]

@@ -1,0 +1,184 @@
+"""Scenario registry: parameterized generators of checker-valid models.
+
+The paper evaluates Performance Prophet on essentially one application
+model (the Fig. 7 sample plus two kernel-6 variants).  A transformation
+tool earns its keep only when exercised across a *family* of structurally
+diverse inputs, so this package provides named generators of classic
+message-passing application skeletons — each a function of a few scale
+knobs, each built on the public :class:`~repro.uml.builder.ModelBuilder`
+API, and each returning a model the checker accepts and all three
+evaluation backends agree on.
+
+Two kinds of knobs:
+
+* **runtime knobs** (message sizes, per-task costs, trip counts) become
+  model *global variables*, so a plain ``--param`` sweep can override
+  them without rebuilding the model;
+* **structural knobs** (``fork_join``'s depth/fanout) change the diagram
+  graph itself and exist only as generator parameters — the sweep
+  engine rebuilds the model per combination and keys the result cache
+  by the built model's structural hash.
+
+Each :class:`ScenarioSpec` also documents ``analytic_rtol``: the relative
+band within which the closed-form analytic backend must agree with the
+simulated makespan for that scenario (tight for synchronization-free
+shapes, loose where the analytic bound ignores pipeline fill or
+master/worker waiting — see the spec docstrings).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import ProphetError
+from repro.uml.model import Model
+
+
+class ScenarioError(ProphetError):
+    """An unknown scenario name or an invalid scenario parameter."""
+
+
+@dataclass(frozen=True)
+class ScenarioParam:
+    """One scale knob of a scenario generator."""
+
+    name: str
+    kind: type                 # int or float
+    default: object
+    doc: str
+    minimum: float = 1
+    maximum: float | None = None
+    structural: bool = False   # changes the diagram graph, not a global
+
+    def coerce(self, value: object) -> object:
+        """Validate and convert ``value`` to this knob's type."""
+        if isinstance(value, bool):
+            raise ScenarioError(
+                f"scenario parameter {self.name!r} must be "
+                f"{self.kind.__name__}, got a boolean")
+        if isinstance(value, str):
+            try:
+                value = self.kind(value)
+            except ValueError:
+                raise ScenarioError(
+                    f"scenario parameter {self.name!r} expects "
+                    f"{self.kind.__name__}, got {value!r}") from None
+        if self.kind is int:
+            if not isinstance(value, (int, float)):
+                raise ScenarioError(
+                    f"scenario parameter {self.name!r} expects "
+                    f"{self.kind.__name__}, got {type(value).__name__}")
+            if isinstance(value, float) and not value.is_integer():
+                raise ScenarioError(
+                    f"scenario parameter {self.name!r} must be an "
+                    f"integer, got {value!r}")
+            value = int(value)
+        elif self.kind is float:
+            if not isinstance(value, (int, float)):
+                raise ScenarioError(
+                    f"scenario parameter {self.name!r} expects "
+                    f"{self.kind.__name__}, got {type(value).__name__}")
+            value = float(value)
+            if math.isnan(value) or math.isinf(value):
+                raise ScenarioError(
+                    f"scenario parameter {self.name!r} must be finite, "
+                    f"got {value!r}")
+            if value == 0.0:
+                value = 0.0  # canonicalize -0.0 (cache-key stability)
+        if value < self.minimum:
+            raise ScenarioError(
+                f"scenario parameter {self.name!r} must be >= "
+                f"{self.minimum}, got {value!r}")
+        if self.maximum is not None and value > self.maximum:
+            raise ScenarioError(
+                f"scenario parameter {self.name!r} must be <= "
+                f"{self.maximum}, got {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, parameterized model generator."""
+
+    name: str
+    description: str
+    build: Callable[..., Model]
+    params: tuple[ScenarioParam, ...]
+    #: Documented relative band for analytic-vs-simulated agreement.
+    analytic_rtol: float
+
+    def param(self, name: str) -> ScenarioParam:
+        for param in self.params:
+            if param.name == name:
+                return param
+        known = ", ".join(p.name for p in self.params)
+        raise ScenarioError(
+            f"scenario {self.name!r} has no parameter {name!r} "
+            f"(knobs: {known})")
+
+    def resolve_params(self, overrides: Mapping[str, object]) -> dict:
+        """Full parameter dict: defaults overlaid with ``overrides``."""
+        resolved = {p.name: p.default for p in self.params}
+        for name, value in overrides.items():
+            resolved[name] = self.param(name).coerce(value)
+        return resolved
+
+    def build_model(self, **overrides) -> Model:
+        """Build one model instance with ``overrides`` applied."""
+        return self.build(**self.resolve_params(overrides))
+
+    def describe(self) -> str:
+        knobs = ", ".join(
+            f"{p.name}={p.default}" + ("*" if p.structural else "")
+            for p in self.params)
+        return f"{self.name}({knobs})"
+
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add ``spec`` to the registry (module import time)."""
+    if spec.name in _SCENARIOS:
+        raise ScenarioError(f"duplicate scenario name {spec.name!r}")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The spec registered under ``name``; raises on unknown names."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names()) or "none registered"
+        raise ScenarioError(
+            f"unknown scenario {name!r} (available: {known})") from None
+
+
+def all_scenarios() -> tuple[ScenarioSpec, ...]:
+    """Every registered spec, sorted by name."""
+    return tuple(_SCENARIOS[name] for name in scenario_names())
+
+
+def build_scenario(name: str, **overrides) -> Model:
+    """Build scenario ``name`` with parameter ``overrides`` applied."""
+    return get_scenario(name).build_model(**overrides)
+
+
+def builtin_builders() -> dict[str, Callable[[], Model]]:
+    """name → zero-argument builder (defaults), for registry ingestion."""
+    return {spec.name: spec.build_model for spec in all_scenarios()}
+
+
+__all__ = [
+    "ScenarioError", "ScenarioParam", "ScenarioSpec",
+    "all_scenarios", "build_scenario", "builtin_builders",
+    "get_scenario", "register_scenario", "scenario_names",
+]

@@ -1,0 +1,84 @@
+"""Recursive fork/join: a divide-and-conquer task tree inside each rank.
+
+Level ``k`` splits (a ``split_cost`` action) and forks ``fanout``
+concurrent arms, each invoking level ``k - 1``; the leaves do
+``leaf_cost`` seconds of work.  ``depth`` and ``fanout`` are
+*structural* knobs — they shape the diagram graph itself, producing
+``fanout ** depth`` leaves — so sweeps over them rebuild the model per
+point (the result cache keys by the built model's structural hash).
+
+Arms are pure holds with no shared resources, so the analytic
+``max(arms)`` composition reproduces the simulated strand schedule
+exactly; agreement is float-association-tight.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    ScenarioParam,
+    ScenarioSpec,
+    register_scenario,
+)
+from repro.uml.builder import ModelBuilder
+from repro.uml.model import Model
+
+
+def build_fork_join(depth: int = 3, fanout: int = 3,
+                    split_cost: float = 1.0e-4,
+                    leaf_cost: float = 5.0e-4) -> Model:
+    """A ``depth``-level, ``fanout``-ary fork/join tree per process."""
+    builder = ModelBuilder("ForkJoinScenario")
+    builder.global_var("split_cost", "double", repr(split_cost))
+    builder.global_var("leaf_cost", "double", repr(leaf_cost))
+    builder.cost_function("FSplit", "split_cost")
+    builder.cost_function("FLeaf", "leaf_cost")
+
+    leaf = builder.diagram("Level0")
+    work = leaf.action("LeafWork", cost="FLeaf()")
+    leaf.sequence(work)
+
+    for level in range(1, depth + 1):
+        diagram = builder.diagram(f"Level{level}")
+        initial = diagram.initial()
+        split = diagram.action(f"Split{level}", cost="FSplit()")
+        fork = diagram.fork(f"fork{level}")
+        join = diagram.join(f"join{level}")
+        final = diagram.final()
+        diagram.flow(initial, split)
+        diagram.flow(split, fork)
+        for arm in range(fanout):
+            child = diagram.activity(f"L{level}Arm{arm}",
+                                     diagram=f"Level{level - 1}")
+            diagram.flow(fork, child)
+            diagram.flow(child, join)
+        diagram.flow(join, final)
+
+    main = builder.diagram("Main", main=True)
+    root = main.activity("Root", diagram=f"Level{depth}")
+    main.sequence(root)
+    return builder.build()
+
+
+register_scenario(ScenarioSpec(
+    name="fork_join",
+    description="recursive divide-and-conquer tree: `fanout` concurrent "
+                "arms per level, `depth` levels, work at the leaves",
+    build=build_fork_join,
+    params=(
+        # Structural knobs: bounded so a sweep cannot explode the model
+        # (fanout ** depth leaf nodes are generated).
+        ScenarioParam("depth", int, 3, "levels of recursive splitting",
+                      maximum=6, structural=True),
+        # A UML fork needs >= 2 outgoing edges to be well-formed.
+        ScenarioParam("fanout", int, 3, "concurrent arms per split",
+                      minimum=2, maximum=8, structural=True),
+        ScenarioParam("split_cost", float, 1.0e-4,
+                      "seconds of sequential work per split", minimum=0),
+        ScenarioParam("leaf_cost", float, 5.0e-4,
+                      "seconds of work per leaf", minimum=0),
+    ),
+    # Pure holds: max-over-arms equals the strand schedule exactly.
+    analytic_rtol=1e-9,
+))
+
+__all__ = ["build_fork_join"]

@@ -17,7 +17,15 @@ Models are checker-validated at ingest, so everything the registry
 serves is known evaluable (evaluation workers still re-validate on
 their own memo misses — each pool worker is a fresh process).
 References accept a full hash, any unambiguous hash prefix (≥ 6 hex
-digits), or a label.
+digits), or a label.  A label may itself look like a hash prefix
+(``"cafe01"``); resolution precedence is fixed and order-independent:
+
+1. an exact 64-hex-digit hash of a stored model,
+2. a label,
+3. an unambiguous hash prefix (ambiguity raises ``RegistryError``).
+
+Only labels shaped like a *full* hash (64 hex digits) are rejected at
+ingest — they could never win against rule 1.
 """
 
 from __future__ import annotations
@@ -129,15 +137,13 @@ class ModelRegistry:
 
     def ingest_sample(self, kind: str,
                       label: str | None = None) -> ModelRecord:
-        """Ingest one of the built-in paper models by kind name."""
-        from repro.samples import (
-            build_kernel6_loopnest_model,
-            build_kernel6_model,
-            build_sample_model,
-        )
-        builders = {"sample": build_sample_model,
-                    "kernel6": build_kernel6_model,
-                    "kernel6-loopnest": build_kernel6_loopnest_model}
+        """Ingest a built-in model by name: a paper sample or a scenario.
+
+        Accepts the paper's sample kinds (``sample``, ``kernel6``,
+        ``kernel6-loopnest``) and every registered scenario from
+        :mod:`repro.scenarios` (built with default knobs).
+        """
+        builders = builtin_model_builders()
         if kind not in builders:
             raise RegistryError(
                 f"unknown sample model {kind!r} "
@@ -147,23 +153,33 @@ class ModelRegistry:
     # -- lookup --------------------------------------------------------------
 
     def resolve(self, ref: str) -> str:
-        """Full structural hash for a hash, hash prefix, or label."""
+        """Full structural hash for a hash, hash prefix, or label.
+
+        Precedence is exact hash > label > unambiguous hash prefix,
+        regardless of registration order: a label that happens to be a
+        valid hex string (``"cafe01"``) deterministically shadows any
+        stored hash it would otherwise match as a prefix, but can never
+        shadow a full 64-digit hash.
+        """
         if not ref:
             raise RegistryError("empty model reference")
+        if _is_hex(ref) and len(ref) == 64 \
+                and self.path_for(ref).is_file():
+            return ref
         labels = self._labels()
         if ref in labels:
             return labels[ref]
-        if _is_hex(ref):
-            if len(ref) == 64 and self.path_for(ref).is_file():
-                return ref
-            if MIN_REF_PREFIX <= len(ref) < 64:
-                matches = [h for h in self.refs() if h.startswith(ref)]
-                if len(matches) == 1:
-                    return matches[0]
-                if len(matches) > 1:
-                    raise RegistryError(
-                        f"ambiguous model reference {ref!r} "
-                        f"({len(matches)} matches)")
+        if _is_hex(ref) and MIN_REF_PREFIX <= len(ref) < 64:
+            matches = [h for h in self.refs() if h.startswith(ref)]
+            if len(matches) == 1:
+                return matches[0]
+            if len(matches) > 1:
+                shorts = ", ".join(short_ref(h) for h in matches[:4])
+                raise RegistryError(
+                    f"ambiguous model reference {ref!r}: matches "
+                    f"{len(matches)} stored models ({shorts}"
+                    f"{', …' if len(matches) > 4 else ''}); use a "
+                    "longer prefix, the full hash, or a label")
         raise RegistryError(f"unknown model reference {ref!r}")
 
     def get(self, ref: str) -> Model:
@@ -252,15 +268,43 @@ class ModelRegistry:
                           json.dumps(names, sort_keys=True, indent=1))
 
 
+def builtin_model_builders() -> dict:
+    """name → zero-argument builder for every ingestable built-in.
+
+    The paper's sample models plus the scenario library — one shared
+    mapping so the registry, ``prophet serve --preload``, and
+    ``prophet submit --sample`` agree on what a built-in is.
+    """
+    from repro.samples import (
+        build_kernel6_loopnest_model,
+        build_kernel6_model,
+        build_sample_model,
+    )
+    from repro.scenarios import builtin_builders
+    builders = {"sample": build_sample_model,
+                "kernel6": build_kernel6_model,
+                "kernel6-loopnest": build_kernel6_loopnest_model}
+    builders.update(builtin_builders())
+    return builders
+
+
+def builtin_model_names() -> tuple[str, ...]:
+    """Sorted names accepted by :meth:`ModelRegistry.ingest_sample`."""
+    return tuple(sorted(builtin_model_builders()))
+
+
 def _is_hex(text: str) -> bool:
     return bool(text) and all(c in "0123456789abcdef" for c in text)
 
 
 def _check_label(label: str) -> None:
-    if _is_hex(label) and len(label) >= MIN_REF_PREFIX:
+    # Shorter hex-like labels are fine: resolution gives exact hashes
+    # precedence over labels, and labels precedence over prefixes, so a
+    # label like "cafe01" shadows deterministically instead of racing.
+    if _is_hex(label) and len(label) == 64:
         raise RegistryError(
-            f"label {label!r} looks like a hash reference; "
-            "pick a non-hex label")
+            f"label {label!r} is shaped like a full model hash and "
+            "could never be resolved; pick a shorter or non-hex label")
 
 
 def _read_json_map(path: Path) -> dict[str, str]:
@@ -288,4 +332,5 @@ def _atomic_write(path: Path, text: str) -> None:
 
 
 __all__ = ["MIN_REF_PREFIX", "ModelRecord", "ModelRegistry",
-           "RegistryError"]
+           "RegistryError", "builtin_model_builders",
+           "builtin_model_names"]

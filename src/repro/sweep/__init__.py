@@ -31,10 +31,21 @@ Quickstart::
 
 Or from the command line: ``prophet sweep --kind kernel6 --processes
 1,2,4,8 --backends analytic,codegen --param N=100,200``.
+
+Scenario sweeps (:mod:`repro.scenarios`) range over generator knobs —
+including structural ones — instead of a fixed model::
+
+    from repro.sweep import make_scenario_spec
+    spec = make_scenario_spec("stencil2d",
+                              {"nx": [64, 128], "iters": [2, 4]},
+                              processes=[1, 4], backends=["analytic"])
+
+CLI equivalent: ``prophet sweep --scenario stencil2d --scenario-param
+nx=64,128 --scenario-param iters=2,4 --processes 1,4``.
 """
 
 from repro.sweep.cache import CacheStats, ResultCache
-from repro.sweep.grid import apply_overrides, expand
+from repro.sweep.grid import apply_overrides, expand, scenario_models
 from repro.sweep.results import JobResult, SweepResult
 from repro.sweep.runner import (
     ProcessPoolExecutor,
@@ -48,14 +59,16 @@ from repro.sweep.spec import (
     SweepJob,
     SweepSpec,
     SweepSpecError,
+    make_scenario_spec,
     make_spec,
 )
 
 __all__ = [
     "BACKENDS",
     "CacheStats", "ResultCache",
-    "SweepJob", "SweepSpec", "SweepSpecError", "make_spec",
-    "apply_overrides", "expand",
+    "SweepJob", "SweepSpec", "SweepSpecError",
+    "make_scenario_spec", "make_spec",
+    "apply_overrides", "expand", "scenario_models",
     "JobResult", "SweepResult",
     "SerialExecutor", "ProcessPoolExecutor",
     "execute_job", "run_jobs", "run_sweep",

@@ -1,6 +1,7 @@
 """Grid expansion: a :class:`SweepSpec` becomes a deterministic job list.
 
-Axis nesting order (outermost → innermost): model, override combination
+Axis nesting order (outermost → innermost): model (explicit models
+first, then generated scenario combinations), override combination
 (cartesian product in declaration order), process count, backend, seed.
 The order is part of the engine's contract — job indexes identify points
 across runs, executors, and cache generations.
@@ -9,6 +10,7 @@ across runs, executors, and cache generations.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Iterable, Mapping, Sequence
 
 from repro.lang.parser import parse_expression
@@ -19,13 +21,28 @@ from repro.uml.model import Model
 
 
 def override_source(value: object) -> str:
-    """Render an override value as a mini-language initializer."""
+    """Render an override value as a mini-language initializer.
+
+    The rendered source is baked into the model variant and thus into
+    its structural hash — the sweep cache key — so it must be a
+    *canonical* spelling: ``-0.0`` renders as ``"0.0"`` (the two
+    compare equal and must hit the same cache entry), and non-finite
+    floats are rejected outright (``NaN != NaN`` would make the
+    resulting key irreproducible, and neither parses as a
+    mini-language literal anyway).
+    """
     if isinstance(value, bool):
         raise SweepSpecError(
             f"boolean override values are not supported (got {value!r})")
     if isinstance(value, int):
         return str(value)
     if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise SweepSpecError(
+                f"override values must be finite, got {value!r} "
+                "(NaN/inf would produce an irreproducible cache key)")
+        if value == 0.0:
+            return "0.0"  # canonicalize -0.0
         return repr(value)
     if isinstance(value, str):
         source = value.strip()
@@ -68,6 +85,38 @@ def _override_combinations(
         yield tuple(zip(names, combo))
 
 
+def scenario_models(spec: SweepSpec) -> list[tuple[str, Model]]:
+    """Generated ``(label, model)`` pairs for the spec's scenario axis.
+
+    One model per cartesian combination of ``scenario_params`` (in
+    declaration order, like the overrides axis), each labeled
+    ``name[knob=value,...]``.  Generators are deterministic, so a
+    repeated sweep regenerates structurally identical models and hits
+    the same cache entries.
+    """
+    if spec.scenario is None:
+        return []
+    from repro.scenarios import ScenarioError, get_scenario
+    try:
+        scenario = get_scenario(spec.scenario)
+    except ScenarioError as exc:
+        raise SweepSpecError(str(exc)) from None
+    names = list(spec.scenario_params)
+    value_axes = [spec.scenario_params[name] for name in names]
+    pairs: list[tuple[str, Model]] = []
+    for combo in itertools.product(*value_axes):
+        params = dict(zip(names, combo))
+        try:
+            model = scenario.build_model(**params)
+        except ScenarioError as exc:
+            raise SweepSpecError(str(exc)) from None
+        resolved = scenario.resolve_params(params)
+        knobs = ",".join(f"{name}={resolved[name]}" for name in names)
+        label = f"{scenario.name}[{knobs}]" if knobs else scenario.name
+        pairs.append((label, model))
+    return pairs
+
+
 def expand(spec: SweepSpec) -> list[SweepJob]:
     """All jobs of ``spec``, in deterministic grid order.
 
@@ -80,7 +129,8 @@ def expand(spec: SweepSpec) -> list[SweepJob]:
     spec.validate()
     jobs: list[SweepJob] = []
     index = 0
-    for label, model in spec.models:
+    all_models = list(spec.models) + scenario_models(spec)
+    for label, model in all_models:
         for overrides in _override_combinations(spec.overrides):
             try:
                 variant = apply_overrides(model, overrides)
@@ -111,4 +161,5 @@ def expand(spec: SweepSpec) -> list[SweepJob]:
     return jobs
 
 
-__all__ = ["apply_overrides", "expand", "override_source"]
+__all__ = ["apply_overrides", "expand", "override_source",
+           "scenario_models"]

@@ -88,6 +88,14 @@ class SweepSpec:
     Axes:
 
     * ``models`` — ``(label, Model)`` pairs; each is swept independently;
+    * ``scenario`` — a :mod:`repro.scenarios` generator name; combined
+      with ``scenario_params`` (knob name → sequence of values) it
+      contributes one generated model per knob combination, labeled
+      ``name[knob=value,...]``.  Scenario models are rebuilt per
+      combination — that is what lets *structural* knobs (fork depth,
+      fanout) sweep — and keyed by the built model's structural hash,
+      so the on-disk result cache and batcher coalescing work exactly
+      as for explicit models;
     * ``overrides`` — global-variable name → sequence of values; the
       cartesian product over names produces one model *variant* per
       combination (applied by re-initializing the variable, see
@@ -103,11 +111,14 @@ class SweepSpec:
     ``nodes`` to pin the node count instead.
     """
 
-    models: Sequence[tuple[str, Model]]
+    models: Sequence[tuple[str, Model]] = ()
     processes: Sequence[int] = (1,)
     backends: Sequence[str] = ("codegen",)
     seeds: Sequence[int] = (0,)
     overrides: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    scenario: str | None = None
+    scenario_params: Mapping[str, Sequence[object]] = \
+        field(default_factory=dict)
     nodes: int | None = None
     processors_per_node: int = 1
     threads_per_process: int = 1
@@ -127,6 +138,9 @@ class SweepSpec:
         self.seeds = list(self.seeds)
         self.overrides = {name: list(values)
                           for name, values in self.overrides.items()}
+        self.scenario_params = {name: list(values)
+                                for name, values
+                                in self.scenario_params.items()}
 
     def validate(self) -> None:
         self.normalize()
@@ -135,6 +149,22 @@ class SweepSpec:
                 raise SweepSpecError(
                     f"model {label!r} is not a Model (got "
                     f"{type(model).__name__})")
+        if self.scenario is None and self.scenario_params:
+            raise SweepSpecError(
+                "scenario_params given without a scenario")
+        if self.scenario is not None:
+            from repro.scenarios import ScenarioError, get_scenario
+            try:
+                spec = get_scenario(self.scenario)
+                for name, values in self.scenario_params.items():
+                    if not values:
+                        raise ScenarioError(
+                            f"scenario parameter axis {name!r} has no "
+                            "values")
+                    for value in values:
+                        spec.param(name).coerce(value)
+            except ScenarioError as exc:
+                raise SweepSpecError(str(exc)) from None
         for backend in self.backends:
             try:
                 validate_backend(backend)
@@ -167,10 +197,21 @@ class SweepSpec:
             placement=self.placement)
 
     @property
+    def scenario_combination_count(self) -> int:
+        """Scenario models the grid will generate (0 without a scenario)."""
+        self.normalize()
+        if self.scenario is None:
+            return 0
+        combos = 1
+        for values in self.scenario_params.values():
+            combos *= len(values)
+        return combos
+
+    @property
     def point_count(self) -> int:
         """Number of jobs :func:`repro.sweep.grid.expand` will produce."""
         self.normalize()
-        total = len(self.models)
+        total = len(self.models) + self.scenario_combination_count
         for values in self.overrides.values():
             total *= len(values)
         return (total * len(self.processes) *
@@ -181,6 +222,15 @@ def make_spec(model: Model, label: str | None = None,
               **kwargs) -> SweepSpec:
     """Convenience: a spec over a single model."""
     return SweepSpec(models=[(label or model.name, model)], **kwargs)
+
+
+def make_scenario_spec(scenario: str,
+                       params: Mapping[str, Sequence[object]]
+                       | None = None,
+                       **kwargs) -> SweepSpec:
+    """Convenience: a spec over one scenario's parameter grid."""
+    return SweepSpec(scenario=scenario,
+                     scenario_params=dict(params or {}), **kwargs)
 
 
 def make_job(index: int, model_xml: str, model_hash: str, backend: str,
@@ -203,5 +253,6 @@ def make_job(index: int, model_xml: str, model_hash: str, backend: str,
 
 __all__ = [
     "BACKENDS", "CACHE_SCHEMA_VERSION",
-    "SweepJob", "SweepSpec", "SweepSpecError", "make_job", "make_spec",
+    "SweepJob", "SweepSpec", "SweepSpecError", "make_job",
+    "make_scenario_spec", "make_spec",
 ]

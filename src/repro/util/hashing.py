@@ -13,15 +13,44 @@ import hashlib
 import json
 
 
+def _canonical_floats(obj):
+    """Normalize pathological floats so equal trees hash equally.
+
+    ``-0.0 == 0.0`` but ``json`` spells them differently, which would
+    give numerically identical fingerprints different cache keys; both
+    normalize to ``0.0``.  NaN is rejected outright: ``NaN != NaN``, so
+    a fingerprint containing one can never be reproducibly compared.
+    Infinities pass through — they compare reproducibly and appear in
+    valid configurations (``eager_threshold=inf`` means "always
+    eager") — and serialize deterministically as ``Infinity``.
+    """
+    if isinstance(obj, float):
+        if obj != obj:  # NaN
+            raise ValueError(
+                "NaN cannot be content-hashed (NaN != NaN makes the "
+                "key irreproducible)")
+        if obj == 0.0:
+            return 0.0
+        return obj
+    if isinstance(obj, dict):
+        return {_canonical_floats(key): _canonical_floats(value)
+                for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical_floats(item) for item in obj]
+    return obj
+
+
 def canonical_json(obj) -> str:
     """Deterministic JSON text for a tree of plain Python values.
 
     Keys are sorted and floats use ``repr`` semantics (via ``json``), so
     equal trees always produce identical text regardless of dict
-    insertion order or interpreter session.
+    insertion order or interpreter session.  ``-0.0`` canonicalizes to
+    ``0.0``; NaN raises ``ValueError``; infinities serialize as
+    ``Infinity``/``-Infinity`` (deterministic, as before).
     """
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
-                      ensure_ascii=True)
+    return json.dumps(_canonical_floats(obj), sort_keys=True,
+                      separators=(",", ":"), ensure_ascii=True)
 
 
 def sha256_hex(text: str) -> str:

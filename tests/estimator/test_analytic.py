@@ -75,6 +75,26 @@ class TestExactAgreement:
         assert analytic.makespan == pytest.approx(2.0)
         assert analytic.makespan == pytest.approx(simulated.total_time)
 
+    def test_parallel_region_comm_threads_overlap(self):
+        # Threads blocked on communication hold no processor, so four
+        # waiting threads on one processor must bound to one transfer
+        # time, not four (the work half of the bound counts only
+        # processor-seconds).
+        builder = ModelBuilder("ParComm")
+        body = builder.diagram("Body")
+        body.sequence(body.recv("R", source="0", size="1000"))
+        main = builder.diagram("Main", main=True)
+        main.sequence(main.parallel("PR", diagram="Body",
+                                    num_threads="4"))
+        params = SystemParameters(processors_per_node=1,
+                                  threads_per_process=4)
+        network = NetworkConfig(latency=1e-3, bandwidth=1e6,
+                                intra_node_latency_factor=1.0,
+                                intra_node_bandwidth_factor=1.0)
+        analytic = evaluate_analytically(builder.build(), params,
+                                         network)
+        assert analytic.makespan == pytest.approx(2e-3)  # one transfer
+
     def test_parallel_region_contention_bound(self):
         # 4 threads × 2.0 s on 2 processors: bound = max(2, 8/2) = 4.
         builder = ModelBuilder("Par")

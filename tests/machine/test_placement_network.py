@@ -1,0 +1,103 @@
+"""Edge cases of process placement and collective tree depth.
+
+Satellite coverage for the scenario library: scenarios sweep process
+counts that are smaller than the node count, prime, and non-powers of
+two, so the placement remainder rules and the binomial-tree depth must
+be pinned at exactly those shapes.
+"""
+
+import pytest
+
+from repro.errors import EstimatorError
+from repro.machine.network import Network, NetworkConfig
+from repro.machine.placement import place_processes
+from repro.sim.core import Simulation
+
+
+def _network() -> Network:
+    return Network(Simulation(), NetworkConfig())
+
+
+class TestPlaceProcessesFewerThanNodes:
+    def test_block_leaves_trailing_nodes_empty(self):
+        assert place_processes(2, 4, "block") == [0, 1]
+        assert place_processes(3, 5, "block") == [0, 1, 2]
+
+    def test_cyclic_equals_block_when_underfull(self):
+        # With <= 1 process per node the two policies coincide.
+        for processes, nodes in ((1, 3), (2, 4), (3, 5)):
+            assert place_processes(processes, nodes, "cyclic") == \
+                place_processes(processes, nodes, "block")
+
+    def test_single_process_many_nodes(self):
+        assert place_processes(1, 8, "block") == [0]
+        assert place_processes(1, 8, "cyclic") == [0]
+
+
+class TestPlaceProcessesSingleNode:
+    @pytest.mark.parametrize("policy", ["block", "cyclic"])
+    def test_everything_lands_on_node_zero(self, policy):
+        for processes in (1, 2, 7):
+            assert place_processes(processes, 1, policy) == \
+                [0] * processes
+
+
+class TestRemainderDistribution:
+    def test_block_remainder_goes_to_leading_nodes(self):
+        # 7 over 3: block gives 3,2,2 with the extra on node 0.
+        assert place_processes(7, 3, "block") == [0, 0, 0, 1, 1, 2, 2]
+
+    def test_cyclic_remainder_also_lands_on_leading_nodes(self):
+        # Same per-node totals, different rank order: consecutive ranks
+        # are spread instead of packed.
+        placement = place_processes(7, 3, "cyclic")
+        assert placement == [0, 1, 2, 0, 1, 2, 0]
+
+    @pytest.mark.parametrize("processes,nodes", [
+        (7, 3), (5, 2), (9, 4), (10, 3), (4, 4), (11, 5)])
+    def test_policies_balance_identically(self, processes, nodes):
+        # Both policies must yield the same per-node occupancy (max
+        # spread of one process); only the rank ordering differs.
+        def counts(policy):
+            placement = place_processes(processes, nodes, policy)
+            assert len(placement) == processes
+            assert all(0 <= node < nodes for node in placement)
+            return [placement.count(node) for node in range(nodes)]
+
+        block, cyclic = counts("block"), counts("cyclic")
+        assert block == cyclic
+        assert max(block) - min(block) <= 1
+
+    def test_block_keeps_consecutive_ranks_together(self):
+        placement = place_processes(10, 3, "block")
+        assert placement == sorted(placement)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(EstimatorError):
+            place_processes(4, 0)
+        with pytest.raises(EstimatorError):
+            place_processes(0, 4)
+        with pytest.raises(EstimatorError):
+            place_processes(4, 2, "striped")
+
+
+class TestTreeDepthNonPowersOfTwo:
+    @pytest.mark.parametrize("participants,depth", [
+        (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (6, 3), (7, 3),
+        (8, 3), (9, 4), (1023, 10), (1024, 10), (1025, 11)])
+    def test_depth_is_ceil_log2(self, participants, depth):
+        assert _network().tree_depth(participants) == depth
+
+    def test_depth_covers_all_participants(self):
+        # Property: a binomial tree of the reported depth spans at
+        # least `participants` ranks, and one level fewer does not.
+        network = _network()
+        for participants in range(1, 70):
+            depth = network.tree_depth(participants)
+            assert 2 ** depth >= participants
+            if participants > 1:
+                assert 2 ** (depth - 1) < participants
+
+    def test_zero_participants_rejected(self):
+        with pytest.raises(EstimatorError):
+            _network().tree_depth(0)

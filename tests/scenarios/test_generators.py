@@ -1,0 +1,142 @@
+"""Scenario generators: validity, knob handling, hash determinism."""
+
+import pytest
+
+from repro.checker import ModelChecker
+from repro.scenarios import (
+    ScenarioError,
+    all_scenarios,
+    build_scenario,
+    builtin_builders,
+    get_scenario,
+    scenario_names,
+)
+from repro.uml.hashing import model_structural_hash
+from repro.uml.model import Model
+
+EXPECTED_NAMES = ("butterfly_allreduce", "fork_join", "master_worker",
+                  "pipeline", "stencil2d")
+
+
+class TestRegistry:
+    def test_all_five_scenarios_registered(self):
+        assert scenario_names() == EXPECTED_NAMES
+
+    def test_unknown_scenario_is_clear_error(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            get_scenario("ring")
+
+    def test_builtin_builders_build_default_models(self):
+        builders = builtin_builders()
+        assert set(builders) == set(EXPECTED_NAMES)
+        for name, build in builders.items():
+            assert isinstance(build(), Model), name
+
+
+class TestCheckerValidity:
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_default_knobs_produce_valid_models(self, name):
+        ModelChecker().assert_valid(build_scenario(name))
+
+    @pytest.mark.parametrize("name,params", [
+        ("pipeline", {"stages": 1, "msg_bytes": 0.0}),
+        ("master_worker", {"tasks": 1}),
+        ("stencil2d", {"nx": 1, "ny": 1, "iters": 1}),
+        ("butterfly_allreduce", {"rounds": 1, "vector_bytes": 0.0}),
+        ("fork_join", {"depth": 1, "fanout": 2}),
+    ])
+    def test_minimum_knobs_produce_valid_models(self, name, params):
+        ModelChecker().assert_valid(build_scenario(name, **params))
+
+
+class TestKnobValidation:
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ScenarioError, match="no parameter"):
+            build_scenario("pipeline", depth=3)
+
+    def test_below_minimum_rejected(self):
+        with pytest.raises(ScenarioError, match=">="):
+            build_scenario("pipeline", stages=0)
+
+    def test_structural_knob_above_maximum_rejected(self):
+        with pytest.raises(ScenarioError, match="<="):
+            build_scenario("fork_join", depth=40)
+
+    def test_non_integer_for_int_knob_rejected(self):
+        with pytest.raises(ScenarioError, match="integer"):
+            build_scenario("stencil2d", iters=2.5)
+
+    def test_non_finite_float_rejected(self):
+        with pytest.raises(ScenarioError, match="finite"):
+            build_scenario("stencil2d", halo_bytes=float("nan"))
+
+    def test_boolean_rejected(self):
+        with pytest.raises(ScenarioError, match="boolean"):
+            build_scenario("pipeline", stages=True)
+
+    def test_string_values_coerced(self):
+        # CLI --scenario-param values arrive as strings.
+        model = build_scenario("pipeline", stages="3",
+                               msg_bytes="2048.0")
+        assert model.variable("stages").init == "3"
+        assert model.variable("msg_bytes").init == "2048.0"
+
+    def test_uncoercible_string_rejected(self):
+        with pytest.raises(ScenarioError, match="expects"):
+            build_scenario("pipeline", stages="many")
+
+    def test_non_numeric_value_rejected_with_domain_error(self):
+        # A list/None/etc. must surface as a ScenarioError (which the
+        # sweep spec converts to SweepSpecError), not a raw TypeError.
+        with pytest.raises(ScenarioError, match="expects"):
+            build_scenario("pipeline", stages=[2])
+        with pytest.raises(ScenarioError, match="expects"):
+            build_scenario("pipeline", msg_bytes=None)
+
+
+class TestHashDeterminism:
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_same_knobs_same_structural_hash(self, name):
+        # The sweep cache keys scenario jobs by the generated model's
+        # structural hash; regeneration must be reproducible.
+        assert model_structural_hash(build_scenario(name)) == \
+            model_structural_hash(build_scenario(name))
+
+    def test_runtime_knob_changes_hash(self):
+        base = model_structural_hash(build_scenario("stencil2d"))
+        varied = model_structural_hash(build_scenario("stencil2d",
+                                                      nx=128))
+        assert base != varied
+
+    def test_structural_knob_changes_hash(self):
+        hashes = {model_structural_hash(build_scenario("fork_join",
+                                                       depth=d))
+                  for d in (1, 2, 3)}
+        assert len(hashes) == 3
+
+    def test_negative_zero_knob_canonicalized(self):
+        plus = model_structural_hash(
+            build_scenario("pipeline", stage_cost=0.0))
+        minus = model_structural_hash(
+            build_scenario("pipeline", stage_cost=-0.0))
+        assert plus == minus
+
+
+class TestSpecMetadata:
+    def test_every_scenario_documents_an_analytic_band(self):
+        for spec in all_scenarios():
+            assert 0 < spec.analytic_rtol <= 1.0
+
+    def test_structural_knobs_are_bounded(self):
+        # A sweep over an unbounded structural knob could generate
+        # models of unbounded size; the spec must cap them.
+        for spec in all_scenarios():
+            for param in spec.params:
+                if param.structural:
+                    assert param.maximum is not None
+
+    def test_describe_mentions_every_knob(self):
+        for spec in all_scenarios():
+            text = spec.describe()
+            for param in spec.params:
+                assert param.name in text

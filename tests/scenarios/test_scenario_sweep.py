@@ -1,0 +1,160 @@
+"""Scenario axes through the sweep engine: expansion, caching, CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.samples import build_kernel6_model
+from repro.sweep import (
+    ResultCache,
+    SweepSpec,
+    SweepSpecError,
+    expand,
+    make_scenario_spec,
+    run_sweep,
+)
+from repro.sweep.grid import scenario_models
+
+
+class TestExpansion:
+    def test_scenario_axis_generates_labeled_models(self):
+        spec = make_scenario_spec("stencil2d",
+                                  {"nx": [64, 128], "iters": [2, 4]},
+                                  backends=["analytic"])
+        pairs = scenario_models(spec)
+        assert [label for label, _ in pairs] == [
+            "stencil2d[nx=64,iters=2]", "stencil2d[nx=64,iters=4]",
+            "stencil2d[nx=128,iters=2]", "stencil2d[nx=128,iters=4]",
+        ]
+
+    def test_default_knobs_single_combination(self):
+        spec = make_scenario_spec("pipeline", backends=["analytic"])
+        pairs = scenario_models(spec)
+        assert [label for label, _ in pairs] == ["pipeline"]
+
+    def test_point_count_includes_scenario_combinations(self):
+        spec = make_scenario_spec("stencil2d",
+                                  {"nx": [64, 128], "iters": [2, 4]},
+                                  processes=[1, 2],
+                                  backends=["analytic", "codegen"])
+        assert spec.point_count == 4 * 2 * 2
+        assert len(expand(spec)) == spec.point_count
+
+    def test_structural_knob_sweep_distinct_hashes(self):
+        spec = make_scenario_spec("fork_join", {"depth": [1, 2, 3]},
+                                  backends=["analytic"])
+        jobs = expand(spec)
+        assert len({job.model_hash for job in jobs}) == 3
+
+    def test_scenario_and_models_axes_combine(self):
+        spec = SweepSpec(
+            models=[("k6", build_kernel6_model())],
+            scenario="pipeline",
+            backends=["analytic"])
+        labels = [job.model_label for job in expand(spec)]
+        assert labels == ["k6", "pipeline"]  # explicit models first
+
+    def test_overrides_apply_to_scenario_models(self):
+        # A runtime knob is a plain global, so the overrides axis can
+        # vary it without a scenario_params rebuild.
+        spec = make_scenario_spec("pipeline",
+                                  overrides={"stages": [2, 4]},
+                                  backends=["analytic"])
+        jobs = expand(spec)
+        assert len(jobs) == 2
+        assert len({job.model_hash for job in jobs}) == 2
+
+
+class TestValidation:
+    def test_unknown_scenario(self):
+        with pytest.raises(SweepSpecError, match="unknown scenario"):
+            expand(make_scenario_spec("ring"))
+
+    def test_unknown_knob(self):
+        with pytest.raises(SweepSpecError, match="no parameter"):
+            expand(make_scenario_spec("pipeline", {"depth": [1]}))
+
+    def test_empty_knob_axis(self):
+        with pytest.raises(SweepSpecError, match="no values"):
+            expand(make_scenario_spec("pipeline", {"stages": []}))
+
+    def test_out_of_range_knob_value(self):
+        with pytest.raises(SweepSpecError, match="<="):
+            expand(make_scenario_spec("fork_join", {"depth": [2, 40]}))
+
+    def test_scenario_params_without_scenario(self):
+        spec = SweepSpec(models=[("k6", build_kernel6_model())],
+                         scenario_params={"stages": [2]})
+        with pytest.raises(SweepSpecError, match="without a scenario"):
+            expand(spec)
+
+
+class TestCaching:
+    def test_repeat_scenario_sweep_served_from_cache(self, tmp_path):
+        spec = make_scenario_spec(
+            "butterfly_allreduce",
+            {"vector_bytes": [1024.0, 4096.0]},
+            processes=[1, 2],
+            backends=["analytic", "codegen"])
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(spec, cache=cache)
+        assert all(result.ok for result in cold)
+        assert not any(result.cached for result in cold)
+
+        warm = run_sweep(spec, cache=ResultCache(tmp_path / "cache"))
+        assert all(result.cached for result in warm)
+        assert [r.predicted_time for r in warm] == \
+            [r.predicted_time for r in cold]
+
+    def test_structural_rebuild_hits_cache_across_specs(self, tmp_path):
+        # Two independently-constructed specs generate structurally
+        # identical models → identical cache keys.
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(make_scenario_spec("fork_join", {"depth": [2]},
+                                     backends=["analytic"]),
+                  cache=cache)
+        warm = run_sweep(make_scenario_spec("fork_join", {"depth": [2]},
+                                            backends=["analytic"]),
+                         cache=ResultCache(tmp_path / "cache"))
+        assert all(result.cached for result in warm)
+
+
+class TestScenarioCli:
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pipeline", "master_worker", "stencil2d",
+                     "butterfly_allreduce", "fork_join"):
+            assert name in out
+
+    def test_scenarios_single_description(self, capsys):
+        assert main(["scenarios", "--name", "stencil2d"]) == 0
+        out = capsys.readouterr().out
+        assert "halo" in out
+        assert "analytic band" in out
+
+    def test_scenarios_unknown_name(self, capsys):
+        assert main(["scenarios", "--name", "ring"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_sweep_scenario_end_to_end_with_cache(self, tmp_path,
+                                                  capsys):
+        argv = ["sweep", "--scenario", "pipeline",
+                "--scenario-param", "stages=2,3",
+                "--processes", "1,2",
+                "--backends", "analytic",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--csv", str(tmp_path / "out.csv")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "pipeline[stages=2]" in cold
+        assert "pipeline[stages=3]" in cold
+        assert (tmp_path / "out.csv").is_file()
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "4 served from cache (100%)" in warm
+
+    def test_sweep_scenario_bad_knob_fails_loudly(self, capsys):
+        assert main(["sweep", "--scenario", "pipeline",
+                     "--scenario-param", "stages=0"]) == 2
+        assert ">=" in capsys.readouterr().err

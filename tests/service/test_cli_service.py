@@ -41,6 +41,16 @@ class TestServeParser:
         assert len(service.registry) == 2
         assert "preloaded kernel6" in capsys.readouterr().out
 
+    def test_preload_accepts_scenarios(self, tmp_path, capsys):
+        args = build_parser().parse_args(
+            ["serve", "--registry", str(tmp_path / "r"), "--port", "0",
+             "--preload", "stencil2d,fork_join"])
+        server, service = build_service_server(args)
+        server.server_close()
+        assert len(service.registry) == 2
+        assert service.registry.resolve("stencil2d")
+        assert "preloaded fork_join" in capsys.readouterr().out
+
     def test_jobs_selects_process_executor(self, tmp_path):
         args = build_parser().parse_args(
             ["serve", "--registry", str(tmp_path / "r"), "--port", "0",

@@ -54,16 +54,24 @@ class TestIngest:
         with pytest.raises(Exception):
             registry.ingest_xml('<model name="Empty" id="1"/>')
 
-    def test_hexlike_label_rejected(self, registry):
+    def test_full_hash_shaped_label_rejected(self, registry):
+        # A 64-hex-digit label can never win the exact-hash precedence
+        # rule, so it is rejected at ingest; shorter hex labels are fine.
         with pytest.raises(RegistryError, match="label"):
-            registry.ingest_model(build_sample_model(), label="abcdef0123")
+            registry.ingest_model(build_sample_model(), label="ab" * 32)
 
     def test_rejected_label_leaves_no_trace(self, registry):
         """A failed labeled ingest must not half-register the model."""
         with pytest.raises(RegistryError, match="label"):
-            registry.ingest_model(build_sample_model(), label="abcdef0123")
+            registry.ingest_model(build_sample_model(), label="ab" * 32)
         assert len(registry) == 0
         assert not registry.names_path.exists()
+
+    def test_hexlike_label_accepted(self, registry):
+        record = registry.ingest_model(build_sample_model(),
+                                       label="cafe01")
+        assert record.labels == ("cafe01",)
+        assert registry.resolve("cafe01") == record.ref
 
 
 class TestResolve:
@@ -92,6 +100,77 @@ class TestResolve:
         registry.ingest_sample("kernel6", label="current")
         second = registry.ingest_sample("sample", label="current")
         assert registry.resolve("current") == second.ref
+
+    def test_ambiguous_prefix_raises_clear_error(self, registry):
+        # Plant two store entries sharing a 12-hex-digit prefix (resolve
+        # matches prefixes against filenames, so real collisions aren't
+        # needed to exercise the ambiguity path).
+        for tail in ("aa", "bb"):
+            fake = "deadbeefcafe" + tail * 26
+            path = registry.path_for(fake)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text("<model/>", encoding="utf-8")
+        with pytest.raises(RegistryError, match="ambiguous"):
+            registry.resolve("deadbeefcafe")
+        # An unambiguous longer prefix still resolves.
+        assert registry.resolve("deadbeefcafeaa") == \
+            "deadbeefcafe" + "aa" * 26
+
+
+class TestResolvePrecedence:
+    """exact hash > label > unambiguous prefix, in both ingest orders.
+
+    Regression for hex-like labels: a label equal to a stored model's
+    hash prefix used to be rejected at ingest; now it is accepted and
+    deterministically shadows the prefix (but never a full hash).
+    """
+
+    def test_label_shadows_prefix_label_registered_second(self, registry):
+        kernel = registry.ingest_sample("kernel6")
+        prefix = kernel.ref[:6]
+        shadow = registry.ingest_model(build_sample_model(),
+                                       label=prefix)
+        assert registry.resolve(prefix) == shadow.ref       # label wins
+        assert registry.resolve(kernel.ref) == kernel.ref   # hash exact
+        assert registry.resolve(kernel.ref[:12]) == kernel.ref
+
+    def test_label_shadows_prefix_label_registered_first(self, registry):
+        # Same shadowing, opposite registration order: the label is in
+        # place before the model whose prefix it collides with.
+        kernel_hash = model_structural_hash(build_kernel6_model())
+        prefix = kernel_hash[:6]
+        shadow = registry.ingest_model(build_sample_model(),
+                                       label=prefix)
+        kernel = registry.ingest_sample("kernel6")
+        assert kernel.ref == kernel_hash
+        assert registry.resolve(prefix) == shadow.ref       # label wins
+        assert registry.resolve(kernel_hash) == kernel_hash
+        assert registry.resolve(kernel_hash[:12]) == kernel_hash
+
+    def test_exact_hash_beats_label_spelling_a_full_hash(self, registry):
+        # Labels shaped like full hashes are rejected at ingest, so an
+        # exact 64-digit ref can only ever mean the stored model.
+        record = registry.ingest_sample("kernel6")
+        with pytest.raises(RegistryError):
+            registry.ingest_model(build_sample_model(), label=record.ref)
+        assert registry.resolve(record.ref) == record.ref
+
+
+class TestScenarioIngest:
+    def test_ingest_scenarios_as_builtins(self, registry):
+        from repro.scenarios import scenario_names
+        for kind in scenario_names():
+            record = registry.ingest_sample(kind)
+            assert kind in record.labels
+        assert len(registry) == len(scenario_names())
+
+    def test_builtin_names_cover_samples_and_scenarios(self):
+        from repro.service.registry import builtin_model_names
+        names = builtin_model_names()
+        for expected in ("sample", "kernel6", "kernel6-loopnest",
+                         "pipeline", "master_worker", "stencil2d",
+                         "butterfly_allreduce", "fork_join"):
+            assert expected in names
 
 
 class TestPersistence:

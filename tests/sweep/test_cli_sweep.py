@@ -83,13 +83,25 @@ class TestSweepCommand:
 
 
 class TestSweepArgumentErrors:
-    def test_needs_model_or_kind(self, capsys):
+    def test_needs_model_kind_or_scenario(self, capsys):
         assert main(["sweep", "--processes", "1"]) == 2
-        assert "model XML file or --kind" in capsys.readouterr().err
+        assert "model XML file, --kind, or --scenario" in \
+            capsys.readouterr().err
 
     def test_rejects_model_and_kind_together(self, kernel_xml, capsys):
         assert main(["sweep", kernel_xml, "--kind", "kernel6"]) == 2
-        assert "not both" in capsys.readouterr().err
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_rejects_kind_and_scenario_together(self, capsys):
+        assert main(["sweep", "--kind", "kernel6",
+                     "--scenario", "pipeline"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_scenario_param_requires_scenario(self, capsys):
+        assert main(["sweep", "--kind", "kernel6",
+                     "--scenario-param", "stages=2"]) == 2
+        assert "--scenario-param requires --scenario" in \
+            capsys.readouterr().err
 
     def test_bad_process_list(self, capsys):
         assert main(["sweep", "--kind", "kernel6",

@@ -103,6 +103,35 @@ class TestOverrides:
         with pytest.raises(SweepSpecError):
             override_source("")
 
+    def test_negative_zero_canonicalizes_to_positive_zero(self):
+        # Regression: -0.0 and 0.0 compare equal, so they must render
+        # identically — otherwise the two spellings bake different
+        # initializers into the variant and miss each other's cache
+        # entries.
+        assert override_source(-0.0) == override_source(0.0) == "0.0"
+
+    def test_negative_zero_override_hashes_identically(self):
+        from repro.samples import build_kernel6_model
+        from repro.sweep import make_spec
+
+        def hash_for(value):
+            spec = make_spec(build_kernel6_model(),
+                             backends=["analytic"],
+                             overrides={"C6": [value]})
+            (job,) = expand(spec)
+            return job.model_hash, job.cache_key()
+
+        assert hash_for(-0.0) == hash_for(0.0)
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_non_finite_overrides_rejected(self, value):
+        # Regression: NaN/inf used to render via repr() into the model
+        # source, producing keys no later run could reproduce (and
+        # source the mini-language cannot parse).
+        with pytest.raises(SweepSpecError, match="finite"):
+            override_source(value)
+
     def test_generator_axes_are_materialized_not_consumed(self):
         spec = kernel_spec(
             processes=(n for n in [1, 2]),

@@ -162,3 +162,45 @@ class TestCodeWriter:
         writer.indent()
         writer.write_lines(["a", "b"])
         assert writer.lines == ["    a", "    b"]
+
+
+class TestStableHashFloatCanonicalization:
+    """Regression: pathological floats in fingerprints (sweep keys)."""
+
+    def test_negative_zero_hashes_like_positive_zero(self):
+        from repro.util.hashing import canonical_json, stable_hash
+        assert stable_hash({"latency": -0.0}) == \
+            stable_hash({"latency": 0.0})
+        assert canonical_json([-0.0, {"x": -0.0}]) == \
+            canonical_json([0.0, {"x": 0.0}])
+
+    def test_nested_negative_zero_normalized(self):
+        from repro.util.hashing import canonical_json
+        assert "-0.0" not in canonical_json(
+            {"a": [(-0.0,), {"b": -0.0}], "c": -0.0})
+
+    def test_nan_rejected(self):
+        import pytest as _pytest
+
+        from repro.util.hashing import stable_hash
+        with _pytest.raises(ValueError, match="NaN"):
+            stable_hash({"x": float("nan")})
+
+    def test_infinities_still_hash_deterministically(self):
+        # inf appears in valid configs (eager_threshold=inf == "always
+        # eager") and compares reproducibly — it must keep hashing as it
+        # did before NaN rejection was added.
+        from repro.util.hashing import stable_hash
+        assert stable_hash({"x": float("inf")}) == \
+            stable_hash({"x": float("inf")})
+        assert stable_hash({"x": float("inf")}) != \
+            stable_hash({"x": float("-inf")})
+
+    def test_infinite_network_config_fingerprint_hashes(self):
+        from repro.machine.network import NetworkConfig
+        config = NetworkConfig(eager_threshold=float("inf"))
+        assert config.structural_hash() == config.structural_hash()
+
+    def test_ordinary_floats_unchanged(self):
+        from repro.util.hashing import canonical_json
+        assert canonical_json({"x": 2.5, "n": 3}) == '{"n":3,"x":2.5}'
