@@ -1,0 +1,244 @@
+"""Benchmark trajectory harness (``prophet bench``).
+
+Runs the key estimator/sweep benchmarks on fixed workloads and writes
+``BENCH_estimator.json`` so the performance trajectory is tracked across
+PRs: every PR that touches the evaluation stack re-runs the harness and
+commits the refreshed snapshot, and CI's ``bench-smoke`` leg keeps the
+harness itself from rotting.
+
+Workloads are deliberately deterministic and self-contained (scenario
+generators, serial-executor defaults); wall times are best-of-``repeats``
+to shave scheduler noise.  Numbers are machine-relative — compare
+within one snapshot's fields, or across snapshots from the same machine
+(CI runners are close enough for trend lines, not for microbenchmarks).
+
+``PRE_PR_REFERENCE`` pins the wall time of the *pre-overhaul* code
+(PR 3, full-trace recording, per-job XML dispatch, dataclass-command
+kernel) on the machine that produced the first committed snapshot, so
+that snapshot records the measured speedup of the hot-path overhaul
+rather than a number nobody can reproduce.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+#: Bump when benchmark definitions change incompatibly.
+BENCH_SCHEMA = 1
+
+#: Wall seconds of the identical workload on the pre-overhaul code
+#: (commit 8dc583b, the PR-3 tree: full-trace recording, per-job XML
+#: dispatch, dataclass-command kernel), measured back-to-back with the
+#: overhauled code on the machine that produced the first committed
+#: snapshot (best of 5, serial executor — like-for-like with
+#: ``wall_s_summary``).
+PRE_PR_REFERENCE = {
+    "machine": "first-snapshot dev container (Linux, CPython 3.11)",
+    "measured_at_commit": "8dc583b",
+    "cold_sweep_3scenario_full_trace_wall_s": 0.910,
+}
+
+
+def _bench_models(smoke: bool):
+    from repro.scenarios import build_scenario
+    if smoke:
+        return [
+            ("pipeline", build_scenario("pipeline", stages=30)),
+            ("stencil2d", build_scenario("stencil2d", nx=48, ny=48,
+                                         iters=15)),
+            ("master_worker", build_scenario("master_worker", tasks=100)),
+        ]
+    return [
+        ("pipeline", build_scenario("pipeline", stages=300)),
+        ("stencil2d", build_scenario("stencil2d", nx=96, ny=96,
+                                     iters=150)),
+        ("master_worker", build_scenario("master_worker", tasks=1000)),
+    ]
+
+
+def _clear_memos() -> None:
+    from repro.estimator.backends import clear_prepared_cache
+    from repro.sweep.runner import clear_worker_memos
+    clear_prepared_cache()
+    clear_worker_memos()
+
+
+def _cold_sweep(models, trace: str, executor: str = "serial",
+                max_workers=None):
+    """One cold 3-scenario sweep; returns (wall_s, total events)."""
+    from repro.sweep import SweepSpec, run_sweep
+    spec = SweepSpec(models=models, processes=[2, 4],
+                     backends=["codegen", "interp"], seeds=[0])
+    _clear_memos()
+    start = time.perf_counter()
+    result = run_sweep(spec, cache=None, executor=executor,
+                       max_workers=max_workers, trace=trace)
+    wall = time.perf_counter() - start
+    failed = [r for r in result if r.status != "ok"]
+    if failed:
+        raise RuntimeError(f"benchmark sweep failed: {failed[0].error}")
+    return wall, sum(r.events for r in result)
+
+
+def _estimate_tier(model, trace: str, repeats: int):
+    """Warm-prepared single-point estimate at one trace tier."""
+    from repro.estimator.backends import evaluate_point
+    from repro.machine.params import SystemParameters
+    params = SystemParameters(nodes=4, processes=4)
+    evaluate_point(model, "codegen", params, check=False,
+                   trace=trace)  # warm the prepared-model memo
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        payload = evaluate_point(model, "codegen", params, check=False,
+                                 trace=trace)
+        best = min(best, time.perf_counter() - start)
+        events = payload["events"]
+    return best, events
+
+
+def _best(fn, repeats: int):
+    best_wall, extra = float("inf"), None
+    for _ in range(repeats):
+        wall, value = fn()
+        if wall < best_wall:
+            best_wall, extra = wall, value
+    return best_wall, extra
+
+
+def run_benchmarks(smoke: bool = False, repeats: int = 3,
+                   processes_bench: bool = True) -> dict:
+    """Execute the harness; returns the snapshot dict (not yet written)."""
+    models = _bench_models(smoke)
+    benchmarks: dict[str, dict] = {}
+
+    # 1. The headline number: a cold sweep (no result cache, no memos)
+    #    over three scenarios on both simulated backends — full-trace
+    #    recording vs the sweep default, summary.
+    full_wall, events = _best(
+        lambda: _cold_sweep(models, trace="full"), repeats)
+    summary_wall, _ = _best(
+        lambda: _cold_sweep(models, trace="summary"), repeats)
+    off_wall, _ = _best(
+        lambda: _cold_sweep(models, trace="off"), repeats)
+    entry = {
+        "description": "cold 3-scenario sweep, serial, codegen+interp, "
+                       "processes 2 and 4",
+        "events": events,
+        "wall_s_full": round(full_wall, 4),
+        "wall_s_summary": round(summary_wall, 4),
+        "wall_s_off": round(off_wall, 4),
+        "events_per_s_summary": round(events / summary_wall),
+        "speedup_summary_vs_full": round(full_wall / summary_wall, 3),
+    }
+    reference = PRE_PR_REFERENCE.get(
+        "cold_sweep_3scenario_full_trace_wall_s")
+    if reference and not smoke:
+        entry["pre_pr_full_trace_wall_s"] = reference
+        entry["speedup_vs_pre_pr_full_trace"] = round(
+            reference / summary_wall, 3)
+    benchmarks["cold_sweep_3scenario"] = entry
+
+    # 2. Per-tier estimator kernel throughput (transform cost excluded:
+    #    the prepared-model memo is warm, so this isolates the event
+    #    loop + recorder).
+    stencil = dict(models)["stencil2d"]
+    tiers = {}
+    for tier in ("full", "summary", "off"):
+        wall, tier_events = _estimate_tier(stencil, tier, repeats)
+        tiers[tier] = {"wall_s": round(wall, 5),
+                       "events_per_s": round(tier_events / wall)}
+    tiers["speedup_summary_vs_full"] = round(
+        tiers["full"]["wall_s"] / tiers["summary"]["wall_s"], 3)
+    benchmarks["estimator_stencil_tiers"] = tiers
+
+    # 3. Ship-once chunked dispatch on a fresh process pool (2 workers
+    #    keeps CI runners honest) against the serial wall time above.
+    if processes_bench:
+        pool_wall, _ = _best(
+            lambda: _cold_sweep(models, trace="summary",
+                                executor="process", max_workers=2),
+            max(1, repeats - 1))
+        benchmarks["cold_sweep_3scenario_pool2"] = {
+            "description": "same sweep on the ship-once chunked process "
+                           "pool, 2 workers (includes pool startup)",
+            "wall_s": round(pool_wall, 4),
+            "speedup_vs_serial_summary": round(
+                summary_wall / pool_wall, 3),
+        }
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_by": "prophet bench",
+        "smoke": smoke,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "pre_pr_reference": PRE_PR_REFERENCE,
+        "benchmarks": benchmarks,
+    }
+
+
+def render(snapshot: dict) -> str:
+    lines = [f"prophet bench (schema {snapshot['schema']}, "
+             f"{'smoke' if snapshot['smoke'] else 'full'} mode, "
+             f"best of {snapshot['repeats']})"]
+    for name, entry in snapshot["benchmarks"].items():
+        lines.append(f"  {name}:")
+        for key, value in entry.items():
+            if key == "description":
+                continue
+            if isinstance(value, dict):
+                inner = ", ".join(f"{k}={v}" for k, v in value.items())
+                lines.append(f"    {key:<28} {inner}")
+            else:
+                lines.append(f"    {key:<28} {value}")
+    return "\n".join(lines)
+
+
+def write_snapshot(snapshot: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def run_and_report(output: str | Path, smoke: bool = False,
+                   repeats: int = 3, pool: bool = True) -> int:
+    """Run the harness, print the table, write the snapshot.
+
+    The one body behind both ``prophet bench`` and
+    ``benchmarks/run_bench.py``.
+    """
+    snapshot = run_benchmarks(smoke=smoke, repeats=repeats,
+                              processes_bench=pool)
+    print(render(snapshot))
+    path = write_snapshot(snapshot, output)
+    print(f"\nwrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="run_bench", description="estimator/sweep benchmark harness")
+    parser.add_argument("-o", "--output", default="BENCH_estimator.json",
+                        help="snapshot path (default BENCH_estimator.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads (CI's bench-smoke leg)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats (default 3)")
+    parser.add_argument("--no-pool", action="store_true",
+                        help="skip the process-pool benchmark")
+    args = parser.parse_args(argv)
+    return run_and_report(args.output, smoke=args.smoke,
+                          repeats=args.repeats, pool=not args.no_pool)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -209,7 +209,9 @@ class CanReachFinalRule(Rule):
             finals = diagram.final_nodes()
             if not finals:
                 continue
-            graph = diagram.to_networkx().reverse()
+            # A reversed *view* suffices for reachability; reverse()'s
+            # default deep copy dominated cold model-validation time.
+            graph = diagram.to_networkx().reverse(copy=False)
             coreachable: set[int] = set()
             for final in finals:
                 coreachable |= {final.id} | nx.descendants(graph, final.id)

@@ -123,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=0,
                        help="run on a process pool with this many workers "
                             "(0 = serial)")
+    sweep.add_argument("--trace-tier", choices=("full", "summary", "off"),
+                       default="summary",
+                       help="estimator recording tier for simulated "
+                            "backends (default summary: identical "
+                            "results, per-kind counts only; off skips "
+                            "recording and is never cached)")
     sweep.add_argument("--csv", help="write the result table to this CSV "
                                      "file")
     sweep.add_argument("--no-table", action="store_true",
@@ -147,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "directory")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8350)
+    serve.add_argument("--trace-tier", choices=("full", "summary", "off"),
+                       default="full",
+                       help="recording tier for served evaluations "
+                            "(default full, so service-written cache "
+                            "entries match `prophet sweep`'s)")
+    serve.add_argument("--persistent-pool", action="store_true",
+                       help="keep one process pool alive across batches "
+                            "(workers fetch unseen models lazily and "
+                            "memoize them)")
     serve.add_argument("--jobs", type=int, default=0,
                        help="evaluate batches on a process pool with "
                             "this many workers (0 = serial)")
@@ -199,6 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--json", action="store_true",
                         help="print the raw JSON response")
 
+    bench = commands.add_parser(
+        "bench", help="run the estimator/sweep benchmark harness and "
+                      "write BENCH_estimator.json")
+    bench.add_argument("-o", "--output", default="BENCH_estimator.json",
+                       help="snapshot path (default BENCH_estimator.json)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny workloads (CI's bench-smoke leg)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="best-of-N timing repeats (default 3)")
+    bench.add_argument("--no-pool", action="store_true",
+                       help="skip the process-pool benchmark")
+
     info = commands.add_parser("info", help="print model statistics")
     info.add_argument("model")
     return parser
@@ -235,6 +262,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "info":
         return _cmd_info(args)
     raise AssertionError(f"unhandled command {args.command!r}")
@@ -380,7 +409,8 @@ def _cmd_sweep(args) -> int:
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     executor = "process" if args.jobs > 0 else "serial"
     result = run_sweep(spec, cache=cache, executor=executor,
-                       max_workers=args.jobs or None, progress=print)
+                       max_workers=args.jobs or None, progress=print,
+                       trace=args.trace_tier)
     if not args.no_table:
         print(result.table())
         print()
@@ -430,10 +460,17 @@ def build_service_server(args):
     on ``serve_forever``.
     """
     from repro.service import EvaluationService, make_server
+    if args.persistent_pool:
+        executor = "process-persistent"
+    elif args.jobs > 0:
+        executor = "process"
+    else:
+        executor = "serial"
     service = EvaluationService(
         args.registry, cache=args.cache_dir,
-        executor="process" if args.jobs > 0 else "serial",
-        max_workers=args.jobs or None)
+        executor=executor,
+        max_workers=args.jobs or None,
+        trace=args.trace_tier)
     from repro.uml.hashing import short_ref
     for kind in (k.strip() for k in args.preload.split(",") if k.strip()):
         record = service.ingest_sample(kind)
@@ -527,6 +564,12 @@ def _cmd_submit(args) -> int:
               f"{stats['coalesced']} coalesced, "
               f"{stats['cache_hits']} cache hit(s)")
     return 1 if failed else 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import run_and_report
+    return run_and_report(args.output, smoke=args.smoke,
+                          repeats=args.repeats, pool=not args.no_pool)
 
 
 def _cmd_info(args) -> int:

@@ -5,7 +5,17 @@ machine model, integrates program and machine, evaluates by simulation,
 and produces the trace file (TF) that feeds performance visualization.
 """
 
-from repro.estimator.trace import TraceRecord, TraceRecorder, read_trace, write_trace
+from repro.estimator.trace import (
+    TRACE_TIERS,
+    NullTraceRecorder,
+    SummaryTraceRecorder,
+    TraceRecord,
+    TraceRecorder,
+    make_recorder,
+    read_trace,
+    validate_trace_tier,
+    write_trace,
+)
 from repro.estimator.manager import (
     EstimationResult,
     PerformanceEstimator,
@@ -19,7 +29,9 @@ from repro.estimator.backends import (
 )
 
 __all__ = [
-    "TraceRecord", "TraceRecorder", "read_trace", "write_trace",
+    "TRACE_TIERS", "TraceRecord", "TraceRecorder",
+    "SummaryTraceRecorder", "NullTraceRecorder", "make_recorder",
+    "validate_trace_tier", "read_trace", "write_trace",
     "PerformanceEstimator", "EstimationResult", "estimate",
     "TraceAnalysis",
     "BACKENDS", "SIMULATED_BACKENDS", "evaluate_point",

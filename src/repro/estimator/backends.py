@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.errors import EstimatorError
 from repro.estimator.manager import PerformanceEstimator, PreparedModel
+from repro.estimator.trace import TRACE_TIERS, validate_trace_tier
 from repro.machine.network import NetworkConfig
 from repro.machine.params import SystemParameters
 from repro.uml.hashing import model_structural_hash
@@ -81,7 +82,8 @@ def evaluate_point(model: Model, backend: str,
                    network: NetworkConfig | None = None,
                    seed: int = 0,
                    check: bool = True,
-                   model_hash: str | None = None) -> dict:
+                   model_hash: str | None = None,
+                   trace: str = "full") -> dict:
     """Evaluate one (model, machine, backend, seed) point.
 
     Returns a deterministic, JSON-serializable payload::
@@ -95,8 +97,16 @@ def evaluate_point(model: Model, backend: str,
     parallel executions of the same grid produce byte-identical tables,
     and caches payloads by content key.  Pass ``model_hash`` when the
     caller already computed the structural hash (avoids re-hashing).
+
+    ``trace`` selects the recording tier for the simulated backends
+    (:data:`repro.estimator.trace.TRACE_TIERS`).  ``predicted_time``
+    and ``events`` are byte-identical across tiers; ``trace_records``
+    is preserved by ``summary`` (counts, no allocation) and reported as
+    0 by ``off`` — which is why the sweep runner never writes ``off``
+    payloads to the shared result cache.
     """
     validate_backend(backend)
+    validate_trace_tier(trace)
     if check:
         from repro.checker import ModelChecker
         ModelChecker().assert_valid(model)
@@ -109,12 +119,12 @@ def evaluate_point(model: Model, backend: str,
             "trace_records": 0,
             "backend": backend,
         }
-    estimator = PerformanceEstimator(params, network, seed)
+    estimator = PerformanceEstimator(params, network, seed, trace)
     prepared = _prepared(model, backend, model_hash)
     result = estimator.run_prepared(prepared)
     return {
         "predicted_time": result.total_time,
         "events": result.events_processed,
-        "trace_records": len(result.trace),
+        "trace_records": result.trace_records,
         "backend": backend,
     }

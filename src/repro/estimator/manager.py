@@ -18,7 +18,12 @@ from repro.machine.network import NetworkConfig
 from repro.machine.params import SystemParameters
 from repro.sim.core import Simulation
 from repro.sim.random import RandomStreams
-from repro.estimator.trace import TraceRecord, TraceRecorder, write_trace
+from repro.estimator.trace import (
+    TraceRecord,
+    make_recorder,
+    validate_trace_tier,
+    write_trace,
+)
 from repro.uml.model import Model
 from repro.workload.context import (
     ExecContext,
@@ -41,10 +46,21 @@ class EstimationResult:
     node_utilization: list[float]
     events_processed: int
     mode: str
+    #: Number of records the run produced (equals ``len(trace)`` on the
+    #: ``full`` tier; preserved exactly by ``summary``, 0 for ``off``).
+    trace_records: int = 0
+    #: Which trace tier produced this result (see TRACE_TIERS).
+    trace_tier: str = "full"
+    #: Per-kind record counts (full and summary tiers; empty for off).
+    trace_counts: dict = field(default_factory=dict)
 
     def write_trace_file(self, path: str | Path,
                          fmt: str = "csv") -> Path:
         """Write the TF for visualization (Fig. 2's Teuta ← TF arrow)."""
+        if self.trace_tier != "full":
+            raise EstimatorError(
+                f"cannot write a trace file from a {self.trace_tier!r}-"
+                "tier run; re-estimate with trace='full'")
         return write_trace(self.trace, path, fmt)
 
     @property
@@ -57,7 +73,8 @@ class EstimationResult:
             f"machine:    {self.params.describe()}",
             f"mode:       {self.mode}",
             f"predicted:  {self.total_time:.6g} s",
-            f"trace:      {len(self.trace)} record(s)",
+            f"trace:      {self.trace_records} record(s) "
+            f"[{self.trace_tier}]",
             f"sim events: {self.events_processed}",
         ]
         for index, utilization in enumerate(self.node_utilization):
@@ -89,14 +106,22 @@ class PerformanceEstimator:
       generated module (the paper's machine-efficient path);
     * ``"interp"`` — interpret the UML model tree directly (the
       human-usable-but-slow path the paper argues against).
+
+    ``trace`` selects the recording tier (see
+    :data:`repro.estimator.trace.TRACE_TIERS`): ``"full"`` materializes
+    every record, ``"summary"`` keeps only per-kind counts (identical
+    ``trace_records`` totals, no allocation), ``"off"`` records nothing.
+    Predicted time and event counts are byte-identical across tiers —
+    recording is observation, never behavior.
     """
 
     def __init__(self, params: SystemParameters | None = None,
                  network: NetworkConfig | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, trace: str = "full") -> None:
         self.params = params or SystemParameters()
         self.network = network or NetworkConfig()
         self.seed = seed
+        self.trace = validate_trace_tier(trace)
 
     def estimate(self, model: Model, mode: str = "codegen",
                  check: bool = True) -> EstimationResult:
@@ -146,7 +171,7 @@ class PerformanceEstimator:
         sim = Simulation()
         cluster = Cluster(sim, self.params, self.network)
         comm = Communicator(sim, cluster)
-        trace = TraceRecorder()
+        trace = make_recorder(self.trace)
         runtime = RuntimeState(sim=sim, cluster=cluster, comm=comm,
                                trace=trace, model_name=model_name)
         runtime.random = RandomStreams(self.seed)  # available to elements
@@ -180,6 +205,9 @@ class PerformanceEstimator:
             node_utilization=cluster.utilization_by_node(),
             events_processed=sim.events_processed,
             mode=mode,
+            trace_records=len(trace),
+            trace_tier=trace.tier,
+            trace_counts=trace.counts_by_kind(),
         )
 
 
@@ -188,7 +216,8 @@ def estimate(model: Model,
              network: NetworkConfig | None = None,
              mode: str = "codegen",
              seed: int = 0,
-             check: bool = True) -> EstimationResult:
+             check: bool = True,
+             trace: str = "full") -> EstimationResult:
     """One-shot convenience wrapper around :class:`PerformanceEstimator`."""
-    return PerformanceEstimator(params, network, seed).estimate(
+    return PerformanceEstimator(params, network, seed, trace).estimate(
         model, mode=mode, check=check)

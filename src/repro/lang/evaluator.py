@@ -178,24 +178,25 @@ class Evaluator:
     def reset_budget(self) -> None:
         self._steps = 0
 
-    def _tick(self, node) -> None:
+    # -- expressions ----------------------------------------------------
+
+    def eval_expr(self, expr: Expr, env: Environment):
+        # Hot path: exact-class dispatch through a table (the isinstance
+        # ladder this replaces was the interpreter's top cost), with the
+        # step-budget tick inlined.
         self._steps += 1
         if self._steps > self._budget:
             raise EvalError(
                 "evaluation step budget exhausted (possible runaway loop)",
-                getattr(node, "line", None), None)
+                getattr(expr, "line", None), None)
+        handler = _EXPR_DISPATCH.get(expr.__class__)
+        if handler is not None:
+            return handler(self, expr, env)
+        return self._eval_expr_slow(expr, env)
 
-    # -- expressions ----------------------------------------------------
-
-    def eval_expr(self, expr: Expr, env: Environment):
-        self._tick(expr)
-        if isinstance(expr, IntLit):
-            return expr.value
-        if isinstance(expr, FloatLit):
-            return expr.value
-        if isinstance(expr, BoolLit):
-            return expr.value
-        if isinstance(expr, StringLit):
+    def _eval_expr_slow(self, expr: Expr, env: Environment):
+        """Subclass fallback for the dispatch table."""
+        if isinstance(expr, (IntLit, FloatLit, BoolLit, StringLit)):
             return expr.value
         if isinstance(expr, Name):
             return env.lookup(expr.ident)
@@ -204,12 +205,15 @@ class Evaluator:
         if isinstance(expr, Binary):
             return self._eval_binary(expr, env)
         if isinstance(expr, Ternary):
-            cond = self.eval_expr(expr.cond, env)
-            branch = expr.then if cond else expr.other
-            return self.eval_expr(branch, env)
+            return self._eval_ternary(expr, env)
         if isinstance(expr, Call):
             return self._eval_call(expr, env)
         raise EvalError(f"cannot evaluate expression node {type(expr).__name__}")
+
+    def _eval_ternary(self, expr: Ternary, env: Environment):
+        cond = self.eval_expr(expr.cond, env)
+        branch = expr.then if cond else expr.other
+        return self.eval_expr(branch, env)
 
     def _eval_unary(self, expr: Unary, env: Environment):
         value = self.eval_expr(expr.operand, env)
@@ -318,7 +322,11 @@ class Evaluator:
             self.exec_stmt(stmt, env)
 
     def exec_stmt(self, stmt: Stmt, env: Environment) -> None:
-        self._tick(stmt)
+        self._steps += 1
+        if self._steps > self._budget:
+            raise EvalError(
+                "evaluation step budget exhausted (possible runaway loop)",
+                getattr(stmt, "line", None), None)
         if isinstance(stmt, VarDecl):
             value = (self.eval_expr(stmt.init, env)
                      if stmt.init is not None else None)
@@ -381,3 +389,26 @@ class Evaluator:
     def eval_guard(self, expr: Expr, env: Environment) -> bool:
         """Evaluate a branch guard to a truth value."""
         return bool(self.eval_expr(expr, env))
+
+
+def _eval_literal(evaluator, expr, env):
+    return expr.value
+
+
+def _eval_name(evaluator, expr, env):
+    return env.lookup(expr.ident)
+
+
+#: Exact-class dispatch for :meth:`Evaluator.eval_expr`; AST subclasses
+#: (none exist today) fall back to the isinstance ladder.
+_EXPR_DISPATCH = {
+    IntLit: _eval_literal,
+    FloatLit: _eval_literal,
+    BoolLit: _eval_literal,
+    StringLit: _eval_literal,
+    Name: _eval_name,
+    Unary: Evaluator._eval_unary,
+    Binary: Evaluator._eval_binary,
+    Ternary: Evaluator._eval_ternary,
+    Call: Evaluator._eval_call,
+}

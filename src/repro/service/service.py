@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.estimator.backends import prepared_cache_stats
+from repro.estimator.trace import validate_trace_tier
 from repro.service.batcher import plan_batch
 from repro.service.registry import ModelRecord, ModelRegistry
 from repro.service.request import EvaluationRequest
@@ -56,16 +57,25 @@ class EvaluationService:
     def __init__(self, registry: ModelRegistry | str | Path,
                  cache: ResultCache | str | Path | None = None,
                  executor: str = "serial",
-                 max_workers: int | None = None) -> None:
+                 max_workers: int | None = None,
+                 trace: str = "full") -> None:
         self.registry = (registry if isinstance(registry, ModelRegistry)
                          else ModelRegistry(registry))
         self.cache = (cache if isinstance(cache, (ResultCache, type(None)))
                       else ResultCache(cache))
         # "process" forks a pool per batch (the sweep runner's model):
-        # jobs are self-contained XML, so workers never touch registry
-        # locks, and small batches short-circuit the pool entirely.
+        # workers receive the batch's model table once via the pool
+        # initializer, so they never touch registry locks, and small
+        # batches short-circuit the pool entirely.  "process-persistent"
+        # reuses one pool across batches (workers lazy-fetch models they
+        # have not seen and memoize them for every later batch).
         self.executor = executor
         self.max_workers = max_workers
+        # The recording tier jobs run at.  Serving keeps the sweep
+        # payload contract either way; "full" stays the default because
+        # cache entries written by a service should be indistinguishable
+        # from `prophet sweep`'s, and "off" entries are uncacheable.
+        self.trace = validate_trace_tier(trace)
         self.batches_served = 0
         self.requests_served = 0
         self.coalesced_total = 0
@@ -97,7 +107,8 @@ class EvaluationService:
                   else CacheStats())
         sweep_result = run_jobs(plan.jobs, cache=self.cache,
                                 executor=self.executor,
-                                max_workers=self.max_workers)
+                                max_workers=self.max_workers,
+                                trace=self.trace)
         outcomes = list(sweep_result)  # index order == job order
 
         results: list[dict] = []
@@ -142,6 +153,7 @@ class EvaluationService:
             "cache_hits": delta.hits,
             "cache_misses": delta.misses,
             "executor": self.executor,
+            "trace": self.trace,
         }
         return BatchResponse(results=results, stats=stats)
 
@@ -162,7 +174,19 @@ class EvaluationService:
             "prepared_models": (prepared_cache_stats()
                                 if self.executor == "serial" else None),
             "executor": self.executor,
+            "trace": self.trace,
         }
+
+    def close(self) -> None:
+        """Release executor resources.
+
+        The persistent pool is module-shared; closing tears it down for
+        this process (any concurrent user would simply re-create it on
+        the next batch).
+        """
+        if self.executor == "process-persistent":
+            from repro.sweep.runner import shutdown_shared_pool
+            shutdown_shared_pool()
 
 
 __all__ = ["BatchResponse", "EvaluationService", "RESULT_PAYLOAD_KEYS"]

@@ -3,42 +3,92 @@
 Processes are Python generators.  They yield exactly two primitive
 commands back to the kernel:
 
-* ``Hold(delay)`` — advance this process's local time by ``delay``
-  simulated seconds (CSIM's ``hold``);
-* ``Wait(event)`` — block until the event fires.
+* *hold* — advance this process's local time (CSIM's ``hold``);
+* *wait* — block until an event fires.
 
 Everything richer (facility queueing, mailboxes, barriers) is built from
 these two by ``yield from`` composition, so the kernel stays tiny and
 auditable.
+
+Command encoding
+----------------
+
+The kernel's wire format for commands is deliberately allocation-free:
+
+* a bare ``float`` is a hold for that many simulated seconds;
+* a bare :class:`Event` is a wait on that event.
+
+The public :class:`Hold` and :class:`Wait` wrappers remain fully
+supported — ``yield Hold(dt)`` / ``yield Wait(event)`` behave exactly as
+before — but the built-in operations (:func:`hold`,
+:meth:`Event.wait`, facilities, mailboxes) yield the raw encodings so
+the per-event dispatch in :meth:`SimProcess._advance` touches no
+constructors.  Anything else yielded (ints included, to keep the
+classic ``yield 42`` mistake loud) is rejected.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Generator, Iterable
 
 from repro.errors import DeadlockError, SimulationError
 
 
-@dataclass(frozen=True)
+def _check_delay(delay) -> None:
+    """The one negative-delay check (shared by ``Hold`` and ``hold``)."""
+    if delay < 0:
+        raise SimulationError(f"cannot hold for negative time ({delay})")
+
+
 class Hold:
-    """Advance simulated time for the yielding process."""
+    """Advance simulated time for the yielding process.
 
-    delay: float
+    Thin compatibility wrapper around the kernel's raw-``float``
+    encoding; validation happens eagerly at construction.
+    """
 
-    def __post_init__(self) -> None:
-        if self.delay < 0:
-            raise SimulationError(f"cannot hold for negative time "
-                                  f"({self.delay})")
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        _check_delay(delay)
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return f"Hold(delay={self.delay!r})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Hold):
+            return self.delay == other.delay
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Hold, self.delay))
 
 
-@dataclass(frozen=True)
 class Wait:
-    """Block the yielding process until ``event`` fires."""
+    """Block the yielding process until ``event`` fires.
 
-    event: "Event"
+    Thin compatibility wrapper around the kernel's raw-:class:`Event`
+    encoding.
+    """
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "Event") -> None:
+        self.event = event
+
+    def __repr__(self) -> str:
+        return f"Wait(event={self.event!r})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Wait):
+            return self.event is other.event
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Wait, id(self.event)))
 
 
 class Event:
@@ -65,9 +115,13 @@ class Event:
             return
         self._fired = True
         self.payload = payload
-        waiters, self._waiters = self._waiters, []
-        for process in waiters:
-            self.sim._schedule(0.0, process)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            sim = self.sim
+            heap, counter, now = sim._heap, sim._counter, sim.now
+            for process in waiters:
+                heappush(heap, (now, next(counter), process))
 
     def reset(self) -> None:
         if self._waiters:
@@ -76,13 +130,10 @@ class Event:
         self._fired = False
         self.payload = None
 
-    def _add_waiter(self, process: "SimProcess") -> None:
-        self._waiters.append(process)
-
     def wait(self):
         """Generator helper: ``yield from event.wait()``."""
         if not self._fired:
-            yield Wait(self)
+            yield self
         return self.payload
 
 
@@ -90,7 +141,8 @@ class SimProcess:
     """A running simulation process wrapping a generator."""
 
     __slots__ = ("sim", "name", "seq", "_generator", "done",
-                 "completion", "started_at", "finished_at", "blocked_on")
+                 "_completion", "started_at", "finished_at",
+                 "_blocked_cmd")
 
     def __init__(self, sim: "Simulation", name: str, seq: int,
                  generator: Generator) -> None:
@@ -103,28 +155,92 @@ class SimProcess:
         self.seq = seq
         self._generator = generator
         self.done = False
-        self.completion = Event(sim, f"{name}.done")
+        self._completion: Event | None = None
         self.started_at = sim.now
         self.finished_at: float | None = None
-        self.blocked_on: str | None = None
+        self._blocked_cmd = None
+
+    @property
+    def completion(self) -> Event:
+        """Fires when this process finishes (created lazily — most
+        processes are never joined, and the event + its name were a
+        measurable share of spawn cost)."""
+        event = self._completion
+        if event is None:
+            event = Event(self.sim, self.name + ".done")
+            if self.done:
+                event.fire()
+            self._completion = event
+        return event
+
+    @property
+    def blocked_on(self) -> str | None:
+        """Human-readable description of what the process waits for.
+
+        Computed lazily from the last kernel command — only deadlock
+        reporting and ``repr`` pay the string formatting, never the
+        per-event hot loop.
+        """
+        command = self._blocked_cmd
+        if command is None:
+            return None
+        if command.__class__ is float:
+            return f"hold({command:g})"
+        if isinstance(command, Hold):
+            return f"hold({command.delay:g})"
+        if isinstance(command, Wait):
+            return f"wait({command.event.name})"
+        return f"wait({command.name})"  # raw Event
 
     def _advance(self) -> None:
-        """Resume the generator and act on the yielded command."""
-        self.blocked_on = None
+        """Resume the generator and act on the yielded command.
+
+        This is the simulator's per-event hot path: one ``send``, one
+        type dispatch, one heap push — no allocation, no formatting.
+        """
+        self._blocked_cmd = None
         try:
             command = self._generator.send(None)
         except StopIteration:
             self._finish()
             return
-        if isinstance(command, Hold):
-            self.sim._schedule(command.delay, self)
-            self.blocked_on = f"hold({command.delay:g})"
-        elif isinstance(command, Wait):
-            if command.event.fired:
-                self.sim._schedule(0.0, self)
+        sim = self.sim
+        cls = command.__class__
+        if cls is float:                      # raw hold
+            if command < 0.0:
+                raise SimulationError(
+                    f"cannot hold for negative time ({command})")
+            heappush(sim._heap,
+                     (sim.now + command, next(sim._counter), self))
+            self._blocked_cmd = command
+        elif cls is Event:                    # raw wait
+            if command._fired:
+                heappush(sim._heap, (sim.now, next(sim._counter), self))
             else:
-                command.event._add_waiter(self)
-                self.blocked_on = f"wait({command.event.name})"
+                command._waiters.append(self)
+                self._blocked_cmd = command
+        elif cls is Hold:
+            heappush(sim._heap,
+                     (sim.now + command.delay, next(sim._counter), self))
+            self._blocked_cmd = command
+        elif cls is Wait:
+            event = command.event
+            if event._fired:
+                heappush(sim._heap, (sim.now, next(sim._counter), self))
+            else:
+                event._waiters.append(self)
+                self._blocked_cmd = command
+        elif isinstance(command, Hold):   # Hold subclass
+            heappush(sim._heap,
+                     (sim.now + command.delay, next(sim._counter), self))
+            self._blocked_cmd = command
+        elif isinstance(command, (Wait, Event)):  # Wait/Event subclass
+            event = command.event if isinstance(command, Wait) else command
+            if event._fired:
+                heappush(sim._heap, (sim.now, next(sim._counter), self))
+            else:
+                event._waiters.append(self)
+                self._blocked_cmd = command
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded {command!r}; expected "
@@ -134,7 +250,9 @@ class SimProcess:
         self.done = True
         self.finished_at = self.sim.now
         self.sim._active -= 1
-        self.completion.fire()
+        completion = self._completion
+        if completion is not None:
+            completion.fire()
 
     def join(self):
         """Generator helper: wait for this process to finish."""
@@ -163,17 +281,11 @@ class Simulation:
         process = SimProcess(self, name, next(self._counter), generator)
         self._processes.append(process)
         self._active += 1
-        self._schedule(0.0, process)
+        heappush(self._heap, (self.now, next(self._counter), process))
         return process
 
     def event(self, name: str = "event") -> Event:
         return Event(self, name)
-
-    # -- scheduling ------------------------------------------------------------
-
-    def _schedule(self, delay: float, process: SimProcess) -> None:
-        heapq.heappush(self._heap,
-                       (self.now + delay, next(self._counter), process))
 
     # -- execution ---------------------------------------------------------------
 
@@ -181,23 +293,35 @@ class Simulation:
             max_events: int = 50_000_000) -> float:
         """Run until all processes finish (or ``until`` simulated seconds).
 
+        Stopping at ``until`` leaves the calendar intact: the first
+        event past the horizon is pushed back, so a later ``run()``
+        resumes exactly where this one stopped.
+
         Raises :class:`DeadlockError` if the calendar drains while
         processes are still blocked on events.
         """
-        while self._heap:
-            time, _, process = heapq.heappop(self._heap)
-            if until is not None and time > until:
-                self.now = until
-                return self.now
-            self.now = time
-            if process.done:
-                continue
-            self.events_processed += 1
-            if self.events_processed > max_events:
-                raise SimulationError(
-                    f"simulation exceeded {max_events} events; "
-                    "runaway model?")
-            process._advance()
+        heap = self._heap
+        processed = self.events_processed
+        try:
+            while heap:
+                entry = heappop(heap)
+                time = entry[0]
+                if until is not None and time > until:
+                    heappush(heap, entry)  # keep it for a resumed run()
+                    self.now = until
+                    return until
+                self.now = time
+                process = entry[2]
+                if process.done:
+                    continue
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "runaway model?")
+                process._advance()
+        finally:
+            self.events_processed = processed
         if self._active > 0:
             blocked = [p for p in self._processes if not p.done]
             raise DeadlockError(
@@ -217,8 +341,15 @@ class Simulation:
 
 
 def hold(delay: float):
-    """Generator helper: ``yield from hold(dt)`` (CSIM's ``hold``)."""
+    """``yield from hold(dt)`` (CSIM's ``hold``).
+
+    Returns a pre-built iterable instead of a generator: a 1-tuple
+    holding the raw float command (or an empty tuple for ``dt == 0``,
+    which yields nothing).  Negative delays are rejected *eagerly* —
+    the same :class:`SimulationError` and message as ``Hold(dt)``, not
+    deferred to the first iteration the way a generator would.
+    """
     if delay > 0:
-        yield Hold(delay)
-    elif delay < 0:
-        raise SimulationError(f"cannot hold for negative time ({delay})")
+        return (float(delay),)
+    _check_delay(delay)
+    return ()

@@ -13,7 +13,7 @@ from collections import deque
 from typing import Generator
 
 from repro.errors import SimulationError
-from repro.sim.core import Event, Hold, Simulation, Wait
+from repro.sim.core import Event, Simulation
 from repro.sim.stats import TimeWeighted
 
 
@@ -35,6 +35,7 @@ class Facility:
                 f"facility {name!r} needs >= 1 server, got {servers}")
         self.sim = sim
         self.name = name
+        self._grant_name = name + ".grant"  # shared by all queued grants
         self.servers = servers
         self._free = servers
         self._queue: deque[_Grant] = deque()
@@ -53,10 +54,10 @@ class Facility:
             self._free -= 1
             self._busy.record(self.servers - self._free)
             return
-        grant = _Grant(Event(self.sim, f"{self.name}.grant"))
+        grant = _Grant(Event(self.sim, self._grant_name))
         self._queue.append(grant)
         self._queue_length.record(len(self._queue))
-        yield Wait(grant.event)
+        yield grant.event  # raw-Event wait (see sim.core command encoding)
         # Server ownership was transferred by release(); nothing to do.
 
     def release(self) -> None:
@@ -77,14 +78,26 @@ class Facility:
             self._busy.record(self.servers - self._free)
 
     def use(self, service_time: float) -> Generator:
-        """request → hold(service_time) → release (CSIM's ``use``)."""
+        """request → hold(service_time) → release (CSIM's ``use``).
+
+        The free-server acquisition is inlined (``request()`` spelled
+        out) so the common uncontended case costs no nested generator.
+        """
         if service_time < 0:
             raise SimulationError(
                 f"negative service time {service_time} at {self.name!r}")
-        yield from self.request()
+        self.requests += 1
+        if self._free > 0:
+            self._free -= 1
+            self._busy.record(self.servers - self._free)
+        else:
+            grant = _Grant(Event(self.sim, self._grant_name))
+            self._queue.append(grant)
+            self._queue_length.record(len(self._queue))
+            yield grant.event  # raw-Event wait
         try:
             if service_time > 0:
-                yield Hold(service_time)
+                yield float(service_time)  # raw-float hold
         finally:
             self.release()
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
-from repro.sim.core import Event, Simulation, Wait
+from repro.sim.core import Event, Simulation
 from repro.sim.stats import Table
 
 
@@ -19,6 +19,7 @@ class Mailbox:
     def __init__(self, sim: Simulation, name: str) -> None:
         self.sim = sim
         self.name = name
+        self._recv_name = name + ".recv"  # shared by all blocked receives
         self._messages: list[Any] = []
         self._receivers: list[tuple[Callable[[Any], bool] | None, Event]] = []
         self.delivered = 0
@@ -50,10 +51,10 @@ class Mailbox:
                 self.delivered += 1
                 self.wait_times.record(0.0)
                 return message
-        event = Event(self.sim, f"{self.name}.recv")
+        event = Event(self.sim, self._recv_name)
         self._receivers.append((match, event))
         arrived_at = self.sim.now
-        yield Wait(event)
+        yield event  # raw-Event wait (see sim.core command encoding)
         self.wait_times.record(self.sim.now - arrived_at)
         return event.payload
 

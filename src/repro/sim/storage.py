@@ -11,7 +11,7 @@ from collections import deque
 from typing import Generator
 
 from repro.errors import SimulationError
-from repro.sim.core import Event, Simulation, Wait
+from repro.sim.core import Event, Simulation
 from repro.sim.stats import TimeWeighted
 
 
@@ -42,7 +42,7 @@ class Storage:
         if self._waiters or amount > self._available:
             event = Event(self.sim, f"{self.name}.alloc")
             self._waiters.append((amount, event))
-            yield Wait(event)
+            yield event  # raw-Event wait (see sim.core command encoding)
             # Woken exactly when our amount was reserved by deallocate().
             return
         self._available -= amount

@@ -53,6 +53,7 @@ from repro.sweep.runner import (
     execute_job,
     run_jobs,
     run_sweep,
+    shutdown_shared_pool,
 )
 from repro.sweep.spec import (
     BACKENDS,
@@ -71,5 +72,5 @@ __all__ = [
     "apply_overrides", "expand", "scenario_models",
     "JobResult", "SweepResult",
     "SerialExecutor", "ProcessPoolExecutor",
-    "execute_job", "run_jobs", "run_sweep",
+    "execute_job", "run_jobs", "run_sweep", "shutdown_shared_pool",
 ]

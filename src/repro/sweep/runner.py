@@ -19,20 +19,36 @@ Execution contract:
 * successful payloads are written to the content-addressed cache, so a
   repeated sweep is served from disk instead of re-simulated.
 
-Workers keep a process-local memo of parsed-and-checked models keyed by
-structural hash: a pool worker that receives many jobs of the same
-variant parses and validates the XML once, and the prepared-model memo
-in :mod:`repro.estimator.backends` likewise amortizes the transform.
+Dispatch is ship-once: a sweep's model XML travels to each pool worker
+exactly one time (via the pool initializer), jobs cross the pickle
+boundary stripped of their XML, and they cross it in *chunks* rather
+than one round-trip per point.  A worker that still misses a model —
+possible on the shared persistent pool, whose workers outlive any one
+sweep — answers ``need_model`` and the runner re-sends just those jobs
+with the XML attached (the lazy-fetch fallback).  Workers keep a
+process-local memo of parsed-and-checked models keyed by structural
+hash, and the prepared-model memo in :mod:`repro.estimator.backends`
+likewise amortizes the transform.
+
+``trace`` selects the estimator's recording tier for the simulated
+backends (default ``"summary"`` — identical payloads to ``"full"``,
+none of the per-record allocation).  ``"off"`` runs are never written
+to the result cache: their ``trace_records`` is 0, which would corrupt
+the payload other tiers expect to share.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
+import inspect
 import os
+import threading
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ProphetError
 from repro.estimator.backends import evaluate_point
+from repro.estimator.trace import validate_trace_tier
 from repro.sweep.cache import ResultCache
 from repro.sweep.grid import expand
 from repro.sweep.results import JobResult, SweepResult
@@ -51,34 +67,68 @@ PAYLOAD_KEYS = ("predicted_time", "events", "trace_records")
 _WORKER_MODELS_LIMIT = 32
 _WORKER_MODELS: LRUMap[str, Model] = LRUMap(_WORKER_MODELS_LIMIT)
 
+#: Worker-local model table: structural hash → XML, shipped once per
+#: worker by the pool initializer instead of once per job.
+_WORKER_XML: dict[str, str] = {}
 
-def _job_model(job: SweepJob) -> Model:
+
+def _pool_initializer(xml_by_hash: dict[str, str]) -> None:
+    """Install the sweep's model table in a fresh pool worker."""
+    _WORKER_XML.clear()
+    _WORKER_XML.update(xml_by_hash)
+
+
+def clear_worker_memos() -> None:
+    """Drop this process's model memo and shipped table (tests/benchmarks
+    use this to measure genuinely cold runs)."""
+    _WORKER_MODELS.clear()
+    _WORKER_XML.clear()
+
+
+def _job_model(job: SweepJob) -> Model | None:
+    """The parsed model for ``job``, or ``None`` if this worker has
+    neither the XML nor a memoized parse (persistent-pool cache miss)."""
     model = _WORKER_MODELS.get(job.model_hash)
     if model is None:
+        xml = job.model_xml or _WORKER_XML.get(job.model_hash)
+        if xml is None:
+            return None
         from repro.checker import ModelChecker
         from repro.xmlio.reader import model_from_xml
-        model = model_from_xml(job.model_xml)
+        model = model_from_xml(xml)
         ModelChecker().assert_valid(model)
         _WORKER_MODELS.put(job.model_hash, model)
     return model
 
 
-def execute_job(job: SweepJob) -> dict:
+def execute_job(job: SweepJob, trace: str = "full") -> dict:
     """Evaluate one point; never raises.
 
-    Returns ``{"status": "ok", ...payload}`` or ``{"status": "error",
-    "error": "ExcType: message"}``.  Module-level (not a closure) so the
-    process-pool executor can pickle it.
+    Returns ``{"status": "ok", ...payload}``, ``{"status": "error",
+    "error": "ExcType: message"}``, or ``{"status": "need_model"}`` when
+    the job arrived without XML and this worker has no copy of the model
+    (the runner then re-sends the job with the XML attached).
+    Module-level (not a closure) so the process-pool executor can
+    pickle it.
     """
     try:
         model = _job_model(job)
+        if model is None:
+            return {"status": "need_model",
+                    "model_hash": job.model_hash}
         payload = evaluate_point(
             model, job.backend, job.params, job.network, job.seed,
-            check=False, model_hash=job.model_hash)
+            check=False, model_hash=job.model_hash, trace=trace)
         return {"status": "ok", **payload}
     except Exception as exc:  # noqa: BLE001 — per-job capture by design
         return {"status": "error",
                 "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _execute_chunk(payload: tuple[str, list[SweepJob]]) -> list[dict]:
+    """Worker entry point: one pickle round-trip evaluates many jobs."""
+    trace, jobs = payload
+    return [execute_job(job, trace) for job in jobs]
 
 
 class SerialExecutor:
@@ -86,32 +136,146 @@ class SerialExecutor:
 
     name = "serial"
 
-    def run(self, jobs: Sequence[SweepJob]) -> list[dict]:
-        return [execute_job(job) for job in jobs]
+    def run(self, jobs: Sequence[SweepJob],
+            trace: str = "full") -> list[dict]:
+        return [execute_job(job, trace) for job in jobs]
+
+
+# -- shared persistent pool ---------------------------------------------------
+
+#: Module-level pool reused across ``run_sweep`` calls (the
+#: ``process-persistent`` executor).  Service/batcher traffic arrives as
+#: many small batches; forking a pool per batch would dwarf the work.
+#: Guarded by a lock: services run behind a threading HTTP server, and
+#: an unsynchronized check-then-create would leak a whole worker pool.
+_SHARED_POOL: concurrent.futures.ProcessPoolExecutor | None = None
+_SHARED_POOL_WORKERS: int | None = None
+_SHARED_POOL_LOCK = threading.Lock()
+
+
+def _shared_pool(max_workers: int | None
+                 ) -> concurrent.futures.ProcessPoolExecutor:
+    global _SHARED_POOL, _SHARED_POOL_WORKERS
+    with _SHARED_POOL_LOCK:
+        if (_SHARED_POOL is not None
+                and _SHARED_POOL_WORKERS != max_workers):
+            _SHARED_POOL.shutdown()
+            _SHARED_POOL = None
+        if _SHARED_POOL is None:
+            _SHARED_POOL = concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers)
+            _SHARED_POOL_WORKERS = max_workers
+        return _SHARED_POOL
+
+
+def _discard_shared_pool(pool) -> None:
+    """Forget ``pool`` if it is still the shared one (broken-pool path;
+    a replacement another thread already installed is left alone)."""
+    global _SHARED_POOL, _SHARED_POOL_WORKERS
+    with _SHARED_POOL_LOCK:
+        if _SHARED_POOL is pool:
+            _SHARED_POOL = None
+            _SHARED_POOL_WORKERS = None
+    pool.shutdown(wait=False)
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the persistent pool (tests; service shutdown)."""
+    global _SHARED_POOL, _SHARED_POOL_WORKERS
+    with _SHARED_POOL_LOCK:
+        pool, _SHARED_POOL = _SHARED_POOL, None
+        _SHARED_POOL_WORKERS = None
+    if pool is not None:
+        pool.shutdown()
 
 
 class ProcessPoolExecutor:
     """Run jobs on a ``concurrent.futures`` process pool.
 
-    ``map`` preserves submission order, so results line up with jobs
-    regardless of completion order.
+    Ship-once dispatch: the sweep's model table travels to each worker
+    via the pool initializer, jobs are stripped of their XML, and they
+    are submitted in chunks (one pickle round-trip per chunk, not per
+    job).  ``map`` preserves submission order, so results line up with
+    jobs regardless of completion order.
+
+    With ``persistent=True`` the module-level shared pool is (re)used
+    instead of forking a fresh one; its workers may predate this sweep,
+    so any model they miss is fetched lazily via the ``need_model``
+    round-trip and memoized for every later batch.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(self, max_workers: int | None = None,
+                 persistent: bool = False) -> None:
         self.max_workers = max_workers
+        self.persistent = persistent
+        if persistent:
+            self.name = "process-persistent"
 
-    def run(self, jobs: Sequence[SweepJob]) -> list[dict]:
+    def _chunks(self, jobs: Sequence[SweepJob],
+                trace: str) -> list[tuple[str, list[SweepJob]]]:
+        workers = self.max_workers or os.cpu_count() or 1
+        size = max(1, -(-len(jobs) // (4 * workers)))  # ceil division
+        return [(trace, list(jobs[i:i + size]))
+                for i in range(0, len(jobs), size)]
+
+    def _map_chunked(self, pool, jobs: Sequence[SweepJob],
+                     trace: str) -> list[dict]:
+        outcomes: list[dict] = []
+        for chunk_result in pool.map(_execute_chunk,
+                                     self._chunks(jobs, trace)):
+            outcomes.extend(chunk_result)
+        return outcomes
+
+    def run(self, jobs: Sequence[SweepJob],
+            trace: str = "full") -> list[dict]:
         if not jobs:
             return []
         if len(jobs) == 1:  # a pool for one job is pure overhead
-            return [execute_job(jobs[0])]
-        workers = self.max_workers or os.cpu_count() or 1
-        chunksize = max(1, len(jobs) // (4 * workers))
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.max_workers) as pool:
-            return list(pool.map(execute_job, jobs, chunksize=chunksize))
+            return [execute_job(jobs[0], trace)]
+        table = {job.model_hash: job.model_xml
+                 for job in jobs if job.model_xml}
+        light = [dataclasses.replace(job, model_xml="") for job in jobs]
+        if self.persistent:
+            pool = _shared_pool(self.max_workers)
+            try:
+                outcomes = self._run_with_fallback(pool, jobs, light,
+                                                   trace)
+            except (concurrent.futures.process.BrokenProcessPool,
+                    RuntimeError):
+                # A dead worker breaks the whole executor, and a
+                # concurrent caller resizing the shared pool can shut
+                # this one down mid-flight ("cannot schedule new
+                # futures after shutdown").  A per-sweep pool would
+                # recover by being re-forked next run, so give the
+                # persistent pool the same second chance.
+                _discard_shared_pool(pool)
+                pool = _shared_pool(self.max_workers)
+                outcomes = self._run_with_fallback(pool, jobs, light,
+                                                   trace)
+        else:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_pool_initializer,
+                    initargs=(table,)) as pool:
+                outcomes = self._run_with_fallback(pool, jobs, light,
+                                                   trace)
+        return outcomes
+
+    def _run_with_fallback(self, pool, jobs, light,
+                           trace: str) -> list[dict]:
+        outcomes = self._map_chunked(pool, light, trace)
+        misses = [index for index, outcome in enumerate(outcomes)
+                  if outcome.get("status") == "need_model"]
+        if misses:
+            # Lazy fetch: re-send just the missed jobs with their XML
+            # attached; the worker parses, memoizes, and answers.
+            retried = self._map_chunked(
+                pool, [jobs[index] for index in misses], trace)
+            for index, outcome in zip(misses, retried):
+                outcomes[index] = outcome
+        return outcomes
 
 
 def make_executor(executor: str | object,
@@ -122,9 +286,11 @@ def make_executor(executor: str | object,
             return SerialExecutor()
         if executor == "process":
             return ProcessPoolExecutor(max_workers)
+        if executor == "process-persistent":
+            return ProcessPoolExecutor(max_workers, persistent=True)
         raise ProphetError(
-            f"unknown sweep executor {executor!r} "
-            "(expected 'serial' or 'process')")
+            f"unknown sweep executor {executor!r} (expected 'serial', "
+            "'process', or 'process-persistent')")
     if not hasattr(executor, "run"):
         raise ProphetError(
             f"sweep executor must have a run(jobs) method, got "
@@ -132,13 +298,34 @@ def make_executor(executor: str | object,
     return executor
 
 
+def _run_with_trace(runner, jobs: Sequence[SweepJob],
+                    trace: str) -> list[dict]:
+    """Call ``runner.run``, passing ``trace`` only if it is accepted
+    (keeps pre-trace-tier custom executors working)."""
+    try:
+        accepts_trace = "trace" in inspect.signature(
+            runner.run).parameters
+    except (TypeError, ValueError):  # builtins, exotic callables
+        accepts_trace = False
+    if accepts_trace:
+        return runner.run(jobs, trace=trace)
+    return runner.run(jobs)
+
+
 def run_jobs(jobs: Sequence[SweepJob],
              cache: ResultCache | None = None,
              executor: str | object = "serial",
              max_workers: int | None = None,
-             progress: Callable[[str], None] | None = None
-             ) -> SweepResult:
-    """Execute pre-expanded jobs: cache lookup → run misses → assemble."""
+             progress: Callable[[str], None] | None = None,
+             trace: str = "summary") -> SweepResult:
+    """Execute pre-expanded jobs: cache lookup → run misses → assemble.
+
+    ``trace`` is the estimator recording tier for points that actually
+    run (cached points were recorded at whatever tier produced them —
+    payloads are tier-invariant except under ``"off"``, whose results
+    are therefore never written back to the cache).
+    """
+    validate_trace_tier(trace)
     jobs = sorted(jobs, key=lambda job: job.index)
     runner = make_executor(executor, max_workers)
 
@@ -154,17 +341,18 @@ def run_jobs(jobs: Sequence[SweepJob],
     if progress is not None and jobs:
         progress(f"sweep: {len(jobs)} point(s), {len(served)} cached, "
                  f"{len(pending)} to run on {getattr(runner, 'name', '?')} "
-                 f"executor")
+                 f"executor [trace={trace}]")
     outcomes = dict(zip((job.index for job in pending),
-                        runner.run(pending)))
+                        _run_with_trace(runner, pending, trace)))
 
+    cacheable = trace != "off"
     results: list[JobResult] = []
     for job, key in zip(jobs, keys):
         cached = job.index in served
         outcome = served[job.index] if cached else outcomes[job.index]
         status = outcome.get("status", "error") if not cached else "ok"
         if cached or status == "ok":
-            if not cached and cache is not None:
+            if not cached and cache is not None and cacheable:
                 cache.put(key, _payload_of(outcome),
                           meta={"point": job.describe()})
             payload = outcome if cached else _payload_of(outcome)
@@ -175,10 +363,16 @@ def run_jobs(jobs: Sequence[SweepJob],
                 trace_records=int(payload["trace_records"]),
                 cached=cached))
         else:
+            error = outcome.get("error", "unknown error")
+            if status == "need_model":
+                error = (f"model {outcome.get('model_hash', '?')[:12]} "
+                         "unavailable on worker (the job carried no "
+                         "XML and no shipped or memoized copy was "
+                         "found)")
             results.append(JobResult(
                 job=job, status="error", predicted_time=None,
                 events=0, trace_records=0, cached=False,
-                error=outcome.get("error", "unknown error")))
+                error=error))
     return SweepResult(results,
                        cache_stats=cache.stats if cache else None)
 
@@ -192,15 +386,17 @@ def run_sweep(spec: SweepSpec | Iterable[SweepJob],
               cache: ResultCache | None = None,
               executor: str | object = "serial",
               max_workers: int | None = None,
-              progress: Callable[[str], None] | None = None
-              ) -> SweepResult:
+              progress: Callable[[str], None] | None = None,
+              trace: str = "summary") -> SweepResult:
     """Expand ``spec`` (if needed) and execute the grid."""
     jobs = expand(spec) if isinstance(spec, SweepSpec) else list(spec)
     return run_jobs(jobs, cache=cache, executor=executor,
-                    max_workers=max_workers, progress=progress)
+                    max_workers=max_workers, progress=progress,
+                    trace=trace)
 
 
 __all__ = [
-    "ProcessPoolExecutor", "SerialExecutor", "execute_job",
-    "make_executor", "run_jobs", "run_sweep",
+    "ProcessPoolExecutor", "SerialExecutor", "clear_worker_memos",
+    "execute_job", "make_executor", "run_jobs", "run_sweep",
+    "shutdown_shared_pool",
 ]

@@ -14,7 +14,7 @@ EVAL-A benchmark measures.
 from __future__ import annotations
 
 from repro.errors import EstimatorError, TransformError
-from repro.lang.ast import Expr, Program
+from repro.lang.ast import Expr, FloatLit, IntLit, Program
 from repro.lang.evaluator import Environment, Evaluator
 from repro.lang.parser import parse_expression, parse_program
 from repro.lang.types import Type
@@ -55,6 +55,21 @@ from repro.uml.perf_profile import (
 
 _INTRINSICS = ("uid", "pid", "tid", "size", "nnodes", "nthreads")
 
+#: Distinguishes "plan not built yet" from "node has no stereotype".
+_UNSET = object()
+
+
+def _functions_assign_any(functions, names: set[str]) -> bool:
+    """Whether any function body assigns one of ``names``.
+
+    Conservative: an ``Assign`` to a matching name counts even if it
+    would actually bind a shadowing local/parameter at run time.
+    """
+    from repro.lang.ast import Assign, walk_stmts
+    return any(isinstance(stmt, Assign) and stmt.name in names
+               for function in functions
+               for stmt in walk_stmts(function.body))
+
 
 class ModelInterpreter:
     """Interprets a model against the same runtime as generated code."""
@@ -65,6 +80,19 @@ class ModelInterpreter:
         self.functions = model.function_defs()
         self._expr_cache: dict[str, Expr] = {}
         self._program_cache: dict[str, Program] = {}
+        # Static model facts resolved once, not per action execution
+        # (same parse-once philosophy as the expression cache above):
+        # node id → action plan (stereotype shape, parsed annotation
+        # expressions, code program), or None for stereotype-less nodes.
+        self._plan_cache: dict[int, tuple | None] = {}
+        self._global_names = [variable.name
+                              for variable in model.global_variables()]
+        # Expressions can only mutate globals through user-defined
+        # functions (C visibility); unless some function body assigns a
+        # global name, only explicit code fragments need the store
+        # write-back after each action.
+        self._functions_can_mutate = _functions_assign_any(
+            self.functions.values(), set(self._global_names))
 
     # -- caches -----------------------------------------------------------
 
@@ -149,7 +177,18 @@ class ModelInterpreter:
 
     def _run_region(self, region: Region, ctx, evaluator: Evaluator,
                     env: Environment, elements: dict):
-        if isinstance(region, SequenceRegion):
+        # Exact-class tests ordered by frequency: this dispatch runs for
+        # every region of every process of every evaluation, and the
+        # isinstance ladder it replaces was a top interpreter cost.
+        cls = region.__class__
+        if cls is LeafRegion:
+            yield from self._run_leaf(region.node, ctx, evaluator, env,
+                                      elements)
+        elif cls is SequenceRegion:
+            for item in region.items:
+                yield from self._run_region(item, ctx, evaluator, env,
+                                            elements)
+        elif isinstance(region, SequenceRegion):
             for item in region.items:
                 yield from self._run_region(item, ctx, evaluator, env,
                                             elements)
@@ -200,6 +239,10 @@ class ModelInterpreter:
 
     def _run_leaf(self, node: ActivityNode, ctx, evaluator: Evaluator,
                   env: Environment, elements: dict):
+        if node.__class__ is ActionNode:  # by far the most common leaf
+            yield from self._run_action(node, ctx, evaluator, env,
+                                        elements)
+            return
         if isinstance(node, ActivityInvocationNode):
             yield from self._run_region(self.ir.regions[node.behavior],
                                         ctx, evaluator, env, elements)
@@ -234,60 +277,130 @@ class ModelInterpreter:
             f"interpreter cannot execute node class "
             f"{type(node).__name__} ({node.name!r})")
 
-    def _run_action(self, node: ActionNode, ctx, evaluator: Evaluator,
-                    env: Environment, elements: dict):
+    # -- action plans --------------------------------------------------------
+
+    def _arg(self, node: ActionNode, stereotype: str, tag: str,
+             default: str = "0"):
+        """A pre-parsed annotation argument: ``(True, value)`` for a
+        literal (folded once), ``(False, Expr)`` otherwise."""
+        raw = node.tag_value(stereotype, tag)
+        source = raw if isinstance(raw, str) else default
+        return self._fold(source)
+
+    def _fold(self, source: str):
+        expr = self._expr(source)
+        if expr.__class__ in (IntLit, FloatLit):
+            return (True, expr.value)
+        return (False, expr)
+
+    def _build_action_plan(self, node: ActionNode) -> tuple | None:
+        """Resolve everything static about an action node once.
+
+        The plan is ``(stereotype, program, sync, args...)`` where
+        ``program`` is the node's parsed code fragment (or None) and
+        ``sync`` says whether executing the node can mutate globals
+        (code fragment present, or user functions that assign one).
+        """
         stereotype = performance_stereotype(node)
         if stereotype is None:
+            return None
+        program = (self._program(node.code)
+                   if node.code is not None else None)
+        sync = program is not None or self._functions_can_mutate
+        if stereotype == SEND_PLUS:
+            args = (node.tag_value(stereotype, "tag", 0),
+                    self._arg(node, stereotype, "dest"),
+                    self._arg(node, stereotype, "size"))
+        elif stereotype == RECV_PLUS:
+            args = (node.tag_value(stereotype, "tag", 0),
+                    self._arg(node, stereotype, "source"),
+                    self._arg(node, stereotype, "size"))
+        elif stereotype == BARRIER_PLUS:
+            args = ()
+        elif stereotype in (BCAST_PLUS, SCATTER_PLUS, GATHER_PLUS):
+            args = (self._arg(node, stereotype, "root"),
+                    self._arg(node, stereotype, "size"))
+        elif stereotype == REDUCE_PLUS:
+            args = (node.tag_value(stereotype, "op", "sum"),
+                    self._arg(node, stereotype, "root"),
+                    self._arg(node, stereotype, "size"))
+        elif stereotype == ALLREDUCE_PLUS:
+            args = (node.tag_value(stereotype, "op", "sum"),
+                    self._arg(node, stereotype, "size"))
+        elif stereotype == CRITICAL_PLUS:
+            cost = cost_argument(node)
+            args = (node.tag_value(CRITICAL_PLUS, "lock", "default"),
+                    self._fold(cost) if cost is not None else (True, 0.0))
+        else:  # action+
+            cost = cost_argument(node)
+            args = ((self._fold(cost)
+                     if cost is not None else (True, 0.0)),)
+        return (stereotype, program, sync) + args
+
+    def _run_action(self, node: ActionNode, ctx, evaluator: Evaluator,
+                    env: Environment, elements: dict):
+        plan = self._plan_cache.get(node.id, _UNSET)
+        if plan is _UNSET:
+            plan = self._build_action_plan(node)
+            self._plan_cache[node.id] = plan
+        if plan is None:
             return
-        if node.code is not None:
-            evaluator.run_program(self._program(node.code), env)
+        stereotype, program, sync = plan[0], plan[1], plan[2]
+        if program is not None:
+            evaluator.run_program(program, env)
         element = elements[node.id]
         uid, pid, tid = ctx.uid, ctx.pid, ctx.tid
+        eval_expr = evaluator.eval_expr
 
-        def tag_value(tag: str, default: str = "0"):
-            raw = node.tag_value(stereotype, tag)
-            source = raw if isinstance(raw, str) else default
-            return evaluator.eval_expr(self._expr(source), env)
-
-        if stereotype == SEND_PLUS:
-            tag = node.tag_value(stereotype, "tag", 0)
-            yield from element.execute(uid, pid, tid, tag_value("dest"),
-                                       tag_value("size"), tag)
-        elif stereotype == RECV_PLUS:
-            tag = node.tag_value(stereotype, "tag", 0)
-            yield from element.execute(uid, pid, tid, tag_value("source"),
-                                       tag_value("size"), tag)
+        if stereotype == SEND_PLUS or stereotype == RECV_PLUS:
+            tag, (peer_const, peer), (size_const, size) = plan[3:]
+            yield from element.execute(
+                uid, pid, tid,
+                peer if peer_const else eval_expr(peer, env),
+                size if size_const else eval_expr(size, env),
+                tag)
         elif stereotype == BARRIER_PLUS:
             yield from element.execute(uid, pid, tid)
         elif stereotype in (BCAST_PLUS, SCATTER_PLUS, GATHER_PLUS):
-            yield from element.execute(uid, pid, tid, tag_value("root"),
-                                       tag_value("size"))
+            (root_const, root), (size_const, size) = plan[3:]
+            yield from element.execute(
+                uid, pid, tid,
+                root if root_const else eval_expr(root, env),
+                size if size_const else eval_expr(size, env))
         elif stereotype == REDUCE_PLUS:
-            op = node.tag_value(stereotype, "op", "sum")
-            yield from element.execute(uid, pid, tid, tag_value("root"),
-                                       tag_value("size"), op)
+            op, (root_const, root), (size_const, size) = plan[3:]
+            yield from element.execute(
+                uid, pid, tid,
+                root if root_const else eval_expr(root, env),
+                size if size_const else eval_expr(size, env),
+                op)
         elif stereotype == ALLREDUCE_PLUS:
-            op = node.tag_value(stereotype, "op", "sum")
-            yield from element.execute(uid, pid, tid, tag_value("size"),
-                                       op)
+            op, (size_const, size) = plan[3:]
+            yield from element.execute(
+                uid, pid, tid,
+                size if size_const else eval_expr(size, env),
+                op)
         elif stereotype == CRITICAL_PLUS:
-            lock = node.tag_value(CRITICAL_PLUS, "lock", "default")
-            cost = self._cost_of(node, evaluator, env)
-            yield from element.execute(uid, pid, tid, cost, lock)
+            lock, (cost_const, cost) = plan[3:]
+            yield from element.execute(
+                uid, pid, tid,
+                float(cost if cost_const else eval_expr(cost, env)),
+                lock)
         else:  # action+
-            cost = self._cost_of(node, evaluator, env)
-            yield from element.execute(uid, pid, tid, cost)
-        # Write any global mutations done by the code fragment back to
-        # the shared store so codegen/interp stay observationally equal.
-        self._sync_store(ctx, env)
-
-    def _cost_of(self, node: ActionNode, evaluator: Evaluator,
-                 env: Environment) -> float:
-        cost = cost_argument(node)
-        if cost is None:
-            return 0.0
-        return float(evaluator.eval_expr(self._expr(cost), env))
+            (cost_const, cost), = plan[3:]
+            yield from element.execute(
+                uid, pid, tid,
+                float(cost if cost_const else eval_expr(cost, env)))
+        # Write any global mutations back to the shared store so
+        # codegen/interp stay observationally equal.  Only a code
+        # fragment — or a user function reachable from any annotation
+        # expression — can mutate globals; plain annotation expressions
+        # cannot, so the common case skips the write-back loop.
+        if sync:
+            self._sync_store(ctx, env)
 
     def _sync_store(self, ctx, env: Environment) -> None:
-        for variable in self.model.global_variables():
-            setattr(ctx.v, variable.name, env.lookup(variable.name))
+        store = ctx.v
+        lookup = env.lookup
+        for name in self._global_names:
+            setattr(store, name, lookup(name))

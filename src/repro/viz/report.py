@@ -37,6 +37,11 @@ def element_profile(analysis: TraceAnalysis, top: int = 20) -> str:
 
 def run_report(result: EstimationResult, with_gantt: bool = True) -> str:
     """The full post-run report: summary, profile, utilization, Gantt."""
+    if result.trace_tier != "full":
+        from repro.errors import EstimatorError
+        raise EstimatorError(
+            f"cannot build a trace report from a {result.trace_tier!r}-"
+            "tier run; re-estimate with trace='full'")
     analysis = TraceAnalysis(result.trace)
     parts = [
         result.summary(),

@@ -46,6 +46,8 @@ class RuntimeState:
     sim: Simulation
     cluster: Cluster
     comm: "Communicator"
+    #: Any trace tier's recorder (TraceRecorder, SummaryTraceRecorder,
+    #: or NullTraceRecorder) — workload ops only call ``.record(...)``.
     trace: TraceRecorder
     model_name: str = "model"
     _uid_counter: int = 0
@@ -73,7 +75,14 @@ class ProcessState:
 
 
 class ExecContext:
-    """The ``ctx`` object handed to generated model code."""
+    """The ``ctx`` object handed to generated model code.
+
+    Identity and machine facts (``pid``, ``v``, ``size``, ``sim``,
+    ``cpu``, …) are plain attributes bound at construction: they are
+    immutable for the context's lifetime, and generated code reads them
+    on every element execution — property indirection here was a
+    measurable share of simulated-backend time.
+    """
 
     #: C-semantics helpers exposed to generated expressions.
     c_div = staticmethod(_c_div)
@@ -86,37 +95,16 @@ class ExecContext:
         self.process = process
         self.tid = tid
         self.uid = runtime.next_uid() if uid is None else uid
-
-    # -- identity ------------------------------------------------------------
-
-    @property
-    def pid(self) -> int:
-        return self.process.pid
-
-    @property
-    def v(self) -> VarStore:
-        return self.process.v
-
-    @property
-    def size(self) -> int:
-        return self.runtime.cluster.params.processes
-
-    @property
-    def nnodes(self) -> int:
-        return self.runtime.cluster.params.nodes
-
-    @property
-    def nthreads(self) -> int:
-        return self.runtime.cluster.params.threads_per_process
-
-    @property
-    def sim(self) -> Simulation:
-        return self.runtime.sim
-
-    @property
-    def cpu(self) -> Facility:
-        """The processor pool of this process's node."""
-        return self.runtime.cluster.cpu_of(self.pid)
+        # -- identity / machine shape (fixed per context) -------------
+        self.pid: int = process.pid
+        self.v: VarStore = process.v
+        cluster = runtime.cluster
+        self.size: int = cluster.params.processes
+        self.nnodes: int = cluster.params.nodes
+        self.nthreads: int = cluster.params.threads_per_process
+        self.sim: Simulation = runtime.sim
+        #: The processor pool of this process's node.
+        self.cpu: Facility = cluster.cpu_of(process.pid)
 
     # -- element factory ---------------------------------------------------------
 

@@ -22,12 +22,14 @@ class ModelElement:
         self.name = name
         self.element_id = int(element_id)
         self.executions = 0
+        # Bound once: elements trace on every execution, and the
+        # attribute chain plus recorder lookup is hot at sweep scale.
+        self._record = ctx.runtime.trace.record
 
     def _trace(self, uid: int, pid: int, tid: int, start: float,
                end: float, kind: str | None = None) -> None:
-        self.ctx.runtime.trace.record(
-            kind or self.kind, self.element_id, self.name,
-            uid, pid, tid, start, end)
+        self._record(kind or self.kind, self.element_id, self.name,
+                     uid, pid, tid, start, end)
         self.executions += 1
 
     def __repr__(self) -> str:

@@ -69,6 +69,11 @@ class Communicator:
         self._instance_counters: dict[tuple, int] = {}
         self._collectives: dict[tuple, _Collective] = {}
         self.p2p_messages = 0
+        # Zero-byte transfer times (the sender-side software overhead
+        # paid on every send) are machine constants; precompute both.
+        network = cluster.network
+        self._envelope_delay = (network.transfer_time(0.0, False),
+                                network.transfer_time(0.0, True))
 
     # -- point-to-point ---------------------------------------------------------
 
@@ -89,27 +94,31 @@ class Communicator:
         if nbytes <= network.config.eager_threshold:
             # Eager: wire process delivers after the transfer time; the
             # sender pays only its software overhead (one latency).
+            # Constant process/event names below: per-send f-strings were
+            # a measurable share of the eager path.
             message = _Message(source, dest, tag, nbytes)
-            transfer = network.transfer_time(nbytes, intra)
 
             def wire():
                 yield from network.transfer(nbytes, intra)
                 self.mailboxes[dest].send(message)
 
-            self.sim.spawn(f"wire.{source}->{dest}", wire())
-            yield from hold(network.transfer_time(0.0, intra))
+            self.sim.spawn("wire", wire())
+            yield from hold(self._envelope_delay[intra])
         else:
             # Rendezvous: envelope travels one latency; the sender then
             # blocks until the receiver has pulled the payload.
+            # Rendezvous sends are few and large — keep the peer names
+            # in the event so a deadlocked sender still reports who it
+            # was waiting on (the eager path stays allocation-lean).
             sync = Event(self.sim, f"rndv.{source}->{dest}")
             message = _Message(source, dest, tag, nbytes, sync=sync)
-            envelope_delay = network.transfer_time(0.0, intra)
+            envelope_delay = self._envelope_delay[intra]
 
             def envelope():
                 yield from hold(envelope_delay)
                 self.mailboxes[dest].send(message)
 
-            self.sim.spawn(f"rts.{source}->{dest}", envelope())
+            self.sim.spawn("rts", envelope())
             yield from sync.wait()
 
     def recv(self, ctx: ExecContext, source: int, nbytes: float, tag: int):

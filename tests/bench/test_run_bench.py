@@ -1,0 +1,41 @@
+"""The benchmark trajectory harness stays runnable and well-formed."""
+
+import json
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    PRE_PR_REFERENCE,
+    render,
+    run_benchmarks,
+    write_snapshot,
+)
+
+
+def test_smoke_snapshot_shape(tmp_path):
+    snapshot = run_benchmarks(smoke=True, repeats=1,
+                              processes_bench=False)
+    assert snapshot["schema"] == BENCH_SCHEMA
+    assert snapshot["smoke"] is True
+
+    sweep = snapshot["benchmarks"]["cold_sweep_3scenario"]
+    assert sweep["events"] > 0
+    for key in ("wall_s_full", "wall_s_summary", "wall_s_off",
+                "events_per_s_summary", "speedup_summary_vs_full"):
+        assert sweep[key] > 0, key
+
+    tiers = snapshot["benchmarks"]["estimator_stencil_tiers"]
+    for tier in ("full", "summary", "off"):
+        assert tiers[tier]["events_per_s"] > 0
+
+    path = write_snapshot(snapshot, tmp_path / "BENCH_estimator.json")
+    assert json.loads(path.read_text(encoding="utf-8")) == snapshot
+
+    text = render(snapshot)
+    assert "cold_sweep_3scenario" in text
+    assert "speedup_summary_vs_full" in text
+
+
+def test_pre_pr_reference_is_pinned():
+    """The committed snapshot's speedup-vs-pre-PR denominator must stay
+    a recorded constant, not something a later edit silently drops."""
+    assert PRE_PR_REFERENCE["cold_sweep_3scenario_full_trace_wall_s"] > 0

@@ -47,6 +47,24 @@ class TestBasicExecution:
         with pytest.raises(SimulationError):
             Hold(-1.0)
 
+    def test_negative_hold_unified_error(self):
+        """`hold()` and `Hold` raise the same error through the same
+        eager path — `hold(-1)` must not defer to first iteration."""
+        with pytest.raises(SimulationError) as from_helper:
+            hold(-1.5)  # note: no iteration happens here
+        with pytest.raises(SimulationError) as from_wrapper:
+            Hold(-1.5)
+        assert str(from_helper.value) == str(from_wrapper.value)
+
+    def test_hold_zero_yields_nothing(self):
+        assert list(hold(0)) == []
+        assert list(hold(0.0)) == []
+
+    def test_hold_positive_yields_one_float_command(self):
+        commands = list(hold(2))
+        assert commands == [2.0]
+        assert isinstance(commands[0], float)
+
     def test_hold_helper(self):
         sim = Simulation()
 
@@ -90,6 +108,100 @@ class TestBasicExecution:
 
         sim.spawn("p", body())
         assert sim.run(until=10.0) == 10.0
+
+    def test_run_until_does_not_lose_the_boundary_event(self):
+        """Regression: run(until=...) used to pop the first event past
+        the horizon and drop it, so a resumed run() deadlocked instead
+        of executing it."""
+        sim = Simulation()
+        log = []
+
+        def body():
+            yield Hold(5.0)
+            log.append(sim.now)
+
+        sim.spawn("p", body())
+        assert sim.run(until=1.0) == 1.0
+        assert sim.run() == 5.0  # pre-fix: DeadlockError (event lost)
+        assert log == [5.0]
+
+    def test_run_until_resumes_across_many_horizons(self):
+        sim = Simulation()
+        ticks = []
+
+        def body():
+            for _ in range(4):
+                yield Hold(2.0)
+                ticks.append(sim.now)
+
+        sim.spawn("p", body())
+        assert sim.run(until=1.0) == 1.0
+        assert sim.run(until=3.0) == 3.0
+        assert ticks == [2.0]
+        assert sim.run() == 8.0
+        assert ticks == [2.0, 4.0, 6.0, 8.0]
+
+    def test_raw_float_hold_command(self):
+        """The kernel's allocation-free encoding: a bare float holds."""
+        sim = Simulation()
+
+        def body():
+            yield 2.5
+
+        sim.spawn("p", body())
+        assert sim.run() == 2.5
+
+    def test_raw_event_wait_command(self):
+        sim = Simulation()
+        event = sim.event("go")
+        woke = []
+
+        def waiter():
+            yield event  # bare Event waits
+            woke.append(sim.now)
+
+        def firer():
+            yield 1.0
+            event.fire()
+
+        sim.spawn("w", waiter())
+        sim.spawn("f", firer())
+        sim.run()
+        assert woke == [1.0]
+
+    def test_raw_negative_float_rejected(self):
+        sim = Simulation()
+
+        def body():
+            yield -1.0
+
+        sim.spawn("p", body())
+        with pytest.raises(SimulationError, match="negative"):
+            sim.run()
+
+    def test_blocked_on_formats_lazily(self):
+        sim = Simulation()
+        event = sim.event("gate")
+
+        def holder():
+            yield Hold(10.0)
+
+        def raw_holder():
+            yield 10.0
+
+        def waiter():
+            yield event
+
+        holding = sim.spawn("h", holder())
+        raw = sim.spawn("r", raw_holder())
+        waiting = sim.spawn("w", waiter())
+        sim.run(until=1.0)
+        assert holding.blocked_on == "hold(10)"
+        assert raw.blocked_on == "hold(10)"
+        assert waiting.blocked_on == "wait(gate)"
+        event.fire()
+        sim.run()
+        assert waiting.blocked_on is None
 
     def test_event_count_limit(self):
         sim = Simulation()

@@ -1,0 +1,212 @@
+"""Ship-once dispatch: chunked pools, model tables, lazy fetch.
+
+The dispatch contract: however jobs travel to workers — serially, on a
+fresh ship-once pool, or on the shared persistent pool whose workers
+predate the sweep — the result table is byte-identical, and the lazy
+``need_model`` fallback is invisible to callers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.samples import build_sample_model
+from repro.sweep import ResultCache, make_spec, run_sweep
+from repro.sweep.grid import expand
+from repro.sweep.runner import (
+    ProcessPoolExecutor,
+    _execute_chunk,
+    _pool_initializer,
+    clear_worker_memos,
+    execute_job,
+    shutdown_shared_pool,
+)
+from repro.uml.hashing import model_structural_hash
+from repro.xmlio.writer import model_to_xml
+
+
+def small_spec():
+    return make_spec(build_sample_model(), processes=[1, 2],
+                     backends=["analytic", "codegen"])
+
+
+def _job(index=0, strip_xml=False):
+    model = build_sample_model()
+    xml = model_to_xml(model)
+    job = expand(make_spec(model, processes=[1],
+                           backends=["codegen"]))[index]
+    if strip_xml:
+        job = dataclasses.replace(job, model_xml="")
+    return job, xml
+
+
+class TestExecutorEquivalence:
+    def test_serial_pool_and_persistent_byte_identical(self, tmp_path):
+        spec = small_spec()
+        serial = run_sweep(spec, executor="serial")
+        pool = run_sweep(spec, executor="process", max_workers=2)
+        try:
+            persistent = run_sweep(spec, executor="process-persistent",
+                                   max_workers=2)
+            again = run_sweep(spec, executor="process-persistent",
+                              max_workers=2)
+        finally:
+            shutdown_shared_pool()
+        tables = {name: result.to_csv()
+                  for name, result in [("serial", serial),
+                                       ("pool", pool),
+                                       ("persistent", persistent),
+                                       ("persistent-again", again)]}
+        assert len(set(tables.values())) == 1, tables.keys()
+
+    def test_broken_persistent_pool_recovers(self):
+        """A dead worker must not poison every later batch: the shared
+        pool is discarded and the sweep retried on a fresh one."""
+        import concurrent.futures
+        import repro.sweep.runner as runner_module
+
+        class BrokenOnce:
+            def __init__(self):
+                self.broke = False
+
+            def map(self, fn, iterable):
+                if not self.broke:
+                    self.broke = True
+                    raise concurrent.futures.process.BrokenProcessPool(
+                        "worker died")
+                return map(fn, iterable)
+
+            def shutdown(self, wait=True):
+                pass
+
+        shutdown_shared_pool()
+        broken = BrokenOnce()
+        runner_module._SHARED_POOL = broken
+        runner_module._SHARED_POOL_WORKERS = 2
+
+        real_shared_pool = runner_module._shared_pool
+        fresh = []
+
+        def tracking_shared_pool(max_workers):
+            pool = real_shared_pool(max_workers)
+            fresh.append(pool)
+            return pool
+
+        runner_module._shared_pool = tracking_shared_pool
+        try:
+            executor = ProcessPoolExecutor(max_workers=2,
+                                           persistent=True)
+            jobs = expand(small_spec())
+            outcomes = executor.run(jobs, trace="summary")
+        finally:
+            runner_module._shared_pool = real_shared_pool
+            shutdown_shared_pool()
+        assert broken.broke
+        assert fresh[0] is broken and fresh[1] is not broken
+        assert [o["status"] for o in outcomes] == ["ok"] * len(jobs)
+
+    def test_persistent_pool_reused_across_sweeps(self):
+        import repro.sweep.runner as runner_module
+        try:
+            run_sweep(small_spec(), executor="process-persistent",
+                      max_workers=2)
+            first = runner_module._SHARED_POOL
+            assert first is not None
+            run_sweep(small_spec(), executor="process-persistent",
+                      max_workers=2)
+            assert runner_module._SHARED_POOL is first
+        finally:
+            shutdown_shared_pool()
+        assert runner_module._SHARED_POOL is None
+
+
+class TestShipOnceTable:
+    def test_shipped_table_serves_stripped_jobs(self):
+        job, xml = _job(strip_xml=True)
+        clear_worker_memos()
+        try:
+            _pool_initializer({job.model_hash: xml})
+            outcome = execute_job(job)
+            assert outcome["status"] == "ok"
+        finally:
+            clear_worker_memos()
+
+    def test_missing_model_answers_need_model(self):
+        job, _ = _job(strip_xml=True)
+        clear_worker_memos()
+        outcome = execute_job(job)
+        assert outcome == {"status": "need_model",
+                           "model_hash": job.model_hash}
+
+    def test_execute_chunk_shape(self):
+        job, xml = _job()
+        clear_worker_memos()
+        outcomes = _execute_chunk(("summary", [job, job]))
+        assert [o["status"] for o in outcomes] == ["ok", "ok"]
+        assert outcomes[0] == outcomes[1]
+
+    def test_lazy_fetch_fallback_end_to_end(self):
+        """A pool whose workers have no table (persistent-pool shape)
+        must transparently re-fetch models and still return ok."""
+        jobs = expand(small_spec())
+        executor = ProcessPoolExecutor(max_workers=2, persistent=True)
+        try:
+            outcomes = executor.run(jobs, trace="summary")
+        finally:
+            shutdown_shared_pool()
+        assert [o["status"] for o in outcomes] == ["ok"] * len(jobs)
+
+    def test_chunking_covers_every_job_in_order(self):
+        executor = ProcessPoolExecutor(max_workers=2)
+        jobs = expand(small_spec())
+        chunks = executor._chunks(jobs, "summary")
+        flattened = [job for _, chunk in chunks for job in chunk]
+        assert [j.index for j in flattened] == [j.index for j in jobs]
+        assert all(tag == "summary" for tag, _ in chunks)
+
+
+class TestTraceTierCaching:
+    def test_off_tier_results_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = run_sweep(small_spec(), cache=cache, trace="off")
+        assert result.failed() == []
+        assert cache.stats.puts == 0
+        # A later summary sweep finds nothing and writes real payloads.
+        cache2 = ResultCache(tmp_path / "cache")
+        result2 = run_sweep(small_spec(), cache=cache2, trace="summary")
+        assert all(not r.cached for r in result2)
+        assert cache2.stats.puts == len(result2)
+
+    def test_summary_and_full_share_cache_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(small_spec(), cache=cache, trace="full")
+        second = run_sweep(small_spec(),
+                           cache=ResultCache(tmp_path / "cache"),
+                           trace="summary")
+        assert all(r.cached for r in second)
+        assert first.to_csv() == second.to_csv()
+
+    def test_trace_tiers_do_not_change_tables(self):
+        spec = small_spec()
+        full = run_sweep(spec, trace="full").to_csv()
+        summary = run_sweep(spec, trace="summary").to_csv()
+        assert full == summary
+
+    def test_unknown_tier_rejected(self):
+        from repro.errors import TraceError
+        with pytest.raises(TraceError, match="trace tier"):
+            run_sweep(small_spec(), trace="verbose")
+
+
+class TestLegacyExecutorCompat:
+    def test_run_without_trace_parameter_still_works(self):
+        class OldStyleExecutor:
+            name = "old"
+
+            def run(self, jobs):
+                return [execute_job(job) for job in jobs]
+
+        result = run_sweep(small_spec(), executor=OldStyleExecutor())
+        assert result.failed() == []
