@@ -1,10 +1,18 @@
 """Benchmark trajectory harness (``prophet bench``).
 
-Runs the key estimator/sweep benchmarks on fixed workloads and writes
-``BENCH_estimator.json`` so the performance trajectory is tracked across
-PRs: every PR that touches the evaluation stack re-runs the harness and
-commits the refreshed snapshot, and CI's ``bench-smoke`` leg keeps the
-harness itself from rotting.
+Runs the key estimator/sweep benchmarks on fixed workloads and appends
+the snapshot to ``BENCH_estimator.json`` so the performance trajectory
+is tracked *across* PRs — the file holds ``{"schema": 2, "history":
+[snapshot, ...]}``, newest last (a legacy single-snapshot file is
+migrated into the first history entry on the next run).  Every PR that
+touches the evaluation stack re-runs the harness and commits the
+refreshed trajectory, and CI's ``bench-smoke`` leg keeps the harness
+itself from rotting.
+
+Besides wall times the harness *verifies* one contract on every run,
+smoke mode included: the analytic grid path must produce byte-identical
+result tables to per-point evaluation — a mismatch raises and fails the
+run (timing numbers never gate CI; identity does).
 
 Workloads are deliberately deterministic and self-contained (scenario
 generators, serial-executor defaults); wall times are best-of-``repeats``
@@ -27,8 +35,12 @@ import sys
 import time
 from pathlib import Path
 
+from repro.errors import ProphetError
+
 #: Bump when benchmark definitions change incompatibly.
-BENCH_SCHEMA = 1
+#: 2: the snapshot file became a trajectory ({schema, history: [...]}),
+#:    and the analytic-grid benchmark + identity check joined.
+BENCH_SCHEMA = 2
 
 #: Wall seconds of the identical workload on the pre-overhaul code
 #: (commit 8dc583b, the PR-3 tree: full-trace recording, per-job XML
@@ -61,27 +73,67 @@ def _bench_models(smoke: bool):
 
 
 def _clear_memos() -> None:
-    from repro.estimator.backends import clear_prepared_cache
+    from repro.estimator.backends import (clear_plan_cache,
+                                          clear_prepared_cache)
     from repro.sweep.runner import clear_worker_memos
     clear_prepared_cache()
+    clear_plan_cache()
     clear_worker_memos()
 
 
-def _cold_sweep(models, trace: str, executor: str = "serial",
-                max_workers=None):
-    """One cold 3-scenario sweep; returns (wall_s, total events)."""
-    from repro.sweep import SweepSpec, run_sweep
-    spec = SweepSpec(models=models, processes=[2, 4],
+def _cold_sweep_spec(models):
+    from repro.sweep import SweepSpec
+    return SweepSpec(models=models, processes=[2, 4],
                      backends=["codegen", "interp"], seeds=[0])
+
+
+def _cold_sweep(models, trace: str, executor: str = "serial",
+                max_workers=None, min_pool_jobs=None):
+    """One cold 3-scenario sweep; returns (wall_s, total events)."""
+    from repro.sweep import DEFAULT_MIN_POOL_JOBS, run_sweep
+    spec = _cold_sweep_spec(models)
     _clear_memos()
     start = time.perf_counter()
     result = run_sweep(spec, cache=None, executor=executor,
-                       max_workers=max_workers, trace=trace)
+                       max_workers=max_workers, trace=trace,
+                       min_pool_jobs=(DEFAULT_MIN_POOL_JOBS
+                                      if min_pool_jobs is None
+                                      else min_pool_jobs))
     wall = time.perf_counter() - start
     failed = [r for r in result if r.status != "ok"]
     if failed:
         raise RuntimeError(f"benchmark sweep failed: {failed[0].error}")
     return wall, sum(r.events for r in result)
+
+
+def _analytic_grid_sweep(smoke: bool, analytic_grid: bool):
+    """One cold single-model analytic sweep over a dense parameter
+    grid; returns (wall_s, SweepResult)."""
+    from repro.scenarios import build_scenario
+    from repro.sweep import make_spec, run_sweep
+    if smoke:
+        model = build_scenario("stencil2d", nx=48, ny=48, iters=10)
+        processes, axis_points = [2, 4], 5
+    else:
+        model = build_scenario("stencil2d", nx=96, ny=96, iters=50)
+        processes, axis_points = [2, 4, 6, 8, 10], 10
+    latencies = [1e-7 * 4 ** (i / axis_points)
+                 for i in range(axis_points)]
+    bandwidths = [1e8 * 4 ** (i / (2 * axis_points))
+                  for i in range(2 * axis_points)]
+    spec = make_spec(model, processes=processes,
+                     backends=["analytic"],
+                     latencies=latencies, bandwidths=bandwidths)
+    _clear_memos()
+    start = time.perf_counter()
+    result = run_sweep(spec, cache=None, executor="serial",
+                       analytic_grid=analytic_grid)
+    wall = time.perf_counter() - start
+    failed = [r for r in result if r.status != "ok"]
+    if failed:
+        raise RuntimeError(
+            f"analytic grid benchmark failed: {failed[0].error}")
+    return wall, result
 
 
 def _estimate_tier(model, trace: str, repeats: int):
@@ -157,20 +209,78 @@ def run_benchmarks(smoke: bool = False, repeats: int = 3,
         tiers["full"]["wall_s"] / tiers["summary"]["wall_s"], 3)
     benchmarks["estimator_stencil_tiers"] = tiers
 
-    # 3. Ship-once chunked dispatch on a fresh process pool (2 workers
-    #    keeps CI runners honest) against the serial wall time above.
+    # 3. The dispatch heuristic on a small sweep: its simulated jobs sit
+    #    below the fresh-pool floor, so `process` silently runs serial
+    #    and stops paying pool startup it cannot amortize (this entry
+    #    measured 0.834× serial before the heuristic).  The forced-pool
+    #    number keeps tracking raw pool startup cost.
     if processes_bench:
+        from repro.estimator.backends import SIMULATED_BACKENDS
+        from repro.sweep import DEFAULT_MIN_POOL_JOBS, expand, \
+            pool_dispatch
+        # Count from the real expanded spec, so the recorded decision
+        # cannot drift from what run_sweep actually does.
+        simulated_jobs = sum(
+            1 for job in expand(_cold_sweep_spec(models))
+            if job.backend in SIMULATED_BACKENDS)
         pool_wall, _ = _best(
             lambda: _cold_sweep(models, trace="summary",
                                 executor="process", max_workers=2),
             max(1, repeats - 1))
+        forced_wall, _ = _best(
+            lambda: _cold_sweep(models, trace="summary",
+                                executor="process", max_workers=2,
+                                min_pool_jobs=0),
+            max(1, repeats - 1))
         benchmarks["cold_sweep_3scenario_pool2"] = {
-            "description": "same sweep on the ship-once chunked process "
-                           "pool, 2 workers (includes pool startup)",
+            "description": "same sweep requested on the process pool, "
+                           "2 workers; `dispatched` is what the "
+                           "min-pool-jobs heuristic actually ran "
+                           "(forced_pool_* bypasses it and includes "
+                           "pool startup)",
+            "dispatched": pool_dispatch("process", simulated_jobs,
+                                        DEFAULT_MIN_POOL_JOBS),
             "wall_s": round(pool_wall, 4),
             "speedup_vs_serial_summary": round(
                 summary_wall / pool_wall, 3),
+            "forced_pool_wall_s": round(forced_wall, 4),
+            "forced_pool_speedup_vs_serial": round(
+                summary_wall / forced_wall, 3),
         }
+
+    # 4. The analytic grid path: one model, a dense processes × latency
+    #    × bandwidth grid, per-point vs grid-compiled dispatch.  The
+    #    identity check is a hard contract and runs in every mode —
+    #    byte-identical result tables or the harness raises.
+    # Same repeat count on both sides — best-of-N shrinks with N, so an
+    # asymmetric count would flatter whichever side got more attempts.
+    grid_repeats = max(1, repeats - 1)
+    per_point_wall, per_point_result = _best(
+        lambda: _analytic_grid_sweep(smoke, analytic_grid=False),
+        grid_repeats)
+    grid_wall, grid_result = _best(
+        lambda: _analytic_grid_sweep(smoke, analytic_grid=True),
+        grid_repeats)
+    identical = grid_result.to_csv() == per_point_result.to_csv()
+    points = len(grid_result)
+    benchmarks["analytic_grid_1000pt"] = {
+        "description": "cold single-model analytic sweep over a dense "
+                       "processes × latency × bandwidth grid: classic "
+                       "per-point evaluation vs the grid-compiled "
+                       "plan (compile once, vectorized replay)",
+        "points": points,
+        "wall_s_per_point": round(per_point_wall, 4),
+        "wall_s_grid": round(grid_wall, 4),
+        "points_per_s_per_point": round(points / per_point_wall),
+        "points_per_s_grid": round(points / grid_wall),
+        "speedup_grid_vs_per_point": round(
+            per_point_wall / grid_wall, 2),
+        "identical": identical,
+    }
+    if not identical:
+        raise RuntimeError(
+            "analytic grid-vs-per-point identity broke: the grid path "
+            "produced a different result table than evaluate_point")
 
     return {
         "schema": BENCH_SCHEMA,
@@ -201,25 +311,65 @@ def render(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
-def write_snapshot(snapshot: dict, path: str | Path) -> Path:
+def load_history(path: str | Path) -> list[dict]:
+    """The snapshot history of a trajectory file, oldest first.
+
+    Accepts the current ``{"schema": 2, "history": [...]}`` layout and
+    migrates a legacy schema-1 file (one bare snapshot) into a
+    single-entry history.  A missing file is an empty history; an
+    unparseable one raises — silently discarding a trajectory would
+    defeat the file's purpose.
+    """
     path = Path(path)
-    path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n",
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ProphetError(
+            f"cannot parse benchmark trajectory {path}: {exc}; "
+            "refusing to overwrite it") from exc
+    if isinstance(data, dict):
+        if isinstance(data.get("history"), list):
+            return list(data["history"])
+        if "benchmarks" in data:  # legacy schema 1: one bare snapshot
+            return [data]
+    raise ProphetError(
+        f"{path} is neither a benchmark trajectory nor a legacy "
+        "snapshot; refusing to overwrite it")
+
+
+def append_snapshot(snapshot: dict, path: str | Path) -> Path:
+    """Append ``snapshot`` to the trajectory at ``path`` and rewrite it."""
+    path = Path(path)
+    history = load_history(path)
+    history.append(snapshot)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "generated_by": "prophet bench",
+        "history": history,
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
                     encoding="utf-8")
     return path
 
 
 def run_and_report(output: str | Path, smoke: bool = False,
                    repeats: int = 3, pool: bool = True) -> int:
-    """Run the harness, print the table, write the snapshot.
+    """Run the harness, print the table, append to the trajectory.
 
     The one body behind both ``prophet bench`` and
     ``benchmarks/run_bench.py``.
     """
+    # Validate the trajectory file up front: a corrupt file must fail
+    # before the multi-minute benchmark run, not after it.
+    load_history(output)
     snapshot = run_benchmarks(smoke=smoke, repeats=repeats,
                               processes_bench=pool)
     print(render(snapshot))
-    path = write_snapshot(snapshot, output)
-    print(f"\nwrote {path}")
+    path = append_snapshot(snapshot, output)
+    print(f"\nappended to {path} "
+          f"({len(load_history(path))} snapshot(s))")
     return 0
 
 
@@ -236,8 +386,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-pool", action="store_true",
                         help="skip the process-pool benchmark")
     args = parser.parse_args(argv)
-    return run_and_report(args.output, smoke=args.smoke,
-                          repeats=args.repeats, pool=not args.no_pool)
+    try:
+        return run_and_report(args.output, smoke=args.smoke,
+                              repeats=args.repeats, pool=not args.no_pool)
+    except ProphetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -114,8 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="threads per process")
     sweep.add_argument("--placement", choices=("block", "cyclic"),
                        default="block")
-    sweep.add_argument("--latency", type=float, default=1.0e-6)
-    sweep.add_argument("--bandwidth", type=float, default=1.0e9)
+    sweep.add_argument("--latency", default="1.0e-6",
+                       help="network latency in seconds — a comma-"
+                            "separated list sweeps the axis (e.g. "
+                            "1e-7,1e-6,1e-5 for a heatmap row)")
+    sweep.add_argument("--bandwidth", default="1.0e9",
+                       help="network bandwidth in bytes/s — a comma-"
+                            "separated list sweeps the axis")
     sweep.add_argument("--cache-dir",
                        help="content-addressed result cache directory "
                             "(created if missing; repeated sweeps are "
@@ -123,6 +128,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=0,
                        help="run on a process pool with this many workers "
                             "(0 = serial)")
+    sweep.add_argument("--min-pool-jobs", type=int, default=None,
+                       metavar="N",
+                       help="fewest pending simulated points that "
+                            "justify forking the pool (default 16; "
+                            "smaller sweeps silently run serial; 0 "
+                            "forces the pool; analytic points never "
+                            "count — they run on the in-process grid "
+                            "path)")
+    sweep.add_argument("--no-analytic-grid", action="store_true",
+                       help="evaluate analytic points one by one "
+                            "instead of through the grid-compiled plan "
+                            "(debug/benchmark switch; results are "
+                            "byte-identical either way; per-point "
+                            "analytic work still never counts toward "
+                            "the pool floor, so combine with "
+                            "--min-pool-jobs 0 to force a pool)")
     sweep.add_argument("--trace-tier", choices=("full", "summary", "off"),
                        default="summary",
                        help="estimator recording tier for simulated "
@@ -350,6 +371,19 @@ def _parse_int_list(text: str, what: str) -> list[int]:
         ) from None
 
 
+def _parse_float_list(text: str, what: str) -> list[float]:
+    try:
+        values = [float(piece) for piece in text.split(",")
+                  if piece.strip()]
+    except ValueError:
+        raise ProphetError(
+            f"--{what} expects comma-separated numbers, got {text!r}"
+        ) from None
+    if not values:
+        raise ProphetError(f"--{what} has no values")
+    return values
+
+
 def _parse_param_axes(specs: list[str],
                       flag: str = "--param") -> dict[str, list[str]]:
     axes: dict[str, list[str]] = {}
@@ -385,8 +419,8 @@ def _sweep_models(args):
 
 
 def _cmd_sweep(args) -> int:
-    from repro.machine.network import NetworkConfig
-    from repro.sweep import ResultCache, SweepSpec, run_sweep
+    from repro.sweep import DEFAULT_MIN_POOL_JOBS, ResultCache, \
+        SweepSpec, run_sweep
 
     if args.scenario_param and not args.scenario:
         raise ProphetError("--scenario-param requires --scenario")
@@ -403,14 +437,18 @@ def _cmd_sweep(args) -> int:
         processors_per_node=args.ppn,
         threads_per_process=args.threads,
         placement=args.placement,
-        network=NetworkConfig(latency=args.latency,
-                              bandwidth=args.bandwidth),
+        latencies=_parse_float_list(args.latency, "latency"),
+        bandwidths=_parse_float_list(args.bandwidth, "bandwidth"),
     )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     executor = "process" if args.jobs > 0 else "serial"
+    min_pool_jobs = (DEFAULT_MIN_POOL_JOBS if args.min_pool_jobs is None
+                     else args.min_pool_jobs)
     result = run_sweep(spec, cache=cache, executor=executor,
                        max_workers=args.jobs or None, progress=print,
-                       trace=args.trace_tier)
+                       trace=args.trace_tier,
+                       analytic_grid=not args.no_analytic_grid,
+                       min_pool_jobs=min_pool_jobs)
     if not args.no_table:
         print(result.table())
         print()

@@ -25,6 +25,8 @@ from repro.estimator.analysis import TraceAnalysis
 from repro.estimator.backends import (
     BACKENDS,
     SIMULATED_BACKENDS,
+    GridPoint,
+    evaluate_grid,
     evaluate_point,
 )
 
@@ -34,5 +36,6 @@ __all__ = [
     "validate_trace_tier", "read_trace", "write_trace",
     "PerformanceEstimator", "EstimationResult", "estimate",
     "TraceAnalysis",
-    "BACKENDS", "SIMULATED_BACKENDS", "evaluate_point",
+    "BACKENDS", "SIMULATED_BACKENDS", "GridPoint",
+    "evaluate_grid", "evaluate_point",
 ]

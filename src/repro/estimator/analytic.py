@@ -2,8 +2,8 @@
 
 The authors' companion paper (Pllana et al., CISIS 2008, cited as [15])
 combines simulation with mathematical modeling.  This module is that
-extension: it evaluates a model *without* simulation by walking the
-region tree once per process and composing closed-form times:
+extension: it evaluates a model *without* simulation by composing
+closed-form times over the region tree:
 
 * actions/criticals: their cost expression;
 * branches/drawn loops: resolved deterministically by evaluating guards
@@ -16,7 +16,7 @@ region tree once per process and composing closed-form times:
   competing for the node's processors, so the evaluator tracks
   *processor-seconds* (action/critical costs; communication waits hold
   no processor) alongside elapsed time and bounds a fork by
-  ``max(longest arm, total arm work / processors)``;
+  ``max(longest arm, processor-work / processors)``;
 * communication: Hockney service demands (latency + bytes/bandwidth,
   tree factors for collectives) without blocking semantics.  Sends
   honor the eager/rendezvous protocol switch of
@@ -26,6 +26,14 @@ region tree once per process and composing closed-form times:
   pays the full transfer; a rendezvous exchange costs envelope plus
   synchronous payload pull on both sides.
 
+The recursion itself lives in :mod:`repro.estimator.analytic_plan`: the
+model is *compiled* into a reusable :class:`~repro.estimator.
+analytic_plan.AnalyticPlan` (parse-once expressions, pre-resolved
+stereotypes) and then replayed under the given system parameters.  This
+class compiles a fresh plan per instance — the one-shot shape; the grid
+entry point :func:`repro.estimator.backends.evaluate_grid` memoizes
+plans by structural hash and replays them across whole parameter grids.
+
 The result is a *bound*: exact for contention-free compute models (tested
 against simulation), optimistic when queueing, lock contention, or
 rendezvous blocking matter.  Its value is speed — no event calendar — for
@@ -34,68 +42,13 @@ interactive what-if sweeps; the simulator remains the reference.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
-from repro.errors import EstimatorError, TransformError
-from repro.lang.ast import Expr, Program
-from repro.lang.evaluator import Environment, Evaluator
-from repro.lang.parser import parse_expression, parse_program
-from repro.lang.types import Type
-from repro.machine.network import Network, NetworkConfig
+from repro.estimator.analytic_plan import AnalyticPlan
+from repro.machine.network import NetworkConfig
 from repro.machine.params import SystemParameters
-from repro.sim.core import Simulation
-from repro.transform.algorithm import build_ir, cost_argument
-from repro.transform.flowgraph import (
-    BranchRegion,
-    CycleRegion,
-    ForkRegion,
-    LeafRegion,
-    Region,
-    SequenceRegion,
-)
-from repro.uml.activities import (
-    ActionNode,
-    ActivityInvocationNode,
-    LoopNode,
-    ParallelRegionNode,
-)
-from repro.lang.ast import Assign, VarDecl, walk_stmts
+from repro.transform.flowgraph import Region
 from repro.uml.model import Model
-from repro.uml.perf_profile import (
-    ALLREDUCE_PLUS,
-    BARRIER_PLUS,
-    BCAST_PLUS,
-    GATHER_PLUS,
-    RECV_PLUS,
-    REDUCE_PLUS,
-    SCATTER_PLUS,
-    SEND_PLUS,
-    performance_stereotype,
-)
-
-
-@dataclass(frozen=True)
-class _Cost:
-    """Elapsed time and processor-seconds of one region, per process.
-
-    ``work`` counts only intervals that hold a node processor (action
-    and critical costs); communication service demands elapse without
-    occupying a processor.  Fork/join and parallel regions use it for
-    the ``total work / processors`` half of the makespan bound.
-    """
-
-    time: float
-    work: float
-
-    def __add__(self, other: "_Cost") -> "_Cost":
-        return _Cost(self.time + other.time, self.work + other.work)
-
-    def scaled(self, factor: float) -> "_Cost":
-        return _Cost(self.time * factor, self.work * factor)
-
-
-_ZERO_COST = _Cost(0.0, 0.0)
 
 
 @dataclass
@@ -122,34 +75,16 @@ class AnalyticEvaluator:
                  network: NetworkConfig | None = None) -> None:
         self.model = model
         self.params = params or SystemParameters()
-        # A throwaway Simulation anchors the Network helper (no events).
-        self._network = Network(Simulation(), network or NetworkConfig())
-        self.ir = build_ir(model)
-        self.functions = model.function_defs()
-        self._expr_cache: dict[str, Expr] = {}
-        self._program_cache: dict[str, Program] = {}
+        self.network = network or NetworkConfig()
+        self.plan = AnalyticPlan(model)
 
-    # -- caches --------------------------------------------------------------
-
-    def _expr(self, source: str) -> Expr:
-        cached = self._expr_cache.get(source)
-        if cached is None:
-            cached = parse_expression(source)
-            self._expr_cache[source] = cached
-        return cached
-
-    def _program(self, source: str) -> Program:
-        cached = self._program_cache.get(source)
-        if cached is None:
-            cached = parse_program(source)
-            self._program_cache[source] = cached
-        return cached
-
-    # -- entry ---------------------------------------------------------------
+    @property
+    def ir(self):
+        return self.plan.ir
 
     def evaluate(self) -> AnalyticResult:
-        per_process = [self._process_time(pid)
-                       for pid in range(self.params.processes)]
+        per_process = self.plan.per_process_times(self.params,
+                                                  self.network)
         return AnalyticResult(
             model_name=self.model.name,
             params=self.params,
@@ -157,191 +92,9 @@ class AnalyticEvaluator:
             makespan=max(per_process) if per_process else 0.0,
         )
 
-    def _process_time(self, pid: int) -> float:
-        evaluator = Evaluator(self.functions)
-        env = Environment()
-        for variable in self.model.global_variables():
-            value = (evaluator.eval_expr(self._expr(variable.init), env)
-                     if variable.init is not None else None)
-            env.declare(variable.name, variable.type, value)
-        for variable in self.model.local_variables():
-            value = (evaluator.eval_expr(self._expr(variable.init), env)
-                     if variable.init is not None else None)
-            env.declare(variable.name, variable.type, value)
-        # Intrinsics at process scope so cost-function bodies see them
-        # (same visibility as the interp/codegen backends).
-        env.declare("uid", Type.INT, pid)
-        env.declare("pid", Type.INT, pid)
-        env.declare("tid", Type.INT, 0)
-        env.declare("size", Type.INT, self.params.processes)
-        env.declare("nnodes", Type.INT, self.params.nodes)
-        env.declare("nthreads", Type.INT,
-                    self.params.threads_per_process)
-        main = self.ir.regions[self.model.main_diagram_name]
-        return self._region_cost(main, evaluator, env.child()).time
-
-    # -- region times -------------------------------------------------------
-
-    def _region_cost(self, region: Region, evaluator: Evaluator,
-                     env: Environment) -> _Cost:
-        if isinstance(region, SequenceRegion):
-            total = _ZERO_COST
-            for item in region.items:
-                total += self._region_cost(item, evaluator, env)
-            return total
-        if isinstance(region, LeafRegion):
-            return self._leaf_cost(region.node, evaluator, env)
-        if isinstance(region, BranchRegion):
-            for guard, arm in region.arms:
-                if evaluator.eval_guard(self._expr(guard), env):
-                    return self._region_cost(arm, evaluator, env.child())
-            if region.else_arm is not None:
-                return self._region_cost(region.else_arm, evaluator,
-                                         env.child())
-            return _ZERO_COST
-        if isinstance(region, CycleRegion):
-            total = _ZERO_COST
-            while True:
-                total += self._region_cost(region.pre, evaluator, env)
-                if region.break_condition is not None:
-                    done = evaluator.eval_guard(
-                        self._expr(region.break_condition), env)
-                else:
-                    done = not evaluator.eval_guard(
-                        self._expr(region.negated_stay_guard), env)
-                if done:
-                    return total
-                total += self._region_cost(region.post, evaluator, env)
-        if isinstance(region, ForkRegion):
-            arms = [self._region_cost(arm, evaluator, env.child())
-                    for arm in region.arms]
-            if not arms:
-                return _ZERO_COST
-            work = sum(arm.work for arm in arms)
-            # Arms are concurrent strands sharing the node's processors:
-            # makespan bound max(longest arm, total work / processors).
-            time = max(max(arm.time for arm in arms),
-                       work / self.params.processors_per_node)
-            return _Cost(time, work)
-        raise TransformError(
-            f"analytic evaluator: unknown region "
-            f"{type(region).__name__}")
-
-    def _leaf_cost(self, node, evaluator: Evaluator,
-                   env: Environment) -> _Cost:
-        if isinstance(node, ActivityInvocationNode):
-            return self._region_cost(self.ir.regions[node.behavior],
-                                     evaluator, env)
-        if isinstance(node, LoopNode):
-            iterations = int(evaluator.eval_expr(
-                self._expr(node.iterations), env))
-            if iterations <= 0:
-                return _ZERO_COST
-            body = self.ir.regions[node.behavior]
-            if self._is_state_free(body):
-                return self._region_cost(body, evaluator,
-                                         env).scaled(iterations)
-            total = _ZERO_COST
-            for _ in range(iterations):
-                total += self._region_cost(body, evaluator, env)
-            return total
-        if isinstance(node, ParallelRegionNode):
-            declared = int(evaluator.eval_expr(
-                self._expr(node.num_threads), env))
-            threads = declared if declared > 0 \
-                else self.params.threads_per_process
-            body = self.ir.regions[node.behavior]
-            costs = []
-            for tid in range(threads):
-                thread_env = env.child()
-                thread_env.declare("tid", Type.INT, tid)
-                costs.append(self._region_cost(body, evaluator,
-                                               thread_env))
-            processors = self.params.processors_per_node
-            work = sum(cost.work for cost in costs)
-            # Makespan lower bound on `processors` identical machines;
-            # like forks, only processor-seconds contend — threads
-            # waiting on communication overlap freely.
-            return _Cost(max(max(cost.time for cost in costs),
-                             work / processors), work)
-        if isinstance(node, ActionNode):
-            return self._action_cost(node, evaluator, env)
-        raise EstimatorError(
-            f"analytic evaluator cannot time {type(node).__name__}")
-
-    def _action_cost(self, node: ActionNode, evaluator: Evaluator,
-                     env: Environment) -> _Cost:
-        stereotype = performance_stereotype(node)
-        if stereotype is None:
-            return _ZERO_COST
-        if node.code is not None:
-            evaluator.run_program(self._program(node.code), env)
-
-        def tag(name: str, default: str = "0") -> float:
-            raw = node.tag_value(stereotype, name)
-            source = raw if isinstance(raw, str) else default
-            return float(evaluator.eval_expr(self._expr(source), env))
-
-        def comm(time: float) -> _Cost:
-            return _Cost(time, 0.0)  # waits hold no processor
-
-        intra = self.params.nodes == 1
-        network = self._network
-        processes = self.params.processes
-        if stereotype in (SEND_PLUS, RECV_PLUS):
-            # Protocol switch (mirrors repro.workload.mpi.Communicator).
-            # Eager: the sender pays only its software overhead (the
-            # payload travels on an asynchronous wire process) and the
-            # receiver sees the payload one full transfer after the
-            # send.  Rendezvous: the envelope travels one latency, then
-            # the receiver synchronously pulls the payload while the
-            # sender blocks — both sides pay envelope + transfer.
-            size = tag("size")
-            overhead = network.transfer_time(0.0, intra)
-            if size <= network.config.eager_threshold:
-                return comm(overhead if stereotype == SEND_PLUS
-                            else network.transfer_time(size, intra))
-            return comm(overhead + network.transfer_time(size, intra))
-        if stereotype == BARRIER_PLUS:
-            return comm(network.tree_depth(processes) *
-                        network.transfer_time(0.0, intra))
-        if stereotype in (BCAST_PLUS, REDUCE_PLUS):
-            return comm(network.tree_depth(processes) *
-                        network.transfer_time(tag("size"), intra))
-        if stereotype == ALLREDUCE_PLUS:
-            return comm(2.0 * network.tree_depth(processes) *
-                        network.transfer_time(tag("size"), intra))
-        if stereotype in (SCATTER_PLUS, GATHER_PLUS):
-            return comm(max(processes - 1, 0) *
-                        network.transfer_time(tag("size"), intra))
-        cost = cost_argument(node)
-        if cost is None:
-            return _ZERO_COST
-        value = float(evaluator.eval_expr(self._expr(cost), env))
-        if value < 0 or math.isnan(value):
-            raise EstimatorError(
-                f"cost of {node.name!r} evaluated to {value}")
-        return _Cost(value, value)
-
-    def _is_state_free(self, region: Region,
-                       _seen: frozenset[str] = frozenset()) -> bool:
-        """True if no element reachable from ``region`` can mutate model
-        state (no code fragments with assignments), so all iterations of
-        a loop over it cost the same."""
-        for leaf in region.leaves():
-            node = leaf.node
-            code = getattr(node, "code", None)
-            if code is not None:
-                program = self._program(code)
-                for stmt in walk_stmts(program.body):
-                    if isinstance(stmt, (Assign, VarDecl)):
-                        return False
-            behavior = getattr(node, "behavior", None)
-            if behavior is not None and behavior not in _seen:
-                if not self._is_state_free(self.ir.regions[behavior],
-                                           _seen | {behavior}):
-                    return False
-        return True
+    def _is_state_free(self, region: Region) -> bool:
+        """Compatibility alias for the plan's state-free analysis."""
+        return self.plan.region_is_state_free(region)
 
 
 def evaluate_analytically(model: Model,

@@ -20,11 +20,23 @@ Backends:
 A module-level prepared-model memo keyed by the model's structural hash
 amortizes the transform cost when one process evaluates the same model
 at many parameter points (exactly the sweep access pattern).
+
+For the analytic backend the same idea goes one step further:
+:func:`evaluate_grid` compiles the model's cost recursion once into an
+:class:`~repro.estimator.analytic_plan.AnalyticPlan` (memoized by
+structural hash, like the prepared-model memo) and replays it across an
+entire grid of ``(SystemParameters, NetworkConfig, overrides)`` points
+in one pass — NumPy-vectorized over the network axis where the control
+flow allows, tight-loop plan replay where it doesn't.  Payloads are
+byte-identical to per-point :func:`evaluate_point` calls.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.errors import EstimatorError
+from repro.estimator.analytic_plan import AnalyticPlan, GridPoint
 from repro.estimator.manager import PerformanceEstimator, PreparedModel
 from repro.estimator.trace import TRACE_TIERS, validate_trace_tier
 from repro.machine.network import NetworkConfig
@@ -48,6 +60,10 @@ _PREPARED_LIMIT = 64
 #: the limit loses only the coldest entry, never the whole working set.
 _PREPARED: LRUMap[tuple[str, str], PreparedModel] = LRUMap(_PREPARED_LIMIT)
 
+#: model structural hash → compiled AnalyticPlan; process-local, same
+#: eviction story as the prepared-model memo.
+_PLANS: LRUMap[str, AnalyticPlan] = LRUMap(_PREPARED_LIMIT)
+
 
 def validate_backend(backend: str) -> str:
     if backend not in BACKENDS:
@@ -65,6 +81,16 @@ def clear_prepared_cache() -> None:
 def prepared_cache_stats() -> dict:
     """Counters of the prepared-model memo (service /stats payload)."""
     return _PREPARED.stats()
+
+
+def clear_plan_cache() -> None:
+    """Drop the process-local analytic-plan memo (tests/benchmarks)."""
+    _PLANS.clear()
+
+
+def plan_cache_stats() -> dict:
+    """Counters of the analytic-plan memo (service /stats payload)."""
+    return _PLANS.stats()
 
 
 def _prepared(model: Model, backend: str,
@@ -128,3 +154,47 @@ def evaluate_point(model: Model, backend: str,
         "trace_records": result.trace_records,
         "backend": backend,
     }
+
+
+def analytic_plan(model: Model,
+                  model_hash: str | None = None) -> AnalyticPlan:
+    """The memoized compiled plan for ``model`` (analytic backend).
+
+    Keyed by the model's structural hash — like the prepared-model memo
+    — so a sweep, the batch service, and direct callers all share one
+    compilation per model structure per process.
+    """
+    key = model_hash or model_structural_hash(model)
+    plan = _PLANS.get(key)
+    if plan is None:
+        plan = AnalyticPlan(model)
+        _PLANS.put(key, plan)
+    return plan
+
+
+def evaluate_grid(model: Model, points: Sequence[GridPoint],
+                  check: bool = True,
+                  model_hash: str | None = None) -> list[dict]:
+    """Evaluate a whole grid of analytic points in one pass.
+
+    Compiles (or reuses) the model's :class:`AnalyticPlan` and replays
+    it across ``points``, returning one payload per point, in order —
+    each byte-identical to what ``evaluate_point(model, "analytic",
+    point.params, point.network, point.seed)`` would return for the
+    equivalent model variant (``point.overrides`` re-initialize declared
+    variables exactly like :func:`repro.sweep.grid.apply_overrides`).
+
+    The model is checked once, not once per point; any evaluation error
+    raises (callers that need per-point error capture — the sweep
+    runner — fall back to per-point evaluation to localize it).
+    """
+    if check:
+        from repro.checker import ModelChecker
+        ModelChecker().assert_valid(model)
+    plan = analytic_plan(model, model_hash)
+    return [{
+        "predicted_time": makespan,
+        "events": 0,
+        "trace_records": 0,
+        "backend": "analytic",
+    } for makespan in plan.grid_makespans(points)]

@@ -47,6 +47,33 @@ class NetworkConfig:
         return stable_hash(self.fingerprint())
 
 
+def effective_parameters(config: NetworkConfig,
+                         intra_node: bool) -> tuple[float, float]:
+    """The (latency, bandwidth) pair one placement actually pays.
+
+    The single source of the intra-node discount, shared by the
+    simulator's :class:`Network` and the analytic plan runtimes
+    (:mod:`repro.estimator.analytic_plan`) so the Hockney algebra
+    cannot drift between backends.
+    """
+    if intra_node:
+        return (config.latency * config.intra_node_latency_factor,
+                config.bandwidth * config.intra_node_bandwidth_factor)
+    return (config.latency, config.bandwidth)
+
+
+def tree_depth(participants: int) -> int:
+    """Binomial-tree depth for collective algorithms."""
+    if participants < 1:
+        raise EstimatorError("collective needs >= 1 participant")
+    depth = 0
+    span = 1
+    while span < participants:
+        span *= 2
+        depth += 1
+    return depth
+
+
 class Network:
     def __init__(self, sim: Simulation,
                  config: NetworkConfig | None = None) -> None:
@@ -62,13 +89,7 @@ class Network:
         """Hockney time for one message of ``nbytes``."""
         if nbytes < 0:
             raise EstimatorError(f"negative message size {nbytes}")
-        config = self.config
-        if intra_node:
-            latency = config.latency * config.intra_node_latency_factor
-            bandwidth = config.bandwidth * config.intra_node_bandwidth_factor
-        else:
-            latency = config.latency
-            bandwidth = config.bandwidth
+        latency, bandwidth = effective_parameters(self.config, intra_node)
         return latency + nbytes / bandwidth
 
     def transfer(self, nbytes: float, intra_node: bool):
@@ -84,11 +105,4 @@ class Network:
 
     def tree_depth(self, participants: int) -> int:
         """Binomial-tree depth for collective algorithms."""
-        if participants < 1:
-            raise EstimatorError("collective needs >= 1 participant")
-        depth = 0
-        span = 1
-        while span < participants:
-            span *= 2
-            depth += 1
-        return depth
+        return tree_depth(participants)

@@ -9,7 +9,12 @@ doing the work*.  Three layers of reuse, applied in order:
 2. **Grouping** — unique jobs are ordered so all points of the same
    ``(model, backend)`` pair run consecutively; the prepared-model memo
    in :mod:`repro.estimator.backends` then transforms each model once
-   per backend instead of thrashing between representations.
+   per backend instead of thrashing between representations.  Analytic
+   requests benefit twice: the sweep runner collects each contiguous
+   analytic group into one grid-compiled plan replay
+   (:func:`repro.estimator.backends.evaluate_grid`), so a batch asking
+   for one model under hundreds of machines costs one compilation and
+   one vectorized pass.
 3. **Caching** — jobs are keyed exactly like sweep jobs, so the service
    shares its content-addressed result cache with every past batch and
    every ``prophet sweep`` run against the same cache directory.
@@ -54,6 +59,13 @@ class BatchPlan:
         """Requests served by a job another request already created."""
         planned = sum(1 for target in self.assignment if target is not None)
         return planned - len(self.jobs)
+
+    @property
+    def analytic_grid_groups(self) -> int:
+        """Distinct models among the batch's analytic jobs — the number
+        of plan compilations (at most) the grid path will perform."""
+        return len({job.model_hash for job in self.jobs
+                    if job.backend == "analytic"})
 
 
 def plan_batch(requests: Sequence[EvaluationRequest],

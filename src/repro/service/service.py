@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
-from repro.estimator.backends import prepared_cache_stats
+from repro.estimator.backends import (plan_cache_stats,
+                                      prepared_cache_stats)
 from repro.estimator.trace import validate_trace_tier
 from repro.service.batcher import plan_batch
 from repro.service.registry import ModelRecord, ModelRegistry
@@ -58,7 +59,8 @@ class EvaluationService:
                  cache: ResultCache | str | Path | None = None,
                  executor: str = "serial",
                  max_workers: int | None = None,
-                 trace: str = "full") -> None:
+                 trace: str = "full",
+                 analytic_grid: bool = True) -> None:
         self.registry = (registry if isinstance(registry, ModelRegistry)
                          else ModelRegistry(registry))
         self.cache = (cache if isinstance(cache, (ResultCache, type(None)))
@@ -76,6 +78,10 @@ class EvaluationService:
         # cache entries written by a service should be indistinguishable
         # from `prophet sweep`'s, and "off" entries are uncacheable.
         self.trace = validate_trace_tier(trace)
+        # Analytic requests run through the grid-compiled plan path by
+        # default (byte-identical payloads; a kill switch for A/B
+        # comparison and debugging).
+        self.analytic_grid = analytic_grid
         self.batches_served = 0
         self.requests_served = 0
         self.coalesced_total = 0
@@ -108,7 +114,8 @@ class EvaluationService:
         sweep_result = run_jobs(plan.jobs, cache=self.cache,
                                 executor=self.executor,
                                 max_workers=self.max_workers,
-                                trace=self.trace)
+                                trace=self.trace,
+                                analytic_grid=self.analytic_grid)
         outcomes = list(sweep_result)  # index order == job order
 
         results: list[dict] = []
@@ -149,6 +156,8 @@ class EvaluationService:
             "requests": plan.request_count,
             "unique_jobs": len(plan.jobs),
             "coalesced": plan.coalesced_count,
+            "analytic_grid_groups": (plan.analytic_grid_groups
+                                     if self.analytic_grid else 0),
             "plan_errors": len(plan.errors),
             "cache_hits": delta.hits,
             "cache_misses": delta.misses,
@@ -173,6 +182,10 @@ class EvaluationService:
             # there, so only the serial executor reports them.
             "prepared_models": (prepared_cache_stats()
                                 if self.executor == "serial" else None),
+            # Analytic plans always run in this process (the grid path
+            # never crosses the pool), so their memo is always honest.
+            "analytic_plans": (plan_cache_stats()
+                               if self.analytic_grid else None),
             "executor": self.executor,
             "trace": self.trace,
         }

@@ -48,9 +48,11 @@ from repro.sweep.cache import CacheStats, ResultCache
 from repro.sweep.grid import apply_overrides, expand, scenario_models
 from repro.sweep.results import JobResult, SweepResult
 from repro.sweep.runner import (
+    DEFAULT_MIN_POOL_JOBS,
     ProcessPoolExecutor,
     SerialExecutor,
     execute_job,
+    pool_dispatch,
     run_jobs,
     run_sweep,
     shutdown_shared_pool,
@@ -72,5 +74,6 @@ __all__ = [
     "apply_overrides", "expand", "scenario_models",
     "JobResult", "SweepResult",
     "SerialExecutor", "ProcessPoolExecutor",
+    "DEFAULT_MIN_POOL_JOBS", "pool_dispatch",
     "execute_job", "run_jobs", "run_sweep", "shutdown_shared_pool",
 ]

@@ -2,9 +2,11 @@
 
 Axis nesting order (outermost → innermost): model (explicit models
 first, then generated scenario combinations), override combination
-(cartesian product in declaration order), process count, backend, seed.
-The order is part of the engine's contract — job indexes identify points
-across runs, executors, and cache generations.
+(cartesian product in declaration order), process count, network
+variant (latency outer, bandwidth inner), backend, seed.  The order is
+part of the engine's contract — job indexes identify points across
+runs, executors, and cache generations (a spec without network axes
+expands exactly as before).
 """
 
 from __future__ import annotations
@@ -129,6 +131,7 @@ def expand(spec: SweepSpec) -> list[SweepJob]:
     spec.validate()
     jobs: list[SweepJob] = []
     index = 0
+    networks = spec.network_variants()
     all_models = list(spec.models) + scenario_models(spec)
     for label, model in all_models:
         for overrides in _override_combinations(spec.overrides):
@@ -144,20 +147,21 @@ def expand(spec: SweepSpec) -> list[SweepJob]:
             model_hash = model_structural_hash(variant)
             for process_count in spec.processes:
                 params = spec.system_parameters(process_count)
-                for backend in spec.backends:
-                    for seed in spec.seeds:
-                        jobs.append(SweepJob(
-                            index=index,
-                            model_label=label,
-                            model_xml=xml,
-                            model_hash=model_hash,
-                            overrides=overrides,
-                            params=params,
-                            network=spec.network,
-                            backend=backend,
-                            seed=seed,
-                        ))
-                        index += 1
+                for network in networks:
+                    for backend in spec.backends:
+                        for seed in spec.seeds:
+                            jobs.append(SweepJob(
+                                index=index,
+                                model_label=label,
+                                model_xml=xml,
+                                model_hash=model_hash,
+                                overrides=overrides,
+                                params=params,
+                                network=network,
+                                backend=backend,
+                                seed=seed,
+                            ))
+                            index += 1
     return jobs
 
 

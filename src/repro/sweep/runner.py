@@ -35,6 +35,17 @@ backends (default ``"summary"`` — identical payloads to ``"full"``,
 none of the per-record allocation).  ``"off"`` runs are never written
 to the result cache: their ``trace_records`` is 0, which would corrupt
 the payload other tiers expect to share.
+
+Analytic jobs take a different road entirely: cache misses are grouped
+by structural hash and dispatched through the grid-compiled plan path
+(:func:`repro.estimator.backends.evaluate_grid`) in this process — the
+whole group shares one compilation and one vectorized replay, and the
+per-point payloads (and cache entries) are byte-identical to
+``evaluate_point``'s.  Closed-form points are so cheap that shipping
+them to a pool only pays pickling tax, which feeds the dispatch
+heuristic: a fresh ``process`` pool is only forked when at least
+``min_pool_jobs`` *simulated* jobs are pending (analytic jobs never
+justify pool startup), otherwise the sweep silently runs serial.
 """
 
 from __future__ import annotations
@@ -47,7 +58,12 @@ import threading
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ProphetError
-from repro.estimator.backends import evaluate_point
+from repro.estimator.backends import (
+    SIMULATED_BACKENDS,
+    evaluate_grid,
+    evaluate_point,
+)
+from repro.estimator.analytic_plan import GridPoint
 from repro.estimator.trace import validate_trace_tier
 from repro.sweep.cache import ResultCache
 from repro.sweep.grid import expand
@@ -129,6 +145,65 @@ def _execute_chunk(payload: tuple[str, list[SweepJob]]) -> list[dict]:
     """Worker entry point: one pickle round-trip evaluates many jobs."""
     trace, jobs = payload
     return [execute_job(job, trace) for job in jobs]
+
+
+#: Fewest pending *simulated* jobs that justify forking a fresh process
+#: pool.  Below this, pool startup dwarfs the work (the
+#: ``cold_sweep_3scenario_pool2`` benchmark measured 0.834× serial) and
+#: ``run_jobs`` silently runs serial instead.  Analytic jobs never
+#: count: they are grid-dispatched in-process.
+DEFAULT_MIN_POOL_JOBS = 16
+
+
+def pool_dispatch(executor: str | object, simulated_jobs: int,
+                  min_pool_jobs: int = DEFAULT_MIN_POOL_JOBS):
+    """The executor actually used for a batch of pending jobs.
+
+    Only the fresh-pool ``"process"`` executor is downgraded: the
+    persistent pool amortizes its startup across batches, the serial
+    executor has nothing to downgrade to, and custom executor objects
+    are the caller's explicit choice.  ``min_pool_jobs=0`` disables the
+    heuristic.
+    """
+    if executor == "process" and simulated_jobs < min_pool_jobs:
+        return "serial"
+    return executor
+
+
+def _run_analytic_grid(jobs: Sequence[SweepJob],
+                       trace: str) -> tuple[dict[int, dict], int]:
+    """Evaluate analytic cache misses through the compiled grid path.
+
+    Jobs are grouped by structural hash; each group compiles (or
+    reuses) one :class:`~repro.estimator.analytic_plan.AnalyticPlan`
+    and replays it across the group's parameter points in one pass.
+    Any failure inside a group falls back to per-point
+    :func:`execute_job` calls, which localizes the error to the points
+    that actually fail and reproduces the classic error strings
+    exactly.  Returns ``(outcomes by job index, group count)``.
+    """
+    outcomes: dict[int, dict] = {}
+    groups: dict[str, list[SweepJob]] = {}
+    for job in jobs:
+        groups.setdefault(job.model_hash, []).append(job)
+    for model_hash, group in groups.items():
+        try:
+            model = _job_model(group[0])
+            if model is None:
+                raise ProphetError(
+                    f"model {model_hash[:12]} unavailable in this "
+                    "process")
+            points = [GridPoint(job.params, job.network, seed=job.seed)
+                      for job in group]
+            payloads = evaluate_grid(model, points, check=False,
+                                     model_hash=model_hash)
+        except Exception:  # noqa: BLE001 — per-job capture by design
+            for job in group:
+                outcomes[job.index] = execute_job(job, trace)
+            continue
+        for job, payload in zip(group, payloads):
+            outcomes[job.index] = {"status": "ok", **payload}
+    return outcomes, len(groups)
 
 
 class SerialExecutor:
@@ -234,8 +309,6 @@ class ProcessPoolExecutor:
             return []
         if len(jobs) == 1:  # a pool for one job is pure overhead
             return [execute_job(jobs[0], trace)]
-        table = {job.model_hash: job.model_xml
-                 for job in jobs if job.model_xml}
         light = [dataclasses.replace(job, model_xml="") for job in jobs]
         if self.persistent:
             pool = _shared_pool(self.max_workers)
@@ -255,6 +328,10 @@ class ProcessPoolExecutor:
                 outcomes = self._run_with_fallback(pool, jobs, light,
                                                    trace)
         else:
+            # The persistent pool relies purely on the need_model lazy
+            # fetch; only a fresh pool ships the model table up front.
+            table = {job.model_hash: job.model_xml
+                     for job in jobs if job.model_xml}
             with concurrent.futures.ProcessPoolExecutor(
                     max_workers=self.max_workers,
                     initializer=_pool_initializer,
@@ -317,17 +394,24 @@ def run_jobs(jobs: Sequence[SweepJob],
              executor: str | object = "serial",
              max_workers: int | None = None,
              progress: Callable[[str], None] | None = None,
-             trace: str = "summary") -> SweepResult:
+             trace: str = "summary",
+             analytic_grid: bool = True,
+             min_pool_jobs: int = DEFAULT_MIN_POOL_JOBS) -> SweepResult:
     """Execute pre-expanded jobs: cache lookup → run misses → assemble.
 
     ``trace`` is the estimator recording tier for points that actually
     run (cached points were recorded at whatever tier produced them —
     payloads are tier-invariant except under ``"off"``, whose results
     are therefore never written back to the cache).
+
+    ``analytic_grid`` routes analytic cache misses through the
+    grid-compiled plan path (byte-identical payloads; ``False`` forces
+    classic per-point evaluation — benchmarks and differential tests
+    use it).  ``min_pool_jobs`` is the fresh-pool dispatch floor (see
+    :func:`pool_dispatch`; ``0`` disables the heuristic).
     """
     validate_trace_tier(trace)
     jobs = sorted(jobs, key=lambda job: job.index)
-    runner = make_executor(executor, max_workers)
 
     keys = [job.cache_key() for job in jobs]
     served: dict[int, dict] = {}
@@ -338,11 +422,30 @@ def run_jobs(jobs: Sequence[SweepJob],
                 served[job.index] = payload
 
     pending = [job for job in jobs if job.index not in served]
+    outcomes: dict[int, dict] = {}
+    grid_note = ""
+    if analytic_grid:
+        analytic_pending = [job for job in pending
+                            if job.backend == "analytic"]
+        if analytic_pending:
+            grid_outcomes, group_count = _run_analytic_grid(
+                analytic_pending, trace)
+            outcomes.update(grid_outcomes)
+            pending = [job for job in pending
+                       if job.backend != "analytic"]
+            grid_note = (f" + {len(analytic_pending)} analytic "
+                         f"point(s) in {group_count} grid group(s)")
+
+    simulated_jobs = sum(1 for job in pending
+                         if job.backend in SIMULATED_BACKENDS)
+    runner = make_executor(
+        pool_dispatch(executor, simulated_jobs, min_pool_jobs),
+        max_workers)
     if progress is not None and jobs:
         progress(f"sweep: {len(jobs)} point(s), {len(served)} cached, "
                  f"{len(pending)} to run on {getattr(runner, 'name', '?')} "
-                 f"executor [trace={trace}]")
-    outcomes = dict(zip((job.index for job in pending),
+                 f"executor{grid_note} [trace={trace}]")
+    outcomes.update(zip((job.index for job in pending),
                         _run_with_trace(runner, pending, trace)))
 
     cacheable = trace != "off"
@@ -387,16 +490,19 @@ def run_sweep(spec: SweepSpec | Iterable[SweepJob],
               executor: str | object = "serial",
               max_workers: int | None = None,
               progress: Callable[[str], None] | None = None,
-              trace: str = "summary") -> SweepResult:
+              trace: str = "summary",
+              analytic_grid: bool = True,
+              min_pool_jobs: int = DEFAULT_MIN_POOL_JOBS) -> SweepResult:
     """Expand ``spec`` (if needed) and execute the grid."""
     jobs = expand(spec) if isinstance(spec, SweepSpec) else list(spec)
     return run_jobs(jobs, cache=cache, executor=executor,
                     max_workers=max_workers, progress=progress,
-                    trace=trace)
+                    trace=trace, analytic_grid=analytic_grid,
+                    min_pool_jobs=min_pool_jobs)
 
 
 __all__ = [
-    "ProcessPoolExecutor", "SerialExecutor", "clear_worker_memos",
-    "execute_job", "make_executor", "run_jobs", "run_sweep",
-    "shutdown_shared_pool",
+    "DEFAULT_MIN_POOL_JOBS", "ProcessPoolExecutor", "SerialExecutor",
+    "clear_worker_memos", "execute_job", "make_executor",
+    "pool_dispatch", "run_jobs", "run_sweep", "shutdown_shared_pool",
 ]

@@ -14,6 +14,8 @@ result cache, and self-contained for error reporting.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -101,6 +103,11 @@ class SweepSpec:
       combination (applied by re-initializing the variable, see
       :func:`repro.sweep.grid.apply_overrides`);
     * ``processes`` — process counts (strong-scaling axis);
+    * ``latencies``/``bandwidths`` — network axes: their cartesian
+      product replaces the base ``network``'s latency/bandwidth per
+      point (the dense latency×bandwidth heatmaps the analytic grid
+      path evaluates in one vectorized pass).  Empty means "use the
+      base network's value" — a single-point axis;
     * ``backends`` — evaluation backends (see
       :data:`repro.estimator.backends.BACKENDS`);
     * ``seeds`` — simulator seeds (analytic ignores the seed, but the
@@ -124,6 +131,8 @@ class SweepSpec:
     threads_per_process: int = 1
     placement: str = "block"
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    latencies: Sequence[float] = ()
+    bandwidths: Sequence[float] = ()
 
     def normalize(self) -> None:
         """Materialize every axis into a list.
@@ -141,6 +150,8 @@ class SweepSpec:
         self.scenario_params = {name: list(values)
                                 for name, values
                                 in self.scenario_params.items()}
+        self.latencies = list(self.latencies)
+        self.bandwidths = list(self.bandwidths)
 
     def validate(self) -> None:
         self.normalize()
@@ -186,6 +197,33 @@ class SweepSpec:
             if not values:
                 raise SweepSpecError(
                     f"override axis {name!r} has no values")
+        for name, values, minimum in (
+                ("latencies", self.latencies, 0.0),
+                ("bandwidths", self.bandwidths, None)):
+            for value in values:
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)) or \
+                        not math.isfinite(value):
+                    raise SweepSpecError(
+                        f"{name} must be finite numbers, got {value!r}")
+                if minimum is not None and value < minimum:
+                    raise SweepSpecError(
+                        f"{name} must be >= {minimum}, got {value!r}")
+                if minimum is None and value <= 0:
+                    raise SweepSpecError(
+                        f"{name} must be > 0, got {value!r}")
+
+    def network_variants(self) -> list[NetworkConfig]:
+        """The network axis, expanded: latency × bandwidth variants of
+        the base ``network`` (latency outer, bandwidth inner — the
+        declared grid order).  Without explicit axes this is just the
+        base network."""
+        self.normalize()
+        latencies = self.latencies or [self.network.latency]
+        bandwidths = self.bandwidths or [self.network.bandwidth]
+        return [dataclasses.replace(self.network, latency=latency,
+                                    bandwidth=bandwidth)
+                for latency in latencies for bandwidth in bandwidths]
 
     def system_parameters(self, process_count: int) -> SystemParameters:
         """The SP for one grid point (one node per process by default)."""
@@ -214,7 +252,9 @@ class SweepSpec:
         total = len(self.models) + self.scenario_combination_count
         for values in self.overrides.values():
             total *= len(values)
-        return (total * len(self.processes) *
+        networks = ((len(self.latencies) or 1) *
+                    (len(self.bandwidths) or 1))
+        return (total * len(self.processes) * networks *
                 len(self.backends) * len(self.seeds))
 
 

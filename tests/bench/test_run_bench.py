@@ -5,9 +5,9 @@ import json
 from repro.bench import (
     BENCH_SCHEMA,
     PRE_PR_REFERENCE,
+    append_snapshot,
     render,
     run_benchmarks,
-    write_snapshot,
 )
 
 
@@ -27,12 +27,22 @@ def test_smoke_snapshot_shape(tmp_path):
     for tier in ("full", "summary", "off"):
         assert tiers[tier]["events_per_s"] > 0
 
-    path = write_snapshot(snapshot, tmp_path / "BENCH_estimator.json")
-    assert json.loads(path.read_text(encoding="utf-8")) == snapshot
+    grid = snapshot["benchmarks"]["analytic_grid_1000pt"]
+    assert grid["identical"] is True
+    assert grid["points"] > 0
+    assert grid["points_per_s_grid"] > 0
+    assert grid["points_per_s_per_point"] > 0
+    assert grid["speedup_grid_vs_per_point"] > 0
+
+    path = append_snapshot(snapshot, tmp_path / "BENCH_estimator.json")
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data["schema"] == BENCH_SCHEMA
+    assert data["history"] == [snapshot]
 
     text = render(snapshot)
     assert "cold_sweep_3scenario" in text
     assert "speedup_summary_vs_full" in text
+    assert "analytic_grid_1000pt" in text
 
 
 def test_pre_pr_reference_is_pinned():

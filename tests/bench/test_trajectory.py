@@ -1,0 +1,98 @@
+"""The benchmark trajectory file: append, migrate, never clobber.
+
+``BENCH_estimator.json`` is a history (`{"schema": 2, "history":
+[...]}`): each ``prophet bench`` run appends one snapshot so the
+performance trajectory survives across PRs.  Legacy schema-1 files (one
+bare snapshot) migrate into the first history entry; unrecognizable
+files raise instead of being overwritten.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    append_snapshot,
+    load_history,
+    render,
+)
+from repro.errors import ProphetError
+
+
+def fake_snapshot(tag: str) -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_by": "prophet bench",
+        "smoke": True,
+        "repeats": 1,
+        "python": "3.11",
+        "platform": tag,
+        "benchmarks": {
+            "analytic_grid_1000pt": {
+                "points": 100,
+                "speedup_grid_vs_per_point": 12.5,
+                "identical": True,
+            },
+        },
+    }
+
+
+class TestLoadHistory:
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "absent.json") == []
+
+    def test_legacy_schema1_snapshot_migrates(self, tmp_path):
+        path = tmp_path / "bench.json"
+        legacy = {"schema": 1, "benchmarks": {"cold": {"wall_s": 1.0}}}
+        path.write_text(json.dumps(legacy))
+        assert load_history(path) == [legacy]
+
+    def test_current_schema_round_trips(self, tmp_path):
+        path = tmp_path / "bench.json"
+        append_snapshot(fake_snapshot("one"), path)
+        append_snapshot(fake_snapshot("two"), path)
+        history = load_history(path)
+        assert [entry["platform"] for entry in history] == ["one", "two"]
+
+    def test_unrecognizable_file_raises(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ProphetError, match="refusing to overwrite"):
+            load_history(path)
+
+    def test_corrupt_json_raises_before_overwrite(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text('{"history": [truncated')
+        with pytest.raises(ProphetError, match="cannot parse"):
+            load_history(path)
+        assert path.read_text() == '{"history": [truncated'
+
+
+class TestAppendSnapshot:
+    def test_append_migrates_legacy_in_place(self, tmp_path):
+        path = tmp_path / "bench.json"
+        legacy = {"schema": 1, "benchmarks": {"cold": {"wall_s": 1.0}}}
+        path.write_text(json.dumps(legacy))
+        append_snapshot(fake_snapshot("new"), path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == BENCH_SCHEMA
+        assert [entry.get("schema") for entry in data["history"]] == \
+            [1, BENCH_SCHEMA]
+        # The legacy snapshot is preserved verbatim as history[0].
+        assert data["history"][0] == legacy
+
+    def test_trajectory_grows_newest_last(self, tmp_path):
+        path = tmp_path / "bench.json"
+        for tag in ("a", "b", "c"):
+            append_snapshot(fake_snapshot(tag), path)
+        assert [s["platform"] for s in load_history(path)] == \
+            ["a", "b", "c"]
+
+
+class TestRender:
+    def test_render_shows_grid_benchmark(self):
+        text = render(fake_snapshot("x"))
+        assert "analytic_grid_1000pt" in text
+        assert "speedup_grid_vs_per_point" in text
+        assert "identical" in text

@@ -117,3 +117,51 @@ class TestSweepArgumentErrors:
         assert main(["sweep", "--kind", "kernel6",
                      "--backends", "fortran"]) == 2
         assert "backend" in capsys.readouterr().err
+
+
+class TestNetworkAxesAndGridFlags:
+    def test_latency_bandwidth_lists_sweep_the_network(self, capsys):
+        code = main(["sweep", "--kind", "kernel6",
+                     "--processes", "2", "--backends", "analytic",
+                     "--latency", "1e-7,1e-6,1e-5",
+                     "--bandwidth", "1e8,1e9", "--no-table"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 point(s), 6 ok" in out
+        assert "grid group(s)" in out  # dispatched through the grid path
+
+    def test_no_analytic_grid_flag_matches_grid_csv(self, tmp_path,
+                                                    capsys):
+        csv_a = tmp_path / "grid.csv"
+        csv_b = tmp_path / "classic.csv"
+        common = ["sweep", "--kind", "kernel6", "--processes", "1,2",
+                  "--backends", "analytic",
+                  "--latency", "1e-7,1e-6", "--no-table"]
+        assert main([*common, "--csv", str(csv_a)]) == 0
+        out = capsys.readouterr().out
+        assert "grid group(s)" in out
+        assert main([*common, "--no-analytic-grid",
+                     "--csv", str(csv_b)]) == 0
+        out = capsys.readouterr().out
+        assert "grid group(s)" not in out
+        assert csv_a.read_text() == csv_b.read_text()
+
+    def test_min_pool_jobs_flag_forces_the_pool(self, capsys):
+        code = main(["sweep", "--kind", "kernel6",
+                     "--processes", "1,2", "--backends", "codegen",
+                     "--jobs", "2", "--min-pool-jobs", "0",
+                     "--no-table"])
+        assert code == 0
+        assert "process executor" in capsys.readouterr().out
+
+    def test_small_simulated_sweep_falls_back_to_serial(self, capsys):
+        code = main(["sweep", "--kind", "kernel6",
+                     "--processes", "1,2", "--backends", "codegen",
+                     "--jobs", "2", "--no-table"])
+        assert code == 0
+        assert "serial executor" in capsys.readouterr().out
+
+    def test_bad_latency_list_rejected(self, capsys):
+        assert main(["sweep", "--kind", "kernel6",
+                     "--latency", "fast"]) == 2
+        assert "comma-separated numbers" in capsys.readouterr().err

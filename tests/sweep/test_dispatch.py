@@ -46,7 +46,10 @@ class TestExecutorEquivalence:
     def test_serial_pool_and_persistent_byte_identical(self, tmp_path):
         spec = small_spec()
         serial = run_sweep(spec, executor="serial")
-        pool = run_sweep(spec, executor="process", max_workers=2)
+        # min_pool_jobs=0 bypasses the dispatch heuristic so this small
+        # sweep really crosses the pool.
+        pool = run_sweep(spec, executor="process", max_workers=2,
+                         min_pool_jobs=0)
         try:
             persistent = run_sweep(spec, executor="process-persistent",
                                    max_workers=2)
@@ -210,3 +213,88 @@ class TestLegacyExecutorCompat:
 
         result = run_sweep(small_spec(), executor=OldStyleExecutor())
         assert result.failed() == []
+
+
+class TestPoolDispatchHeuristic:
+    """Small sweeps must not pay pool startup they cannot amortize:
+    the fresh ``process`` executor silently downgrades to serial below
+    ``min_pool_jobs`` pending *simulated* points (analytic points are
+    grid-dispatched in-process and never justify a pool)."""
+
+    def test_decision_table(self):
+        from repro.sweep import DEFAULT_MIN_POOL_JOBS, pool_dispatch
+        assert pool_dispatch("process", 3) == "serial"
+        assert pool_dispatch("process",
+                             DEFAULT_MIN_POOL_JOBS) == "process"
+        assert pool_dispatch("process", 3, min_pool_jobs=0) == "process"
+        # Only the fresh pool is downgraded.
+        assert pool_dispatch("serial", 0) == "serial"
+        assert pool_dispatch("process-persistent",
+                             0) == "process-persistent"
+        custom = object()
+        assert pool_dispatch(custom, 0) is custom
+
+    def test_small_sweep_never_forks_a_pool(self, monkeypatch):
+        import concurrent.futures
+
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                "a process pool was forked for a sweep below the "
+                "dispatch floor")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            boom)
+        lines = []
+        result = run_sweep(small_spec(), executor="process",
+                           max_workers=2, progress=lines.append)
+        assert result.failed() == []
+        assert "serial executor" in lines[0]
+
+    def test_forced_pool_still_forks(self):
+        lines = []
+        result = run_sweep(small_spec(), executor="process",
+                           max_workers=2, min_pool_jobs=0,
+                           progress=lines.append)
+        assert result.failed() == []
+        assert "process executor" in lines[0]
+
+    def test_analytic_points_never_count_toward_the_pool(self,
+                                                         monkeypatch):
+        import concurrent.futures
+
+        def boom(*args, **kwargs):
+            raise AssertionError("analytic-only sweeps must stay "
+                                 "in-process")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            boom)
+        spec = make_spec(build_sample_model(),
+                         processes=[1, 2, 4],
+                         backends=["analytic"], seeds=list(range(20)))
+        # 60 analytic points — far above the floor, yet no pool: with
+        # the grid path they run in-process; even with it disabled
+        # they never justify pool startup on their own.
+        for analytic_grid in (True, False):
+            lines = []
+            result = run_sweep(spec, executor="process", max_workers=2,
+                               analytic_grid=analytic_grid,
+                               progress=lines.append)
+            assert result.failed() == []
+            assert "serial executor" in lines[0]
+
+
+class TestAnalyticGridRouting:
+    def test_progress_reports_grid_groups(self):
+        lines = []
+        result = run_sweep(make_spec(build_sample_model(),
+                                     processes=[1, 2],
+                                     backends=["analytic"]),
+                           progress=lines.append)
+        assert result.failed() == []
+        assert "2 analytic point(s) in 1 grid group(s)" in lines[0]
+
+    def test_grid_and_classic_dispatch_byte_identical(self):
+        spec = small_spec()
+        grid = run_sweep(spec, analytic_grid=True)
+        classic = run_sweep(small_spec(), analytic_grid=False)
+        assert grid.to_csv() == classic.to_csv()

@@ -186,3 +186,50 @@ class TestCacheKeys:
         [a] = expand(make_spec(build_kernel6_model()))
         [b] = expand(make_spec(build_sample_model()))
         assert a.cache_key() != b.cache_key()
+
+
+class TestNetworkAxes:
+    def test_latency_bandwidth_cross_product(self):
+        spec = kernel_spec(processes=[1, 2],
+                           latencies=[1e-7, 1e-6],
+                           bandwidths=[1e8, 1e9, 1e10])
+        jobs = expand(spec)
+        assert len(jobs) == 2 * 2 * 3
+        assert spec.point_count == len(jobs)
+        # Latency is the outer axis, bandwidth the inner; every other
+        # network field keeps the base value.
+        first_process = [job for job in jobs
+                         if job.params.processes == 1]
+        pairs = [(job.network.latency, job.network.bandwidth)
+                 for job in first_process]
+        assert pairs == [(lat, bw) for lat in (1e-7, 1e-6)
+                         for bw in (1e8, 1e9, 1e10)]
+        base = spec.network
+        assert all(job.network.eager_threshold == base.eager_threshold
+                   for job in jobs)
+
+    def test_empty_axes_use_base_network(self):
+        from repro.machine.network import NetworkConfig
+        base = NetworkConfig(latency=5e-6, bandwidth=2e9)
+        spec = kernel_spec(network=base)
+        jobs = expand(spec)
+        assert [job.network for job in jobs] == [base] * len(jobs)
+
+    def test_single_value_axes_match_plain_network(self):
+        from repro.machine.network import NetworkConfig
+        via_axes = expand(kernel_spec(latencies=[5e-6],
+                                      bandwidths=[2e9]))
+        via_network = expand(kernel_spec(
+            network=NetworkConfig(latency=5e-6, bandwidth=2e9)))
+        assert [j.cache_key() for j in via_axes] == \
+            [j.cache_key() for j in via_network]
+
+    def test_bad_axis_values_rejected(self):
+        for kwargs in ({"latencies": [-1.0]},
+                       {"latencies": [float("nan")]},
+                       {"bandwidths": [0.0]},
+                       {"bandwidths": [float("inf")]},
+                       {"latencies": ["fast"]},
+                       {"latencies": [True]}):
+            with pytest.raises(SweepSpecError):
+                expand(kernel_spec(**kwargs))
