@@ -10,6 +10,8 @@ Commands mirror the Fig. 2 tool flow:
   the Performance Estimator (prints the report, writes the TF);
 * ``prophet sweep ...`` — batch-evaluate a parameter grid with caching
   (over a model file, a built-in ``--kind``, or a ``--scenario``);
+* ``prophet profile ...`` — run a sweep under the observability
+  harness and print where the wall clock went (span tree + metrics);
 * ``prophet scenarios`` — list the scenario library and its knobs;
 * ``prophet serve --registry DIR`` / ``prophet submit ...`` — the
   long-lived batched evaluation service and its client;
@@ -81,81 +83,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = commands.add_parser(
         "sweep", help="batch-evaluate a parameter grid (with result "
                       "caching)")
-    sweep.add_argument("model", nargs="?",
-                       help="model XML file (or use --kind/--scenario)")
-    sweep.add_argument("--kind",
-                       choices=("sample", "kernel6", "kernel6-loopnest"),
-                       help="sweep a built-in model instead of a file")
-    sweep.add_argument("--scenario",
-                       help="sweep a scenario from the scenario library "
-                            "(see `prophet scenarios`)")
-    sweep.add_argument("--scenario-param", action="append", default=[],
-                       metavar="NAME=V1,V2,...",
-                       help="range a scenario knob over values "
-                            "(repeatable; axes are crossed; structural "
-                            "knobs rebuild the model per point)")
-    sweep.add_argument("--processes", default="1",
-                       help="comma-separated process counts, e.g. 1,2,4,8")
-    sweep.add_argument("--backends", default="codegen",
-                       help="comma-separated backends: analytic, codegen, "
-                            "interp")
-    sweep.add_argument("--seeds", default="0",
-                       help="comma-separated simulator seeds")
-    sweep.add_argument("--param", action="append", default=[],
-                       metavar="NAME=V1,V2,...",
-                       help="sweep a model global variable over values "
-                            "(repeatable; axes are crossed)")
-    sweep.add_argument("--nodes", type=int,
-                       help="fixed node count (default: one node per "
-                            "process)")
-    sweep.add_argument("--ppn", type=int, default=1,
-                       help="processors per node")
-    sweep.add_argument("--threads", type=int, default=1,
-                       help="threads per process")
-    sweep.add_argument("--placement", choices=("block", "cyclic"),
-                       default="block")
-    sweep.add_argument("--latency", default="1.0e-6",
-                       help="network latency in seconds — a comma-"
-                            "separated list sweeps the axis (e.g. "
-                            "1e-7,1e-6,1e-5 for a heatmap row)")
-    sweep.add_argument("--bandwidth", default="1.0e9",
-                       help="network bandwidth in bytes/s — a comma-"
-                            "separated list sweeps the axis")
-    sweep.add_argument("--cache-dir",
-                       help="content-addressed result cache directory "
-                            "(created if missing; repeated sweeps are "
-                            "served from it)")
-    sweep.add_argument("--jobs", type=int, default=0,
-                       help="run on a process pool with this many workers "
-                            "(0 = serial)")
-    sweep.add_argument("--min-pool-jobs", type=int, default=None,
-                       metavar="N",
-                       help="fewest pending simulated points that "
-                            "justify forking the pool (default 16; "
-                            "smaller sweeps silently run serial; 0 "
-                            "forces the pool; analytic points never "
-                            "count — they run on the in-process grid "
-                            "path)")
-    sweep.add_argument("--no-analytic-grid", action="store_true",
-                       help="evaluate analytic points one by one "
-                            "instead of through the grid-compiled plan "
-                            "(debug/benchmark switch; results are "
-                            "byte-identical either way; per-point "
-                            "analytic work still never counts toward "
-                            "the pool floor, so combine with "
-                            "--min-pool-jobs 0 to force a pool)")
-    sweep.add_argument("--trace-tier", choices=("full", "summary", "off"),
-                       default="summary",
-                       help="estimator recording tier for simulated "
-                            "backends (default summary: identical "
-                            "results, per-kind counts only; off skips "
-                            "recording and is never cached)")
+    _add_sweep_axis_args(sweep)
     sweep.add_argument("--csv", help="write the result table to this CSV "
                                      "file")
     sweep.add_argument("--no-table", action="store_true",
                        help="suppress the ASCII result table")
     sweep.add_argument("--speedup", action="store_true",
                        help="also print per-series speedup tables")
+    sweep.add_argument("--metrics-out", metavar="FILE",
+                       help="write the sweep's metrics export here "
+                            "(.prom/.txt = Prometheus text, anything "
+                            "else = JSON)")
+
+    profile = commands.add_parser(
+        "profile", help="run a sweep under the observability harness "
+                        "and print a span-tree wall-clock breakdown")
+    _add_sweep_axis_args(profile)
+    profile.add_argument("--min-share", type=float, default=0.002,
+                         help="hide span-tree lines below this share "
+                              "of total profile time (default 0.002)")
+    profile.add_argument("--top", type=int, default=12,
+                         help="metric families to show in the summary "
+                              "(default 12; 0 = all)")
+    profile.add_argument("--metrics-out", metavar="FILE",
+                         help="write the full metrics export (plus the "
+                              "span tree, for JSON targets) here")
 
     scenarios = commands.add_parser(
         "scenarios", help="list the scenario library (parameterized "
@@ -246,10 +198,87 @@ def build_parser() -> argparse.ArgumentParser:
                        help="best-of-N timing repeats (default 3)")
     bench.add_argument("--no-pool", action="store_true",
                        help="skip the process-pool benchmark")
+    bench.add_argument("--metrics-out", metavar="FILE",
+                       help="write the run's metrics export here "
+                            "(.prom/.txt = Prometheus text, anything "
+                            "else = JSON)")
 
     info = commands.add_parser("info", help="print model statistics")
     info.add_argument("model")
     return parser
+
+
+def _add_sweep_axis_args(sub: argparse.ArgumentParser) -> None:
+    """Model-source and grid-axis flags shared by sweep and profile."""
+    sub.add_argument("model", nargs="?",
+                     help="model XML file (or use --kind/--scenario)")
+    sub.add_argument("--kind",
+                     choices=("sample", "kernel6", "kernel6-loopnest"),
+                     help="sweep a built-in model instead of a file")
+    sub.add_argument("--scenario",
+                     help="sweep a scenario from the scenario library "
+                          "(see `prophet scenarios`)")
+    sub.add_argument("--scenario-param", action="append", default=[],
+                     metavar="NAME=V1,V2,...",
+                     help="range a scenario knob over values "
+                          "(repeatable; axes are crossed; structural "
+                          "knobs rebuild the model per point)")
+    sub.add_argument("--processes", default="1",
+                     help="comma-separated process counts, e.g. 1,2,4,8")
+    sub.add_argument("--backends", default="codegen",
+                     help="comma-separated backends: analytic, codegen, "
+                          "interp")
+    sub.add_argument("--seeds", default="0",
+                     help="comma-separated simulator seeds")
+    sub.add_argument("--param", action="append", default=[],
+                     metavar="NAME=V1,V2,...",
+                     help="sweep a model global variable over values "
+                          "(repeatable; axes are crossed)")
+    sub.add_argument("--nodes", type=int,
+                     help="fixed node count (default: one node per "
+                          "process)")
+    sub.add_argument("--ppn", type=int, default=1,
+                     help="processors per node")
+    sub.add_argument("--threads", type=int, default=1,
+                     help="threads per process")
+    sub.add_argument("--placement", choices=("block", "cyclic"),
+                     default="block")
+    sub.add_argument("--latency", default="1.0e-6",
+                     help="network latency in seconds — a comma-"
+                          "separated list sweeps the axis (e.g. "
+                          "1e-7,1e-6,1e-5 for a heatmap row)")
+    sub.add_argument("--bandwidth", default="1.0e9",
+                     help="network bandwidth in bytes/s — a comma-"
+                          "separated list sweeps the axis")
+    sub.add_argument("--cache-dir",
+                     help="content-addressed result cache directory "
+                          "(created if missing; repeated sweeps are "
+                          "served from it)")
+    sub.add_argument("--jobs", type=int, default=0,
+                     help="run on a process pool with this many workers "
+                          "(0 = serial)")
+    sub.add_argument("--min-pool-jobs", type=int, default=None,
+                     metavar="N",
+                     help="fewest pending simulated points that "
+                          "justify forking the pool (default 16; "
+                          "smaller sweeps silently run serial; 0 "
+                          "forces the pool; analytic points never "
+                          "count — they run on the in-process grid "
+                          "path)")
+    sub.add_argument("--no-analytic-grid", action="store_true",
+                     help="evaluate analytic points one by one "
+                          "instead of through the grid-compiled plan "
+                          "(debug/benchmark switch; results are "
+                          "byte-identical either way; per-point "
+                          "analytic work still never counts toward "
+                          "the pool floor, so combine with "
+                          "--min-pool-jobs 0 to force a pool)")
+    sub.add_argument("--trace-tier", choices=("full", "summary", "off"),
+                     default="summary",
+                     help="estimator recording tier for simulated "
+                          "backends (default summary: identical "
+                          "results, per-kind counts only; off skips "
+                          "recording and is never cached)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -277,6 +306,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_simulate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "scenarios":
         return _cmd_scenarios(args)
     if args.command == "serve":
@@ -418,7 +449,8 @@ def _sweep_models(args):
     return [(model.name, model)]
 
 
-def _cmd_sweep(args) -> int:
+def _run_sweep_from_args(args, progress=print):
+    """Build the spec from shared sweep/profile axes and run it."""
     from repro.sweep import DEFAULT_MIN_POOL_JOBS, ResultCache, \
         SweepSpec, run_sweep
 
@@ -444,11 +476,15 @@ def _cmd_sweep(args) -> int:
     executor = "process" if args.jobs > 0 else "serial"
     min_pool_jobs = (DEFAULT_MIN_POOL_JOBS if args.min_pool_jobs is None
                      else args.min_pool_jobs)
-    result = run_sweep(spec, cache=cache, executor=executor,
-                       max_workers=args.jobs or None, progress=print,
-                       trace=args.trace_tier,
-                       analytic_grid=not args.no_analytic_grid,
-                       min_pool_jobs=min_pool_jobs)
+    return run_sweep(spec, cache=cache, executor=executor,
+                     max_workers=args.jobs or None, progress=progress,
+                     trace=args.trace_tier,
+                     analytic_grid=not args.no_analytic_grid,
+                     min_pool_jobs=min_pool_jobs)
+
+
+def _cmd_sweep(args) -> int:
+    result = _run_sweep_from_args(args)
     if not args.no_table:
         print(result.table())
         print()
@@ -461,6 +497,58 @@ def _cmd_sweep(args) -> int:
     if args.csv:
         path = result.write_csv(args.csv)
         print(f"wrote {path}")
+    if args.metrics_out:
+        from repro import obs
+        path = obs.write_metrics_file(args.metrics_out,
+                                      obs.global_registry())
+        print(f"wrote metrics to {path}")
+    return 0 if not result.failed() else 1
+
+
+def _metric_summary(exported: dict, top: int) -> str:
+    """A compact one-line-per-family view of a metrics export."""
+    lines = []
+    for name, entry in exported.items():
+        if entry["type"] == "histogram":
+            count = sum(s["count"] for s in entry["series"])
+            total = sum(s["sum"] for s in entry["series"])
+            value = f"{count} obs, sum {total:.6g}"
+        else:
+            value = f"{sum(s['value'] for s in entry['series']):g}"
+            if len(entry["series"]) > 1:
+                value += f" over {len(entry['series'])} series"
+        lines.append((name, value))
+    if top > 0:
+        lines = lines[:top]
+    width = max((len(name) for name, _ in lines), default=0)
+    return "\n".join(f"  {name:<{width}}  {value}"
+                     for name, value in lines)
+
+
+def _cmd_profile(args) -> int:
+    from repro import obs
+
+    # A pool would hide worker time from the (process-local) profiler;
+    # profiling still honors --jobs for A/B runs, but the default serial
+    # run is what the span tree fully explains.
+    obs.global_registry().reset()
+    with obs.detail(), obs.profiling() as profiler:
+        result = _run_sweep_from_args(args, progress=lambda *_: None)
+    print(result.summary())
+    print()
+    print(profiler.render(min_share=args.min_share))
+    exported = obs.export_json(obs.global_registry())
+    if exported:
+        print()
+        shown = len(exported) if args.top <= 0 else min(args.top,
+                                                        len(exported))
+        print(f"metrics ({shown} of {len(exported)} families):")
+        print(_metric_summary(exported, args.top))
+    if args.metrics_out:
+        path = obs.write_metrics_file(args.metrics_out,
+                                      obs.global_registry(),
+                                      spans=profiler.to_json())
+        print(f"\nwrote metrics to {path}")
     return 0 if not result.failed() else 1
 
 
@@ -607,7 +695,8 @@ def _cmd_submit(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import run_and_report
     return run_and_report(args.output, smoke=args.smoke,
-                          repeats=args.repeats, pool=not args.no_pool)
+                          repeats=args.repeats, pool=not args.no_pool,
+                          metrics_out=args.metrics_out)
 
 
 def _cmd_info(args) -> int:

@@ -33,8 +33,10 @@ byte-identical to per-point :func:`evaluate_point` calls.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
+from repro import obs
 from repro.errors import EstimatorError
 from repro.estimator.analytic_plan import AnalyticPlan, GridPoint
 from repro.estimator.manager import PerformanceEstimator, PreparedModel
@@ -93,13 +95,25 @@ def plan_cache_stats() -> dict:
     return _PLANS.stats()
 
 
+def _memo_outcomes(name: str, what: str):
+    """Hit/miss counter pair for one of the process-local memos."""
+    family = obs.counter(name, f"Lookups of the {what}, by outcome.",
+                         labelnames=("outcome",))
+    return family.labels("hit"), family.labels("miss")
+
+
 def _prepared(model: Model, backend: str,
               model_hash: str | None = None) -> PreparedModel:
     key = (model_hash or model_structural_hash(model), backend)
+    hit, miss = _memo_outcomes("prepared_cache_total",
+                               "prepared-model memo")
     prepared = _PREPARED.get(key)
     if prepared is None:
+        miss.inc()
         prepared = PerformanceEstimator().prepare(model, mode=backend)
         _PREPARED.put(key, prepared)
+    else:
+        hit.inc()
     return prepared
 
 
@@ -138,7 +152,18 @@ def evaluate_point(model: Model, backend: str,
         ModelChecker().assert_valid(model)
     if backend == "analytic":
         from repro.estimator.analytic import evaluate_analytically
-        result = evaluate_analytically(model, params, network)
+        with obs.span("estimator.run", backend=backend,
+                      model=model.name):
+            start = time.perf_counter()
+            result = evaluate_analytically(model, params, network)
+            obs.histogram(
+                "estimator_evaluate_seconds",
+                "Wall time of one backend evaluation.",
+                obs.LATENCY_BUCKETS_S, labelnames=("backend",),
+            ).labels(backend).observe(time.perf_counter() - start)
+        obs.counter("estimator_runs_total",
+                    "Completed estimator evaluations.",
+                    labelnames=("backend",)).labels(backend).inc()
         return {
             "predicted_time": result.makespan,
             "events": 0,
@@ -165,10 +190,22 @@ def analytic_plan(model: Model,
     compilation per model structure per process.
     """
     key = model_hash or model_structural_hash(model)
+    hit, miss = _memo_outcomes("plan_cache_total",
+                               "compiled analytic-plan memo")
     plan = _PLANS.get(key)
     if plan is None:
-        plan = AnalyticPlan(model)
+        miss.inc()
+        with obs.span("analytic.compile", model=model.name):
+            start = time.perf_counter()
+            plan = AnalyticPlan(model)
+            obs.histogram(
+                "estimator_prepare_seconds",
+                "Wall time of one model transformation (prepare).",
+                obs.LATENCY_BUCKETS_S, labelnames=("backend",),
+            ).labels("analytic").observe(time.perf_counter() - start)
         _PLANS.put(key, plan)
+    else:
+        hit.inc()
     return plan
 
 
@@ -192,9 +229,23 @@ def evaluate_grid(model: Model, points: Sequence[GridPoint],
         from repro.checker import ModelChecker
         ModelChecker().assert_valid(model)
     plan = analytic_plan(model, model_hash)
+    obs.counter("analytic_grid_groups_total",
+                "Grid-compiled analytic evaluations (one per "
+                "model-structure group).").inc()
+    obs.histogram("analytic_grid_group_points",
+                  "Points evaluated by one grid-compiled replay.",
+                  obs.SIZE_BUCKETS).observe(len(points))
+    with obs.span("analytic.grid", model=model.name,
+                  points=len(points)):
+        start = time.perf_counter()
+        makespans = plan.grid_makespans(points)
+        obs.histogram(
+            "analytic_grid_seconds",
+            "Wall time of one grid-compiled replay over a point group.",
+            obs.LATENCY_BUCKETS_S).observe(time.perf_counter() - start)
     return [{
         "predicted_time": makespan,
         "events": 0,
         "trace_records": 0,
         "backend": "analytic",
-    } for makespan in plan.grid_makespans(points)]
+    } for makespan in makespans]

@@ -9,9 +9,11 @@ statistics).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.errors import EstimatorError
 from repro.machine.cluster import Cluster
 from repro.machine.network import NetworkConfig
@@ -133,14 +135,22 @@ class PerformanceEstimator:
     def prepare(self, model: Model,
                 mode: str = "codegen") -> PreparedModel:
         """One-time transformation of ``model`` into an evaluable form."""
-        if mode == "codegen":
-            entry, init_globals = self._prepare_codegen(model)
-        elif mode == "interp":
-            entry, init_globals = self._prepare_interp(model)
-        else:
-            raise EstimatorError(
-                f"unknown evaluation mode {mode!r} "
-                "(expected 'codegen' or 'interp')")
+        with obs.span("estimator.prepare", backend=mode,
+                      model=model.name):
+            start = time.perf_counter()
+            if mode == "codegen":
+                entry, init_globals = self._prepare_codegen(model)
+            elif mode == "interp":
+                entry, init_globals = self._prepare_interp(model)
+            else:
+                raise EstimatorError(
+                    f"unknown evaluation mode {mode!r} "
+                    "(expected 'codegen' or 'interp')")
+            obs.histogram(
+                "estimator_prepare_seconds",
+                "Wall time of one model transformation (prepare).",
+                obs.LATENCY_BUCKETS_S, labelnames=("backend",),
+            ).labels(mode).observe(time.perf_counter() - start)
         return PreparedModel(model.name, mode, entry, init_globals)
 
     def run_prepared(self, prepared: PreparedModel) -> EstimationResult:
@@ -168,6 +178,30 @@ class PerformanceEstimator:
 
     def _run(self, model_name: str, entry, init_globals,
              mode: str) -> EstimationResult:
+        with obs.span("estimator.run", backend=mode, model=model_name):
+            start = time.perf_counter()
+            result = self._run_body(model_name, entry, init_globals,
+                                    mode)
+            obs.histogram(
+                "estimator_evaluate_seconds",
+                "Wall time of one backend evaluation.",
+                obs.LATENCY_BUCKETS_S, labelnames=("backend",),
+            ).labels(mode).observe(time.perf_counter() - start)
+        obs.counter("estimator_runs_total",
+                    "Completed estimator evaluations.",
+                    labelnames=("backend",)).labels(mode).inc()
+        if obs.detail_enabled() and result.trace_counts:
+            ops = obs.counter(
+                "sim_ops_total",
+                "Workload operations recorded per trace kind "
+                "(detail-gated; requires a counting trace tier).",
+                labelnames=("kind",))
+            for kind, count in result.trace_counts.items():
+                ops.labels(kind).inc(count)
+        return result
+
+    def _run_body(self, model_name: str, entry, init_globals,
+                  mode: str) -> EstimationResult:
         sim = Simulation()
         cluster = Cluster(sim, self.params, self.network)
         comm = Communicator(sim, cluster)

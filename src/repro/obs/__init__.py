@@ -1,0 +1,62 @@
+"""``repro.obs`` — observability for the predictor itself.
+
+Metrics (counters, gauges, fixed-bucket histograms), span-based wall
+-clock profiling, and deterministic Prometheus/JSON exports.  See
+:mod:`repro.obs.metrics` for the cost discipline (operation-boundary
+updates, the hot-path *detail* gate) and :mod:`repro.obs.spans` for
+the profiler contract.
+
+Quick tour::
+
+    from repro import obs
+
+    requests = obs.counter("my_requests_total", "Requests handled.",
+                           labelnames=("route",))
+    requests.labels("evaluate").inc()
+
+    with obs.span("serve.batch", backend="codegen"):
+        ...                        # recorded when a profiler is active
+
+    text = obs.render_prometheus(obs.global_registry())
+"""
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    MetricFamily,
+    MetricsRegistry,
+    NAMESPACE,
+    ObservabilityError,
+    RATIO_BUCKETS,
+    SIZE_BUCKETS,
+    counter,
+    detail,
+    detail_enabled,
+    deterministic_view,
+    export_json,
+    gauge,
+    global_registry,
+    histogram,
+    render_prometheus,
+    set_detail,
+    write_metrics_file,
+)
+from repro.obs.spans import (
+    AggregateSpan,
+    Profiler,
+    SpanNode,
+    active_profiler,
+    install_profiler,
+    profiling,
+    span,
+)
+
+__all__ = [
+    "AggregateSpan", "COUNT_BUCKETS", "LATENCY_BUCKETS_S",
+    "MetricFamily", "MetricsRegistry", "NAMESPACE",
+    "ObservabilityError", "Profiler", "RATIO_BUCKETS", "SIZE_BUCKETS",
+    "SpanNode", "active_profiler", "counter", "detail",
+    "detail_enabled", "deterministic_view", "export_json", "gauge",
+    "global_registry", "histogram", "install_profiler", "profiling",
+    "render_prometheus", "set_detail", "span", "write_metrics_file",
+]

@@ -1,0 +1,247 @@
+"""Span-based timing: where did the wall clock go, as a tree.
+
+A *span* is a named interval with children — the predictor's own trace
+file, except over real time instead of simulated time.  The default
+recorder is a shared no-op object, so ``with obs.span("..."):`` in a
+hot path costs one module-global read and two no-op calls unless a
+:class:`Profiler` is installed (``prophet profile`` installs one around
+a sweep; tests install one around whatever they measure).
+
+Rendering aggregates sibling spans by name — a sweep's 48 ``job`` spans
+collapse into one line with a count, total, and share of the parent —
+which is what makes the tree readable at sweep scale.
+
+The profiler is process-local and single-threaded by design: spans
+nest via a plain stack, matching how the CLI drives the pipeline.  Pool
+workers run in other processes and do not report spans (their work
+shows up as the parent's ``dispatch`` span); the profile CLI therefore
+runs sweeps on the serial executor unless told otherwise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.obs.metrics import ObservabilityError
+
+
+class SpanNode:
+    """One recorded interval; children are spans opened inside it."""
+
+    __slots__ = ("name", "meta", "start", "end", "children")
+
+    def __init__(self, name: str, meta: dict | None = None) -> None:
+        self.name = name
+        self.meta = meta or {}
+        self.start = 0.0
+        self.end = 0.0
+        self.children: list[SpanNode] = []
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_json(self) -> dict:
+        payload: dict = {"name": self.name,
+                         "duration_s": round(self.duration, 6)}
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        if self.children:
+            payload["children"] = [c.to_json() for c in self.children]
+        return payload
+
+
+class _ActiveSpan:
+    """Context manager binding one :class:`SpanNode` to a profiler."""
+
+    __slots__ = ("_profiler", "_node")
+
+    def __init__(self, profiler: "Profiler", node: SpanNode) -> None:
+        self._profiler = profiler
+        self._node = node
+
+    def __enter__(self) -> SpanNode:
+        self._profiler._push(self._node)
+        return self._node
+
+    def __exit__(self, *exc_info) -> bool:
+        self._profiler._pop(self._node)
+        return False
+
+
+class _NoopSpan:
+    """The default recorder: enter/exit do nothing, meta is dropped."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Profiler:
+    """Collects a span tree via a stack of open spans."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter
+                 ) -> None:
+        self._clock = clock
+        self.roots: list[SpanNode] = []
+        self._stack: list[SpanNode] = []
+
+    def span(self, name: str, **meta) -> _ActiveSpan:
+        return _ActiveSpan(self, SpanNode(name, meta))
+
+    def _push(self, node: SpanNode) -> None:
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        node.start = self._clock()
+
+    def _pop(self, node: SpanNode) -> None:
+        node.end = self._clock()
+        if not self._stack or self._stack[-1] is not node:
+            raise ObservabilityError(
+                f"span {node.name!r} closed out of order")
+        self._stack.pop()
+
+    # -- reporting -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {"spans": [root.to_json() for root in self.roots]}
+
+    def aggregate(self) -> list["AggregateSpan"]:
+        return _aggregate(self.roots)
+
+    def render(self, min_share: float = 0.002) -> str:
+        """The aggregated span tree as aligned text.
+
+        ``min_share`` hides aggregate lines below that share of the
+        whole profile (their time still counts in their parent).
+        """
+        aggregates = self.aggregate()
+        total = sum(a.total for a in aggregates) or 1.0
+        lines = [f"profile: {total:.4f} s total"]
+
+        def walk(nodes: list[AggregateSpan], prefix: str,
+                 parent_total: float) -> None:
+            visible = [n for n in nodes if n.total / total >= min_share]
+            hidden = len(nodes) - len(visible)
+            for position, node in enumerate(visible):
+                last = (position == len(visible) - 1) and not hidden
+                branch = "└─ " if last else "├─ "
+                count = f" ×{node.count}" if node.count > 1 else ""
+                share = node.total / parent_total if parent_total else 0
+                label = f"{prefix}{branch}{node.label}{count}"
+                lines.append(f"{label:<52} {node.total:>9.4f} s "
+                             f"{share:>6.1%}")
+                walk(node.children,
+                     prefix + ("   " if last else "│  "), node.total)
+            if hidden:
+                lines.append(f"{prefix}└─ … {hidden} more under "
+                             f"{min_share:.1%}")
+
+        walk(aggregates, "", total)
+        return "\n".join(lines)
+
+
+class AggregateSpan:
+    """Sibling spans of one name, merged: count, total, merged children."""
+
+    __slots__ = ("name", "meta_tag", "count", "total", "children")
+
+    def __init__(self, name: str, meta_tag: str) -> None:
+        self.name = name
+        self.meta_tag = meta_tag
+        self.count = 0
+        self.total = 0.0
+        self.children: list[AggregateSpan] = []
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}[{self.meta_tag}]" if self.meta_tag \
+            else self.name
+
+
+def _aggregate(nodes: list[SpanNode]) -> list[AggregateSpan]:
+    """Merge sibling spans by (name, distinguishing meta), keep order
+    of first appearance, sort by total descending."""
+    merged: dict[tuple[str, str], AggregateSpan] = {}
+    for node in nodes:
+        # The aggregation key keeps low-cardinality meta (backend,
+        # executor) visible while folding per-item meta (index, hash).
+        tag = str(node.meta.get("group", node.meta.get(
+            "backend", node.meta.get("executor", ""))))
+        key = (node.name, tag)
+        aggregate = merged.get(key)
+        if aggregate is None:
+            aggregate = merged[key] = AggregateSpan(node.name, tag)
+        aggregate.count += 1
+        aggregate.total += node.duration
+        aggregate.children.extend([])  # children merged below
+    for key, aggregate in merged.items():
+        children: list[SpanNode] = []
+        for node in nodes:
+            tag = str(node.meta.get("group", node.meta.get(
+                "backend", node.meta.get("executor", ""))))
+            if (node.name, tag) == key:
+                children.extend(node.children)
+        aggregate.children = _aggregate(children)
+    return sorted(merged.values(), key=lambda a: -a.total)
+
+
+# -- the active profiler ------------------------------------------------------
+
+_ACTIVE: Profiler | None = None
+
+
+def active_profiler() -> Profiler | None:
+    return _ACTIVE
+
+
+def install_profiler(profiler: Profiler | None) -> Profiler | None:
+    """Install (or clear, with ``None``) the active profiler; returns
+    the previous one."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, profiler
+    return previous
+
+
+def span(name: str, **meta):
+    """``with obs.span("sweep.dispatch", executor="serial"):`` — a
+    recorded interval when a profiler is active, a shared no-op
+    otherwise."""
+    profiler = _ACTIVE
+    if profiler is None:
+        return _NOOP_SPAN
+    return profiler.span(name, **meta)
+
+
+class profiling:
+    """``with obs.profiling() as profiler:`` — install a fresh
+    :class:`Profiler` for the block, restore the previous one after."""
+
+    def __init__(self) -> None:
+        self.profiler = Profiler()
+        self._previous: Profiler | None = None
+
+    def __enter__(self) -> Profiler:
+        self._previous = install_profiler(self.profiler)
+        return self.profiler
+
+    def __exit__(self, *exc_info) -> bool:
+        install_profiler(self._previous)
+        return False
+
+
+__all__ = [
+    "AggregateSpan", "Profiler", "SpanNode", "active_profiler",
+    "install_profiler", "profiling", "span",
+]

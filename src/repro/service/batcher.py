@@ -28,9 +28,11 @@ runner's per-job error capture.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.errors import ProphetError
 from repro.service.registry import ModelRegistry
 from repro.service.request import EvaluationRequest
@@ -71,6 +73,19 @@ class BatchPlan:
 def plan_batch(requests: Sequence[EvaluationRequest],
                registry: ModelRegistry) -> BatchPlan:
     """Resolve, deduplicate, and order a batch into a :class:`BatchPlan`."""
+    start = time.perf_counter()
+    with obs.span("service.plan_batch", requests=len(requests)):
+        plan = _plan_batch(requests, registry)
+    obs.histogram("service_plan_seconds",
+                  "Wall time of batch planning (resolve + coalesce "
+                  "+ group).",
+                  obs.LATENCY_BUCKETS_S).observe(
+                      time.perf_counter() - start)
+    return plan
+
+
+def _plan_batch(requests: Sequence[EvaluationRequest],
+                registry: ModelRegistry) -> BatchPlan:
     plan = BatchPlan()
     # Provisional jobs in arrival order; keyed for coalescing by the
     # same content address the result cache uses.

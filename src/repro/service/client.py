@@ -37,6 +37,25 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._get("/stats")
 
+    def metrics(self) -> dict:
+        """The service's metric registries as structured JSON."""
+        return self._get("/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """The service's metrics in Prometheus text exposition format."""
+        request = urllib.request.Request(self.base_url + "/metrics")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceClientError(
+                f"service error ({exc.code})") from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceClientError(
+                f"cannot reach service at {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}") from exc
+
     def list_models(self) -> list[dict]:
         return self._get("/models")["models"]
 

@@ -9,12 +9,23 @@ Endpoints::
     POST /evaluate          {"requests": [{...}, ...]} → per-request
                             results + batch stats (see repro.service)
     GET  /stats             service-lifetime counters
+    GET  /metrics           Prometheus text exposition by default;
+                            ``?format=json`` (or ``Accept:
+                            application/json``) returns the same
+                            registry content as structured JSON
 
-Every response body is JSON.  Client errors (malformed JSON, unknown
-fields, unknown refs) return 400 with ``{"error": ...}``; unknown paths
-return 404; evaluation *failures* are not HTTP errors — they come back
-as per-request ``{"status": "error"}`` entries in a 200 batch, exactly
-like the sweep engine captures per-job failures.
+Every response body is JSON except the Prometheus exposition.  Client
+errors (malformed JSON, unknown fields, unknown refs) return 400 with
+``{"error": ...}``; unknown paths return 404; unsupported methods
+return 501 — all with JSON bodies, never ``http.server``'s stock HTML
+error pages.  Evaluation *failures* are not HTTP errors — they come
+back as per-request ``{"status": "error"}`` entries in a 200 batch,
+exactly like the sweep engine captures per-job failures.
+
+A handler that raises after computing part of a response still yields a
+well-formed ``500 {"error": ...}`` reply — and if the failure happens
+*after* the response headers already went out, the connection is closed
+instead of double-sending (the one case no status code can fix).
 
 The server is a ``ThreadingHTTPServer`` so a slow batch does not block
 health checks; the service itself serializes batch execution.
@@ -23,8 +34,11 @@ health checks; the service itself serializes batch execution.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
+from repro import obs
 from repro.errors import ProphetError
 from repro.service.request import requests_from_payload
 from repro.service.service import EvaluationService
@@ -33,6 +47,9 @@ from repro.service.service import EvaluationService
 #: comfortably, while an accidental model-XML-as-body upload of
 #: hundreds of MB is refused instead of buffered.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Prometheus text exposition content type.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -44,35 +61,107 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- routing -------------------------------------------------------------
 
+    #: path → handler attribute name, per method.  Route labels on the
+    #: request metrics come from this table, so label cardinality is
+    #: bounded by the API surface, not by client-supplied paths.
+    ROUTES = {
+        "GET": {"/health": "_get_health",
+                "/models": "_get_models",
+                "/stats": "_get_stats",
+                "/metrics": "_get_metrics"},
+        "POST": {"/models": "_post_models",
+                 "/evaluate": "_post_evaluate"},
+    }
+
     def do_GET(self) -> None:  # noqa: N802 — http.server API
-        try:
-            if self.path == "/health":
-                self._reply(200, {"status": "ok",
-                                  "models": len(self.service.registry)})
-            elif self.path == "/models":
-                self._reply(200, {"models": [
-                    record.to_payload()
-                    for record in self.service.registry.records()]})
-            elif self.path == "/stats":
-                self._reply(200, self.service.stats())
-            else:
-                self._reply(404, {"error": f"unknown path {self.path!r}"})
-        except ProphetError as exc:
-            self._reply(400, {"error": str(exc)})
-        except Exception as exc:  # noqa: BLE001 — the server must survive
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        if self.path == "/models":
-            self._handle(self._post_models)
-        elif self.path == "/evaluate":
-            self._handle(self._post_evaluate)
-        else:
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
+        self._dispatch("POST")
 
-    # -- handlers ------------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        self._response_sent = False
+        start = time.perf_counter()
+        route = "unknown"
+        status = 500
+        try:
+            path = urlsplit(self.path).path
+            handler_name = self.ROUTES[method].get(path)
+            if handler_name is None:
+                status = 404
+                self._reply(404, {"error": f"unknown path {path!r}"})
+                return
+            route = path
+            try:
+                status = getattr(self, handler_name)()
+            except ProphetError as exc:
+                status = 400
+                self._reply(400, {"error": str(exc)})
+            except Exception as exc:  # noqa: BLE001 — must survive
+                status = 500
+                if self._response_sent:
+                    # Headers are gone; the only honest move is to
+                    # drop the connection rather than append a second
+                    # response the client would misparse.
+                    self.close_connection = True
+                else:
+                    self._reply(
+                        500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self._observe(method, route, status,
+                          time.perf_counter() - start)
 
-    def _post_models(self, body: dict) -> None:
+    def _observe(self, method: str, route: str, status: int,
+                 elapsed: float) -> None:
+        try:
+            registry = self.service.metrics
+            registry.counter(
+                "http_requests_total", "HTTP requests served.",
+                labelnames=("method", "route", "status"),
+            ).labels(method, route, status).inc()
+            registry.histogram(
+                "http_request_seconds", "HTTP request wall time.",
+                obs.LATENCY_BUCKETS_S, labelnames=("route",),
+            ).labels(route).observe(elapsed)
+        except Exception:  # noqa: BLE001 — metrics never break serving
+            pass
+
+    # -- handlers (each returns the HTTP status it sent) ---------------------
+
+    def _get_health(self) -> int:
+        return self._reply(200, {"status": "ok",
+                                 "models": len(self.service.registry)})
+
+    def _get_models(self) -> int:
+        return self._reply(200, {"models": [
+            record.to_payload()
+            for record in self.service.registry.records()]})
+
+    def _get_stats(self) -> int:
+        return self._reply(200, self.service.stats())
+
+    def _get_metrics(self) -> int:
+        registries = self.service.metric_registries()
+        if self._wants_json():
+            return self._reply(200, obs.export_json(*registries))
+        text = obs.render_prometheus(*registries)
+        return self._reply_raw(200, text.encode("utf-8"),
+                               PROMETHEUS_CONTENT_TYPE)
+
+    def _wants_json(self) -> bool:
+        query = parse_qs(urlsplit(self.path).query)
+        fmt = (query.get("format") or [""])[0].lower()
+        if fmt:
+            if fmt not in ("json", "prometheus", "text"):
+                raise ProphetError(
+                    f"unknown metrics format {fmt!r} "
+                    "(expected 'json', 'prometheus', or 'text')")
+            return fmt == "json"
+        accept = self.headers.get("Accept") or ""
+        return "application/json" in accept
+
+    def _post_models(self) -> int:
+        body = self._read_json()
         label = body.get("label")
         if label is not None and not isinstance(label, str):
             raise ProphetError(f"label must be a string, got {label!r}")
@@ -84,23 +173,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ProphetError(
                 "ingest body needs either 'xml' (a model document) or "
                 "'sample' (a built-in model kind)")
-        self._reply(200, {"model": record.to_payload()})
+        return self._reply(200, {"model": record.to_payload()})
 
-    def _post_evaluate(self, body: dict) -> None:
+    def _post_evaluate(self) -> int:
+        body = self._read_json()
         requests = requests_from_payload(body.get("requests"))
         response = self.service.submit(requests)
-        self._reply(200, response.to_payload())
+        return self._reply(200, response.to_payload())
 
     # -- plumbing ------------------------------------------------------------
-
-    def _handle(self, handler) -> None:
-        try:
-            body = self._read_json()
-            handler(body)
-        except ProphetError as exc:
-            self._reply(400, {"error": str(exc)})
-        except Exception as exc:  # noqa: BLE001 — the server must survive
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def _read_json(self) -> dict:
         try:
@@ -122,13 +203,34 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ProphetError("request body must be a JSON object")
         return body
 
-    def _reply(self, status: int, payload: dict) -> None:
-        data = json.dumps(payload).encode("utf-8")
+    def _reply(self, status: int, payload: dict) -> int:
+        return self._reply_raw(status, json.dumps(payload).encode("utf-8"),
+                               "application/json")
+
+    def _reply_raw(self, status: int, data: bytes,
+                   content_type: str) -> int:
+        self._response_sent = True
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
+        return status
+
+    def send_error(self, code, message=None, explain=None):  # noqa: D102
+        # http.server calls this for protocol-level failures we never
+        # routed (unsupported method → 501, bad request line → 400).
+        # Keep the wire contract: every error body is JSON.
+        if getattr(self, "_response_sent", False):
+            self.close_connection = True
+            return
+        detail = message or self.responses.get(code, ("", ""))[0]
+        body = {"error": f"{detail}" if detail else f"HTTP {code}"}
+        try:
+            self._reply(code, body)
+        except OSError:
+            pass
+        self.close_connection = True
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.quiet:
@@ -148,4 +250,5 @@ def make_server(service: EvaluationService, host: str = "127.0.0.1",
     return ThreadingHTTPServer((host, port), handler)
 
 
-__all__ = ["MAX_BODY_BYTES", "ServiceRequestHandler", "make_server"]
+__all__ = ["MAX_BODY_BYTES", "PROMETHEUS_CONTENT_TYPE",
+           "ServiceRequestHandler", "make_server"]

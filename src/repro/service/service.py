@@ -19,10 +19,12 @@ submissions, executors, and service restarts.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.estimator.backends import (plan_cache_stats,
                                       prepared_cache_stats)
 from repro.estimator.trace import validate_trace_tier
@@ -82,9 +84,12 @@ class EvaluationService:
         # default (byte-identical payloads; a kill switch for A/B
         # comparison and debugging).
         self.analytic_grid = analytic_grid
-        self.batches_served = 0
-        self.requests_served = 0
-        self.coalesced_total = 0
+        # Per-instance registry: several services can coexist in one
+        # process (tests do this constantly), so lifetime counters like
+        # batches_served must not share process-global state.  Layer
+        # metrics (sim/estimator/sweep/cache) still land on the global
+        # registry; ``metric_registries()`` exposes both for /metrics.
+        self.metrics = obs.MetricsRegistry()
         # One batch at a time: the batcher/pool parallelize *inside* a
         # batch; interleaving batches would only thrash the memos.
         self._submit_lock = threading.Lock()
@@ -108,6 +113,17 @@ class EvaluationService:
 
     def _submit_locked(self, requests: list[EvaluationRequest]
                        ) -> BatchResponse:
+        start = time.perf_counter()
+        with obs.span("service.submit", requests=len(requests)):
+            response = self._submit_body(requests)
+        self.metrics.histogram(
+            "service_submit_seconds",
+            "Wall time of one submitted batch, end to end.",
+            obs.LATENCY_BUCKETS_S).observe(time.perf_counter() - start)
+        return response
+
+    def _submit_body(self, requests: list[EvaluationRequest]
+                     ) -> BatchResponse:
         plan = plan_batch(requests, self.registry)
         before = (self.cache.stats.snapshot() if self.cache is not None
                   else CacheStats())
@@ -149,9 +165,27 @@ class EvaluationService:
 
         delta = (self.cache.stats.since(before) if self.cache is not None
                  else CacheStats())
-        self.batches_served += 1
-        self.requests_served += plan.request_count
-        self.coalesced_total += plan.coalesced_count
+        self._counter("service_batches_total",
+                      "Batches served by this service.").inc()
+        self._counter("service_requests_total",
+                      "Requests served by this service.").inc(
+                          plan.request_count)
+        self._counter("service_coalesced_total",
+                      "Requests coalesced onto an identical sibling "
+                      "within a batch.").inc(plan.coalesced_count)
+        self._counter("service_plan_errors_total",
+                      "Requests rejected at batch planning.").inc(
+                          len(plan.errors))
+        self.metrics.histogram(
+            "service_batch_requests",
+            "Requests per submitted batch.",
+            obs.SIZE_BUCKETS).observe(plan.request_count)
+        if plan.request_count:
+            self.metrics.histogram(
+                "service_coalesce_ratio",
+                "Fraction of a batch's requests coalesced away.",
+                obs.RATIO_BUCKETS).observe(
+                    plan.coalesced_count / plan.request_count)
         stats = {
             "requests": plan.request_count,
             "unique_jobs": len(plan.jobs),
@@ -167,6 +201,39 @@ class EvaluationService:
         return BatchResponse(results=results, stats=stats)
 
     # -- introspection -------------------------------------------------------
+
+    def _counter(self, name: str, help_text: str) -> obs.MetricFamily:
+        return self.metrics.counter(name, help_text)
+
+    # Lifetime counters read straight from the per-instance registry, so
+    # /stats and /metrics can never disagree.
+
+    @property
+    def batches_served(self) -> int:
+        return int(self._counter(
+            "service_batches_total",
+            "Batches served by this service.").value)
+
+    @property
+    def requests_served(self) -> int:
+        return int(self._counter(
+            "service_requests_total",
+            "Requests served by this service.").value)
+
+    @property
+    def coalesced_total(self) -> int:
+        return int(self._counter(
+            "service_coalesced_total",
+            "Requests coalesced onto an identical sibling "
+            "within a batch.").value)
+
+    def metric_registries(self) -> tuple:
+        """Registries backing this service's ``/metrics`` payload.
+
+        The per-instance registry first (service lifetime counters),
+        then the process-global one (sim/estimator/sweep/cache layers).
+        """
+        return (self.metrics, obs.global_registry())
 
     def stats(self) -> dict:
         """Service-lifetime counters (the HTTP ``/stats`` payload)."""

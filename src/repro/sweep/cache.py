@@ -20,8 +20,21 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
+
 #: File-format marker inside each entry; bump on layout changes.
 ENTRY_FORMAT = 1
+
+
+def _lookup_outcomes():
+    """Process-wide cache counters (the per-instance :class:`CacheStats`
+    stays authoritative for per-cache reporting; these aggregate every
+    cache in the process for ``/metrics``)."""
+    family = obs.counter("result_cache_total",
+                         "Result-cache lookups, by outcome.",
+                         labelnames=("outcome",))
+    return (family.labels("hit"), family.labels("miss"),
+            family.labels("invalid"))
 
 
 @dataclass
@@ -84,14 +97,18 @@ class ResultCache:
         payload schema) is treated as corrupt — a miss, not a crash.
         """
         path = self.path_for(key)
+        hit, miss, invalid = _lookup_outcomes()
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
             self.stats.misses += 1
+            miss.inc()
             return None
         except (OSError, json.JSONDecodeError):
             self.stats.misses += 1
             self.stats.invalid += 1
+            miss.inc()
+            invalid.inc()
             return None
         payload = entry.get("payload") if isinstance(entry, dict) else None
         if not isinstance(entry, dict) \
@@ -100,8 +117,11 @@ class ResultCache:
                 or any(name not in payload for name in require):
             self.stats.misses += 1
             self.stats.invalid += 1
+            miss.inc()
+            invalid.inc()
             return None
         self.stats.hits += 1
+        hit.inc()
         return payload
 
     def put(self, key: str, payload: dict,
@@ -125,6 +145,8 @@ class ResultCache:
                 pass
             raise
         self.stats.puts += 1
+        obs.counter("result_cache_writes_total",
+                    "Result-cache entries written.").inc()
         return path
 
     def __contains__(self, key: str) -> bool:

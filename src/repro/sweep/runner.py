@@ -55,8 +55,10 @@ import dataclasses
 import inspect
 import os
 import threading
+import time
 from typing import Callable, Iterable, Sequence
 
+from repro import obs
 from repro.errors import ProphetError
 from repro.estimator.backends import (
     SIMULATED_BACKENDS,
@@ -206,6 +208,13 @@ def _run_analytic_grid(jobs: Sequence[SweepJob],
     return outcomes, len(groups)
 
 
+def _job_seconds():
+    return obs.histogram(
+        "sweep_job_seconds",
+        "Wall time of one sweep point evaluated in this process.",
+        obs.LATENCY_BUCKETS_S, labelnames=("backend",))
+
+
 class SerialExecutor:
     """Run jobs one after another in this process (the default)."""
 
@@ -213,7 +222,18 @@ class SerialExecutor:
 
     def run(self, jobs: Sequence[SweepJob],
             trace: str = "full") -> list[dict]:
-        return [execute_job(job, trace) for job in jobs]
+        if not jobs:
+            return []
+        histogram = _job_seconds()
+        outcomes = []
+        for job in jobs:
+            with obs.span("sweep.job", backend=job.backend,
+                          index=job.index):
+                start = time.perf_counter()
+                outcomes.append(execute_job(job, trace))
+                histogram.labels(job.backend).observe(
+                    time.perf_counter() - start)
+        return outcomes
 
 
 # -- shared persistent pool ---------------------------------------------------
@@ -297,10 +317,22 @@ class ProcessPoolExecutor:
 
     def _map_chunked(self, pool, jobs: Sequence[SweepJob],
                      trace: str) -> list[dict]:
-        outcomes: list[dict] = []
-        for chunk_result in pool.map(_execute_chunk,
-                                     self._chunks(jobs, trace)):
-            outcomes.extend(chunk_result)
+        chunks = self._chunks(jobs, trace)
+        obs.counter("sweep_pool_chunks_total",
+                    "Job chunks shipped to pool workers.").inc(
+            len(chunks))
+        with obs.span("sweep.pool_dispatch", executor=self.name,
+                      chunks=len(chunks)):
+            start = time.perf_counter()
+            outcomes: list[dict] = []
+            for chunk_result in pool.map(_execute_chunk, chunks):
+                outcomes.extend(chunk_result)
+            obs.histogram(
+                "sweep_pool_dispatch_seconds",
+                "Wall time of one chunked pool dispatch (ship + "
+                "evaluate + collect).",
+                obs.LATENCY_BUCKETS_S).observe(
+                time.perf_counter() - start)
         return outcomes
 
     def run(self, jobs: Sequence[SweepJob],
@@ -346,6 +378,10 @@ class ProcessPoolExecutor:
         misses = [index for index, outcome in enumerate(outcomes)
                   if outcome.get("status") == "need_model"]
         if misses:
+            obs.counter(
+                "sweep_pool_need_model_total",
+                "Jobs re-sent with XML after a worker lazy-fetch "
+                "miss.").inc(len(misses))
             # Lazy fetch: re-send just the missed jobs with their XML
             # attached; the worker parses, memoizes, and answers.
             retried = self._map_chunked(
@@ -412,14 +448,18 @@ def run_jobs(jobs: Sequence[SweepJob],
     """
     validate_trace_tier(trace)
     jobs = sorted(jobs, key=lambda job: job.index)
+    obs.counter("sweep_runs_total",
+                "run_jobs invocations (sweeps and service batches)."
+                ).inc()
 
-    keys = [job.cache_key() for job in jobs]
-    served: dict[int, dict] = {}
-    if cache is not None:
-        for job, key in zip(jobs, keys):
-            payload = cache.get(key, require=PAYLOAD_KEYS)
-            if payload is not None:
-                served[job.index] = payload
+    with obs.span("sweep.cache_lookup", points=len(jobs)):
+        keys = [job.cache_key() for job in jobs]
+        served: dict[int, dict] = {}
+        if cache is not None:
+            for job, key in zip(jobs, keys):
+                payload = cache.get(key, require=PAYLOAD_KEYS)
+                if payload is not None:
+                    served[job.index] = payload
 
     pending = [job for job in jobs if job.index not in served]
     outcomes: dict[int, dict] = {}
@@ -441,19 +481,34 @@ def run_jobs(jobs: Sequence[SweepJob],
     runner = make_executor(
         pool_dispatch(executor, simulated_jobs, min_pool_jobs),
         max_workers)
+    runner_name = getattr(runner, "name", "custom")
+    obs.counter("sweep_dispatch_total",
+                "Executor actually chosen per dispatch (after the "
+                "min-pool-jobs heuristic).",
+                labelnames=("executor",)).labels(runner_name).inc()
     if progress is not None and jobs:
         progress(f"sweep: {len(jobs)} point(s), {len(served)} cached, "
                  f"{len(pending)} to run on {getattr(runner, 'name', '?')} "
                  f"executor{grid_note} [trace={trace}]")
-    outcomes.update(zip((job.index for job in pending),
-                        _run_with_trace(runner, pending, trace)))
+    with obs.span("sweep.dispatch", executor=runner_name,
+                  jobs=len(pending)):
+        outcomes.update(zip((job.index for job in pending),
+                            _run_with_trace(runner, pending, trace)))
 
     cacheable = trace != "off"
+    job_status = obs.counter(
+        "sweep_jobs_total",
+        "Sweep points by how they were resolved.",
+        labelnames=("backend", "status"))
     results: list[JobResult] = []
     for job, key in zip(jobs, keys):
         cached = job.index in served
         outcome = served[job.index] if cached else outcomes[job.index]
         status = outcome.get("status", "error") if not cached else "ok"
+        job_status.labels(
+            job.backend,
+            "cached" if cached
+            else ("ok" if status == "ok" else "error")).inc()
         if cached or status == "ok":
             if not cached and cache is not None and cacheable:
                 cache.put(key, _payload_of(outcome),

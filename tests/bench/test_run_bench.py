@@ -4,6 +4,7 @@ import json
 
 from repro.bench import (
     BENCH_SCHEMA,
+    OBS_OVERHEAD_BUDGET,
     PRE_PR_REFERENCE,
     append_snapshot,
     render,
@@ -33,6 +34,14 @@ def test_smoke_snapshot_shape(tmp_path):
     assert grid["points_per_s_grid"] > 0
     assert grid["points_per_s_per_point"] > 0
     assert grid["speedup_grid_vs_per_point"] > 0
+
+    overhead = snapshot["benchmarks"]["obs_overhead_cold_sweep"]
+    assert overhead["wall_s_uninstrumented"] > 0
+    assert overhead["wall_s_instrumented"] > 0
+    assert overhead["budget_ratio"] == OBS_OVERHEAD_BUDGET
+    # run_benchmarks itself raises past the budget; re-assert the
+    # recorded ratio so the snapshot can't contradict the gate.
+    assert overhead["overhead_ratio"] <= OBS_OVERHEAD_BUDGET
 
     path = append_snapshot(snapshot, tmp_path / "BENCH_estimator.json")
     data = json.loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,60 @@
+"""``prophet profile`` and the ``--metrics-out`` plumbing."""
+
+import json
+
+from repro.cli import main
+
+
+class TestProfileCommand:
+    def test_prints_span_tree_and_metric_summary(self, capsys):
+        code = main(["profile", "--kind", "kernel6",
+                     "--processes", "1,2",
+                     "--backends", "analytic,codegen"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 point(s), 4 ok" in out
+        assert "profile:" in out                  # span tree header
+        assert "sweep.dispatch" in out
+        assert "estimator.run[codegen]" in out
+        assert "metrics (" in out
+        assert "prophet_sim_events_total" in out
+
+    def test_metrics_out_json_includes_spans(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        code = main(["profile", "--kind", "kernel6",
+                     "--processes", "2", "--backends", "codegen",
+                     "--metrics-out", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert "prophet_sim_events_total" in payload["metrics"]
+        names = {span["name"] for span in payload["spans"]["spans"]}
+        assert "sweep.dispatch" in names
+
+    def test_failing_point_sets_exit_code(self, capsys):
+        code = main(["profile", "--kind", "kernel6",
+                     "--processes", "1", "--backends", "analytic",
+                     "--param", "C6=-1"])
+        assert code == 1
+
+
+class TestSweepMetricsOut:
+    def test_prometheus_file(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.prom"
+        code = main(["sweep", "--kind", "kernel6",
+                     "--processes", "1,2", "--backends", "analytic",
+                     "--no-table", "--metrics-out", str(out_path)])
+        assert code == 0
+        text = out_path.read_text()
+        assert "# TYPE prophet_sweep_runs_total counter" in text
+        assert "prophet_plan_cache_total" in text
+
+    def test_json_file_has_no_spans_without_profiler(self, tmp_path,
+                                                     capsys):
+        out_path = tmp_path / "sweep.json"
+        code = main(["sweep", "--kind", "kernel6",
+                     "--processes", "1", "--backends", "analytic",
+                     "--no-table", "--metrics-out", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert "metrics" in payload
+        assert "spans" not in payload

@@ -1,0 +1,246 @@
+"""The metrics registry: semantics, exports, and the detail gate."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    ObservabilityError,
+    deterministic_view,
+    export_json,
+    render_prometheus,
+    write_metrics_file,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        counter = registry.counter("ticks_total", "Ticks.")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3.0
+
+    def test_negative_inc_rejected(self, registry):
+        counter = registry.counter("ticks_total", "Ticks.")
+        with pytest.raises(ObservabilityError, match="only go up"):
+            counter.inc(-1)
+
+    def test_labels_create_independent_children(self, registry):
+        family = registry.counter("jobs_total", "Jobs.",
+                                  labelnames=("status",))
+        family.labels("ok").inc(5)
+        family.labels("error").inc()
+        assert family.labels("ok").value == 5.0
+        assert family.labels("error").value == 1.0
+
+    def test_label_values_stringified(self, registry):
+        family = registry.counter("codes_total", "Codes.",
+                                  labelnames=("code",))
+        family.labels(404).inc()
+        assert family.labels("404").value == 1.0
+
+    def test_create_or_get_returns_same_family(self, registry):
+        first = registry.counter("x_total", "X.")
+        second = registry.counter("x_total", "X.")
+        assert first is second
+
+    def test_type_mismatch_rejected(self, registry):
+        registry.counter("x_total", "X.")
+        with pytest.raises(ObservabilityError, match="registered as"):
+            registry.gauge("x_total", "X.")
+
+    def test_labelnames_mismatch_rejected(self, registry):
+        registry.counter("x_total", "X.", labelnames=("a",))
+        with pytest.raises(ObservabilityError, match="label"):
+            registry.counter("x_total", "X.", labelnames=("b",))
+
+    def test_wrong_label_arity_rejected(self, registry):
+        family = registry.counter("x_total", "X.", labelnames=("a", "b"))
+        with pytest.raises(ObservabilityError, match="label"):
+            family.labels("only-one")
+
+    def test_unlabeled_family_rejects_labels_call(self, registry):
+        family = registry.counter("x_total", "X.")
+        with pytest.raises(ObservabilityError, match="label"):
+            family.labels("a")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("depth", "Depth.")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6.0
+
+    def test_set_max_is_a_ratchet(self, registry):
+        gauge = registry.gauge("peak", "Peak.")
+        gauge.set_max(3)
+        gauge.set_max(1)
+        assert gauge.value == 3.0
+        gauge.set_max(7)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        histogram = registry.histogram("size", "Size.", (1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        child = histogram.children()[0]
+        assert child.bucket_counts == [1, 1, 1]  # ≤1, ≤10, +Inf
+        assert child.count == 3
+        assert child.sum == pytest.approx(55.5)
+
+    def test_bucket_boundary_is_inclusive(self, registry):
+        histogram = registry.histogram("size", "Size.", (1.0, 10.0))
+        histogram.observe(1.0)
+        assert histogram.children()[0].bucket_counts == [1, 0, 0]
+
+    def test_bucket_mismatch_rejected(self, registry):
+        registry.histogram("size", "Size.", (1.0, 2.0))
+        with pytest.raises(ObservabilityError, match="bucket"):
+            registry.histogram("size", "Size.", (1.0, 3.0))
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ObservabilityError, match="sorted"):
+            registry.histogram("size", "Size.", (2.0, 1.0))
+
+    def test_fixed_layouts_are_increasing(self):
+        for layout in (LATENCY_BUCKETS_S, COUNT_BUCKETS,
+                       obs.SIZE_BUCKETS, obs.RATIO_BUCKETS):
+            assert list(layout) == sorted(layout)
+            assert len(set(layout)) == len(layout)
+
+
+class TestPrometheusRender:
+    def test_counter_lines(self, registry):
+        registry.counter("runs_total", "Completed runs.").inc(3)
+        text = render_prometheus(registry)
+        assert "# HELP prophet_runs_total Completed runs." in text
+        assert "# TYPE prophet_runs_total counter" in text
+        assert "prophet_runs_total 3" in text
+
+    def test_labeled_series_sorted_by_label_values(self, registry):
+        family = registry.counter("jobs_total", "Jobs.",
+                                  labelnames=("backend",))
+        family.labels("interp").inc()
+        family.labels("analytic").inc()
+        text = render_prometheus(registry)
+        analytic = text.index('backend="analytic"')
+        interp = text.index('backend="interp"')
+        assert analytic < interp
+
+    def test_histogram_exposition_shape(self, registry):
+        histogram = registry.histogram("lat", "Latency.", (0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = render_prometheus(registry)
+        assert 'prophet_lat_bucket{le="0.1"} 1' in text
+        assert 'prophet_lat_bucket{le="1"} 2' in text
+        assert 'prophet_lat_bucket{le="+Inf"} 2' in text
+        assert "prophet_lat_sum 0.55" in text
+        assert "prophet_lat_count 2" in text
+
+    def test_families_sorted_by_name(self, registry):
+        registry.counter("zeta_total", "Z.").inc()
+        registry.counter("alpha_total", "A.").inc()
+        text = render_prometheus(registry)
+        assert text.index("prophet_alpha_total") < \
+            text.index("prophet_zeta_total")
+
+    def test_multiple_registries_merge(self, registry):
+        other = MetricsRegistry()
+        registry.counter("a_total", "A.").inc()
+        other.counter("b_total", "B.").inc()
+        text = render_prometheus(registry, other)
+        assert "prophet_a_total" in text
+        assert "prophet_b_total" in text
+
+    def test_duplicate_family_across_registries_raises(self, registry):
+        other = MetricsRegistry()
+        registry.counter("a_total", "A.").inc()
+        other.counter("a_total", "A.").inc()
+        with pytest.raises(ObservabilityError, match="more than one"):
+            render_prometheus(registry, other)
+
+
+class TestJsonExport:
+    def test_layout(self, registry):
+        registry.counter("runs_total", "Runs.").inc(2)
+        registry.histogram("lat", "Latency.", (1.0,)).observe(0.5)
+        exported = export_json(registry)
+        assert exported["prophet_runs_total"] == {
+            "type": "counter", "help": "Runs.",
+            "series": [{"labels": {}, "value": 2.0}]}
+        lat = exported["prophet_lat"]
+        assert lat["buckets"] == [1.0]
+        assert lat["series"][0]["bucket_counts"] == [1, 0]
+        assert lat["series"][0]["count"] == 1
+
+    def test_export_is_json_serializable(self, registry):
+        family = registry.counter("jobs_total", "Jobs.",
+                                  labelnames=("s",))
+        family.labels("ok").inc()
+        json.dumps(export_json(registry))
+
+    def test_deterministic_view_drops_timing_families(self, registry):
+        registry.counter("runs_total", "Runs.").inc()
+        registry.histogram("eval_seconds", "T.", (1.0,)).observe(0.1)
+        view = deterministic_view(export_json(registry))
+        assert "prophet_runs_total" in view
+        assert "prophet_eval_seconds" not in view
+
+    def test_reset_clears_values_but_not_registration(self, registry):
+        counter = registry.counter("runs_total", "Runs.")
+        counter.inc(5)
+        registry.reset()
+        # The family survives; re-lookup sees a zeroed child.
+        assert registry.counter("runs_total", "Runs.").value == 0.0
+
+
+class TestWriteMetricsFile:
+    def test_prom_suffix_writes_text(self, registry, tmp_path):
+        registry.counter("runs_total", "Runs.").inc()
+        path = write_metrics_file(tmp_path / "m.prom", registry)
+        assert "# TYPE prophet_runs_total counter" in path.read_text()
+
+    def test_json_default_with_spans(self, registry, tmp_path):
+        registry.counter("runs_total", "Runs.").inc()
+        path = write_metrics_file(tmp_path / "m.json", registry,
+                                  spans={"spans": []})
+        payload = json.loads(path.read_text())
+        assert "prophet_runs_total" in payload["metrics"]
+        assert payload["spans"] == {"spans": []}
+
+
+class TestDetailGate:
+    def test_off_by_default(self):
+        assert obs.detail_enabled() is False
+
+    def test_context_manager_restores(self):
+        with obs.detail():
+            assert obs.detail_enabled() is True
+            with obs.detail(False):
+                assert obs.detail_enabled() is False
+            assert obs.detail_enabled() is True
+        assert obs.detail_enabled() is False
+
+
+class TestGlobalRegistryProxies:
+    def test_module_proxies_hit_the_global_registry(self):
+        counter = obs.counter("obs_selftest_total", "Self-test.")
+        before = counter.value
+        counter.inc()
+        family = obs.global_registry().counter("obs_selftest_total",
+                                               "Self-test.")
+        assert family.value == before + 1

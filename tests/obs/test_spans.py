@@ -1,0 +1,119 @@
+"""The span profiler: tree building, aggregation, rendering, no-op."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import ObservabilityError
+from repro.obs.spans import Profiler, _NOOP_SPAN
+
+
+class FakeClock:
+    """Deterministic perf_counter: advances by what the test feeds it."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestProfiler:
+    def test_nested_spans_build_a_tree(self):
+        clock = FakeClock()
+        profiler = Profiler(clock=clock)
+        with profiler.span("outer"):
+            clock.now = 1.0
+            with profiler.span("inner"):
+                clock.now = 3.0
+            clock.now = 4.0
+        [root] = profiler.roots
+        assert root.name == "outer"
+        assert root.duration == pytest.approx(4.0)
+        [child] = root.children
+        assert child.name == "inner"
+        assert child.duration == pytest.approx(2.0)
+
+    def test_sequential_roots(self):
+        profiler = Profiler(clock=FakeClock())
+        with profiler.span("a"):
+            pass
+        with profiler.span("b"):
+            pass
+        assert [r.name for r in profiler.roots] == ["a", "b"]
+
+    def test_out_of_order_close_raises(self):
+        profiler = Profiler(clock=FakeClock())
+        outer = profiler.span("outer")
+        inner = profiler.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObservabilityError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_to_json_round_trips_meta(self):
+        clock = FakeClock()
+        profiler = Profiler(clock=clock)
+        with profiler.span("job", backend="codegen"):
+            clock.now = 0.5
+        payload = profiler.to_json()
+        [span] = payload["spans"]
+        assert span["name"] == "job"
+        assert span["meta"] == {"backend": "codegen"}
+        assert span["duration_s"] == pytest.approx(0.5)
+
+
+class TestAggregation:
+    def _profile(self):
+        clock = FakeClock()
+        profiler = Profiler(clock=clock)
+        with profiler.span("sweep"):
+            for _ in range(3):
+                with profiler.span("job", backend="codegen", index=0):
+                    clock.now += 1.0
+            with profiler.span("job", backend="interp", index=9):
+                clock.now += 5.0
+        return profiler
+
+    def test_siblings_merge_by_name_and_backend_tag(self):
+        [sweep] = self._profile().aggregate()
+        labels = {child.label: child for child in sweep.children}
+        assert labels["job[codegen]"].count == 3
+        assert labels["job[codegen]"].total == pytest.approx(3.0)
+        assert labels["job[interp]"].count == 1
+
+    def test_aggregates_sorted_by_total_descending(self):
+        [sweep] = self._profile().aggregate()
+        totals = [child.total for child in sweep.children]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_render_shows_counts_and_shares(self):
+        text = self._profile().render(min_share=0.0)
+        assert "profile: 8.0000 s total" in text
+        assert "job[codegen] ×3" in text
+        assert "job[interp]" in text
+        assert "%" in text
+
+    def test_render_hides_below_min_share(self):
+        text = self._profile().render(min_share=0.5)
+        assert "job[codegen]" not in text
+        assert "more under" in text
+
+
+class TestActiveProfiler:
+    def test_span_is_noop_without_profiler(self):
+        assert obs.active_profiler() is None
+        assert obs.span("anything", key="dropped") is _NOOP_SPAN
+
+    def test_profiling_installs_and_restores(self):
+        with obs.profiling() as profiler:
+            assert obs.active_profiler() is profiler
+            with obs.span("work"):
+                pass
+        assert obs.active_profiler() is None
+        assert [r.name for r in profiler.roots] == ["work"]
+
+    def test_nested_profiling_restores_outer(self):
+        with obs.profiling() as outer:
+            with obs.profiling() as inner:
+                assert obs.active_profiler() is inner
+            assert obs.active_profiler() is outer

@@ -2,6 +2,7 @@
 
 import json
 import threading
+import urllib.error
 import urllib.request
 
 import pytest
@@ -142,6 +143,85 @@ class TestErrorMapping:
         client = ServiceClient("http://127.0.0.1:1", timeout=0.5)
         with pytest.raises(ServiceClientError, match="cannot reach"):
             client.health()
+
+    def test_handler_crash_returns_json_500(self, served):
+        """Regression: an unexpected exception inside a handler must
+        come back as ``500 {"error": ...}``, not a raw traceback or a
+        hung connection — and the server must keep serving."""
+        client, service = served
+        service.stats = lambda: (_ for _ in ()).throw(
+            RuntimeError("stats exploded"))
+        with pytest.raises(ServiceClientError,
+                           match="500.*stats exploded"):
+            client.stats()
+        assert client.health()["status"] == "ok"
+
+    def test_unsupported_method_returns_json_501(self, served):
+        """Regression: methods outside the route table used to get
+        http.server's stock HTML error page; the wire contract is JSON
+        everywhere."""
+        client, _ = served
+        request = urllib.request.Request(client.base_url + "/health",
+                                         method="DELETE")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 501
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "error" in body
+        assert client.health()["status"] == "ok"
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_default(self, served):
+        client, _ = served
+        record = client.ingest_sample("kernel6")
+        client.evaluate([{"model_ref": record["ref"]}])
+        text = client.metrics_text()
+        assert "# TYPE prophet_service_batches_total counter" in text
+        assert "prophet_service_batches_total 1" in text
+        assert "prophet_service_requests_total 1" in text
+        # Layer metrics from the global registry ride along.
+        assert "prophet_estimator_runs_total" in text
+
+    def test_json_format_matches_stats(self, served):
+        client, _ = served
+        record = client.ingest_sample("kernel6")
+        client.evaluate([{"model_ref": record["ref"]},
+                         {"model_ref": record["ref"]}])
+        payload = client.metrics()
+        batches = payload["prophet_service_batches_total"]
+        assert batches["type"] == "counter"
+        assert batches["series"] == [{"labels": {}, "value": 1.0}]
+        coalesced = payload["prophet_service_coalesced_total"]
+        assert coalesced["series"][0]["value"] == 1.0
+        # /stats and /metrics are derived from the same registry.
+        stats = client.stats()
+        assert stats["batches_served"] == 1
+        assert stats["coalesced_total"] == 1
+
+    def test_accept_header_selects_json(self, served):
+        client, _ = served
+        request = urllib.request.Request(
+            client.base_url + "/metrics",
+            headers={"Accept": "application/json"})
+        with urllib.request.urlopen(request, timeout=5) as response:
+            assert response.headers["Content-Type"] == "application/json"
+            json.loads(response.read().decode("utf-8"))
+
+    def test_unknown_format_is_400(self, served):
+        client, _ = served
+        with pytest.raises(ServiceClientError, match="metrics format"):
+            client._get("/metrics?format=yaml")
+
+    def test_http_request_metrics_recorded(self, served):
+        client, _ = served
+        client.health()
+        payload = client.metrics()
+        requests_series = payload["prophet_http_requests_total"]["series"]
+        health = [s for s in requests_series
+                  if s["labels"].get("route") == "/health"]
+        assert health and health[0]["labels"]["status"] == "200"
+        assert health[0]["value"] >= 1.0
 
 
 class TestWireDeterminism:
