@@ -180,7 +180,8 @@ def _best(fn, repeats: int):
 
 
 def run_benchmarks(smoke: bool = False, repeats: int = 3,
-                   processes_bench: bool = True) -> dict:
+                   processes_bench: bool = True,
+                   loadgen_bench: bool = True) -> dict:
     """Execute the harness; returns the snapshot dict (not yet written)."""
     models = _bench_models(smoke)
     benchmarks: dict[str, dict] = {}
@@ -343,6 +344,16 @@ def run_benchmarks(smoke: bool = False, repeats: int = 3,
             overhead = ratio
             best_plain = min(plain_walls)
             best_instrumented = min(instrumented_walls)
+    # 6. The serving tier under concurrent load: real HTTP, fast
+    #    cache-warm/analytic batches racing a heavy simulated stream,
+    #    concurrent service vs the legacy serialize-every-batch lock,
+    #    plus the queue_depth-1 overload probe.  Its identity,
+    #    malformed-response, and 429-deadline contracts are hard (the
+    #    loadgen raises); the latency/speedup numbers are trajectory.
+    if loadgen_bench:
+        from repro.service.loadgen import run_loadgen
+        benchmarks["serving_loadgen"] = run_loadgen(smoke=smoke)
+
     benchmarks["obs_overhead_cold_sweep"] = {
         "description": "cold 3-scenario summary-tier sweep with the "
                        "observability harness fully on (detail gate + "
@@ -437,7 +448,8 @@ def append_snapshot(snapshot: dict, path: str | Path) -> Path:
 
 def run_and_report(output: str | Path, smoke: bool = False,
                    repeats: int = 3, pool: bool = True,
-                   metrics_out: str | Path | None = None) -> int:
+                   metrics_out: str | Path | None = None,
+                   loadgen: bool = True) -> int:
     """Run the harness, print the table, append to the trajectory.
 
     The one body behind both ``prophet bench`` and
@@ -447,7 +459,8 @@ def run_and_report(output: str | Path, smoke: bool = False,
     # before the multi-minute benchmark run, not after it.
     load_history(output)
     snapshot = run_benchmarks(smoke=smoke, repeats=repeats,
-                              processes_bench=pool)
+                              processes_bench=pool,
+                              loadgen_bench=loadgen)
     print(render(snapshot))
     path = append_snapshot(snapshot, output)
     print(f"\nappended to {path} "
@@ -472,6 +485,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="best-of-N timing repeats (default 3)")
     parser.add_argument("--no-pool", action="store_true",
                         help="skip the process-pool benchmark")
+    parser.add_argument("--no-loadgen", action="store_true",
+                        help="skip the concurrent-serving loadgen "
+                             "benchmark")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the run's metrics export here "
                              "(.prom/.txt = Prometheus text, anything "
@@ -480,7 +496,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return run_and_report(args.output, smoke=args.smoke,
                               repeats=args.repeats, pool=not args.no_pool,
-                              metrics_out=args.metrics_out)
+                              metrics_out=args.metrics_out,
+                              loadgen=not args.no_loadgen)
     except ProphetError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

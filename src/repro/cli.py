@@ -143,6 +143,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "at startup: paper samples (sample, "
                             "kernel6, kernel6-loopnest) and scenarios "
                             "(see `prophet scenarios`)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="max concurrently admitted batches; the "
+                            "next one gets 429 + Retry-After "
+                            "(default 64)")
+    serve.add_argument("--window-ms", type=float, default=0.0,
+                       help="coalesce submissions from different "
+                            "connections arriving within this many "
+                            "milliseconds into one batch (0 = off)")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       help="per-client token-bucket refill rate, "
+                            "requests/second, keyed on the X-Client-Id "
+                            "header (0 = off)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="token-bucket burst size (default: the "
+                            "rate, at least 1)")
+    serve.add_argument("--socket-timeout", type=float, default=30.0,
+                       help="per-connection socket timeout in seconds; "
+                            "a body that never arrives gets 408 "
+                            "instead of a parked thread (default 30)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to wait for in-flight batches to "
+                            "finish on shutdown (default 30)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
@@ -198,6 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="best-of-N timing repeats (default 3)")
     bench.add_argument("--no-pool", action="store_true",
                        help="skip the process-pool benchmark")
+    bench.add_argument("--no-loadgen", action="store_true",
+                       help="skip the concurrent-serving loadgen "
+                            "benchmark")
     bench.add_argument("--metrics-out", metavar="FILE",
                        help="write the run's metrics export here "
                             "(.prom/.txt = Prometheus text, anything "
@@ -601,7 +626,13 @@ def build_service_server(args):
     for kind in (k.strip() for k in args.preload.split(",") if k.strip()):
         record = service.ingest_sample(kind)
         print(f"preloaded {kind} as {short_ref(record.ref)}")
-    server = make_server(service, args.host, args.port)
+    server = make_server(
+        service, args.host, args.port,
+        queue_depth=getattr(args, "queue_depth", 64),
+        window_s=getattr(args, "window_ms", 0.0) / 1e3,
+        rate_limit=getattr(args, "rate_limit", 0.0),
+        burst=getattr(args, "burst", None),
+        socket_timeout=getattr(args, "socket_timeout", 30.0))
     if args.verbose:
         server.RequestHandlerClass.quiet = False
     return server, service
@@ -613,13 +644,21 @@ def _cmd_serve(args) -> int:
     print(f"serving {len(service.registry)} model(s) on "
           f"http://{host}:{port} "
           f"(registry: {args.registry}, cache: "
-          f"{args.cache_dir or 'none'}, executor: {service.executor})")
+          f"{args.cache_dir or 'none'}, executor: "
+          f"{service.executor_name}, queue depth: "
+          f"{args.queue_depth})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        # Graceful drain: stop admitting (new posts get 503 +
+        # Retry-After), let in-flight batches finish, then close.
+        if not server.drain(args.drain_timeout):
+            print(f"drain timed out after {args.drain_timeout:g}s "
+                  "with batches still in flight")
         server.server_close()
+        service.close()
     return 0
 
 
@@ -696,7 +735,8 @@ def _cmd_bench(args) -> int:
     from repro.bench import run_and_report
     return run_and_report(args.output, smoke=args.smoke,
                           repeats=args.repeats, pool=not args.no_pool,
-                          metrics_out=args.metrics_out)
+                          metrics_out=args.metrics_out,
+                          loadgen=not args.no_loadgen)
 
 
 def _cmd_info(args) -> int:

@@ -92,12 +92,20 @@ def _format_value(value: float) -> str:
 
 
 class _Child:
-    """One labeled series of a family (the unlabeled series included)."""
+    """One labeled series of a family (the unlabeled series included).
 
-    __slots__ = ("labels",)
+    Mutations take a per-child lock: the serving tier updates series
+    from many handler threads at once, and an unsynchronized ``value +=
+    amount`` silently loses increments.  Updates happen at operation
+    boundaries (per run, per batch, per request), so the uncontended
+    acquire is noise next to the work being counted.
+    """
+
+    __slots__ = ("labels", "lock")
 
     def __init__(self, labels: tuple[str, ...]) -> None:
         self.labels = labels
+        self.lock = threading.Lock()
 
 
 class CounterChild(_Child):
@@ -111,7 +119,8 @@ class CounterChild(_Child):
         if amount < 0:
             raise ObservabilityError(
                 f"counters only go up (inc by {amount})")
-        self.value += amount
+        with self.lock:
+            self.value += amount
 
 
 class GaugeChild(_Child):
@@ -122,18 +131,22 @@ class GaugeChild(_Child):
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self.lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self.lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self.lock:
+            self.value -= amount
 
     def set_max(self, value: float) -> None:
         """Ratchet: keep the largest value seen (high-water marks)."""
-        if value > self.value:
-            self.value = float(value)
+        with self.lock:
+            if value > self.value:
+                self.value = float(value)
 
 
 class HistogramChild(_Child):
@@ -148,9 +161,11 @@ class HistogramChild(_Child):
         self.count = 0
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.sum += value
-        self.count += 1
+        bucket = bisect_left(self.bounds, value)
+        with self.lock:
+            self.bucket_counts[bucket] += 1
+            self.sum += value
+            self.count += 1
 
 
 _CHILD_TYPES = {"counter": CounterChild, "gauge": GaugeChild,

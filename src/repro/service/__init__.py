@@ -9,13 +9,21 @@ long-lived process holds
 * :mod:`repro.service.request` — validated evaluation requests
   ``{model_ref, backend, params, network, seed}``;
 * :mod:`repro.service.batcher` — duplicate coalescing and
-  (model, backend) grouping, amortizing model preparation;
+  (model, backend) grouping, amortizing model preparation; plus
+  :class:`BatchWindow`, which coalesces submissions across connections;
 * :mod:`repro.service.service` — :class:`EvaluationService`, dispatching
   planned batches through the sweep executors with the shared
-  content-addressed result cache;
+  content-addressed result cache; concurrent batches only contend on
+  the simulated-backend executor;
+* :mod:`repro.service.admission` — the :class:`RequestGateway` in front
+  of the service: bounded in-flight queue (429 on overflow), per-client
+  token-bucket rate limits, and graceful drain for shutdown;
 * :mod:`repro.service.httpd` / :mod:`repro.service.client` — the HTTP
   front end (stdlib only) and its client, used by ``prophet serve`` and
-  ``prophet submit``.
+  ``prophet submit``;
+* :mod:`repro.service.loadgen` — an in-process concurrent load
+  generator measuring p50/p99 latency and throughput (``prophet bench``
+  and the CI smoke leg).
 
 Quickstart (in-process)::
 
@@ -36,9 +44,23 @@ Or over HTTP: ``prophet serve --registry registry-dir`` in one shell,
 --backends analytic,codegen --processes 1,2,4,8`` in another.
 """
 
-from repro.service.batcher import BatchPlan, plan_batch
+from repro.service.admission import (
+    AdmissionQueue,
+    AdmissionRejected,
+    ClientRateLimiter,
+    DrainingError,
+    QueueFullError,
+    RateLimitedError,
+    RequestGateway,
+    TokenBucket,
+)
+from repro.service.batcher import BatchPlan, BatchWindow, plan_batch
 from repro.service.client import ServiceClient, ServiceClientError
-from repro.service.httpd import make_server
+from repro.service.httpd import (
+    RequestTimeoutError,
+    ServiceHTTPServer,
+    make_server,
+)
 from repro.service.registry import (
     ModelRecord,
     ModelRegistry,
@@ -53,11 +75,16 @@ from repro.service.request import (
 from repro.service.service import BatchResponse, EvaluationService
 
 __all__ = [
-    "BatchPlan", "BatchResponse",
+    "AdmissionQueue", "AdmissionRejected",
+    "BatchPlan", "BatchResponse", "BatchWindow",
+    "ClientRateLimiter", "DrainingError",
     "EvaluationRequest", "EvaluationService",
     "ModelRecord", "ModelRegistry",
-    "RegistryError", "RequestError",
-    "ServiceClient", "ServiceClientError",
+    "QueueFullError", "RateLimitedError",
+    "RegistryError", "RequestError", "RequestGateway",
+    "RequestTimeoutError",
+    "ServiceClient", "ServiceClientError", "ServiceHTTPServer",
+    "TokenBucket",
     "make_server", "plan_batch",
     "request_from_payload", "requests_from_payload",
 ]

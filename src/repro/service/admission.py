@@ -1,0 +1,292 @@
+"""Admission control for the serving tier: queue, rate limits, drain.
+
+The evaluation service itself (:mod:`repro.service.service`) accepts
+any concurrency thrown at it — batches share thread-safe memos and the
+result cache, and only the simulated-backend executor is owned
+exclusively.  What it does *not* do is protect itself: unbounded
+concurrent submissions pile wall-clock onto every in-flight batch, and
+a single chatty client can starve everyone else.  The
+:class:`RequestGateway` is that protection, applied in order:
+
+1. **Drain check** — a server that has begun shutting down stops
+   admitting (``503`` + ``Retry-After``) but finishes what it holds.
+2. **Rate limit** — a token bucket per client id; over-budget clients
+   get ``429`` with a ``Retry-After`` computed from their own refill
+   rate, without consuming queue capacity.
+3. **Bounded queue** — at most ``queue_depth`` batches in flight;
+   the next one is refused (``429``) rather than silently queued into
+   a latency cliff.
+4. **Batch window** — admitted requests may be coalesced across
+   connections (:class:`~repro.service.batcher.BatchWindow`) before
+   reaching :meth:`EvaluationService.submit`.
+
+Rejections are exceptions carrying an HTTP ``status`` and a
+``retry_after`` hint, so the HTTP layer maps them mechanically and
+in-process callers (tests, the load generator) can catch them
+precisely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.errors import ProphetError
+from repro.service.batcher import BatchWindow
+from repro.service.request import EvaluationRequest
+
+#: Label values of ``service_admission_total{outcome=...}``.
+ADMISSION_OUTCOMES = ("admitted", "rejected_queue_full",
+                     "rejected_rate_limited", "rejected_draining")
+
+
+class AdmissionRejected(ProphetError):
+    """A request refused before evaluation; carries the HTTP contract."""
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        # Seconds the client should wait before retrying (the HTTP
+        # layer rounds up into a Retry-After header).
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class QueueFullError(AdmissionRejected):
+    """Every in-flight slot is taken."""
+
+    status = 429
+
+
+class RateLimitedError(AdmissionRejected):
+    """The client exhausted its token bucket."""
+
+    status = 429
+
+
+class DrainingError(AdmissionRejected):
+    """The server is shutting down and no longer admits work."""
+
+    status = 503
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second up to ``burst``.
+
+    ``try_acquire`` never blocks; on refusal it reports how long until
+    the requested amount *would* be available, which becomes the
+    client's ``Retry-After``.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ProphetError(f"token rate must be > 0, got {rate!r}")
+        if burst < 1:
+            raise ProphetError(f"burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, amount: float = 1.0) -> tuple[bool, float]:
+        """(granted, retry_after_seconds)."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True, 0.0
+            return False, (amount - self._tokens) / self.rate
+
+
+class ClientRateLimiter:
+    """One :class:`TokenBucket` per client id.
+
+    ``rate <= 0`` disables limiting entirely (the default for local
+    serving).  Unknown clients get a fresh bucket on first sight;
+    requests without a client id share the ``"anonymous"`` bucket, so
+    header-less clients are collectively — not individually — limited.
+    """
+
+    ANONYMOUS = "anonymous"
+
+    def __init__(self, rate: float, burst: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, rate)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, client_id: str | None, amount: float = 1.0) -> None:
+        """Consume ``amount`` tokens or raise :class:`RateLimitedError`."""
+        if not self.enabled:
+            return
+        key = client_id or self.ANONYMOUS
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst,
+                                     clock=self._clock)
+                self._buckets[key] = bucket
+        granted, retry_after = bucket.try_acquire(amount)
+        if not granted:
+            raise RateLimitedError(
+                f"client {key!r} exceeded {self.rate:g} request(s)/s "
+                f"(burst {self.burst:g}); retry in {retry_after:.2f}s",
+                retry_after=retry_after)
+
+
+class AdmissionQueue:
+    """Bounded count of in-flight batches.
+
+    Not a waiting line: a full queue refuses immediately (load shedding)
+    instead of parking the connection thread.  The current depth is
+    mirrored into the ``service_queue_depth`` gauge so overload is
+    visible on ``/metrics`` while it is happening.
+    """
+
+    def __init__(self, depth: int,
+                 metrics: obs.MetricsRegistry | None = None,
+                 retry_after_s: float = 1.0) -> None:
+        if depth < 1:
+            raise ProphetError(
+                f"admission queue depth must be >= 1, got {depth!r}")
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+        self._metrics = (metrics if metrics is not None
+                         else obs.global_registry())
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._idle = threading.Condition(self._lock)
+        self._gauge().set(0)
+
+    def _gauge(self) -> obs.MetricFamily:
+        return self._metrics.gauge(
+            "service_queue_depth",
+            "Batches currently admitted and in flight.")
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def acquire(self) -> None:
+        """Take an in-flight slot or raise :class:`QueueFullError`."""
+        with self._lock:
+            if self._inflight >= self.depth:
+                raise QueueFullError(
+                    f"admission queue full ({self.depth} in flight); "
+                    f"retry in {self.retry_after_s:.2f}s",
+                    retry_after=self.retry_after_s)
+            self._inflight += 1
+            self._gauge().set(self._inflight)
+
+    def release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            self._gauge().set(self._inflight)
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until nothing is in flight; True if that was reached."""
+        with self._lock:
+            return self._idle.wait_for(lambda: self._inflight == 0,
+                                       timeout=timeout)
+
+
+class RequestGateway:
+    """The admission pipeline in front of an :class:`EvaluationService`.
+
+    ``submit`` is the only entry point servers and in-process load
+    generators use; it applies drain → rate limit → queue → (window)
+    in that order and counts every decision in
+    ``service_admission_total{outcome=...}``.
+    """
+
+    def __init__(self, service,
+                 queue_depth: int = 64,
+                 window_s: float = 0.0,
+                 rate_limit: float = 0.0,
+                 burst: float | None = None,
+                 retry_after_s: float = 1.0,
+                 window_max_requests: int = 1024) -> None:
+        self.service = service
+        self.metrics = service.metrics
+        self.retry_after_s = retry_after_s
+        self.queue = AdmissionQueue(queue_depth, metrics=self.metrics,
+                                    retry_after_s=retry_after_s)
+        self.limiter = ClientRateLimiter(rate_limit, burst)
+        self.window = BatchWindow(service.submit, window_s,
+                                  max_requests=window_max_requests,
+                                  metrics=self.metrics)
+        self._draining = threading.Event()
+
+    # -- admission -----------------------------------------------------------
+
+    def _outcome(self, outcome: str) -> None:
+        self.metrics.counter(
+            "service_admission_total",
+            "Admission decisions, by outcome.",
+            labelnames=("outcome",)).labels(outcome).inc()
+
+    def submit(self, requests: Sequence[EvaluationRequest],
+               client_id: str | None = None):
+        """Admit and evaluate one batch; raises
+        :class:`AdmissionRejected` subclasses on refusal."""
+        if self._draining.is_set():
+            self._outcome("rejected_draining")
+            raise DrainingError(
+                "service is draining and no longer admits requests",
+                retry_after=self.retry_after_s)
+        try:
+            self.limiter.check(client_id)
+        except RateLimitedError:
+            self._outcome("rejected_rate_limited")
+            raise
+        try:
+            self.queue.acquire()
+        except QueueFullError:
+            self._outcome("rejected_queue_full")
+            raise
+        self._outcome("admitted")
+        try:
+            return self.window.submit(list(requests))
+        finally:
+            self.queue.release()
+
+    # -- shutdown ------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting new work (idempotent)."""
+        self._draining.set()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting, then wait for in-flight batches to finish.
+
+        Returns True when the queue went idle within ``timeout``.
+        """
+        self.begin_drain()
+        return self.queue.wait_idle(timeout)
+
+
+__all__ = [
+    "ADMISSION_OUTCOMES", "AdmissionQueue", "AdmissionRejected",
+    "ClientRateLimiter", "DrainingError", "QueueFullError",
+    "RateLimitedError", "RequestGateway", "TokenBucket",
+]

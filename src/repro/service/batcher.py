@@ -23,14 +23,22 @@ Planning is total per request: a request that cannot be planned
 (unknown model reference, invalid machine shape) becomes a per-request
 error, and the rest of the batch still runs — mirroring the sweep
 runner's per-job error capture.
+
+Coalescing historically only saw duplicates *inside one POST body*.
+:class:`BatchWindow` extends it across connections: submissions arriving
+from different threads within a few milliseconds are merged into one
+batch, planned (and therefore coalesced/grouped/grid-compiled) together,
+and each caller gets exactly its own slice of the results back —
+byte-identical to what a solo submission would have returned.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro import obs
 from repro.errors import ProphetError
@@ -137,4 +145,114 @@ def _plan_batch(requests: Sequence[EvaluationRequest],
     return plan
 
 
-__all__ = ["BatchPlan", "plan_batch"]
+class _WindowSlot:
+    """One caller's share of a coalescing window."""
+
+    __slots__ = ("requests", "done", "results", "stats", "error")
+
+    def __init__(self, requests: list[EvaluationRequest]) -> None:
+        self.requests = requests
+        self.done = threading.Event()
+        self.results: list[dict] | None = None
+        self.stats: dict | None = None
+        self.error: BaseException | None = None
+
+
+class BatchWindow:
+    """Merge submissions from concurrent callers into shared batches.
+
+    The first caller into an open window becomes its *leader*: it waits
+    ``window_s`` (or until the window fills to ``max_requests``), then
+    submits every participant's requests as one batch and hands each
+    caller back its own slice of the results.  Followers just block on
+    their slot.  A new window opens the moment the previous one is
+    sealed, so a long-running batch never blocks collection of the
+    next one.
+
+    Per-request payloads are unaffected by windowing — they are
+    deterministic functions of request content — so a caller cannot
+    tell (except through ``stats`` metadata and latency) whether its
+    batch ran alone or merged.
+    """
+
+    def __init__(self, submit: Callable[[list[EvaluationRequest]], object],
+                 window_s: float,
+                 max_requests: int = 1024,
+                 metrics: obs.MetricsRegistry | None = None) -> None:
+        if window_s < 0:
+            raise ProphetError(
+                f"batch window must be >= 0 seconds, got {window_s!r}")
+        if max_requests < 1:
+            raise ProphetError(
+                f"batch window max_requests must be >= 1, got "
+                f"{max_requests!r}")
+        self._submit = submit
+        self.window_s = window_s
+        self.max_requests = max_requests
+        self._metrics = metrics if metrics is not None else obs.global_registry()
+        self._lock = threading.Lock()
+        self._pending: list[_WindowSlot] = []
+        self._collecting = False
+        self._seal = threading.Event()
+
+    def _occupancy_locked(self) -> int:
+        return sum(len(slot.requests) for slot in self._pending)
+
+    def submit(self, requests: Sequence[EvaluationRequest]):
+        """Submit through the window; returns the underlying
+        ``submit``'s response restricted to this caller's requests."""
+        requests = list(requests)
+        if self.window_s == 0:
+            return self._submit(requests)
+        slot = _WindowSlot(requests)
+        with self._lock:
+            self._pending.append(slot)
+            leader = not self._collecting
+            if leader:
+                self._collecting = True
+                self._seal.clear()
+            if self._occupancy_locked() >= self.max_requests:
+                self._seal.set()
+        if leader:
+            self._seal.wait(self.window_s)
+            self._flush()
+        slot.done.wait()
+        if slot.error is not None:
+            raise slot.error
+        return self._make_response(slot)
+
+    def _flush(self) -> None:
+        with self._lock:
+            batch, self._pending = self._pending, []
+            self._collecting = False
+        merged = [request for slot in batch for request in slot.requests]
+        self._metrics.histogram(
+            "service_window_occupancy",
+            "Callers merged into one coalescing-window flush.",
+            obs.SIZE_BUCKETS).observe(len(batch))
+        self._metrics.counter(
+            "service_window_flushes_total",
+            "Coalescing-window flushes (one merged submit each).").inc()
+        try:
+            response = self._submit(merged)
+        except BaseException as exc:  # noqa: BLE001 — every waiter must wake
+            for slot in batch:
+                slot.error = exc
+                slot.done.set()
+            raise
+        offset = 0
+        for slot in batch:
+            count = len(slot.requests)
+            slot.results = response.results[offset:offset + count]
+            slot.stats = dict(response.stats)
+            slot.stats["window_callers"] = len(batch)
+            slot.stats["window_requests"] = len(merged)
+            offset += count
+            slot.done.set()
+
+    def _make_response(self, slot: _WindowSlot):
+        from repro.service.service import BatchResponse
+        return BatchResponse(results=slot.results, stats=slot.stats)
+
+
+__all__ = ["BatchPlan", "BatchWindow", "plan_batch"]

@@ -4,7 +4,13 @@
 it exists so wire concerns (encoding, error mapping) live in one place
 and every caller gets identical behaviour.  Server-reported errors
 (status ≥ 400 with an ``error`` payload) raise :class:`ServiceClientError`
-with the server's message.
+with the server's message, the HTTP status on ``.status``, and — for
+admission rejections (429/503) — the server's ``Retry-After`` hint on
+``.retry_after`` so callers can back off precisely.
+
+A ``client_id`` identifies the caller to the server's per-client rate
+limiter (sent as ``X-Client-Id`` on every request); omit it to share
+the server's anonymous bucket.
 """
 
 from __future__ import annotations
@@ -19,15 +25,28 @@ from repro.service.request import EvaluationRequest
 
 
 class ServiceClientError(ProphetError):
-    """The service refused a request or could not be reached."""
+    """The service refused a request or could not be reached.
+
+    ``status`` is the HTTP status code (None for transport failures);
+    ``retry_after`` is the server's back-off hint in seconds (None
+    unless the server sent a ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, status: int | None = None,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
 
 
 class ServiceClient:
     """Talks to one evaluation service at ``base_url``."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 client_id: str | None = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.client_id = client_id
 
     # -- endpoints -----------------------------------------------------------
 
@@ -43,14 +62,15 @@ class ServiceClient:
 
     def metrics_text(self) -> str:
         """The service's metrics in Prometheus text exposition format."""
-        request = urllib.request.Request(self.base_url + "/metrics")
+        request = urllib.request.Request(self.base_url + "/metrics",
+                                         headers=self._headers())
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout) as response:
                 return response.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
             raise ServiceClientError(
-                f"service error ({exc.code})") from exc
+                f"service error ({exc.code})", status=exc.code) from exc
         except (urllib.error.URLError, OSError) as exc:
             raise ServiceClientError(
                 f"cannot reach service at {self.base_url}: "
@@ -81,14 +101,22 @@ class ServiceClient:
 
     # -- wire ----------------------------------------------------------------
 
+    def _headers(self, extra: dict[str, str] | None = None
+                 ) -> dict[str, str]:
+        headers = dict(extra or {})
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        return headers
+
     def _get(self, path: str) -> dict:
-        return self._call(urllib.request.Request(self.base_url + path))
+        return self._call(urllib.request.Request(
+            self.base_url + path, headers=self._headers()))
 
     def _post(self, path: str, body: dict) -> dict:
         data = json.dumps(body).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path, data=data,
-            headers={"Content-Type": "application/json"})
+            headers=self._headers({"Content-Type": "application/json"}))
         return self._call(request)
 
     def _call(self, request: urllib.request.Request) -> dict:
@@ -101,8 +129,16 @@ class ServiceClient:
                 message = json.loads(exc.read().decode("utf-8"))["error"]
             except Exception:  # noqa: BLE001 — non-JSON error body
                 message = f"HTTP {exc.code}"
+            retry_after = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass  # HTTP-date form; callers fall back to status
             raise ServiceClientError(
-                f"service error ({exc.code}): {message}") from exc
+                f"service error ({exc.code}): {message}",
+                status=exc.code, retry_after=retry_after) from exc
         except (urllib.error.URLError, OSError) as exc:
             raise ServiceClientError(
                 f"cannot reach service at {self.base_url}: "

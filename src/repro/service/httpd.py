@@ -27,19 +27,32 @@ well-formed ``500 {"error": ...}`` reply — and if the failure happens
 *after* the response headers already went out, the connection is closed
 instead of double-sending (the one case no status code can fix).
 
-The server is a ``ThreadingHTTPServer`` so a slow batch does not block
-health checks; the service itself serializes batch execution.
+The server is a ``ThreadingHTTPServer``; batches from different
+connections genuinely execute concurrently (the service only owns the
+simulated-backend executor exclusively), and a
+:class:`~repro.service.admission.RequestGateway` in front of
+``/evaluate`` bounds how many are in flight.  The admission contract on
+the wire:
+
+* overflow and rate-limit rejections → ``429`` JSON with a
+  ``Retry-After`` header,
+* a draining server → ``503`` JSON with ``Retry-After``,
+* a client whose declared ``Content-Length`` never arrives (lying
+  length, stalled send) → ``408`` JSON once the socket timeout fires,
+  instead of parking the handler thread forever.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro import obs
 from repro.errors import ProphetError
+from repro.service.admission import AdmissionRejected, RequestGateway
 from repro.service.request import requests_from_payload
 from repro.service.service import EvaluationService
 
@@ -51,13 +64,26 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 #: Prometheus text exposition content type.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Default per-connection socket timeout (seconds).
+DEFAULT_SOCKET_TIMEOUT = 30.0
+
+
+class RequestTimeoutError(ProphetError):
+    """The declared request body never (fully) arrived."""
+
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
     """Routes HTTP requests onto an :class:`EvaluationService`."""
 
     server_version = "ProphetService/1.0"
     service: EvaluationService  # injected by make_server
+    gateway: RequestGateway | None = None  # injected by make_server
     quiet = True
+    # socketserver applies this as the connection's socket timeout in
+    # setup(); without it a client that declares Content-Length N and
+    # sends fewer bytes parks rfile.read() — and its handler thread —
+    # forever.
+    timeout = DEFAULT_SOCKET_TIMEOUT
 
     # -- routing -------------------------------------------------------------
 
@@ -94,6 +120,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             route = path
             try:
                 status = getattr(self, handler_name)()
+            except AdmissionRejected as exc:
+                status = exc.status
+                self._reply(status, {"error": str(exc),
+                                     "retry_after": exc.retry_after},
+                            headers=_retry_after_header(exc.retry_after))
+            except RequestTimeoutError as exc:
+                status = 408
+                self._reply(408, {"error": str(exc)})
+                # The connection's byte stream is desynchronized (we
+                # read fewer body bytes than declared); keep-alive
+                # would misparse the remainder as a new request line.
+                self.close_connection = True
             except ProphetError as exc:
                 status = 400
                 self._reply(400, {"error": str(exc)})
@@ -178,7 +216,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _post_evaluate(self) -> int:
         body = self._read_json()
         requests = requests_from_payload(body.get("requests"))
-        response = self.service.submit(requests)
+        if self.gateway is not None:
+            response = self.gateway.submit(
+                requests, client_id=self.headers.get("X-Client-Id"))
+        else:
+            response = self.service.submit(requests)
         return self._reply(200, response.to_payload())
 
     # -- plumbing ------------------------------------------------------------
@@ -194,7 +236,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ProphetError(
                 f"request body of {length} bytes exceeds the "
                 f"{MAX_BODY_BYTES}-byte limit")
-        raw = self.rfile.read(length)
+        try:
+            raw = self.rfile.read(length)
+        except TimeoutError:
+            raise RequestTimeoutError(
+                f"timed out waiting for the declared {length}-byte "
+                f"body (socket timeout {self.timeout:g}s)") from None
+        if len(raw) < length:
+            raise RequestTimeoutError(
+                f"request body ended after {len(raw)} of the declared "
+                f"{length} bytes")
         try:
             body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -203,16 +254,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ProphetError("request body must be a JSON object")
         return body
 
-    def _reply(self, status: int, payload: dict) -> int:
+    def _reply(self, status: int, payload: dict,
+               headers: dict[str, str] | None = None) -> int:
         return self._reply_raw(status, json.dumps(payload).encode("utf-8"),
-                               "application/json")
+                               "application/json", headers=headers)
 
     def _reply_raw(self, status: int, data: bytes,
-                   content_type: str) -> int:
+                   content_type: str,
+                   headers: dict[str, str] | None = None) -> int:
         self._response_sent = True
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
         return status
@@ -237,18 +292,59 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
 
+def _retry_after_header(retry_after: float) -> dict[str, str]:
+    """``Retry-After`` as HTTP requires it: whole seconds, >= 1."""
+    return {"Retry-After": str(max(1, math.ceil(retry_after)))}
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` that knows its admission gateway.
+
+    ``drain()`` is the graceful half of shutdown: stop admitting
+    (new ``/evaluate`` posts get ``503`` + ``Retry-After``), then wait
+    for every in-flight batch to finish.  ``shutdown()`` — stopping the
+    accept loop — remains the caller's move afterwards.
+    """
+
+    gateway: RequestGateway | None = None
+
+    def drain(self, timeout: float | None = None) -> bool:
+        if self.gateway is None:
+            return True
+        return self.gateway.drain(timeout)
+
+
 def make_server(service: EvaluationService, host: str = "127.0.0.1",
-                port: int = 0) -> ThreadingHTTPServer:
+                port: int = 0, *,
+                queue_depth: int = 64,
+                window_s: float = 0.0,
+                rate_limit: float = 0.0,
+                burst: float | None = None,
+                socket_timeout: float = DEFAULT_SOCKET_TIMEOUT,
+                retry_after_s: float = 1.0) -> ServiceHTTPServer:
     """A ready-to-run HTTP server bound to ``host:port`` (0 = ephemeral).
 
     The caller owns the lifecycle: ``serve_forever()`` to run,
-    ``shutdown()`` + ``server_close()`` to stop (tests run it on a
-    thread; ``prophet serve`` runs it in the foreground).
+    ``drain()`` + ``shutdown()`` + ``server_close()`` to stop (tests
+    run it on a thread; ``prophet serve`` runs it in the foreground).
+
+    ``queue_depth`` bounds concurrently admitted batches, ``window_s``
+    opens a cross-connection coalescing window (0 = off),
+    ``rate_limit``/``burst`` configure the per-client token bucket
+    (0 = off), and ``socket_timeout`` is the per-connection socket
+    timeout backing the 408 contract.
     """
+    gateway = RequestGateway(service, queue_depth=queue_depth,
+                             window_s=window_s, rate_limit=rate_limit,
+                             burst=burst, retry_after_s=retry_after_s)
     handler = type("BoundServiceRequestHandler", (ServiceRequestHandler,),
-                   {"service": service})
-    return ThreadingHTTPServer((host, port), handler)
+                   {"service": service, "gateway": gateway,
+                    "timeout": socket_timeout})
+    server = ServiceHTTPServer((host, port), handler)
+    server.gateway = gateway
+    return server
 
 
-__all__ = ["MAX_BODY_BYTES", "PROMETHEUS_CONTENT_TYPE",
-           "ServiceRequestHandler", "make_server"]
+__all__ = ["DEFAULT_SOCKET_TIMEOUT", "MAX_BODY_BYTES",
+           "PROMETHEUS_CONTENT_TYPE", "RequestTimeoutError",
+           "ServiceHTTPServer", "ServiceRequestHandler", "make_server"]

@@ -62,7 +62,8 @@ class EvaluationService:
                  executor: str = "serial",
                  max_workers: int | None = None,
                  trace: str = "full",
-                 analytic_grid: bool = True) -> None:
+                 analytic_grid: bool = True,
+                 serialize_batches: bool = False) -> None:
         self.registry = (registry if isinstance(registry, ModelRegistry)
                          else ModelRegistry(registry))
         self.cache = (cache if isinstance(cache, (ResultCache, type(None)))
@@ -90,9 +91,17 @@ class EvaluationService:
         # metrics (sim/estimator/sweep/cache) still land on the global
         # registry; ``metric_registries()`` exposes both for /metrics.
         self.metrics = obs.MetricsRegistry()
-        # One batch at a time: the batcher/pool parallelize *inside* a
-        # batch; interleaving batches would only thrash the memos.
-        self._submit_lock = threading.Lock()
+        # Concurrent batches share the memos and the result cache (all
+        # thread-safe); only the *simulated-backend executor* is owned
+        # exclusively.  run_jobs takes this lock around its executor
+        # dispatch — and only when simulated work is pending — so a
+        # batch of cache hits or analytic grid points never queues
+        # behind another batch's slow simulation.
+        self._dispatch_lock = threading.Lock()
+        # Legacy behaviour (and the loadgen benchmark's baseline): one
+        # batch at a time, end to end, like the old global submit lock.
+        self._serialize_lock = (threading.Lock() if serialize_batches
+                                else None)
 
     # -- ingest passthrough --------------------------------------------------
 
@@ -107,12 +116,19 @@ class EvaluationService:
 
     def submit(self, requests: Sequence[EvaluationRequest]
                ) -> BatchResponse:
-        """Evaluate a batch; one response per request, in order."""
-        with self._submit_lock:
-            return self._submit_locked(list(requests))
+        """Evaluate a batch; one response per request, in order.
 
-    def _submit_locked(self, requests: list[EvaluationRequest]
-                       ) -> BatchResponse:
+        Safe to call from many threads at once: batches share the
+        memos and the result cache, and only the simulated-backend
+        executor dispatch is serialized (see ``_dispatch_lock``).
+        """
+        if self._serialize_lock is not None:
+            with self._serialize_lock:
+                return self._submit_timed(list(requests))
+        return self._submit_timed(list(requests))
+
+    def _submit_timed(self, requests: list[EvaluationRequest]
+                      ) -> BatchResponse:
         start = time.perf_counter()
         with obs.span("service.submit", requests=len(requests)):
             response = self._submit_body(requests)
@@ -125,13 +141,17 @@ class EvaluationService:
     def _submit_body(self, requests: list[EvaluationRequest]
                      ) -> BatchResponse:
         plan = plan_batch(requests, self.registry)
-        before = (self.cache.stats.snapshot() if self.cache is not None
-                  else CacheStats())
+        # Per-call accumulator: with batches running concurrently, a
+        # global before/after snapshot would report other batches'
+        # lookups as this one's.
+        delta = CacheStats()
         sweep_result = run_jobs(plan.jobs, cache=self.cache,
                                 executor=self.executor,
                                 max_workers=self.max_workers,
                                 trace=self.trace,
-                                analytic_grid=self.analytic_grid)
+                                analytic_grid=self.analytic_grid,
+                                dispatch_lock=self._dispatch_lock,
+                                cache_stats=delta)
         outcomes = list(sweep_result)  # index order == job order
 
         results: list[dict] = []
@@ -163,8 +183,6 @@ class EvaluationService:
                                 "backend": outcome.job.backend,
                                 "coalesced": coalesced})
 
-        delta = (self.cache.stats.since(before) if self.cache is not None
-                 else CacheStats())
         self._counter("service_batches_total",
                       "Batches served by this service.").inc()
         self._counter("service_requests_total",
@@ -195,12 +213,21 @@ class EvaluationService:
             "plan_errors": len(plan.errors),
             "cache_hits": delta.hits,
             "cache_misses": delta.misses,
-            "executor": self.executor,
+            "executor": self.executor_name,
             "trace": self.trace,
         }
         return BatchResponse(results=results, stats=stats)
 
     # -- introspection -------------------------------------------------------
+
+    @property
+    def executor_name(self) -> str:
+        """A JSON-safe name for the executor (tests and the loadgen
+        inject executor *objects*; stats payloads must stay JSON)."""
+        if isinstance(self.executor, str):
+            return self.executor
+        return getattr(self.executor, "name",
+                       type(self.executor).__name__)
 
     def _counter(self, name: str, help_text: str) -> obs.MetricFamily:
         return self.metrics.counter(name, help_text)
@@ -242,7 +269,7 @@ class EvaluationService:
             "batches_served": self.batches_served,
             "requests_served": self.requests_served,
             "coalesced_total": self.coalesced_total,
-            "cache": (self.cache.stats.snapshot().__dict__
+            "cache": (self.cache.stats.snapshot().to_payload()
                       if self.cache is not None else None),
             # Pool workers keep their own memos in their own processes;
             # this process's counters would read as permanently cold
@@ -253,7 +280,7 @@ class EvaluationService:
             # never crosses the pool), so their memo is always honest.
             "analytic_plans": (plan_cache_stats()
                                if self.analytic_grid else None),
-            "executor": self.executor,
+            "executor": self.executor_name,
             "trace": self.trace,
         }
 

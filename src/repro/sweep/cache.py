@@ -10,6 +10,22 @@ mid-write never leaves a truncated entry that later reads as a result.
 Only *successful* payloads are cached: a failing point re-runs on the
 next sweep, so fixing the model heals the sweep without manual cache
 invalidation.
+
+Concurrency: one cache instance is shared by every batch a service runs,
+and batches run on several threads at once.  File operations are safe by
+construction (reads see whole entries or nothing; writes are temp-file +
+atomic rename), and the :class:`CacheStats` counters are mutated only
+under the cache's internal lock.  Callers that need to know what *their*
+lookups did — the evaluation service reports per-batch hit/miss deltas —
+pass their own :class:`CacheStats` accumulator via ``into=``; reading
+global before/after snapshots would attribute concurrent batches'
+lookups to whichever batch snapshotted last.
+
+A crash between ``mkstemp`` and ``os.replace`` can orphan a
+``.tmp-*.json`` file in a shard directory.  Opening a cache reaps such
+orphans, and the entry iteration (``__len__``/``clear``) skips dotfiles
+outright, so a crashed writer can never inflate counts or resurrect as
+a phantom entry.
 """
 
 from __future__ import annotations
@@ -17,13 +33,18 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 from repro import obs
 
 #: File-format marker inside each entry; bump on layout changes.
 ENTRY_FORMAT = 1
+
+#: Prefix of in-flight atomic-write temp files (never valid entries).
+TEMP_PREFIX = ".tmp-"
 
 
 def _lookup_outcomes():
@@ -39,6 +60,11 @@ def _lookup_outcomes():
 
 @dataclass
 class CacheStats:
+    """Plain counter values — a value object, not a synchronization
+    point.  The owning :class:`ResultCache` guards its live instance
+    with a lock; snapshots, deltas, and per-call accumulators are
+    single-writer by construction."""
+
     hits: int = 0
     misses: int = 0
     puts: int = 0
@@ -56,6 +82,14 @@ class CacheStats:
         return (f"{self.hits} hit(s), {self.misses} miss(es) "
                 f"({self.hit_rate:.0%} hit rate), {self.puts} write(s)")
 
+    def add(self, hits: int = 0, misses: int = 0, puts: int = 0,
+            invalid: int = 0) -> None:
+        """Bump counters in place (callers provide any locking)."""
+        self.hits += hits
+        self.misses += misses
+        self.puts += puts
+        self.invalid += invalid
+
     def snapshot(self) -> "CacheStats":
         """An independent copy of the current counters."""
         return CacheStats(hits=self.hits, misses=self.misses,
@@ -64,14 +98,19 @@ class CacheStats:
     def since(self, earlier: "CacheStats") -> "CacheStats":
         """Counter deltas relative to an earlier :meth:`snapshot`.
 
-        The evaluation service reports per-batch cache behaviour from a
-        cache whose lifetime spans many batches; the delta isolates one
-        batch's hits/misses from the running totals.
+        Only meaningful when nothing else touched the cache in between —
+        concurrent batches must use a per-call ``into=`` accumulator
+        instead, or they read each other's lookups as their own.
         """
         return CacheStats(hits=self.hits - earlier.hits,
                           misses=self.misses - earlier.misses,
                           puts=self.puts - earlier.puts,
                           invalid=self.invalid - earlier.invalid)
+
+    def to_payload(self) -> dict:
+        """The counters as a JSON-safe dict (service ``/stats``)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "invalid": self.invalid}
 
 
 @dataclass
@@ -84,29 +123,47 @@ class ResultCache:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        self._stats_lock = threading.Lock()
+        reaped = self.reap_temp_files()
+        if reaped:
+            obs.counter(
+                "result_cache_orphans_reaped_total",
+                "Orphaned atomic-write temp files removed on cache "
+                "open.").inc(reaped)
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str,
-            require: tuple[str, ...] = ()) -> dict | None:
+    def _record(self, into: CacheStats | None, *, hits: int = 0,
+                misses: int = 0, puts: int = 0,
+                invalid: int = 0) -> None:
+        with self._stats_lock:
+            self.stats.add(hits=hits, misses=misses, puts=puts,
+                           invalid=invalid)
+        if into is not None:
+            into.add(hits=hits, misses=misses, puts=puts,
+                     invalid=invalid)
+
+    def get(self, key: str, require: tuple[str, ...] = (),
+            into: CacheStats | None = None) -> dict | None:
         """The payload stored under ``key``, or None (counted as a miss).
 
         ``require`` names payload keys that must be present; an entry
         missing any of them (hand-edited, or written by an older
         payload schema) is treated as corrupt — a miss, not a crash.
+        ``into`` additionally accumulates this lookup's outcome into a
+        caller-owned :class:`CacheStats` (per-batch reporting).
         """
         path = self.path_for(key)
         hit, miss, invalid = _lookup_outcomes()
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._record(into, misses=1)
             miss.inc()
             return None
         except (OSError, json.JSONDecodeError):
-            self.stats.misses += 1
-            self.stats.invalid += 1
+            self._record(into, misses=1, invalid=1)
             miss.inc()
             invalid.inc()
             return None
@@ -115,17 +172,17 @@ class ResultCache:
                 or entry.get("format") != ENTRY_FORMAT \
                 or not isinstance(payload, dict) \
                 or any(name not in payload for name in require):
-            self.stats.misses += 1
-            self.stats.invalid += 1
+            self._record(into, misses=1, invalid=1)
             miss.inc()
             invalid.inc()
             return None
-        self.stats.hits += 1
+        self._record(into, hits=1)
         hit.inc()
         return payload
 
     def put(self, key: str, payload: dict,
-            meta: dict | None = None) -> Path:
+            meta: dict | None = None,
+            into: CacheStats | None = None) -> Path:
         """Atomically store ``payload`` under ``key``."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -133,7 +190,7 @@ class ResultCache:
         if meta:
             entry["meta"] = meta
         handle, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json")
+            dir=path.parent, prefix=TEMP_PREFIX, suffix=".json")
         try:
             with os.fdopen(handle, "w", encoding="utf-8") as stream:
                 json.dump(entry, stream, sort_keys=True)
@@ -144,10 +201,35 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stats.puts += 1
+        self._record(into, puts=1)
         obs.counter("result_cache_writes_total",
                     "Result-cache entries written.").inc()
         return path
+
+    def _entries(self) -> Iterator[Path]:
+        """Real entry files — in-flight/orphaned temp files excluded."""
+        for path in self.root.glob("??/*.json"):
+            if not path.name.startswith("."):
+                yield path
+
+    def reap_temp_files(self) -> int:
+        """Delete orphaned atomic-write temp files; returns the count.
+
+        A writer that died between ``mkstemp`` and ``os.replace`` left a
+        ``.tmp-*.json`` no reader will ever consult.  Reaping runs on
+        cache open — any temp file present *before* this process starts
+        writing is, by definition, a dead writer's.
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for path in self.root.glob(f"??/{TEMP_PREFIX}*"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass  # a concurrent reaper got it first
+        return removed
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()
@@ -155,15 +237,15 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
-        for path in list(self.root.glob("??/*.json")):
+        for path in list(self._entries()):
             path.unlink()
             removed += 1
         return removed
 
 
-__all__ = ["CacheStats", "ResultCache", "ENTRY_FORMAT"]
+__all__ = ["CacheStats", "ResultCache", "ENTRY_FORMAT", "TEMP_PREFIX"]

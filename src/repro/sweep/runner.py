@@ -67,7 +67,7 @@ from repro.estimator.backends import (
 )
 from repro.estimator.analytic_plan import GridPoint
 from repro.estimator.trace import validate_trace_tier
-from repro.sweep.cache import ResultCache
+from repro.sweep.cache import CacheStats, ResultCache
 from repro.sweep.grid import expand
 from repro.sweep.results import JobResult, SweepResult
 from repro.sweep.spec import SweepJob, SweepSpec
@@ -432,7 +432,9 @@ def run_jobs(jobs: Sequence[SweepJob],
              progress: Callable[[str], None] | None = None,
              trace: str = "summary",
              analytic_grid: bool = True,
-             min_pool_jobs: int = DEFAULT_MIN_POOL_JOBS) -> SweepResult:
+             min_pool_jobs: int = DEFAULT_MIN_POOL_JOBS,
+             dispatch_lock: threading.Lock | None = None,
+             cache_stats: CacheStats | None = None) -> SweepResult:
     """Execute pre-expanded jobs: cache lookup → run misses → assemble.
 
     ``trace`` is the estimator recording tier for points that actually
@@ -445,6 +447,16 @@ def run_jobs(jobs: Sequence[SweepJob],
     classic per-point evaluation — benchmarks and differential tests
     use it).  ``min_pool_jobs`` is the fresh-pool dispatch floor (see
     :func:`pool_dispatch`; ``0`` disables the heuristic).
+
+    ``dispatch_lock`` is the *executor-ownership* lock for concurrent
+    callers (the evaluation service): it is taken only around the
+    simulated-backend executor dispatch, and only when simulated work
+    is actually pending — cache lookups, the in-process analytic grid
+    path, and result assembly run outside it, so a batch of cache hits
+    or closed-form points never waits behind another batch's slow
+    simulation.  ``cache_stats`` is a caller-owned accumulator that
+    receives exactly this call's cache outcomes (see
+    :meth:`repro.sweep.cache.ResultCache.get`).
     """
     validate_trace_tier(trace)
     jobs = sorted(jobs, key=lambda job: job.index)
@@ -457,7 +469,8 @@ def run_jobs(jobs: Sequence[SweepJob],
         served: dict[int, dict] = {}
         if cache is not None:
             for job, key in zip(jobs, keys):
-                payload = cache.get(key, require=PAYLOAD_KEYS)
+                payload = cache.get(key, require=PAYLOAD_KEYS,
+                                    into=cache_stats)
                 if payload is not None:
                     served[job.index] = payload
 
@@ -492,8 +505,18 @@ def run_jobs(jobs: Sequence[SweepJob],
                  f"executor{grid_note} [trace={trace}]")
     with obs.span("sweep.dispatch", executor=runner_name,
                   jobs=len(pending)):
+        # Nothing pending → never touch the executor: a fully-cached
+        # (or all-analytic) batch must not pay executor entry costs —
+        # or, under a dispatch_lock-holding sibling, wait for them.
+        if not pending:
+            dispatched: list[dict] = []
+        elif dispatch_lock is not None:
+            with dispatch_lock:
+                dispatched = _run_with_trace(runner, pending, trace)
+        else:
+            dispatched = _run_with_trace(runner, pending, trace)
         outcomes.update(zip((job.index for job in pending),
-                            _run_with_trace(runner, pending, trace)))
+                            dispatched))
 
     cacheable = trace != "off"
     job_status = obs.counter(
@@ -512,7 +535,8 @@ def run_jobs(jobs: Sequence[SweepJob],
         if cached or status == "ok":
             if not cached and cache is not None and cacheable:
                 cache.put(key, _payload_of(outcome),
-                          meta={"point": job.describe()})
+                          meta={"point": job.describe()},
+                          into=cache_stats)
             payload = outcome if cached else _payload_of(outcome)
             results.append(JobResult(
                 job=job, status="ok",

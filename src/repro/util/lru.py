@@ -8,14 +8,18 @@ more models than the limit.  :class:`LRUMap` instead evicts only the
 least-recently-used entry, so the working set survives.
 
 Access counts as use: ``get`` and ``put`` both move the entry to the
-most-recently-used position.  Not thread-safe by itself; callers that
-share a map across threads must serialize access (CPython dict ops are
-atomic enough for the simple get/put pattern the memos use, and the
-service serializes batch execution anyway).
+most-recently-used position.  Operations take an internal lock: the
+memos backed by this map (prepared models, parsed models, analytic
+plans) are shared across the evaluation service's concurrent batches,
+where the pop-then-reinsert recency dance is *not* atomic — two racing
+``get`` calls can otherwise drop an entry mid-flight.  The lock is
+uncontended in single-threaded sweeps and costs nanoseconds next to
+the work the memos amortize.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Generic, Iterator, TypeVar
 
 K = TypeVar("K")
@@ -32,29 +36,32 @@ class LRUMap(Generic[K, V]):
                 f"{capacity!r}")
         self.capacity = capacity
         self._data: dict[K, V] = {}  # dicts preserve insertion order
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: K, default: V | None = None) -> V | None:
         """The value under ``key`` (refreshing its recency), or default."""
-        try:
-            value = self._data.pop(key)
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data[key] = value  # re-insert at the MRU end
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data.pop(key)
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data[key] = value  # re-insert at the MRU end
+            self.hits += 1
+            return value
 
     def put(self, key: K, value: V) -> None:
         """Store ``key`` at the most-recent position, evicting if full."""
-        self._data.pop(key, None)
-        while len(self._data) >= self.capacity:
-            oldest = next(iter(self._data))
-            del self._data[oldest]
-            self.evictions += 1
-        self._data[key] = value
+        with self._lock:
+            self._data.pop(key, None)
+            while len(self._data) >= self.capacity:
+                oldest = next(iter(self._data))
+                del self._data[oldest]
+                self.evictions += 1
+            self._data[key] = value
 
     def __contains__(self, key: K) -> bool:
         return key in self._data
@@ -71,13 +78,15 @@ class LRUMap(Generic[K, V]):
         return list(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> dict:
         """Counters as a plain dict (service /stats payload)."""
-        return {"size": len(self._data), "capacity": self.capacity,
-                "hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+        with self._lock:
+            return {"size": len(self._data), "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}
 
 
 __all__ = ["LRUMap"]

@@ -95,3 +95,76 @@ class TestStats:
         cache.put(KEY, PAYLOAD)
         cache.get(KEY)
         assert "1 hit(s)" in cache.stats.describe()
+
+
+class TestTempOrphans:
+    """A writer that dies between mkstemp and os.replace leaves a
+    ``.tmp-*.json`` behind; it must never count as an entry."""
+
+    def plant_orphan(self, tmp_path):
+        shard = tmp_path / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        orphan = shard / ".tmp-deadbeef.json"
+        orphan.write_text('{"format": 1, "payload"', encoding="utf-8")
+        return orphan
+
+    def test_orphan_reaped_on_open(self, tmp_path):
+        orphan = self.plant_orphan(tmp_path)
+        cache = ResultCache(tmp_path)
+        assert not orphan.exists()
+        assert len(cache) == 0
+
+    def test_orphan_excluded_from_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        orphan = self.plant_orphan(tmp_path)
+        assert len(cache) == 1          # orphan is not an entry
+        assert cache.clear() == 1       # ...and clear() skips it
+        assert orphan.exists()          # clear touches entries only
+        assert cache.reap_temp_files() == 1
+        assert not orphan.exists()
+
+    def test_reap_is_idempotent(self, tmp_path):
+        self.plant_orphan(tmp_path)
+        cache = ResultCache(tmp_path)
+        assert cache.reap_temp_files() == 0
+
+
+class TestConcurrentStats:
+    def test_counters_survive_thread_races(self, tmp_path):
+        import threading
+        from repro.sweep.cache import CacheStats
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        threads_n, rounds = 8, 60
+        accumulators = [CacheStats() for _ in range(threads_n)]
+
+        def worker(mine):
+            for i in range(rounds):
+                cache.get(KEY, into=mine)                    # hit
+                cache.get("cd" + f"{i:062x}"[:62], into=mine)  # miss
+
+        threads = [threading.Thread(target=worker,
+                                    args=(accumulators[i],))
+                   for i in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Global counters: no lost increments under contention.
+        assert cache.stats.hits == threads_n * rounds
+        assert cache.stats.misses == threads_n * rounds
+        # Per-call accumulators: each caller saw exactly its own work.
+        for mine in accumulators:
+            assert (mine.hits, mine.misses) == (rounds, rounds)
+
+    def test_into_accumulates_puts(self, tmp_path):
+        from repro.sweep.cache import CacheStats
+        cache = ResultCache(tmp_path)
+        mine = CacheStats()
+        cache.put(KEY, PAYLOAD, into=mine)
+        cache.get(KEY, into=mine)
+        assert (mine.hits, mine.misses, mine.puts) == (1, 0, 1)
+        # The global counters advanced identically.
+        assert cache.stats.snapshot().to_payload() == {
+            "hits": 1, "misses": 0, "puts": 1, "invalid": 0}
