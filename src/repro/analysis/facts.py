@@ -1,0 +1,167 @@
+"""Dataflow facts derived by whole-model name scans.
+
+The central fact is **rank dependence**: whether a model's *cost* can
+differ between ranks.  The analytic backend replays one rank and shares
+the result across all of them whenever the answer is no, so the scan
+must cover exactly the expressions that backend evaluates — variable
+initializers, cost-function bodies, branch guards, cycle guards, loop
+trip counts, thread counts, message sizes, cost invocations, and code
+fragments of stereotyped elements.  Peer expressions (``dest``,
+``source``, ``root``) are *not* part of the cost scan: no backend's
+cost algebra reads them — they are tracked separately because the
+communication structure they steer is rank-dependent in almost every
+real MPI model.
+
+:class:`RankDependenceFact` is published in the analysis report and is
+also what :class:`repro.estimator.analytic_plan.AnalyticPlan` consults
+for its rank-invariance fast path (this module replaces the plan's
+private name scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import (Call, Expr, Name, stmt_expressions, walk_expr,
+                            walk_stmts)
+from repro.lang.parser import parse_expression, parse_program
+from repro.transform.algorithm import cost_argument
+from repro.uml.activities import (
+    ActionNode,
+    DecisionNode,
+    LoopNode,
+    ParallelRegionNode,
+)
+from repro.uml.model import Model
+from repro.uml.perf_profile import (
+    ALLREDUCE_PLUS,
+    BARRIER_PLUS,
+    BCAST_PLUS,
+    GATHER_PLUS,
+    RECV_PLUS,
+    REDUCE_PLUS,
+    SCATTER_PLUS,
+    SEND_PLUS,
+    performance_stereotype,
+)
+
+#: Intrinsics that identify the executing rank.
+RANK_NAMES = frozenset({"pid", "uid"})
+
+_PEER_TAGS = {
+    SEND_PLUS: "dest",
+    RECV_PLUS: "source",
+    BCAST_PLUS: "root",
+    SCATTER_PLUS: "root",
+    GATHER_PLUS: "root",
+    REDUCE_PLUS: "root",
+}
+
+_COMM_STEREOTYPES = frozenset(_PEER_TAGS) | {BARRIER_PLUS,
+                                             ALLREDUCE_PLUS}
+
+
+@dataclass(frozen=True)
+class RankDependenceFact:
+    """Which names the model reads, split by what they steer."""
+
+    cost_names: frozenset[str]
+    peer_names: frozenset[str]
+
+    @property
+    def cost_rank_dependent(self) -> bool:
+        """Can predicted per-rank times differ?  (What the analytic
+        backend's one-rank fast path must respect.)"""
+        return bool(self.cost_names & RANK_NAMES)
+
+    @property
+    def rank_dependent(self) -> bool:
+        """Does *any* behavior — cost or communication structure —
+        read the rank?"""
+        return bool((self.cost_names | self.peer_names) & RANK_NAMES)
+
+    def to_payload(self) -> dict:
+        return {
+            "cost_names": sorted(self.cost_names),
+            "peer_names": sorted(self.peer_names),
+            "cost_rank_dependent": self.cost_rank_dependent,
+            "rank_dependent": self.rank_dependent,
+        }
+
+
+class _Scan:
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+        self.peer_names: set[str] = set()
+        self._cache: dict[str, Expr] = {}
+
+    def expr(self, source: str) -> Expr:
+        cached = self._cache.get(source)
+        if cached is None:
+            cached = parse_expression(source)
+            self._cache[source] = cached
+        return cached
+
+    def note(self, expr: Expr, into: set[str] | None = None) -> None:
+        bucket = self.names if into is None else into
+        for sub in walk_expr(expr):
+            if isinstance(sub, Name):
+                bucket.add(sub.ident)
+            elif isinstance(sub, Call):
+                bucket.add(sub.func)
+
+    def note_stmts(self, stmts) -> None:
+        for stmt in walk_stmts(stmts):
+            for expr in stmt_expressions(stmt):
+                self.note(expr)
+
+
+def rank_dependence(model: Model) -> RankDependenceFact:
+    """Scan ``model`` for the names its evaluation can read."""
+    scan = _Scan()
+    for variable in (list(model.global_variables())
+                     + list(model.local_variables())):
+        if variable.init is not None:
+            scan.note(scan.expr(variable.init))
+    for function in model.function_defs().values():
+        scan.note_stmts(function.body)
+    for diagram in model.diagrams:
+        for node in diagram.nodes:
+            if isinstance(node, DecisionNode):
+                for edge in node.outgoing:
+                    if edge.guard not in (None, "else"):
+                        scan.note(scan.expr(edge.guard))
+            elif isinstance(node, LoopNode):
+                scan.note(scan.expr(node.iterations))
+            elif isinstance(node, ParallelRegionNode):
+                scan.note(scan.expr(node.num_threads))
+            elif isinstance(node, ActionNode):
+                _scan_action(scan, node)
+    return RankDependenceFact(frozenset(scan.names),
+                              frozenset(scan.peer_names))
+
+
+def _scan_action(scan: _Scan, node: ActionNode) -> None:
+    stereotype = performance_stereotype(node)
+    if stereotype is None:
+        # No runtime object is declared for the node; its annotations
+        # never evaluate in any backend.
+        return
+    if node.code is not None:
+        scan.note_stmts(parse_program(node.code).body)
+    if stereotype in _COMM_STEREOTYPES:
+        if stereotype != BARRIER_PLUS:
+            raw = node.tag_value(stereotype, "size")
+            scan.note(scan.expr(raw if isinstance(raw, str) else "0"))
+        peer_tag = _PEER_TAGS.get(stereotype)
+        if peer_tag is not None:
+            raw = node.tag_value(stereotype, peer_tag)
+            scan.note(scan.expr(raw if isinstance(raw, str) else "0"),
+                      into=scan.peer_names)
+    else:
+        cost = cost_argument(node)
+        if cost is not None:
+            scan.note(scan.expr(cost))
+
+
+__all__ = ["RANK_NAMES", "RankDependenceFact", "rank_dependence"]

@@ -1,0 +1,710 @@
+"""Interval domain and partially-concrete abstract evaluation.
+
+The static passes need two evaluation modes over the mini-language and
+one implementation must serve both, or the modes drift:
+
+* **concrete** — per-rank trace enumeration fixes ``pid`` and ``size``
+  to integers, so guards, loop bounds, and code fragments evaluate to
+  exact values.  The concrete path mirrors
+  :class:`repro.lang.evaluator.Evaluator` operation for operation
+  (C division/modulo, short-circuit booleans, declaration coercion),
+  because a divergence there turns into an unsound deadlock claim.
+* **interval** — guard satisfiability and cost bounds leave some names
+  abstract (``pid`` ranges over ``[0, size-1]``, a mutated global is
+  unknown).  Abstract values are closed intervals; every operation
+  returns an interval containing all concrete results, and control flow
+  over an unknown condition joins both branches.
+
+Values are plain Python scalars (``bool``/``int``/``float``/``str``)
+while they stay concrete and :class:`Interval` once any input was
+abstract, so precision is only lost where abstraction was introduced.
+:class:`AbstractEvalError` means the analysis cannot continue (step
+budget, division by an interval spanning zero, string arithmetic on
+abstract values); callers degrade to "inexact" instead of guessing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ProphetError
+from repro.lang.ast import (
+    Assign,
+    Binary,
+    BoolLit,
+    Call,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FunctionDef,
+    If,
+    IntLit,
+    Name,
+    Return,
+    StringLit,
+    Ternary,
+    Unary,
+    VarDecl,
+    While,
+    walk_stmts,
+)
+from repro.lang.builtins import BUILTINS
+from repro.lang.evaluator import c_div, c_mod
+from repro.lang.types import Type, coerce, default_value
+
+_INF = math.inf
+
+
+class AbstractEvalError(ProphetError):
+    """Abstract evaluation cannot produce a sound result; degrade."""
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over the extended reals."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi) or self.lo > self.hi:
+            raise AbstractEvalError(
+                f"malformed interval [{self.lo}, {self.hi}]")
+
+    @property
+    def degenerate(self) -> bool:
+        return self.lo == self.hi and math.isfinite(self.lo)
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __str__(self) -> str:
+        def fmt(v: float) -> str:
+            if v == _INF:
+                return "inf"
+            if v == -_INF:
+                return "-inf"
+            return f"{v:g}"
+        return f"[{fmt(self.lo)}, {fmt(self.hi)}]"
+
+
+TOP = Interval(-_INF, _INF)
+NON_NEGATIVE = Interval(0.0, _INF)
+
+
+def is_concrete(value: Any) -> bool:
+    return isinstance(value, (bool, int, float, str))
+
+
+def to_interval(value: Any) -> Interval:
+    """The smallest interval containing ``value`` (strings have none)."""
+    if isinstance(value, Interval):
+        return value
+    if isinstance(value, bool):
+        v = float(int(value))
+        return Interval(v, v)
+    if isinstance(value, (int, float)):
+        if math.isnan(value):
+            raise AbstractEvalError("NaN has no interval")
+        return Interval(float(value), float(value))
+    raise AbstractEvalError(f"value {value!r} has no interval")
+
+
+def hull_values(a: Any, b: Any) -> Any:
+    """Join of two abstract values (concrete equals stay concrete)."""
+    if is_concrete(a) and is_concrete(b) and type(a) is type(b) and a == b:
+        return a
+    if isinstance(a, str) or isinstance(b, str):
+        raise AbstractEvalError("cannot join distinct strings")
+    return to_interval(a).hull(to_interval(b))
+
+
+# -- inf-safe endpoint arithmetic ---------------------------------------------
+
+def _safe(value: float, default: float) -> float:
+    return default if math.isnan(value) else value
+
+
+def _iv_add(a: Interval, b: Interval) -> Interval:
+    return Interval(_safe(a.lo + b.lo, -_INF), _safe(a.hi + b.hi, _INF))
+
+
+def _iv_sub(a: Interval, b: Interval) -> Interval:
+    return Interval(_safe(a.lo - b.hi, -_INF), _safe(a.hi - b.lo, _INF))
+
+
+def _mul_endpoint(x: float, y: float) -> float:
+    if x == 0.0 or y == 0.0:
+        return 0.0  # interval convention: 0 * inf = 0
+    return x * y
+
+
+def _iv_mul(a: Interval, b: Interval) -> Interval:
+    products = [_mul_endpoint(a.lo, b.lo), _mul_endpoint(a.lo, b.hi),
+                _mul_endpoint(a.hi, b.lo), _mul_endpoint(a.hi, b.hi)]
+    return Interval(min(products), max(products))
+
+
+def _iv_div(a: Interval, b: Interval) -> Interval:
+    if b.contains(0.0):
+        # Divisors arbitrarily close to zero make the quotient
+        # unbounded; runtime division *by* zero raises instead.
+        return TOP
+    quotients = []
+    for x in (a.lo, a.hi):
+        for y in (b.lo, b.hi):
+            if math.isinf(x) and math.isinf(y):
+                return TOP
+            quotients.append(0.0 if math.isinf(y) else x / y)
+    # C integer division truncates toward zero, which moves the result
+    # at most one unit toward zero from the true quotient.
+    return Interval(_safe(min(quotients) - 1.0, -_INF),
+                    _safe(max(quotients) + 1.0, _INF))
+
+
+def _iv_mod(a: Interval, b: Interval) -> Interval:
+    if b.degenerate and b.lo != 0.0:
+        magnitude = abs(b.lo)
+        if a.lo >= 0.0:
+            return Interval(0.0, magnitude)
+        return Interval(-magnitude, magnitude)
+    return TOP
+
+
+def _iv_neg(a: Interval) -> Interval:
+    return Interval(-a.hi, -a.lo)
+
+
+def _compare(op: str, a: Interval, b: Interval) -> bool | None:
+    """Tri-state comparison: True, False, or None (unknown)."""
+    if op == "<":
+        if a.hi < b.lo:
+            return True
+        if a.lo >= b.hi:
+            return False
+    elif op == "<=":
+        if a.hi <= b.lo:
+            return True
+        if a.lo > b.hi:
+            return False
+    elif op == ">":
+        return _compare("<", b, a)
+    elif op == ">=":
+        return _compare("<=", b, a)
+    elif op == "==":
+        if a.degenerate and b.degenerate and a.lo == b.lo:
+            return True
+        if a.hi < b.lo or b.hi < a.lo:
+            return False
+    elif op == "!=":
+        eq = _compare("==", a, b)
+        return None if eq is None else not eq
+    return None
+
+
+#: Builtins with a sound interval extension.  Monotone nondecreasing
+#: unary functions apply endpoint-wise; the rest fall back to TOP.
+_MONOTONE_BUILTINS = {
+    "sqrt": (math.sqrt, 0.0),
+    "log": (math.log, None),
+    "log2": (math.log2, None),
+    "log10": (math.log10, None),
+    "exp": (math.exp, -_INF),
+    "floor": (math.floor, -_INF),
+    "ceil": (math.ceil, -_INF),
+}
+
+
+def _iv_builtin(name: str, args: list[Any]) -> Any:
+    if name in _MONOTONE_BUILTINS and len(args) == 1:
+        fn, domain_lo = _MONOTONE_BUILTINS[name]
+        iv = to_interval(args[0])
+        lo_ok = domain_lo is None or iv.lo >= domain_lo
+        if domain_lo is None and iv.lo <= 0.0:
+            lo_ok = False
+        if not lo_ok:
+            return TOP
+        try:
+            lo = fn(iv.lo) if math.isfinite(iv.lo) else (
+                -_INF if iv.lo < 0 else _INF)
+            hi = fn(iv.hi) if math.isfinite(iv.hi) else _INF
+        except (ValueError, OverflowError):
+            return TOP
+        return Interval(float(lo), float(hi))
+    if name in ("abs", "fabs") and len(args) == 1:
+        iv = to_interval(args[0])
+        if iv.lo >= 0.0:
+            return iv
+        if iv.hi <= 0.0:
+            return _iv_neg(iv)
+        return Interval(0.0, max(-iv.lo, iv.hi))
+    if name == "min" and len(args) == 2:
+        a, b = to_interval(args[0]), to_interval(args[1])
+        return Interval(min(a.lo, b.lo), min(a.hi, b.hi))
+    if name == "max" and len(args) == 2:
+        a, b = to_interval(args[0]), to_interval(args[1])
+        return Interval(max(a.lo, b.lo), max(a.hi, b.hi))
+    return TOP
+
+
+# -- the abstract environment -------------------------------------------------
+
+class AbstractEnv:
+    """A scope chain mirroring :class:`repro.lang.evaluator.Environment`,
+    with values that may be intervals."""
+
+    __slots__ = ("_vars", "_types", "parent")
+
+    def __init__(self, parent: "AbstractEnv | None" = None) -> None:
+        self._vars: dict[str, Any] = {}
+        self._types: dict[str, Type] = {}
+        self.parent = parent
+
+    def child(self) -> "AbstractEnv":
+        return AbstractEnv(self)
+
+    def declare(self, name: str, type_: Type, value: Any = None) -> None:
+        if name in self._vars:
+            raise AbstractEvalError(f"redeclaration of {name!r}")
+        if value is None:
+            value = default_value(type_)
+        else:
+            value = _coerce_abstract(value, type_)
+        self._vars[name] = value
+        self._types[name] = type_
+
+    def lookup(self, name: str) -> Any:
+        env: AbstractEnv | None = self
+        while env is not None:
+            if name in env._vars:
+                return env._vars[name]
+            env = env.parent
+        raise AbstractEvalError(f"undeclared variable {name!r}")
+
+    def assign(self, name: str, value: Any) -> None:
+        env: AbstractEnv | None = self
+        while env is not None:
+            if name in env._vars:
+                declared = env._types.get(name)
+                if declared is not None:
+                    value = _coerce_abstract(value, declared)
+                env._vars[name] = value
+                return
+            env = env.parent
+        raise AbstractEvalError(f"assignment to undeclared {name!r}")
+
+    def widen(self, name: str) -> None:
+        """Forget everything about ``name`` (loop/branch join fallback)."""
+        env: AbstractEnv | None = self
+        while env is not None:
+            if name in env._vars:
+                type_ = env._types.get(name)
+                env._vars[name] = (Interval(0.0, 1.0)
+                                   if type_ is Type.BOOL else TOP)
+                return
+            env = env.parent
+
+    # Snapshots copy every scope's bindings so branch arms can execute
+    # independently and join; the chain is shallow (globals plus a few
+    # nested scopes), so this is a handful of dict copies.
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        chain = []
+        env: AbstractEnv | None = self
+        while env is not None:
+            chain.append(dict(env._vars))
+            env = env.parent
+        return chain
+
+    def restore(self, snap: list[dict[str, Any]]) -> None:
+        env: AbstractEnv | None = self
+        for saved in snap:
+            assert env is not None
+            env._vars.clear()
+            env._vars.update(saved)
+            env = env.parent
+
+    def join_from(self, snap: list[dict[str, Any]]) -> None:
+        """Merge a sibling snapshot into this environment in place."""
+        env: AbstractEnv | None = self
+        for saved in snap:
+            assert env is not None
+            for name, value in env._vars.items():
+                other = saved.get(name, value)
+                try:
+                    env._vars[name] = hull_values(value, other)
+                except AbstractEvalError:
+                    type_ = env._types.get(name)
+                    env._vars[name] = (Interval(0.0, 1.0)
+                                       if type_ is Type.BOOL else TOP)
+            env = env.parent
+
+
+def _coerce_abstract(value: Any, target: Type) -> Any:
+    if is_concrete(value):
+        try:
+            return coerce(value, target)
+        except ValueError as exc:
+            raise AbstractEvalError(str(exc)) from exc
+    iv: Interval = value
+    if target is Type.DOUBLE:
+        return iv
+    if target is Type.INT:
+        # int() truncates toward zero and truncation is nondecreasing.
+        lo = math.trunc(iv.lo) if math.isfinite(iv.lo) else iv.lo
+        hi = math.trunc(iv.hi) if math.isfinite(iv.hi) else iv.hi
+        return Interval(float(lo), float(hi))
+    if target is Type.BOOL:
+        if not iv.contains(0.0):
+            return True
+        if iv.degenerate:
+            return False
+        return Interval(0.0, 1.0)
+    raise AbstractEvalError(f"cannot coerce interval to {target}")
+
+
+# -- the evaluator ------------------------------------------------------------
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        super().__init__()
+
+
+class AbstractEvaluator:
+    """Partially-concrete evaluation of expressions and programs."""
+
+    def __init__(self, functions: Mapping[str, FunctionDef] | None = None,
+                 step_budget: int = 2_000_000) -> None:
+        self.functions = dict(functions or {})
+        self._budget = step_budget
+        self._steps = 0
+        self._depth = 0
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self._budget:
+            raise AbstractEvalError("analysis step budget exhausted")
+
+    # -- truth ----------------------------------------------------------------
+
+    def truth(self, value: Any) -> bool | None:
+        """Tri-state truthiness of an abstract value."""
+        if is_concrete(value):
+            return bool(value)
+        iv: Interval = value
+        if not iv.contains(0.0):
+            return True
+        if iv.degenerate:
+            return False
+        return None
+
+    # -- expressions -----------------------------------------------------------
+
+    def eval(self, expr: Expr, env: AbstractEnv) -> Any:
+        self._tick()
+        if isinstance(expr, (IntLit, FloatLit, BoolLit, StringLit)):
+            return expr.value
+        if isinstance(expr, Name):
+            return env.lookup(expr.ident)
+        if isinstance(expr, Unary):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, Binary):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, Ternary):
+            return self._eval_ternary(expr, env)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, env)
+        raise AbstractEvalError(
+            f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_unary(self, expr: Unary, env: AbstractEnv) -> Any:
+        value = self.eval(expr.operand, env)
+        if expr.op == "-":
+            return -value if is_concrete(value) else _iv_neg(value)
+        if expr.op == "+":
+            return +value if is_concrete(value) else value
+        if expr.op == "!":
+            t = self.truth(value)
+            return Interval(0.0, 1.0) if t is None else (not t)
+        raise AbstractEvalError(f"unknown unary {expr.op!r}")
+
+    def _eval_ternary(self, expr: Ternary, env: AbstractEnv) -> Any:
+        cond = self.truth(self.eval(expr.cond, env))
+        if cond is True:
+            return self.eval(expr.then, env)
+        if cond is False:
+            return self.eval(expr.other, env)
+        # Unknown condition: evaluate both (calls may mutate globals —
+        # snapshot so a double-executed side effect is widened, not
+        # silently wrong).
+        snap = env.snapshot()
+        then_value = self.eval(expr.then, env)
+        mid = env.snapshot()
+        env.restore(snap)
+        other_value = self.eval(expr.other, env)
+        env.join_from(mid)
+        return hull_values(then_value, other_value)
+
+    def _eval_binary(self, expr: Binary, env: AbstractEnv) -> Any:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._eval_logical(expr, env)
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        if is_concrete(left) and is_concrete(right):
+            return self._concrete_binary(op, left, right)
+        if isinstance(left, str) or isinstance(right, str):
+            raise AbstractEvalError(
+                "string operand mixed with an abstract value")
+        a, b = to_interval(left), to_interval(right)
+        if op == "+":
+            return _iv_add(a, b)
+        if op == "-":
+            return _iv_sub(a, b)
+        if op == "*":
+            return _iv_mul(a, b)
+        if op == "/":
+            return _iv_div(a, b)
+        if op == "%":
+            return _iv_mod(a, b)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            verdict = _compare(op, a, b)
+            return Interval(0.0, 1.0) if verdict is None else verdict
+        raise AbstractEvalError(f"unknown binary {op!r}")
+
+    def _eval_logical(self, expr: Binary, env: AbstractEnv) -> Any:
+        left = self.truth(self.eval(expr.left, env))
+        if expr.op == "&&":
+            if left is False:
+                return False
+            right = self.truth(self.eval(expr.right, env))
+            if right is False:
+                return False
+            if left is True and right is True:
+                return True
+            return Interval(0.0, 1.0)
+        # ||
+        if left is True:
+            return True
+        right = self.truth(self.eval(expr.right, env))
+        if right is True:
+            return True
+        if left is False and right is False:
+            return False
+        return Interval(0.0, 1.0)
+
+    @staticmethod
+    def _concrete_binary(op: str, left: Any, right: Any) -> Any:
+        # Mirrors Evaluator._eval_binary exactly (C semantics).
+        try:
+            if op == "+":
+                if isinstance(left, str) or isinstance(right, str):
+                    if not (isinstance(left, str)
+                            and isinstance(right, str)):
+                        raise AbstractEvalError(
+                            "cannot add string and non-string")
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return c_div(left, right)
+            if op == "%":
+                return c_mod(left, right)
+            if op == "==":
+                return left == right
+            if op == "!=":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except ProphetError as exc:  # EvalError from c_div/c_mod
+            raise AbstractEvalError(str(exc)) from exc
+        except TypeError as exc:
+            raise AbstractEvalError(f"bad operands for {op!r}") from exc
+        raise AbstractEvalError(f"unknown binary {op!r}")
+
+    def _eval_call(self, expr: Call, env: AbstractEnv) -> Any:
+        function = self.functions.get(expr.func)
+        args = [self.eval(arg, env) for arg in expr.args]
+        if function is not None:
+            return self._call_function(function, args, env)
+        builtin = BUILTINS.get(expr.func)
+        if builtin is None:
+            raise AbstractEvalError(
+                f"call to undefined function {expr.func!r}")
+        if all(is_concrete(arg) for arg in args):
+            try:
+                return builtin(*args)
+            except ProphetError as exc:
+                raise AbstractEvalError(str(exc)) from exc
+        return _iv_builtin(expr.func, args)
+
+    def _call_function(self, function: FunctionDef, args: list[Any],
+                       env: AbstractEnv) -> Any:
+        if len(args) != function.arity:
+            raise AbstractEvalError(
+                f"{function.name}() takes {function.arity} argument(s)")
+        if self._depth >= 24:
+            raise AbstractEvalError("call depth limit exceeded")
+        bottom = env
+        while bottom.parent is not None:
+            bottom = bottom.parent
+        frame = bottom.child()
+        for param, arg in zip(function.params, args):
+            frame.declare(param.name, param.type, arg)
+        snap = env.snapshot()
+        self._depth += 1
+        try:
+            self.exec_stmts(function.body, frame)
+        except _ReturnSignal as signal:
+            return signal.value
+        except AbstractEvalError:
+            # The body hit abstract control flow (or an error).  Restore
+            # the environment, widen every global the body could have
+            # assigned, and return the unknown of the return type.
+            env.restore(snap)
+            for name in _assigned_names(function.body):
+                env.widen(name)
+            if function.return_type is Type.BOOL:
+                return Interval(0.0, 1.0)
+            return TOP
+        finally:
+            self._depth -= 1
+        if function.return_type is Type.VOID:
+            return 0
+        raise AbstractEvalError(
+            f"{function.name}() finished without returning")
+
+    # -- statements ------------------------------------------------------------
+
+    def run_program(self, program, env: AbstractEnv) -> None:
+        """Execute a code fragment (no ``return`` allowed)."""
+        try:
+            self.exec_stmts(program.body if hasattr(program, "body")
+                            else program, env)
+        except _ReturnSignal:
+            raise AbstractEvalError("'return' outside a cost function")
+
+    def exec_stmts(self, stmts: Iterable, env: AbstractEnv) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt, env: AbstractEnv) -> None:
+        self._tick()
+        if isinstance(stmt, VarDecl):
+            value = (self.eval(stmt.init, env)
+                     if stmt.init is not None else None)
+            env.declare(stmt.name, stmt.type, value)
+        elif isinstance(stmt, Assign):
+            value = self.eval(stmt.value, env)
+            if stmt.op:
+                current = env.lookup(stmt.name)
+                value = self._compound(stmt.op, current, value)
+            env.assign(stmt.name, value)
+        elif isinstance(stmt, ExprStmt):
+            self.eval(stmt.expr, env)
+        elif isinstance(stmt, If):
+            self._exec_if(stmt, env)
+        elif isinstance(stmt, While):
+            self._exec_loop(stmt.cond, None, stmt.body, None, env)
+        elif isinstance(stmt, For):
+            scope = env.child()
+            if stmt.init is not None:
+                self.exec_stmt(stmt.init, scope)
+            self._exec_loop(stmt.cond, stmt.step, stmt.body, scope, env)
+        elif isinstance(stmt, Return):
+            value = (self.eval(stmt.value, env)
+                     if stmt.value is not None else None)
+            raise _ReturnSignal(value)
+        else:
+            raise AbstractEvalError(
+                f"cannot execute {type(stmt).__name__}")
+
+    def _compound(self, op: str, current: Any, value: Any) -> Any:
+        if is_concrete(current) and is_concrete(value):
+            if op == "+":
+                return current + value
+            if op == "-":
+                return current - value
+            if op == "*":
+                return current * value
+            if op == "/":
+                return c_div(current, value)
+            raise AbstractEvalError(f"unknown compound {op!r}=")
+        a, b = to_interval(current), to_interval(value)
+        ops = {"+": _iv_add, "-": _iv_sub, "*": _iv_mul, "/": _iv_div}
+        if op not in ops:
+            raise AbstractEvalError(f"unknown compound {op!r}=")
+        return ops[op](a, b)
+
+    def _exec_if(self, stmt: If, env: AbstractEnv) -> None:
+        cond = self.truth(self.eval(stmt.cond, env))
+        if cond is True:
+            self.exec_stmts(stmt.then_body, env.child())
+            return
+        if cond is False:
+            self.exec_stmts(stmt.else_body, env.child())
+            return
+        snap = env.snapshot()
+        self.exec_stmts(stmt.then_body, env.child())
+        then_snap = env.snapshot()
+        env.restore(snap)
+        self.exec_stmts(stmt.else_body, env.child())
+        env.join_from(then_snap)
+
+    def _exec_loop(self, cond, step, body, scope: AbstractEnv | None,
+                   env: AbstractEnv) -> None:
+        loop_env = scope if scope is not None else env
+        # Concrete conditions execute exactly (budget-limited); the
+        # first unknown condition widens every assigned name and exits.
+        while True:
+            self._tick()
+            verdict = (True if cond is None
+                       else self.truth(self.eval(cond, loop_env)))
+            if verdict is False:
+                return
+            if verdict is None:
+                names = set(_assigned_names(body))
+                if step is not None:
+                    names.update(_assigned_names([step]))
+                for name in names:
+                    loop_env.widen(name)
+                return
+            self.exec_stmts(body, loop_env.child())
+            if step is not None:
+                self.exec_stmt(step, loop_env)
+
+
+def _assigned_names(stmts) -> set[str]:
+    names: set[str] = set()
+    for stmt in walk_stmts(stmts):
+        if isinstance(stmt, Assign):
+            names.add(stmt.name)
+    return names
+
+
+__all__ = [
+    "AbstractEnv",
+    "AbstractEvalError",
+    "AbstractEvaluator",
+    "Interval",
+    "NON_NEGATIVE",
+    "TOP",
+    "hull_values",
+    "is_concrete",
+    "to_interval",
+]

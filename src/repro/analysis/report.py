@@ -1,0 +1,113 @@
+"""The machine-readable product of one analyzer run.
+
+An :class:`AnalysisReport` is what every consumer shares: the registry
+caches its JSON next to the model (keyed by structural hash), the
+service returns it in 422 bodies and ``/stats``, the sweep runner
+pre-flights jobs against it, ``prophet lint`` renders it, and the CI
+lint leg uploads it as an artifact.  The payload round-trips losslessly
+through :meth:`to_payload`/:meth:`from_payload` so a cached report is
+indistinguishable from a fresh one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checker.diagnostics import Diagnostic, Severity
+
+#: Bump when the payload layout changes; consumers reject newer forms.
+PAYLOAD_VERSION = 1
+
+
+@dataclass
+class AnalysisReport:
+    """All findings and facts from one whole-model analysis."""
+
+    model_name: str
+    model_hash: str | None = None
+    sizes: tuple[int, ...] = ()
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    rules_run: list[str] = field(default_factory=list)
+    facts: dict = field(default_factory=dict)
+
+    # -- filtering ----------------------------------------------------------
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding fired."""
+        return not self.errors()
+
+    def by_rule(self, rule_id: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- serialization ------------------------------------------------------
+
+    def summary(self) -> dict:
+        """The small dict ``/stats`` carries per model."""
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "infos": len(self.infos()),
+            "rules_run": list(self.rules_run),
+        }
+
+    def to_payload(self) -> dict:
+        return {
+            "version": PAYLOAD_VERSION,
+            "model": self.model_name,
+            "model_hash": self.model_hash,
+            "sizes": list(self.sizes),
+            "ok": self.ok,
+            "summary": self.summary(),
+            "rules_run": list(self.rules_run),
+            "diagnostics": [d.to_payload() for d in self.diagnostics],
+            "facts": self.facts,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AnalysisReport":
+        version = payload.get("version")
+        if version != PAYLOAD_VERSION:
+            raise ValueError(
+                f"unsupported analysis payload version {version!r} "
+                f"(expected {PAYLOAD_VERSION})")
+        return cls(
+            model_name=payload["model"],
+            model_hash=payload.get("model_hash"),
+            sizes=tuple(payload.get("sizes", ())),
+            diagnostics=[Diagnostic.from_payload(item)
+                         for item in payload.get("diagnostics", [])],
+            rules_run=list(payload.get("rules_run", [])),
+            facts=dict(payload.get("facts", {})),
+        )
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self) -> str:
+        sizes = ",".join(str(size) for size in self.sizes)
+        lines = [f"analysis: {self.model_name} — "
+                 f"{len(self.errors())} error(s), "
+                 f"{len(self.warnings())} warning(s), "
+                 f"{len(self.infos())} info(s) "
+                 f"({len(self.rules_run)} rule(s), sizes [{sizes}])"]
+        lines.extend(d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+
+__all__ = ["AnalysisReport", "PAYLOAD_VERSION"]

@@ -25,13 +25,19 @@ class Severity(enum.Enum):
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One finding: which rule fired, where, and why."""
+    """One finding: which rule fired, where, and why.
+
+    ``diagram`` (a name) plus ``diagram_id``/``element_id`` (XMI ids)
+    form a stable source location that survives model renames, so CI
+    artifacts and service payloads can be diffed across revisions.
+    """
 
     rule_id: str
     severity: Severity
     message: str
     element_id: int | None = None
     diagram: str | None = None
+    diagram_id: int | None = None
 
     def render(self) -> str:
         location = ""
@@ -43,6 +49,29 @@ class Diagnostic:
         elif self.element_id is not None:
             location += f" [element {self.element_id}]"
         return f"{self.severity.value}: {self.rule_id}: {self.message}{location}"
+
+    def to_payload(self) -> dict:
+        """The one JSON schema shared by ``--format json``, the CI
+        artifact, and the service's 422 body."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "element_id": self.element_id,
+            "diagram": self.diagram,
+            "diagram_id": self.diagram_id,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Diagnostic":
+        return cls(
+            rule_id=payload["rule"],
+            severity=Severity.from_name(payload["severity"]),
+            message=payload["message"],
+            element_id=payload.get("element_id"),
+            diagram=payload.get("diagram"),
+            diagram_id=payload.get("diagram_id"),
+        )
 
 
 @dataclass

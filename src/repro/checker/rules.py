@@ -56,9 +56,11 @@ class Rule:
         raise NotImplementedError
 
     def diag(self, message: str, element_id: int | None = None,
-             diagram: str | None = None) -> Diagnostic:
-        return Diagnostic(self.rule_id, self.severity, message,
-                          element_id, diagram)
+             diagram: str | None = None,
+             diagram_id: int | None = None,
+             severity: Severity | None = None) -> Diagnostic:
+        return Diagnostic(self.rule_id, severity or self.severity,
+                          message, element_id, diagram, diagram_id)
 
 
 #: Registry of rule classes, populated by the decorator below.

@@ -3,7 +3,13 @@
 Commands mirror the Fig. 2 tool flow:
 
 * ``prophet sample -o model.xml`` — write the paper's sample model;
-* ``prophet check model.xml [--mcf rules.xml]`` — run the Model Checker;
+* ``prophet check <model> [--mcf rules.xml]`` — run the Model Checker
+  (a model XML path, a built-in model/scenario name, or — with
+  ``--registry`` — a registry ref);
+* ``prophet lint <model> [--format json]`` — run the whole-model
+  static analyzer (communication matching/deadlocks, guard
+  satisfiability, rank dependence, cost bounds); same model
+  resolution as ``check``;
 * ``prophet transform model.xml --to cpp|python|skeleton [-o out]`` —
   the Fig. 5 transformation;
 * ``prophet simulate model.xml --processes 4 ... [--trace tf.csv]`` —
@@ -42,8 +48,38 @@ def build_parser() -> argparse.ArgumentParser:
                         default="sample")
 
     check = commands.add_parser("check", help="run the Model Checker")
-    check.add_argument("model")
+    check.add_argument("model",
+                       help="model XML file, built-in model/scenario "
+                            "name, or (with --registry) a registry ref")
     check.add_argument("--mcf", help="model checking file (XML)")
+    check.add_argument("--registry",
+                       help="model registry directory to resolve refs "
+                            "(hash, hash prefix, or label) against")
+
+    lint = commands.add_parser(
+        "lint", help="run the whole-model static analyzer "
+                     "(communication matching, deadlock detection, "
+                     "guard satisfiability, cost bounds)")
+    lint.add_argument("model",
+                      help="model XML file, built-in model/scenario "
+                           "name, or (with --registry) a registry ref")
+    lint.add_argument("--mcf",
+                      help="model checking file (XML); rule ids under "
+                           "<rule> enable/disable analysis passes and "
+                           "override severities, and the free-form "
+                           "'analysis-sizes' parameter sets the "
+                           "process counts enumerated")
+    lint.add_argument("--registry",
+                      help="model registry directory to resolve refs "
+                           "(hash, hash prefix, or label) against")
+    lint.add_argument("--sizes",
+                      help="comma-separated process counts to analyze "
+                           "(overrides the MCF; default 1,2,3,4)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="diagnostics as human-readable text "
+                           "(default) or the same JSON schema the "
+                           "service's 422 body uses")
 
     transform = commands.add_parser(
         "transform", help="transform the model (Fig. 5 algorithm)")
@@ -325,6 +361,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_sample(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "transform":
         return _cmd_transform(args)
     if args.command == "simulate":
@@ -361,11 +399,57 @@ def _cmd_sample(args) -> int:
     return 0
 
 
+def _resolve_model_target(target: str, registry_dir: str | None):
+    """A model from an XML path, a built-in name, or a registry ref.
+
+    Resolution order: an existing file wins (paths are unambiguous),
+    then a built-in model or scenario name, then — when ``--registry``
+    names a store — a registry ref (hash, unambiguous hash prefix, or
+    label).
+    """
+    from repro.service.registry import builtin_model_builders
+    if Path(target).is_file():
+        from repro.xmlio.reader import read_model
+        return read_model(target)
+    builders = builtin_model_builders()
+    if target in builders:
+        return builders[target]()
+    if registry_dir:
+        from repro.service.registry import ModelRegistry
+        return ModelRegistry(registry_dir).get(target)
+    raise ProphetError(
+        f"{target!r} is neither a readable model XML file nor a "
+        f"built-in model name (one of "
+        f"{', '.join(sorted(builders))}); to resolve registry refs, "
+        "pass --registry DIR")
+
+
 def _cmd_check(args) -> int:
     from repro.prophet import PerformanceProphet
-    prophet = PerformanceProphet.open(args.model, mcf_path=args.mcf)
-    report = prophet.check()
+    from repro.xmlio.mcf import read_mcf
+    config = read_mcf(args.mcf) if args.mcf else None
+    model = _resolve_model_target(args.model, args.registry)
+    report = PerformanceProphet(model, checking_config=config).check()
     print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis import ModelAnalyzer
+    from repro.uml.hashing import model_structural_hash
+    from repro.xmlio.mcf import read_mcf
+    config = read_mcf(args.mcf) if args.mcf else None
+    sizes = (tuple(_parse_int_list(args.sizes, "sizes"))
+             if args.sizes else None)
+    model = _resolve_model_target(args.model, args.registry)
+    analyzer = ModelAnalyzer(config, sizes)
+    report = analyzer.analyze(model, model_structural_hash(model))
+    if args.format == "json":
+        print(json.dumps(report.to_payload(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
     return 0 if report.ok else 1
 
 

@@ -97,6 +97,19 @@ class CheckError(ProphetError):
         self.diagnostics = list(diagnostics or [])
 
 
+class AnalysisError(CheckError):
+    """A static-analysis gate found error-severity findings.
+
+    Carries the full :class:`repro.analysis.AnalysisReport` (when
+    available) so service boundaries can return structured diagnostics.
+    """
+
+    def __init__(self, message: str, diagnostics=None,
+                 report=None) -> None:
+        super().__init__(message, diagnostics)
+        self.report = report
+
+
 # ---------------------------------------------------------------------------
 # Transformation (repro.transform)
 # ---------------------------------------------------------------------------

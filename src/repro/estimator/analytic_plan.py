@@ -52,16 +52,13 @@ import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.analysis.facts import rank_dependence
 from repro.errors import EstimatorError, TransformError
 from repro.lang.ast import (
     Assign,
-    Call,
     Expr,
-    Name,
     Program,
     VarDecl,
-    stmt_expressions,
-    walk_expr,
     walk_stmts,
 )
 from repro.lang.evaluator import Environment, Evaluator
@@ -474,7 +471,6 @@ class AnalyticPlan:
         self._expr_cache: dict[str, Expr] = {}
         self._program_cache: dict[str, Program] = {}
         self._override_cache: dict[str, Expr] = {}
-        self._names: set[str] = set()
         self._state_free: dict[str, bool] = {}
         self._links: list = []
 
@@ -488,18 +484,19 @@ class AnalyticPlan:
             self.variables.append((variable.name, variable.type, init))
         self._variable_names = {name for name, _, _ in self.variables}
 
-        for function in self.functions.values():
-            self._note_stmts(function.body)
-
         self.regions = {name: self._compile_region(region)
                         for name, region in self.ir.regions.items()}
         for ref in self._links:
             ref.body = self.regions[ref.behavior]
         self.main = self.regions[model.main_diagram_name]
 
-        #: A model that never reads ``pid``/``uid`` costs the same on
-        #: every rank, so one rank's replay serves all of them.
-        self.rank_invariant = not (self._names & {"pid", "uid"})
+        #: A model that never reads ``pid``/``uid`` in its cost-side
+        #: expressions costs the same on every rank, so one rank's
+        #: replay serves all of them.  The fact is shared with the
+        #: static analyzer (:mod:`repro.analysis.facts`) so the two can
+        #: never disagree about what "rank-invariant" means.
+        self.rank_invariant = \
+            not rank_dependence(model).cost_rank_dependent
 
     # -- compile-time caches and scans ---------------------------------------
 
@@ -508,7 +505,6 @@ class AnalyticPlan:
         if cached is None:
             cached = parse_expression(source)
             self._expr_cache[source] = cached
-            self._note_expr(cached)
         return cached
 
     def _program(self, source: str) -> Program:
@@ -516,20 +512,7 @@ class AnalyticPlan:
         if cached is None:
             cached = parse_program(source)
             self._program_cache[source] = cached
-            self._note_stmts(cached.body)
         return cached
-
-    def _note_expr(self, expr: Expr) -> None:
-        for sub in walk_expr(expr):
-            if isinstance(sub, Name):
-                self._names.add(sub.ident)
-            elif isinstance(sub, Call):
-                self._names.add(sub.func)
-
-    def _note_stmts(self, stmts) -> None:
-        for stmt in walk_stmts(stmts):
-            for expr in stmt_expressions(stmt):
-                self._note_expr(expr)
 
     def region_is_state_free(self, region: Region,
                              _seen: frozenset[str] = frozenset()) -> bool:

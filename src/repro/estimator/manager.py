@@ -55,6 +55,10 @@ class EstimationResult:
     trace_tier: str = "full"
     #: Per-kind record counts (full and summary tiers; empty for off).
     trace_counts: dict = field(default_factory=dict)
+    #: Post-run diagnostics: messages that drained into an inbox but were
+    #: never matched by any receive (MPI's unexpected-message queue at
+    #: simulation end).  The run still completed — these are warnings.
+    warnings: list[str] = field(default_factory=list)
 
     def write_trace_file(self, path: str | Path,
                          fmt: str = "csv") -> Path:
@@ -81,6 +85,8 @@ class EstimationResult:
         ]
         for index, utilization in enumerate(self.node_utilization):
             lines.append(f"node {index} utilization: {utilization:.1%}")
+        for warning in self.warnings:
+            lines.append(f"warning:    {warning}")
         return "\n".join(lines)
 
 
@@ -230,6 +236,19 @@ class PerformanceEstimator:
             trace.record("process", -1, f"rank{pid}", ctx.uid, pid, 0,
                          0.0, finished)
 
+        warnings = []
+        for pid, mailbox in enumerate(comm.mailboxes):
+            leftovers = mailbox.pending()
+            if not leftovers:
+                continue
+            pairs = ", ".join(
+                f"(from rank {message.source}, tag {message.tag}, "
+                f"{message.nbytes:g} bytes)"
+                for message in leftovers)
+            warnings.append(
+                f"{len(leftovers)} message(s) to rank {pid} were never "
+                f"received: {pairs}")
+
         return EstimationResult(
             model_name=model_name,
             params=self.params,
@@ -242,6 +261,7 @@ class PerformanceEstimator:
             trace_records=len(trace),
             trace_tier=trace.tier,
             trace_counts=trace.counts_by_kind(),
+            warnings=warnings,
         )
 
 

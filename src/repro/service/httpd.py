@@ -5,7 +5,9 @@ Endpoints::
     GET  /health            liveness + model count
     GET  /models            registry listing
     POST /models            ingest {"xml": "..."} or {"sample": "kernel6"}
-                            (optional "label"); idempotent by content
+                            (optional "label"); idempotent by content.
+                            Models failing static analysis return 422
+                            with structured ``diagnostics``
     POST /evaluate          {"requests": [{...}, ...]} → per-request
                             results + batch stats (see repro.service)
     GET  /stats             service-lifetime counters
@@ -51,7 +53,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro import obs
-from repro.errors import ProphetError
+from repro.errors import AnalysisError, ProphetError
 from repro.service.admission import AdmissionRejected, RequestGateway
 from repro.service.request import requests_from_payload
 from repro.service.service import EvaluationService
@@ -132,6 +134,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 # read fewer body bytes than declared); keep-alive
                 # would misparse the remainder as a new request line.
                 self.close_connection = True
+            except AnalysisError as exc:
+                # The model parses and validates but the static
+                # analyzer proved it broken (deadlock, bad peer):
+                # semantically unprocessable, with machine-readable
+                # diagnostics — the same schema `prophet lint
+                # --format json` emits.
+                status = 422
+                self._reply(422, {
+                    "error": str(exc),
+                    "diagnostics": [d.to_payload()
+                                    for d in exc.diagnostics]})
             except ProphetError as exc:
                 status = 400
                 self._reply(400, {"error": str(exc)})

@@ -10,12 +10,18 @@ Layout (mirrors the sweep result cache)::
 
     root/
       models/<h[:2]>/<h>.xml     # canonical XML, h = structural hash
+      analysis/<h[:2]>/<h>.json  # cached static-analysis report
       labels.json                # label → hash (latest ingest wins)
       names.json                 # hash → model name (listing index)
 
-Models are checker-validated at ingest, so everything the registry
-serves is known evaluable (evaluation workers still re-validate on
-their own memo misses — each pool worker is a fresh process).
+Models are checker-validated *and statically analyzed* at ingest, so
+everything the registry serves is known evaluable (evaluation workers
+still re-validate on their own memo misses — each pool worker is a
+fresh process).  Error-severity analysis findings (guaranteed
+deadlocks, out-of-range peers) reject the ingest with
+:class:`repro.errors.AnalysisError`; the service maps that to HTTP 422
+with the structured diagnostics.  Warning/info findings are stored
+alongside the model and surfaced in ``/stats``.
 References accept a full hash, any unambiguous hash prefix (≥ 6 hex
 digits), or a label.  A label may itself look like a hash prefix
 (``"cafe01"``); resolution precedence is fixed and order-independent:
@@ -37,7 +43,7 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.errors import ProphetError
+from repro.errors import AnalysisError, ProphetError
 from repro.uml.hashing import model_structural_hash, short_ref
 from repro.uml.model import Model
 from repro.util.lru import LRUMap
@@ -92,8 +98,15 @@ class ModelRegistry:
     def names_path(self) -> Path:
         return self.root / "names.json"
 
+    @property
+    def analysis_dir(self) -> Path:
+        return self.root / "analysis"
+
     def path_for(self, ref: str) -> Path:
         return self.models_dir / ref[:2] / f"{ref}.xml"
+
+    def analysis_path_for(self, ref: str) -> Path:
+        return self.analysis_dir / ref[:2] / f"{ref}.json"
 
     # -- ingest --------------------------------------------------------------
 
@@ -102,7 +115,10 @@ class ModelRegistry:
         """Store ``model`` (validated, canonical XML); returns its record.
 
         Idempotent: re-ingesting identical structure is a no-op apart
-        from label assignment.
+        from label assignment.  The static analyzer gates the store:
+        error-severity findings raise :class:`AnalysisError` before any
+        persistent write; the report (keyed by the same structural hash)
+        is cached next to the model otherwise.
         """
         from repro.checker import ModelChecker
         from repro.xmlio.writer import model_to_xml
@@ -110,9 +126,19 @@ class ModelRegistry:
             _check_label(label)  # reject before any persistent writes
         ModelChecker().assert_valid(model)
         ref = model_structural_hash(model)
+        report = self._analyze(model, ref, persist=False)
+        if not report.ok:
+            errors = report.errors()
+            raise AnalysisError(
+                f"model {model.name!r} fails static analysis with "
+                f"{len(errors)} error(s): {errors[0].message}",
+                diagnostics=report.diagnostics, report=report)
         path = self.path_for(ref)
         if not path.is_file():
             _atomic_write(path, model_to_xml(model))
+        analysis_path = self.analysis_path_for(ref)
+        if not analysis_path.is_file():
+            _atomic_write(analysis_path, _report_json(report))
         with self._lock:
             self._parsed.put(ref, model)
             self._set_name(ref, model.name)
@@ -199,6 +225,34 @@ class ModelRegistry:
         full = self.resolve(ref)
         return self.path_for(full).read_text(encoding="utf-8")
 
+    def analysis_report(self, ref: str):
+        """The static-analysis report behind ``ref``.
+
+        Served from the JSON cached at ingest; models that predate the
+        analysis cache (or whose payload version moved on) are
+        re-analyzed once and the cache is refilled.
+        """
+        full = self.resolve(ref)
+        report = self._load_analysis(full)
+        if report is None:
+            report = self._analyze(self.get(full), full, persist=True)
+        return report
+
+    def analysis_summaries(self) -> dict[str, dict]:
+        """ref → cached analysis summary for every stored model.
+
+        Reads only the on-disk report cache (no re-analysis), so it is
+        cheap enough for ``/stats``; models predating the analysis
+        cache are simply absent until something asks for their full
+        report.
+        """
+        summaries = {}
+        for ref in self.refs():
+            report = self._load_analysis(ref)
+            if report is not None:
+                summaries[ref] = report.summary()
+        return summaries
+
     def refs(self) -> list[str]:
         """Every stored model hash, sorted."""
         if not self.models_dir.is_dir():
@@ -237,6 +291,31 @@ class ModelRegistry:
         return True
 
     # -- internals -----------------------------------------------------------
+
+    def _load_analysis(self, ref: str):
+        """The cached report for ``ref``, or ``None`` (missing/stale)."""
+        try:
+            payload = json.loads(
+                self.analysis_path_for(ref).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        from repro.analysis import AnalysisReport
+        try:
+            return AnalysisReport.from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None  # payload version moved on; re-analyze
+
+    def _analyze(self, model: Model, ref: str, persist: bool):
+        """Analyze ``model``, preferring the on-disk report cache."""
+        cached = self._load_analysis(ref)
+        if cached is not None:
+            return cached
+        from repro.analysis import analyze_model
+        report = analyze_model(model, model_hash=ref)
+        if persist:
+            _atomic_write(self.analysis_path_for(ref),
+                          _report_json(report))
+        return report
 
     def _record(self, ref: str, name: str,
                 labels: dict[str, str] | None = None) -> ModelRecord:
@@ -305,6 +384,10 @@ def _check_label(label: str) -> None:
         raise RegistryError(
             f"label {label!r} is shaped like a full model hash and "
             "could never be resolved; pick a shorter or non-hex label")
+
+
+def _report_json(report) -> str:
+    return json.dumps(report.to_payload(), sort_keys=True, indent=1)
 
 
 def _read_json_map(path: Path) -> dict[str, str]:

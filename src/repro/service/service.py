@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro import obs
+from repro.analysis import analysis_cache_stats
 from repro.estimator.backends import (plan_cache_stats,
                                       prepared_cache_stats)
 from repro.estimator.trace import validate_trace_tier
@@ -282,6 +283,13 @@ class EvaluationService:
                                if self.analytic_grid else None),
             "executor": self.executor_name,
             "trace": self.trace,
+            # Static-analysis verdicts per stored model (warnings show
+            # up here; errors never make it into the registry) plus the
+            # in-process report memo.
+            "analysis": {
+                "reports": self.registry.analysis_summaries(),
+                "memo": analysis_cache_stats(),
+            },
         }
 
     def close(self) -> None:

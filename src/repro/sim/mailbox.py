@@ -62,6 +62,14 @@ class Mailbox:
         """Messages currently queued (unmatched)."""
         return len(self._messages)
 
+    def pending(self) -> list[Any]:
+        """A snapshot of the queued (never-received) messages.
+
+        Consumers inspect this after the simulation drains to surface
+        messages that were sent but never matched by any receive.
+        """
+        return list(self._messages)
+
     @property
     def waiting_receivers(self) -> int:
         return len(self._receivers)

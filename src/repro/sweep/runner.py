@@ -149,6 +149,86 @@ def _execute_chunk(payload: tuple[str, list[SweepJob]]) -> list[dict]:
     return [execute_job(job, trace) for job in jobs]
 
 
+#: Pre-flight screening budgets: per-rank program points / comm events
+#: the static matcher may spend proving a pending simulated job doomed.
+#: Deliberately far below the analyzer's own budgets — exceeding them
+#: makes the trace inexact, the matcher claims nothing, and the job
+#: simply runs.  Cheap screening, never a tax on legitimate sweeps.
+PREFLIGHT_OP_BUDGET = 50_000
+PREFLIGHT_EVENT_CAP = 2_000
+
+#: Pre-flight verdicts per (model hash, processes, eager threshold):
+#: either ``None`` (run the job) or the error string to skip it with.
+_PREFLIGHT_MEMO: LRUMap = LRUMap(capacity=256)
+
+
+def clear_preflight_memo() -> None:
+    """Drop the pre-flight verdict memo (tests measure cold screens)."""
+    _PREFLIGHT_MEMO.clear()
+
+
+def _preflight_verdict(model: Model, job: SweepJob) -> str | None:
+    """The error to skip ``job`` with, or ``None`` to let it run.
+
+    Only *proven* failures skip: an exact communication match that is
+    guaranteed to deadlock, or an exact trace that reaches an
+    out-of-range peer.  Ambiguous, inexact, or budget-exceeding
+    analyses return ``None`` — the simulation is the arbiter then.
+    """
+    key = (job.model_hash, job.params.processes,
+           job.network.eager_threshold)
+    cached = _PREFLIGHT_MEMO.get(key)
+    if cached is not None:
+        return cached or None  # "" encodes a clean verdict
+    try:
+        from repro.analysis.cfg import build_model_cfg
+        from repro.analysis.comm import enumerate_traces, match_traces
+        traces = enumerate_traces(build_model_cfg(model),
+                                  job.params.processes,
+                                  op_budget=PREFLIGHT_OP_BUDGET,
+                                  event_cap=PREFLIGHT_EVENT_CAP)
+        match = match_traces(traces, job.network.eager_threshold)
+    except Exception:  # noqa: BLE001 — screening must never block a sweep
+        _PREFLIGHT_MEMO.put(key, "")
+        return None
+    verdict = ""
+    if match.guaranteed_deadlock:
+        site = match.blocked[0]
+        verdict = (f"preflight: guaranteed deadlock at "
+                   f"{job.params.processes} process(es) — rank "
+                   f"{site.pid} blocked at {site.event.site()}: "
+                   f"{site.why}")
+    elif match.exact and match.range_errors:
+        event, message = match.range_errors[0]
+        verdict = (f"preflight: {message} at {event.site()} with "
+                   f"{job.params.processes} process(es)")
+    _PREFLIGHT_MEMO.put(key, verdict)
+    return verdict or None
+
+
+def _preflight(pending: Sequence[SweepJob]
+               ) -> tuple[list[SweepJob], dict[int, str]]:
+    """Screen pending simulated jobs; returns (to run, skips by index)."""
+    runnable: list[SweepJob] = []
+    skips: dict[int, str] = {}
+    for job in pending:
+        if job.backend not in SIMULATED_BACKENDS:
+            runnable.append(job)
+            continue
+        model = _job_model(job)
+        verdict = (_preflight_verdict(model, job)
+                   if model is not None else None)
+        if verdict is None:
+            runnable.append(job)
+        else:
+            skips[job.index] = verdict
+    if skips:
+        obs.counter("sweep_preflight_skips_total",
+                    "Jobs skipped because static analysis proved them "
+                    "doomed at their process count.").inc(len(skips))
+    return runnable, skips
+
+
 #: Fewest pending *simulated* jobs that justify forking a fresh process
 #: pool.  Below this, pool startup dwarfs the work (the
 #: ``cold_sweep_3scenario_pool2`` benchmark measured 0.834× serial) and
@@ -434,8 +514,18 @@ def run_jobs(jobs: Sequence[SweepJob],
              analytic_grid: bool = True,
              min_pool_jobs: int = DEFAULT_MIN_POOL_JOBS,
              dispatch_lock: threading.Lock | None = None,
-             cache_stats: CacheStats | None = None) -> SweepResult:
+             cache_stats: CacheStats | None = None,
+             preflight: bool = True) -> SweepResult:
     """Execute pre-expanded jobs: cache lookup → run misses → assemble.
+
+    ``preflight`` statically screens pending *simulated* jobs before
+    dispatch: a job whose communication match is a proven failure at
+    its process count (guaranteed deadlock, out-of-range peer) is
+    captured as an error result carrying the analysis diagnostic
+    instead of burning simulation time on a certain ``DeadlockError``.
+    Screening is memoized per (model, size, threshold) and
+    budget-capped, and it only ever *skips proven-doomed* jobs — an
+    inexact or ambiguous analysis changes nothing.
 
     ``trace`` is the estimator recording tier for points that actually
     run (cached points were recorded at whatever tier produced them —
@@ -488,6 +578,14 @@ def run_jobs(jobs: Sequence[SweepJob],
                        if job.backend != "analytic"]
             grid_note = (f" + {len(analytic_pending)} analytic "
                          f"point(s) in {group_count} grid group(s)")
+
+    if preflight and pending:
+        pending, preflight_skips = _preflight(pending)
+        for index, message in preflight_skips.items():
+            outcomes[index] = {"status": "error", "error": message}
+        if preflight_skips:
+            grid_note += (f"; {len(preflight_skips)} job(s) skipped "
+                          "by static pre-flight")
 
     simulated_jobs = sum(1 for job in pending
                          if job.backend in SIMULATED_BACKENDS)
@@ -571,17 +669,20 @@ def run_sweep(spec: SweepSpec | Iterable[SweepJob],
               progress: Callable[[str], None] | None = None,
               trace: str = "summary",
               analytic_grid: bool = True,
-              min_pool_jobs: int = DEFAULT_MIN_POOL_JOBS) -> SweepResult:
+              min_pool_jobs: int = DEFAULT_MIN_POOL_JOBS,
+              preflight: bool = True) -> SweepResult:
     """Expand ``spec`` (if needed) and execute the grid."""
     jobs = expand(spec) if isinstance(spec, SweepSpec) else list(spec)
     return run_jobs(jobs, cache=cache, executor=executor,
                     max_workers=max_workers, progress=progress,
                     trace=trace, analytic_grid=analytic_grid,
-                    min_pool_jobs=min_pool_jobs)
+                    min_pool_jobs=min_pool_jobs, preflight=preflight)
 
 
 __all__ = [
-    "DEFAULT_MIN_POOL_JOBS", "ProcessPoolExecutor", "SerialExecutor",
-    "clear_worker_memos", "execute_job", "make_executor",
-    "pool_dispatch", "run_jobs", "run_sweep", "shutdown_shared_pool",
+    "DEFAULT_MIN_POOL_JOBS", "PREFLIGHT_EVENT_CAP",
+    "PREFLIGHT_OP_BUDGET", "ProcessPoolExecutor", "SerialExecutor",
+    "clear_preflight_memo", "clear_worker_memos", "execute_job",
+    "make_executor", "pool_dispatch", "run_jobs", "run_sweep",
+    "shutdown_shared_pool",
 ]

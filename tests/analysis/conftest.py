@@ -1,0 +1,109 @@
+"""Shared fixtures: small hand-built models and seeded comm mutants.
+
+The mutants mirror real modeling mistakes the communication matcher
+must catch: a dropped receive, a tag that was changed on only one
+side, and a collective skipped by a guard on some ranks.
+"""
+
+import pytest
+
+from repro.uml.builder import ModelBuilder
+
+#: Rendezvous-sized payload (eager threshold is 65536 bytes): the
+#: sender blocks until the receive happens, so a dropped/mismatched
+#: receive is a deadlock, not just an unmatched message.
+BIG = "1048576"
+
+
+def ring_model():
+    """Clean ring exchange: send right, receive from left, barrier.
+
+    Eager-sized messages — every rank sends before it receives, which
+    only completes because eager sends never block.  (The same shape
+    with rendezvous payloads is the classic unsafe ring.)
+    """
+    b = ModelBuilder("ring")
+    d = b.diagram("main", main=True)
+    i = d.initial()
+    s = d.send("s", dest="(pid + 1) % size", size="64", tag=1)
+    r = d.recv("r", source="(pid + size - 1) % size", size="64", tag=1)
+    bar = d.barrier()
+    f = d.final()
+    d.chain(i, s, r, bar, f)
+    return b.build()
+
+
+def drop_recv_mutant():
+    """The ring with the receive removed: rendezvous sends block."""
+    b = ModelBuilder("ring-drop-recv")
+    d = b.diagram("main", main=True)
+    i = d.initial()
+    s = d.send("s", dest="(pid + 1) % size", size=BIG, tag=1)
+    bar = d.barrier()
+    f = d.final()
+    d.chain(i, s, bar, f)
+    return b.build()
+
+
+def flip_tag_mutant():
+    """The ring with the receive listening on the wrong tag.
+
+    Eager sends complete; the receives then wait forever for tag 2
+    while tag 1 sits in every inbox.
+    """
+    b = ModelBuilder("ring-flip-tag")
+    d = b.diagram("main", main=True)
+    i = d.initial()
+    s = d.send("s", dest="(pid + 1) % size", size="64", tag=1)
+    r = d.recv("r", source="(pid + size - 1) % size", size="64", tag=2)
+    bar = d.barrier()
+    f = d.final()
+    d.chain(i, s, r, bar, f)
+    return b.build()
+
+
+def skew_collective_mutant():
+    """The barrier guarded so rank 0 never reaches it.
+
+    Eager message sizes keep the exchange itself clean; only the
+    guarded barrier is broken, so the matcher must blame *it*.
+    """
+    b = ModelBuilder("ring-skew-collective")
+    d = b.diagram("main", main=True)
+    i = d.initial()
+    s = d.send("s", dest="(pid + 1) % size", size="64", tag=1)
+    r = d.recv("r", source="(pid + size - 1) % size", size="64", tag=1)
+    dec = d.decision()
+    mrg = d.merge()
+    bar = d.barrier()
+    f = d.final()
+    d.chain(i, s, r, dec)
+    d.branch(dec, mrg, ("pid > 0", [bar]), ("else", []))
+    d.chain(mrg, f)
+    return b.build()
+
+
+def head_to_head_deadlock():
+    """Both ranks receive before sending: the classic cycle."""
+    b = ModelBuilder("head-to-head")
+    d = b.diagram("main", main=True)
+    i = d.initial()
+    r = d.recv("r", source="(pid + 1) % size", size=BIG, tag=0)
+    s = d.send("s", dest="(pid + 1) % size", size=BIG, tag=0)
+    f = d.final()
+    d.chain(i, r, s, f)
+    return b.build()
+
+
+#: name → (builder, is_deadlock_at_2).  Every mutant must be flagged.
+MUTANTS = {
+    "drop-recv": drop_recv_mutant,
+    "flip-tag": flip_tag_mutant,
+    "skew-collective": skew_collective_mutant,
+    "head-to-head": head_to_head_deadlock,
+}
+
+
+@pytest.fixture
+def ring():
+    return ring_model()

@@ -1,0 +1,141 @@
+"""The analyzer driver: rules, MCF control, facts, memo, payloads."""
+
+import pytest
+
+from repro.analysis import (ModelAnalyzer, analysis_cache_stats,
+                            analysis_rule_ids, analyze_model)
+from repro.analysis.report import AnalysisReport
+from repro.checker.diagnostics import Diagnostic, Severity
+from repro.errors import CheckError
+from repro.service.registry import builtin_model_builders
+from repro.xmlio.mcf import CheckingConfig, RuleSetting
+
+from tests.analysis.conftest import MUTANTS, ring_model
+
+
+class TestBuiltinsLintClean:
+    @pytest.mark.parametrize("name", sorted(builtin_model_builders()))
+    def test_no_error_findings(self, name):
+        report = ModelAnalyzer().analyze(builtin_model_builders()[name]())
+        assert report.ok, report.render()
+
+    def test_all_rules_run_by_default(self):
+        report = ModelAnalyzer().analyze(ring_model())
+        assert report.rules_run == sorted(analysis_rule_ids())
+
+
+class TestMutantsAreErrors:
+    @pytest.mark.parametrize("name", sorted(MUTANTS))
+    def test_error_severity_finding(self, name):
+        report = ModelAnalyzer().analyze(MUTANTS[name]())
+        errors = report.errors()
+        assert errors, report.render()
+        assert all(d.rule_id == "analysis-comm-matching" for d in errors)
+        # deadlock findings carry a stable source location
+        assert any(d.element_id is not None for d in errors)
+
+
+class TestMcfControl:
+    def test_disable_rule(self):
+        config = CheckingConfig(rules={
+            "analysis-comm-matching": RuleSetting(
+                "analysis-comm-matching", enabled=False)})
+        report = ModelAnalyzer(config).analyze(
+            MUTANTS["head-to-head"]())
+        assert "analysis-comm-matching" not in report.rules_run
+        assert report.ok  # the only error source is switched off
+
+    def test_severity_override(self):
+        config = CheckingConfig(rules={
+            "analysis-comm-matching": RuleSetting(
+                "analysis-comm-matching", severity="warning")})
+        report = ModelAnalyzer(config).analyze(
+            MUTANTS["head-to-head"]())
+        assert report.ok
+        assert any(d.severity is Severity.WARNING
+                   for d in report.warnings())
+
+    def test_sizes_param(self):
+        config = CheckingConfig(params={"analysis-sizes": "2, 5, 2"})
+        analyzer = ModelAnalyzer(config)
+        assert analyzer.sizes == (2, 5)
+
+    def test_bad_sizes_param(self):
+        with pytest.raises(CheckError):
+            ModelAnalyzer(CheckingConfig(
+                params={"analysis-sizes": "two"}))
+        with pytest.raises(CheckError):
+            ModelAnalyzer(CheckingConfig(params={"analysis-sizes": "0"}))
+
+    def test_explicit_sizes_win(self):
+        analyzer = ModelAnalyzer(
+            CheckingConfig(params={"analysis-sizes": "8"}), sizes=(3,))
+        assert analyzer.sizes == (3,)
+
+
+class TestFacts:
+    def test_comm_fact_published(self):
+        report = ModelAnalyzer(sizes=(2, 3)).analyze(ring_model())
+        comm = report.facts["comm"]
+        assert comm["certified_clean_sizes"] == [2, 3]
+        assert comm["sizes"]["2"]["exact"]
+
+    def test_rank_dependence_fact_matches_analytic_plan(self):
+        from repro.estimator.analytic_plan import compile_plan
+        for name in sorted(builtin_model_builders()):
+            model = builtin_model_builders()[name]()
+            report = ModelAnalyzer(sizes=(2,)).analyze(model)
+            fact = report.facts["rank_dependence"]
+            assert (not fact["cost_rank_dependent"]) == \
+                compile_plan(model).rank_invariant, name
+
+    def test_cost_bounds_fact_per_size(self):
+        report = ModelAnalyzer(sizes=(1, 2)).analyze(ring_model())
+        payload = report.facts["cost_bounds"]
+        assert set(payload) == {"1", "2"}
+        assert payload["2"]["processes"] == 2
+
+
+class TestReportPayload:
+    def test_round_trip(self):
+        report = ModelAnalyzer().analyze(MUTANTS["flip-tag"](),
+                                         model_hash="cafe" * 16)
+        payload = report.to_payload()
+        back = AnalysisReport.from_payload(payload)
+        assert back.model_name == report.model_name
+        assert back.model_hash == report.model_hash
+        assert len(back.diagnostics) == len(report.diagnostics)
+        assert back.summary() == report.summary()
+        assert back.to_payload() == payload
+
+    def test_version_mismatch_rejected(self):
+        payload = ModelAnalyzer().analyze(ring_model()).to_payload()
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            AnalysisReport.from_payload(payload)
+
+    def test_diagnostic_payload_round_trip(self):
+        diag = Diagnostic("analysis-comm-matching", Severity.ERROR,
+                          "boom", element_id=7, diagram="main",
+                          diagram_id=3)
+        back = Diagnostic.from_payload(diag.to_payload())
+        assert back == diag
+
+
+class TestMemo:
+    def test_default_config_runs_are_memoized(self):
+        model = ring_model()
+        before = analysis_cache_stats()["hits"]
+        first = analyze_model(model, model_hash="feed" * 16)
+        second = analyze_model(model, model_hash="feed" * 16)
+        assert second is first
+        assert analysis_cache_stats()["hits"] == before + 1
+
+    def test_custom_config_bypasses_memo(self):
+        model = ring_model()
+        config = CheckingConfig(params={"analysis-sizes": "2"})
+        first = analyze_model(model, model_hash="f00d" * 16,
+                              config=config)
+        second = analyze_model(model, model_hash="f00d" * 16,
+                               config=config)
+        assert second is not first

@@ -1,0 +1,62 @@
+"""Static cost bounds must contain the analytic backend's results."""
+
+import pytest
+
+from repro.analysis.bounds import cost_bounds
+from repro.analysis.cfg import build_model_cfg
+from repro.estimator.analytic_plan import compile_plan
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.service.registry import builtin_model_builders
+
+NETWORK = NetworkConfig()
+
+
+@pytest.mark.parametrize("name", sorted(builtin_model_builders()))
+@pytest.mark.parametrize("size", [1, 2, 4])
+def test_bounds_contain_analytic_times(name, size):
+    model = builtin_model_builders()[name]()
+    mcfg = build_model_cfg(model)
+    params = SystemParameters(processes=size)
+    bounds = cost_bounds(mcfg, params, NETWORK)
+    times = compile_plan(model).per_process_times(params, NETWORK)
+    assert bounds.processes == size
+    assert len(bounds.per_process) == size
+    for pid, time in enumerate(times):
+        interval = bounds.per_process[pid]
+        assert interval.lo <= time <= interval.hi, (name, size, pid)
+    assert bounds.makespan.lo <= max(times) <= bounds.makespan.hi
+
+
+def test_payload_shape():
+    model = builtin_model_builders()["stencil2d"]()
+    bounds = cost_bounds(build_model_cfg(model),
+                         SystemParameters(processes=2), NETWORK)
+    payload = bounds.to_payload()
+    assert payload["processes"] == 2
+    assert len(payload["per_process"]) == 2
+    lo, hi = payload["makespan"]
+    assert 0.0 <= lo <= hi
+
+
+def test_undecidable_structure_widens_to_infinity():
+    """A loop with a rank-dependent trip count keeps the bound sound
+    by widening, never by guessing."""
+    from repro.uml.builder import ModelBuilder
+    b = ModelBuilder("widen")
+    b.cost_function("work", "1.0e-6 * n", params="double n")
+    d2 = b.diagram("body")
+    i2 = d2.initial()
+    a2 = d2.action("step", cost="work(100)")
+    f2 = d2.final()
+    d2.chain(i2, a2, f2)
+    d = b.diagram("main", main=True)
+    i = d.initial()
+    loop = d.loop("iterate", "body", iterations="pid * 3 + 1")
+    f = d.final()
+    d.chain(i, loop, f)
+    bounds = cost_bounds(build_model_cfg(b.build()),
+                         SystemParameters(processes=2), NETWORK)
+    # pid is concrete per rank, so this actually stays finite per pid;
+    # the per-rank bounds must still order correctly.
+    assert bounds.per_process[0].hi <= bounds.per_process[1].hi

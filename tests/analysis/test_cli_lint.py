@@ -1,0 +1,83 @@
+"""The ``prophet lint`` command and the extended ``prophet check``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.registry import ModelRegistry
+from repro.xmlio.writer import write_model
+
+from tests.analysis.conftest import head_to_head_deadlock, ring_model
+
+
+@pytest.fixture
+def ring_xml(tmp_path):
+    return str(write_model(ring_model(), tmp_path / "ring.xml"))
+
+
+@pytest.fixture
+def doomed_xml(tmp_path):
+    return str(write_model(head_to_head_deadlock(),
+                           tmp_path / "doomed.xml"))
+
+
+class TestLint:
+    def test_clean_model_exits_zero(self, ring_xml, capsys):
+        assert main(["lint", ring_xml]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_doomed_model_exits_nonzero(self, doomed_xml, capsys):
+        assert main(["lint", doomed_xml]) == 1
+        out = capsys.readouterr().out
+        assert "analysis-comm-matching" in out
+        assert "deadlock" in out
+
+    def test_json_format_shares_the_http_schema(self, doomed_xml,
+                                                capsys):
+        assert main(["lint", doomed_xml, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        diagnostic = payload["diagnostics"][0]
+        # exactly the keys the service's 422 body carries per finding
+        assert set(diagnostic) == {"rule", "severity", "message",
+                                   "element_id", "diagram",
+                                   "diagram_id"}
+
+    def test_builtin_scenario_name(self, capsys):
+        assert main(["lint", "stencil2d"]) == 0
+
+    def test_registry_ref(self, tmp_path, capsys):
+        registry_dir = str(tmp_path / "registry")
+        ModelRegistry(registry_dir).ingest_sample("fork_join",
+                                                  label="fj")
+        assert main(["lint", "fj", "--registry", registry_dir]) == 0
+
+    def test_sizes_flag(self, ring_xml, capsys):
+        assert main(["lint", ring_xml, "--sizes", "2", "--format",
+                     "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sizes"] == [2]
+
+    def test_mcf_severity_override(self, doomed_xml, tmp_path, capsys):
+        mcf = tmp_path / "rules.xml"
+        mcf.write_text('<mcf><rule id="analysis-comm-matching" '
+                       'severity="warning"/></mcf>')
+        assert main(["lint", doomed_xml, "--mcf", str(mcf)]) == 0
+
+    def test_unknown_target_is_an_error(self, capsys):
+        assert main(["lint", "no-such-model"]) == 2
+        assert "neither" in capsys.readouterr().err
+
+
+class TestCheckTargets:
+    def test_check_accepts_scenario_name(self, capsys):
+        assert main(["check", "pipeline"]) == 0
+        assert "model check" in capsys.readouterr().out
+
+    def test_check_accepts_registry_ref(self, tmp_path, capsys):
+        registry_dir = str(tmp_path / "registry")
+        record = ModelRegistry(registry_dir).ingest_sample("stencil2d")
+        assert main(["check", record.ref[:12], "--registry",
+                     registry_dir]) == 0

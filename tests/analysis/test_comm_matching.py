@@ -1,0 +1,107 @@
+"""The cross-process communication matcher and its deadlock verdicts."""
+
+import pytest
+
+from repro.analysis.cfg import build_model_cfg
+from repro.analysis.comm import enumerate_traces, match_traces
+from repro.machine.network import NetworkConfig
+from repro.service.registry import builtin_model_builders
+from repro.scenarios import builtin_builders
+
+from tests.analysis.conftest import MUTANTS, ring_model
+
+THRESHOLD = NetworkConfig().eager_threshold
+
+
+def match_at(model, processes):
+    mcfg = build_model_cfg(model)
+    return match_traces(enumerate_traces(mcfg, processes), THRESHOLD)
+
+
+class TestCleanModels:
+    def test_ring_certified_clean(self):
+        for size in (1, 2, 3, 4):
+            result = match_at(ring_model(), size)
+            assert result.exact
+            assert result.completed
+            assert result.certified_clean, (size, result)
+            assert not result.guaranteed_deadlock
+
+    @pytest.mark.parametrize("name", sorted(builtin_builders()))
+    def test_scenarios_never_claim_deadlock(self, name):
+        """No builtin scenario may be flagged as guaranteed-deadlock."""
+        model = builtin_builders()[name]()
+        for size in (1, 2, 4):
+            result = match_at(model, size)
+            assert not result.guaranteed_deadlock, (name, size)
+            assert not result.range_errors, (name, size)
+
+    def test_most_scenarios_certify(self):
+        """Deterministic scenarios certify outright; master_worker's
+        wildcard receives are honestly ambiguous at size >= 3."""
+        for name in ("butterfly_allreduce", "fork_join", "pipeline",
+                     "stencil2d"):
+            model = builtin_builders()[name]()
+            assert match_at(model, 4).certified_clean, name
+        mw = builtin_builders()["master_worker"]()
+        assert match_at(mw, 2).certified_clean
+        ambiguous = match_at(mw, 3)
+        assert ambiguous.completed and ambiguous.ambiguous
+
+
+class TestMutants:
+    @pytest.mark.parametrize("name", sorted(MUTANTS))
+    def test_every_mutant_is_flagged(self, name):
+        """Each seeded mistake is a *guaranteed* deadlock at size 2."""
+        result = match_at(MUTANTS[name](), 2)
+        assert result.exact, name
+        assert result.guaranteed_deadlock, (name, result)
+
+    def test_head_to_head_names_the_site(self):
+        result = match_at(MUTANTS["head-to-head"](), 2)
+        sites = {site.event.point.element_id for site in result.blocked}
+        assert sites  # blocked sites carry stable element ids
+        assert all(site.why for site in result.blocked)
+
+    def test_skewed_collective_blames_the_missing_rank(self):
+        result = match_at(MUTANTS["skew-collective"](), 2)
+        whys = " ".join(site.why for site in result.blocked)
+        assert "barrier" in whys
+        assert "0" in whys  # rank 0 never arrives
+
+    def test_eager_drop_recv_is_unmatched_not_deadlock(self):
+        """Below the eager threshold the sender never blocks — the
+        dropped receive downgrades to an unmatched-send finding."""
+        from repro.uml.builder import ModelBuilder
+        b = ModelBuilder("eager-drop")
+        d = b.diagram("main", main=True)
+        i = d.initial()
+        s = d.send("s", dest="(pid + 1) % size", size="64", tag=1)
+        f = d.final()
+        d.chain(i, s, f)
+        result = match_at(b.build(), 2)
+        assert result.completed
+        assert not result.guaranteed_deadlock
+        assert len(result.unmatched_sends) == 2
+
+
+class TestSimulationAgreement:
+    """The matcher's verdicts must mirror what the simulator does."""
+
+    def test_clean_ring_simulates(self):
+        from repro.estimator.backends import evaluate_point
+        from repro.machine.params import SystemParameters
+        payload = evaluate_point(
+            ring_model(), "interp", SystemParameters(processes=2),
+            NetworkConfig(), 0, check=False)
+        assert payload["predicted_time"] >= 0.0
+
+    @pytest.mark.parametrize("name", sorted(MUTANTS))
+    def test_flagged_mutants_deadlock_in_simulation(self, name):
+        from repro.errors import DeadlockError
+        from repro.estimator.backends import evaluate_point
+        from repro.machine.params import SystemParameters
+        with pytest.raises(DeadlockError):
+            evaluate_point(MUTANTS[name](), "interp",
+                           SystemParameters(processes=2),
+                           NetworkConfig(), 0, check=False)

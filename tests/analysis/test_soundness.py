@@ -1,0 +1,78 @@
+"""The soundness property: analyzer certificates must hold in simulation.
+
+Two directions, over the seeded random-model corpus:
+
+* ``certified_clean`` at size P ⇒ the interpreter backend completes at
+  P without :class:`DeadlockError`;
+* ``guaranteed_deadlock`` at size P ⇒ the interpreter backend raises
+  :class:`DeadlockError` at P.
+
+Random models are deterministic per seed, so this corpus is fixed —
+the same models CI lints.
+"""
+
+import pytest
+
+from repro.analysis import analyze_model
+from repro.errors import DeadlockError
+from repro.estimator.backends import evaluate_point
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.uml.random_models import RandomModelConfig, random_model
+
+#: Fork-free corpus: decision/loop/collective structure only.  These
+#: traces are exact, so the analyzer must commit to a verdict.
+FLAT = RandomModelConfig(target_actions=12, max_depth=2,
+                         p_collective=0.3, p_fork=0.0)
+
+#: Fork corpus: concurrent arms make traces honestly inexact; any
+#: certificate the analyzer *does* issue must still hold.
+FORKED = RandomModelConfig(target_actions=12, max_depth=2,
+                           p_collective=0.3, p_fork=0.25)
+
+NETWORK = NetworkConfig()
+
+
+def certified_sizes(model):
+    report = analyze_model(model)
+    assert not report.errors(), report.render()
+    return report.facts["comm"]["certified_clean_sizes"]
+
+
+def simulates_cleanly(model, size):
+    try:
+        evaluate_point(model, "interp", SystemParameters(processes=size),
+                       NETWORK, 0, check=False)
+    except DeadlockError:
+        return False
+    return True
+
+
+class TestCertifiedCleanHolds:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_flat_corpus_certifies_and_completes(self, seed):
+        model = random_model(seed, FLAT)
+        sizes = certified_sizes(model)
+        assert sizes, "fork-free random models must certify"
+        for size in sizes:
+            assert simulates_cleanly(model, size), (seed, size)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fork_corpus_certificates_still_hold(self, seed):
+        model = random_model(seed, FORKED)
+        for size in certified_sizes(model):
+            assert simulates_cleanly(model, size), (seed, size)
+
+
+class TestGuaranteedDeadlockHolds:
+    def test_deadlock_verdicts_reproduce(self):
+        from tests.analysis.conftest import MUTANTS
+        from repro.analysis.cfg import build_model_cfg
+        from repro.analysis.comm import enumerate_traces, match_traces
+        for name, build in MUTANTS.items():
+            model = build()
+            result = match_traces(
+                enumerate_traces(build_model_cfg(model), 2),
+                NETWORK.eager_threshold)
+            assert result.guaranteed_deadlock, name
+            assert not simulates_cleanly(model, 2), name

@@ -1,0 +1,75 @@
+"""Simulation-end unmatched-message warnings on the estimation result.
+
+The static matcher predicts unmatched sends; the simulator now
+confirms them at drain time — the two surfaces must agree.
+"""
+
+import pytest
+
+from repro.estimator.manager import estimate
+from repro.machine.network import NetworkConfig
+from repro.machine.params import SystemParameters
+from repro.uml.builder import ModelBuilder
+
+
+def unmatched_send_model():
+    """Every rank sends eagerly to its neighbor; nobody receives."""
+    b = ModelBuilder("unmatched")
+    d = b.diagram("main", main=True)
+    i = d.initial()
+    s = d.send("s0", dest="(pid + 1) % size", size="64", tag=7)
+    f = d.final()
+    d.chain(i, s, f)
+    return b.build()
+
+
+def matched_model():
+    b = ModelBuilder("matched")
+    d = b.diagram("main", main=True)
+    i = d.initial()
+    s = d.send("s0", dest="(pid + 1) % size", size="64", tag=7)
+    r = d.recv("r0", source="(pid + size - 1) % size", size="64",
+               tag=7)
+    f = d.final()
+    d.chain(i, s, r, f)
+    return b.build()
+
+
+@pytest.mark.parametrize("mode", ["interp", "codegen"])
+class TestUnmatchedWarnings:
+    def test_pending_messages_surface_as_warnings(self, mode):
+        result = estimate(unmatched_send_model(),
+                          params=SystemParameters(processes=2),
+                          mode=mode, check=False)
+        assert len(result.warnings) == 2
+        for pid, warning in enumerate(result.warnings):
+            assert "never received" in warning
+            assert f"to rank {pid}" in warning
+            assert "tag 7" in warning
+        assert any("warning:" in line
+                   for line in result.summary().splitlines())
+
+    def test_clean_run_has_no_warnings(self, mode):
+        result = estimate(matched_model(),
+                          params=SystemParameters(processes=2),
+                          mode=mode, check=False)
+        assert result.warnings == []
+        assert "warning:" not in result.summary()
+
+
+def test_static_matcher_predicts_the_same_messages():
+    """Cross-check: the analyzer's unmatched-send sites are exactly
+    the messages the simulator reports left over."""
+    from repro.analysis.cfg import build_model_cfg
+    from repro.analysis.comm import enumerate_traces, match_traces
+    model = unmatched_send_model()
+    match = match_traces(
+        enumerate_traces(build_model_cfg(model), 2),
+        NetworkConfig().eager_threshold)
+    assert match.completed
+    assert len(match.unmatched_sends) == 2
+    assert all(event.tag == 7 for event in match.unmatched_sends)
+
+    result = estimate(model, params=SystemParameters(processes=2),
+                      mode="interp", check=False)
+    assert len(result.warnings) == len(match.unmatched_sends)

@@ -1,0 +1,108 @@
+"""The static-analysis gate on registry ingest and its HTTP surface."""
+
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.service.httpd import make_server
+from repro.service.registry import ModelRegistry
+from repro.service.service import EvaluationService
+from repro.uml.builder import ModelBuilder
+from repro.xmlio.writer import model_to_xml
+
+
+def doomed_model():
+    b = ModelBuilder("doomed")
+    d = b.diagram("main", main=True)
+    i = d.initial()
+    r = d.recv("r0", source="pid", size="8", tag=0)
+    f = d.final()
+    d.chain(i, r, f)
+    return b.build()
+
+
+class TestRegistryGate:
+    def test_clean_ingest_caches_report(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        record = registry.ingest_sample("stencil2d")
+        assert registry.analysis_path_for(record.ref).is_file()
+        report = registry.analysis_report(record.ref)
+        assert report.ok
+        assert report.model_hash == record.ref
+
+    def test_doomed_model_rejected_before_any_write(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(AnalysisError) as excinfo:
+            registry.ingest_model(doomed_model())
+        assert excinfo.value.diagnostics
+        assert excinfo.value.report is not None
+        assert not excinfo.value.report.ok
+        assert len(registry) == 0
+        assert not registry.analysis_dir.is_dir()
+
+    def test_report_rebuilt_for_pre_gate_models(self, tmp_path):
+        """Models stored before the analysis cache existed re-analyze
+        lazily and refill the cache."""
+        registry = ModelRegistry(tmp_path)
+        record = registry.ingest_sample("fork_join")
+        registry.analysis_path_for(record.ref).unlink()
+        report = registry.analysis_report(record.ref)
+        assert report.ok
+        assert registry.analysis_path_for(record.ref).is_file()
+
+    def test_summaries_read_only_the_cache(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        record = registry.ingest_sample("pipeline")
+        summaries = registry.analysis_summaries()
+        assert summaries[record.ref]["ok"] is True
+        registry.analysis_path_for(record.ref).unlink()
+        assert registry.analysis_summaries() == {}
+
+
+class TestHttpSurface:
+    @pytest.fixture
+    def server(self, tmp_path):
+        service = EvaluationService(tmp_path / "registry")
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def _request(self, server, method, path, payload=None):
+        host, port = server.server_address[:2]
+        conn = HTTPConnection(host, port)
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body,
+                     {"Content-Type": "application/json"} if body
+                     else {})
+        response = conn.getresponse()
+        data = json.loads(response.read())
+        conn.close()
+        return response.status, data
+
+    def test_doomed_ingest_is_422_with_diagnostics(self, server):
+        status, body = self._request(
+            server, "POST", "/models",
+            {"xml": model_to_xml(doomed_model())})
+        assert status == 422
+        assert "static analysis" in body["error"]
+        rules = {d["rule"] for d in body["diagnostics"]}
+        assert "analysis-comm-matching" in rules
+        severities = {d["severity"] for d in body["diagnostics"]}
+        assert "error" in severities
+
+    def test_stats_surface_analysis_summaries(self, server):
+        status, record = self._request(server, "POST", "/models",
+                                       {"sample": "stencil2d"})
+        assert status == 200
+        status, stats = self._request(server, "GET", "/stats")
+        assert status == 200
+        reports = stats["analysis"]["reports"]
+        assert reports[record["model"]["ref"]]["ok"] is True
+        assert "memo" in stats["analysis"]
