@@ -61,6 +61,13 @@ PRE_PR_REFERENCE = {
 #: every run, smoke included; a regression fails the harness.
 OBS_OVERHEAD_BUDGET = 1.03
 
+#: Hard ceiling on the fault-tolerant/chunked pool dispatch wall-time
+#: ratio on a fault-free run — what the deadline/retry machinery
+#: (windowed futures, wave barriers, deadline-aware waits) may cost a
+#: sweep that never needs it.  Asserted on every run with pool
+#: benchmarks enabled.
+CHAOS_OVERHEAD_BUDGET = 1.05
+
 
 def _bench_models(smoke: bool):
     from repro.scenarios import build_scenario
@@ -95,7 +102,8 @@ def _cold_sweep_spec(models):
 
 
 def _cold_sweep(models, trace: str, executor: str = "serial",
-                max_workers=None, min_pool_jobs=None):
+                max_workers=None, min_pool_jobs=None,
+                job_timeout=None, max_retries=0):
     """One cold 3-scenario sweep; returns (wall_s, total events)."""
     from repro.sweep import DEFAULT_MIN_POOL_JOBS, run_sweep
     spec = _cold_sweep_spec(models)
@@ -105,7 +113,9 @@ def _cold_sweep(models, trace: str, executor: str = "serial",
                        max_workers=max_workers, trace=trace,
                        min_pool_jobs=(DEFAULT_MIN_POOL_JOBS
                                       if min_pool_jobs is None
-                                      else min_pool_jobs))
+                                      else min_pool_jobs),
+                       job_timeout=job_timeout,
+                       max_retries=max_retries)
     wall = time.perf_counter() - start
     failed = [r for r in result if r.status != "ok"]
     if failed:
@@ -373,6 +383,71 @@ def run_benchmarks(smoke: bool = False, repeats: int = 3,
             f"{OBS_OVERHEAD_BUDGET}× budget on the cold-sweep "
             f"benchmark ({overhead_attempts} attempt(s), "
             f"{overhead_rounds} interleaved rounds per side)")
+
+    # 7. Fault-tolerance machinery overhead: the same cold sweep forced
+    #    onto the pool, chunked-map dispatch vs the windowed
+    #    deadline/retry dispatcher with a never-hit deadline and a
+    #    retry budget armed on a fault-free run.  Same noise-proof
+    #    estimator as the observability contract (order-alternated
+    #    interleaving, best-over-best, retried attempts) — this ratio
+    #    is a hard budget too: resilience must be ~free when nothing
+    #    fails, or nobody arms it.
+    if processes_bench:
+        def _chunked_pool():
+            return _cold_sweep(models, trace="summary",
+                               executor="process", max_workers=2,
+                               min_pool_jobs=0)
+
+        def _armed_pool():
+            return _cold_sweep(models, trace="summary",
+                               executor="process", max_workers=2,
+                               min_pool_jobs=0, job_timeout=300.0,
+                               max_retries=2)
+
+        chaos_calibration, _ = _chunked_pool()
+        chaos_rounds = min(
+            12, max(4, math.ceil(2.0 / max(chaos_calibration, 0.1))))
+        chaos_attempts = 0
+        chaos_overhead = math.inf
+        best_chunked = best_armed = math.inf
+        while chaos_attempts < 3 and \
+                chaos_overhead > CHAOS_OVERHEAD_BUDGET:
+            chaos_attempts += 1
+            chunked_walls = []
+            armed_walls = []
+            for i in range(chaos_rounds):
+                if i % 2:
+                    armed_walls.append(_armed_pool()[0])
+                    chunked_walls.append(_chunked_pool()[0])
+                else:
+                    chunked_walls.append(_chunked_pool()[0])
+                    armed_walls.append(_armed_pool()[0])
+            ratio = min(armed_walls) / min(chunked_walls)
+            if ratio < chaos_overhead:
+                chaos_overhead = ratio
+                best_chunked = min(chunked_walls)
+                best_armed = min(armed_walls)
+        benchmarks["chaos_sweep"] = {
+            "description": "cold 3-scenario sweep forced onto a "
+                           "2-worker pool: chunked map dispatch vs "
+                           "the windowed deadline/retry dispatcher "
+                           "(job_timeout + max_retries armed, no "
+                           "faults); ratio is best-sweep over "
+                           "best-sweep across order-alternated "
+                           "interleaved rounds",
+            "wall_s_chunked": round(best_chunked, 4),
+            "wall_s_fault_tolerant": round(best_armed, 4),
+            "rounds_per_side": chaos_rounds,
+            "measurement_attempts": chaos_attempts,
+            "overhead_ratio": round(chaos_overhead, 4),
+            "budget_ratio": CHAOS_OVERHEAD_BUDGET,
+        }
+        if chaos_overhead > CHAOS_OVERHEAD_BUDGET:
+            raise RuntimeError(
+                f"fault-tolerance overhead {chaos_overhead:.4f}× "
+                f"exceeds the {CHAOS_OVERHEAD_BUDGET}× budget on the "
+                f"fault-free pool sweep ({chaos_attempts} attempt(s), "
+                f"{chaos_rounds} interleaved rounds per side)")
 
     return {
         "schema": BENCH_SCHEMA,

@@ -130,6 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the sweep's metrics export here "
                             "(.prom/.txt = Prometheus text, anything "
                             "else = JSON)")
+    campaign_group = sweep.add_mutually_exclusive_group()
+    campaign_group.add_argument(
+        "--campaign", metavar="ID",
+        help="start a checkpointed campaign: journal every finished "
+             "point next to the result cache (requires --cache-dir; "
+             "refuses an existing id)")
+    campaign_group.add_argument(
+        "--resume", metavar="ID",
+        help="resume a checkpointed campaign: skip journaled points "
+             "and re-execute only unfinished work (requires "
+             "--cache-dir)")
 
     profile = commands.add_parser(
         "profile", help="run a sweep under the observability harness "
@@ -194,6 +205,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--burst", type=float, default=None,
                        help="token-bucket burst size (default: the "
                             "rate, at least 1)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock deadline on pool "
+                            "executors (a hung worker yields a "
+                            "timeout result, not a stalled batch)")
+    serve.add_argument("--max-retries", type=int, default=0,
+                       metavar="N",
+                       help="re-dispatches after a transient job "
+                            "failure (default 0)")
     serve.add_argument("--socket-timeout", type=float, default=30.0,
                        help="per-connection socket timeout in seconds; "
                             "a body that never arrives gets 408 "
@@ -340,6 +360,16 @@ def _add_sweep_axis_args(sub: argparse.ArgumentParser) -> None:
                           "backends (default summary: identical "
                           "results, per-kind counts only; off skips "
                           "recording and is never cached)")
+    sub.add_argument("--job-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-job wall-clock deadline on pool "
+                          "executors: a hung worker yields a timeout "
+                          "result and a recycled worker instead of a "
+                          "stalled sweep (default: no deadline)")
+    sub.add_argument("--max-retries", type=int, default=0,
+                     metavar="N",
+                     help="re-dispatches after a transient job failure "
+                          "(exponential backoff + jitter; default 0)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -560,11 +590,17 @@ def _sweep_models(args):
 
 def _run_sweep_from_args(args, progress=print):
     """Build the spec from shared sweep/profile axes and run it."""
-    from repro.sweep import DEFAULT_MIN_POOL_JOBS, ResultCache, \
-        SweepSpec, run_sweep
+    from repro.sweep import Campaign, DEFAULT_MIN_POOL_JOBS, \
+        ResultCache, SweepSpec, run_sweep
 
     if args.scenario_param and not args.scenario:
         raise ProphetError("--scenario-param requires --scenario")
+    campaign_id = getattr(args, "campaign", None)
+    resume_id = getattr(args, "resume", None)
+    if (campaign_id or resume_id) and not args.cache_dir:
+        raise ProphetError(
+            "--campaign/--resume journal next to the result cache; "
+            "give --cache-dir")
     spec = SweepSpec(
         models=_sweep_models(args),
         scenario=args.scenario,
@@ -580,8 +616,17 @@ def _run_sweep_from_args(args, progress=print):
         placement=args.placement,
         latencies=_parse_float_list(args.latency, "latency"),
         bandwidths=_parse_float_list(args.bandwidth, "bandwidth"),
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
     )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    campaign = None
+    if campaign_id:
+        campaign = Campaign.start(args.cache_dir, campaign_id)
+        progress(campaign.describe())
+    elif resume_id:
+        campaign = Campaign.resume(args.cache_dir, resume_id)
+        progress(campaign.describe())
     executor = "process" if args.jobs > 0 else "serial"
     min_pool_jobs = (DEFAULT_MIN_POOL_JOBS if args.min_pool_jobs is None
                      else args.min_pool_jobs)
@@ -589,7 +634,8 @@ def _run_sweep_from_args(args, progress=print):
                      max_workers=args.jobs or None, progress=progress,
                      trace=args.trace_tier,
                      analytic_grid=not args.no_analytic_grid,
-                     min_pool_jobs=min_pool_jobs)
+                     min_pool_jobs=min_pool_jobs,
+                     campaign=campaign)
 
 
 def _cmd_sweep(args) -> int:
@@ -705,7 +751,9 @@ def build_service_server(args):
         args.registry, cache=args.cache_dir,
         executor=executor,
         max_workers=args.jobs or None,
-        trace=args.trace_tier)
+        trace=args.trace_tier,
+        job_timeout=getattr(args, "job_timeout", None),
+        max_retries=getattr(args, "max_retries", 0))
     from repro.uml.hashing import short_ref
     for kind in (k.strip() for k in args.preload.split(",") if k.strip()):
         record = service.ingest_sample(kind)

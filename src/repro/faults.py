@@ -1,0 +1,250 @@
+"""Deterministic fault injection for sweeps and the service.
+
+Chaos testing only works if the chaos is reproducible: a
+:class:`FaultPlan` maps job indices to faults (``kill`` the worker
+process, ``hang`` past any deadline, ``raise`` a transient error) and
+is either declared explicitly or drawn from a seeded RNG
+(:meth:`FaultPlan.seeded`), so a failing chaos run can be replayed
+bit-for-bit.  Plans travel to pool workers through the pool
+initializer as a JSON-safe payload and fire inside
+:func:`repro.sweep.runner.execute_job` via :func:`maybe_inject`.
+
+Fault semantics:
+
+* ``kill`` — the worker calls ``os._exit`` mid-job, which breaks the
+  whole ``concurrent.futures`` pool (``BrokenProcessPool``); the
+  runner's quarantine/bisection machinery is what turns that into a
+  single structured per-job failure.
+* ``hang`` — the worker sleeps ``hang_s`` before evaluating; with a
+  per-job deadline armed the parent times the job out and recycles the
+  worker, without one the job merely finishes late.
+* ``raise`` — a :class:`TransientFault` is raised where the job runs
+  (worker or parent); the runner's retry policy treats it exactly like
+  a real transient failure.
+
+``once=True`` faults fire on the first *attempt* only — the retry (or
+the resumed campaign) then succeeds.  Once-semantics must hold across
+worker processes and pool recycles, so firing is recorded as a marker
+file in ``state_dir`` created with ``O_CREAT | O_EXCL`` (atomic
+test-and-set on every POSIX filesystem), written *before* the fault
+takes effect so a killed worker cannot forget it fired.
+
+Process-killing faults never fire outside a pool worker: the parent
+(or a service thread) reports them as a :class:`TransientFault`
+instead, so injecting a plan into a serial executor degrades to
+retryable noise rather than killing the sweep process itself.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import ProphetError
+
+#: Exit status a ``kill`` fault dies with (distinctive in diagnostics).
+KILL_EXIT_CODE = 86
+
+#: The fault kinds a plan may contain.
+FAULT_KINDS = ("kill", "hang", "raise")
+
+
+class FaultPlanError(ProphetError):
+    """A fault plan is malformed (unknown kind, missing state dir…)."""
+
+
+class TransientFault(Exception):
+    """A retryable failure (injected, or genuinely transient).
+
+    Deliberately *not* a :class:`ProphetError`: the sweep runner's
+    retry policy catches it and re-dispatches the job instead of
+    reporting a terminal error.
+    """
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure at one job index."""
+
+    kind: str                 # "kill" | "hang" | "raise"
+    once: bool = False        # fire on the first attempt only
+    hang_s: float = 30.0      # sleep length for "hang"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r} (expected one of "
+                f"{', '.join(FAULT_KINDS)})")
+        if not (isinstance(self.hang_s, (int, float)) and self.hang_s >= 0):
+            raise FaultPlanError(
+                f"fault hang_s must be >= 0, got {self.hang_s!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Job index → fault, plus the state directory for once-markers."""
+
+    faults: Mapping[int, Fault] = field(default_factory=dict)
+    seed: int = 0
+    state_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        for index, fault in self.faults.items():
+            if not isinstance(index, int) or index < 0:
+                raise FaultPlanError(
+                    f"fault indices must be non-negative ints, got "
+                    f"{index!r}")
+            if not isinstance(fault, Fault):
+                raise FaultPlanError(
+                    f"fault at index {index} is not a Fault (got "
+                    f"{type(fault).__name__})")
+        if self.state_dir is None and any(f.once
+                                          for f in self.faults.values()):
+            raise FaultPlanError(
+                "once-only faults need a state_dir to record firing "
+                "across worker processes")
+
+    @classmethod
+    def seeded(cls, seed: int, jobs: int, *, kills: int = 0,
+               hangs: int = 0, raises: int = 0, kill_once: int = 0,
+               raise_once: int = 0, hang_s: float = 30.0,
+               state_dir: str | None = None) -> "FaultPlan":
+        """A reproducible plan: fault indices drawn without replacement
+        from ``range(jobs)`` by a ``random.Random(seed)``."""
+        wanted = kills + hangs + raises + kill_once + raise_once
+        if wanted > jobs:
+            raise FaultPlanError(
+                f"cannot place {wanted} fault(s) in {jobs} job(s)")
+        rng = random.Random(seed)
+        indices = rng.sample(range(jobs), wanted)
+        faults: dict[int, Fault] = {}
+        cursor = 0
+        for count, fault in ((kills, Fault("kill")),
+                             (hangs, Fault("hang", hang_s=hang_s)),
+                             (raises, Fault("raise")),
+                             (kill_once, Fault("kill", once=True)),
+                             (raise_once, Fault("raise", once=True))):
+            for index in indices[cursor:cursor + count]:
+                faults[index] = fault
+            cursor += count
+        return cls(faults=faults, seed=seed, state_dir=state_dir)
+
+    def fault_for(self, index: int) -> Fault | None:
+        return self.faults.get(index)
+
+    def indices(self, kind: str, once: bool | None = None) -> list[int]:
+        """Fault sites of one kind (tests derive expectations from this)."""
+        return sorted(index for index, fault in self.faults.items()
+                      if fault.kind == kind
+                      and (once is None or fault.once == once))
+
+    # -- pickle-free worker shipping ------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-safe form for the pool initializer."""
+        return {
+            "seed": self.seed,
+            "state_dir": self.state_dir,
+            "faults": {str(index): {"kind": fault.kind,
+                                    "once": fault.once,
+                                    "hang_s": fault.hang_s}
+                       for index, fault in self.faults.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            faults={int(index): Fault(kind=entry["kind"],
+                                      once=entry["once"],
+                                      hang_s=entry["hang_s"])
+                    for index, entry in payload["faults"].items()},
+            seed=payload["seed"],
+            state_dir=payload["state_dir"])
+
+
+# -- per-process injection state ----------------------------------------------
+
+_ACTIVE: FaultPlan | None = None
+_IN_WORKER = False
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Arm (or with ``None`` disarm) fault injection in this process."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def installed() -> FaultPlan | None:
+    return _ACTIVE
+
+
+def mark_worker() -> None:
+    """Flag this process as a pool worker (set by the pool initializer);
+    only marked processes ever execute ``kill``/``hang`` for real."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def unmark_worker() -> None:
+    """Undo :func:`mark_worker`.  Only code that ran the pool
+    initializer *in-process* (tests of the ship-once table) needs this
+    — leaving the flag set would let a later kill fault take down the
+    host process instead of degrading to a transient."""
+    global _IN_WORKER
+    _IN_WORKER = False
+
+
+def _first_firing(plan: FaultPlan, index: int) -> bool:
+    """Atomically claim the once-marker for ``(plan, index)``.
+
+    The marker is created before the fault takes effect, so even a
+    worker that dies in ``os._exit`` a microsecond later has durably
+    recorded the firing.
+    """
+    directory = Path(plan.state_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    try:
+        handle = os.open(directory / f"fired-{index}",
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(handle)
+    return True
+
+
+def maybe_inject(index: int) -> None:
+    """Fire the armed fault for job ``index``, if any.
+
+    Called by :func:`repro.sweep.runner.execute_job` at the top of
+    every evaluation.  Raises :class:`TransientFault` for ``raise``
+    faults (and for process-killing faults outside a worker), kills or
+    hangs the process for the others.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    fault = plan.fault_for(index)
+    if fault is None:
+        return
+    if fault.once and not _first_firing(plan, index):
+        return
+    if fault.kind == "raise":
+        raise TransientFault(f"injected transient fault at job {index}")
+    if not _IN_WORKER:
+        raise TransientFault(
+            f"injected {fault.kind} fault at job {index} "
+            "(not in a pool worker; surfaced as transient)")
+    if fault.kind == "kill":
+        os._exit(KILL_EXIT_CODE)
+    time.sleep(fault.hang_s)  # "hang": stall past any deadline
+
+
+__all__ = [
+    "FAULT_KINDS", "Fault", "FaultPlan", "FaultPlanError",
+    "KILL_EXIT_CODE", "TransientFault", "install", "installed",
+    "mark_worker", "maybe_inject", "unmark_worker",
+]

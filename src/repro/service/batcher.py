@@ -214,8 +214,14 @@ class BatchWindow:
             if self._occupancy_locked() >= self.max_requests:
                 self._seal.set()
         if leader:
-            self._seal.wait(self.window_s)
-            self._flush()
+            # try/finally: if the wait itself dies (interpreter
+            # shutdown, KeyboardInterrupt mid-wait) the flush still
+            # runs, so followers parked on slot.done are never
+            # stranded behind a leader that vanished.
+            try:
+                self._seal.wait(self.window_s)
+            finally:
+                self._flush()
         slot.done.wait()
         if slot.error is not None:
             raise slot.error

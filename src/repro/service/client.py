@@ -11,11 +11,21 @@ admission rejections (429/503) — the server's ``Retry-After`` hint on
 A ``client_id`` identifies the caller to the server's per-client rate
 limiter (sent as ``X-Client-Id`` on every request); omit it to share
 the server's anonymous bucket.
+
+Retries are opt-in (``max_retries=``): admission rejections (429/503)
+and transport failures are retried with capped exponential backoff and
+deterministic jitter, honouring the server's ``Retry-After`` hint as
+the floor of each delay.  Anything else (400s, 500) is a real error
+and raises immediately.  Evaluations are idempotent on the server
+(content-addressed result cache), so a retried submit can only repeat
+work, never corrupt it.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Sequence
@@ -23,30 +33,51 @@ from typing import Sequence
 from repro.errors import ProphetError
 from repro.service.request import EvaluationRequest
 
+#: HTTP statuses worth retrying: the server said "later", not "no".
+RETRYABLE_STATUSES = (429, 503)
+
 
 class ServiceClientError(ProphetError):
     """The service refused a request or could not be reached.
 
     ``status`` is the HTTP status code (None for transport failures);
     ``retry_after`` is the server's back-off hint in seconds (None
-    unless the server sent a ``Retry-After`` header).
+    unless the server sent a ``Retry-After`` header); ``attempts`` is
+    how many tries the client made before giving up (1 without
+    retries).
     """
 
     def __init__(self, message: str, status: int | None = None,
-                 retry_after: float | None = None) -> None:
+                 retry_after: float | None = None,
+                 attempts: int = 1) -> None:
         super().__init__(message)
         self.status = status
         self.retry_after = retry_after
+        self.attempts = attempts
 
 
 class ServiceClient:
     """Talks to one evaluation service at ``base_url``."""
 
     def __init__(self, base_url: str, timeout: float = 60.0,
-                 client_id: str | None = None) -> None:
+                 client_id: str | None = None,
+                 max_retries: int = 0,
+                 retry_base_s: float = 0.25,
+                 retry_max_s: float = 8.0,
+                 retry_jitter: float = 0.25,
+                 retry_seed: int = 0) -> None:
+        if max_retries < 0:
+            raise ServiceClientError(
+                f"max_retries must be >= 0, got {max_retries!r}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.client_id = client_id
+        self.max_retries = max_retries
+        self.retry_base_s = retry_base_s
+        self.retry_max_s = retry_max_s
+        self.retry_jitter = retry_jitter
+        self._retry_rng = random.Random(retry_seed)
+        self._sleep = time.sleep  # injectable for tests
 
     # -- endpoints -----------------------------------------------------------
 
@@ -120,6 +151,37 @@ class ServiceClient:
         return self._call(request)
 
     def _call(self, request: urllib.request.Request) -> dict:
+        """One logical call: ``_call_once`` plus the opt-in retry loop.
+
+        Retryable = the server said "later" (429/503) or could not be
+        reached at all; each delay is capped exponential backoff with
+        deterministic jitter, floored at the server's ``Retry-After``
+        hint when one was sent.
+        """
+        attempt = 1
+        while True:
+            try:
+                return self._call_once(request)
+            except ServiceClientError as exc:
+                retryable = (exc.status in RETRYABLE_STATUSES
+                             or exc.status is None)
+                if not retryable or attempt > self.max_retries:
+                    if attempt > 1:
+                        exc = ServiceClientError(
+                            f"{exc} (gave up after {attempt} "
+                            "attempt(s))", status=exc.status,
+                            retry_after=exc.retry_after,
+                            attempts=attempt)
+                    raise exc from None
+                delay = min(self.retry_max_s,
+                            self.retry_base_s * (2 ** (attempt - 1)))
+                if exc.retry_after is not None:
+                    delay = max(delay, exc.retry_after)
+                delay *= 1.0 + self.retry_jitter * self._retry_rng.random()
+                self._sleep(delay)
+                attempt += 1
+
+    def _call_once(self, request: urllib.request.Request) -> dict:
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout) as response:
@@ -145,4 +207,4 @@ class ServiceClient:
                 f"{getattr(exc, 'reason', exc)}") from exc
 
 
-__all__ = ["ServiceClient", "ServiceClientError"]
+__all__ = ["RETRYABLE_STATUSES", "ServiceClient", "ServiceClientError"]

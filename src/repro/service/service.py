@@ -64,7 +64,10 @@ class EvaluationService:
                  max_workers: int | None = None,
                  trace: str = "full",
                  analytic_grid: bool = True,
-                 serialize_batches: bool = False) -> None:
+                 serialize_batches: bool = False,
+                 job_timeout: float | None = None,
+                 max_retries: int = 0,
+                 fault_plan=None) -> None:
         self.registry = (registry if isinstance(registry, ModelRegistry)
                          else ModelRegistry(registry))
         self.cache = (cache if isinstance(cache, (ResultCache, type(None)))
@@ -86,6 +89,12 @@ class EvaluationService:
         # default (byte-identical payloads; a kill switch for A/B
         # comparison and debugging).
         self.analytic_grid = analytic_grid
+        # Fault-tolerance knobs, forwarded to run_jobs per batch: a
+        # per-job wall-clock deadline (pool executors), a transient
+        # retry budget, and an optional fault plan (chaos tests only).
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.fault_plan = fault_plan
         # Per-instance registry: several services can coexist in one
         # process (tests do this constantly), so lifetime counters like
         # batches_served must not share process-global state.  Layer
@@ -152,7 +161,10 @@ class EvaluationService:
                                 trace=self.trace,
                                 analytic_grid=self.analytic_grid,
                                 dispatch_lock=self._dispatch_lock,
-                                cache_stats=delta)
+                                cache_stats=delta,
+                                job_timeout=self.job_timeout,
+                                max_retries=self.max_retries,
+                                fault_plan=self.fault_plan)
         outcomes = list(sweep_result)  # index order == job order
 
         results: list[dict] = []
@@ -179,7 +191,11 @@ class EvaluationService:
                     "coalesced": coalesced,
                 })
             else:
-                results.append({"status": "error", "error": outcome.error,
+                # Failures keep their runner verdict ("error",
+                # "timeout", "quarantined") so clients can distinguish
+                # a hung evaluation from a broken model.
+                results.append({"status": outcome.status,
+                                "error": outcome.error,
                                 "model": outcome.job.model_hash,
                                 "backend": outcome.job.backend,
                                 "coalesced": coalesced})

@@ -45,7 +45,13 @@ nx=64,128 --scenario-param iters=2,4 --processes 1,4``.
 """
 
 from repro.sweep.cache import CacheStats, ResultCache
+from repro.sweep.campaign import (
+    Campaign,
+    CampaignError,
+    campaign_fingerprint,
+)
 from repro.sweep.grid import apply_overrides, expand, scenario_models
+from repro.sweep.resilient import RetryPolicy
 from repro.sweep.results import JobResult, SweepResult
 from repro.sweep.runner import (
     DEFAULT_MIN_POOL_JOBS,
@@ -69,6 +75,8 @@ from repro.sweep.spec import (
 __all__ = [
     "BACKENDS",
     "CacheStats", "ResultCache",
+    "Campaign", "CampaignError", "campaign_fingerprint",
+    "RetryPolicy",
     "SweepJob", "SweepSpec", "SweepSpecError",
     "make_scenario_spec", "make_spec",
     "apply_overrides", "expand", "scenario_models",

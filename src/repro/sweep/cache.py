@@ -47,6 +47,29 @@ ENTRY_FORMAT = 1
 TEMP_PREFIX = ".tmp-"
 
 
+def atomic_write_json(path: Path, payload: dict) -> Path:
+    """Write ``payload`` to ``path`` atomically (mkstemp + rename).
+
+    The cache's write discipline, shared with the campaign journal: a
+    reader never sees a truncated file, and a writer that dies
+    mid-write leaves only a ``.tmp-*`` orphan for the reaper.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=TEMP_PREFIX, suffix=".json")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, sort_keys=True)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def _lookup_outcomes():
     """Process-wide cache counters (the per-instance :class:`CacheStats`
     stays authoritative for per-cache reporting; these aggregate every
@@ -184,23 +207,10 @@ class ResultCache:
             meta: dict | None = None,
             into: CacheStats | None = None) -> Path:
         """Atomically store ``payload`` under ``key``."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"format": ENTRY_FORMAT, "key": key, "payload": payload}
         if meta:
             entry["meta"] = meta
-        handle, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=TEMP_PREFIX, suffix=".json")
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(entry, stream, sort_keys=True)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        path = atomic_write_json(self.path_for(key), entry)
         self._record(into, puts=1)
         obs.counter("result_cache_writes_total",
                     "Result-cache entries written.").inc()
@@ -248,4 +258,5 @@ class ResultCache:
         return removed
 
 
-__all__ = ["CacheStats", "ResultCache", "ENTRY_FORMAT", "TEMP_PREFIX"]
+__all__ = ["CacheStats", "ResultCache", "ENTRY_FORMAT", "TEMP_PREFIX",
+           "atomic_write_json"]

@@ -1,0 +1,203 @@
+"""Campaign checkpoint/resume: a journal of finished sweep points.
+
+A long campaign must survive crashes, OOM kills, and Ctrl-C.  The
+result cache already makes *successful* points durable; what it cannot
+record is which points finished with a verdict that produced no cache
+entry (errors, timeouts, quarantines) — exactly the points a naive
+re-run would pay for again.  A :class:`Campaign` closes that gap: it
+journals every finished job's cache fingerprint and terminal status in
+a single JSON file next to the cache (``<cache-root>/campaigns/
+<id>.json``), rewritten atomically with the cache's own ``.tmp-*``
+write discipline, so a journal interrupted mid-write always reads as
+its previous consistent state.
+
+On ``prophet sweep --resume <id>`` the runner skips journaled work:
+failures are reported straight from the journal (their verdict is
+final), successes are served from the result cache (and only re-run if
+the cache entry has vanished), and only genuinely unfinished jobs
+execute.  The journal is bound to a *fingerprint* of the expanded grid
+(the sorted cache keys), so resuming with changed axes fails loudly
+instead of mislabeling results.
+
+The journal is rewritten in full on every record — O(n²) bytes over a
+campaign of n points, which is noise for the thousands-of-points
+campaigns this tier targets (entries are ~100 bytes); batching writes
+is the obvious lever if journals ever grow past that.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro import obs
+from repro.errors import ProphetError
+from repro.sweep.cache import TEMP_PREFIX, atomic_write_json
+from repro.util.hashing import stable_hash
+
+#: Journal file format; bump on layout changes.
+JOURNAL_FORMAT = 1
+
+#: Statuses a journal entry may carry — the runner's terminal verdicts.
+TERMINAL_STATUSES = ("ok", "error", "timeout", "quarantined")
+
+_ID_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,99}")
+
+
+class CampaignError(ProphetError):
+    """A campaign journal is missing, malformed, or mismatched."""
+
+
+def campaigns_dir(cache_root: str | Path) -> Path:
+    return Path(cache_root) / "campaigns"
+
+
+def campaign_fingerprint(cache_keys) -> str:
+    """Identity of an expanded grid: its sorted cache keys.
+
+    Order-independent (the keys are sorted) but content-exact: any
+    changed axis, model edit, or seed produces different keys and a
+    loud mismatch on resume.
+    """
+    return stable_hash({"keys": sorted(cache_keys)})
+
+
+def _validate_id(campaign_id: str) -> str:
+    if not isinstance(campaign_id, str) \
+            or not _ID_PATTERN.fullmatch(campaign_id):
+        raise CampaignError(
+            f"campaign id {campaign_id!r} is invalid (letters, digits, "
+            "'.', '_', '-'; must not start with a dot; max 100 chars)")
+    return campaign_id
+
+
+class Campaign:
+    """One campaign's journal, loaded in memory and mirrored to disk."""
+
+    def __init__(self, path: Path, campaign_id: str,
+                 fingerprint: str | None = None,
+                 entries: dict[str, dict] | None = None) -> None:
+        self.path = path
+        self.campaign_id = campaign_id
+        self.fingerprint = fingerprint
+        self.entries: dict[str, dict] = dict(entries or {})
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def start(cls, cache_root: str | Path,
+              campaign_id: str) -> "Campaign":
+        """Create a fresh journal; refuses to clobber an existing one."""
+        _validate_id(campaign_id)
+        _reap(campaigns_dir(cache_root))
+        path = campaigns_dir(cache_root) / f"{campaign_id}.json"
+        if path.exists():
+            raise CampaignError(
+                f"campaign {campaign_id!r} already exists at {path}; "
+                f"resume it with --resume {campaign_id} or pick a new "
+                "id")
+        campaign = cls(path, campaign_id)
+        campaign.flush()
+        return campaign
+
+    @classmethod
+    def resume(cls, cache_root: str | Path,
+               campaign_id: str) -> "Campaign":
+        """Load an existing journal (crashed or interrupted campaign)."""
+        _validate_id(campaign_id)
+        _reap(campaigns_dir(cache_root))
+        path = campaigns_dir(cache_root) / f"{campaign_id}.json"
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CampaignError(
+                f"no campaign {campaign_id!r} under "
+                f"{campaigns_dir(cache_root)} (start one with "
+                f"--campaign {campaign_id})") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(
+                f"campaign journal {path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(data, dict) \
+                or data.get("format") != JOURNAL_FORMAT \
+                or not isinstance(data.get("entries"), dict):
+            raise CampaignError(
+                f"campaign journal {path} has an unknown format")
+        entries = {}
+        for key, entry in data["entries"].items():
+            if not isinstance(entry, dict) \
+                    or entry.get("status") not in TERMINAL_STATUSES:
+                raise CampaignError(
+                    f"campaign journal {path} carries a malformed "
+                    f"entry for {key[:12]}")
+            entries[key] = entry
+        return cls(path, campaign_id,
+                   fingerprint=data.get("fingerprint"),
+                   entries=entries)
+
+    def bind(self, fingerprint: str) -> None:
+        """Pin (or on resume verify) the journal's grid fingerprint."""
+        if self.fingerprint is None:
+            self.fingerprint = fingerprint
+            self.flush()
+            return
+        if self.fingerprint != fingerprint:
+            raise CampaignError(
+                f"campaign {self.campaign_id!r} was recorded for a "
+                "different sweep grid (fingerprint mismatch) — "
+                "resuming with changed axes would mislabel results; "
+                "start a new campaign instead")
+
+    # -- entries --------------------------------------------------------------
+
+    def entry(self, cache_key: str) -> dict | None:
+        return self.entries.get(cache_key)
+
+    @property
+    def completed(self) -> int:
+        return len(self.entries)
+
+    def record(self, cache_key: str, status: str,
+               error: str | None = None) -> None:
+        """Journal one finished job (idempotent; flushes atomically)."""
+        if status not in TERMINAL_STATUSES:
+            status = "error"
+        entry: dict = {"status": status}
+        if error:
+            entry["error"] = str(error)
+        if self.entries.get(cache_key) == entry:
+            return
+        self.entries[cache_key] = entry
+        self.flush()
+        obs.counter(
+            "campaign_journal_writes_total",
+            "Campaign journal records flushed to disk.").inc()
+
+    def flush(self) -> None:
+        atomic_write_json(self.path, {
+            "format": JOURNAL_FORMAT,
+            "campaign": self.campaign_id,
+            "fingerprint": self.fingerprint,
+            "entries": self.entries,
+        })
+
+    def describe(self) -> str:
+        return (f"campaign {self.campaign_id}: {self.completed} "
+                f"point(s) journaled at {self.path}")
+
+
+def _reap(directory: Path) -> None:
+    """Remove orphaned atomic-write temp files (dead writers')."""
+    if not directory.is_dir():
+        return
+    for path in directory.glob(f"{TEMP_PREFIX}*"):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+__all__ = ["Campaign", "CampaignError", "JOURNAL_FORMAT",
+           "TERMINAL_STATUSES", "campaign_fingerprint",
+           "campaigns_dir"]

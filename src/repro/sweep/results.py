@@ -24,15 +24,25 @@ from repro.sweep.spec import SweepJob
 
 @dataclass(frozen=True)
 class JobResult:
-    """Outcome of one sweep point."""
+    """Outcome of one sweep point.
+
+    ``status`` is ``"ok"``, ``"error"``, ``"timeout"`` (exceeded its
+    per-job deadline), or ``"quarantined"`` (repeatedly broke the pool
+    and was bisected out).  ``attempts`` and ``resumed`` are execution
+    metadata — like ``cached`` they are reported but never exported,
+    so the determinism contract over CSV rows holds across retries and
+    campaign resumes.
+    """
 
     job: SweepJob
-    status: str                      # "ok" | "error"
-    predicted_time: float | None     # makespan [s]; None on error
+    status: str                      # "ok"|"error"|"timeout"|"quarantined"
+    predicted_time: float | None     # makespan [s]; None on failure
     events: int                      # simulation events (0 for analytic)
     trace_records: int               # trace length (0 for analytic)
     cached: bool                     # served from the result cache
     error: str | None = None         # "ExcType: message" on failure
+    attempts: int = 1                # dispatches this verdict took
+    resumed: bool = False            # settled by a campaign journal
 
     @property
     def ok(self) -> bool:
@@ -91,6 +101,19 @@ class SweepResult:
         return sum(1 for r in self.results if r.cached)
 
     @property
+    def timeout_count(self) -> int:
+        return sum(1 for r in self.results if r.status == "timeout")
+
+    @property
+    def quarantined_count(self) -> int:
+        return sum(1 for r in self.results
+                   if r.status == "quarantined")
+
+    @property
+    def resumed_count(self) -> int:
+        return sum(1 for r in self.results if r.resumed)
+
+    @property
     def cache_hit_rate(self) -> float:
         return self.cached_count / len(self.results) if self.results else 0.0
 
@@ -142,10 +165,18 @@ class SweepResult:
         return "\n".join(parts).rstrip()
 
     def summary(self) -> str:
-        lines = [f"sweep: {len(self.results)} point(s), "
+        first = (f"sweep: {len(self.results)} point(s), "
                  f"{len(self.succeeded())} ok, {len(self.failed())} "
                  f"failed, {self.cached_count} served from cache "
-                 f"({self.cache_hit_rate:.0%})"]
+                 f"({self.cache_hit_rate:.0%})")
+        if self.timeout_count:
+            first += f", {self.timeout_count} timed out"
+        if self.quarantined_count:
+            first += f", {self.quarantined_count} quarantined"
+        if self.resumed_count:
+            first += (f", {self.resumed_count} resumed from campaign "
+                      "journal")
+        lines = [first]
         if self.cache_stats is not None:
             lines.append(f"cache: {self.cache_stats.describe()}")
         for result in self.failed():

@@ -54,11 +54,12 @@ import concurrent.futures
 import dataclasses
 import inspect
 import os
+import random
 import threading
 import time
 from typing import Callable, Iterable, Sequence
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import ProphetError
 from repro.estimator.backends import (
     SIMULATED_BACKENDS,
@@ -68,7 +69,11 @@ from repro.estimator.backends import (
 from repro.estimator.analytic_plan import GridPoint
 from repro.estimator.trace import validate_trace_tier
 from repro.sweep.cache import CacheStats, ResultCache
+from repro.sweep.campaign import TERMINAL_STATUSES, Campaign, \
+    campaign_fingerprint
 from repro.sweep.grid import expand
+from repro.sweep.resilient import ResilientDispatcher, RetryPolicy, \
+    terminate_pool_workers
 from repro.sweep.results import JobResult, SweepResult
 from repro.sweep.spec import SweepJob, SweepSpec
 from repro.uml.model import Model
@@ -90,17 +95,28 @@ _WORKER_MODELS: LRUMap[str, Model] = LRUMap(_WORKER_MODELS_LIMIT)
 _WORKER_XML: dict[str, str] = {}
 
 
-def _pool_initializer(xml_by_hash: dict[str, str]) -> None:
-    """Install the sweep's model table in a fresh pool worker."""
+def _pool_initializer(xml_by_hash: dict[str, str],
+                      fault_payload: dict | None = None) -> None:
+    """Install the sweep's model table (and any armed fault plan) in a
+    fresh pool worker; marks the process as a worker so process-killing
+    faults know they may actually fire here."""
     _WORKER_XML.clear()
     _WORKER_XML.update(xml_by_hash)
+    faults.mark_worker()
+    faults.install(faults.FaultPlan.from_payload(fault_payload)
+                   if fault_payload is not None else None)
 
 
 def clear_worker_memos() -> None:
-    """Drop this process's model memo and shipped table (tests/benchmarks
-    use this to measure genuinely cold runs)."""
+    """Undo the pool initializer in this process: drop the model memo
+    and shipped table, disarm fault injection, and unmark the worker
+    flag (tests/benchmarks use this to measure genuinely cold runs —
+    and to keep an in-process ``_pool_initializer`` call from letting a
+    later kill fault take down the host process)."""
     _WORKER_MODELS.clear()
     _WORKER_XML.clear()
+    faults.install(None)
+    faults.unmark_worker()
 
 
 def _job_model(job: SweepJob) -> Model | None:
@@ -126,10 +142,15 @@ def execute_job(job: SweepJob, trace: str = "full") -> dict:
     "error": "ExcType: message"}``, or ``{"status": "need_model"}`` when
     the job arrived without XML and this worker has no copy of the model
     (the runner then re-sends the job with the XML attached).
+    ``{"status": "transient", "error": ...}`` marks a *retryable*
+    failure — an injected :class:`~repro.faults.TransientFault` or a
+    worker ``MemoryError`` — which the retry policy re-dispatches
+    (executors without one report it as a plain error).
     Module-level (not a closure) so the process-pool executor can
     pickle it.
     """
     try:
+        faults.maybe_inject(job.index)
         model = _job_model(job)
         if model is None:
             return {"status": "need_model",
@@ -138,6 +159,9 @@ def execute_job(job: SweepJob, trace: str = "full") -> dict:
             model, job.backend, job.params, job.network, job.seed,
             check=False, model_hash=job.model_hash, trace=trace)
         return {"status": "ok", **payload}
+    except (faults.TransientFault, MemoryError) as exc:
+        return {"status": "transient",
+                "error": f"{type(exc).__name__}: {exc}"}
     except Exception as exc:  # noqa: BLE001 — per-job capture by design
         return {"status": "error",
                 "error": f"{type(exc).__name__}: {exc}"}
@@ -296,23 +320,70 @@ def _job_seconds():
 
 
 class SerialExecutor:
-    """Run jobs one after another in this process (the default)."""
+    """Run jobs one after another in this process (the default).
+
+    A :class:`~repro.sweep.resilient.RetryPolicy` arms in-process
+    retries with backoff for transient outcomes; a
+    :class:`~repro.faults.FaultPlan` is installed around the loop
+    (process-killing faults degrade to transients here — there is no
+    worker to kill).  Per-job deadlines need a killable worker and are
+    therefore a pool-executor feature; serial runs ignore them.
+    """
 
     name = "serial"
 
-    def run(self, jobs: Sequence[SweepJob],
-            trace: str = "full") -> list[dict]:
+    def __init__(self, policy: RetryPolicy | None = None,
+                 fault_plan: "faults.FaultPlan | None" = None) -> None:
+        self.policy = policy or RetryPolicy()
+        self.fault_plan = fault_plan
+        self._rng = None
+
+    def _run_one(self, job: SweepJob, trace: str) -> dict:
+        if self._rng is None:
+            self._rng = random.Random(self.policy.seed)
+        attempts = 0
+        while True:
+            attempts += 1
+            outcome = execute_job(job, trace)
+            if outcome.get("status") != "transient":
+                break
+            if attempts > self.policy.max_retries:
+                outcome = {"status": "error",
+                           "error": (f"{outcome.get('error')} (gave up "
+                                     f"after {attempts} attempt(s))")}
+                break
+            obs.counter(
+                "sweep_job_retries_total",
+                "Job re-dispatches after transient failures or pool "
+                "breaks.").inc()
+            time.sleep(self.policy.backoff_s(attempts, self._rng))
+        outcome.setdefault("attempts", attempts)
+        return outcome
+
+    def run(self, jobs: Sequence[SweepJob], trace: str = "full",
+            on_outcome: Callable[[SweepJob, dict], None] | None = None
+            ) -> list[dict]:
         if not jobs:
             return []
         histogram = _job_seconds()
         outcomes = []
-        for job in jobs:
-            with obs.span("sweep.job", backend=job.backend,
-                          index=job.index):
-                start = time.perf_counter()
-                outcomes.append(execute_job(job, trace))
-                histogram.labels(job.backend).observe(
-                    time.perf_counter() - start)
+        installed_before = faults.installed()
+        if self.fault_plan is not None:
+            faults.install(self.fault_plan)
+        try:
+            for job in jobs:
+                with obs.span("sweep.job", backend=job.backend,
+                              index=job.index):
+                    start = time.perf_counter()
+                    outcome = self._run_one(job, trace)
+                    histogram.labels(job.backend).observe(
+                        time.perf_counter() - start)
+                outcomes.append(outcome)
+                if on_outcome is not None:
+                    on_outcome(job, outcome)
+        finally:
+            if self.fault_plan is not None:
+                faults.install(installed_before)
         return outcomes
 
 
@@ -382,11 +453,32 @@ class ProcessPoolExecutor:
     name = "process"
 
     def __init__(self, max_workers: int | None = None,
-                 persistent: bool = False) -> None:
+                 persistent: bool = False,
+                 job_timeout: float | None = None,
+                 policy: RetryPolicy | None = None,
+                 fault_plan: "faults.FaultPlan | None" = None) -> None:
         self.max_workers = max_workers
         self.persistent = persistent
+        self.job_timeout = job_timeout
+        self.policy = policy
+        self.fault_plan = fault_plan
+        if persistent and fault_plan is not None:
+            raise ProphetError(
+                "fault injection needs fresh pool workers (the plan "
+                "ships via the pool initializer, which never runs for "
+                "the persistent pool's existing workers); use the "
+                "'process' executor")
         if persistent:
             self.name = "process-persistent"
+
+    @property
+    def resilient(self) -> bool:
+        """Whether dispatch goes through the windowed deadline/retry
+        path instead of chunked ``map`` (the fast road)."""
+        return (self.job_timeout is not None
+                or (self.policy is not None
+                    and self.policy.max_retries > 0)
+                or self.fault_plan is not None)
 
     def _chunks(self, jobs: Sequence[SweepJob],
                 trace: str) -> list[tuple[str, list[SweepJob]]]:
@@ -415,12 +507,21 @@ class ProcessPoolExecutor:
                 time.perf_counter() - start)
         return outcomes
 
-    def run(self, jobs: Sequence[SweepJob],
-            trace: str = "full") -> list[dict]:
+    def run(self, jobs: Sequence[SweepJob], trace: str = "full",
+            on_outcome: Callable[[SweepJob, dict], None] | None = None
+            ) -> list[dict]:
         if not jobs:
             return []
+        if self.resilient:
+            # Deadlines/retries/faults need per-job futures (and must
+            # not shortcut single jobs into the parent, where injected
+            # kills have no worker to take down).
+            return self._run_resilient(jobs, trace, on_outcome)
         if len(jobs) == 1:  # a pool for one job is pure overhead
-            return [execute_job(jobs[0], trace)]
+            outcomes = [execute_job(jobs[0], trace)]
+            if on_outcome is not None:
+                on_outcome(jobs[0], outcomes[0])
+            return outcomes
         light = [dataclasses.replace(job, model_xml="") for job in jobs]
         if self.persistent:
             pool = _shared_pool(self.max_workers)
@@ -437,19 +538,110 @@ class ProcessPoolExecutor:
                 # persistent pool the same second chance.
                 _discard_shared_pool(pool)
                 pool = _shared_pool(self.max_workers)
-                outcomes = self._run_with_fallback(pool, jobs, light,
-                                                   trace)
+                try:
+                    outcomes = self._run_with_fallback(pool, jobs,
+                                                       light, trace)
+                except (concurrent.futures.process.BrokenProcessPool,
+                        RuntimeError):
+                    # Second failure in a row: something in this batch
+                    # reliably kills workers.  Degrade to per-job
+                    # isolation — never raise out of a dispatch.
+                    _discard_shared_pool(pool)
+                    outcomes = self._run_degraded(jobs, trace)
         else:
             # The persistent pool relies purely on the need_model lazy
             # fetch; only a fresh pool ships the model table up front.
             table = {job.model_hash: job.model_xml
                      for job in jobs if job.model_xml}
-            with concurrent.futures.ProcessPoolExecutor(
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=self.max_workers,
+                        initializer=_pool_initializer,
+                        initargs=(table,)) as pool:
+                    outcomes = self._run_with_fallback(pool, jobs,
+                                                       light, trace)
+            except concurrent.futures.process.BrokenProcessPool:
+                # A fresh pool broke on first contact with this batch:
+                # some job kills its worker.  Per-job isolation keeps
+                # every innocent sibling's result.
+                outcomes = self._run_degraded(jobs, trace)
+        if on_outcome is not None:
+            for job, outcome in zip(jobs, outcomes):
+                on_outcome(job, outcome)
+        return outcomes
+
+    def _run_degraded(self, jobs: Sequence[SweepJob],
+                      trace: str) -> list[dict]:
+        """Last-ditch isolation after repeated pool breaks: one
+        single-worker pool per job, so a worker-killing job is captured
+        as exactly its own error and every innocent sibling still gets
+        a real result.  Never raises."""
+        obs.counter(
+            "sweep_degraded_dispatches_total",
+            "Dispatches that fell back to per-job isolation after "
+            "repeated pool breaks.").inc()
+        outcomes: list[dict] = []
+        for job in jobs:
+            table = ({job.model_hash: job.model_xml}
+                     if job.model_xml else {})
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=1, initializer=_pool_initializer,
+                        initargs=(table,)) as pool:
+                    outcome = pool.submit(execute_job, job,
+                                          trace).result()
+            except Exception as exc:  # noqa: BLE001 — per-job capture
+                outcome = {
+                    "status": "error",
+                    "error": (f"{type(exc).__name__}: {exc} (job "
+                              "isolated after repeated pool breaks; "
+                              "its own worker died too)")}
+            outcomes.append(outcome)
+        return outcomes
+
+    def _run_resilient(self, jobs: Sequence[SweepJob], trace: str,
+                       on_outcome) -> list[dict]:
+        """Windowed per-job dispatch with deadlines, retries, and
+        quarantine (see :mod:`repro.sweep.resilient`)."""
+        table = {job.model_hash: job.model_xml
+                 for job in jobs if job.model_xml}
+        payload = (self.fault_plan.to_payload()
+                   if self.fault_plan is not None else None)
+        if self.persistent:
+            def acquire():
+                return _shared_pool(self.max_workers)
+
+            def recycle(pool) -> None:
+                terminate_pool_workers(pool)
+                _discard_shared_pool(pool)
+        else:
+            def acquire():
+                return concurrent.futures.ProcessPoolExecutor(
                     max_workers=self.max_workers,
                     initializer=_pool_initializer,
-                    initargs=(table,)) as pool:
-                outcomes = self._run_with_fallback(pool, jobs, light,
-                                                   trace)
+                    initargs=(table, payload))
+
+            recycle = terminate_pool_workers
+        dispatcher = ResilientDispatcher(
+            acquire=acquire, recycle=recycle, execute=execute_job,
+            workers=self.max_workers or os.cpu_count() or 1,
+            job_timeout=self.job_timeout, policy=self.policy,
+            trace=trace, on_outcome=on_outcome)
+        with obs.span("sweep.pool_dispatch", executor=self.name,
+                      chunks=len(jobs)):
+            start = time.perf_counter()
+            try:
+                outcomes = dispatcher.run(jobs)
+            finally:
+                pool = dispatcher.release()
+                if pool is not None and not self.persistent:
+                    pool.shutdown()
+            obs.histogram(
+                "sweep_pool_dispatch_seconds",
+                "Wall time of one chunked pool dispatch (ship + "
+                "evaluate + collect).",
+                obs.LATENCY_BUCKETS_S).observe(
+                time.perf_counter() - start)
         return outcomes
 
     def _run_with_fallback(self, pool, jobs, light,
@@ -472,15 +664,30 @@ class ProcessPoolExecutor:
 
 
 def make_executor(executor: str | object,
-                  max_workers: int | None = None):
-    """Resolve an executor name (or pass an object with ``.run`` through)."""
+                  max_workers: int | None = None,
+                  job_timeout: float | None = None,
+                  policy: RetryPolicy | None = None,
+                  fault_plan: "faults.FaultPlan | None" = None):
+    """Resolve an executor name (or pass an object with ``.run`` through).
+
+    The fault-tolerance knobs configure the built-in executors; custom
+    executor objects are the caller's explicit choice and are passed
+    through untouched (their ``run`` may still accept ``trace`` and
+    ``on_outcome``, detected per call).
+    """
     if isinstance(executor, str):
         if executor == "serial":
-            return SerialExecutor()
+            return SerialExecutor(policy=policy, fault_plan=fault_plan)
         if executor == "process":
-            return ProcessPoolExecutor(max_workers)
+            return ProcessPoolExecutor(max_workers,
+                                       job_timeout=job_timeout,
+                                       policy=policy,
+                                       fault_plan=fault_plan)
         if executor == "process-persistent":
-            return ProcessPoolExecutor(max_workers, persistent=True)
+            return ProcessPoolExecutor(max_workers, persistent=True,
+                                       job_timeout=job_timeout,
+                                       policy=policy,
+                                       fault_plan=fault_plan)
         raise ProphetError(
             f"unknown sweep executor {executor!r} (expected 'serial', "
             "'process', or 'process-persistent')")
@@ -491,18 +698,26 @@ def make_executor(executor: str | object,
     return executor
 
 
-def _run_with_trace(runner, jobs: Sequence[SweepJob],
-                    trace: str) -> list[dict]:
-    """Call ``runner.run``, passing ``trace`` only if it is accepted
-    (keeps pre-trace-tier custom executors working)."""
+def _run_with_trace(runner, jobs: Sequence[SweepJob], trace: str,
+                    on_outcome=None) -> list[dict]:
+    """Call ``runner.run``, passing ``trace``/``on_outcome`` only if
+    accepted (keeps pre-trace-tier custom executors working)."""
     try:
-        accepts_trace = "trace" in inspect.signature(
-            runner.run).parameters
+        accepted = inspect.signature(runner.run).parameters
     except (TypeError, ValueError):  # builtins, exotic callables
-        accepts_trace = False
-    if accepts_trace:
-        return runner.run(jobs, trace=trace)
-    return runner.run(jobs)
+        accepted = {}
+    kwargs = {}
+    if "trace" in accepted:
+        kwargs["trace"] = trace
+    if on_outcome is not None and "on_outcome" in accepted:
+        kwargs["on_outcome"] = on_outcome
+    outcomes = runner.run(jobs, **kwargs)
+    if on_outcome is not None and "on_outcome" not in accepted:
+        # Custom executors that predate journaling still journal —
+        # just per dispatch instead of per completion.
+        for job, outcome in zip(jobs, outcomes):
+            on_outcome(job, outcome)
+    return outcomes
 
 
 def run_jobs(jobs: Sequence[SweepJob],
@@ -515,8 +730,31 @@ def run_jobs(jobs: Sequence[SweepJob],
              min_pool_jobs: int = DEFAULT_MIN_POOL_JOBS,
              dispatch_lock: threading.Lock | None = None,
              cache_stats: CacheStats | None = None,
-             preflight: bool = True) -> SweepResult:
+             preflight: bool = True,
+             job_timeout: float | None = None,
+             max_retries: int = 0,
+             retry_policy: RetryPolicy | None = None,
+             fault_plan: "faults.FaultPlan | None" = None,
+             campaign: Campaign | None = None) -> SweepResult:
     """Execute pre-expanded jobs: cache lookup → run misses → assemble.
+
+    Fault tolerance: ``job_timeout`` arms a per-job wall-clock deadline
+    on the pool executors (a hung worker yields a ``timeout`` result
+    and a recycled worker, not a stalled sweep); ``max_retries`` (or a
+    full ``retry_policy``) re-dispatches transient failures with
+    exponential backoff + jitter, and a job that repeatedly breaks the
+    pool is bisected out and ``quarantined``; ``fault_plan`` injects
+    deterministic faults (chaos tests and the chaos benchmark).  Any of
+    the three routes pool dispatch through the windowed
+    :class:`~repro.sweep.resilient.ResilientDispatcher` instead of
+    chunked ``map`` — and keeps the ``process`` executor even below
+    ``min_pool_jobs``, because deadlines and injected kills need real
+    workers.
+
+    ``campaign`` journals every finished job's fingerprint next to the
+    result cache: on resume, journaled failures are reported without
+    re-running and journaled successes are served from the cache, so a
+    crashed or killed campaign re-executes only unfinished work.
 
     ``preflight`` statically screens pending *simulated* jobs before
     dispatch: a job whose communication match is a proven failure at
@@ -549,22 +787,78 @@ def run_jobs(jobs: Sequence[SweepJob],
     :meth:`repro.sweep.cache.ResultCache.get`).
     """
     validate_trace_tier(trace)
+    if max_retries < 0:
+        raise ProphetError(
+            f"max_retries must be >= 0, got {max_retries!r}")
+    if job_timeout is not None and not job_timeout > 0:
+        raise ProphetError(
+            f"job_timeout must be > 0 seconds, got {job_timeout!r}")
+    policy = retry_policy
+    if policy is None and max_retries:
+        policy = RetryPolicy(max_retries=max_retries)
     jobs = sorted(jobs, key=lambda job: job.index)
     obs.counter("sweep_runs_total",
                 "run_jobs invocations (sweeps and service batches)."
                 ).inc()
 
+    keys = [job.cache_key() for job in jobs]
+    key_of = {job.index: key for job, key in zip(jobs, keys)}
+
+    # Campaign resume: journaled failures are final (reported without
+    # re-running); journaled successes are expected in the result cache
+    # below and re-run only if the cache entry has gone missing.
+    journaled: dict[int, dict] = {}
+    journal_ok: set[int] = set()
+    if campaign is not None:
+        campaign.bind(campaign_fingerprint(keys))
+        for job, key in zip(jobs, keys):
+            entry = campaign.entry(key)
+            if entry is None:
+                continue
+            if entry.get("status") == "ok":
+                journal_ok.add(job.index)
+            else:
+                journaled[job.index] = entry
+
     with obs.span("sweep.cache_lookup", points=len(jobs)):
-        keys = [job.cache_key() for job in jobs]
         served: dict[int, dict] = {}
         if cache is not None:
             for job, key in zip(jobs, keys):
+                if job.index in journaled:
+                    continue
                 payload = cache.get(key, require=PAYLOAD_KEYS,
                                     into=cache_stats)
                 if payload is not None:
                     served[job.index] = payload
 
-    pending = [job for job in jobs if job.index not in served]
+    resumed = set(journaled) | (journal_ok & set(served))
+    if campaign is not None and resumed:
+        obs.counter(
+            "campaign_jobs_resumed_total",
+            "Jobs skipped on campaign resume (journaled as finished)."
+        ).inc(len(resumed))
+
+    on_outcome = None
+    checkpointed: set[int] = set()
+    if campaign is not None:
+        def on_outcome(job: SweepJob, outcome: dict) -> None:
+            status = outcome.get("status", "error")
+            if status not in TERMINAL_STATUSES:
+                status = "error"
+            # Persist the payload BEFORE journaling the success: a
+            # journaled "ok" must always be backed by a durable cache
+            # entry, whatever instant the campaign process dies at —
+            # otherwise a resume would have to re-run finished work.
+            if status == "ok" and cache is not None and trace != "off":
+                cache.put(key_of[job.index], _payload_of(outcome),
+                          meta={"point": job.describe()},
+                          into=cache_stats)
+                checkpointed.add(job.index)
+            campaign.record(key_of[job.index], status,
+                            outcome.get("error"))
+
+    pending = [job for job in jobs
+               if job.index not in served and job.index not in journaled]
     outcomes: dict[int, dict] = {}
     grid_note = ""
     if analytic_grid:
@@ -589,18 +883,27 @@ def run_jobs(jobs: Sequence[SweepJob],
 
     simulated_jobs = sum(1 for job in pending
                          if job.backend in SIMULATED_BACKENDS)
-    runner = make_executor(
-        pool_dispatch(executor, simulated_jobs, min_pool_jobs),
-        max_workers)
+    fault_tolerant = (job_timeout is not None or policy is not None
+                      or fault_plan is not None)
+    chosen = executor
+    if not (fault_tolerant and executor == "process"):
+        # Deadlines and injected kills need real pool workers, so the
+        # min-pool-jobs downgrade is skipped when they are armed.
+        chosen = pool_dispatch(executor, simulated_jobs, min_pool_jobs)
+    runner = make_executor(chosen, max_workers,
+                           job_timeout=job_timeout, policy=policy,
+                           fault_plan=fault_plan)
     runner_name = getattr(runner, "name", "custom")
     obs.counter("sweep_dispatch_total",
                 "Executor actually chosen per dispatch (after the "
                 "min-pool-jobs heuristic).",
                 labelnames=("executor",)).labels(runner_name).inc()
     if progress is not None and jobs:
+        resume_note = (f", {len(resumed)} resumed from campaign "
+                       f"journal" if resumed else "")
         progress(f"sweep: {len(jobs)} point(s), {len(served)} cached, "
                  f"{len(pending)} to run on {getattr(runner, 'name', '?')} "
-                 f"executor{grid_note} [trace={trace}]")
+                 f"executor{grid_note}{resume_note} [trace={trace}]")
     with obs.span("sweep.dispatch", executor=runner_name,
                   jobs=len(pending)):
         # Nothing pending → never touch the executor: a fully-cached
@@ -610,9 +913,11 @@ def run_jobs(jobs: Sequence[SweepJob],
             dispatched: list[dict] = []
         elif dispatch_lock is not None:
             with dispatch_lock:
-                dispatched = _run_with_trace(runner, pending, trace)
+                dispatched = _run_with_trace(runner, pending, trace,
+                                             on_outcome)
         else:
-            dispatched = _run_with_trace(runner, pending, trace)
+            dispatched = _run_with_trace(runner, pending, trace,
+                                         on_outcome)
         outcomes.update(zip((job.index for job in pending),
                             dispatched))
 
@@ -623,15 +928,32 @@ def run_jobs(jobs: Sequence[SweepJob],
         labelnames=("backend", "status"))
     results: list[JobResult] = []
     for job, key in zip(jobs, keys):
+        if job.index in journaled:
+            # Recorded as finished-and-failed by a previous campaign
+            # run; the verdict is final — report it without re-running.
+            entry = journaled[job.index]
+            status = entry.get("status", "error")
+            if status not in ("error", "timeout", "quarantined"):
+                status = "error"
+            job_status.labels(job.backend, "resumed").inc()
+            results.append(JobResult(
+                job=job, status=status, predicted_time=None,
+                events=0, trace_records=0, cached=False,
+                error=entry.get("error")
+                or "recorded as failed in the campaign journal",
+                resumed=True))
+            continue
         cached = job.index in served
         outcome = served[job.index] if cached else outcomes[job.index]
         status = outcome.get("status", "error") if not cached else "ok"
         job_status.labels(
             job.backend,
             "cached" if cached
-            else ("ok" if status == "ok" else "error")).inc()
+            else (status if status in ("ok", "timeout", "quarantined")
+                  else "error")).inc()
         if cached or status == "ok":
-            if not cached and cache is not None and cacheable:
+            if not cached and cache is not None and cacheable \
+                    and job.index not in checkpointed:
                 cache.put(key, _payload_of(outcome),
                           meta={"point": job.describe()},
                           into=cache_stats)
@@ -641,7 +963,10 @@ def run_jobs(jobs: Sequence[SweepJob],
                 predicted_time=payload["predicted_time"],
                 events=int(payload["events"]),
                 trace_records=int(payload["trace_records"]),
-                cached=cached))
+                cached=cached,
+                attempts=int(outcome.get("attempts", 1))
+                if not cached else 1,
+                resumed=job.index in resumed))
         else:
             error = outcome.get("error", "unknown error")
             if status == "need_model":
@@ -650,16 +975,30 @@ def run_jobs(jobs: Sequence[SweepJob],
                          "XML and no shipped or memoized copy was "
                          "found)")
             results.append(JobResult(
-                job=job, status="error", predicted_time=None,
-                events=0, trace_records=0, cached=False,
-                error=error))
+                job=job,
+                status=(status if status in ("timeout", "quarantined")
+                        else "error"),
+                predicted_time=None,
+                events=0, trace_records=0, cached=False, error=error,
+                attempts=int(outcome.get("attempts", 1))))
+    if campaign is not None:
+        # Catch-all journaling: analytic-grid, preflight-skipped, and
+        # cache-served points never pass through an executor's
+        # on_outcome; record() is idempotent for the rest.
+        for result in results:
+            campaign.record(key_of[result.job.index], result.status,
+                            result.error)
     return SweepResult(results,
                        cache_stats=cache.stats if cache else None)
 
 
+#: Outcome bookkeeping keys that must not leak into cached payloads.
+_NON_PAYLOAD_KEYS = ("status", "attempts")
+
+
 def _payload_of(outcome: dict) -> dict:
     return {name: value for name, value in outcome.items()
-            if name != "status"}
+            if name not in _NON_PAYLOAD_KEYS}
 
 
 def run_sweep(spec: SweepSpec | Iterable[SweepJob],
@@ -670,19 +1009,39 @@ def run_sweep(spec: SweepSpec | Iterable[SweepJob],
               trace: str = "summary",
               analytic_grid: bool = True,
               min_pool_jobs: int = DEFAULT_MIN_POOL_JOBS,
-              preflight: bool = True) -> SweepResult:
-    """Expand ``spec`` (if needed) and execute the grid."""
-    jobs = expand(spec) if isinstance(spec, SweepSpec) else list(spec)
+              preflight: bool = True,
+              job_timeout: float | None = None,
+              max_retries: int | None = None,
+              retry_policy: RetryPolicy | None = None,
+              fault_plan: "faults.FaultPlan | None" = None,
+              campaign: Campaign | None = None) -> SweepResult:
+    """Expand ``spec`` (if needed) and execute the grid.
+
+    ``job_timeout``/``max_retries`` default to the spec's own knobs
+    (``None`` means "inherit"); explicit arguments win.
+    """
+    if isinstance(spec, SweepSpec):
+        if job_timeout is None:
+            job_timeout = spec.job_timeout
+        if max_retries is None:
+            max_retries = spec.max_retries
+        jobs = expand(spec)
+    else:
+        jobs = list(spec)
     return run_jobs(jobs, cache=cache, executor=executor,
                     max_workers=max_workers, progress=progress,
                     trace=trace, analytic_grid=analytic_grid,
-                    min_pool_jobs=min_pool_jobs, preflight=preflight)
+                    min_pool_jobs=min_pool_jobs, preflight=preflight,
+                    job_timeout=job_timeout,
+                    max_retries=max_retries or 0,
+                    retry_policy=retry_policy, fault_plan=fault_plan,
+                    campaign=campaign)
 
 
 __all__ = [
     "DEFAULT_MIN_POOL_JOBS", "PREFLIGHT_EVENT_CAP",
-    "PREFLIGHT_OP_BUDGET", "ProcessPoolExecutor", "SerialExecutor",
-    "clear_preflight_memo", "clear_worker_memos", "execute_job",
-    "make_executor", "pool_dispatch", "run_jobs", "run_sweep",
-    "shutdown_shared_pool",
+    "PREFLIGHT_OP_BUDGET", "ProcessPoolExecutor", "RetryPolicy",
+    "SerialExecutor", "clear_preflight_memo", "clear_worker_memos",
+    "execute_job", "make_executor", "pool_dispatch", "run_jobs",
+    "run_sweep", "shutdown_shared_pool",
 ]

@@ -1,0 +1,258 @@
+"""Chaos property tests: seeded faults, exact statuses, no collateral.
+
+The contract under fault injection: a sweep ALWAYS completes (no
+sweep-level exception), every job ends with exactly the status its
+fault dictates, and every successful payload is byte-identical to a
+fault-free run's.  Faults are drawn from seeded
+:class:`~repro.faults.FaultPlan`s so any failure here replays
+bit-for-bit.
+"""
+
+import concurrent.futures
+
+import pytest
+
+from repro import faults
+from repro.faults import Fault, FaultPlan
+from repro.samples import build_kernel6_model
+from repro.sweep import RetryPolicy, make_spec, run_sweep
+from repro.sweep.runner import ProcessPoolExecutor, SerialExecutor
+from repro.sweep.grid import expand
+from repro.util.hashing import canonical_json
+
+#: Fast-retry policy: real backoff shape, test-friendly delays.
+FAST = dict(base_delay_s=0.01, max_delay_s=0.05)
+
+
+def kernel_spec(**kwargs):
+    return make_spec(build_kernel6_model(), **kwargs)
+
+
+def payload_row(result):
+    return {"predicted_time": result.predicted_time,
+            "events": result.events,
+            "trace_records": result.trace_records}
+
+
+class TestSerialRetries:
+    def test_raise_once_recovers_on_retry(self, tmp_path):
+        plan = FaultPlan(faults={0: Fault("raise", once=True)},
+                         state_dir=str(tmp_path))
+        result = run_sweep(kernel_spec(backends=["interp"]),
+                           retry_policy=RetryPolicy(max_retries=2,
+                                                    **FAST),
+                           fault_plan=plan)
+        [outcome] = result
+        assert outcome.ok
+        assert outcome.attempts == 2
+
+    def test_raise_always_exhausts_the_budget(self):
+        plan = FaultPlan(faults={0: Fault("raise")})
+        result = run_sweep(kernel_spec(backends=["interp"]),
+                           retry_policy=RetryPolicy(max_retries=2,
+                                                    **FAST),
+                           fault_plan=plan)
+        [outcome] = result
+        assert outcome.status == "error"
+        assert outcome.attempts == 3
+        assert "gave up after 3 attempt(s)" in outcome.error
+
+    def test_no_retry_budget_fails_first_transient(self):
+        plan = FaultPlan(faults={0: Fault("raise")})
+        result = run_sweep(kernel_spec(backends=["interp"]),
+                           fault_plan=plan)
+        [outcome] = result
+        assert outcome.status == "error"
+        assert "TransientFault" in outcome.error
+
+    def test_kill_degrades_to_transient_in_serial(self):
+        # No worker to kill: the serial executor must survive.
+        plan = FaultPlan(faults={0: Fault("kill")})
+        result = run_sweep(kernel_spec(backends=["interp"]),
+                           retry_policy=RetryPolicy(max_retries=0),
+                           fault_plan=plan)
+        [outcome] = result
+        assert outcome.status == "error"
+        assert "not in a pool worker" in outcome.error
+
+    def test_plan_is_uninstalled_after_the_sweep(self):
+        plan = FaultPlan(faults={0: Fault("raise")})
+        run_sweep(kernel_spec(backends=["interp"]), fault_plan=plan)
+        assert faults.installed() is None
+
+
+class TestPoolChaos:
+    """The acceptance scenario: kills + hangs + raises in one sweep."""
+
+    @pytest.fixture(scope="class")
+    def chaos_runs(self, tmp_path_factory):
+        """One chaotic pool run + its fault-free twin, shared across
+        the class's assertions (pool chaos runs cost real seconds)."""
+        state_dir = tmp_path_factory.mktemp("fault-state")
+        spec = kernel_spec(processes=[2], backends=["interp"],
+                           seeds=range(10))
+        plan = FaultPlan.seeded(seed=1305, jobs=10, kills=1, hangs=1,
+                                raises=1, kill_once=1, raise_once=1,
+                                hang_s=20.0, state_dir=str(state_dir))
+        chaotic = run_sweep(
+            spec, executor="process", max_workers=2, job_timeout=3.0,
+            retry_policy=RetryPolicy(max_retries=2, **FAST),
+            fault_plan=plan)
+        clean = run_sweep(spec)
+        return plan, chaotic, clean
+
+    def test_exact_per_job_statuses(self, chaos_runs):
+        plan, chaotic, _ = chaos_runs
+        expected = {index: "quarantined"
+                    for index in plan.indices("kill", once=False)}
+        expected.update({index: "timeout"
+                         for index in plan.indices("hang")})
+        expected.update({index: "error"
+                         for index in plan.indices("raise",
+                                                   once=False)})
+        for result in chaotic:
+            assert result.status == expected.get(result.job.index,
+                                                 "ok"), \
+                f"job {result.job.index}: {result.error}"
+
+    def test_once_faults_recover(self, chaos_runs):
+        plan, chaotic, _ = chaos_runs
+        by_index = {r.job.index: r for r in chaotic}
+        for index in plan.indices("raise", once=True):
+            assert by_index[index].ok
+            assert by_index[index].attempts == 2
+        for index in plan.indices("kill", once=True):
+            assert by_index[index].ok
+
+    def test_successful_payloads_byte_identical_to_fault_free(
+            self, chaos_runs):
+        _, chaotic, clean = chaos_runs
+        clean_rows = {r.job.index: payload_row(r) for r in clean}
+        for result in chaotic:
+            if result.ok:
+                assert canonical_json(payload_row(result)) == \
+                    canonical_json(clean_rows[result.job.index])
+
+    def test_failure_diagnostics_name_the_fault(self, chaos_runs):
+        plan, chaotic, _ = chaos_runs
+        by_index = {r.job.index: r for r in chaotic}
+        for index in plan.indices("hang"):
+            assert "deadline" in by_index[index].error
+        for index in plan.indices("kill", once=False):
+            assert "quarantined" in by_index[index].error
+        for index in plan.indices("raise", once=False):
+            assert "gave up" in by_index[index].error
+
+
+class TestDeadlines:
+    def test_hung_job_times_out_and_siblings_complete(self, tmp_path):
+        spec = kernel_spec(processes=[2], backends=["interp"],
+                           seeds=range(4))
+        plan = FaultPlan(faults={1: Fault("hang", hang_s=20.0)})
+        result = run_sweep(spec, executor="process", max_workers=2,
+                           job_timeout=1.5, fault_plan=plan)
+        statuses = {r.job.index: r.status for r in result}
+        assert statuses[1] == "timeout"
+        assert [statuses[i] for i in (0, 2, 3)] == ["ok"] * 3
+        assert result.timeout_count == 1
+        assert "timed out" in result.summary()
+
+    def test_timeout_is_terminal_despite_retry_budget(self):
+        spec = kernel_spec(processes=[2], backends=["interp"],
+                           seeds=range(2))
+        plan = FaultPlan(faults={0: Fault("hang", hang_s=20.0)})
+        result = run_sweep(spec, executor="process", max_workers=2,
+                           job_timeout=1.5,
+                           retry_policy=RetryPolicy(max_retries=3,
+                                                    **FAST),
+                           fault_plan=plan)
+        by_index = {r.job.index: r for r in result}
+        assert by_index[0].status == "timeout"
+        assert by_index[0].attempts == 1  # never retried
+        assert by_index[1].ok
+
+
+class TestDegradedDispatch:
+    """Satellite: the double-BrokenProcessPool path must degrade to
+    per-job isolation, never raise out of a dispatch."""
+
+    def _broken(self, *args, **kwargs):
+        raise concurrent.futures.process.BrokenProcessPool(
+            "synthetic break")
+
+    def test_fresh_pool_break_degrades_per_job(self, monkeypatch):
+        executor = ProcessPoolExecutor(max_workers=2)
+        monkeypatch.setattr(executor, "_run_with_fallback",
+                            self._broken)
+        jobs = expand(kernel_spec(processes=[1, 2],
+                                  backends=["interp"]))
+        outcomes = executor.run(jobs, trace="summary")
+        assert [o["status"] for o in outcomes] == ["ok", "ok"]
+
+    def test_persistent_double_break_degrades_per_job(self,
+                                                      monkeypatch):
+        from repro.sweep.runner import shutdown_shared_pool
+        executor = ProcessPoolExecutor(max_workers=2, persistent=True)
+        calls = []
+
+        def flaky(pool, jobs, light, trace):
+            calls.append(pool)
+            raise concurrent.futures.process.BrokenProcessPool(
+                "synthetic break")
+
+        monkeypatch.setattr(executor, "_run_with_fallback", flaky)
+        jobs = expand(kernel_spec(processes=[1, 2],
+                                  backends=["interp"]))
+        try:
+            outcomes = executor.run(jobs, trace="summary")
+        finally:
+            shutdown_shared_pool()
+        assert len(calls) == 2          # retried once, then degraded
+        assert calls[0] is not calls[1]  # on a replacement pool
+        assert [o["status"] for o in outcomes] == ["ok", "ok"]
+
+    def test_degraded_outcomes_feed_normal_assembly(self, monkeypatch):
+        from repro.sweep import run_jobs
+        executor = ProcessPoolExecutor(max_workers=2)
+        monkeypatch.setattr(executor, "_run_with_fallback",
+                            self._broken)
+        jobs = expand(kernel_spec(processes=[1, 2],
+                                  backends=["interp"]))
+        result = run_jobs(jobs, executor=executor)
+        assert all(r.ok for r in result)
+
+
+class TestPersistentGuards:
+    def test_persistent_pool_rejects_fault_plans(self):
+        from repro.errors import ProphetError
+        with pytest.raises(ProphetError, match="fresh pool workers"):
+            ProcessPoolExecutor(persistent=True,
+                                fault_plan=FaultPlan(
+                                    faults={0: Fault("raise")}))
+
+    def test_persistent_resilient_deadline_works(self):
+        """Deadlines on the persistent pool route through the
+        dispatcher's lazy need_model fetch (no initializer)."""
+        from repro.sweep.runner import shutdown_shared_pool
+        spec = kernel_spec(processes=[2], backends=["interp"],
+                           seeds=range(3))
+        try:
+            result = run_sweep(spec, executor="process-persistent",
+                               max_workers=2, job_timeout=30.0)
+        finally:
+            shutdown_shared_pool()
+        assert all(r.ok for r in result)
+
+
+class TestDeterministicChaos:
+    def test_same_seed_reproduces_the_verdicts(self, tmp_path):
+        spec = kernel_spec(backends=["interp"], seeds=range(6))
+        verdicts = []
+        for run in range(2):
+            plan = FaultPlan.seeded(seed=99, jobs=6, raises=2)
+            result = run_sweep(
+                spec, retry_policy=RetryPolicy(max_retries=1, **FAST),
+                fault_plan=plan)
+            verdicts.append([(r.job.index, r.status, r.attempts)
+                             for r in result])
+        assert verdicts[0] == verdicts[1]

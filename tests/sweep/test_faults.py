@@ -1,0 +1,162 @@
+"""The fault-injection harness: plans, seeding, once-markers, firing."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    Fault,
+    FaultPlan,
+    FaultPlanError,
+    TransientFault,
+)
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    """Never leak an armed plan into (or out of) a test."""
+    before = faults.installed()
+    faults.install(None)
+    yield
+    faults.install(before)
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            Fault("explode")
+
+    def test_negative_hang_rejected(self):
+        with pytest.raises(FaultPlanError, match="hang_s"):
+            Fault("hang", hang_s=-1.0)
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(FaultPlanError, match="indices"):
+            FaultPlan(faults={-1: Fault("raise")})
+
+    def test_once_requires_state_dir(self):
+        with pytest.raises(FaultPlanError, match="state_dir"):
+            FaultPlan(faults={0: Fault("raise", once=True)})
+
+    def test_once_with_state_dir_accepted(self, tmp_path):
+        plan = FaultPlan(faults={0: Fault("raise", once=True)},
+                         state_dir=str(tmp_path))
+        assert plan.fault_for(0).once
+
+    def test_too_many_faults_for_grid(self):
+        with pytest.raises(FaultPlanError, match="cannot place"):
+            FaultPlan.seeded(seed=0, jobs=2, kills=3)
+
+
+class TestSeededPlans:
+    def test_same_seed_same_plan(self):
+        first = FaultPlan.seeded(seed=42, jobs=50, kills=2, hangs=1,
+                                 raises=3)
+        second = FaultPlan.seeded(seed=42, jobs=50, kills=2, hangs=1,
+                                  raises=3)
+        assert first.faults == second.faults
+
+    def test_different_seed_different_plan(self):
+        first = FaultPlan.seeded(seed=1, jobs=50, kills=2, hangs=2,
+                                 raises=2)
+        second = FaultPlan.seeded(seed=2, jobs=50, kills=2, hangs=2,
+                                  raises=2)
+        assert first.faults != second.faults
+
+    def test_kinds_are_disjoint_and_complete(self, tmp_path):
+        plan = FaultPlan.seeded(seed=7, jobs=30, kills=2, hangs=3,
+                                raises=4, kill_once=1, raise_once=2,
+                                state_dir=str(tmp_path))
+        kills = plan.indices("kill")
+        hangs = plan.indices("hang")
+        raises = plan.indices("raise")
+        assert len(kills) == 3        # 2 always + 1 once
+        assert len(plan.indices("kill", once=True)) == 1
+        assert len(hangs) == 3
+        assert len(raises) == 6       # 4 always + 2 once
+        assert len(plan.indices("raise", once=True)) == 2
+        all_sites = kills + hangs + raises
+        assert len(set(all_sites)) == len(all_sites) == 12
+        assert all(0 <= i < 30 for i in all_sites)
+
+    def test_payload_round_trip_is_json_safe(self, tmp_path):
+        plan = FaultPlan.seeded(seed=3, jobs=20, kills=1, hangs=1,
+                                raises=1, raise_once=1,
+                                state_dir=str(tmp_path))
+        payload = json.loads(json.dumps(plan.to_payload()))
+        assert FaultPlan.from_payload(payload) == plan
+
+
+class TestInjection:
+    def test_no_plan_no_fault(self):
+        faults.maybe_inject(0)  # must be a no-op
+
+    def test_unlisted_index_untouched(self):
+        faults.install(FaultPlan(faults={3: Fault("raise")}))
+        faults.maybe_inject(2)  # index 2 has no fault
+
+    def test_raise_fault_raises_transient(self):
+        faults.install(FaultPlan(faults={5: Fault("raise")}))
+        with pytest.raises(TransientFault, match="job 5"):
+            faults.maybe_inject(5)
+
+    def test_transient_fault_is_not_a_prophet_error(self):
+        from repro.errors import ProphetError
+        assert not issubclass(TransientFault, ProphetError)
+
+    def test_kill_outside_worker_degrades_to_transient(self):
+        # This test process is NOT a pool worker: a kill fault must
+        # surface as a retryable error, never os._exit the test run.
+        faults.install(FaultPlan(faults={1: Fault("kill")}))
+        with pytest.raises(TransientFault, match="not in a pool worker"):
+            faults.maybe_inject(1)
+
+    def test_hang_outside_worker_degrades_to_transient(self):
+        faults.install(FaultPlan(faults={1: Fault("hang", hang_s=60)}))
+        with pytest.raises(TransientFault, match="not in a pool worker"):
+            faults.maybe_inject(1)
+
+    def test_once_fires_exactly_once(self, tmp_path):
+        faults.install(FaultPlan(
+            faults={4: Fault("raise", once=True)},
+            state_dir=str(tmp_path)))
+        with pytest.raises(TransientFault):
+            faults.maybe_inject(4)
+        faults.maybe_inject(4)  # marker on disk: silent now
+        assert (tmp_path / "fired-4").exists()
+
+    def test_once_marker_survives_a_new_plan_instance(self, tmp_path):
+        # Same state_dir = same campaign: a re-created plan (fresh pool
+        # worker, resumed run) must see the firing.
+        first = FaultPlan(faults={0: Fault("raise", once=True)},
+                          state_dir=str(tmp_path))
+        faults.install(first)
+        with pytest.raises(TransientFault):
+            faults.maybe_inject(0)
+        faults.install(FaultPlan.from_payload(first.to_payload()))
+        faults.maybe_inject(0)  # silent: already fired
+
+    def test_install_none_disarms(self):
+        faults.install(FaultPlan(faults={0: Fault("raise")}))
+        faults.install(None)
+        faults.maybe_inject(0)
+
+    def test_clear_worker_memos_unmarks_the_process(self):
+        """Running the pool initializer in-process (ship-once table
+        tests do) must be fully undone by ``clear_worker_memos`` — a
+        still-marked host process would let a later kill fault
+        ``os._exit`` the whole test run instead of degrading."""
+        from repro.sweep.runner import (
+            _pool_initializer,
+            clear_worker_memos,
+        )
+        try:
+            _pool_initializer({})
+            clear_worker_memos()
+            faults.install(FaultPlan(faults={1: Fault("kill")}))
+            with pytest.raises(TransientFault,
+                               match="not in a pool worker"):
+                faults.maybe_inject(1)
+        finally:
+            faults.unmark_worker()
