@@ -1,0 +1,513 @@
+#!/usr/bin/env python
+"""Fleet chaos campaign — the CI ``fleet-chaos`` leg's executable half.
+
+Usage (repo root)::
+
+    python benchmarks/run_fleet_chaos.py                  # full sizing
+    python benchmarks/run_fleet_chaos.py --smoke          # CI-friendly
+    python benchmarks/run_fleet_chaos.py --artifacts fleet-artifacts
+
+One act, many hard contracts (a violation exits non-zero):
+
+A 3-replica serving fleet — real ``prophet serve`` subprocesses — sits
+behind an in-process shard router (replication factor 2, active
+probes).  Concurrent loadgen workers stream evaluation batches through
+the router while the harness
+
+1. **SIGKILLs the replica owning the first model's shard** mid-stream
+   (a real crash: no drain, no cleanup), and later
+2. **corrupts a surviving replica's result-cache shard on disk** with a
+   seeded :class:`~repro.faults.DiskFaultPlan` (bit flips, truncations,
+   an unlink — six entries, five of them checksum-detectable).
+
+Contracts, checked per response and at the end:
+
+* zero malformed responses — every batch answers 200 with one result
+  per request, each ``ok``, never a 502 and never a transport error;
+* every ``ok`` payload stays byte-identical to the healthy warm run
+  modulo the router's ``replica``/``degraded``/``hedged`` metadata;
+* no false ``degraded`` markers — two survivors absorb one death, so
+  nothing may be served by local fallback;
+* the router actually failed over (``router_failovers_total`` > 0);
+* the victim replica quarantines exactly the plan's detectable faults
+  into ``cache/corrupt/`` and its
+  ``store_corrupt_entries_total{store="result_cache"}`` matches;
+* a final clean pass re-serves everything with zero new corruption.
+
+Diagnostics land in ``--artifacts`` as
+``fleet-chaos-diagnostics.json`` plus the router's full metric
+registries as ``router-metrics.json`` and per-replica stderr logs, so
+a CI failure can be read off the upload without re-running.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+#: The serve subprocesses import ``repro`` the same way this script does.
+ENV = dict(os.environ,
+           PYTHONPATH=os.pathsep.join(
+               p for p in (str(ROOT / "src"),
+                           os.environ.get("PYTHONPATH")) if p))
+
+from repro.faults import DiskFaultPlan                       # noqa: E402
+from repro.service import ServiceClient, ServiceClientError  # noqa: E402
+from repro.service.router import (                           # noqa: E402
+    ShardRouter,
+    make_router_server,
+)
+from repro.service.service import RESULT_PAYLOAD_KEYS        # noqa: E402
+from repro.util.hashing import canonical_json                # noqa: E402
+
+FLEET_SIZE = 3
+WORKERS = 3
+FAULT_SEED = 4207
+#: Rounds every worker must finish before / between / after the chaos
+#: events, so each phase sees real concurrent traffic.
+ROUNDS_BEFORE_KILL = 2
+ROUNDS_BEFORE_CORRUPT = 2
+ROUNDS_AFTER_CORRUPT = 2
+PHASE_DEADLINE_S = 300.0
+
+
+class FleetContractViolation(AssertionError):
+    """A hard fleet-chaos contract failed — the harness exits non-zero."""
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def payload_view(result: dict) -> dict:
+    """The backend-computed payload, router metadata stripped."""
+    return {key: result.get(key) for key in RESULT_PAYLOAD_KEYS}
+
+
+def request_grid(refs: list[str], smoke: bool) -> list[dict]:
+    seeds = range(2 if smoke else 3)
+    return [{"model_ref": ref, "params": {"processes": processes},
+             "seed": seed}
+            for ref in refs
+            for processes in (1, 2, 4, 8)
+            for seed in seeds]
+
+
+class Replica:
+    """One ``prophet serve`` subprocess with its own stores."""
+
+    def __init__(self, index: int, root: Path, log_dir: Path) -> None:
+        self.replica_id = f"r{index}"
+        self.registry = root / self.replica_id / "registry"
+        self.cache = root / self.replica_id / "cache"
+        self.port = free_port()
+        self.url = f"http://127.0.0.1:{self.port}"
+        self.log_path = log_dir / f"replica-{self.replica_id}.log"
+        self._log = open(self.log_path, "w", encoding="utf-8")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--registry", str(self.registry),
+             "--cache-dir", str(self.cache),
+             "--replica-id", self.replica_id,
+             "--host", "127.0.0.1", "--port", str(self.port)],
+            cwd=ROOT, env=ENV, stdout=self._log,
+            stderr=subprocess.STDOUT)
+
+    def wait_healthy(self, deadline_s: float = 60.0) -> None:
+        client = ServiceClient(self.url, timeout=2.0)
+        deadline = time.monotonic() + deadline_s
+        while True:
+            if self.proc.poll() is not None:
+                raise FleetContractViolation(
+                    f"replica {self.replica_id} exited rc="
+                    f"{self.proc.returncode} before serving (see "
+                    f"{self.log_path.name})")
+            try:
+                if client.health().get("status") == "ok":
+                    return
+            except ServiceClientError:
+                pass
+            if time.monotonic() > deadline:
+                raise FleetContractViolation(
+                    f"replica {self.replica_id} not healthy within "
+                    f"{deadline_s:g}s")
+            time.sleep(0.05)
+
+    def sigkill(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+
+    def close(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        self._log.close()
+
+
+class LoadgenWorker:
+    """One client thread looping batches over its disjoint slice.
+
+    Disjoint slices keep the corruption accounting exact: each
+    corrupted cache key is re-read by exactly one worker, so the
+    victim's quarantine counter must land on precisely the plan's
+    detectable-fault count.
+    """
+
+    def __init__(self, index: int, router_url: str, batch: list[dict],
+                 reference: list[dict], gate: threading.Event,
+                 stop: threading.Event) -> None:
+        self.index = index
+        self.client = ServiceClient(router_url, timeout=60.0,
+                                    client_id=f"loadgen-{index}")
+        self.batch = batch
+        self.reference = reference
+        self.gate = gate
+        self.stop = stop
+        self.parked = threading.Event()
+        self.rounds = 0
+        self.replicas_seen: set[str] = set()
+        self.violations: list[str] = []
+        self.thread = threading.Thread(target=self._run, daemon=True,
+                                       name=f"loadgen-{index}")
+
+    def _run(self) -> None:
+        while not self.stop.is_set():
+            if not self.gate.is_set():
+                self.parked.set()
+                self.gate.wait(timeout=0.1)
+                continue
+            self.parked.clear()
+            try:
+                response = self.client.evaluate(self.batch)
+            except ServiceClientError as exc:
+                self.violations.append(
+                    f"worker {self.index} round {self.rounds}: "
+                    f"router call failed: {exc}")
+                self.stop.set()
+                return
+            self.violations.extend(
+                check_response(response, self.batch, self.reference,
+                               f"worker {self.index} round "
+                               f"{self.rounds}"))
+            for result in response.get("results", ()):
+                if isinstance(result, dict) and "replica" in result:
+                    self.replicas_seen.add(result["replica"])
+            if self.violations:
+                self.stop.set()
+                return
+            self.rounds += 1
+
+
+def check_response(response: dict, batch: list[dict],
+                   reference: list[dict], who: str) -> list[str]:
+    """Every malformed-response / identity / degraded contract at once."""
+    problems = []
+    results = response.get("results")
+    if not isinstance(results, list) or len(results) != len(batch):
+        return [f"{who}: malformed response — expected "
+                f"{len(batch)} result(s), got "
+                f"{len(results) if isinstance(results, list) else results!r}"]
+    for position, result in enumerate(results):
+        if not isinstance(result, dict):
+            problems.append(f"{who}[{position}]: non-dict result")
+            continue
+        if result.get("status") != "ok":
+            problems.append(
+                f"{who}[{position}]: status "
+                f"{result.get('status')!r} ({result.get('error')!r})")
+            continue
+        if result.get("degraded"):
+            problems.append(
+                f"{who}[{position}]: false degraded marker — two "
+                f"survivors must absorb one death")
+        if "replica" not in result:
+            problems.append(f"{who}[{position}]: missing replica "
+                            f"marker on a routed result")
+        if canonical_json(payload_view(result)) != \
+                canonical_json(reference[position]):
+            problems.append(
+                f"{who}[{position}]: payload differs from the "
+                f"healthy warm run")
+    return problems
+
+
+def wait_rounds(workers: list[LoadgenWorker], target: int,
+                label: str) -> None:
+    deadline = time.monotonic() + PHASE_DEADLINE_S
+    while min(worker.rounds for worker in workers) < target:
+        if any(worker.violations for worker in workers):
+            raise FleetContractViolation("; ".join(
+                problem for worker in workers
+                for problem in worker.violations))
+        if time.monotonic() > deadline:
+            raise FleetContractViolation(
+                f"loadgen did not reach {target} round(s) per worker "
+                f"within {PHASE_DEADLINE_S:g}s while {label}")
+        time.sleep(0.01)
+
+
+def pause_loadgen(workers: list[LoadgenWorker],
+                  gate: threading.Event) -> None:
+    gate.clear()
+    deadline = time.monotonic() + PHASE_DEADLINE_S
+    while not all(worker.parked.is_set() for worker in workers):
+        if time.monotonic() > deadline:
+            raise FleetContractViolation(
+                "loadgen workers did not park for the corruption "
+                "window")
+        time.sleep(0.005)
+
+
+def corrupt_counter_value(client: ServiceClient) -> float:
+    """``store_corrupt_entries_total{store="result_cache"}`` via HTTP."""
+    families = client.metrics()
+    family = families.get("prophet_store_corrupt_entries_total")
+    if not family:
+        return 0.0
+    return sum(series["value"] for series in family["series"]
+               if series["labels"].get("store") == "result_cache")
+
+
+def router_counter_total(router: ShardRouter, name: str,
+                         labelnames: tuple = ()) -> float:
+    family = router.metrics.counter(name, "", labelnames=labelnames)
+    return sum(child.value for child in family.children())
+
+
+def fleet_chaos(artifacts: Path, workdir: Path, smoke: bool) -> dict:
+    replicas = [Replica(index, workdir, artifacts)
+                for index in range(FLEET_SIZE)]
+    router = None
+    server = None
+    server_thread = None
+    stop = threading.Event()
+    workers: list[LoadgenWorker] = []
+    try:
+        for replica in replicas:
+            replica.wait_healthy()
+        router = ShardRouter(
+            [replica.url for replica in replicas],
+            replication_factor=2, probe_interval_s=0.5,
+            hedging=False)
+        server = make_router_server(router, port=0)
+        server_thread = threading.Thread(target=server.serve_forever,
+                                         daemon=True)
+        server_thread.start()
+        host, port = server.server_address[:2]
+        router_url = f"http://{host}:{port}"
+        client = ServiceClient(router_url, timeout=60.0,
+                               client_id="fleet-chaos")
+
+        # Ingest broadcasts to every replica, so any survivor can serve
+        # any shard after a failover.
+        refs = [client.ingest_sample(kind)["ref"]
+                for kind in ("kernel6", "sample", "pipeline")]
+        grid = request_grid(refs, smoke)
+
+        # Healthy warm pass: populates every owner's cache and pins the
+        # byte-identity reference every later response is held to.
+        warm = client.evaluate(grid)
+        bad_warm = [f"warm[{i}]: status {r.get('status')!r}"
+                    for i, r in enumerate(warm["results"])
+                    if r.get("status") != "ok"]
+        if bad_warm:
+            raise FleetContractViolation("; ".join(bad_warm))
+        reference = [payload_view(result) for result in warm["results"]]
+
+        victim_of_kill = router.shard_map.owners(
+            router.shard_key(refs[0]))[0]
+        kill_index = int(victim_of_kill[1:])
+
+        gate = threading.Event()
+        gate.set()
+        slices = [([request for position, request in enumerate(grid)
+                    if position % WORKERS == index],
+                   [reference[position]
+                    for position in range(len(grid))
+                    if position % WORKERS == index])
+                  for index in range(WORKERS)]
+        workers = [LoadgenWorker(index, router_url, batch, refs_slice,
+                                 gate, stop)
+                   for index, (batch, refs_slice) in enumerate(slices)]
+        for worker in workers:
+            worker.thread.start()
+
+        wait_rounds(workers, ROUNDS_BEFORE_KILL, "warming up")
+        replicas[kill_index].sigkill()
+        killed_at = min(worker.rounds for worker in workers)
+        wait_rounds(workers,
+                    killed_at + ROUNDS_BEFORE_CORRUPT,
+                    "failing over past the killed replica")
+
+        # Corrupt the fullest surviving cache shard at a round
+        # boundary: the kill already proved failover under live
+        # traffic, and a quiesced write window keeps the
+        # quarantine-counter contract exact instead of racy.
+        pause_loadgen(workers, gate)
+        survivors = [replica for index, replica in enumerate(replicas)
+                     if index != kill_index]
+        victim = max(survivors, key=lambda replica: len(
+            list(replica.cache.glob("??/*.json"))))
+        victim_files = sorted(victim.cache.glob("??/*.json"))
+        if len(victim_files) < 6:
+            raise FleetContractViolation(
+                f"survivor {victim.replica_id} holds only "
+                f"{len(victim_files)} cache entr(ies) — not enough to "
+                f"host the 6-fault plan")
+        victim_client = ServiceClient(victim.url, timeout=10.0)
+        corrupt_before = corrupt_counter_value(victim_client)
+        plan = DiskFaultPlan.seeded(FAULT_SEED, len(victim_files),
+                                    bitflips=3, truncates=2, unlinks=1)
+        report = plan.apply(victim_files)
+        gate.set()
+
+        corrupted_at = min(worker.rounds for worker in workers)
+        wait_rounds(workers, corrupted_at + ROUNDS_AFTER_CORRUPT,
+                    "recovering from disk corruption")
+        stop.set()
+        for worker in workers:
+            worker.thread.join(timeout=30)
+        leftover = [problem for worker in workers
+                    for problem in worker.violations]
+        if leftover:
+            raise FleetContractViolation("; ".join(leftover))
+
+        # Final clean pass: everything re-serves, nothing newly rots.
+        final = client.evaluate(grid)
+        problems = check_response(final, grid, reference, "final")
+        if problems:
+            raise FleetContractViolation("; ".join(problems))
+
+        corrupt_after = corrupt_counter_value(victim_client)
+        quarantined = corrupt_after - corrupt_before
+        if quarantined != report.detectable:
+            raise FleetContractViolation(
+                f"victim {victim.replica_id} counted {quarantined:g} "
+                f"corrupt entr(ies); the plan made "
+                f"{report.detectable} detectable fault(s)")
+        corrupt_dir = victim.cache / "corrupt"
+        quarantined_files = sorted(corrupt_dir.glob("*.json*")) \
+            if corrupt_dir.is_dir() else []
+        if len(quarantined_files) != report.detectable:
+            raise FleetContractViolation(
+                f"{len(quarantined_files)} file(s) in "
+                f"{corrupt_dir} — expected {report.detectable}")
+        settled = corrupt_counter_value(victim_client)
+        if settled != corrupt_after:
+            raise FleetContractViolation(
+                f"clean pass grew the corruption counter "
+                f"({corrupt_after:g} -> {settled:g})")
+
+        failovers = router_counter_total(router,
+                                         "router_failovers_total")
+        if failovers < 1:
+            raise FleetContractViolation(
+                "router never failed over despite the SIGKILL")
+        degraded = router_counter_total(router, "router_degraded_total")
+        if degraded:
+            raise FleetContractViolation(
+                f"{degraded:g} request(s) fell back to degraded local "
+                f"recompute — two survivors must absorb one death")
+
+        from repro.obs.metrics import export_json
+        metrics_path = artifacts / "router-metrics.json"
+        metrics_path.write_text(
+            json.dumps(export_json(*router.metric_registries()),
+                       indent=1, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+        total_rounds = sum(worker.rounds for worker in workers)
+        replicas_seen = sorted(set().union(
+            *(worker.replicas_seen for worker in workers)))
+        diag = {
+            "grid_points": len(grid),
+            "models": len(refs),
+            "killed_replica": victim_of_kill,
+            "corrupted_replica": victim.replica_id,
+            "victim_cache_entries": len(victim_files),
+            "fault_plan": plan.to_payload(),
+            "detectable_faults": report.detectable,
+            "quarantined_counter": quarantined,
+            "quarantined_files": [path.name
+                                  for path in quarantined_files],
+            "loadgen_rounds_total": total_rounds,
+            "replicas_seen_in_results": replicas_seen,
+            "router_failovers": failovers,
+            "router_degraded": degraded,
+            "router_metrics_artifact": metrics_path.name,
+        }
+        print(f"fleet chaos OK: {len(grid)} grid point(s) over "
+              f"{FLEET_SIZE} replica(s); SIGKILLed {victim_of_kill} "
+              f"and corrupted {len(report.applied)} cache entr(ies) "
+              f"on {victim.replica_id} under load; {total_rounds} "
+              f"loadgen round(s) all well-formed and byte-identical, "
+              f"{failovers:g} failover(s), 0 degraded, "
+              f"{quarantined:g}/{report.detectable} fault(s) "
+              f"quarantined, clean pass added none")
+        return diag
+    finally:
+        stop.set()
+        for worker in workers:
+            worker.thread.join(timeout=5)
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if server_thread is not None:
+            server_thread.join(timeout=5)
+        if router is not None:
+            router.close()
+        for replica in replicas:
+            replica.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_fleet_chaos",
+        description="3-replica fleet behind the shard router: SIGKILL "
+                    "one replica and corrupt a survivor's cache shard "
+                    "mid-loadgen")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizing (local quick check)")
+    parser.add_argument("--artifacts", metavar="DIR",
+                        default="fleet-chaos-artifacts",
+                        help="diagnostics + router metrics output "
+                             "directory (CI uploads it)")
+    args = parser.parse_args(argv)
+    artifacts = Path(args.artifacts)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    diagnostics: dict = {"smoke": args.smoke}
+    status = 0
+    try:
+        with tempfile.TemporaryDirectory() as scratch:
+            diagnostics["fleet_chaos"] = fleet_chaos(
+                artifacts, Path(scratch), args.smoke)
+    except FleetContractViolation as violation:
+        diagnostics["violation"] = str(violation)
+        print(f"fleet chaos contract violated: {violation}",
+              file=sys.stderr)
+        status = 1
+    path = artifacts / "fleet-chaos-diagnostics.json"
+    path.write_text(json.dumps(diagnostics, indent=1, sort_keys=True)
+                    + "\n", encoding="utf-8")
+    print(f"wrote {path}", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the sweep's metrics export here "
                             "(.prom/.txt = Prometheus text, anything "
                             "else = JSON)")
+    sweep.add_argument("--fsync", action="store_true",
+                       help="fsync cache entries and journal appends "
+                            "(crash-durable at a throughput cost)")
     campaign_group = sweep.add_mutually_exclusive_group()
     campaign_group.add_argument(
         "--campaign", metavar="ID",
@@ -221,7 +224,62 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="seconds to wait for in-flight batches to "
                             "finish on shutdown (default 30)")
+    serve.add_argument("--replica-id", default=None,
+                       help="stable instance name surfaced on /health "
+                            "and router-annotated results (default: "
+                            "pid-derived)")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync registry and cache writes "
+                            "(crash-durable at a throughput cost)")
     serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+
+    route = commands.add_parser(
+        "route", help="run the shard router in front of a replicated "
+                      "serving fleet")
+    route.add_argument("--replicas", required=True,
+                       help="comma-separated replica base URLs "
+                            "(shard-map order is the listed order)")
+    route.add_argument("--replication-factor", type=int, default=1,
+                       choices=(1, 2),
+                       help="owning replicas per shard; 2 gives every "
+                            "shard a secondary for failover and hedged "
+                            "reads (default 1)")
+    route.add_argument("--probe-interval", type=float, default=5.0,
+                       help="seconds between active /health probes "
+                            "(default 5)")
+    route.add_argument("--circuit-threshold", type=int, default=3,
+                       help="consecutive transport failures that open "
+                            "a replica's circuit (default 3)")
+    route.add_argument("--circuit-reset", type=float, default=5.0,
+                       help="seconds an open circuit stays open "
+                            "(default 5)")
+    route.add_argument("--hedge-delay", type=float, default=0.05,
+                       help="head start the primary gets before a "
+                            "cache-warm batch is hedged at the "
+                            "secondary (default 0.05)")
+    route.add_argument("--no-hedging", action="store_true",
+                       help="disable hedged reads for warm batches")
+    route.add_argument("--redirect", action="store_true",
+                       help="307-redirect single-shard batches to the "
+                            "owning replica instead of proxying")
+    route.add_argument("--local-registry", default=None,
+                       help="registry directory for the degraded-mode "
+                            "local fallback service (omit to answer "
+                            "per-request errors when the whole fleet "
+                            "is down)")
+    route.add_argument("--local-cache-dir", default=None,
+                       help="result cache for the local fallback")
+    route.add_argument("--fsync", action="store_true",
+                       help="fsync local-fallback store writes")
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=8360)
+    route.add_argument("--socket-timeout", type=float, default=30.0,
+                       help="per-connection socket timeout (default 30)")
+    route.add_argument("--request-timeout", type=float, default=60.0,
+                       help="per-forward timeout toward replicas "
+                            "(default 60)")
+    route.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
     submit = commands.add_parser(
@@ -405,6 +463,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_scenarios(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "route":
+        return _cmd_route(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "bench":
@@ -619,13 +679,17 @@ def _run_sweep_from_args(args, progress=print):
         job_timeout=args.job_timeout,
         max_retries=args.max_retries,
     )
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    durable = getattr(args, "fsync", False)
+    cache = (ResultCache(args.cache_dir, durable=durable)
+             if args.cache_dir else None)
     campaign = None
     if campaign_id:
-        campaign = Campaign.start(args.cache_dir, campaign_id)
+        campaign = Campaign.start(args.cache_dir, campaign_id,
+                                  durable=durable)
         progress(campaign.describe())
     elif resume_id:
-        campaign = Campaign.resume(args.cache_dir, resume_id)
+        campaign = Campaign.resume(args.cache_dir, resume_id,
+                                   durable=durable)
         progress(campaign.describe())
     executor = "process" if args.jobs > 0 else "serial"
     min_pool_jobs = (DEFAULT_MIN_POOL_JOBS if args.min_pool_jobs is None
@@ -753,7 +817,9 @@ def build_service_server(args):
         max_workers=args.jobs or None,
         trace=args.trace_tier,
         job_timeout=getattr(args, "job_timeout", None),
-        max_retries=getattr(args, "max_retries", 0))
+        max_retries=getattr(args, "max_retries", 0),
+        instance_id=getattr(args, "replica_id", None),
+        durable=getattr(args, "fsync", False))
     from repro.uml.hashing import short_ref
     for kind in (k.strip() for k in args.preload.split(",") if k.strip()):
         record = service.ingest_sample(kind)
@@ -791,6 +857,59 @@ def _cmd_serve(args) -> int:
                   "with batches still in flight")
         server.server_close()
         service.close()
+    return 0
+
+
+def build_router_server(args):
+    """The (server, router) pair ``prophet route`` runs.
+
+    Split from :func:`_cmd_route` for the same reason as
+    :func:`build_service_server`: tests and the chaos harness bind
+    ephemeral ports and drive the server on a thread.
+    """
+    from repro.service import EvaluationService
+    from repro.service.router import ShardRouter, make_router_server
+    urls = [u.strip() for u in args.replicas.split(",") if u.strip()]
+    local_service = None
+    if args.local_registry:
+        local_service = EvaluationService(
+            args.local_registry, cache=args.local_cache_dir,
+            instance_id="local",
+            durable=getattr(args, "fsync", False))
+    router = ShardRouter(
+        urls,
+        replication_factor=args.replication_factor,
+        local_service=local_service,
+        probe_interval_s=args.probe_interval,
+        circuit_threshold=args.circuit_threshold,
+        circuit_reset_s=args.circuit_reset,
+        hedge_delay_s=args.hedge_delay,
+        hedging=not args.no_hedging,
+        redirect=args.redirect,
+        request_timeout_s=args.request_timeout)
+    server = make_router_server(router, args.host, args.port,
+                                socket_timeout=args.socket_timeout)
+    if args.verbose:
+        server.RequestHandlerClass.quiet = False
+    return server, router
+
+
+def _cmd_route(args) -> int:
+    server, router = build_router_server(args)
+    host, port = server.server_address[:2]
+    replicas = ", ".join(f"{replica.replica_id}={replica.base_url}"
+                         for replica in router.replicas.values())
+    print(f"routing on http://{host}:{port} over {replicas} "
+          f"(replication factor {router.replication_factor}, "
+          f"local fallback: "
+          f"{'yes' if router.local_service else 'no'})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        router.close()
     return 0
 
 

@@ -37,13 +37,17 @@ retryable noise rather than killing the sweep process itself.
 
 from __future__ import annotations
 
+import errno
 import os
 import random
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping
+from typing import Iterable, Mapping, Sequence
 
+from repro import integrity
 from repro.errors import ProphetError
 
 #: Exit status a ``kill`` fault dies with (distinctive in diagnostics).
@@ -243,8 +247,240 @@ def maybe_inject(index: int) -> None:
     time.sleep(fault.hang_s)  # "hang": stall past any deadline
 
 
+# -- disk faults --------------------------------------------------------------
+#
+# The storage analogue of the worker plan above: a seeded mapping from
+# *file indices* (over a sorted target list) to on-disk faults, so a
+# chaos run that bit-rots five cache entries can be replayed exactly.
+#
+# * ``bitflip``  — flip one bit of one byte in place (silent bit rot).
+# * ``truncate`` — cut the file short (a torn write that beat fsync).
+# * ``unlink``   — delete the file (lost entry).
+# * ``eio``      — leave the bytes intact but make the next read raise
+#   ``EIO``, via the :mod:`repro.integrity` read hook every store reads
+#   through (:func:`eio_on_read` arms it).
+
+#: The disk-fault kinds a plan may contain.
+DISK_FAULT_KINDS = ("bitflip", "truncate", "unlink", "eio")
+
+
+def flip_bit(path: Path, seed: int, *, line: int | None = None) -> int:
+    """Flip one bit of one byte of ``path``; returns the offset.
+
+    The byte is drawn by a ``random.Random`` seeded from ``(seed,
+    file name)`` among the file's ASCII-alphanumeric bytes (with
+    ``line`` given, only within that 0-based line), and one of its low
+    five bits is flipped — always another character, so the change is
+    semantic, never whitespace the canonical-JSON checksum would
+    forgive.  Offsets inside a literal ``"sha256"`` key are skipped:
+    deleting the checksum *field name* would downgrade the entry to
+    legacy instead of corrupting it, which is not the fault this
+    simulates.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise FaultPlanError(f"cannot flip a bit in empty file {path}")
+    start, end = 0, len(data)
+    if line is not None:
+        lines = bytes(data).split(b"\n")
+        if line >= len(lines):
+            raise FaultPlanError(
+                f"{path} has {len(lines)} line(s), no line {line}")
+        start = sum(len(text) + 1 for text in lines[:line])
+        end = start + len(lines[line])
+    keyed = set()
+    probe = bytes(data).find(b'"sha256"')
+    while probe != -1:
+        keyed.update(range(probe, probe + len(b'"sha256"')))
+        probe = bytes(data).find(b'"sha256"', probe + 1)
+    candidates = [offset for offset in range(start, end)
+                  if data[offset] < 128 and chr(data[offset]).isalnum()
+                  and offset not in keyed]
+    rng = random.Random(f"disk-fault:{seed}:{path.name}")
+    offset = rng.choice(candidates) if candidates else start
+    data[offset] ^= 1 << rng.randrange(5)
+    path.write_bytes(bytes(data))
+    return offset
+
+
+def truncate_file(path: Path, seed: int) -> int:
+    """Cut ``path`` short at a seeded offset; returns the new size."""
+    path = Path(path)
+    size = path.stat().st_size
+    if size < 2:
+        raise FaultPlanError(f"cannot truncate {path} ({size} bytes)")
+    rng = random.Random(f"disk-fault:{seed}:{path.name}")
+    keep = rng.randrange(1, size)
+    with open(path, "r+b") as stream:
+        stream.truncate(keep)
+    return keep
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """One injected storage failure at one file index."""
+
+    kind: str                 # one of DISK_FAULT_KINDS
+
+    def __post_init__(self) -> None:
+        if self.kind not in DISK_FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown disk fault kind {self.kind!r} (expected one "
+                f"of {', '.join(DISK_FAULT_KINDS)})")
+
+
+@dataclass(frozen=True)
+class DiskFaultReport:
+    """What :meth:`DiskFaultPlan.apply` did, for assertions and logs."""
+
+    applied: tuple[dict, ...]        # {"index", "kind", "path"} each
+    eio_paths: tuple[Path, ...]      # arm these with eio_on_read()
+
+    def paths(self, kind: str) -> list[Path]:
+        return [Path(entry["path"]) for entry in self.applied
+                if entry["kind"] == kind]
+
+    @property
+    def detectable(self) -> int:
+        """Faults a verifying reader quarantines (unlink is a plain
+        miss — there is no corrupt file left to move)."""
+        return sum(1 for entry in self.applied
+                   if entry["kind"] in ("bitflip", "truncate", "eio"))
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """File index → disk fault, over a sorted list of target files."""
+
+    faults: Mapping[int, DiskFault] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for index, fault in self.faults.items():
+            if not isinstance(index, int) or index < 0:
+                raise FaultPlanError(
+                    f"disk fault indices must be non-negative ints, "
+                    f"got {index!r}")
+            if not isinstance(fault, DiskFault):
+                raise FaultPlanError(
+                    f"disk fault at index {index} is not a DiskFault "
+                    f"(got {type(fault).__name__})")
+
+    @classmethod
+    def seeded(cls, seed: int, targets: int, *, bitflips: int = 0,
+               truncates: int = 0, unlinks: int = 0,
+               eios: int = 0) -> "DiskFaultPlan":
+        """A reproducible plan: target indices drawn without
+        replacement from ``range(targets)`` by ``random.Random(seed)``."""
+        wanted = bitflips + truncates + unlinks + eios
+        if wanted > targets:
+            raise FaultPlanError(
+                f"cannot place {wanted} disk fault(s) on {targets} "
+                f"file(s)")
+        rng = random.Random(seed)
+        indices = rng.sample(range(targets), wanted)
+        faults: dict[int, DiskFault] = {}
+        cursor = 0
+        for count, kind in ((bitflips, "bitflip"),
+                            (truncates, "truncate"),
+                            (unlinks, "unlink"), (eios, "eio")):
+            for index in indices[cursor:cursor + count]:
+                faults[index] = DiskFault(kind)
+            cursor += count
+        return cls(faults=faults, seed=seed)
+
+    def indices(self, kind: str) -> list[int]:
+        return sorted(index for index, fault in self.faults.items()
+                      if fault.kind == kind)
+
+    def apply(self, files: Sequence[Path]) -> DiskFaultReport:
+        """Corrupt the planned subset of ``files`` (sorted first, so
+        the index → file mapping is stable across runs).
+
+        ``eio`` faults damage nothing on disk; the report's
+        ``eio_paths`` must be armed with :func:`eio_on_read` (or
+        shipped to the victim process) to take effect.
+        """
+        ordered = sorted(Path(f) for f in files)
+        applied: list[dict] = []
+        eio_paths: list[Path] = []
+        for index in sorted(self.faults):
+            if index >= len(ordered):
+                raise FaultPlanError(
+                    f"disk fault index {index} out of range for "
+                    f"{len(ordered)} file(s)")
+            fault, path = self.faults[index], ordered[index]
+            if fault.kind == "bitflip":
+                flip_bit(path, self.seed)
+            elif fault.kind == "truncate":
+                truncate_file(path, self.seed)
+            elif fault.kind == "unlink":
+                path.unlink()
+            else:
+                eio_paths.append(path)
+            applied.append({"index": index, "kind": fault.kind,
+                            "path": str(path)})
+        return DiskFaultReport(applied=tuple(applied),
+                               eio_paths=tuple(eio_paths))
+
+    def to_payload(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": {str(index): fault.kind
+                       for index, fault in self.faults.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DiskFaultPlan":
+        return cls(
+            faults={int(index): DiskFault(kind)
+                    for index, kind in payload["faults"].items()},
+            seed=payload["seed"])
+
+
+class EIOReadHook:
+    """Integrity read hook raising ``EIO`` for the armed paths.
+
+    Thread-safe; with ``once=True`` (the default) each path fires a
+    single time and then reads normally — the "retry the read"
+    recovery path stays reachable.  ``fired`` records firings for
+    assertions.
+    """
+
+    def __init__(self, paths: Iterable[Path], once: bool = True) -> None:
+        self._pending = {Path(p).resolve() for p in paths}
+        self._once = once
+        self._lock = threading.Lock()
+        self.fired: list[Path] = []
+
+    def __call__(self, path: Path) -> None:
+        resolved = Path(path).resolve()
+        with self._lock:
+            if resolved not in self._pending:
+                return
+            if self._once:
+                self._pending.discard(resolved)
+            self.fired.append(resolved)
+        raise OSError(errno.EIO, "injected disk read fault",
+                      str(path))
+
+
+@contextmanager
+def eio_on_read(paths: Iterable[Path], once: bool = True):
+    """Arm ``EIO`` on the next read of each path, for the block."""
+    hook = EIOReadHook(paths, once=once)
+    previous = integrity.set_read_hook(hook)
+    try:
+        yield hook
+    finally:
+        integrity.set_read_hook(previous)
+
+
 __all__ = [
-    "FAULT_KINDS", "Fault", "FaultPlan", "FaultPlanError",
-    "KILL_EXIT_CODE", "TransientFault", "install", "installed",
-    "mark_worker", "maybe_inject", "unmark_worker",
+    "DISK_FAULT_KINDS", "DiskFault", "DiskFaultPlan",
+    "DiskFaultReport", "EIOReadHook", "FAULT_KINDS", "Fault",
+    "FaultPlan", "FaultPlanError", "KILL_EXIT_CODE", "TransientFault",
+    "eio_on_read", "flip_bit", "install", "installed", "mark_worker",
+    "maybe_inject", "truncate_file", "unmark_worker",
 ]

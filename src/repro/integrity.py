@@ -1,0 +1,327 @@
+"""End-to-end data integrity for the on-disk stores.
+
+Every durable store in the system — the sweep result cache, the model
+registry, the static-analysis report cache, and the campaign journal —
+writes JSON (or XML) files that a later process trusts completely.  A
+torn write, a flipped bit, or a failing disk therefore used to be
+served back as *truth*: a corrupt cache entry became a prediction, a
+corrupt journal line became a "finished" sweep point.  This module is
+the shared discipline that closes that gap:
+
+* **Self-checksums** — :func:`seal` stamps a ``sha256`` field into a
+  JSON entry computed over the entry's canonical form;
+  :func:`verify` recomputes it on read.  Entries written before the
+  checksum era carry no field and verify as ``"legacy"`` — accepted,
+  and upgraded the next time the entry is rewritten.  For byte stores
+  (registry model XML) the checksum lives in a ``<file>.sha256``
+  sidecar instead (:func:`write_sidecar` / :func:`verify_sidecar`).
+* **Quarantine** — a failed verification never raises to the caller
+  and never returns the corrupt payload.  :func:`quarantine` moves the
+  file into the store's ``corrupt/`` directory (forensics keep the
+  bytes; readers stop seeing the entry) and counts it in
+  ``store_corrupt_entries_total{store=...}``.  Callers then recompute
+  or re-ingest transparently and count
+  ``store_recomputed_total{store=...}``.
+* **Crash-durable atomic writes** — :func:`atomic_write_text` /
+  :func:`atomic_write_json` extend the temp-file + ``os.replace``
+  discipline the stores already used with an opt-in ``durable=True``
+  fsync of both the temp file *and its parent directory*, so a power
+  cut after the rename cannot leave a renamed-but-empty entry.
+* **Injectable reads** — every store reads through :func:`read_text` /
+  :func:`read_bytes`, which consult a process-wide read hook
+  (:func:`set_read_hook`).  The disk-fault harness
+  (:mod:`repro.faults`) installs a hook that raises ``EIO`` for chosen
+  paths, so "the disk failed mid-read" is as reproducible as the
+  sweep chaos layer's worker kills.
+
+The checksum covers the *canonical JSON* of the entry (sorted keys,
+compact separators) minus the ``sha256`` field itself, so any semantic
+change — a flipped digit, a renamed key, a truncated object — fails
+verification, while formatting-only differences do not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Callable
+
+from repro import obs
+
+#: Field name a sealed JSON entry carries its checksum under.
+CHECKSUM_FIELD = "sha256"
+
+#: Suffix of sidecar checksum files next to byte stores (model XML).
+SIDECAR_SUFFIX = ".sha256"
+
+#: Directory name (inside a store root) quarantined files move to.
+CORRUPT_DIR = "corrupt"
+
+#: Prefix of in-flight atomic-write temp files (never valid entries).
+TEMP_PREFIX = ".tmp-"
+
+
+def corrupt_counter() -> obs.MetricFamily:
+    return obs.counter(
+        "store_corrupt_entries_total",
+        "On-disk entries that failed integrity verification and were "
+        "quarantined, by store.", labelnames=("store",))
+
+
+def recomputed_counter() -> obs.MetricFamily:
+    return obs.counter(
+        "store_recomputed_total",
+        "Entries transparently recomputed or re-ingested after a "
+        "failed integrity verification, by store.",
+        labelnames=("store",))
+
+
+def record_recomputed(store: str) -> None:
+    recomputed_counter().labels(store).inc()
+
+
+# -- checksums ----------------------------------------------------------------
+
+
+def checksum_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def checksum_text(text: str) -> str:
+    return checksum_bytes(text.encode("utf-8"))
+
+
+def checksum_payload(payload: object) -> str:
+    """Checksum of a JSON value's canonical form (sorted, compact)."""
+    return checksum_text(json.dumps(payload, sort_keys=True,
+                                    separators=(",", ":")))
+
+
+def seal(entry: dict) -> dict:
+    """``entry`` with its self-checksum stamped in (a new dict)."""
+    body = {k: v for k, v in entry.items() if k != CHECKSUM_FIELD}
+    sealed = dict(body)
+    sealed[CHECKSUM_FIELD] = checksum_payload(body)
+    return sealed
+
+
+def verify(entry: object) -> str:
+    """``"ok"`` | ``"legacy"`` (no checksum) | ``"corrupt"``.
+
+    Non-dict values are ``"corrupt"``; a dict without the checksum
+    field predates the integrity layer and is accepted as legacy.
+    """
+    if not isinstance(entry, dict):
+        return "corrupt"
+    stored = entry.get(CHECKSUM_FIELD)
+    if stored is None:
+        return "legacy"
+    body = {k: v for k, v in entry.items() if k != CHECKSUM_FIELD}
+    return "ok" if checksum_payload(body) == stored else "corrupt"
+
+
+def sidecar_path(path: Path) -> Path:
+    return path.with_name(path.name + SIDECAR_SUFFIX)
+
+
+def write_sidecar(path: Path, data: bytes | str,
+                  durable: bool = False) -> Path:
+    """Write ``path``'s checksum sidecar (the byte-store discipline)."""
+    digest = (checksum_text(data) if isinstance(data, str)
+              else checksum_bytes(data))
+    side = sidecar_path(path)
+    atomic_write_text(side, digest + "\n", durable=durable)
+    return side
+
+
+def verify_sidecar(path: Path, data: bytes | str) -> str:
+    """``"ok"`` | ``"legacy"`` (no sidecar) | ``"corrupt"``."""
+    side = sidecar_path(path)
+    try:
+        stored = read_text(side).strip()
+    except FileNotFoundError:
+        return "legacy"
+    except OSError:
+        return "corrupt"
+    digest = (checksum_text(data) if isinstance(data, str)
+              else checksum_bytes(data))
+    return "ok" if digest == stored else "corrupt"
+
+
+# -- injectable reads ---------------------------------------------------------
+
+_READ_HOOK: Callable[[Path], None] | None = None
+_HOOK_LOCK = threading.Lock()
+
+
+def set_read_hook(hook: Callable[[Path], None] | None):
+    """Install a pre-read hook (fault injection); returns the old one.
+
+    The hook is called with the path about to be read and may raise
+    ``OSError`` to simulate a failing disk.  ``None`` disarms.
+    """
+    global _READ_HOOK
+    with _HOOK_LOCK:
+        previous = _READ_HOOK
+        _READ_HOOK = hook
+    return previous
+
+
+def read_text(path: str | Path, encoding: str = "utf-8") -> str:
+    path = Path(path)
+    hook = _READ_HOOK
+    if hook is not None:
+        hook(path)
+    return path.read_text(encoding=encoding)
+
+
+def read_bytes(path: str | Path) -> bytes:
+    path = Path(path)
+    hook = _READ_HOOK
+    if hook is not None:
+        hook(path)
+    return path.read_bytes()
+
+
+# -- quarantine ---------------------------------------------------------------
+
+
+def quarantine(path: Path, store: str,
+               root: Path | None = None) -> Path | None:
+    """Move a corrupt file into the store's ``corrupt/`` directory.
+
+    ``root`` names the store root the ``corrupt/`` directory lives
+    under (default: the file's own parent, for flat stores).  The move
+    is a rename — no read needed, so even an EIO-on-read file can be
+    quarantined.  Returns the new path, or None if the file vanished
+    (a concurrent reader already quarantined it — counted once by
+    whoever won the rename).
+    """
+    directory = Path(root) if root is not None else path.parent
+    target_dir = directory / CORRUPT_DIR
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / path.name
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = target_dir / f"{path.name}.{suffix}"
+    try:
+        os.replace(path, target)
+    except FileNotFoundError:
+        return None
+    side = sidecar_path(path)
+    if side.is_file():  # keep the (possibly lying) sidecar alongside
+        try:
+            os.replace(side, target_dir / side.name)
+        except OSError:
+            pass
+    corrupt_counter().labels(store).inc()
+    return target
+
+
+def quarantine_text(text: str, store: str, directory: Path,
+                    name: str) -> Path:
+    """Preserve corrupt *content* (a journal line) under ``corrupt/``.
+
+    For stores where the unit of corruption is smaller than a file,
+    the surviving file is compacted and the bad bytes land here.
+    """
+    target_dir = Path(directory) / CORRUPT_DIR
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / name
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = target_dir / f"{name}.{suffix}"
+    target.write_text(text, encoding="utf-8")
+    corrupt_counter().labels(store).inc()
+    return target
+
+
+# -- crash-durable atomic writes ----------------------------------------------
+
+
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # platforms without directory fds
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: Path, text: str, *,
+                      durable: bool = False) -> Path:
+    """Write ``text`` to ``path`` atomically (mkstemp + rename).
+
+    A reader never sees a truncated file; a writer that dies mid-write
+    leaves only a ``.tmp-*`` orphan for the store's reaper.  With
+    ``durable=True`` the temp file is fsynced before the rename and
+    the parent directory after it, so a power cut can never leave a
+    renamed-but-empty entry.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=TEMP_PREFIX, suffix=path.suffix or None)
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+            if durable:
+                stream.flush()
+                os.fsync(stream.fileno())
+        os.replace(temp_name, path)
+        if durable:
+            fsync_dir(path.parent)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: Path, payload: dict, *,
+                      durable: bool = False) -> Path:
+    """Atomic (optionally durable) write of a JSON payload."""
+    return atomic_write_text(
+        Path(path), json.dumps(payload, sort_keys=True),
+        durable=durable)
+
+
+def append_line(path: Path, line: str, *, durable: bool = False) -> Path:
+    """Append one ``\\n``-terminated line (the journal discipline).
+
+    Appends are atomic at the line level on POSIX for these sizes; a
+    crash mid-append leaves a torn *trailing* line the reader drops.
+    ``durable=True`` fsyncs the file after the append (the parent
+    directory only needs syncing when the file is first created, which
+    the atomic header write already covered).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(line + "\n")
+        if durable:
+            stream.flush()
+            os.fsync(stream.fileno())
+    return path
+
+
+__all__ = [
+    "CHECKSUM_FIELD", "CORRUPT_DIR", "SIDECAR_SUFFIX", "TEMP_PREFIX",
+    "append_line", "atomic_write_json", "atomic_write_text",
+    "checksum_bytes", "checksum_payload", "checksum_text",
+    "corrupt_counter", "fsync_dir", "quarantine", "quarantine_text",
+    "read_bytes", "read_text", "record_recomputed",
+    "recomputed_counter", "seal", "set_read_hook", "sidecar_path",
+    "verify", "verify_sidecar", "write_sidecar",
+]

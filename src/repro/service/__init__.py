@@ -23,7 +23,13 @@ long-lived process holds
   ``prophet submit``;
 * :mod:`repro.service.loadgen` — an in-process concurrent load
   generator measuring p50/p99 latency and throughput (``prophet bench``
-  and the CI smoke leg).
+  and the CI smoke leg);
+* :mod:`repro.service.router` — the sharded-fleet front end
+  (``prophet route``): a consistent-hash shard map over replicas,
+  active health probes + passive circuit breaking, failover with
+  ``degraded``-marked local recompute, and hedged warm reads;
+* :mod:`repro.service.fleet` — an in-process fleet launcher (N replicas
+  + router on threads) for tests and benchmarks.
 
 Quickstart (in-process)::
 
@@ -56,10 +62,17 @@ from repro.service.admission import (
 )
 from repro.service.batcher import BatchPlan, BatchWindow, plan_batch
 from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.fleet import Fleet
 from repro.service.httpd import (
     RequestTimeoutError,
     ServiceHTTPServer,
     make_server,
+)
+from repro.service.router import (
+    RouterError,
+    ShardMap,
+    ShardRouter,
+    make_router_server,
 )
 from repro.service.registry import (
     ModelRecord,
@@ -78,13 +91,14 @@ __all__ = [
     "AdmissionQueue", "AdmissionRejected",
     "BatchPlan", "BatchResponse", "BatchWindow",
     "ClientRateLimiter", "DrainingError",
-    "EvaluationRequest", "EvaluationService",
+    "EvaluationRequest", "EvaluationService", "Fleet",
     "ModelRecord", "ModelRegistry",
     "QueueFullError", "RateLimitedError",
     "RegistryError", "RequestError", "RequestGateway",
-    "RequestTimeoutError",
+    "RequestTimeoutError", "RouterError",
     "ServiceClient", "ServiceClientError", "ServiceHTTPServer",
+    "ShardMap", "ShardRouter",
     "TokenBucket",
-    "make_server", "plan_batch",
+    "make_router_server", "make_server", "plan_batch",
     "request_from_payload", "requests_from_payload",
 ]

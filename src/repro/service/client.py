@@ -18,23 +18,38 @@ deterministic jitter, honouring the server's ``Retry-After`` hint as
 the floor of each delay.  Anything else (400s, 500) is a real error
 and raises immediately.  Evaluations are idempotent on the server
 (content-addressed result cache), so a retried submit can only repeat
-work, never corrupt it.
+work, never corrupt it.  The backoff law is the shared
+:class:`~repro.sweep.resilient.RetryPolicy` — the same object the
+sweep dispatcher and the shard router use, so ``Retry-After`` from
+*any* replica is honoured identically everywhere (pass
+``retry_policy=`` to share one configured instance).
+
+When talking to a fleet through the shard router, the client follows
+``307``/``308`` redirects (re-POSTing the body — stdlib ``urllib``
+refuses to) up to ``max_redirects`` hops, and router-annotated results
+carry ``replica`` / ``degraded`` markers straight through to callers.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Sequence
 
 from repro.errors import ProphetError
 from repro.service.request import EvaluationRequest
+from repro.sweep.resilient import RetryPolicy
 
 #: HTTP statuses worth retrying: the server said "later", not "no".
 RETRYABLE_STATUSES = (429, 503)
+
+#: Redirects followed with the method and body intact.
+REDIRECT_STATUSES = (307, 308)
 
 
 class ServiceClientError(ProphetError):
@@ -65,19 +80,29 @@ class ServiceClient:
                  retry_base_s: float = 0.25,
                  retry_max_s: float = 8.0,
                  retry_jitter: float = 0.25,
-                 retry_seed: int = 0) -> None:
+                 retry_seed: int = 0,
+                 retry_policy: RetryPolicy | None = None,
+                 max_redirects: int = 3) -> None:
         if max_retries < 0:
             raise ServiceClientError(
                 f"max_retries must be >= 0, got {max_retries!r}")
+        if retry_policy is None:
+            retry_policy = RetryPolicy(max_retries=max_retries,
+                                       base_delay_s=retry_base_s,
+                                       max_delay_s=retry_max_s,
+                                       jitter=retry_jitter,
+                                       seed=retry_seed)
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.client_id = client_id
-        self.max_retries = max_retries
-        self.retry_base_s = retry_base_s
-        self.retry_max_s = retry_max_s
-        self.retry_jitter = retry_jitter
-        self._retry_rng = random.Random(retry_seed)
+        self.retry_policy = retry_policy
+        self.max_redirects = max_redirects
+        self._retry_rng = random.Random(retry_policy.seed)
         self._sleep = time.sleep  # injectable for tests
+
+    @property
+    def max_retries(self) -> int:
+        return self.retry_policy.max_retries
 
     # -- endpoints -----------------------------------------------------------
 
@@ -102,7 +127,8 @@ class ServiceClient:
         except urllib.error.HTTPError as exc:
             raise ServiceClientError(
                 f"service error ({exc.code})", status=exc.code) from exc
-        except (urllib.error.URLError, OSError) as exc:
+        except (urllib.error.URLError, OSError,
+                http.client.HTTPException) as exc:
             raise ServiceClientError(
                 f"cannot reach service at {self.base_url}: "
                 f"{getattr(exc, 'reason', exc)}") from exc
@@ -173,38 +199,61 @@ class ServiceClient:
                             retry_after=exc.retry_after,
                             attempts=attempt)
                     raise exc from None
-                delay = min(self.retry_max_s,
-                            self.retry_base_s * (2 ** (attempt - 1)))
-                if exc.retry_after is not None:
-                    delay = max(delay, exc.retry_after)
-                delay *= 1.0 + self.retry_jitter * self._retry_rng.random()
-                self._sleep(delay)
+                self._sleep(self.retry_policy.backoff_s(
+                    attempt, self._retry_rng, floor_s=exc.retry_after))
                 attempt += 1
 
     def _call_once(self, request: urllib.request.Request) -> dict:
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        """One wire round trip, following method-preserving redirects.
+
+        The shard router replies ``307`` to point a submit at the
+        owning replica; stdlib ``urllib`` refuses to re-POST a body on
+        redirect, so the hop is taken explicitly (bounded by
+        ``max_redirects``).
+        """
+        hops = 0
+        while True:
             try:
-                message = json.loads(exc.read().decode("utf-8"))["error"]
-            except Exception:  # noqa: BLE001 — non-JSON error body
-                message = f"HTTP {exc.code}"
-            retry_after = None
-            header = exc.headers.get("Retry-After") if exc.headers else None
-            if header is not None:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                location = (exc.headers.get("Location")
+                            if exc.headers else None)
+                if exc.code in REDIRECT_STATUSES and location \
+                        and hops < self.max_redirects:
+                    hops += 1
+                    request = urllib.request.Request(
+                        urllib.parse.urljoin(request.full_url, location),
+                        data=request.data,
+                        headers=dict(request.header_items()))
+                    continue
                 try:
-                    retry_after = float(header)
-                except ValueError:
-                    pass  # HTTP-date form; callers fall back to status
-            raise ServiceClientError(
-                f"service error ({exc.code}): {message}",
-                status=exc.code, retry_after=retry_after) from exc
-        except (urllib.error.URLError, OSError) as exc:
-            raise ServiceClientError(
-                f"cannot reach service at {self.base_url}: "
-                f"{getattr(exc, 'reason', exc)}") from exc
+                    message = json.loads(
+                        exc.read().decode("utf-8"))["error"]
+                except Exception:  # noqa: BLE001 — non-JSON error body
+                    message = f"HTTP {exc.code}"
+                retry_after = None
+                header = (exc.headers.get("Retry-After")
+                          if exc.headers else None)
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        pass  # HTTP-date form; callers fall back to status
+                raise ServiceClientError(
+                    f"service error ({exc.code}): {message}",
+                    status=exc.code, retry_after=retry_after) from exc
+            except (urllib.error.URLError, OSError,
+                    http.client.HTTPException) as exc:
+                # HTTPException covers a peer dying mid-response
+                # (IncompleteRead, BadStatusLine) — a transport
+                # failure like any other, so retries and the shard
+                # router's failover treat it as one.
+                raise ServiceClientError(
+                    f"cannot reach service at {self.base_url}: "
+                    f"{getattr(exc, 'reason', exc)}") from exc
 
 
-__all__ = ["RETRYABLE_STATUSES", "ServiceClient", "ServiceClientError"]
+__all__ = ["REDIRECT_STATUSES", "RETRYABLE_STATUSES", "ServiceClient",
+           "ServiceClientError"]

@@ -181,6 +181,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _get_health(self) -> int:
         return self._reply(200, {"status": "ok",
+                                 "instance": self.service.instance_id,
                                  "models": len(self.service.registry)})
 
     def _get_models(self) -> int:

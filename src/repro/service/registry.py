@@ -32,17 +32,26 @@ digits), or a label.  A label may itself look like a hash prefix
 
 Only labels shaped like a *full* hash (64 hex digits) are rejected at
 ingest — they could never win against rule 1.
+
+Integrity: model XML gains a ``<h>.xml.sha256`` sidecar at ingest and
+analysis reports / label–name indexes are sealed with an embedded
+sha256 (:mod:`repro.integrity`).  Reads verify; a model whose bytes
+fail verification is quarantined to ``models/corrupt/`` and reported
+as a :class:`RegistryError` (re-ingesting the XML heals it — in a
+fleet, the router's ingest broadcast means a healthy replica still has
+it), while a corrupt analysis report is quarantined to
+``analysis/corrupt/`` and transparently re-analyzed.  Files written
+before the checksum era verify as legacy and stay accepted.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import threading
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import integrity
 from repro.errors import AnalysisError, ProphetError
 from repro.uml.hashing import model_structural_hash, short_ref
 from repro.uml.model import Model
@@ -53,6 +62,13 @@ MIN_REF_PREFIX = 6
 
 #: Parsed models kept hot per registry instance.
 _PARSED_LIMIT = 32
+
+#: Store labels on integrity metrics (models+indexes, and reports).
+STORE = "registry"
+ANALYSIS_STORE = "analysis"
+
+#: Format marker of sealed analysis-report entries.
+ANALYSIS_FORMAT = 1
 
 
 class RegistryError(ProphetError):
@@ -75,8 +91,10 @@ class ModelRecord:
 class ModelRegistry:
     """Persistent, content-addressed store of parsed performance models."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *,
+                 durable: bool = False) -> None:
         self.root = Path(root)
+        self.durable = durable
         self._parsed: LRUMap[str, Model] = LRUMap(_PARSED_LIMIT)
         # Guards the parsed-model memo and the labels.json
         # read-modify-write against concurrent HTTP handler threads
@@ -135,10 +153,17 @@ class ModelRegistry:
                 diagnostics=report.diagnostics, report=report)
         path = self.path_for(ref)
         if not path.is_file():
-            _atomic_write(path, model_to_xml(model))
+            text = model_to_xml(model)
+            self._write(path, text)
+            integrity.write_sidecar(path, text, durable=self.durable)
+        elif not integrity.sidecar_path(path).is_file():
+            # Legacy entry from before the checksum era: upgrade it now
+            # that we hold bytes known-good (just re-derived).
+            integrity.write_sidecar(path, model_to_xml(model),
+                                    durable=self.durable)
         analysis_path = self.analysis_path_for(ref)
         if not analysis_path.is_file():
-            _atomic_write(analysis_path, _report_json(report))
+            self._write(analysis_path, _analysis_json(report))
         with self._lock:
             self._parsed.put(ref, model)
             self._set_name(ref, model.name)
@@ -215,15 +240,43 @@ class ModelRegistry:
             model = self._parsed.get(full)
         if model is None:
             from repro.xmlio.reader import model_from_xml
-            model = model_from_xml(self.xml(full))
+            text = self.xml(full)
+            try:
+                model = model_from_xml(text)
+            except ProphetError as exc:
+                # Unparseable bytes with no sidecar to blame: a legacy
+                # entry that rotted.  Same contract as a checksum
+                # mismatch — quarantine, never serve.
+                integrity.quarantine(self.path_for(full), STORE,
+                                     root=self.models_dir)
+                raise RegistryError(
+                    f"stored model {short_ref(full)} is corrupt and "
+                    "was quarantined; re-ingest it") from exc
             with self._lock:
                 self._parsed.put(full, model)
         return model
 
     def xml(self, ref: str) -> str:
-        """The stored canonical XML behind ``ref``."""
+        """The stored canonical XML behind ``ref`` (verified)."""
         full = self.resolve(ref)
-        return self.path_for(full).read_text(encoding="utf-8")
+        path = self.path_for(full)
+        try:
+            text = integrity.read_text(path)
+        except FileNotFoundError:
+            raise RegistryError(
+                f"unknown model reference {ref!r}") from None
+        except OSError as exc:
+            integrity.quarantine(path, STORE, root=self.models_dir)
+            raise RegistryError(
+                f"stored model {short_ref(full)} is unreadable "
+                f"({exc.strerror or exc}) and was quarantined; "
+                "re-ingest it") from exc
+        if integrity.verify_sidecar(path, text) == "corrupt":
+            integrity.quarantine(path, STORE, root=self.models_dir)
+            raise RegistryError(
+                f"stored model {short_ref(full)} failed checksum "
+                "verification and was quarantined; re-ingest it")
+        return text
 
     def analysis_report(self, ref: str):
         """The static-analysis report behind ``ref``.
@@ -293,12 +346,30 @@ class ModelRegistry:
     # -- internals -----------------------------------------------------------
 
     def _load_analysis(self, ref: str):
-        """The cached report for ``ref``, or ``None`` (missing/stale)."""
+        """The cached report for ``ref``, or ``None`` (missing, stale,
+        or corrupt — corrupt entries are quarantined and the caller's
+        re-analysis transparently heals the cache)."""
+        path = self.analysis_path_for(ref)
         try:
-            payload = json.loads(
-                self.analysis_path_for(ref).read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            data = json.loads(integrity.read_text(path))
+        except FileNotFoundError:
             return None
+        except (OSError, json.JSONDecodeError):
+            integrity.quarantine(path, ANALYSIS_STORE,
+                                 root=self.analysis_dir)
+            integrity.record_recomputed(ANALYSIS_STORE)
+            return None
+        if isinstance(data, dict) and "report" in data \
+                and integrity.CHECKSUM_FIELD in data:
+            if integrity.verify(data) != "ok" \
+                    or data.get("format") != ANALYSIS_FORMAT:
+                integrity.quarantine(path, ANALYSIS_STORE,
+                                     root=self.analysis_dir)
+                integrity.record_recomputed(ANALYSIS_STORE)
+                return None
+            payload = data["report"]
+        else:
+            payload = data  # legacy bare report; upgraded on rewrite
         from repro.analysis import AnalysisReport
         try:
             return AnalysisReport.from_payload(payload)
@@ -313,8 +384,8 @@ class ModelRegistry:
         from repro.analysis import analyze_model
         report = analyze_model(model, model_hash=ref)
         if persist:
-            _atomic_write(self.analysis_path_for(ref),
-                          _report_json(report))
+            self._write(self.analysis_path_for(ref),
+                        _analysis_json(report))
         return report
 
     def _record(self, ref: str, name: str,
@@ -325,26 +396,53 @@ class ModelRegistry:
         return ModelRecord(ref=ref, name=name, labels=matching)
 
     def _labels(self) -> dict[str, str]:
-        return _read_json_map(self.labels_path)
+        return self._read_map(self.labels_path)
 
     def _names(self) -> dict[str, str]:
-        return _read_json_map(self.names_path)
+        return self._read_map(self.names_path)
 
     def _set_label(self, label: str, ref: str) -> None:
         """Caller holds ``self._lock`` (read-modify-write)."""
         _check_label(label)
         labels = self._labels()
         labels[label] = ref
-        _atomic_write(self.labels_path,
-                      json.dumps(labels, sort_keys=True, indent=1))
+        self._write_map(self.labels_path, labels)
 
     def _set_name(self, ref: str, name: str) -> None:
         """Caller holds ``self._lock`` (read-modify-write)."""
         names = self._names()
         if names.get(ref) != name:
             names[ref] = name
-            _atomic_write(self.names_path,
-                          json.dumps(names, sort_keys=True, indent=1))
+            self._write_map(self.names_path, names)
+
+    def _read_map(self, path: Path) -> dict[str, str]:
+        """A label/name index: sealed wrapper or legacy bare dict.
+
+        Indexes are derivable conveniences (names re-parse, labels
+        re-assign on ingest), so corruption degrades to an empty map —
+        quarantined and counted, never raised.
+        """
+        try:
+            data = json.loads(integrity.read_text(path))
+        except FileNotFoundError:
+            return {}
+        except (OSError, json.JSONDecodeError):
+            integrity.quarantine(path, STORE, root=self.root)
+            return {}
+        if isinstance(data, dict) and integrity.CHECKSUM_FIELD in data \
+                and isinstance(data.get("map"), dict):
+            if integrity.verify(data) != "ok":
+                integrity.quarantine(path, STORE, root=self.root)
+                return {}
+            return data["map"]
+        return data if isinstance(data, dict) else {}
+
+    def _write_map(self, path: Path, mapping: dict[str, str]) -> None:
+        sealed = integrity.seal({"map": mapping})
+        self._write(path, json.dumps(sealed, sort_keys=True, indent=1))
+
+    def _write(self, path: Path, text: str) -> None:
+        integrity.atomic_write_text(path, text, durable=self.durable)
 
 
 def builtin_model_builders() -> dict:
@@ -386,34 +484,20 @@ def _check_label(label: str) -> None:
             "could never be resolved; pick a shorter or non-hex label")
 
 
-def _report_json(report) -> str:
-    return json.dumps(report.to_payload(), sort_keys=True, indent=1)
+def _analysis_json(report) -> str:
+    sealed = integrity.seal({"format": ANALYSIS_FORMAT,
+                             "report": report.to_payload()})
+    return json.dumps(sealed, sort_keys=True, indent=1)
 
 
-def _read_json_map(path: Path) -> dict[str, str]:
-    try:
-        data = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
-        return {}
-    return data if isinstance(data, dict) else {}
+def _atomic_write(path: Path, text: str, *,
+                  durable: bool = False) -> None:
+    """Write via temp file + rename so a crash never leaves a torn
+    file (kept as the registry's historical name for the shared
+    :func:`repro.integrity.atomic_write_text` discipline)."""
+    integrity.atomic_write_text(path, text, durable=durable)
 
 
-def _atomic_write(path: Path, text: str) -> None:
-    """Write via temp file + rename so a crash never leaves a torn file."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    handle, temp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
-    try:
-        with os.fdopen(handle, "w", encoding="utf-8") as stream:
-            stream.write(text)
-        os.replace(temp_name, path)
-    except BaseException:
-        try:
-            os.unlink(temp_name)
-        except OSError:
-            pass
-        raise
-
-
-__all__ = ["MIN_REF_PREFIX", "ModelRecord", "ModelRegistry",
-           "RegistryError", "builtin_model_builders",
-           "builtin_model_names"]
+__all__ = ["ANALYSIS_FORMAT", "ANALYSIS_STORE", "MIN_REF_PREFIX",
+           "ModelRecord", "ModelRegistry", "RegistryError", "STORE",
+           "builtin_model_builders", "builtin_model_names"]

@@ -18,6 +18,7 @@ submissions, executors, and service restarts.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -67,11 +68,17 @@ class EvaluationService:
                  serialize_batches: bool = False,
                  job_timeout: float | None = None,
                  max_retries: int = 0,
-                 fault_plan=None) -> None:
+                 fault_plan=None,
+                 instance_id: str | None = None,
+                 durable: bool = False) -> None:
         self.registry = (registry if isinstance(registry, ModelRegistry)
-                         else ModelRegistry(registry))
+                         else ModelRegistry(registry, durable=durable))
         self.cache = (cache if isinstance(cache, (ResultCache, type(None)))
-                      else ResultCache(cache))
+                      else ResultCache(cache, durable=durable))
+        # Replica identity: surfaced on /health and (via the router) on
+        # every result, so a client can tell which fleet member served
+        # it.  Defaults to a pid-derived name for ad-hoc processes.
+        self.instance_id = instance_id or f"svc-{os.getpid()}"
         # "process" forks a pool per batch (the sweep runner's model):
         # workers receive the batch's model table once via the pool
         # initializer, so they never touch registry locks, and small
@@ -282,6 +289,7 @@ class EvaluationService:
     def stats(self) -> dict:
         """Service-lifetime counters (the HTTP ``/stats`` payload)."""
         return {
+            "instance": self.instance_id,
             "models": len(self.registry),
             "batches_served": self.batches_served,
             "requests_served": self.requests_served,

@@ -26,48 +26,45 @@ A crash between ``mkstemp`` and ``os.replace`` can orphan a
 orphans, and the entry iteration (``__len__``/``clear``) skips dotfiles
 outright, so a crashed writer can never inflate counts or resurrect as
 a phantom entry.
+
+Integrity: every entry is sealed with a sha256 self-checksum
+(:func:`repro.integrity.seal`); reads verify it, and an entry that
+fails verification — bit rot, torn write, or an I/O error from the
+disk itself — is quarantined to ``root/corrupt/`` and reported as a
+miss, never returned or raised.  Entries written before the checksum
+era verify as legacy and are accepted (they upgrade on rewrite).
+``durable=True`` makes writes fsync the entry and its directory.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
-from repro import obs
+from repro import integrity, obs
 
 #: File-format marker inside each entry; bump on layout changes.
 ENTRY_FORMAT = 1
 
 #: Prefix of in-flight atomic-write temp files (never valid entries).
-TEMP_PREFIX = ".tmp-"
+TEMP_PREFIX = integrity.TEMP_PREFIX
+
+#: Store label on integrity metrics, and the quarantine dir's parent.
+STORE = "result_cache"
 
 
-def atomic_write_json(path: Path, payload: dict) -> Path:
+def atomic_write_json(path: Path, payload: dict, *,
+                      durable: bool = False) -> Path:
     """Write ``payload`` to ``path`` atomically (mkstemp + rename).
 
-    The cache's write discipline, shared with the campaign journal: a
-    reader never sees a truncated file, and a writer that dies
-    mid-write leaves only a ``.tmp-*`` orphan for the reaper.
+    The cache's write discipline, shared with the campaign journal —
+    now a thin alias of :func:`repro.integrity.atomic_write_json`,
+    which adds the optional ``durable`` fsync of file + directory.
     """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    handle, temp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=TEMP_PREFIX, suffix=".json")
-    try:
-        with os.fdopen(handle, "w", encoding="utf-8") as stream:
-            json.dump(payload, stream, sort_keys=True)
-        os.replace(temp_name, path)
-    except BaseException:
-        try:
-            os.unlink(temp_name)
-        except OSError:
-            pass
-        raise
-    return path
+    return integrity.atomic_write_json(path, payload, durable=durable)
 
 
 def _lookup_outcomes():
@@ -142,10 +139,13 @@ class ResultCache:
 
     root: Path
     stats: CacheStats = field(default_factory=CacheStats)
+    durable: bool = False
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *,
+                 durable: bool = False) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        self.durable = durable
         self._stats_lock = threading.Lock()
         reaped = self.reap_temp_files()
         if reaped:
@@ -156,6 +156,11 @@ class ResultCache:
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    @property
+    def corrupt_dir(self) -> Path:
+        """Where failed-verification entries are moved for forensics."""
+        return self.root / integrity.CORRUPT_DIR
 
     def _record(self, into: CacheStats | None, *, hits: int = 0,
                 misses: int = 0, puts: int = 0,
@@ -180,12 +185,16 @@ class ResultCache:
         path = self.path_for(key)
         hit, miss, invalid = _lookup_outcomes()
         try:
-            entry = json.loads(path.read_text(encoding="utf-8"))
+            entry = json.loads(integrity.read_text(path))
         except FileNotFoundError:
             self._record(into, misses=1)
             miss.inc()
             return None
         except (OSError, json.JSONDecodeError):
+            # Undecodable bytes or a failing disk: quarantine the file
+            # (keeps the evidence, stops repeat verification failures)
+            # and report a miss so the caller recomputes.
+            integrity.quarantine(path, STORE, root=self.root)
             self._record(into, misses=1, invalid=1)
             miss.inc()
             invalid.inc()
@@ -194,7 +203,9 @@ class ResultCache:
         if not isinstance(entry, dict) \
                 or entry.get("format") != ENTRY_FORMAT \
                 or not isinstance(payload, dict) \
-                or any(name not in payload for name in require):
+                or any(name not in payload for name in require) \
+                or integrity.verify(entry) == "corrupt":
+            integrity.quarantine(path, STORE, root=self.root)
             self._record(into, misses=1, invalid=1)
             miss.inc()
             invalid.inc()
@@ -210,7 +221,9 @@ class ResultCache:
         entry = {"format": ENTRY_FORMAT, "key": key, "payload": payload}
         if meta:
             entry["meta"] = meta
-        path = atomic_write_json(self.path_for(key), entry)
+        path = atomic_write_json(self.path_for(key),
+                                 integrity.seal(entry),
+                                 durable=self.durable)
         self._record(into, puts=1)
         obs.counter("result_cache_writes_total",
                     "Result-cache entries written.").inc()
@@ -258,5 +271,5 @@ class ResultCache:
         return removed
 
 
-__all__ = ["CacheStats", "ResultCache", "ENTRY_FORMAT", "TEMP_PREFIX",
-           "atomic_write_json"]
+__all__ = ["CacheStats", "ResultCache", "ENTRY_FORMAT", "STORE",
+           "TEMP_PREFIX", "atomic_write_json"]

@@ -6,10 +6,7 @@ record is which points finished with a verdict that produced no cache
 entry (errors, timeouts, quarantines) — exactly the points a naive
 re-run would pay for again.  A :class:`Campaign` closes that gap: it
 journals every finished job's cache fingerprint and terminal status in
-a single JSON file next to the cache (``<cache-root>/campaigns/
-<id>.json``), rewritten atomically with the cache's own ``.tmp-*``
-write discipline, so a journal interrupted mid-write always reads as
-its previous consistent state.
+a file next to the cache (``<cache-root>/campaigns/<id>.json``).
 
 On ``prophet sweep --resume <id>`` the runner skips journaled work:
 failures are reported straight from the journal (their verdict is
@@ -19,10 +16,18 @@ execute.  The journal is bound to a *fingerprint* of the expanded grid
 (the sorted cache keys), so resuming with changed axes fails loudly
 instead of mislabeling results.
 
-The journal is rewritten in full on every record — O(n²) bytes over a
-campaign of n points, which is noise for the thousands-of-points
-campaigns this tier targets (entries are ~100 bytes); batching writes
-is the obvious lever if journals ever grow past that.
+Journal format 2 is append-only JSONL: a header line, a fingerprint
+line once the grid is bound, then one line per finished point — each
+line sealed with a sha256 self-checksum (:mod:`repro.integrity`).
+Recording a point is one O(entry) append instead of the O(campaign)
+full rewrite format 1 paid, and corruption has *line* granularity: a
+bit-flipped or truncated entry line is quarantined to
+``campaigns/corrupt/`` on resume and only the affected points re-run,
+while a torn trailing line (a crash mid-append) is dropped silently as
+the previous consistent state.  A corrupt *header* still fails loudly
+— with the journal's identity gone, guessing would be worse.  Format-1
+journals (a single JSON document) remain resumable and are upgraded to
+format 2 on resume.  ``durable=True`` fsyncs every append.
 """
 
 from __future__ import annotations
@@ -31,16 +36,22 @@ import json
 import re
 from pathlib import Path
 
-from repro import obs
+from repro import integrity, obs
 from repro.errors import ProphetError
-from repro.sweep.cache import TEMP_PREFIX, atomic_write_json
+from repro.sweep.cache import TEMP_PREFIX
 from repro.util.hashing import stable_hash
 
 #: Journal file format; bump on layout changes.
-JOURNAL_FORMAT = 1
+JOURNAL_FORMAT = 2
+
+#: The single-JSON-document format still accepted on resume.
+LEGACY_JOURNAL_FORMAT = 1
 
 #: Statuses a journal entry may carry — the runner's terminal verdicts.
 TERMINAL_STATUSES = ("ok", "error", "timeout", "quarantined")
+
+#: Store label on integrity metrics for journal corruption.
+STORE = "campaign"
 
 _ID_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,99}")
 
@@ -72,22 +83,28 @@ def _validate_id(campaign_id: str) -> str:
     return campaign_id
 
 
+def _seal_line(body: dict) -> str:
+    return json.dumps(integrity.seal(body), sort_keys=True)
+
+
 class Campaign:
     """One campaign's journal, loaded in memory and mirrored to disk."""
 
     def __init__(self, path: Path, campaign_id: str,
                  fingerprint: str | None = None,
-                 entries: dict[str, dict] | None = None) -> None:
+                 entries: dict[str, dict] | None = None,
+                 durable: bool = False) -> None:
         self.path = path
         self.campaign_id = campaign_id
         self.fingerprint = fingerprint
         self.entries: dict[str, dict] = dict(entries or {})
+        self.durable = durable
 
     # -- lifecycle ------------------------------------------------------------
 
     @classmethod
-    def start(cls, cache_root: str | Path,
-              campaign_id: str) -> "Campaign":
+    def start(cls, cache_root: str | Path, campaign_id: str, *,
+              durable: bool = False) -> "Campaign":
         """Create a fresh journal; refuses to clobber an existing one."""
         _validate_id(campaign_id)
         _reap(campaigns_dir(cache_root))
@@ -97,30 +114,120 @@ class Campaign:
                 f"campaign {campaign_id!r} already exists at {path}; "
                 f"resume it with --resume {campaign_id} or pick a new "
                 "id")
-        campaign = cls(path, campaign_id)
+        campaign = cls(path, campaign_id, durable=durable)
         campaign.flush()
         return campaign
 
     @classmethod
-    def resume(cls, cache_root: str | Path,
-               campaign_id: str) -> "Campaign":
-        """Load an existing journal (crashed or interrupted campaign)."""
+    def resume(cls, cache_root: str | Path, campaign_id: str, *,
+               durable: bool = False) -> "Campaign":
+        """Load an existing journal (crashed or interrupted campaign).
+
+        Corrupt entry lines are quarantined and dropped (those points
+        simply re-run); a journal whose header cannot be trusted, or a
+        legacy document that does not parse, raises loudly.
+        """
         _validate_id(campaign_id)
         _reap(campaigns_dir(cache_root))
         path = campaigns_dir(cache_root) / f"{campaign_id}.json"
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
+            text = integrity.read_text(path)
         except FileNotFoundError:
             raise CampaignError(
                 f"no campaign {campaign_id!r} under "
                 f"{campaigns_dir(cache_root)} (start one with "
                 f"--campaign {campaign_id})") from None
-        except (OSError, json.JSONDecodeError) as exc:
+        except OSError as exc:
+            raise CampaignError(
+                f"campaign journal {path} is unreadable: {exc}"
+            ) from exc
+        campaign, dirty = cls._parse(path, campaign_id, text)
+        campaign.durable = durable
+        if dirty:
+            # Compact: rewrite without the quarantined/torn lines so
+            # the next resume does not re-quarantine the same bytes,
+            # and legacy documents come back as format 2.
+            campaign.flush()
+        return campaign
+
+    @classmethod
+    def _parse(cls, path: Path, campaign_id: str,
+               text: str) -> tuple["Campaign", bool]:
+        first = text.split("\n", 1)[0]
+        try:
+            head = json.loads(first)
+        except json.JSONDecodeError:
+            head = None
+        if isinstance(head, dict) and head.get("format") == JOURNAL_FORMAT:
+            return cls._parse_lines(path, campaign_id, text)
+        return cls._parse_legacy(path, campaign_id, text), True
+
+    @classmethod
+    def _parse_lines(cls, path: Path, campaign_id: str,
+                     text: str) -> tuple["Campaign", bool]:
+        lines = text.split("\n")
+        header_ok = False
+        fingerprint: str | None = None
+        entries: dict[str, dict] = {}
+        dropped = 0
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            # The final line with no trailing newline is a torn append
+            # (a crash mid-write): if it still parses and verifies it
+            # is kept, otherwise it is dropped without quarantine — it
+            # was never part of a consistent journal state.
+            torn = number == len(lines) - 1 and not text.endswith("\n")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                record = None
+            if record is None or integrity.verify(record) != "ok":
+                if not torn:
+                    integrity.quarantine_text(
+                        line, STORE, path.parent,
+                        f"{campaign_id}.line-{number}")
+                dropped += 1
+                continue
+            if "format" in record:
+                if record.get("format") == JOURNAL_FORMAT \
+                        and record.get("campaign") == campaign_id:
+                    header_ok = True
+                continue
+            if "fingerprint" in record:
+                fingerprint = record["fingerprint"]
+                continue
+            key, status = record.get("key"), record.get("status")
+            if isinstance(key, str) and status in TERMINAL_STATUSES:
+                entry = {"status": status}
+                if record.get("error"):
+                    entry["error"] = str(record["error"])
+                entries[key] = entry  # last record for a key wins
+                continue
+            integrity.quarantine_text(
+                line, STORE, path.parent,
+                f"{campaign_id}.line-{number}")
+            dropped += 1
+        if not header_ok:
+            raise CampaignError(
+                f"campaign journal {path} has a corrupt or missing "
+                "header — its identity cannot be trusted; restore it "
+                "or start a new campaign")
+        campaign = cls(path, campaign_id, fingerprint=fingerprint,
+                       entries=entries)
+        return campaign, dropped > 0
+
+    @classmethod
+    def _parse_legacy(cls, path: Path, campaign_id: str,
+                      text: str) -> "Campaign":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
             raise CampaignError(
                 f"campaign journal {path} is unreadable: {exc}"
             ) from exc
         if not isinstance(data, dict) \
-                or data.get("format") != JOURNAL_FORMAT \
+                or data.get("format") != LEGACY_JOURNAL_FORMAT \
                 or not isinstance(data.get("entries"), dict):
             raise CampaignError(
                 f"campaign journal {path} has an unknown format")
@@ -140,7 +247,9 @@ class Campaign:
         """Pin (or on resume verify) the journal's grid fingerprint."""
         if self.fingerprint is None:
             self.fingerprint = fingerprint
-            self.flush()
+            integrity.append_line(
+                self.path, _seal_line({"fingerprint": fingerprint}),
+                durable=self.durable)
             return
         if self.fingerprint != fingerprint:
             raise CampaignError(
@@ -160,7 +269,7 @@ class Campaign:
 
     def record(self, cache_key: str, status: str,
                error: str | None = None) -> None:
-        """Journal one finished job (idempotent; flushes atomically)."""
+        """Journal one finished job (idempotent; one durable append)."""
         if status not in TERMINAL_STATUSES:
             status = "error"
         entry: dict = {"status": status}
@@ -169,18 +278,28 @@ class Campaign:
         if self.entries.get(cache_key) == entry:
             return
         self.entries[cache_key] = entry
-        self.flush()
+        line: dict = {"key": cache_key, "status": status}
+        if error:
+            line["error"] = str(error)
+        integrity.append_line(self.path, _seal_line(line),
+                              durable=self.durable)
         obs.counter(
             "campaign_journal_writes_total",
             "Campaign journal records flushed to disk.").inc()
 
     def flush(self) -> None:
-        atomic_write_json(self.path, {
-            "format": JOURNAL_FORMAT,
-            "campaign": self.campaign_id,
-            "fingerprint": self.fingerprint,
-            "entries": self.entries,
-        })
+        """Rewrite the whole journal atomically (start / compaction)."""
+        lines = [_seal_line({"format": JOURNAL_FORMAT,
+                             "campaign": self.campaign_id})]
+        if self.fingerprint is not None:
+            lines.append(_seal_line({"fingerprint": self.fingerprint}))
+        for key, entry in self.entries.items():
+            line = {"key": key, "status": entry["status"]}
+            if entry.get("error"):
+                line["error"] = entry["error"]
+            lines.append(_seal_line(line))
+        integrity.atomic_write_text(self.path, "\n".join(lines) + "\n",
+                                    durable=self.durable)
 
     def describe(self) -> str:
         return (f"campaign {self.campaign_id}: {self.completed} "
@@ -199,5 +318,5 @@ def _reap(directory: Path) -> None:
 
 
 __all__ = ["Campaign", "CampaignError", "JOURNAL_FORMAT",
-           "TERMINAL_STATUSES", "campaign_fingerprint",
-           "campaigns_dir"]
+           "LEGACY_JOURNAL_FORMAT", "STORE", "TERMINAL_STATUSES",
+           "campaign_fingerprint", "campaigns_dir"]

@@ -76,10 +76,21 @@ class RetryPolicy:
                 f"max_pool_breaks must be >= 1, got "
                 f"{self.max_pool_breaks!r}")
 
-    def backoff_s(self, retry: int, rng: random.Random) -> float:
-        """Delay before retry number ``retry`` (1-based), jittered."""
+    def backoff_s(self, retry: int, rng: random.Random,
+                  floor_s: float | None = None) -> float:
+        """Delay before retry number ``retry`` (1-based), jittered.
+
+        ``floor_s`` is a server-supplied minimum (an HTTP
+        ``Retry-After`` hint): it floors the pre-jitter delay, so a
+        polite hint is honoured exactly even early in the backoff
+        ladder.  The service client and the shard router share this
+        one policy object — there is exactly one backoff law in the
+        system.
+        """
         base = min(self.max_delay_s,
                    self.base_delay_s * (2 ** max(0, retry - 1)))
+        if floor_s is not None:
+            base = max(base, floor_s)
         return base * (1.0 + self.jitter * rng.random())
 
 

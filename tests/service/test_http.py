@@ -36,7 +36,10 @@ def served(tmp_path):
 class TestEndpoints:
     def test_health(self, served):
         client, _ = served
-        assert client.health() == {"status": "ok", "models": 0}
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["models"] == 0
+        assert health["instance"]  # replica identity for the router
 
     def test_ingest_and_list(self, served):
         client, _ = served
@@ -143,6 +146,25 @@ class TestErrorMapping:
         client = ServiceClient("http://127.0.0.1:1", timeout=0.5)
         with pytest.raises(ServiceClientError, match="cannot reach"):
             client.health()
+
+    def test_peer_dying_mid_response_is_a_transport_error(
+            self, monkeypatch):
+        """Regression: a replica SIGKILLed mid-response surfaces as
+        ``http.client.IncompleteRead``, which must map to a transport
+        ``ServiceClientError`` (status None) so retries and the shard
+        router's failover see it — not escape as a raw exception."""
+        import http.client
+        import urllib.request
+
+        def torn_read(*args, **kwargs):
+            raise http.client.IncompleteRead(b"", expected=2217)
+
+        monkeypatch.setattr(urllib.request, "urlopen", torn_read)
+        client = ServiceClient("http://127.0.0.1:1", timeout=0.5)
+        with pytest.raises(ServiceClientError,
+                           match="cannot reach") as excinfo:
+            client.health()
+        assert excinfo.value.status is None
 
     def test_handler_crash_returns_json_500(self, served):
         """Regression: an unexpected exception inside a handler must

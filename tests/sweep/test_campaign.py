@@ -26,9 +26,13 @@ class TestJournalLifecycle:
     def test_start_creates_an_empty_journal(self, tmp_path):
         campaign = Campaign.start(tmp_path, "c1")
         assert campaign.completed == 0
-        data = json.loads(campaign.path.read_text())
-        assert data["campaign"] == "c1"
-        assert data["entries"] == {}
+        # Format 2 is JSONL: a fresh journal is a single sealed header.
+        lines = campaign.path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["campaign"] == "c1"
+        assert header["format"] == 2
+        assert "sha256" in header
+        assert lines[1:] == []
 
     def test_start_refuses_an_existing_id(self, tmp_path):
         Campaign.start(tmp_path, "c1")

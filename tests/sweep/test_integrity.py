@@ -1,0 +1,394 @@
+"""Integrity layer: checksums, durable writes, and disk-fault recovery.
+
+The contract under test, for every on-disk store (result cache, model
+registry, analysis reports, campaign journals): a corrupt entry is
+**never raised to the caller and never served as truth** — it is moved
+to the store's ``corrupt/`` directory, counted in
+``store_corrupt_entries_total``, and transparently recomputed or
+re-ingested, byte-identical to the original.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import integrity
+from repro.faults import (
+    DiskFault,
+    DiskFaultPlan,
+    FaultPlanError,
+    eio_on_read,
+    flip_bit,
+    truncate_file,
+)
+from repro.samples import build_kernel6_model
+from repro.service.registry import ModelRegistry, RegistryError
+from repro.sweep import (
+    Campaign,
+    ResultCache,
+    make_spec,
+    run_sweep,
+)
+from repro.sweep.campaign import campaigns_dir
+
+KEY = "ab" + "0" * 62
+PAYLOAD = {"predicted_time": 1.5, "events": 42, "trace_records": 7,
+           "backend": "codegen"}
+
+
+def corrupt_count(store: str) -> float:
+    return integrity.corrupt_counter().labels(store).value
+
+
+class TestSealVerify:
+    def test_seal_then_verify_ok(self):
+        sealed = integrity.seal({"a": 1, "b": [2, 3]})
+        assert integrity.verify(sealed) == "ok"
+        assert sealed["a"] == 1  # body untouched
+
+    def test_legacy_entry_has_no_checksum(self):
+        assert integrity.verify({"a": 1}) == "legacy"
+
+    def test_tamper_is_corrupt(self):
+        sealed = integrity.seal({"a": 1})
+        sealed["a"] = 2
+        assert integrity.verify(sealed) == "corrupt"
+
+    def test_non_dict_is_corrupt(self):
+        assert integrity.verify([1, 2]) == "corrupt"
+        assert integrity.verify("x") == "corrupt"
+
+    def test_seal_is_idempotent(self):
+        once = integrity.seal({"a": 1})
+        assert integrity.seal(once) == once
+
+    def test_sidecar_round_trip(self, tmp_path):
+        path = tmp_path / "model.xml"
+        path.write_text("<model/>")
+        integrity.write_sidecar(path, "<model/>")
+        assert integrity.verify_sidecar(path, "<model/>") == "ok"
+        assert integrity.verify_sidecar(path, "<tampered/>") == "corrupt"
+        integrity.sidecar_path(path).unlink()
+        assert integrity.verify_sidecar(path, "<model/>") == "legacy"
+
+
+class TestDurableWrites:
+    """Pins the fsync bugfix: ``durable=True`` must fsync the file
+    *and* its parent directory; the default must not fsync at all."""
+
+    @pytest.fixture
+    def fsync_calls(self, monkeypatch):
+        calls = []
+        real = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: (calls.append(fd), real(fd))[1])
+        return calls
+
+    def test_default_never_fsyncs(self, tmp_path, fsync_calls):
+        integrity.atomic_write_json(tmp_path / "e.json", {"a": 1})
+        integrity.append_line(tmp_path / "j.jsonl", "{}")
+        assert fsync_calls == []
+
+    def test_durable_fsyncs_file_and_directory(self, tmp_path,
+                                               fsync_calls):
+        integrity.atomic_write_json(tmp_path / "e.json", {"a": 1},
+                                    durable=True)
+        # One fsync for the temp file, one for the parent directory.
+        assert len(fsync_calls) == 2
+
+    def test_durable_append_fsyncs_once(self, tmp_path, fsync_calls):
+        integrity.append_line(tmp_path / "j.jsonl", "{}", durable=True)
+        assert len(fsync_calls) == 1
+
+    def test_durable_cache_put_fsyncs(self, tmp_path, fsync_calls):
+        ResultCache(tmp_path, durable=True).put(KEY, PAYLOAD)
+        assert len(fsync_calls) >= 2
+
+    def test_default_cache_put_does_not(self, tmp_path, fsync_calls):
+        ResultCache(tmp_path).put(KEY, PAYLOAD)
+        assert fsync_calls == []
+
+    def test_durable_registry_write_fsyncs(self, tmp_path, fsync_calls):
+        registry = ModelRegistry(tmp_path, durable=True)
+        registry.ingest_model(build_kernel6_model())
+        assert len(fsync_calls) >= 2
+
+
+class TestDiskFaultPlan:
+    def test_seeded_plan_is_reproducible(self):
+        one = DiskFaultPlan.seeded(7, 10, bitflips=2, truncates=1,
+                                   unlinks=1, eios=1)
+        two = DiskFaultPlan.seeded(7, 10, bitflips=2, truncates=1,
+                                   unlinks=1, eios=1)
+        assert one == two
+        assert len(one.faults) == 5
+
+    def test_payload_round_trip(self):
+        plan = DiskFaultPlan.seeded(3, 8, bitflips=2, eios=1)
+        again = DiskFaultPlan.from_payload(plan.to_payload())
+        assert again == plan
+
+    def test_rejects_more_faults_than_targets(self):
+        with pytest.raises(FaultPlanError, match="cannot place"):
+            DiskFaultPlan.seeded(0, 2, bitflips=3)
+
+    def test_flip_bit_always_defeats_the_checksum(self, tmp_path):
+        """Property: a seeded bitflip on a sealed entry is always a
+        semantic change the checksum catches — never a forgiven
+        formatting tweak, never a deleted checksum field."""
+        for seed in range(25):
+            path = tmp_path / f"entry-{seed}.json"
+            path.write_text(json.dumps(integrity.seal(
+                {"predicted_time": 1.5 + seed, "events": seed})))
+            flip_bit(path, seed)
+            entry = json.loads(path.read_text())
+            assert integrity.verify(entry) == "corrupt"
+
+    def test_truncate_always_breaks_the_parse_or_checksum(self,
+                                                          tmp_path):
+        for seed in range(10):
+            path = tmp_path / f"entry-{seed}.json"
+            path.write_text(json.dumps(integrity.seal({"n": seed})))
+            truncate_file(path, seed)
+            try:
+                entry = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                continue
+            assert integrity.verify(entry) == "corrupt"
+
+    def test_apply_reports_each_fault(self, tmp_path):
+        files = []
+        for index in range(6):
+            path = tmp_path / f"f{index}.json"
+            path.write_text(json.dumps(integrity.seal({"i": index})))
+            files.append(path)
+        plan = DiskFaultPlan.seeded(1, 6, bitflips=2, truncates=1,
+                                    unlinks=1, eios=1)
+        report = plan.apply(files)
+        assert len(report.applied) == 5
+        assert report.detectable == 4  # all but the unlink
+        assert len(report.eio_paths) == 1
+        for path in report.paths("unlink"):
+            assert not path.exists()
+
+
+class TestCacheCorruption:
+    def make_cache(self, tmp_path, entries=6):
+        cache = ResultCache(tmp_path)
+        payloads = {}
+        for index in range(entries):
+            key = f"{index:02x}" + "0" * 62
+            payload = dict(PAYLOAD, predicted_time=float(index))
+            cache.put(key, payload)
+            payloads[key] = payload
+        return cache, payloads
+
+    def test_every_fault_kind_reads_as_a_miss(self, tmp_path):
+        cache, payloads = self.make_cache(tmp_path)
+        files = sorted(cache.root.glob("*/*.json"))
+        plan = DiskFaultPlan.seeded(11, len(files), bitflips=2,
+                                    truncates=1, unlinks=1, eios=1)
+        before = corrupt_count("result_cache")
+        report = plan.apply(files)
+        with eio_on_read(report.eio_paths):
+            for key, payload in payloads.items():
+                got = cache.get(key)
+                assert got is None or got == payload  # never garbage
+        # Quarantined (unlink leaves nothing to move), counted, and
+        # the live tree no longer contains the corrupt entries.
+        assert corrupt_count("result_cache") - before \
+            == report.detectable
+        quarantined = list(cache.corrupt_dir.glob("*.json"))
+        assert len(quarantined) == report.detectable
+        assert cache.stats.invalid >= report.detectable - 1  # eio too
+
+    def test_recompute_is_byte_identical(self, tmp_path):
+        cache, payloads = self.make_cache(tmp_path, entries=3)
+        files = sorted(cache.root.glob("*/*.json"))
+        originals = {path.name: path.read_bytes() for path in files}
+        DiskFaultPlan.seeded(2, len(files), bitflips=3).apply(files)
+        for key, payload in payloads.items():
+            assert cache.get(key) is None        # quarantined miss
+            cache.put(key, payload)              # transparent recompute
+            assert cache.get(key) == payload
+        for path in files:
+            assert path.read_bytes() == originals[path.name]
+
+    def test_eio_once_then_clean_retry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, PAYLOAD)
+        with eio_on_read([path]) as hook:
+            assert cache.get(KEY) is None        # EIO → quarantined
+            assert hook.fired
+        # The entry was healthy but unreadable; recompute restores it.
+        cache.put(KEY, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+
+    def test_clean_run_after_recovery_sees_zero_corruption(self,
+                                                           tmp_path):
+        cache, payloads = self.make_cache(tmp_path, entries=4)
+        files = sorted(cache.root.glob("*/*.json"))
+        DiskFaultPlan.seeded(5, len(files), bitflips=2).apply(files)
+        for key, payload in payloads.items():
+            if cache.get(key) is None:
+                cache.put(key, payload)
+        before = corrupt_count("result_cache")
+        for key, payload in payloads.items():
+            assert cache.get(key) == payload
+        assert corrupt_count("result_cache") == before
+
+    def test_legacy_entry_upgraded_on_rewrite(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, PAYLOAD)
+        entry = json.loads(path.read_text())
+        del entry["sha256"]                      # checksum-era rollback
+        path.write_text(json.dumps(entry))
+        assert cache.get(KEY) == PAYLOAD         # legacy accepted
+        cache.put(KEY, PAYLOAD)                  # rewrite upgrades
+        assert integrity.verify(
+            json.loads(path.read_text())) == "ok"
+
+
+class TestRegistryCorruption:
+    def test_corrupt_model_xml_quarantines_and_reingests(self,
+                                                         tmp_path):
+        registry = ModelRegistry(tmp_path)
+        record = registry.ingest_model(build_kernel6_model())
+        path = registry.path_for(record.ref)
+        original = path.read_bytes()
+        flip_bit(path, 3)
+        registry._parsed.clear()
+        before = corrupt_count("registry")
+        with pytest.raises(RegistryError, match="quarantined"):
+            registry.get(record.ref)
+        assert corrupt_count("registry") - before == 1
+        assert not path.exists()
+        assert list((registry.models_dir / "corrupt").iterdir())
+        # Re-ingest heals, byte-identical (content-addressed).
+        registry.ingest_model(build_kernel6_model())
+        assert path.read_bytes() == original
+
+    def test_missing_sidecar_is_legacy_and_upgraded(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        record = registry.ingest_model(build_kernel6_model())
+        path = registry.path_for(record.ref)
+        integrity.sidecar_path(path).unlink()
+        registry._parsed.clear()
+        registry.get(record.ref)                 # legacy: accepted
+        registry.ingest_model(build_kernel6_model())
+        assert integrity.sidecar_path(path).is_file()
+
+    def test_corrupt_analysis_report_recomputes(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        record = registry.ingest_model(build_kernel6_model())
+        report_path = registry.analysis_path_for(record.ref)
+        assert report_path.is_file()
+        healthy = registry.analysis_report(record.ref)
+        flip_bit(report_path, 9)
+        before_corrupt = corrupt_count("analysis")
+        before_recomputed = integrity.recomputed_counter() \
+            .labels("analysis").value
+        recomputed = registry.analysis_report(record.ref)
+        assert corrupt_count("analysis") - before_corrupt == 1
+        assert integrity.recomputed_counter().labels("analysis").value \
+            - before_recomputed == 1
+        assert recomputed.to_payload() == healthy.to_payload()
+        # The rewritten report verifies again.
+        entry = json.loads(report_path.read_text())
+        assert integrity.verify(entry) == "ok"
+
+    def test_corrupt_label_map_is_quarantined_not_fatal(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.ingest_model(build_kernel6_model(), label="k6")
+        flip_bit(registry.labels_path, 4)
+        fresh = ModelRegistry(tmp_path)
+        with pytest.raises(RegistryError, match="unknown model"):
+            fresh.resolve("k6")                  # mapping lost, not 500
+        fresh.ingest_model(build_kernel6_model(), label="k6")
+        assert fresh.resolve("k6")               # re-ingest heals
+
+
+class TestJournalCorruption:
+    def entry_lines(self, path):
+        lines = path.read_text().splitlines()
+        keyed = {}
+        for number, line in enumerate(lines):
+            body = json.loads(line)
+            if "key" in body:
+                keyed[body["key"]] = number
+        return keyed
+
+    def test_corrupt_entry_line_drops_only_that_key(self, tmp_path):
+        campaign = Campaign.start(tmp_path, "c1")
+        campaign.bind("fp")
+        for index in range(4):
+            campaign.record(f"k{index}", "ok")
+        line = self.entry_lines(campaign.path)["k1"]
+        flip_bit(campaign.path, 13, line=line)
+        before = corrupt_count("campaign")
+        resumed = Campaign.resume(tmp_path, "c1")
+        assert corrupt_count("campaign") - before == 1
+        assert "k1" not in resumed.entries
+        assert {"k0", "k2", "k3"} <= set(resumed.entries)
+        assert resumed.fingerprint == "fp"
+        quarantine = campaigns_dir(tmp_path) / "corrupt"
+        assert list(quarantine.iterdir())
+        # The dirty resume compacted the journal: resuming again is
+        # clean and quarantines nothing new.
+        again = Campaign.resume(tmp_path, "c1")
+        assert corrupt_count("campaign") - before == 1
+        assert set(again.entries) == set(resumed.entries)
+
+    def test_torn_trailing_line_is_dropped_silently(self, tmp_path):
+        campaign = Campaign.start(tmp_path, "c1")
+        campaign.record("k0", "ok")
+        with open(campaign.path, "a", encoding="utf-8") as stream:
+            stream.write('{"key": "k1", "status": "o')  # crash mid-append
+        before = corrupt_count("campaign")
+        resumed = Campaign.resume(tmp_path, "c1")
+        assert "k0" in resumed.entries
+        assert "k1" not in resumed.entries
+        assert corrupt_count("campaign") == before   # torn ≠ corrupt
+
+    def test_corrupt_header_fails_loudly(self, tmp_path):
+        campaign = Campaign.start(tmp_path, "c1")
+        flip_bit(campaign.path, 21, line=0)
+        with pytest.raises(Exception, match="header"):
+            Campaign.resume(tmp_path, "c1")
+
+    def test_resume_reruns_exactly_the_affected_points(self, tmp_path):
+        """A corrupt journal line must re-run its point — and only
+        its point — on ``--resume``."""
+        cache_root = tmp_path / "cache"
+        cache = ResultCache(cache_root)
+        spec = make_spec(build_kernel6_model(), processes=[1, 2],
+                         backends=["interp"], seeds=[0, 1])
+        run_sweep(spec, cache=cache,
+                  campaign=Campaign.start(cache_root, "c1"))
+        campaign = Campaign.resume(cache_root, "c1")
+        victim = sorted(campaign.entries)[0]
+        line = TestJournalCorruption().entry_lines(campaign.path)[victim]
+        flip_bit(campaign.path, 17, line=line)
+        # Drop the victim's cache entry too, so "re-run" is observable
+        # as real execution, not a cache hit.
+        cache.path_for(victim).unlink()
+        result = run_sweep(spec, cache=cache,
+                           campaign=Campaign.resume(cache_root, "c1"))
+        assert result.resumed_count == 3
+        by_key = {outcome.job.cache_key(): outcome for outcome in result}
+        assert not by_key[victim].resumed
+        assert not by_key[victim].cached
+        assert by_key[victim].ok
+        healed = Campaign.resume(cache_root, "c1")
+        assert healed.completed == 4
+
+
+class TestReadHookScoping:
+    def test_hook_restored_after_context(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        with eio_on_read([path]):
+            with pytest.raises(OSError):
+                integrity.read_text(path)
+        assert integrity.read_text(path) == "{}"
